@@ -1,0 +1,74 @@
+// Ablations over the design choices DESIGN.md calls out:
+//  1. redundant-coarse-data handling: keep vs mean-fill (paper §2.2's
+//     "omit the redundant data during compression" optimization);
+//  2. SZ-L/R block size (6 is SZ2's default);
+//  3. transform codec (zfp-like) vs the prediction codecs;
+//  4. quantizer code-space radius.
+
+#include "bench_util.hpp"
+#include "compress/compressor.hpp"
+#include "compress/szlr.hpp"
+#include "compress/zmesh_like.hpp"
+#include "core/datasets.hpp"
+#include "core/study.hpp"
+
+int main(int argc, char** argv) {
+  using namespace amrvis;
+  Cli cli;
+  if (!bench::parse_standard_flags(cli, argc, argv)) return 0;
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  bench::banner("Ablations", "design-choice sensitivity (eb = 1e-3)");
+
+  for (const char* name : {"warpx", "nyx"}) {
+    const core::DatasetSpec spec =
+        core::dataset_spec(name, cli.get_bool("full"), seed);
+    const sim::SyntheticDataset dataset = core::make_dataset(spec);
+    std::printf("\n--- dataset %s ---\n", name);
+
+    // 1. Redundant handling.
+    const auto szlr = compress::make_compressor("sz-lr");
+    for (const auto handling : {compress::RedundantHandling::kKeep,
+                                compress::RedundantHandling::kMeanFill}) {
+      const auto row =
+          core::run_compression_study(dataset, *szlr, 1e-3, handling);
+      std::printf("redundant=%-9s CR=%7.2f  PSNR=%7.2f\n",
+                  handling == compress::RedundantHandling::kKeep
+                      ? "keep"
+                      : "mean-fill",
+                  row.ratio, row.psnr_db);
+    }
+
+    // 2. Block size.
+    for (const int bs : {4, 6, 8, 12}) {
+      const compress::SzLrCompressor codec(bs);
+      const auto row = core::run_compression_study(dataset, codec, 1e-3);
+      std::printf("szlr block=%-2d      CR=%7.2f  PSNR=%7.2f\n", bs,
+                  row.ratio, row.psnr_db);
+    }
+
+    // 3. Codec family.
+    for (const char* codec_name : {"sz-lr", "sz-interp", "zfp-like"}) {
+      const auto codec = compress::make_compressor(codec_name);
+      const auto row = core::run_compression_study(dataset, *codec, 1e-3);
+      std::printf("codec=%-10s    CR=%7.2f  PSNR=%7.2f  R-SSIM=%.3e\n",
+                  codec_name, row.ratio, row.psnr_db, row.rssim());
+    }
+
+    // 4. zMesh-style 1-D flattening vs per-patch 3-D (paper §1: 1-D
+    // rearrangement loses spatial locality).
+    {
+      const auto codec = compress::make_compressor("sz-lr");
+      const double flat = compress::compress_hierarchy_flat1d(
+                              dataset.hierarchy, *codec, 1e-3)
+                              .ratio();
+      const double patch =
+          compress::compress_hierarchy(dataset.hierarchy, *codec, 1e-3,
+                                       compress::RedundantHandling::kKeep)
+              .ratio();
+      std::printf("layout=zmesh-1d    CR=%7.2f   vs per-patch-3d CR=%7.2f\n",
+                  flat, patch);
+    }
+  }
+  return 0;
+}

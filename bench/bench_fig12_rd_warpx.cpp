@@ -1,0 +1,41 @@
+// Reproduces paper Figure 12: rate-distortion on the WarpX "Ez" field —
+// PSNR vs CR (12a) and R-SSIM vs CR in log scale (12b), SZ-L/R vs
+// SZ-Interp.
+//
+// Expected shape: SZ-Interp dominates on this smooth field (higher PSNR /
+// lower R-SSIM at equal CR).
+
+#include "bench_util.hpp"
+#include "compress/compressor.hpp"
+#include "core/datasets.hpp"
+#include "core/study.hpp"
+
+int main(int argc, char** argv) {
+  using namespace amrvis;
+  Cli cli;
+  cli.add_flag("dataset", "warpx", "dataset to sweep");
+  if (!bench::parse_standard_flags(cli, argc, argv)) return 0;
+
+  const core::DatasetSpec spec = core::dataset_spec(
+      cli.get("dataset"), cli.get_bool("full"),
+      static_cast<std::uint64_t>(cli.get_int("seed")));
+  const sim::SyntheticDataset dataset = core::make_dataset(spec);
+
+  bench::banner("Figure 12: rate-distortion on " + spec.name + " \"" +
+                    spec.field + "\"",
+                "series: PSNR vs CR and R-SSIM vs CR, SZ-L/R vs SZ-Interp");
+
+  const std::vector<double> ebs{5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2};
+  std::printf("%-10s %-8s %10s %10s %12s\n", "codec", "eb", "CR", "PSNR",
+              "R-SSIM");
+  for (const char* codec_name : {"sz-lr", "sz-interp"}) {
+    const auto codec = compress::make_compressor(codec_name);
+    const auto points = core::rate_distortion_sweep(dataset, *codec, ebs);
+    for (const auto& p : points)
+      std::printf("%-10s %-8.0e %10.2f %10.2f %12.3e\n", codec_name,
+                  p.rel_eb, p.ratio, p.psnr_db, p.rssim());
+  }
+  std::printf("\n(plot CR on x; sz-interp should sit above sz-lr in PSNR "
+              "and below in R-SSIM)\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Reproduces paper Table 2: CR / PSNR / SSIM / R-SSIM for
+// {WarpX, Nyx} x {SZ-L/R, SZ-Interp} x relative eb {1e-4, 1e-3, 1e-2}.
+//
+// Paper values for comparison (CR rows):
+//   WarpX SZ-L/R  23.7 / 31.4 / 42.3    SZ-Itp 32.4 / 45.1 / 52.6
+//   Nyx   SZ-L/R  14.6 / 28.6 / 61.9    SZ-Itp 15.8 / 34.7 / 77.9
+
+#include "bench_util.hpp"
+#include "compress/compressor.hpp"
+#include "core/datasets.hpp"
+#include "core/study.hpp"
+
+int main(int argc, char** argv) {
+  using namespace amrvis;
+  Cli cli;
+  if (!bench::parse_standard_flags(cli, argc, argv)) return 0;
+  const bool full = cli.get_bool("full");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  bench::banner("Table 2: detailed quantitative results",
+                "rows: CR, PSNR, SSIM, R-SSIM per codec");
+
+  const std::vector<double> ebs{1e-4, 1e-3, 1e-2};
+  std::printf("%-12s %-10s", "Application", "ErrorBound");
+  for (double eb : ebs) std::printf(" %12.0e", eb);
+  std::printf("\n");
+
+  for (const char* dataset_name : {"warpx", "nyx"}) {
+    const core::DatasetSpec spec =
+        core::dataset_spec(dataset_name, full, seed);
+    const sim::SyntheticDataset dataset = core::make_dataset(spec);
+    for (const char* codec_name : {"sz-lr", "sz-interp"}) {
+      const auto codec = compress::make_compressor(codec_name);
+      std::vector<core::StudyRow> rows;
+      for (double eb : ebs)
+        rows.push_back(core::run_compression_study(dataset, *codec, eb));
+
+      std::printf("%-12s %-10s", dataset_name, codec_name);
+      for (const auto& r : rows) std::printf(" %12.1f", r.ratio);
+      std::printf("  | CR\n");
+      std::printf("%-12s %-10s", "", "");
+      for (const auto& r : rows) std::printf(" %12.2f", r.psnr_db);
+      std::printf("  | PSNR\n");
+      std::printf("%-12s %-10s", "", "");
+      for (const auto& r : rows) std::printf(" %12.7f", r.ssim_value);
+      std::printf("  | SSIM\n");
+      std::printf("%-12s %-10s", "", "");
+      for (const auto& r : rows) std::printf(" %12.3e", r.rssim());
+      std::printf("  | R-SSIM\n");
+    }
+  }
+  return 0;
+}

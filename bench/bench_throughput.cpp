@@ -1,0 +1,103 @@
+// Compressor-stage throughput (extension; the paper reports no timing
+// table, but compression throughput is one of its three stated metrics,
+// §2.1). google-benchmark over: end-to-end compress/decompress for each
+// codec, plus the Huffman and LZSS stages in isolation.
+
+#include <benchmark/benchmark.h>
+
+#include "compress/compressor.hpp"
+#include "compress/huffman.hpp"
+#include "compress/lzss.hpp"
+#include "sim/fields.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace amrvis;
+
+Array3<double> bench_field() {
+  static const Array3<double> field = [] {
+    sim::WarpXLikeSpec spec;
+    return sim::warpx_like_ez({64, 64, 128}, spec);
+  }();
+  return field;
+}
+
+void BM_Compress(benchmark::State& state, const char* codec_name) {
+  const auto codec = compress::make_compressor(codec_name);
+  const Array3<double> data = bench_field();
+  const double abs_eb =
+      compress::resolve_abs_eb(compress::ErrorBoundMode::kRelative, 1e-3,
+                               data.span());
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    auto blob = codec->compress(data.view(), abs_eb);
+    bytes = blob.size();
+    benchmark::DoNotOptimize(blob);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          data.size() * static_cast<std::int64_t>(sizeof(double)));
+  state.counters["ratio"] =
+      static_cast<double>(data.size()) * sizeof(double) /
+      static_cast<double>(bytes);
+}
+
+void BM_Decompress(benchmark::State& state, const char* codec_name) {
+  const auto codec = compress::make_compressor(codec_name);
+  const Array3<double> data = bench_field();
+  const double abs_eb =
+      compress::resolve_abs_eb(compress::ErrorBoundMode::kRelative, 1e-3,
+                               data.span());
+  const Bytes blob = codec->compress(data.view(), abs_eb);
+  for (auto _ : state) {
+    auto out = codec->decompress(blob);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          data.size() * static_cast<std::int64_t>(sizeof(double)));
+}
+
+void BM_Huffman(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<std::uint32_t> syms;
+  for (int i = 0; i < 1 << 20; ++i)
+    syms.push_back(
+        static_cast<std::uint32_t>(32768 + std::lround(rng.normal() * 2)));
+  for (auto _ : state) {
+    auto blob = compress::huffman_encode(syms);
+    benchmark::DoNotOptimize(blob);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(syms.size()));
+}
+
+void BM_Lzss(benchmark::State& state) {
+  Rng rng(6);
+  Bytes input;
+  for (int i = 0; i < 1 << 20; ++i)
+    input.push_back(static_cast<std::uint8_t>(rng.next_below(16)));
+  for (auto _ : state) {
+    auto blob = compress::lzss_encode(input);
+    benchmark::DoNotOptimize(blob);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(input.size()));
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Compress, sz_lr, "sz-lr")->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Compress, sz_interp, "sz-interp")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Compress, zfp_like, "zfp-like")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Decompress, sz_lr, "sz-lr")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Decompress, sz_interp, "sz-interp")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Decompress, zfp_like, "zfp-like")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Huffman)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Lzss)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

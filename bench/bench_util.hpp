@@ -1,0 +1,31 @@
+#pragma once
+// Shared scaffolding for the paper-reproduction bench binaries: common
+// flags (--full for paper-scale grids, --seed, --csv) and table printing
+// helpers. Each bench regenerates one table or figure of the paper; see
+// DESIGN.md §4 for the index.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/cli.hpp"
+
+namespace amrvis::bench {
+
+/// Standard bench flags; returns false if --help was printed.
+inline bool parse_standard_flags(Cli& cli, int argc, char** argv) {
+  cli.add_flag("full", "0", "paper-scale grids (slow)");
+  cli.add_flag("seed", "42", "dataset generation seed");
+  return cli.parse(argc, argv);
+}
+
+/// Print a banner naming the paper artifact this bench regenerates.
+inline void banner(const std::string& artifact, const std::string& note) {
+  std::printf("==============================================================="
+              "=\n%s\n%s\n"
+              "================================================================"
+              "\n",
+              artifact.c_str(), note.c_str());
+}
+
+}  // namespace amrvis::bench

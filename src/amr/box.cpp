@@ -1,0 +1,37 @@
+#include "amr/box.hpp"
+
+namespace amrvis::amr {
+
+std::vector<Box> box_difference(const Box& a, const Box& b) {
+  std::vector<Box> out;
+  const auto overlap = a.intersect(b);
+  if (!overlap) {
+    out.push_back(a);
+    return out;
+  }
+  const Box& o = *overlap;
+  // Slab decomposition: peel off the six (at most) slabs of `a` outside
+  // `o`, axis by axis, so the result is disjoint.
+  Box rest = a;
+  for (int d = 0; d < 3; ++d) {
+    if (rest.lo()[d] < o.lo()[d]) {
+      IntVect hi = rest.hi();
+      hi[d] = o.lo()[d] - 1;
+      out.emplace_back(rest.lo(), hi);
+      IntVect lo = rest.lo();
+      lo[d] = o.lo()[d];
+      rest = Box{lo, rest.hi()};
+    }
+    if (rest.hi()[d] > o.hi()[d]) {
+      IntVect lo = rest.lo();
+      lo[d] = o.hi()[d] + 1;
+      out.emplace_back(lo, rest.hi());
+      IntVect hi = rest.hi();
+      hi[d] = o.hi()[d];
+      rest = Box{rest.lo(), hi};
+    }
+  }
+  return out;
+}
+
+}  // namespace amrvis::amr

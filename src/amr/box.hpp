@@ -1,0 +1,111 @@
+#pragma once
+// Integer index box (cell-centered, inclusive corners) — the analogue of
+// amrex::Box. A Box describes the index region [lo, hi] in each dimension.
+
+#include <optional>
+#include <ostream>
+#include <vector>
+
+#include "amr/intvect.hpp"
+#include "util/array3d.hpp"
+#include "util/error.hpp"
+
+namespace amrvis::amr {
+
+class Box {
+ public:
+  Box() = default;  // empty box
+  Box(IntVect lo, IntVect hi) : lo_(lo), hi_(hi) {
+    AMRVIS_REQUIRE_MSG(lo.all_le(hi), "Box: lo must be <= hi");
+  }
+
+  /// Box covering [0, n) in each dimension.
+  static Box from_shape(Shape3 shape) {
+    return {IntVect{0, 0, 0},
+            IntVect{shape.nx - 1, shape.ny - 1, shape.nz - 1}};
+  }
+
+  [[nodiscard]] IntVect lo() const { return lo_; }
+  [[nodiscard]] IntVect hi() const { return hi_; }
+  [[nodiscard]] IntVect size() const {
+    return hi_ - lo_ + IntVect::uniform(1);
+  }
+  [[nodiscard]] Shape3 shape() const {
+    const IntVect s = size();
+    return {s.x, s.y, s.z};
+  }
+  [[nodiscard]] std::int64_t num_cells() const { return shape().size(); }
+
+  [[nodiscard]] bool contains(IntVect p) const {
+    return lo_.all_le(p) && p.all_le(hi_);
+  }
+  [[nodiscard]] bool contains(const Box& other) const {
+    return contains(other.lo_) && contains(other.hi_);
+  }
+  [[nodiscard]] bool intersects(const Box& other) const {
+    return lo_.all_le(other.hi_) && other.lo_.all_le(hi_);
+  }
+
+  /// Intersection; nullopt if disjoint.
+  [[nodiscard]] std::optional<Box> intersect(const Box& other) const {
+    if (!intersects(other)) return std::nullopt;
+    return Box{elementwise_max(lo_, other.lo_),
+               elementwise_min(hi_, other.hi_)};
+  }
+
+  /// Refine by ratio r: each cell becomes an r^3 block of fine cells.
+  [[nodiscard]] Box refine(IntVect r) const {
+    return {lo_ * r, (hi_ + IntVect::uniform(1)) * r - IntVect::uniform(1)};
+  }
+  [[nodiscard]] Box refine(std::int64_t r) const {
+    return refine(IntVect::uniform(r));
+  }
+
+  /// Coarsen by ratio r (covering coarsen, matching amrex::coarsen).
+  [[nodiscard]] Box coarsen(IntVect r) const {
+    return {floor_div(lo_, r), floor_div(hi_, r)};
+  }
+  [[nodiscard]] Box coarsen(std::int64_t r) const {
+    return coarsen(IntVect::uniform(r));
+  }
+
+  /// Grow by `n` cells in every direction.
+  [[nodiscard]] Box grow(std::int64_t n) const {
+    return {lo_ - IntVect::uniform(n), hi_ + IntVect::uniform(n)};
+  }
+
+  /// Shift by `offset`.
+  [[nodiscard]] Box shift(IntVect offset) const {
+    return {lo_ + offset, hi_ + offset};
+  }
+
+  /// Node-centered extent: one more point per dimension (the vertices
+  /// surrounding the cells) — analogue of amrex::surroundingNodes.
+  [[nodiscard]] Box surrounding_nodes() const {
+    return {lo_, hi_ + IntVect::uniform(1)};
+  }
+
+  /// Flat index of cell p within this box (x fastest).
+  [[nodiscard]] std::int64_t flat_index(IntVect p) const {
+    AMRVIS_ASSERT(contains(p));
+    const IntVect s = size();
+    const IntVect q = p - lo_;
+    return (q.z * s.y + q.y) * s.x + q.x;
+  }
+
+  friend bool operator==(const Box&, const Box&) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, const Box& b) {
+    return os << '[' << b.lo_ << ".." << b.hi_ << ']';
+  }
+
+ private:
+  IntVect lo_{0, 0, 0};
+  IntVect hi_{-1, -1, -1};  // default: empty sentinel (lo > hi)
+};
+
+/// Subtract `b` from `a`: the set a \ b as a disjoint list of boxes
+/// (at most 6). Used to build uncovered-region lists.
+std::vector<Box> box_difference(const Box& a, const Box& b);
+
+}  // namespace amrvis::amr

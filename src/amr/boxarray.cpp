@@ -1,0 +1,68 @@
+#include "amr/boxarray.hpp"
+
+#include <deque>
+
+namespace amrvis::amr {
+
+std::int64_t BoxArray::num_cells() const {
+  std::int64_t n = 0;
+  for (const Box& b : boxes_) n += b.num_cells();
+  return n;
+}
+
+Box BoxArray::minimal_bounding_box() const {
+  if (boxes_.empty()) return Box{};
+  IntVect lo = boxes_.front().lo();
+  IntVect hi = boxes_.front().hi();
+  for (const Box& b : boxes_) {
+    lo = elementwise_min(lo, b.lo());
+    hi = elementwise_max(hi, b.hi());
+  }
+  return {lo, hi};
+}
+
+bool BoxArray::contains_cell(IntVect p) const {
+  for (const Box& b : boxes_)
+    if (b.contains(p)) return true;
+  return false;
+}
+
+bool BoxArray::covers(const Box& target) const {
+  // Work-list subtraction: carve every patch out of `target`; covered iff
+  // nothing remains.
+  std::deque<Box> work{target};
+  for (const Box& b : boxes_) {
+    std::deque<Box> next;
+    while (!work.empty()) {
+      Box piece = work.front();
+      work.pop_front();
+      for (const Box& rest : box_difference(piece, b)) next.push_back(rest);
+    }
+    work = std::move(next);
+    if (work.empty()) return true;
+  }
+  return work.empty();
+}
+
+bool BoxArray::is_disjoint() const {
+  for (std::size_t i = 0; i < boxes_.size(); ++i)
+    for (std::size_t j = i + 1; j < boxes_.size(); ++j)
+      if (boxes_[i].intersects(boxes_[j])) return false;
+  return true;
+}
+
+BoxArray BoxArray::refine(std::int64_t r) const {
+  std::vector<Box> out;
+  out.reserve(boxes_.size());
+  for (const Box& b : boxes_) out.push_back(b.refine(r));
+  return BoxArray{std::move(out)};
+}
+
+BoxArray BoxArray::coarsen(std::int64_t r) const {
+  std::vector<Box> out;
+  out.reserve(boxes_.size());
+  for (const Box& b : boxes_) out.push_back(b.coarsen(r));
+  return BoxArray{std::move(out)};
+}
+
+}  // namespace amrvis::amr

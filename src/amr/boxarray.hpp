@@ -1,0 +1,51 @@
+#pragma once
+// BoxArray: the set of patches making up one AMR level — the analogue of
+// amrex::BoxArray. Boxes may not overlap each other (checked on demand).
+
+#include <vector>
+
+#include "amr/box.hpp"
+
+namespace amrvis::amr {
+
+class BoxArray {
+ public:
+  BoxArray() = default;
+  explicit BoxArray(std::vector<Box> boxes) : boxes_(std::move(boxes)) {}
+
+  void push_back(const Box& b) { boxes_.push_back(b); }
+
+  [[nodiscard]] std::size_t size() const { return boxes_.size(); }
+  [[nodiscard]] bool empty() const { return boxes_.empty(); }
+  [[nodiscard]] const Box& operator[](std::size_t i) const {
+    return boxes_[i];
+  }
+  [[nodiscard]] const std::vector<Box>& boxes() const { return boxes_; }
+
+  [[nodiscard]] auto begin() const { return boxes_.begin(); }
+  [[nodiscard]] auto end() const { return boxes_.end(); }
+
+  /// Total number of cells across all boxes.
+  [[nodiscard]] std::int64_t num_cells() const;
+
+  /// Smallest box containing every patch; empty-box if none.
+  [[nodiscard]] Box minimal_bounding_box() const;
+
+  /// True if `p` lies inside any patch.
+  [[nodiscard]] bool contains_cell(IntVect p) const;
+
+  /// True if `b` is fully covered by the union of patches.
+  [[nodiscard]] bool covers(const Box& b) const;
+
+  /// True if no two patches overlap.
+  [[nodiscard]] bool is_disjoint() const;
+
+  /// Refine / coarsen every patch.
+  [[nodiscard]] BoxArray refine(std::int64_t r) const;
+  [[nodiscard]] BoxArray coarsen(std::int64_t r) const;
+
+ private:
+  std::vector<Box> boxes_;
+};
+
+}  // namespace amrvis::amr

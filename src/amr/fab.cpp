@@ -1,0 +1,17 @@
+#include "amr/fab.hpp"
+
+namespace amrvis::amr {
+
+void FArrayBox::copy_from(const FArrayBox& src) {
+  const auto overlap = box_.intersect(src.box());
+  if (!overlap) return;
+  const Box& o = *overlap;
+  for (std::int64_t k = o.lo().z; k <= o.hi().z; ++k)
+    for (std::int64_t j = o.lo().y; j <= o.hi().y; ++j)
+      for (std::int64_t i = o.lo().x; i <= o.hi().x; ++i) {
+        const IntVect p{i, j, k};
+        at(p) = src.at(p);
+      }
+}
+
+}  // namespace amrvis::amr

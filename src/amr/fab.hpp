@@ -1,0 +1,44 @@
+#pragma once
+// FArrayBox: a Box plus the field values over it — the analogue of
+// amrex::FArrayBox with one component. Values are stored x-fastest.
+
+#include <span>
+
+#include "amr/box.hpp"
+#include "util/array3d.hpp"
+
+namespace amrvis::amr {
+
+class FArrayBox {
+ public:
+  FArrayBox() = default;
+  explicit FArrayBox(const Box& box, double fill = 0.0)
+      : box_(box), data_(box.shape(), fill) {}
+
+  [[nodiscard]] const Box& box() const { return box_; }
+  [[nodiscard]] Shape3 shape() const { return data_.shape(); }
+  [[nodiscard]] std::int64_t size() const { return data_.size(); }
+
+  [[nodiscard]] std::span<double> values() { return data_.span(); }
+  [[nodiscard]] std::span<const double> values() const { return data_.span(); }
+  [[nodiscard]] View3<double> view() { return data_.view(); }
+  [[nodiscard]] View3<const double> view() const { return data_.view(); }
+
+  /// Value at global cell index p (must lie inside box()).
+  double& at(IntVect p) { return data_[box_.flat_index(p)]; }
+  [[nodiscard]] double at(IntVect p) const { return data_[box_.flat_index(p)]; }
+
+  /// Copy the overlap region from `src` (matching global indices).
+  void copy_from(const FArrayBox& src);
+
+  /// Fill every cell with `value`.
+  void set_all(double value) {
+    for (auto& v : data_.span()) v = value;
+  }
+
+ private:
+  Box box_;
+  Array3<double> data_;
+};
+
+}  // namespace amrvis::amr

@@ -1,0 +1,141 @@
+#include "amr/hierarchy.hpp"
+
+#include "amr/sampling.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace amrvis::amr {
+
+void AmrHierarchy::add_level(AmrLevel level) {
+  AMRVIS_REQUIRE_MSG(level.box_array.size() == level.fabs.size(),
+                     "AmrLevel: one FAB per box required");
+  for (std::size_t p = 0; p < level.fabs.size(); ++p)
+    AMRVIS_REQUIRE_MSG(level.fabs[p].box() == level.box_array[p],
+                       "AmrLevel: FAB box must match BoxArray entry");
+  AMRVIS_REQUIRE_MSG(level.box_array.is_disjoint(),
+                     "AmrLevel: patches must not overlap");
+  if (levels_.empty()) {
+    AMRVIS_REQUIRE_MSG(level.box_array.covers(level.domain),
+                       "level 0 must cover the whole domain");
+  } else {
+    const Box expected_domain = levels_.back().domain.refine(ref_ratio_);
+    AMRVIS_REQUIRE_MSG(level.domain == expected_domain,
+                       "finer domain must be refined coarser domain");
+    for (const Box& b : level.box_array)
+      AMRVIS_REQUIRE_MSG(level.domain.contains(b),
+                         "fine patch outside domain");
+  }
+  levels_.push_back(std::move(level));
+}
+
+std::int64_t AmrHierarchy::ratio_to_finest(int l) const {
+  std::int64_t r = 1;
+  for (int i = l; i + 1 < num_levels(); ++i) r *= ref_ratio_;
+  return r;
+}
+
+std::vector<Array3<std::uint8_t>> AmrHierarchy::covered_masks(int l) const {
+  const AmrLevel& lvl = level(l);
+  std::vector<Array3<std::uint8_t>> masks;
+  masks.reserve(lvl.fabs.size());
+  // Coarsened fine boxes (empty for the finest level).
+  std::vector<Box> fine_coarsened;
+  if (l + 1 < num_levels())
+    for (const Box& fb : level(l + 1).box_array)
+      fine_coarsened.push_back(fb.coarsen(ref_ratio_));
+
+  for (const Box& patch : lvl.box_array) {
+    Array3<std::uint8_t> mask(patch.shape(), 0);
+    for (const Box& cb : fine_coarsened) {
+      const auto overlap = patch.intersect(cb);
+      if (!overlap) continue;
+      const Box& o = *overlap;
+      for (std::int64_t k = o.lo().z; k <= o.hi().z; ++k)
+        for (std::int64_t j = o.lo().y; j <= o.hi().y; ++j)
+          for (std::int64_t i = o.lo().x; i <= o.hi().x; ++i)
+            mask[patch.flat_index({i, j, k})] = 1;
+    }
+    masks.push_back(std::move(mask));
+  }
+  return masks;
+}
+
+Array3<double> AmrHierarchy::composite_uniform() const {
+  AMRVIS_REQUIRE(num_levels() >= 1);
+  const Box fine_domain = level(num_levels() - 1).domain;
+  Array3<double> out(fine_domain.shape());
+  auto ov = out.view();
+  // Paint coarse-to-fine so finer data overwrites redundant coarse data.
+  for (int l = 0; l < num_levels(); ++l) {
+    const AmrLevel& lvl = level(l);
+    const std::int64_t r = ratio_to_finest(l);
+    for (std::size_t p = 0; p < lvl.fabs.size(); ++p) {
+      const FArrayBox& fab = lvl.fabs[p];
+      const Box fine_box = fab.box().refine(r);
+      parallel_for(fine_box.shape().nz, [&](std::int64_t kk) {
+        const std::int64_t k = fine_box.lo().z + kk;
+        for (std::int64_t j = fine_box.lo().y; j <= fine_box.hi().y; ++j)
+          for (std::int64_t i = fine_box.lo().x; i <= fine_box.hi().x; ++i) {
+            const IntVect coarse_cell = floor_div(
+                IntVect{i, j, k}, IntVect::uniform(r));
+            ov(i - fine_domain.lo().x, j - fine_domain.lo().y,
+               k - fine_domain.lo().z) = fab.at(coarse_cell);
+          }
+      });
+    }
+  }
+  return out;
+}
+
+std::vector<LevelStats> AmrHierarchy::level_stats() const {
+  std::vector<LevelStats> stats;
+  const std::int64_t finest_cells =
+      level(num_levels() - 1).domain.num_cells();
+  for (int l = 0; l < num_levels(); ++l) {
+    const AmrLevel& lvl = level(l);
+    LevelStats s;
+    s.level = l;
+    s.domain_shape = lvl.domain.shape();
+    s.num_patches = static_cast<std::int64_t>(lvl.box_array.size());
+    s.num_cells = lvl.num_cells();
+    std::int64_t covered = 0;
+    for (const auto& mask : covered_masks(l))
+      for (std::int64_t i = 0; i < mask.size(); ++i) covered += mask[i];
+    s.covered_fraction =
+        s.num_cells > 0
+            ? static_cast<double>(covered) / static_cast<double>(s.num_cells)
+            : 0.0;
+    const std::int64_t r = ratio_to_finest(l);
+    const std::int64_t contributed_fine_cells =
+        (s.num_cells - covered) * r * r * r;
+    s.density = static_cast<double>(contributed_fine_cells) /
+                static_cast<double>(finest_cells);
+    stats.push_back(s);
+  }
+  return stats;
+}
+
+std::int64_t AmrHierarchy::total_stored_cells() const {
+  std::int64_t n = 0;
+  for (const AmrLevel& lvl : levels_) n += lvl.num_cells();
+  return n;
+}
+
+void AmrHierarchy::synchronize_coarse_from_fine() {
+  for (int l = num_levels() - 2; l >= 0; --l) {
+    AmrLevel& coarse = levels_[static_cast<std::size_t>(l)];
+    const AmrLevel& fine = levels_[static_cast<std::size_t>(l + 1)];
+    for (const FArrayBox& ffab : fine.fabs) {
+      // Average the fine patch down and copy into every coarse patch it
+      // touches.
+      const Box cbox = ffab.box().coarsen(ref_ratio_);
+      Array3<double> avg = coarsen_average(ffab.view(), ref_ratio_);
+      FArrayBox cfab(cbox);
+      std::copy(avg.span().begin(), avg.span().end(),
+                cfab.values().begin());
+      for (FArrayBox& target : coarse.fabs) target.copy_from(cfab);
+    }
+  }
+}
+
+}  // namespace amrvis::amr

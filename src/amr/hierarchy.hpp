@@ -1,0 +1,92 @@
+#pragma once
+// Patch-based AMR hierarchy — the analogue of a single-component AMReX
+// MultiFab hierarchy.
+//
+// Semantics (matching AMReX / the paper §2.2):
+// - Level 0 covers the whole problem domain at the coarsest resolution.
+// - Each finer level is a union of patches (BoxArray) in that level's
+//   index space; refinement ratio between consecutive levels is fixed.
+// - Patch-based redundancy: every fine patch is also represented in the
+//   coarse level underneath it ("redundant coarse data", the 0D point of
+//   paper Fig. 3). Post-analysis flattens the hierarchy to the finest
+//   resolution, omitting the redundant coarse values.
+
+#include <cstdint>
+#include <vector>
+
+#include "amr/boxarray.hpp"
+#include "amr/fab.hpp"
+
+namespace amrvis::amr {
+
+/// One refinement level: a set of patches with data.
+struct AmrLevel {
+  BoxArray box_array;            ///< patch index regions (level index space)
+  std::vector<FArrayBox> fabs;   ///< one FAB per patch, same order
+  Box domain;                    ///< whole problem domain at this level
+
+  [[nodiscard]] std::int64_t num_cells() const {
+    return box_array.num_cells();
+  }
+};
+
+/// Per-level contribution statistics (paper Table 1).
+struct LevelStats {
+  int level = 0;
+  Shape3 domain_shape{};       ///< full-domain grid size at this level
+  std::int64_t num_patches = 0;
+  std::int64_t num_cells = 0;  ///< cells stored at this level
+  double covered_fraction = 0; ///< fraction of this level covered by finer
+  double density = 0;          ///< fraction of composite contributed ("Density")
+};
+
+class AmrHierarchy {
+ public:
+  AmrHierarchy() = default;
+  /// `ref_ratio` applies between every pair of consecutive levels.
+  explicit AmrHierarchy(std::int64_t ref_ratio) : ref_ratio_(ref_ratio) {}
+
+  /// Append a level; level 0 must cover its whole domain, every finer
+  /// level's patches must be contained in the refined coarser domain.
+  void add_level(AmrLevel level);
+
+  [[nodiscard]] int num_levels() const {
+    return static_cast<int>(levels_.size());
+  }
+  [[nodiscard]] std::int64_t ref_ratio() const { return ref_ratio_; }
+  [[nodiscard]] const AmrLevel& level(int l) const { return levels_.at(l); }
+  [[nodiscard]] AmrLevel& level(int l) { return levels_.at(l); }
+
+  /// Ratio between level `l` index space and the finest index space.
+  [[nodiscard]] std::int64_t ratio_to_finest(int l) const;
+
+  /// Mask over level `l`'s patch cells: 1 where the cell is covered by a
+  /// level l+1 patch (redundant coarse data), 0 otherwise. One mask FAB per
+  /// patch, aligned with level(l).fabs.
+  [[nodiscard]] std::vector<Array3<std::uint8_t>> covered_masks(int l) const;
+
+  /// Flatten to a uniform grid at the finest resolution: up-sample each
+  /// level (piecewise constant) and overwrite with finer data where
+  /// present, omitting redundant coarse values (paper Fig. 3 right).
+  [[nodiscard]] Array3<double> composite_uniform() const;
+
+  /// Per-level statistics including the paper's per-level "Density":
+  /// the fraction of the finest-resolution composite whose values come
+  /// from this level (uncovered cells scaled to finest resolution).
+  [[nodiscard]] std::vector<LevelStats> level_stats() const;
+
+  /// Total cells actually stored (all levels, including redundant data).
+  [[nodiscard]] std::int64_t total_stored_cells() const;
+
+  /// Rebuild the redundant coarse data: for every level l < finest,
+  /// overwrite covered coarse cells with the conservative average of the
+  /// fine data above them (keeps patch-based redundancy consistent after
+  /// fine levels change).
+  void synchronize_coarse_from_fine();
+
+ private:
+  std::int64_t ref_ratio_ = 2;
+  std::vector<AmrLevel> levels_;
+};
+
+}  // namespace amrvis::amr

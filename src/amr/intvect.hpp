@@ -1,0 +1,77 @@
+#pragma once
+// 3-component integer vector used for cell indices, box corners and
+// refinement ratios — the analogue of amrex::IntVect.
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <ostream>
+
+namespace amrvis::amr {
+
+struct IntVect {
+  std::int64_t x = 0;
+  std::int64_t y = 0;
+  std::int64_t z = 0;
+
+  constexpr IntVect() = default;
+  constexpr IntVect(std::int64_t xx, std::int64_t yy, std::int64_t zz)
+      : x(xx), y(yy), z(zz) {}
+  /// Uniform vector (s, s, s).
+  static constexpr IntVect uniform(std::int64_t s) { return {s, s, s}; }
+
+  constexpr std::int64_t operator[](int d) const {
+    return d == 0 ? x : (d == 1 ? y : z);
+  }
+  std::int64_t& operator[](int d) { return d == 0 ? x : (d == 1 ? y : z); }
+
+  friend constexpr IntVect operator+(IntVect a, IntVect b) {
+    return {a.x + b.x, a.y + b.y, a.z + b.z};
+  }
+  friend constexpr IntVect operator-(IntVect a, IntVect b) {
+    return {a.x - b.x, a.y - b.y, a.z - b.z};
+  }
+  friend constexpr IntVect operator*(IntVect a, IntVect b) {
+    return {a.x * b.x, a.y * b.y, a.z * b.z};
+  }
+  friend constexpr IntVect operator*(IntVect a, std::int64_t s) {
+    return {a.x * s, a.y * s, a.z * s};
+  }
+  friend constexpr bool operator==(IntVect a, IntVect b) {
+    return a.x == b.x && a.y == b.y && a.z == b.z;
+  }
+  /// Componentwise "all <=" — a partial order, used for box containment.
+  [[nodiscard]] constexpr bool all_le(IntVect b) const {
+    return x <= b.x && y <= b.y && z <= b.z;
+  }
+  [[nodiscard]] constexpr bool all_lt(IntVect b) const {
+    return x < b.x && y < b.y && z < b.z;
+  }
+  [[nodiscard]] constexpr bool all_ge(IntVect b) const {
+    return x >= b.x && y >= b.y && z >= b.z;
+  }
+
+  friend IntVect elementwise_min(IntVect a, IntVect b) {
+    return {std::min(a.x, b.x), std::min(a.y, b.y), std::min(a.z, b.z)};
+  }
+  friend IntVect elementwise_max(IntVect a, IntVect b) {
+    return {std::max(a.x, b.x), std::max(a.y, b.y), std::max(a.z, b.z)};
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, IntVect v) {
+    return os << '(' << v.x << ',' << v.y << ',' << v.z << ')';
+  }
+};
+
+/// Floor division that rounds toward negative infinity (needed when
+/// coarsening boxes with negative corners, matching AMReX semantics).
+constexpr std::int64_t floor_div(std::int64_t a, std::int64_t b) {
+  const std::int64_t q = a / b;
+  return (a % b != 0 && ((a < 0) != (b < 0))) ? q - 1 : q;
+}
+
+constexpr IntVect floor_div(IntVect a, IntVect b) {
+  return {floor_div(a.x, b.x), floor_div(a.y, b.y), floor_div(a.z, b.z)};
+}
+
+}  // namespace amrvis::amr

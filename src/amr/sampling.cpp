@@ -1,0 +1,121 @@
+#include "amr/sampling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace amrvis::amr {
+
+namespace {
+Shape3 refined_shape(Shape3 s, std::int64_t r) {
+  return {s.nx * r, s.ny * r, s.nz * r};
+}
+}  // namespace
+
+Array3<double> upsample_nearest(View3<const double> coarse, std::int64_t r) {
+  AMRVIS_REQUIRE(r >= 1);
+  const Shape3 cs = coarse.shape();
+  Array3<double> fine(refined_shape(cs, r));
+  auto fv = fine.view();
+  const Shape3 fs = fine.shape();
+  parallel_for(fs.nz, [&](std::int64_t k) {
+    for (std::int64_t j = 0; j < fs.ny; ++j)
+      for (std::int64_t i = 0; i < fs.nx; ++i)
+        fv(i, j, k) = coarse(i / r, j / r, k / r);
+  });
+  return fine;
+}
+
+Array3<double> upsample_trilinear(View3<const double> coarse, std::int64_t r) {
+  AMRVIS_REQUIRE(r >= 1);
+  const Shape3 cs = coarse.shape();
+  Array3<double> fine(refined_shape(cs, r));
+  auto fv = fine.view();
+  const Shape3 fs = fine.shape();
+  const double inv_r = 1.0 / static_cast<double>(r);
+
+  // Sample position of fine cell center f in coarse index space.
+  auto pos = [&](std::int64_t f) {
+    return (static_cast<double>(f) + 0.5) * inv_r - 0.5;
+  };
+  // Clamped base index + weight along one axis.
+  auto axis = [&](double x, std::int64_t n, std::int64_t& i0, double& w) {
+    const double xf = std::floor(x);
+    i0 = static_cast<std::int64_t>(xf);
+    w = x - xf;
+    if (i0 < 0) {
+      i0 = 0;
+      w = 0.0;
+    }
+    if (i0 >= n - 1) {
+      i0 = std::max<std::int64_t>(n - 2, 0);
+      w = (n == 1) ? 0.0 : 1.0;
+    }
+  };
+
+  parallel_for(fs.nz, [&](std::int64_t k) {
+    std::int64_t k0;
+    double wz;
+    axis(pos(k), cs.nz, k0, wz);
+    const std::int64_t k1 = std::min(k0 + 1, cs.nz - 1);
+    for (std::int64_t j = 0; j < fs.ny; ++j) {
+      std::int64_t j0;
+      double wy;
+      axis(pos(j), cs.ny, j0, wy);
+      const std::int64_t j1 = std::min(j0 + 1, cs.ny - 1);
+      for (std::int64_t i = 0; i < fs.nx; ++i) {
+        std::int64_t i0;
+        double wx;
+        axis(pos(i), cs.nx, i0, wx);
+        const std::int64_t i1 = std::min(i0 + 1, cs.nx - 1);
+        const double c00 =
+            coarse(i0, j0, k0) * (1 - wx) + coarse(i1, j0, k0) * wx;
+        const double c10 =
+            coarse(i0, j1, k0) * (1 - wx) + coarse(i1, j1, k0) * wx;
+        const double c01 =
+            coarse(i0, j0, k1) * (1 - wx) + coarse(i1, j0, k1) * wx;
+        const double c11 =
+            coarse(i0, j1, k1) * (1 - wx) + coarse(i1, j1, k1) * wx;
+        const double c0 = c00 * (1 - wy) + c10 * wy;
+        const double c1 = c01 * (1 - wy) + c11 * wy;
+        fv(i, j, k) = c0 * (1 - wz) + c1 * wz;
+      }
+    }
+  });
+  return fine;
+}
+
+Array3<double> coarsen_average(View3<const double> fine, std::int64_t r) {
+  AMRVIS_REQUIRE(r >= 1);
+  const Shape3 fs = fine.shape();
+  auto coarse_extent = [&](std::int64_t n) {
+    if (n == 1) return std::int64_t{1};
+    AMRVIS_REQUIRE_MSG(n % r == 0,
+                       "coarsen_average: extent not divisible by ratio");
+    return n / r;
+  };
+  const Shape3 cs{coarse_extent(fs.nx), coarse_extent(fs.ny),
+                  coarse_extent(fs.nz)};
+  Array3<double> coarse(cs);
+  auto cv = coarse.view();
+  const std::int64_t rx = fs.nx == 1 ? 1 : r;
+  const std::int64_t ry = fs.ny == 1 ? 1 : r;
+  const std::int64_t rz = fs.nz == 1 ? 1 : r;
+  const double inv = 1.0 / static_cast<double>(rx * ry * rz);
+  parallel_for(cs.nz, [&](std::int64_t K) {
+    for (std::int64_t J = 0; J < cs.ny; ++J)
+      for (std::int64_t I = 0; I < cs.nx; ++I) {
+        double sum = 0.0;
+        for (std::int64_t dz = 0; dz < rz; ++dz)
+          for (std::int64_t dy = 0; dy < ry; ++dy)
+            for (std::int64_t dx = 0; dx < rx; ++dx)
+              sum += fine(I * rx + dx, J * ry + dy, K * rz + dz);
+        cv(I, J, K) = sum * inv;
+      }
+  });
+  return coarse;
+}
+
+}  // namespace amrvis::amr

@@ -1,0 +1,26 @@
+#pragma once
+// Resolution transfer operators between AMR levels.
+//
+// - upsample_nearest: piecewise-constant injection coarse -> fine (the
+//   default "up-sample and merge" used when flattening a patch-based
+//   hierarchy to a uniform grid, paper Fig. 3 right).
+// - upsample_trilinear: cell-centered trilinear prolongation.
+// - coarsen_average: conservative average fine -> coarse (used when
+//   building the redundant coarse data underneath fine patches).
+
+#include "util/array3d.hpp"
+
+namespace amrvis::amr {
+
+/// Fine(i) = Coarse(i / r) for every fine cell. Output shape = in * r.
+Array3<double> upsample_nearest(View3<const double> coarse, std::int64_t r);
+
+/// Cell-centered trilinear interpolation by factor r. Fine cell centers at
+/// (i + 0.5)/r - 0.5 in coarse index space, clamped at the boundary.
+Array3<double> upsample_trilinear(View3<const double> coarse, std::int64_t r);
+
+/// Coarse(I) = average of the r^3 fine cells it covers. Extents of `fine`
+/// must be divisible by r (per dimension, unless that extent is 1).
+Array3<double> coarsen_average(View3<const double> fine, std::int64_t r);
+
+}  // namespace amrvis::amr

@@ -1,0 +1,133 @@
+#include "compress/amr_compress.hpp"
+
+#include <algorithm>
+
+#include "util/parallel.hpp"
+
+namespace amrvis::compress {
+
+using amr::AmrHierarchy;
+using amr::AmrLevel;
+using amr::Box;
+using amr::FArrayBox;
+
+std::size_t AmrCompressed::compressed_bytes() const {
+  std::size_t n = 0;
+  for (const auto& lvl : levels)
+    for (const auto& p : lvl.patches) n += p.blob.size();
+  return n;
+}
+
+std::size_t AmrCompressed::original_bytes() const {
+  return static_cast<std::size_t>(original_cells) * sizeof(double);
+}
+
+MinMax hierarchy_min_max(const AmrHierarchy& hier) {
+  MinMax mm;
+  for (int l = 0; l < hier.num_levels(); ++l)
+    for (const FArrayBox& fab : hier.level(l).fabs) {
+      const MinMax fm = min_max(fab.values());
+      mm.min = std::min(mm.min, fm.min);
+      mm.max = std::max(mm.max, fm.max);
+    }
+  return mm;
+}
+
+AmrCompressed compress_hierarchy(const AmrHierarchy& hier,
+                                 const Compressor& comp, double rel_eb,
+                                 RedundantHandling handling) {
+  AMRVIS_REQUIRE(hier.num_levels() >= 1);
+  const MinMax mm = hierarchy_min_max(hier);
+  const double range = mm.range() > 0 ? mm.range()
+                                      : std::max(std::abs(mm.max), 1.0);
+  const double abs_eb = rel_eb * range;
+
+  AmrCompressed out;
+  out.compressor_name = comp.name();
+  out.rel_eb = rel_eb;
+  out.abs_eb = abs_eb;
+  out.handling = handling;
+  out.ref_ratio = hier.ref_ratio();
+  out.original_cells = hier.total_stored_cells();
+
+  for (int l = 0; l < hier.num_levels(); ++l) {
+    const AmrLevel& lvl = hier.level(l);
+    out.domains.push_back(lvl.domain);
+    out.boxes.emplace_back(lvl.box_array.boxes());
+
+    // Optionally neutralize redundant coarse cells before compression.
+    std::vector<Array3<std::uint8_t>> masks;
+    if (handling == RedundantHandling::kMeanFill &&
+        l + 1 < hier.num_levels())
+      masks = hier.covered_masks(l);
+
+    AmrCompressedLevel clevel;
+    clevel.patches.resize(lvl.fabs.size());
+    parallel_for(static_cast<std::int64_t>(lvl.fabs.size()),
+                 [&](std::int64_t p) {
+      const FArrayBox& fab = lvl.fabs[static_cast<std::size_t>(p)];
+      if (!masks.empty()) {
+        const auto& mask = masks[static_cast<std::size_t>(p)];
+        // Mean of the uncovered cells; fall back to overall mean if the
+        // patch is fully covered.
+        double sum = 0.0;
+        std::int64_t n_unc = 0;
+        const auto vals = fab.values();
+        for (std::int64_t i = 0; i < fab.size(); ++i)
+          if (!mask[i]) {
+            sum += vals[static_cast<std::size_t>(i)];
+            ++n_unc;
+          }
+        double fill = 0.0;
+        if (n_unc > 0) {
+          fill = sum / static_cast<double>(n_unc);
+        } else {
+          fill = mean(vals);
+        }
+        FArrayBox filled = fab;
+        auto fvals = filled.values();
+        for (std::int64_t i = 0; i < fab.size(); ++i)
+          if (mask[i]) fvals[static_cast<std::size_t>(i)] = fill;
+        clevel.patches[static_cast<std::size_t>(p)].blob =
+            comp.compress(filled.view(), abs_eb);
+      } else {
+        clevel.patches[static_cast<std::size_t>(p)].blob =
+            comp.compress(fab.view(), abs_eb);
+      }
+    });
+    out.levels.push_back(std::move(clevel));
+  }
+  return out;
+}
+
+AmrHierarchy decompress_hierarchy(const AmrCompressed& compressed,
+                                  const Compressor& comp) {
+  AMRVIS_REQUIRE_MSG(comp.name() == compressed.compressor_name,
+                     "decompress_hierarchy: codec mismatch");
+  AmrHierarchy hier(compressed.ref_ratio);
+  for (std::size_t l = 0; l < compressed.levels.size(); ++l) {
+    AmrLevel lvl;
+    lvl.domain = compressed.domains[l];
+    lvl.box_array = amr::BoxArray(compressed.boxes[l]);
+    lvl.fabs.resize(compressed.boxes[l].size());
+    const auto& clevel = compressed.levels[l];
+    parallel_for(static_cast<std::int64_t>(clevel.patches.size()),
+                 [&](std::int64_t p) {
+      const Box& box = compressed.boxes[l][static_cast<std::size_t>(p)];
+      Array3<double> data =
+          comp.decompress(clevel.patches[static_cast<std::size_t>(p)].blob);
+      AMRVIS_REQUIRE_MSG(data.shape() == box.shape(),
+                         "decompress_hierarchy: shape mismatch");
+      FArrayBox fab(box);
+      std::copy(data.span().begin(), data.span().end(),
+                fab.values().begin());
+      lvl.fabs[static_cast<std::size_t>(p)] = std::move(fab);
+    });
+    hier.add_level(std::move(lvl));
+  }
+  if (compressed.handling == RedundantHandling::kMeanFill)
+    hier.synchronize_coarse_from_fine();
+  return hier;
+}
+
+}  // namespace amrvis::compress

@@ -1,0 +1,73 @@
+#pragma once
+// AMR-aware compression: apply an error-bounded compressor to a
+// patch-based hierarchy the way the paper's pipeline does.
+//
+// - Each patch (FArrayBox) is compressed independently at every level.
+// - The error bound is relative to the *global* value range of the
+//   hierarchy (SZ REL mode, the paper's configuration), so one absolute
+//   bound is shared by all patches.
+// - Redundant coarse data (coarse cells covered by fine patches, paper
+//   Fig. 3) is optionally neutralized before compression ("mean-fill"):
+//   covered cells are replaced by the patch mean so they cost almost
+//   nothing, and are rebuilt from the decompressed fine data afterwards
+//   (the TAC/AMRIC optimization discussed in §2.2).
+
+#include <vector>
+
+#include "amr/hierarchy.hpp"
+#include "compress/compressor.hpp"
+#include "util/stats.hpp"
+
+namespace amrvis::compress {
+
+enum class RedundantHandling {
+  kKeep,      ///< compress coarse levels as stored (redundant data included)
+  kMeanFill,  ///< neutralize covered cells, rebuild them after decompression
+};
+
+struct AmrCompressedPatch {
+  Bytes blob;
+};
+
+struct AmrCompressedLevel {
+  std::vector<AmrCompressedPatch> patches;
+};
+
+/// Result of compressing a hierarchy; retains everything needed to
+/// decompress into an identically-structured hierarchy.
+struct AmrCompressed {
+  std::string compressor_name;
+  double rel_eb = 0.0;
+  double abs_eb = 0.0;
+  RedundantHandling handling = RedundantHandling::kKeep;
+  std::int64_t ref_ratio = 2;
+  std::vector<AmrCompressedLevel> levels;
+  std::vector<amr::Box> domains;           ///< per-level domain boxes
+  std::vector<std::vector<amr::Box>> boxes;  ///< per-level patch boxes
+
+  [[nodiscard]] std::size_t compressed_bytes() const;
+  /// Bytes of the original stored doubles (all levels, incl. redundant).
+  [[nodiscard]] std::size_t original_bytes() const;
+  [[nodiscard]] double ratio() const {
+    return static_cast<double>(original_bytes()) /
+           static_cast<double>(compressed_bytes());
+  }
+
+  std::int64_t original_cells = 0;
+};
+
+/// Compress every patch of `hier` with `comp` at relative bound `rel_eb`.
+AmrCompressed compress_hierarchy(const amr::AmrHierarchy& hier,
+                                 const Compressor& comp, double rel_eb,
+                                 RedundantHandling handling);
+
+/// Rebuild a hierarchy (same structure) from an AmrCompressed. With
+/// kMeanFill, covered coarse cells are restored by averaging the
+/// decompressed fine data (synchronize_coarse_from_fine).
+amr::AmrHierarchy decompress_hierarchy(const AmrCompressed& compressed,
+                                       const Compressor& comp);
+
+/// Global min/max over all stored cells of the hierarchy.
+MinMax hierarchy_min_max(const amr::AmrHierarchy& hier);
+
+}  // namespace amrvis::compress

@@ -1,0 +1,33 @@
+#include "compress/compressor.hpp"
+
+#include "compress/interp.hpp"
+#include "compress/szlr.hpp"
+#include "compress/zfp_like.hpp"
+#include "util/stats.hpp"
+
+namespace amrvis::compress {
+
+double resolve_abs_eb(ErrorBoundMode mode, double eb,
+                      std::span<const double> data) {
+  AMRVIS_REQUIRE_MSG(eb > 0.0, "error bound must be positive");
+  if (mode == ErrorBoundMode::kAbsolute) return eb;
+  const MinMax mm = min_max(data);
+  const double range = mm.range();
+  if (range <= 0.0) {
+    // Constant field: any positive absolute bound is valid; pick one tied
+    // to the magnitude so the quantizer has a sensible bin width.
+    const double magnitude = std::max(std::abs(mm.max), 1.0);
+    return eb * magnitude;
+  }
+  return eb * range;
+}
+
+std::unique_ptr<Compressor> make_compressor(const std::string& name) {
+  if (name == "sz-lr") return std::make_unique<SzLrCompressor>();
+  if (name == "sz-interp") return std::make_unique<SzInterpCompressor>();
+  if (name == "zfp-like") return std::make_unique<ZfpLikeCompressor>();
+  throw Error("unknown compressor: " + name +
+              " (expected sz-lr, sz-interp, or zfp-like)");
+}
+
+}  // namespace amrvis::compress

@@ -1,0 +1,55 @@
+#pragma once
+// Top-level error-bounded lossy compressor interface.
+//
+// All codecs consume a 3-D view of doubles and an *absolute* error bound,
+// and emit a self-describing byte blob (shape and parameters included).
+// Relative error bounds (the mode used throughout the paper) are resolved
+// against the data value range by resolve_abs_eb().
+
+#include <memory>
+#include <string>
+
+#include "util/array3d.hpp"
+#include "util/bytestream.hpp"
+
+namespace amrvis::compress {
+
+enum class ErrorBoundMode {
+  kAbsolute,  ///< bound on |x - x'| directly
+  kRelative,  ///< bound is eb * (max - min) of the input
+};
+
+/// Convert a (mode, value) error bound into the absolute bound for `data`.
+/// For constant data in relative mode, falls back to a tiny absolute bound
+/// so the quantizer stays well-defined.
+double resolve_abs_eb(ErrorBoundMode mode, double eb,
+                      std::span<const double> data);
+
+class Compressor {
+ public:
+  virtual ~Compressor() = default;
+
+  /// Short identifier, e.g. "sz-lr".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Compress with an absolute error bound; guarantees
+  /// max |x - decompress(compress(x))| <= abs_eb.
+  [[nodiscard]] virtual Bytes compress(View3<const double> data,
+                                       double abs_eb) const = 0;
+
+  /// Decompress a blob produced by this codec's compress().
+  [[nodiscard]] virtual Array3<double> decompress(
+      std::span<const std::uint8_t> blob) const = 0;
+};
+
+/// Factory: "sz-lr", "sz-interp", or "zfp-like". Throws on unknown names.
+std::unique_ptr<Compressor> make_compressor(const std::string& name);
+
+/// Convenience: compression ratio of original doubles vs blob size.
+inline double compression_ratio(std::int64_t num_values,
+                                std::size_t compressed_bytes) {
+  return static_cast<double>(num_values) * static_cast<double>(sizeof(double)) /
+         static_cast<double>(compressed_bytes);
+}
+
+}  // namespace amrvis::compress

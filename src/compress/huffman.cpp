@@ -1,0 +1,236 @@
+#include "compress/huffman.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <map>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace amrvis::compress {
+
+namespace {
+
+constexpr int kMaxCodeLen = 32;
+
+struct SymbolLength {
+  std::uint32_t symbol;
+  std::uint8_t length;
+};
+
+/// Package-merge would be the textbook length-limited algorithm; symbol
+/// counts here are <= 2^16 so a plain Huffman tree never exceeds ~44 bits
+/// only in adversarial cases. We build the tree, and if a length exceeds
+/// the cap we flatten the worst tail (heuristic depth clamp + Kraft fix).
+std::vector<SymbolLength> build_code_lengths(
+    const std::map<std::uint32_t, std::uint64_t>& freq) {
+  struct Node {
+    std::uint64_t weight;
+    int left = -1, right = -1;
+    std::uint32_t symbol = 0;
+  };
+  std::vector<Node> nodes;
+  using HeapItem = std::pair<std::uint64_t, int>;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  for (const auto& [sym, count] : freq) {
+    nodes.push_back({count, -1, -1, sym});
+    heap.emplace(count, static_cast<int>(nodes.size() - 1));
+  }
+  AMRVIS_REQUIRE(!nodes.empty());
+  if (nodes.size() == 1)
+    return {{nodes[0].symbol, 1}};
+  while (heap.size() > 1) {
+    auto [wa, a] = heap.top();
+    heap.pop();
+    auto [wb, b] = heap.top();
+    heap.pop();
+    nodes.push_back({wa + wb, a, b, 0});
+    heap.emplace(wa + wb, static_cast<int>(nodes.size() - 1));
+  }
+
+  std::vector<SymbolLength> out;
+  // Iterative DFS assigning depths.
+  std::vector<std::pair<int, int>> stack{{static_cast<int>(nodes.size()) - 1,
+                                          0}};
+  while (!stack.empty()) {
+    auto [idx, depth] = stack.back();
+    stack.pop_back();
+    const Node& n = nodes[static_cast<std::size_t>(idx)];
+    if (n.left < 0) {
+      out.push_back({n.symbol, static_cast<std::uint8_t>(
+                                   std::min(depth, kMaxCodeLen))});
+    } else {
+      stack.emplace_back(n.left, depth + 1);
+      stack.emplace_back(n.right, depth + 1);
+    }
+  }
+
+  // Kraft repair after clamping: while oversubscribed, lengthen the
+  // shortest clamped-adjacent codes. (Clamping is extremely rare with
+  // quantizer outputs; correctness is what matters.)
+  auto kraft = [&out] {
+    long double k = 0;
+    for (const auto& sl : out) k += std::pow(2.0L, -int(sl.length));
+    return k;
+  };
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.length != b.length ? a.length < b.length : a.symbol < b.symbol;
+  });
+  while (kraft() > 1.0L + 1e-18L) {
+    // Increase the length of the longest code that is still < cap.
+    bool changed = false;
+    for (auto it = out.rbegin(); it != out.rend(); ++it) {
+      if (it->length < kMaxCodeLen) {
+        ++it->length;
+        changed = true;
+        break;
+      }
+    }
+    AMRVIS_REQUIRE_MSG(changed, "huffman: cannot satisfy Kraft inequality");
+  }
+  return out;
+}
+
+struct CanonicalCode {
+  // Sorted by (length, symbol); codes assigned canonically.
+  std::vector<SymbolLength> lengths;
+  std::vector<std::uint64_t> codes;  // aligned with lengths
+};
+
+CanonicalCode canonicalize(std::vector<SymbolLength> lengths) {
+  std::sort(lengths.begin(), lengths.end(),
+            [](const SymbolLength& a, const SymbolLength& b) {
+              return a.length != b.length ? a.length < b.length
+                                          : a.symbol < b.symbol;
+            });
+  CanonicalCode cc;
+  cc.lengths = std::move(lengths);
+  cc.codes.resize(cc.lengths.size());
+  std::uint64_t code = 0;
+  int prev_len = 0;
+  for (std::size_t i = 0; i < cc.lengths.size(); ++i) {
+    const int len = cc.lengths[i].length;
+    code <<= (len - prev_len);
+    cc.codes[i] = code;
+    ++code;
+    prev_len = len;
+  }
+  return cc;
+}
+
+}  // namespace
+
+Bytes huffman_encode(std::span<const std::uint32_t> symbols) {
+  Bytes blob;
+  ByteWriter w(blob);
+  w.put<std::uint64_t>(symbols.size());
+  if (symbols.empty()) return blob;
+
+  std::map<std::uint32_t, std::uint64_t> freq;
+  for (std::uint32_t s : symbols) ++freq[s];
+
+  const CanonicalCode cc = canonicalize(build_code_lengths(freq));
+
+  // Serialize the table: entry count, then delta-encoded symbols (sorted
+  // by symbol) with their lengths.
+  std::vector<SymbolLength> by_symbol = cc.lengths;
+  std::sort(by_symbol.begin(), by_symbol.end(),
+            [](const SymbolLength& a, const SymbolLength& b) {
+              return a.symbol < b.symbol;
+            });
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(by_symbol.size()));
+  std::uint32_t prev = 0;
+  for (const auto& sl : by_symbol) {
+    std::uint32_t delta = sl.symbol - prev;
+    prev = sl.symbol;
+    // Varint delta.
+    while (delta >= 0x80) {
+      w.put<std::uint8_t>(static_cast<std::uint8_t>(delta) | 0x80);
+      delta >>= 7;
+    }
+    w.put<std::uint8_t>(static_cast<std::uint8_t>(delta));
+    w.put<std::uint8_t>(sl.length);
+  }
+
+  // Build encode lookup (symbol -> code/length).
+  std::map<std::uint32_t, std::pair<std::uint64_t, int>> enc;
+  for (std::size_t i = 0; i < cc.lengths.size(); ++i)
+    enc[cc.lengths[i].symbol] = {cc.codes[i], cc.lengths[i].length};
+
+  BitWriter bits;
+  for (std::uint32_t s : symbols) {
+    const auto& [code, len] = enc.at(s);
+    bits.put_bits(code, len);
+  }
+  w.put_blob(bits.bytes());
+  return blob;
+}
+
+std::vector<std::uint32_t> huffman_decode(
+    std::span<const std::uint8_t> blob) {
+  ByteReader r(blob);
+  const auto count = r.get<std::uint64_t>();
+  std::vector<std::uint32_t> out;
+  out.reserve(static_cast<std::size_t>(count));
+  if (count == 0) return out;
+
+  const auto table_size = r.get<std::uint32_t>();
+  std::vector<SymbolLength> by_symbol;
+  by_symbol.reserve(table_size);
+  std::uint32_t prev = 0;
+  for (std::uint32_t i = 0; i < table_size; ++i) {
+    std::uint32_t delta = 0;
+    int shift = 0;
+    while (true) {
+      const auto byte = r.get<std::uint8_t>();
+      delta |= static_cast<std::uint32_t>(byte & 0x7f) << shift;
+      if (!(byte & 0x80)) break;
+      shift += 7;
+    }
+    prev += delta;
+    const auto len = r.get<std::uint8_t>();
+    by_symbol.push_back({prev, len});
+    // Next delta is relative to this symbol.
+  }
+
+  const CanonicalCode cc = canonicalize(std::move(by_symbol));
+
+  // Canonical decoding: for each length, the first code and the index of
+  // its first symbol.
+  std::array<std::uint64_t, kMaxCodeLen + 2> first_code{};
+  std::array<std::uint64_t, kMaxCodeLen + 2> first_index{};
+  std::array<std::uint64_t, kMaxCodeLen + 2> count_at_len{};
+  for (const auto& sl : cc.lengths) ++count_at_len[sl.length];
+  {
+    std::uint64_t code = 0, index = 0;
+    for (int len = 1; len <= kMaxCodeLen; ++len) {
+      first_code[len] = code;
+      first_index[len] = index;
+      code = (code + count_at_len[len]) << 1;
+      index += count_at_len[len];
+    }
+  }
+
+  const auto payload = r.get_blob();
+  BitReader bits(payload);
+  for (std::uint64_t n = 0; n < count; ++n) {
+    std::uint64_t code = 0;
+    int len = 0;
+    while (true) {
+      code = (code << 1) | bits.get_bit();
+      ++len;
+      AMRVIS_REQUIRE_MSG(len <= kMaxCodeLen, "huffman: corrupt stream");
+      if (count_at_len[len] > 0 &&
+          code < first_code[len] + count_at_len[len] &&
+          code >= first_code[len]) {
+        const std::uint64_t idx = first_index[len] + (code - first_code[len]);
+        out.push_back(cc.lengths[static_cast<std::size_t>(idx)].symbol);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace amrvis::compress

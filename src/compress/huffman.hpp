@@ -1,0 +1,24 @@
+#pragma once
+// Canonical Huffman codec over 32-bit symbols — the entropy stage of the
+// SZ-style pipelines (paper §2.1 stage 3, "customized Huffman coding").
+//
+// The encoder builds a length-limited (<= 32 bit) canonical code from
+// symbol frequencies and serializes a compact table: used symbols in
+// increasing order (delta-varint) plus one length byte each. A stream of
+// identical symbols degenerates to a 1-bit/symbol code.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bytestream.hpp"
+
+namespace amrvis::compress {
+
+/// Encode `symbols` into a self-describing byte blob.
+Bytes huffman_encode(std::span<const std::uint32_t> symbols);
+
+/// Decode a blob produced by huffman_encode.
+std::vector<std::uint32_t> huffman_decode(std::span<const std::uint8_t> blob);
+
+}  // namespace amrvis::compress

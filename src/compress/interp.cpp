@@ -1,0 +1,229 @@
+#include "compress/interp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "compress/huffman.hpp"
+#include "compress/lzss.hpp"
+#include "compress/quantizer.hpp"
+
+namespace amrvis::compress {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x535a4950;  // "SZIP"
+
+/// One interpolation target: global index plus the axis geometry needed
+/// to form its prediction.
+struct AxisGeom {
+  int axis;           // 0=x, 1=y, 2=z
+  std::int64_t h;     // half stride (distance to neighbors)
+  std::int64_t s;     // full stride (distance between known points)
+};
+
+/// Predict the value at coordinate `t` along the pass axis from the
+/// reconstructed field. `get(c)` reads the reconstructed value with the
+/// pass-axis coordinate replaced by c. `n` is the axis extent.
+template <typename Get>
+double predict(const AxisGeom& g, std::int64_t t, std::int64_t n,
+               bool cubic, const Get& get) {
+  const std::int64_t a = t - g.h;
+  const std::int64_t b = t + g.h;
+  if (b >= n) {
+    // Upper-boundary target: linear extrapolation from the two known
+    // points below, falling back to a copy when only one exists.
+    if (a - g.s >= 0) return 1.5 * get(a) - 0.5 * get(a - g.s);
+    return get(a);
+  }
+  if (cubic && a - g.s >= 0 && b + g.s < n) {
+    return (-get(a - g.s) + 9.0 * get(a) + 9.0 * get(b) - get(b + g.s)) /
+           16.0;
+  }
+  return 0.5 * (get(a) + get(b));
+}
+
+/// Enumerate the targets of one (stride, axis) sweep in a fixed order and
+/// invoke fn(i, j, k). Targets along `axis` sit at odd multiples of h;
+/// the other two axes enumerate the already-known grid: the earlier axis
+/// (in sweep order x,y,z) at stride h, the later one at stride s.
+template <typename Fn>
+void for_each_target(const Shape3& sh, const AxisGeom& g, const Fn& fn) {
+  const std::int64_t n[3] = {sh.nx, sh.ny, sh.nz};
+  // Strides per axis for this sweep.
+  std::int64_t stride[3];
+  for (int d = 0; d < 3; ++d) {
+    if (d == g.axis) stride[d] = g.s;           // target axis: odd h steps
+    else if (d < g.axis) stride[d] = g.h;       // already refined this level
+    else stride[d] = g.s;                       // not yet refined
+  }
+  for (std::int64_t k = (g.axis == 2 ? g.h : 0); k < n[2];
+       k += (g.axis == 2 ? stride[2] : stride[2]))
+    for (std::int64_t j = (g.axis == 1 ? g.h : 0); j < n[1];
+         j += (g.axis == 1 ? stride[1] : stride[1]))
+      for (std::int64_t i = (g.axis == 0 ? g.h : 0); i < n[0];
+           i += (g.axis == 0 ? stride[0] : stride[0]))
+        fn(i, j, k);
+}
+
+std::int64_t initial_stride(const Shape3& sh, std::int64_t cap) {
+  const std::int64_t m = std::max({sh.nx, sh.ny, sh.nz});
+  std::int64_t s = 2;
+  while (s < m && s < cap) s <<= 1;
+  return s;
+}
+
+}  // namespace
+
+Bytes SzInterpCompressor::compress(View3<const double> data,
+                                   double abs_eb) const {
+  const Shape3 sh = data.shape();
+  const LinearQuantizer quant(abs_eb);
+  Array3<double> recon_arr(sh);
+  auto recon = recon_arr.view();
+
+  // Anchor grid: store raw, copy into the reconstruction.
+  const std::int64_t S = initial_stride(sh, max_stride_);
+  std::vector<double> anchors;
+  for (std::int64_t k = 0; k < sh.nz; k += S)
+    for (std::int64_t j = 0; j < sh.ny; j += S)
+      for (std::int64_t i = 0; i < sh.nx; i += S) {
+        anchors.push_back(data(i, j, k));
+        recon(i, j, k) = data(i, j, k);
+      }
+
+  std::vector<std::uint32_t> codes;
+  codes.reserve(static_cast<std::size_t>(sh.size()));
+  std::vector<double> outliers;
+  Bytes choices;  // one byte per (level, axis) sweep: 1 = cubic
+
+  for (std::int64_t s = S; s >= 2; s /= 2) {
+    const std::int64_t h = s / 2;
+    for (int axis = 0; axis < 3; ++axis) {
+      const AxisGeom g{axis, h, s};
+      const std::int64_t n_axis = axis == 0 ? sh.nx : (axis == 1 ? sh.ny
+                                                                 : sh.nz);
+      if (h >= n_axis && h > 0) {
+        // No targets along this axis (degenerate dimension); still record
+        // a choice byte so encoder and decoder stay in lockstep.
+        choices.push_back(0);
+        continue;
+      }
+      // Pass 1: pick linear vs cubic by total absolute error vs original.
+      double err_lin = 0.0, err_cub = 0.0;
+      for_each_target(sh, g, [&](std::int64_t i, std::int64_t j,
+                                 std::int64_t k) {
+        auto get = [&](std::int64_t c) {
+          return axis == 0 ? recon(c, j, k)
+                           : (axis == 1 ? recon(i, c, k) : recon(i, j, c));
+        };
+        const std::int64_t t = axis == 0 ? i : (axis == 1 ? j : k);
+        const double v = data(i, j, k);
+        err_lin += std::abs(v - predict(g, t, n_axis, false, get));
+        err_cub += std::abs(v - predict(g, t, n_axis, true, get));
+      });
+      const bool cubic = err_cub < err_lin;
+      choices.push_back(cubic ? 1 : 0);
+
+      // Pass 2: quantize.
+      for_each_target(sh, g, [&](std::int64_t i, std::int64_t j,
+                                 std::int64_t k) {
+        auto get = [&](std::int64_t c) {
+          return axis == 0 ? recon(c, j, k)
+                           : (axis == 1 ? recon(i, c, k) : recon(i, j, c));
+        };
+        const std::int64_t t = axis == 0 ? i : (axis == 1 ? j : k);
+        const double pred = predict(g, t, n_axis, cubic, get);
+        double rv;
+        codes.push_back(quant.encode(data(i, j, k), pred, rv, outliers));
+        recon(i, j, k) = rv;
+      });
+    }
+  }
+
+  Bytes blob;
+  ByteWriter w(blob);
+  w.put<std::uint32_t>(kMagic);
+  w.put<std::int64_t>(sh.nx);
+  w.put<std::int64_t>(sh.ny);
+  w.put<std::int64_t>(sh.nz);
+  w.put<double>(abs_eb);
+  w.put<std::int64_t>(S);
+  w.put_blob(choices);
+  w.put<std::uint64_t>(anchors.size());
+  w.put_bytes({reinterpret_cast<const std::uint8_t*>(anchors.data()),
+               anchors.size() * sizeof(double)});
+  w.put_blob(lzss_encode(huffman_encode(codes)));
+  w.put<std::uint64_t>(outliers.size());
+  w.put_bytes({reinterpret_cast<const std::uint8_t*>(outliers.data()),
+               outliers.size() * sizeof(double)});
+  return blob;
+}
+
+Array3<double> SzInterpCompressor::decompress(
+    std::span<const std::uint8_t> blob) const {
+  ByteReader r(blob);
+  AMRVIS_REQUIRE_MSG(r.get<std::uint32_t>() == kMagic, "sz-interp: bad magic");
+  Shape3 sh;
+  sh.nx = r.get<std::int64_t>();
+  sh.ny = r.get<std::int64_t>();
+  sh.nz = r.get<std::int64_t>();
+  const double abs_eb = r.get<double>();
+  const std::int64_t S = r.get<std::int64_t>();
+
+  const auto choice_span = r.get_blob();
+  const Bytes choices(choice_span.begin(), choice_span.end());
+  const auto n_anchor = r.get<std::uint64_t>();
+  const auto anchor_bytes =
+      r.get_bytes(static_cast<std::size_t>(n_anchor) * sizeof(double));
+  std::vector<double> anchors(static_cast<std::size_t>(n_anchor));
+  std::memcpy(anchors.data(), anchor_bytes.data(), anchor_bytes.size());
+  const std::vector<std::uint32_t> codes =
+      huffman_decode(lzss_decode(r.get_blob()));
+  const auto n_outliers = r.get<std::uint64_t>();
+  const auto outlier_bytes =
+      r.get_bytes(static_cast<std::size_t>(n_outliers) * sizeof(double));
+  std::vector<double> outliers(static_cast<std::size_t>(n_outliers));
+  std::memcpy(outliers.data(), outlier_bytes.data(), outlier_bytes.size());
+
+  const LinearQuantizer quant(abs_eb);
+  Array3<double> out(sh);
+  auto recon = out.view();
+
+  std::size_t anchor_pos = 0;
+  for (std::int64_t k = 0; k < sh.nz; k += S)
+    for (std::int64_t j = 0; j < sh.ny; j += S)
+      for (std::int64_t i = 0; i < sh.nx; i += S)
+        recon(i, j, k) = anchors[anchor_pos++];
+  AMRVIS_REQUIRE_MSG(anchor_pos == anchors.size(),
+                     "sz-interp: anchor count mismatch");
+
+  std::size_t code_pos = 0, outlier_pos = 0, choice_pos = 0;
+  for (std::int64_t s = S; s >= 2; s /= 2) {
+    const std::int64_t h = s / 2;
+    for (int axis = 0; axis < 3; ++axis) {
+      const AxisGeom g{axis, h, s};
+      const std::int64_t n_axis = axis == 0 ? sh.nx : (axis == 1 ? sh.ny
+                                                                 : sh.nz);
+      AMRVIS_REQUIRE_MSG(choice_pos < choices.size(),
+                         "sz-interp: truncated choice stream");
+      const bool cubic = choices[choice_pos++] != 0;
+      if (h >= n_axis && h > 0) continue;
+      for_each_target(sh, g, [&](std::int64_t i, std::int64_t j,
+                                 std::int64_t k) {
+        auto get = [&](std::int64_t c) {
+          return axis == 0 ? recon(c, j, k)
+                           : (axis == 1 ? recon(i, c, k) : recon(i, j, c));
+        };
+        const std::int64_t t = axis == 0 ? i : (axis == 1 ? j : k);
+        const double pred = predict(g, t, n_axis, cubic, get);
+        AMRVIS_REQUIRE_MSG(code_pos < codes.size(),
+                           "sz-interp: truncated code stream");
+        recon(i, j, k) = quant.decode(codes[code_pos++], pred,
+                                      outliers.data(), outlier_pos);
+      });
+    }
+  }
+  return out;
+}
+
+}  // namespace amrvis::compress

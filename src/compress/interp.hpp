@@ -1,0 +1,39 @@
+#pragma once
+// SZ-Interp: global interpolation-based compressor in the style of SZ3
+// (Zhao et al., ICDE 2021), the paper's second algorithm (§3.3).
+//
+// A coarse anchor grid (stride 2^L) is stored raw; each level then halves
+// the stride with three axis sweeps, predicting every new point from its
+// already-reconstructed neighbors along that axis (cubic spline where four
+// neighbors exist, linear otherwise; the better of the two is chosen per
+// (level, axis) sweep against the original data — the "dynamic" part of
+// dynamic spline interpolation). Residuals use the same quantization /
+// Huffman / LZSS pipeline as SZ-L/R.
+//
+// Being global rather than block-based, its artifacts are smooth bumps
+// rather than block edges — exactly the contrast the paper studies.
+
+#include "compress/compressor.hpp"
+
+namespace amrvis::compress {
+
+class SzInterpCompressor final : public Compressor {
+ public:
+  /// `max_anchor_stride` bounds the coarsest grid (power of two).
+  explicit SzInterpCompressor(std::int64_t max_anchor_stride = 64)
+      : max_stride_(max_anchor_stride) {
+    AMRVIS_REQUIRE(max_anchor_stride >= 2);
+    AMRVIS_REQUIRE((max_anchor_stride & (max_anchor_stride - 1)) == 0);
+  }
+
+  [[nodiscard]] std::string name() const override { return "sz-interp"; }
+  [[nodiscard]] Bytes compress(View3<const double> data,
+                               double abs_eb) const override;
+  [[nodiscard]] Array3<double> decompress(
+      std::span<const std::uint8_t> blob) const override;
+
+ private:
+  std::int64_t max_stride_;
+};
+
+}  // namespace amrvis::compress

@@ -1,0 +1,141 @@
+#include "compress/lzss.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace amrvis::compress {
+
+namespace {
+constexpr std::size_t kWindow = 1u << 16;      // match offsets fit in 16 bits
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxMatch = 258;         // length - kMinMatch fits a byte
+constexpr std::size_t kHashSize = 1u << 16;
+constexpr int kMaxChain = 48;
+
+std::uint32_t hash4(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> 16;
+}
+}  // namespace
+
+Bytes lzss_encode(std::span<const std::uint8_t> input) {
+  Bytes out;
+  ByteWriter w(out);
+  w.put<std::uint64_t>(input.size());
+
+  // Token stream: control byte describes the next 8 tokens (bit set =>
+  // match). A literal is 1 byte; a match is offset(u16) + length-4 (u8).
+  Bytes tokens;
+  std::uint8_t control = 0;
+  int control_bits = 0;
+  std::size_t control_pos = 0;
+
+  auto open_group = [&] {
+    control = 0;
+    control_bits = 0;
+    control_pos = tokens.size();
+    tokens.push_back(0);
+  };
+  auto close_group = [&] { tokens[control_pos] = control; };
+
+  std::vector<std::int64_t> head(kHashSize, -1);
+  std::vector<std::int64_t> prev(input.size(), -1);
+
+  open_group();
+  std::size_t i = 0;
+  while (i < input.size()) {
+    std::size_t best_len = 0;
+    std::size_t best_off = 0;
+    if (i + kMinMatch <= input.size()) {
+      const std::uint32_t h = hash4(&input[i]);
+      std::int64_t cand = head[h];
+      int chain = 0;
+      while (cand >= 0 && chain < kMaxChain &&
+             i - static_cast<std::size_t>(cand) <= kWindow) {
+        const std::size_t c = static_cast<std::size_t>(cand);
+        const std::size_t limit = std::min(kMaxMatch, input.size() - i);
+        std::size_t len = 0;
+        while (len < limit && input[c + len] == input[i + len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_off = i - c;
+          if (len == limit) break;
+        }
+        cand = prev[c];
+        ++chain;
+      }
+    }
+
+    if (best_len >= kMinMatch) {
+      control |= static_cast<std::uint8_t>(1u << control_bits);
+      tokens.push_back(static_cast<std::uint8_t>(best_off & 0xff));
+      tokens.push_back(static_cast<std::uint8_t>((best_off >> 8) & 0xff));
+      tokens.push_back(static_cast<std::uint8_t>(best_len - kMinMatch));
+      // Insert hash entries for every covered position so later matches
+      // can reference them.
+      const std::size_t end = i + best_len;
+      for (; i < end && i + kMinMatch <= input.size(); ++i) {
+        const std::uint32_t h = hash4(&input[i]);
+        prev[i] = head[h];
+        head[h] = static_cast<std::int64_t>(i);
+      }
+      i = end;
+    } else {
+      tokens.push_back(input[i]);
+      if (i + kMinMatch <= input.size()) {
+        const std::uint32_t h = hash4(&input[i]);
+        prev[i] = head[h];
+        head[h] = static_cast<std::int64_t>(i);
+      }
+      ++i;
+    }
+
+    if (++control_bits == 8) {
+      close_group();
+      if (i < input.size()) open_group();
+      else control_bits = -1;  // group already closed
+    }
+  }
+  if (control_bits >= 0) close_group();
+
+  w.put_blob(tokens);
+  return out;
+}
+
+Bytes lzss_decode(std::span<const std::uint8_t> blob) {
+  ByteReader r(blob);
+  const auto out_size = r.get<std::uint64_t>();
+  const auto tokens = r.get_blob();
+
+  Bytes out;
+  out.reserve(static_cast<std::size_t>(out_size));
+  std::size_t t = 0;
+  while (out.size() < out_size) {
+    AMRVIS_REQUIRE_MSG(t < tokens.size(), "lzss: truncated token stream");
+    const std::uint8_t control = tokens[t++];
+    for (int bit = 0; bit < 8 && out.size() < out_size; ++bit) {
+      if (control & (1u << bit)) {
+        AMRVIS_REQUIRE_MSG(t + 3 <= tokens.size(), "lzss: truncated match");
+        const std::size_t off = static_cast<std::size_t>(tokens[t]) |
+                                (static_cast<std::size_t>(tokens[t + 1]) << 8);
+        const std::size_t actual_off = off == 0 ? kWindow : off;
+        const std::size_t len = static_cast<std::size_t>(tokens[t + 2]) +
+                                kMinMatch;
+        t += 3;
+        AMRVIS_REQUIRE_MSG(actual_off <= out.size(), "lzss: bad offset");
+        const std::size_t start = out.size() - actual_off;
+        for (std::size_t k = 0; k < len; ++k)
+          out.push_back(out[start + k]);  // may self-overlap, byte-by-byte
+      } else {
+        AMRVIS_REQUIRE_MSG(t < tokens.size(), "lzss: truncated literal");
+        out.push_back(tokens[t++]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace amrvis::compress

@@ -1,0 +1,22 @@
+#pragma once
+// LZSS-style lossless back end applied after entropy coding — the
+// "lossless compression" tail of the SZ pipeline (paper §2.1 stage 3).
+//
+// Greedy hash-chain matcher, 64 KiB window, minimum match 4 bytes. The
+// format is self-describing and round-trips arbitrary bytes; incompressible
+// input grows by at most 1/8 + O(1).
+
+#include <cstdint>
+#include <span>
+
+#include "util/bytestream.hpp"
+
+namespace amrvis::compress {
+
+/// Compress `input`; output always decodable by lzss_decode.
+Bytes lzss_encode(std::span<const std::uint8_t> input);
+
+/// Decompress a blob produced by lzss_encode.
+Bytes lzss_decode(std::span<const std::uint8_t> blob);
+
+}  // namespace amrvis::compress

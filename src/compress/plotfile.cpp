@@ -1,0 +1,129 @@
+#include "compress/plotfile.hpp"
+
+#include <cstring>
+
+#include "util/bytestream.hpp"
+#include "util/error.hpp"
+
+namespace amrvis::compress {
+using amr::AmrHierarchy;
+using amr::AmrLevel;
+using amr::Box;
+using amr::FArrayBox;
+using amr::IntVect;
+
+namespace {
+
+constexpr std::uint32_t kHeaderMagic = 0x414d5021;  // "AMP!"
+
+void put_box(ByteWriter& w, const Box& b) {
+  w.put<std::int64_t>(b.lo().x);
+  w.put<std::int64_t>(b.lo().y);
+  w.put<std::int64_t>(b.lo().z);
+  w.put<std::int64_t>(b.hi().x);
+  w.put<std::int64_t>(b.hi().y);
+  w.put<std::int64_t>(b.hi().z);
+}
+
+Box get_box(ByteReader& r) {
+  IntVect lo, hi;
+  lo.x = r.get<std::int64_t>();
+  lo.y = r.get<std::int64_t>();
+  lo.z = r.get<std::int64_t>();
+  hi.x = r.get<std::int64_t>();
+  hi.y = r.get<std::int64_t>();
+  hi.z = r.get<std::int64_t>();
+  return {lo, hi};
+}
+
+}  // namespace
+
+void write_plotfile(const std::string& path, const AmrHierarchy& hier,
+                    const compress::Compressor* codec, double abs_eb) {
+  // Header: structure of every level.
+  Bytes header;
+  ByteWriter hw(header);
+  hw.put<std::uint32_t>(kHeaderMagic);
+  hw.put<std::int64_t>(hier.ref_ratio());
+  hw.put<std::int32_t>(hier.num_levels());
+  const std::string codec_name = codec != nullptr ? codec->name() : "";
+  hw.put<std::uint32_t>(static_cast<std::uint32_t>(codec_name.size()));
+  hw.put_bytes({reinterpret_cast<const std::uint8_t*>(codec_name.data()),
+                codec_name.size()});
+  hw.put<double>(abs_eb);
+  for (int l = 0; l < hier.num_levels(); ++l) {
+    const AmrLevel& lvl = hier.level(l);
+    put_box(hw, lvl.domain);
+    hw.put<std::uint32_t>(static_cast<std::uint32_t>(lvl.box_array.size()));
+    for (const Box& b : lvl.box_array) put_box(hw, b);
+  }
+  write_file(path + "/header", header);
+
+  // One payload file per level, matching the paper's per-level datasets.
+  for (int l = 0; l < hier.num_levels(); ++l) {
+    Bytes payload;
+    ByteWriter pw(payload);
+    for (const FArrayBox& fab : hier.level(l).fabs) {
+      if (codec != nullptr) {
+        pw.put_blob(codec->compress(fab.view(), abs_eb));
+      } else {
+        const auto vals = fab.values();
+        pw.put_blob({reinterpret_cast<const std::uint8_t*>(vals.data()),
+                     vals.size() * sizeof(double)});
+      }
+    }
+    write_file(path + "/level_" + std::to_string(l) + ".bin", payload);
+  }
+}
+
+AmrHierarchy read_plotfile(const std::string& path) {
+  const Bytes header = read_file(path + "/header");
+  ByteReader hr(header);
+  AMRVIS_REQUIRE_MSG(hr.get<std::uint32_t>() == kHeaderMagic,
+                     "plotfile: bad header magic");
+  const auto ref_ratio = hr.get<std::int64_t>();
+  const auto num_levels = hr.get<std::int32_t>();
+  const auto name_len = hr.get<std::uint32_t>();
+  const auto name_bytes = hr.get_bytes(name_len);
+  const std::string codec_name(name_bytes.begin(), name_bytes.end());
+  (void)hr.get<double>();  // abs_eb (informational)
+
+  std::unique_ptr<Compressor> codec;
+  if (!codec_name.empty()) codec = make_compressor(codec_name);
+
+  AmrHierarchy hier(ref_ratio);
+  for (int l = 0; l < num_levels; ++l) {
+    AmrLevel lvl;
+    lvl.domain = get_box(hr);
+    const auto num_boxes = hr.get<std::uint32_t>();
+    for (std::uint32_t b = 0; b < num_boxes; ++b)
+      lvl.box_array.push_back(get_box(hr));
+
+    const Bytes payload =
+        read_file(path + "/level_" + std::to_string(l) + ".bin");
+    ByteReader pr(payload);
+    for (std::uint32_t b = 0; b < num_boxes; ++b) {
+      const Box& box = lvl.box_array[b];
+      FArrayBox fab(box);
+      const auto blob = pr.get_blob();
+      if (codec) {
+        Array3<double> data = codec->decompress(blob);
+        AMRVIS_REQUIRE_MSG(data.shape() == box.shape(),
+                           "plotfile: payload shape mismatch");
+        std::copy(data.span().begin(), data.span().end(),
+                  fab.values().begin());
+      } else {
+        AMRVIS_REQUIRE_MSG(
+            blob.size() == static_cast<std::size_t>(box.num_cells()) *
+                               sizeof(double),
+            "plotfile: raw payload size mismatch");
+        std::memcpy(fab.values().data(), blob.data(), blob.size());
+      }
+      lvl.fabs.push_back(std::move(fab));
+    }
+    hier.add_level(std::move(lvl));
+  }
+  return hier;
+}
+
+}  // namespace amrvis::compress

@@ -1,0 +1,33 @@
+#pragma once
+// On-disk representation of a hierarchy, mirroring the paper's Fig. 3
+// storage layout: each AMR level is stored separately (as distinct HDF5
+// groups in the paper; as one self-describing binary file per level plus
+// a small header file here). Optionally each level's payload is an
+// error-bounded compressed blob instead of raw doubles — the "compress
+// per level on write, decompress on read" loop of the offline pipeline.
+
+#include <string>
+
+#include "amr/hierarchy.hpp"
+#include "compress/compressor.hpp"
+
+namespace amrvis::compress {
+using amr::AmrHierarchy;
+using amr::AmrLevel;
+using amr::Box;
+using amr::FArrayBox;
+using amr::IntVect;
+
+/// Write `hier` under directory `path` (created by the caller): a
+/// `header` file plus `level_<l>.bin` payloads. When `codec` is non-null
+/// every patch is compressed at absolute bound `abs_eb`.
+void write_plotfile(const std::string& path, const AmrHierarchy& hier,
+                    const Compressor* codec = nullptr,
+                    double abs_eb = 0.0);
+
+/// Read a plotfile written by write_plotfile. Compressed payloads are
+/// decompressed with the codec named in the header (resolved via
+/// make_compressor).
+AmrHierarchy read_plotfile(const std::string& path);
+
+}  // namespace amrvis::compress

@@ -1,0 +1,84 @@
+#pragma once
+// Error-controlled linear quantizer — the quantization stage shared by all
+// prediction-based codecs (paper §2.1 stage 2).
+//
+// A prediction residual (value - predicted) is mapped to an integer code
+// with bin width 2*eb, guaranteeing |value - reconstructed| <= eb for
+// quantizable points. Points whose residual falls outside the code range
+// are "unpredictable": they get the reserved code 0 and their value is
+// stored (quantized to the eb grid) in a side stream, so the bound holds
+// for every point.
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace amrvis::compress {
+
+class LinearQuantizer {
+ public:
+  /// `radius` is the half-width of the code range: codes are in
+  /// [1, 2*radius - 1] with `radius` meaning zero residual; 0 is the
+  /// outlier escape. 32768 reproduces SZ's default 16-bit code space.
+  explicit LinearQuantizer(double abs_eb, std::int32_t radius = 32768)
+      : eb_(abs_eb), radius_(radius) {
+    AMRVIS_REQUIRE_MSG(abs_eb > 0.0, "error bound must be positive");
+    AMRVIS_REQUIRE(radius >= 2);
+  }
+
+  [[nodiscard]] double error_bound() const { return eb_; }
+  [[nodiscard]] std::int32_t radius() const { return radius_; }
+  [[nodiscard]] std::uint32_t num_codes() const {
+    return static_cast<std::uint32_t>(2 * radius_);
+  }
+
+  /// Quantize `value` against `predicted`. Returns the code and sets
+  /// `reconstructed` to the decoder-visible value. Outliers (code 0)
+  /// append to `outliers`.
+  std::uint32_t encode(double value, double predicted, double& reconstructed,
+                       std::vector<double>& outliers) const {
+    const double diff = value - predicted;
+    // Round residual to the nearest multiple of 2*eb.
+    const double scaled = diff / (2.0 * eb_);
+    if (scaled > static_cast<double>(radius_ - 1) ||
+        scaled < -static_cast<double>(radius_ - 1)) {
+      reconstructed = quantize_outlier(value, outliers);
+      return 0;
+    }
+    const auto q = static_cast<std::int32_t>(
+        scaled < 0 ? scaled - 0.5 : scaled + 0.5);
+    reconstructed = predicted + 2.0 * eb_ * static_cast<double>(q);
+    if (!(std::abs(reconstructed - value) <= eb_)) {
+      // Floating-point cancellation can break the bound for extreme
+      // predictions; fall back to the outlier path which re-centres on the
+      // value itself.
+      reconstructed = quantize_outlier(value, outliers);
+      return 0;
+    }
+    return static_cast<std::uint32_t>(q + radius_);
+  }
+
+  /// Decoder counterpart: reproduce `reconstructed` from the code stream.
+  double decode(std::uint32_t code, double predicted, const double* outliers,
+                std::size_t& outlier_pos) const {
+    if (code == 0) return outliers[outlier_pos++];
+    const auto q =
+        static_cast<std::int32_t>(code) - radius_;
+    return predicted + 2.0 * eb_ * static_cast<double>(q);
+  }
+
+ private:
+  /// Outliers are stored snapped to the eb grid so they stay within bound
+  /// while remaining identical on both sides.
+  double quantize_outlier(double value, std::vector<double>& outliers) const {
+    outliers.push_back(value);
+    return value;
+  }
+
+  double eb_;
+  std::int32_t radius_;
+};
+
+}  // namespace amrvis::compress

@@ -1,0 +1,305 @@
+#include "compress/szlr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "compress/huffman.hpp"
+#include "compress/lzss.hpp"
+#include "compress/quantizer.hpp"
+
+namespace amrvis::compress {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x535a4c52;  // "SZLR"
+
+/// Zigzag varint append for signed coefficient codes.
+void put_svarint(Bytes& out, std::int64_t v) {
+  std::uint64_t u = (static_cast<std::uint64_t>(v) << 1) ^
+                    static_cast<std::uint64_t>(v >> 63);
+  while (u >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(u) | 0x80);
+    u >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(u));
+}
+
+std::int64_t get_svarint(std::span<const std::uint8_t> in, std::size_t& pos) {
+  std::uint64_t u = 0;
+  int shift = 0;
+  while (true) {
+    AMRVIS_REQUIRE_MSG(pos < in.size(), "szlr: truncated coeff stream");
+    const std::uint8_t b = in[pos++];
+    u |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if (!(b & 0x80)) break;
+    shift += 7;
+  }
+  return static_cast<std::int64_t>(u >> 1) ^
+         -static_cast<std::int64_t>(u & 1);
+}
+
+/// First-order 3-D Lorenzo prediction from the reconstructed field;
+/// out-of-domain neighbors read as 0 (SZ convention).
+inline double lorenzo_predict(const View3<const double>& recon,
+                              std::int64_t i, std::int64_t j,
+                              std::int64_t k) {
+  auto f = [&](std::int64_t a, std::int64_t b, std::int64_t c) -> double {
+    if (a < 0 || b < 0 || c < 0) return 0.0;
+    return recon(a, b, c);
+  };
+  return f(i - 1, j, k) + f(i, j - 1, k) + f(i, j, k - 1) -
+         f(i - 1, j - 1, k) - f(i - 1, j, k - 1) - f(i, j - 1, k - 1) +
+         f(i - 1, j - 1, k - 1);
+}
+
+/// Least-squares plane fit over one block of original values.
+struct RegressionFit {
+  double b0 = 0, bx = 0, by = 0, bz = 0;
+};
+
+RegressionFit fit_block(View3<const double> data, std::int64_t i0,
+                        std::int64_t j0, std::int64_t k0, std::int64_t bx,
+                        std::int64_t by, std::int64_t bz) {
+  // Centered coordinates are mutually orthogonal on a full grid, so each
+  // slope is an independent 1-D least-squares solution.
+  const double mx = (static_cast<double>(bx) - 1.0) / 2.0;
+  const double my = (static_cast<double>(by) - 1.0) / 2.0;
+  const double mz = (static_cast<double>(bz) - 1.0) / 2.0;
+  double sum = 0, sx = 0, sy = 0, sz = 0, vxx = 0, vyy = 0, vzz = 0;
+  for (std::int64_t dz = 0; dz < bz; ++dz)
+    for (std::int64_t dy = 0; dy < by; ++dy)
+      for (std::int64_t dx = 0; dx < bx; ++dx) {
+        const double v = data(i0 + dx, j0 + dy, k0 + dz);
+        const double cx = static_cast<double>(dx) - mx;
+        const double cy = static_cast<double>(dy) - my;
+        const double cz = static_cast<double>(dz) - mz;
+        sum += v;
+        sx += cx * v;
+        sy += cy * v;
+        sz += cz * v;
+        vxx += cx * cx;
+        vyy += cy * cy;
+        vzz += cz * cz;
+      }
+  const double n = static_cast<double>(bx * by * bz);
+  RegressionFit fit;
+  fit.bx = vxx > 0 ? sx / vxx : 0.0;
+  fit.by = vyy > 0 ? sy / vyy : 0.0;
+  fit.bz = vzz > 0 ? sz / vzz : 0.0;
+  // Express as v = b0 + bx*dx + by*dy + bz*dz with dx from block origin.
+  fit.b0 = sum / n - fit.bx * mx - fit.by * my - fit.bz * mz;
+  return fit;
+}
+
+/// Coefficient quantizer state: per-coefficient error bound and the
+/// previous block's codes for delta encoding.
+struct CoeffCodec {
+  double eb0, ebs;  // intercept / slope bounds
+  std::int64_t prev[4] = {0, 0, 0, 0};
+
+  explicit CoeffCodec(double abs_eb, int block_size)
+      : eb0(abs_eb * 0.5),
+        ebs(abs_eb / (2.0 * static_cast<double>(block_size))) {}
+
+  /// Quantize a fit, append delta codes, return the reconstructed fit the
+  /// decoder will see.
+  RegressionFit encode(const RegressionFit& fit, Bytes& stream) {
+    const double ebs_[4] = {eb0, ebs, ebs, ebs};
+    const double vals[4] = {fit.b0, fit.bx, fit.by, fit.bz};
+    double recon[4];
+    for (int c = 0; c < 4; ++c) {
+      const auto code = static_cast<std::int64_t>(
+          std::llround(vals[c] / (2.0 * ebs_[c])));
+      put_svarint(stream, code - prev[c]);
+      prev[c] = code;
+      recon[c] = 2.0 * ebs_[c] * static_cast<double>(code);
+    }
+    return {recon[0], recon[1], recon[2], recon[3]};
+  }
+
+  RegressionFit decode(std::span<const std::uint8_t> stream,
+                       std::size_t& pos) {
+    const double ebs_[4] = {eb0, ebs, ebs, ebs};
+    double recon[4];
+    for (int c = 0; c < 4; ++c) {
+      prev[c] += get_svarint(stream, pos);
+      recon[c] = 2.0 * ebs_[c] * static_cast<double>(prev[c]);
+    }
+    return {recon[0], recon[1], recon[2], recon[3]};
+  }
+};
+
+}  // namespace
+
+Bytes SzLrCompressor::compress(View3<const double> data,
+                               double abs_eb) const {
+  const Shape3 s = data.shape();
+  const std::int64_t bs = block_size_;
+  const LinearQuantizer quant(abs_eb);
+
+  Array3<double> recon_arr(s);
+  auto recon = recon_arr.view();
+  View3<const double> recon_c(recon_arr.data(), s);
+
+  std::vector<std::uint32_t> codes;
+  codes.reserve(static_cast<std::size_t>(s.size()));
+  std::vector<double> outliers;
+  Bytes choice_bits;          // one byte per block (0 = Lorenzo, 1 = regression)
+  Bytes coeff_stream;
+  CoeffCodec coeffs(abs_eb, block_size_);
+
+  const std::int64_t nbx = (s.nx + bs - 1) / bs;
+  const std::int64_t nby = (s.ny + bs - 1) / bs;
+  const std::int64_t nbz = (s.nz + bs - 1) / bs;
+
+  for (std::int64_t bk = 0; bk < nbz; ++bk)
+    for (std::int64_t bj = 0; bj < nby; ++bj)
+      for (std::int64_t bi = 0; bi < nbx; ++bi) {
+        const std::int64_t i0 = bi * bs, j0 = bj * bs, k0 = bk * bs;
+        const std::int64_t ex = std::min(bs, s.nx - i0);
+        const std::int64_t ey = std::min(bs, s.ny - j0);
+        const std::int64_t ez = std::min(bs, s.nz - k0);
+
+        // Candidate 1: regression fit on original values.
+        const RegressionFit fit = fit_block(data, i0, j0, k0, ex, ey, ez);
+
+        // Estimate both predictors' error on the original data. Lorenzo
+        // is estimated with original neighbors (cheap, decoder-free), the
+        // standard SZ2 selection heuristic.
+        double err_reg = 0.0, err_lor = 0.0;
+        for (std::int64_t dz = 0; dz < ez; ++dz)
+          for (std::int64_t dy = 0; dy < ey; ++dy)
+            for (std::int64_t dx = 0; dx < ex; ++dx) {
+              const std::int64_t i = i0 + dx, j = j0 + dy, k = k0 + dz;
+              const double v = data(i, j, k);
+              const double pr = fit.b0 + fit.bx * static_cast<double>(dx) +
+                                fit.by * static_cast<double>(dy) +
+                                fit.bz * static_cast<double>(dz);
+              err_reg += std::abs(v - pr);
+              auto f = [&](std::int64_t a, std::int64_t b,
+                           std::int64_t c) -> double {
+                if (a < 0 || b < 0 || c < 0) return 0.0;
+                return data(a, b, c);
+              };
+              const double pl = f(i - 1, j, k) + f(i, j - 1, k) +
+                                f(i, j, k - 1) - f(i - 1, j - 1, k) -
+                                f(i - 1, j, k - 1) - f(i, j - 1, k - 1) +
+                                f(i - 1, j - 1, k - 1);
+              err_lor += std::abs(v - pl);
+            }
+
+        const bool use_regression = err_reg < err_lor;
+        choice_bits.push_back(use_regression ? 1 : 0);
+
+        RegressionFit qfit;
+        if (use_regression) qfit = coeffs.encode(fit, coeff_stream);
+
+        for (std::int64_t dz = 0; dz < ez; ++dz)
+          for (std::int64_t dy = 0; dy < ey; ++dy)
+            for (std::int64_t dx = 0; dx < ex; ++dx) {
+              const std::int64_t i = i0 + dx, j = j0 + dy, k = k0 + dz;
+              const double v = data(i, j, k);
+              const double pred =
+                  use_regression
+                      ? qfit.b0 + qfit.bx * static_cast<double>(dx) +
+                            qfit.by * static_cast<double>(dy) +
+                            qfit.bz * static_cast<double>(dz)
+                      : lorenzo_predict(recon_c, i, j, k);
+              double rv;
+              codes.push_back(quant.encode(v, pred, rv, outliers));
+              recon(i, j, k) = rv;
+            }
+      }
+
+  // Assemble the container.
+  Bytes blob;
+  ByteWriter w(blob);
+  w.put<std::uint32_t>(kMagic);
+  w.put<std::int64_t>(s.nx);
+  w.put<std::int64_t>(s.ny);
+  w.put<std::int64_t>(s.nz);
+  w.put<double>(abs_eb);
+  w.put<std::int32_t>(static_cast<std::int32_t>(bs));
+
+  const Bytes choice_z = lzss_encode(choice_bits);
+  const Bytes coeff_z = lzss_encode(coeff_stream);
+  const Bytes codes_z = lzss_encode(huffman_encode(codes));
+  w.put_blob(choice_z);
+  w.put_blob(coeff_z);
+  w.put_blob(codes_z);
+  w.put<std::uint64_t>(outliers.size());
+  w.put_bytes({reinterpret_cast<const std::uint8_t*>(outliers.data()),
+               outliers.size() * sizeof(double)});
+  return blob;
+}
+
+Array3<double> SzLrCompressor::decompress(
+    std::span<const std::uint8_t> blob) const {
+  ByteReader r(blob);
+  AMRVIS_REQUIRE_MSG(r.get<std::uint32_t>() == kMagic,
+                     "szlr: bad magic");
+  Shape3 s;
+  s.nx = r.get<std::int64_t>();
+  s.ny = r.get<std::int64_t>();
+  s.nz = r.get<std::int64_t>();
+  const double abs_eb = r.get<double>();
+  const auto bs = static_cast<std::int64_t>(r.get<std::int32_t>());
+
+  const Bytes choice_bits = lzss_decode(r.get_blob());
+  const Bytes coeff_stream = lzss_decode(r.get_blob());
+  const std::vector<std::uint32_t> codes =
+      huffman_decode(lzss_decode(r.get_blob()));
+  const auto n_outliers = r.get<std::uint64_t>();
+  const auto outlier_bytes =
+      r.get_bytes(static_cast<std::size_t>(n_outliers) * sizeof(double));
+  std::vector<double> outliers(static_cast<std::size_t>(n_outliers));
+  std::memcpy(outliers.data(), outlier_bytes.data(), outlier_bytes.size());
+
+  const LinearQuantizer quant(abs_eb);
+  Array3<double> out(s);
+  auto recon = out.view();
+  View3<const double> recon_c(out.data(), s);
+
+  const std::int64_t nbx = (s.nx + bs - 1) / bs;
+  const std::int64_t nby = (s.ny + bs - 1) / bs;
+  const std::int64_t nbz = (s.nz + bs - 1) / bs;
+
+  CoeffCodec coeffs(abs_eb, static_cast<int>(bs));
+  std::size_t coeff_pos = 0;
+  std::size_t code_pos = 0;
+  std::size_t outlier_pos = 0;
+  std::size_t block_idx = 0;
+
+  for (std::int64_t bk = 0; bk < nbz; ++bk)
+    for (std::int64_t bj = 0; bj < nby; ++bj)
+      for (std::int64_t bi = 0; bi < nbx; ++bi, ++block_idx) {
+        const std::int64_t i0 = bi * bs, j0 = bj * bs, k0 = bk * bs;
+        const std::int64_t ex = std::min(bs, s.nx - i0);
+        const std::int64_t ey = std::min(bs, s.ny - j0);
+        const std::int64_t ez = std::min(bs, s.nz - k0);
+        AMRVIS_REQUIRE_MSG(block_idx < choice_bits.size(),
+                           "szlr: truncated choice stream");
+        const bool use_regression = choice_bits[block_idx] != 0;
+        RegressionFit qfit;
+        if (use_regression) qfit = coeffs.decode(coeff_stream, coeff_pos);
+
+        for (std::int64_t dz = 0; dz < ez; ++dz)
+          for (std::int64_t dy = 0; dy < ey; ++dy)
+            for (std::int64_t dx = 0; dx < ex; ++dx) {
+              const std::int64_t i = i0 + dx, j = j0 + dy, k = k0 + dz;
+              const double pred =
+                  use_regression
+                      ? qfit.b0 + qfit.bx * static_cast<double>(dx) +
+                            qfit.by * static_cast<double>(dy) +
+                            qfit.bz * static_cast<double>(dz)
+                      : lorenzo_predict(recon_c, i, j, k);
+              AMRVIS_REQUIRE_MSG(code_pos < codes.size(),
+                                 "szlr: truncated code stream");
+              recon(i, j, k) = quant.decode(codes[code_pos++], pred,
+                                            outliers.data(), outlier_pos);
+            }
+      }
+  return out;
+}
+
+}  // namespace amrvis::compress

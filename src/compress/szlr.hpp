@@ -1,0 +1,38 @@
+#pragma once
+// SZ-L/R: block-based prediction compressor in the style of SZ2
+// (Liang et al. 2018), the paper's first algorithm (§3.3).
+//
+// The input is partitioned into bs^3 blocks (bs = 6 by default). For each
+// block the encoder chooses between a first-order 3-D Lorenzo predictor
+// and a per-block linear-regression predictor (v ≈ b0 + b1 x + b2 y + b3 z),
+// whichever has the smaller estimated absolute error. Residuals go through
+// error-controlled linear quantization, canonical Huffman and an LZSS pass.
+// Regression coefficients are themselves quantized and delta-encoded
+// between consecutive regression blocks.
+//
+// The block-local prediction is what produces the characteristic
+// "block-wise artifacts" the paper analyzes (§3.3, Figs. 9f/11e).
+
+#include "compress/compressor.hpp"
+
+namespace amrvis::compress {
+
+class SzLrCompressor final : public Compressor {
+ public:
+  explicit SzLrCompressor(int block_size = 6) : block_size_(block_size) {
+    AMRVIS_REQUIRE(block_size >= 2);
+  }
+
+  [[nodiscard]] std::string name() const override { return "sz-lr"; }
+  [[nodiscard]] Bytes compress(View3<const double> data,
+                               double abs_eb) const override;
+  [[nodiscard]] Array3<double> decompress(
+      std::span<const std::uint8_t> blob) const override;
+
+  [[nodiscard]] int block_size() const { return block_size_; }
+
+ private:
+  int block_size_;
+};
+
+}  // namespace amrvis::compress

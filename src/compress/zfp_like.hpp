@@ -1,0 +1,30 @@
+#pragma once
+// ZFP-like transform codec (extension / ablation baseline).
+//
+// The paper cites ZFP (Lindstrom 2014) as the transform-based alternative
+// to SZ's prediction-based approach; our benches use this codec to show
+// how a transform codec's artifacts differ from both SZ variants. Design
+// follows ZFP's structure: 4^3 blocks, block-floating-point conversion to
+// integers, the exactly-invertible lifted decorrelating transform applied
+// along each axis, then uniform shift-quantization of coefficients and the
+// shared Huffman+LZSS entropy stage.
+//
+// Error control: the coefficient shift is chosen conservatively from the
+// requested bound divided by the transform's worst-case reconstruction
+// gain, so the absolute bound holds (verified by property tests), at some
+// compression-ratio cost versus real ZFP.
+
+#include "compress/compressor.hpp"
+
+namespace amrvis::compress {
+
+class ZfpLikeCompressor final : public Compressor {
+ public:
+  [[nodiscard]] std::string name() const override { return "zfp-like"; }
+  [[nodiscard]] Bytes compress(View3<const double> data,
+                               double abs_eb) const override;
+  [[nodiscard]] Array3<double> decompress(
+      std::span<const std::uint8_t> blob) const override;
+};
+
+}  // namespace amrvis::compress

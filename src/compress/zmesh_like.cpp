@@ -1,0 +1,37 @@
+#include "compress/zmesh_like.hpp"
+
+#include "compress/amr_compress.hpp"
+
+namespace amrvis::compress {
+
+Flat1dResult compress_hierarchy_flat1d(const amr::AmrHierarchy& hier,
+                                       const Compressor& comp,
+                                       double rel_eb) {
+  const MinMax mm = hierarchy_min_max(hier);
+  const double range =
+      mm.range() > 0 ? mm.range() : std::max(std::abs(mm.max), 1.0);
+  Flat1dResult out;
+  out.abs_eb = rel_eb * range;
+  for (int l = 0; l < hier.num_levels(); ++l) {
+    std::vector<double> flat;
+    for (const amr::FArrayBox& fab : hier.level(l).fabs)
+      flat.insert(flat.end(), fab.values().begin(), fab.values().end());
+    out.original_cells += static_cast<std::int64_t>(flat.size());
+    const View3<const double> view(
+        flat.data(), Shape3{static_cast<std::int64_t>(flat.size()), 1, 1});
+    out.level_blobs.push_back(comp.compress(view, out.abs_eb));
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> decompress_flat1d(
+    const Flat1dResult& compressed, const Compressor& comp) {
+  std::vector<std::vector<double>> out;
+  for (const Bytes& blob : compressed.level_blobs) {
+    Array3<double> data = comp.decompress(blob);
+    out.emplace_back(data.span().begin(), data.span().end());
+  }
+  return out;
+}
+
+}  // namespace amrvis::compress

@@ -1,0 +1,42 @@
+#pragma once
+// zMesh-style 1-D baseline (Luo et al., IPDPS 2021), discussed in the
+// paper's introduction: AMR data is rearranged into a 1-D array before
+// compression. The paper's critique — which TAC/AMRIC address — is that
+// 1-D flattening "restricts the use of higher-dimension compression,
+// leading to a loss of spatial information and data locality". This
+// module provides the baseline so benches can quantify that loss against
+// the per-patch 3-D path in amr_compress.
+
+#include "amr/hierarchy.hpp"
+#include "compress/compressor.hpp"
+
+namespace amrvis::compress {
+
+struct Flat1dResult {
+  std::vector<Bytes> level_blobs;     ///< one blob per level
+  std::int64_t original_cells = 0;
+  double abs_eb = 0.0;
+
+  [[nodiscard]] std::size_t compressed_bytes() const {
+    std::size_t n = 0;
+    for (const auto& b : level_blobs) n += b.size();
+    return n;
+  }
+  [[nodiscard]] double ratio() const {
+    return static_cast<double>(original_cells) * sizeof(double) /
+           static_cast<double>(compressed_bytes());
+  }
+};
+
+/// Flatten each level's patches (in patch order, x-fastest within each)
+/// into one 1-D array and compress it with `comp` at relative bound
+/// `rel_eb` (range taken over the whole hierarchy, as in amr_compress).
+Flat1dResult compress_hierarchy_flat1d(const amr::AmrHierarchy& hier,
+                                       const Compressor& comp,
+                                       double rel_eb);
+
+/// Decompress and verify shape; returns the per-level flattened arrays.
+std::vector<std::vector<double>> decompress_flat1d(
+    const Flat1dResult& compressed, const Compressor& comp);
+
+}  // namespace amrvis::compress

@@ -1,0 +1,89 @@
+#include "core/datasets.hpp"
+
+#include <algorithm>
+
+#include "sim/fields.hpp"
+#include "util/error.hpp"
+
+namespace amrvis::core {
+
+DatasetSpec nyx_spec(bool full_scale, std::uint64_t seed) {
+  DatasetSpec spec;
+  spec.name = "nyx";
+  spec.field = "Density";
+  spec.fine_shape = full_scale ? Shape3{512, 512, 512} : Shape3{128, 128, 128};
+  spec.fine_fraction = 0.407;
+  spec.criterion = sim::RefineCriterion::kMaxValue;
+  spec.seed = seed;
+  spec.iso_quantile = 0.88;  // halo outskirts: crosses level interfaces
+  return spec;
+}
+
+DatasetSpec warpx_spec(bool full_scale, std::uint64_t seed) {
+  DatasetSpec spec;
+  spec.name = "warpx";
+  spec.field = "Ez";
+  spec.fine_shape =
+      full_scale ? Shape3{256, 256, 2048} : Shape3{64, 64, 512};
+  spec.fine_fraction = 0.086;
+  spec.criterion = sim::RefineCriterion::kMaxAbsValue;
+  spec.seed = seed;
+  // Wavefront amplitude low enough that the surface spans the pulse (fine
+  // level) and the trailing wake (coarse level), crossing the interface.
+  spec.iso_fraction_of_max = 0.06;
+  return spec;
+}
+
+DatasetSpec dataset_spec(const std::string& name, bool full_scale,
+                         std::uint64_t seed) {
+  if (name == "nyx") return nyx_spec(full_scale, seed);
+  if (name == "warpx") return warpx_spec(full_scale, seed);
+  throw Error("unknown dataset: " + name + " (expected nyx or warpx)");
+}
+
+sim::SyntheticDataset make_dataset(const DatasetSpec& spec) {
+  Array3<double> truth;
+  if (spec.name == "nyx") {
+    sim::NyxLikeSpec field_spec;
+    field_spec.seed = spec.seed;
+    truth = sim::nyx_like_density(spec.fine_shape, field_spec);
+  } else if (spec.name == "warpx") {
+    sim::WarpXLikeSpec field_spec;
+    field_spec.seed = spec.seed;
+    truth = sim::warpx_like_ez(spec.fine_shape, field_spec);
+  } else {
+    throw Error("unknown dataset: " + spec.name);
+  }
+  sim::TaggingSpec tagging;
+  tagging.criterion = spec.criterion;
+  tagging.fine_fraction = spec.fine_fraction;
+  // Granularity scales with resolution so patch counts stay realistic.
+  tagging.block = std::max<std::int64_t>(4, spec.fine_shape.nx / 16);
+  tagging.buffer_blocks = 1;
+  tagging.max_grid_size = 64;
+  return sim::build_two_level_hierarchy(std::move(truth), tagging);
+}
+
+double pick_iso_value(const DatasetSpec& spec, const Array3<double>& truth) {
+  if (spec.iso_fraction_of_max > 0) {
+    double max_v = truth[0];
+    for (std::int64_t i = 0; i < truth.size(); ++i)
+      max_v = std::max(max_v, truth[i]);
+    return spec.iso_fraction_of_max * max_v;
+  }
+  std::vector<double> sorted(truth.span().begin(), truth.span().end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto idx = static_cast<std::size_t>(
+      std::clamp(spec.iso_quantile * static_cast<double>(sorted.size()),
+                 0.0, static_cast<double>(sorted.size() - 1)));
+  return sorted[idx];
+}
+
+int render_axis(const DatasetSpec& spec) {
+  const Shape3& s = spec.fine_shape;
+  if (s.nx <= s.ny && s.nx <= s.nz) return 0;
+  if (s.ny <= s.nx && s.ny <= s.nz) return 1;
+  return 2;
+}
+
+}  // namespace amrvis::core

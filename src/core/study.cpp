@@ -1,0 +1,57 @@
+#include "core/study.hpp"
+
+#include "util/timer.hpp"
+
+namespace amrvis::core {
+
+using compress::AmrCompressed;
+using compress::Compressor;
+using compress::RedundantHandling;
+
+StudyRow run_compression_study(const sim::SyntheticDataset& dataset,
+                               const Compressor& comp, double rel_eb,
+                               RedundantHandling handling,
+                               amr::AmrHierarchy* decompressed_out) {
+  StudyRow row;
+  row.compressor = comp.name();
+  row.rel_eb = rel_eb;
+
+  Timer timer;
+  const AmrCompressed compressed =
+      compress::compress_hierarchy(dataset.hierarchy, comp, rel_eb, handling);
+  row.compress_seconds = timer.seconds();
+
+  timer.reset();
+  amr::AmrHierarchy decompressed =
+      compress::decompress_hierarchy(compressed, comp);
+  row.decompress_seconds = timer.seconds();
+
+  row.ratio = compressed.ratio();
+
+  const Array3<double> original = dataset.hierarchy.composite_uniform();
+  const Array3<double> reconstructed = decompressed.composite_uniform();
+  row.psnr_db = metrics::psnr(original.span(), reconstructed.span());
+  row.ssim_value = metrics::ssim(original.view(), reconstructed.view());
+
+  if (decompressed_out != nullptr) *decompressed_out = std::move(decompressed);
+  return row;
+}
+
+std::vector<metrics::RdPoint> rate_distortion_sweep(
+    const sim::SyntheticDataset& dataset, const Compressor& comp,
+    const std::vector<double>& rel_ebs, RedundantHandling handling) {
+  std::vector<metrics::RdPoint> points;
+  points.reserve(rel_ebs.size());
+  for (double eb : rel_ebs) {
+    const StudyRow row = run_compression_study(dataset, comp, eb, handling);
+    metrics::RdPoint p;
+    p.rel_eb = eb;
+    p.ratio = row.ratio;
+    p.psnr_db = row.psnr_db;
+    p.ssim_value = row.ssim_value;
+    points.push_back(p);
+  }
+  return points;
+}
+
+}  // namespace amrvis::core

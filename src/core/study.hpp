@@ -1,0 +1,47 @@
+#pragma once
+// Quantitative compression study: the harness behind Table 2 and the
+// rate-distortion curves (Figs. 12-13).
+//
+// For one (dataset, compressor, relative error bound) it compresses the
+// hierarchy per level, decompresses, flattens both hierarchies to the
+// finest uniform grid (omitting redundant coarse data, paper Fig. 3), and
+// reports CR / PSNR / SSIM / R-SSIM on that composite — the
+// uniform-resolution data a post-analysis consumer would see.
+
+#include <vector>
+
+#include "compress/amr_compress.hpp"
+#include "metrics/quality.hpp"
+#include "sim/tagging.hpp"
+
+namespace amrvis::core {
+
+struct StudyRow {
+  std::string compressor;
+  double rel_eb = 0.0;
+  double ratio = 0.0;
+  double psnr_db = 0.0;
+  double ssim_value = 0.0;
+  [[nodiscard]] double rssim() const { return 1.0 - ssim_value; }
+  double compress_seconds = 0.0;
+  double decompress_seconds = 0.0;
+};
+
+/// Run one cell of Table 2. The decompressed hierarchy is returned through
+/// `decompressed_out` when non-null so visual studies can reuse it.
+StudyRow run_compression_study(
+    const sim::SyntheticDataset& dataset, const compress::Compressor& comp,
+    double rel_eb,
+    compress::RedundantHandling handling =
+        compress::RedundantHandling::kMeanFill,
+    amr::AmrHierarchy* decompressed_out = nullptr);
+
+/// Sweep relative error bounds into a rate-distortion curve (one line of
+/// Fig. 12/13).
+std::vector<metrics::RdPoint> rate_distortion_sweep(
+    const sim::SyntheticDataset& dataset, const compress::Compressor& comp,
+    const std::vector<double>& rel_ebs,
+    compress::RedundantHandling handling =
+        compress::RedundantHandling::kMeanFill);
+
+}  // namespace amrvis::core

@@ -1,0 +1,103 @@
+#include "core/visual_study.hpp"
+
+#include <cmath>
+
+#include "metrics/quality.hpp"
+#include "util/error.hpp"
+
+namespace amrvis::core {
+
+using render::Image;
+using render::OrthoCamera;
+using vis::TriMesh;
+using vis::Vec3;
+
+namespace {
+
+Vec3 domain_hi_world(const amr::AmrHierarchy& hier) {
+  const auto shape = hier.level(hier.num_levels() - 1).domain.shape();
+  return {static_cast<double>(shape.nx), static_cast<double>(shape.ny),
+          static_cast<double>(shape.nz)};
+}
+
+/// SSIM between two renders, as a 2-D volume.
+double image_ssim(const Image& a, const Image& b) {
+  AMRVIS_REQUIRE(a.width == b.width && a.height == b.height);
+  const Shape3 s{a.width, a.height, 1};
+  const View3<const double> va(a.gray.data(), s);
+  const View3<const double> vb(b.gray.data(), s);
+  metrics::SsimOptions opt;
+  opt.window = 11;  // image-typical window
+  return metrics::ssim(va, vb, opt);
+}
+
+}  // namespace
+
+VisualStudyResult run_visual_study(const sim::SyntheticDataset& original,
+                                   const amr::AmrHierarchy& decompressed,
+                                   double iso, vis::VisMethod method,
+                                   const VisualStudyOptions& options) {
+  VisualStudyResult result;
+  result.method = method;
+
+  const TriMesh mesh_orig =
+      vis::amr_isosurface(original.hierarchy, iso, method);
+  const TriMesh mesh_dec = vis::amr_isosurface(decompressed, iso, method);
+  result.original_triangles = mesh_orig.num_triangles();
+  result.decompressed_triangles = mesh_dec.num_triangles();
+  result.original_area = mesh_orig.area();
+  result.decompressed_area = mesh_dec.area();
+
+  const Vec3 lo{0, 0, 0};
+  const Vec3 hi = domain_hi_world(original.hierarchy);
+  result.original_cracks = vis::measure_cracks(mesh_orig, lo, hi);
+  result.decompressed_cracks = vis::measure_cracks(mesh_dec, lo, hi);
+
+  const OrthoCamera camera = OrthoCamera::fit(lo, hi, options.axis);
+  // Keep pixels square-ish for elongated domains by scaling the height to
+  // the window aspect.
+  const double aspect =
+      (camera.v1 - camera.v0) / (camera.u1 - camera.u0);
+  const int width = options.image_size;
+  const int height = std::max(
+      16, static_cast<int>(std::lround(options.image_size * aspect)));
+  const Image img_orig = render::render_mesh(mesh_orig, camera, width, height);
+  const Image img_dec = render::render_mesh(mesh_dec, camera, width, height);
+  result.image_ssim = image_ssim(img_orig, img_dec);
+
+  if (!options.dump_prefix.empty()) {
+    render::write_pgm(img_orig, options.dump_prefix + "_original.pgm");
+    render::write_pgm(img_dec, options.dump_prefix + "_decompressed.pgm");
+    render::write_level_colored_ppm(mesh_dec, camera, width, height,
+                                    options.dump_prefix + "_levels.ppm");
+  }
+  return result;
+}
+
+VisualStudyResult run_original_visual_census(
+    const sim::SyntheticDataset& original, double iso, vis::VisMethod method,
+    const VisualStudyOptions& options) {
+  VisualStudyResult result;
+  result.method = method;
+  const TriMesh mesh = vis::amr_isosurface(original.hierarchy, iso, method);
+  result.original_triangles = result.decompressed_triangles =
+      mesh.num_triangles();
+  result.original_area = result.decompressed_area = mesh.area();
+  const Vec3 lo{0, 0, 0};
+  const Vec3 hi = domain_hi_world(original.hierarchy);
+  result.original_cracks = result.decompressed_cracks =
+      vis::measure_cracks(mesh, lo, hi);
+  result.image_ssim = 1.0;
+  if (!options.dump_prefix.empty()) {
+    const OrthoCamera camera = OrthoCamera::fit(lo, hi, options.axis);
+    const double aspect = (camera.v1 - camera.v0) / (camera.u1 - camera.u0);
+    const int width = options.image_size;
+    const int height = std::max(
+        16, static_cast<int>(std::lround(options.image_size * aspect)));
+    render::write_level_colored_ppm(mesh, camera, width, height,
+                                    options.dump_prefix + "_levels.ppm");
+  }
+  return result;
+}
+
+}  // namespace amrvis::core

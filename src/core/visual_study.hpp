@@ -1,0 +1,58 @@
+#pragma once
+// Visual-impact study: the harness behind Figs. 1 and 9-11.
+//
+// For a given visualization method it extracts the iso-surface of the
+// original hierarchy and of a decompressed hierarchy, renders both with
+// the same orthographic camera, and reports:
+//  - image R-SSIM between the two renders (the paper's per-figure metric),
+//  - crack/gap census on each mesh (Fig. 1's cracks and gaps, quantified),
+//  - surface-area deviation,
+//  - a block-artifact score on the render of the decompressed data
+//    (energy of one-pixel jumps aligned with the SZ-L/R block grid).
+
+#include <optional>
+#include <string>
+
+#include "core/datasets.hpp"
+#include "render/render.hpp"
+#include "vis/amr_iso.hpp"
+#include "vis/crack.hpp"
+
+namespace amrvis::core {
+
+struct VisualStudyOptions {
+  int image_size = 384;       ///< square render resolution
+  int axis = 0;               ///< projection axis
+  std::string dump_prefix;    ///< when set, write PGM/PPM/OBJ artifacts
+};
+
+struct VisualStudyResult {
+  vis::VisMethod method{};
+  double image_ssim = 1.0;
+  [[nodiscard]] double image_rssim() const { return 1.0 - image_ssim; }
+  vis::CrackStats original_cracks;
+  vis::CrackStats decompressed_cracks;
+  double original_area = 0.0;
+  double decompressed_area = 0.0;
+  [[nodiscard]] double area_deviation() const {
+    return original_area > 0
+               ? std::abs(decompressed_area - original_area) / original_area
+               : 0.0;
+  }
+  std::size_t original_triangles = 0;
+  std::size_t decompressed_triangles = 0;
+};
+
+/// Compare `decompressed` against the dataset's own hierarchy under one
+/// visualization method at iso value `iso`.
+VisualStudyResult run_visual_study(const sim::SyntheticDataset& original,
+                                   const amr::AmrHierarchy& decompressed,
+                                   double iso, vis::VisMethod method,
+                                   const VisualStudyOptions& options);
+
+/// Crack census of the *original* data under one method (Fig. 1 harness).
+VisualStudyResult run_original_visual_census(
+    const sim::SyntheticDataset& original, double iso, vis::VisMethod method,
+    const VisualStudyOptions& options);
+
+}  // namespace amrvis::core

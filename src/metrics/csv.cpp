@@ -1,0 +1,79 @@
+#include "metrics/csv.hpp"
+
+#include <cstdio>
+
+#include "util/bytestream.hpp"
+#include "util/error.hpp"
+
+namespace amrvis::metrics {
+
+void CsvTable::add_row(std::vector<std::string> row) {
+  AMRVIS_REQUIRE_MSG(row.size() == header_.size(),
+                     "CsvTable: row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+void CsvTable::add_row(const std::vector<double>& values) {
+  std::vector<std::string> row;
+  row.reserve(values.size());
+  for (double v : values) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    row.emplace_back(buf);
+  }
+  add_row(std::move(row));
+}
+
+namespace {
+std::string quote(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string CsvTable::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i) out += ',';
+    out += quote(header_[i]);
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out += ',';
+      out += quote(row[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void CsvTable::write(const std::string& path) const {
+  const std::string text = to_string();
+  write_file(path, {reinterpret_cast<const std::uint8_t*>(text.data()),
+                    text.size()});
+}
+
+CsvTable rd_series_to_csv(const std::string& codec,
+                          const std::vector<RdPoint>& points) {
+  CsvTable table({"codec", "rel_eb", "ratio", "psnr_db", "ssim", "rssim"});
+  for (const RdPoint& p : points) {
+    char eb[32], cr[32], psnr[32], ssim_s[32], rssim[32];
+    std::snprintf(eb, sizeof eb, "%.6g", p.rel_eb);
+    std::snprintf(cr, sizeof cr, "%.6g", p.ratio);
+    std::snprintf(psnr, sizeof psnr, "%.6g", p.psnr_db);
+    std::snprintf(ssim_s, sizeof ssim_s, "%.9g", p.ssim_value);
+    std::snprintf(rssim, sizeof rssim, "%.6g", p.rssim());
+    table.add_row(std::vector<std::string>{codec, eb, cr, psnr, ssim_s,
+                                           rssim});
+  }
+  return table;
+}
+
+}  // namespace amrvis::metrics

@@ -1,0 +1,42 @@
+#pragma once
+// Minimal CSV emission for bench results: rate-distortion series and
+// generic tables, so plots of Figs. 12-13 can be regenerated outside the
+// terminal.
+
+#include <string>
+#include <vector>
+
+#include "metrics/quality.hpp"
+
+namespace amrvis::metrics {
+
+/// A generic CSV table: header plus string rows.
+class CsvTable {
+ public:
+  explicit CsvTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Add a row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Row from doubles, formatted with %.6g.
+  void add_row(const std::vector<double>& values);
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+  /// Serialize (RFC-4180-style quoting for cells containing commas).
+  [[nodiscard]] std::string to_string() const;
+
+  void write(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Rate-distortion series (one codec) to CSV rows: eb, cr, psnr, ssim,
+/// rssim.
+CsvTable rd_series_to_csv(const std::string& codec,
+                          const std::vector<RdPoint>& points);
+
+}  // namespace amrvis::metrics

@@ -1,0 +1,137 @@
+#include "metrics/quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+#include "util/stats.hpp"
+
+namespace amrvis::metrics {
+
+double mse(std::span<const double> a, std::span<const double> b) {
+  AMRVIS_REQUIRE(a.size() == b.size() && !a.empty());
+  const auto n = static_cast<std::int64_t>(a.size());
+  return parallel_reduce<double>(
+             n, 0.0,
+             [&](std::int64_t i) {
+               const double d = a[static_cast<std::size_t>(i)] -
+                                b[static_cast<std::size_t>(i)];
+               return d * d;
+             },
+             [](double x, double y) { return x + y; }) /
+         static_cast<double>(n);
+}
+
+double psnr(std::span<const double> a, std::span<const double> b) {
+  const double m = mse(a, b);
+  const double range = min_max(a).range();
+  if (m == 0.0) return std::numeric_limits<double>::infinity();
+  AMRVIS_REQUIRE_MSG(range > 0.0, "psnr: constant reference data");
+  return 20.0 * std::log10(range) - 10.0 * std::log10(m);
+}
+
+namespace {
+
+/// Separable box sum: out(i,j,k) = sum of in over the centered w-window
+/// (clamped at borders we simply sum fewer entries; the caller divides by
+/// the matching count volume, computed the same way on a ones-array —
+/// here implemented by also box-summing a count field implicitly).
+void box_sum_axis(const Array3<double>& in, Array3<double>& out, int axis,
+                  int radius) {
+  const Shape3 s = in.shape();
+  auto iv = in.view();
+  auto ov = out.view();
+  const std::int64_t n[3] = {s.nx, s.ny, s.nz};
+  const std::int64_t na = n[axis];
+  // Lines along `axis`: iterate over the other two dimensions.
+  const int u = axis == 0 ? 1 : 0;
+  const int v = axis == 2 ? 1 : 2;
+  const std::int64_t nu = n[u], nv = n[v];
+  parallel_for(nv, [&](std::int64_t cv) {
+    std::vector<double> prefix(static_cast<std::size_t>(na) + 1, 0.0);
+    for (std::int64_t cu = 0; cu < nu; ++cu) {
+      auto at = [&](std::int64_t ca) -> std::int64_t {
+        std::int64_t idx[3];
+        idx[axis] = ca;
+        idx[u] = cu;
+        idx[v] = cv;
+        return (idx[2] * s.ny + idx[1]) * s.nx + idx[0];
+      };
+      for (std::int64_t ca = 0; ca < na; ++ca)
+        prefix[static_cast<std::size_t>(ca) + 1] =
+            prefix[static_cast<std::size_t>(ca)] + iv[at(ca)];
+      for (std::int64_t ca = 0; ca < na; ++ca) {
+        const std::int64_t lo = std::max<std::int64_t>(0, ca - radius);
+        const std::int64_t hi = std::min(na - 1, ca + radius);
+        ov[at(ca)] = prefix[static_cast<std::size_t>(hi) + 1] -
+                     prefix[static_cast<std::size_t>(lo)];
+      }
+    }
+  });
+}
+
+Array3<double> box_filter(const Array3<double>& in, int radius) {
+  Array3<double> tmp(in.shape());
+  Array3<double> out(in.shape());
+  box_sum_axis(in, tmp, 0, radius);
+  box_sum_axis(tmp, out, 1, radius);
+  box_sum_axis(out, tmp, 2, radius);
+  return tmp;
+}
+
+}  // namespace
+
+double ssim(View3<const double> a, View3<const double> b,
+            const SsimOptions& options) {
+  AMRVIS_REQUIRE(a.shape() == b.shape());
+  AMRVIS_REQUIRE(options.window >= 1 && options.window % 2 == 1);
+  const Shape3 s = a.shape();
+  const int radius = options.window / 2;
+
+  const double range = [&] {
+    MinMax mm;
+    for (std::int64_t i = 0; i < a.size(); ++i) {
+      mm.min = std::min(mm.min, a[i]);
+      mm.max = std::max(mm.max, a[i]);
+    }
+    return mm.range() > 0 ? mm.range() : 1.0;
+  }();
+  const double c1 = (options.k1 * range) * (options.k1 * range);
+  const double c2 = (options.k2 * range) * (options.k2 * range);
+
+  // Window sums of x, y, x^2, y^2, xy and the window volume.
+  Array3<double> ax(s), by(s), axx(s), byy(s), axy(s), ones(s, 1.0);
+  for (std::int64_t i = 0; i < s.size(); ++i) {
+    ax[i] = a[i];
+    by[i] = b[i];
+    axx[i] = a[i] * a[i];
+    byy[i] = b[i] * b[i];
+    axy[i] = a[i] * b[i];
+  }
+  const Array3<double> sx = box_filter(ax, radius);
+  const Array3<double> sy = box_filter(by, radius);
+  const Array3<double> sxx = box_filter(axx, radius);
+  const Array3<double> syy = box_filter(byy, radius);
+  const Array3<double> sxy = box_filter(axy, radius);
+  const Array3<double> cnt = box_filter(ones, radius);
+
+  const double total = parallel_reduce<double>(
+      s.size(), 0.0,
+      [&](std::int64_t i) {
+        const double n = cnt[i];
+        const double mx = sx[i] / n;
+        const double my = sy[i] / n;
+        const double vx = std::max(0.0, sxx[i] / n - mx * mx);
+        const double vy = std::max(0.0, syy[i] / n - my * my);
+        const double cov = sxy[i] / n - mx * my;
+        const double num = (2.0 * mx * my + c1) * (2.0 * cov + c2);
+        const double den =
+            (mx * mx + my * my + c1) * (vx + vy + c2);
+        return den != 0.0 ? num / den : 1.0;
+      },
+      [](double x, double y) { return x + y; });
+  return total / static_cast<double>(s.size());
+}
+
+}  // namespace amrvis::metrics

@@ -1,0 +1,44 @@
+#pragma once
+// Reconstruction-quality metrics used throughout the paper's evaluation:
+// PSNR (data domain), windowed SSIM (data volumes and rendered images),
+// and the paper's proposed R-SSIM = 1 - SSIM (Eq. 1), which spreads the
+// "many nines" SSIM regime onto an interpretable log scale.
+
+#include <span>
+
+#include "util/array3d.hpp"
+
+namespace amrvis::metrics {
+
+/// Mean squared error.
+double mse(std::span<const double> a, std::span<const double> b);
+
+/// PSNR in dB with the peak taken as the value range of `a` (the original
+/// data), matching SZ's convention: 20*log10(range) - 10*log10(MSE).
+double psnr(std::span<const double> a, std::span<const double> b);
+
+struct SsimOptions {
+  int window = 7;       ///< cubic box window edge length (odd)
+  double k1 = 0.01;     ///< standard SSIM stabilizer constants
+  double k2 = 0.03;
+};
+
+/// Mean windowed SSIM between two equal-shape volumes (2-D images are
+/// volumes with nz == 1). Box-window implementation via running sums:
+/// O(N) regardless of window size. Dynamic range is taken from `a`.
+double ssim(View3<const double> a, View3<const double> b,
+            const SsimOptions& options = {});
+
+/// The paper's reverse SSIM (Eq. 1).
+inline double reverse_ssim(double ssim_value) { return 1.0 - ssim_value; }
+
+/// One point on a rate-distortion curve (Figs. 12-13).
+struct RdPoint {
+  double rel_eb = 0.0;
+  double ratio = 0.0;   ///< compression ratio
+  double psnr_db = 0.0;
+  double ssim_value = 0.0;
+  [[nodiscard]] double rssim() const { return reverse_ssim(ssim_value); }
+};
+
+}  // namespace amrvis::metrics

@@ -1,0 +1,154 @@
+#include "render/render.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <memory>
+
+#include "util/error.hpp"
+
+namespace amrvis::render {
+
+using vis::TriMesh;
+using vis::Vec3;
+
+OrthoCamera OrthoCamera::fit(Vec3 lo, Vec3 hi, int axis, double margin) {
+  AMRVIS_REQUIRE(axis >= 0 && axis < 3);
+  auto comp = [](const Vec3& v, int d) {
+    return d == 0 ? v.x : (d == 1 ? v.y : v.z);
+  };
+  const int ua = axis == 0 ? 1 : 0;
+  const int va = axis == 2 ? 1 : 2;
+  OrthoCamera cam;
+  cam.axis = axis;
+  const double du = comp(hi, ua) - comp(lo, ua);
+  const double dv = comp(hi, va) - comp(lo, va);
+  cam.u0 = comp(lo, ua) - margin * du;
+  cam.u1 = comp(hi, ua) + margin * du;
+  cam.v0 = comp(lo, va) - margin * dv;
+  cam.v1 = comp(hi, va) + margin * dv;
+  return cam;
+}
+
+namespace {
+
+struct Shaded {
+  Image gray;
+  std::vector<int> level;  ///< per-pixel winning triangle level (-1 = none)
+};
+
+Shaded rasterize(const TriMesh& mesh, const OrthoCamera& cam, int width,
+                 int height) {
+  AMRVIS_REQUIRE(width > 0 && height > 0);
+  Shaded out;
+  out.gray = Image(width, height);
+  out.level.assign(static_cast<std::size_t>(width) * height, -1);
+  std::vector<double> depth(static_cast<std::size_t>(width) * height,
+                            -std::numeric_limits<double>::infinity());
+
+  auto comp = [](const Vec3& v, int d) {
+    return d == 0 ? v.x : (d == 1 ? v.y : v.z);
+  };
+  const int ua = cam.axis == 0 ? 1 : 0;
+  const int va = cam.axis == 2 ? 1 : 2;
+  const double su = width / (cam.u1 - cam.u0);
+  const double sv = height / (cam.v1 - cam.v0);
+  const Vec3 light = vis::normalized({0.5, 0.6, 1.0});
+
+  for (const vis::Triangle& t : mesh.triangles) {
+    const Vec3& a = mesh.vertices[t.v[0]];
+    const Vec3& b = mesh.vertices[t.v[1]];
+    const Vec3& c = mesh.vertices[t.v[2]];
+    const Vec3 n = vis::normalized(vis::cross(b - a, c - a));
+    const double shade =
+        0.25 + 0.75 * std::abs(vis::dot(n, light));
+
+    // Project to pixel coordinates.
+    const double ax = (comp(a, ua) - cam.u0) * su;
+    const double ay = (comp(a, va) - cam.v0) * sv;
+    const double bx = (comp(b, ua) - cam.u0) * su;
+    const double by = (comp(b, va) - cam.v0) * sv;
+    const double cx = (comp(c, ua) - cam.u0) * su;
+    const double cy = (comp(c, va) - cam.v0) * sv;
+    const double az = comp(a, cam.axis);
+    const double bz = comp(b, cam.axis);
+    const double cz = comp(c, cam.axis);
+
+    const int x0 = std::max(0, static_cast<int>(
+                                   std::floor(std::min({ax, bx, cx}))));
+    const int x1 = std::min(width - 1, static_cast<int>(std::ceil(
+                                           std::max({ax, bx, cx}))));
+    const int y0 = std::max(0, static_cast<int>(
+                                   std::floor(std::min({ay, by, cy}))));
+    const int y1 = std::min(height - 1, static_cast<int>(std::ceil(
+                                            std::max({ay, by, cy}))));
+    const double area = (bx - ax) * (cy - ay) - (by - ay) * (cx - ax);
+    if (area == 0.0) continue;
+    const double inv_area = 1.0 / area;
+
+    for (int y = y0; y <= y1; ++y)
+      for (int x = x0; x <= x1; ++x) {
+        const double px = x + 0.5, py = y + 0.5;
+        const double w0 =
+            ((bx - px) * (cy - py) - (by - py) * (cx - px)) * inv_area;
+        const double w1 =
+            ((cx - px) * (ay - py) - (cy - py) * (ax - px)) * inv_area;
+        const double w2 = 1.0 - w0 - w1;
+        if (w0 < 0 || w1 < 0 || w2 < 0) continue;
+        const double z = w0 * az + w1 * bz + w2 * cz;
+        const std::size_t idx =
+            static_cast<std::size_t>(y) * width + x;
+        if (z > depth[idx]) {
+          depth[idx] = z;
+          out.gray.gray[idx] = shade;
+          out.level[idx] = t.level;
+        }
+      }
+  }
+  return out;
+}
+
+}  // namespace
+
+Image render_mesh(const TriMesh& mesh, const OrthoCamera& camera, int width,
+                  int height) {
+  return rasterize(mesh, camera, width, height).gray;
+}
+
+void write_pgm(const Image& image, const std::string& path) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "wb"), &std::fclose);
+  AMRVIS_REQUIRE_MSG(f != nullptr, "cannot open for write: " + path);
+  std::fprintf(f.get(), "P5\n%d %d\n255\n", image.width, image.height);
+  for (double g : image.gray) {
+    const auto b = static_cast<std::uint8_t>(
+        std::clamp(g, 0.0, 1.0) * 255.0 + 0.5);
+    std::fputc(b, f.get());
+  }
+}
+
+void write_level_colored_ppm(const TriMesh& mesh, const OrthoCamera& camera,
+                             int width, int height, const std::string& path) {
+  const Shaded shaded = rasterize(mesh, camera, width, height);
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "wb"), &std::fclose);
+  AMRVIS_REQUIRE_MSG(f != nullptr, "cannot open for write: " + path);
+  std::fprintf(f.get(), "P6\n%d %d\n255\n", width, height);
+  for (std::size_t i = 0; i < shaded.gray.gray.size(); ++i) {
+    const double g = std::clamp(shaded.gray.gray[i], 0.0, 1.0);
+    double r = g, gg = g, b = g;
+    if (shaded.level[i] == 0) {
+      b = std::min(1.0, g * 1.35);
+      r = g * 0.7;
+    } else if (shaded.level[i] > 0) {
+      r = std::min(1.0, g * 1.35);
+      b = g * 0.7;
+    }
+    std::fputc(static_cast<int>(r * 255.0 + 0.5), f.get());
+    std::fputc(static_cast<int>(gg * 255.0 + 0.5), f.get());
+    std::fputc(static_cast<int>(b * 255.0 + 0.5), f.get());
+  }
+}
+
+}  // namespace amrvis::render

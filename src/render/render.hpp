@@ -1,0 +1,52 @@
+#pragma once
+// Minimal deterministic software renderer: orthographic projection along a
+// chosen axis, z-buffered triangle rasterization, two-sided Lambert
+// shading. Produces grayscale images for the image-domain quality metrics
+// (paper Figs. 9-11 are exactly such renders) and optional level-colored
+// images for inspection.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vis/mesh.hpp"
+
+namespace amrvis::render {
+
+struct Image {
+  int width = 0;
+  int height = 0;
+  std::vector<double> gray;  ///< row-major, [0,1]
+
+  Image() = default;
+  Image(int w, int h) : width(w), height(h), gray(static_cast<std::size_t>(w) * h, 0.0) {}
+  double& at(int x, int y) { return gray[static_cast<std::size_t>(y) * width + x]; }
+  [[nodiscard]] double at(int x, int y) const {
+    return gray[static_cast<std::size_t>(y) * width + x];
+  }
+};
+
+struct OrthoCamera {
+  int axis = 0;       ///< world axis the camera looks along
+  double u0 = 0, u1 = 1, v0 = 0, v1 = 1;  ///< world window on the other axes
+
+  /// Frame the window on `lo`/`hi` bounds with a relative margin.
+  static OrthoCamera fit(vis::Vec3 lo, vis::Vec3 hi, int axis,
+                         double margin = 0.05);
+};
+
+/// Render `mesh` to a grayscale image. Background is 0; surfaces shade by
+/// |n . light| in [0.25, 1]. Deterministic for a fixed mesh order.
+Image render_mesh(const vis::TriMesh& mesh, const OrthoCamera& camera,
+                  int width, int height);
+
+/// Write binary PGM (8-bit grayscale).
+void write_pgm(const Image& image, const std::string& path);
+
+/// Render with per-AMR-level tinting and write a binary PPM (level 0 cool,
+/// deeper levels warm; useful to eyeball crack locations).
+void write_level_colored_ppm(const vis::TriMesh& mesh,
+                             const OrthoCamera& camera, int width, int height,
+                             const std::string& path);
+
+}  // namespace amrvis::render

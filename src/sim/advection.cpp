@@ -1,0 +1,51 @@
+#include "sim/advection.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace amrvis::sim {
+
+void advect_diffuse(Array3<double>& field, const AdvectionSpec& spec,
+                    int steps) {
+  AMRVIS_REQUIRE(std::abs(spec.vx) < 1.0 && std::abs(spec.vy) < 1.0 &&
+                 std::abs(spec.vz) < 1.0);
+  AMRVIS_REQUIRE(spec.diffusion >= 0.0 && spec.diffusion < 1.0 / 6.0);
+  const Shape3 s = field.shape();
+  Array3<double> next(s);
+  auto wrap = [](std::int64_t i, std::int64_t n) {
+    return i < 0 ? i + n : (i >= n ? i - n : i);
+  };
+  for (int step = 0; step < steps; ++step) {
+    auto f = field.view();
+    auto g = next.view();
+    parallel_for(s.nz, [&](std::int64_t k) {
+      for (std::int64_t j = 0; j < s.ny; ++j)
+        for (std::int64_t i = 0; i < s.nx; ++i) {
+          const double c = f(i, j, k);
+          // Upwind differences.
+          const double dx =
+              spec.vx >= 0 ? c - f(wrap(i - 1, s.nx), j, k)
+                           : f(wrap(i + 1, s.nx), j, k) - c;
+          const double dy =
+              spec.vy >= 0 ? c - f(i, wrap(j - 1, s.ny), k)
+                           : f(i, wrap(j + 1, s.ny), k) - c;
+          const double dz =
+              spec.vz >= 0 ? c - f(i, j, wrap(k - 1, s.nz))
+                           : f(i, j, wrap(k + 1, s.nz)) - c;
+          const double lap = f(wrap(i - 1, s.nx), j, k) +
+                             f(wrap(i + 1, s.nx), j, k) +
+                             f(i, wrap(j - 1, s.ny), k) +
+                             f(i, wrap(j + 1, s.ny), k) +
+                             f(i, j, wrap(k - 1, s.nz)) +
+                             f(i, j, wrap(k + 1, s.nz)) - 6.0 * c;
+          g(i, j, k) = c - std::abs(spec.vx) * dx - std::abs(spec.vy) * dy -
+                       std::abs(spec.vz) * dz + spec.diffusion * lap;
+        }
+    });
+    std::swap(field, next);
+  }
+}
+
+}  // namespace amrvis::sim

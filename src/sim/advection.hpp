@@ -1,0 +1,21 @@
+#pragma once
+// A small periodic advection-diffusion stepper used to "evolve" a truth
+// field over time, so examples can show AMR grid structures adapting
+// across timesteps (paper Fig. 2).
+
+#include "util/array3d.hpp"
+
+namespace amrvis::sim {
+
+struct AdvectionSpec {
+  double vx = 0.6, vy = 0.3, vz = 0.2;  ///< cells per step
+  double diffusion = 0.05;              ///< explicit diffusion coefficient
+};
+
+/// Advance `field` by `steps` first-order upwind advection-diffusion
+/// steps with periodic boundaries. CFL is the caller's responsibility
+/// (|v| < 1 and diffusion < 1/6 keep it stable).
+void advect_diffuse(Array3<double>& field, const AdvectionSpec& spec,
+                    int steps);
+
+}  // namespace amrvis::sim

@@ -1,0 +1,122 @@
+#include "sim/fields.hpp"
+
+#include <cmath>
+
+#include "sim/grf.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace amrvis::sim {
+
+Array3<double> nyx_like_density(Shape3 shape, const NyxLikeSpec& spec) {
+  GrfSpec grf;
+  grf.seed = spec.seed;
+  grf.spectral_index = 3.0;
+  Array3<double> delta = gaussian_random_field(shape, grf);
+
+  // Lognormal transform: positive, skewed, filamentary.
+  Array3<double> rho(shape);
+  parallel_for(rho.size(), [&](std::int64_t i) {
+    rho[i] = std::exp(spec.lognormal_bias * delta[i]);
+  });
+
+  // Halo injection: compact high-density peaks with a power-law
+  // amplitude distribution, the structures iso-surface studies key on.
+  Rng rng(spec.seed * 7919 + 17);
+  auto rv = rho.view();
+  for (int h = 0; h < spec.num_halos; ++h) {
+    const double cx = rng.uniform(0.0, static_cast<double>(shape.nx));
+    const double cy = rng.uniform(0.0, static_cast<double>(shape.ny));
+    const double cz = rng.uniform(0.0, static_cast<double>(shape.nz));
+    const double amp =
+        spec.halo_amplitude * std::pow(rng.next_double() + 0.05, -0.8);
+    const double sigma =
+        rng.uniform(1.5, 4.0) * static_cast<double>(shape.nx) / 128.0;
+    const double inv2s2 = 1.0 / (2.0 * sigma * sigma);
+    // Only touch a local window around the halo.
+    const auto lo = [&](double c) {
+      return std::max<std::int64_t>(
+          0, static_cast<std::int64_t>(c - 4.0 * sigma));
+    };
+    const auto hi = [&](double c, std::int64_t n) {
+      return std::min<std::int64_t>(
+          n - 1, static_cast<std::int64_t>(c + 4.0 * sigma));
+    };
+    for (std::int64_t k = lo(cz); k <= hi(cz, shape.nz); ++k)
+      for (std::int64_t j = lo(cy); j <= hi(cy, shape.ny); ++j)
+        for (std::int64_t i = lo(cx); i <= hi(cx, shape.nx); ++i) {
+          const double dx = static_cast<double>(i) - cx;
+          const double dy = static_cast<double>(j) - cy;
+          const double dz = static_cast<double>(k) - cz;
+          rv(i, j, k) +=
+              amp * std::exp(-(dx * dx + dy * dy + dz * dz) * inv2s2);
+        }
+  }
+  return rho;
+}
+
+Array3<double> warpx_like_ez(Shape3 shape, const WarpXLikeSpec& spec) {
+  Array3<double> ez(shape);
+  auto v = ez.view();
+  const double nz = static_cast<double>(shape.nz);
+  const double z0 = spec.pulse_center_z * nz;
+  const double sz = spec.pulse_sigma_z * nz;
+  const double sr = spec.pulse_sigma_r * static_cast<double>(shape.nx);
+  const double k_carrier =
+      2.0 * 3.14159265358979323846 * spec.carrier_periods / (6.0 * sz);
+  const double k_wake =
+      2.0 * 3.14159265358979323846 * spec.wake_periods / (z0 + 1.0);
+  const double cx = static_cast<double>(shape.nx - 1) / 2.0;
+  const double cy = static_cast<double>(shape.ny - 1) / 2.0;
+
+  parallel_for(shape.nz, [&](std::int64_t k) {
+    const double z = static_cast<double>(k);
+    const double dz = z - z0;
+    const double env_z = std::exp(-dz * dz / (2.0 * sz * sz));
+    // Wake exists behind the pulse, decaying slowly away from it.
+    const double behind = dz < 0 ? std::exp(dz / (16.0 * sz)) : 0.0;
+    for (std::int64_t j = 0; j < shape.ny; ++j)
+      for (std::int64_t i = 0; i < shape.nx; ++i) {
+        const double rx = static_cast<double>(i) - cx;
+        const double ry = static_cast<double>(j) - cy;
+        const double env_r =
+            std::exp(-(rx * rx + ry * ry) / (2.0 * sr * sr));
+        const double pulse = env_z * env_r * std::cos(k_carrier * dz);
+        const double wake =
+            spec.wake_amplitude * behind * env_r * std::sin(k_wake * dz);
+        // Weak global field structure (boundary fields, residual EM
+        // modes): smooth variation present across the whole box, as in
+        // real PIC snapshots.
+        const double background =
+            0.06 * std::sin(0.11 * static_cast<double>(i)) *
+            std::sin(0.09 * static_cast<double>(j)) *
+            std::cos(0.05 * z);
+        v(i, j, k) = pulse + wake + background;
+      }
+  });
+  if (spec.noise_amplitude > 0) {
+    // Deterministic per-cell noise independent of thread count.
+    Rng rng(spec.seed * 1000003 + 9);
+    for (std::int64_t i = 0; i < ez.size(); ++i)
+      ez[i] += spec.noise_amplitude * rng.normal();
+  }
+  return ez;
+}
+
+Array3<double> sphere_field(Shape3 shape, double cx, double cy, double cz,
+                            double radius) {
+  Array3<double> f(shape);
+  auto v = f.view();
+  parallel_for(shape.nz, [&](std::int64_t k) {
+    for (std::int64_t j = 0; j < shape.ny; ++j)
+      for (std::int64_t i = 0; i < shape.nx; ++i) {
+        const double dx = static_cast<double>(i) - cx;
+        const double dy = static_cast<double>(j) - cy;
+        const double dz = static_cast<double>(k) - cz;
+        v(i, j, k) = radius - std::sqrt(dx * dx + dy * dy + dz * dz);
+      }
+  });
+  return f;
+}
+
+}  // namespace amrvis::sim

@@ -1,0 +1,50 @@
+#pragma once
+// Synthetic stand-ins for the paper's two AMR applications plus small
+// analytic fields used by tests.
+//
+// - nyx_like_density: lognormal transform of a power-law Gaussian random
+//   field with injected halo peaks — clumpy, irregular, strictly positive,
+//   the qualitative fingerprint of the Nyx baryon-density snapshots.
+// - warpx_like_ez: a focused laser pulse (Gaussian envelope x carrier
+//   oscillation) plus a trailing plasma wake on an elongated domain — the
+//   smooth anisotropic fingerprint of the WarpX "Ez" field.
+
+#include <cstdint>
+
+#include "util/array3d.hpp"
+
+namespace amrvis::sim {
+
+struct NyxLikeSpec {
+  double lognormal_bias = 1.8;   ///< exp(bias * delta): clumpiness knob
+  int num_halos = 60;            ///< injected high-density peaks
+  double halo_amplitude = 40.0;  ///< peak density multiplier scale
+  std::uint64_t seed = 42;
+};
+
+/// Clumpy positive density field on a power-of-two grid.
+Array3<double> nyx_like_density(Shape3 shape, const NyxLikeSpec& spec = {});
+
+struct WarpXLikeSpec {
+  double pulse_center_z = 0.7;    ///< fraction of the z extent
+  double pulse_sigma_z = 0.035;   ///< envelope width, fraction of z extent
+  double pulse_sigma_r = 0.22;    ///< transverse width, fraction of x extent
+  double carrier_periods = 4.0;  ///< oscillations under the envelope
+  double wake_amplitude = 0.25;   ///< plasma wake relative amplitude
+  double wake_periods = 5.0;      ///< wake oscillations behind the pulse
+  /// PIC particle-noise floor relative to the pulse amplitude. Present in
+  /// any real PIC field; it is what makes global interpolation beat the
+  /// noise-amplifying Lorenzo predictor on smooth data (paper Fig. 12).
+  double noise_amplitude = 0.002;
+  std::uint64_t seed = 42;
+};
+
+/// Smooth signed field on an elongated (z-long) grid.
+Array3<double> warpx_like_ez(Shape3 shape, const WarpXLikeSpec& spec = {});
+
+/// |p - c| <= r sphere indicator smoothed: f = r - |p - c| (iso value 0 is
+/// a sphere). Used by marching-cubes tests.
+Array3<double> sphere_field(Shape3 shape, double cx, double cy, double cz,
+                            double radius);
+
+}  // namespace amrvis::sim

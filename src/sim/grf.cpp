@@ -1,0 +1,60 @@
+#include "sim/grf.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/fft.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace amrvis::sim {
+
+Array3<double> gaussian_random_field(Shape3 shape, const GrfSpec& spec) {
+  AMRVIS_REQUIRE_MSG(is_pow2(shape.nx) && is_pow2(shape.ny) &&
+                         is_pow2(shape.nz),
+                     "GRF: extents must be powers of two");
+  Array3<Complex> modes(shape);
+  Rng rng(spec.seed);
+
+  // Independent complex Gaussian mode amplitudes with |k|^-index/2 power.
+  // Taking the real part of the inverse transform symmetrizes the field
+  // (equivalent to averaging the mode with its Hermitian mirror).
+  auto wavenumber = [](std::int64_t i, std::int64_t n) {
+    const std::int64_t half = n / 2;
+    const std::int64_t k = i <= half ? i : i - n;
+    return static_cast<double>(k);
+  };
+  for (std::int64_t kz = 0; kz < shape.nz; ++kz)
+    for (std::int64_t ky = 0; ky < shape.ny; ++ky)
+      for (std::int64_t kx = 0; kx < shape.nx; ++kx) {
+        const double wx = wavenumber(kx, shape.nx);
+        const double wy = wavenumber(ky, shape.ny);
+        const double wz = wavenumber(kz, shape.nz);
+        const double k = std::sqrt(wx * wx + wy * wy + wz * wz);
+        double amp = 0.0;
+        if (k >= spec.kmin)
+          amp = std::pow(k, -spec.spectral_index / 2.0);
+        modes(kx, ky, kz) =
+            Complex(rng.normal() * amp, rng.normal() * amp);
+      }
+  modes(0, 0, 0) = Complex(0.0, 0.0);  // zero mean
+
+  fft_3d(modes, /*inverse=*/true);
+
+  Array3<double> out(shape);
+  for (std::int64_t i = 0; i < out.size(); ++i) out[i] = modes[i].real();
+
+  // Normalize to zero mean, unit variance.
+  const double m = mean(out.span());
+  double var = 0.0;
+  for (std::int64_t i = 0; i < out.size(); ++i) {
+    out[i] -= m;
+    var += out[i] * out[i];
+  }
+  var /= static_cast<double>(out.size());
+  const double inv_std = var > 0 ? 1.0 / std::sqrt(var) : 1.0;
+  for (std::int64_t i = 0; i < out.size(); ++i) out[i] *= inv_std;
+  return out;
+}
+
+}  // namespace amrvis::sim

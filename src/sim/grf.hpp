@@ -1,0 +1,22 @@
+#pragma once
+// Gaussian random fields with power-law spectra, generated spectrally via
+// the in-house FFT. This is the statistical engine behind the Nyx-like
+// synthetic cosmology field.
+
+#include <cstdint>
+
+#include "util/array3d.hpp"
+
+namespace amrvis::sim {
+
+struct GrfSpec {
+  double spectral_index = 3.0;  ///< P(k) ~ k^-index (3 => scale-invariant-ish)
+  double kmin = 1.0;            ///< low-k cutoff in grid modes
+  std::uint64_t seed = 42;
+};
+
+/// Real Gaussian random field on a power-of-two grid, normalized to zero
+/// mean and unit variance.
+Array3<double> gaussian_random_field(Shape3 shape, const GrfSpec& spec);
+
+}  // namespace amrvis::sim

@@ -1,0 +1,266 @@
+#include "sim/tagging.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "amr/sampling.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace amrvis::sim {
+
+using amr::AmrHierarchy;
+using amr::AmrLevel;
+using amr::Box;
+using amr::BoxArray;
+using amr::FArrayBox;
+using amr::IntVect;
+
+Array3<double> block_scores(const Array3<double>& field,
+                            RefineCriterion criterion, std::int64_t block) {
+  const Shape3 fs = field.shape();
+  const Shape3 bs{(fs.nx + block - 1) / block, (fs.ny + block - 1) / block,
+                  (fs.nz + block - 1) / block};
+  Array3<double> scores(bs, 0.0);
+  auto sv = scores.view();
+  auto fv = field.view();
+  parallel_for(bs.nz, [&](std::int64_t bk) {
+    for (std::int64_t bj = 0; bj < bs.ny; ++bj)
+      for (std::int64_t bi = 0; bi < bs.nx; ++bi) {
+        double score = -std::numeric_limits<double>::infinity();
+        const std::int64_t k1 = std::min((bk + 1) * block, fs.nz);
+        const std::int64_t j1 = std::min((bj + 1) * block, fs.ny);
+        const std::int64_t i1 = std::min((bi + 1) * block, fs.nx);
+        for (std::int64_t k = bk * block; k < k1; ++k)
+          for (std::int64_t j = bj * block; j < j1; ++j)
+            for (std::int64_t i = bi * block; i < i1; ++i) {
+              double c = 0.0;
+              switch (criterion) {
+                case RefineCriterion::kMaxValue:
+                  c = fv(i, j, k);
+                  break;
+                case RefineCriterion::kMaxAbsValue:
+                  c = std::abs(fv(i, j, k));
+                  break;
+                case RefineCriterion::kGradient: {
+                  const double gx =
+                      fv(std::min(i + 1, fs.nx - 1), j, k) -
+                      fv(std::max<std::int64_t>(i - 1, 0), j, k);
+                  const double gy =
+                      fv(i, std::min(j + 1, fs.ny - 1), k) -
+                      fv(i, std::max<std::int64_t>(j - 1, 0), k);
+                  const double gz =
+                      fv(i, j, std::min(k + 1, fs.nz - 1)) -
+                      fv(i, j, std::max<std::int64_t>(k - 1, 0));
+                  c = std::sqrt(gx * gx + gy * gy + gz * gz);
+                  break;
+                }
+              }
+              score = std::max(score, c);
+            }
+        sv(bi, bj, bk) = score;
+      }
+  });
+  return scores;
+}
+
+std::vector<Box> cluster_tags(const Array3<std::uint8_t>& tags) {
+  const Shape3 s = tags.shape();
+  // Step 1: x-runs per (j, k).
+  struct Run {
+    std::int64_t x0, x1, y0, y1, z0, z1;
+  };
+  std::vector<Run> runs;
+  for (std::int64_t k = 0; k < s.nz; ++k)
+    for (std::int64_t j = 0; j < s.ny; ++j) {
+      std::int64_t i = 0;
+      while (i < s.nx) {
+        if (!tags(i, j, k)) {
+          ++i;
+          continue;
+        }
+        std::int64_t start = i;
+        while (i < s.nx && tags(i, j, k)) ++i;
+        runs.push_back({start, i - 1, j, j, k, k});
+      }
+    }
+
+  // Step 2: merge runs with identical x-extent adjacent in y (same z).
+  std::vector<Run> plates;
+  for (const Run& r : runs) {
+    bool merged = false;
+    for (Run& p : plates)
+      if (p.z0 == r.z0 && p.z1 == r.z1 && p.x0 == r.x0 && p.x1 == r.x1 &&
+          p.y1 + 1 == r.y0) {
+        p.y1 = r.y1;
+        merged = true;
+        break;
+      }
+    if (!merged) plates.push_back(r);
+  }
+
+  // Step 3: merge plates with identical (x, y)-extent adjacent in z.
+  std::vector<Run> bricks;
+  for (const Run& p : plates) {
+    bool merged = false;
+    for (Run& b : bricks)
+      if (b.x0 == p.x0 && b.x1 == p.x1 && b.y0 == p.y0 && b.y1 == p.y1 &&
+          b.z1 + 1 == p.z0) {
+        b.z1 = p.z1;
+        merged = true;
+        break;
+      }
+    if (!merged) bricks.push_back(p);
+  }
+
+  std::vector<Box> out;
+  out.reserve(bricks.size());
+  for (const Run& b : bricks)
+    out.emplace_back(IntVect{b.x0, b.y0, b.z0}, IntVect{b.x1, b.y1, b.z1});
+  return out;
+}
+
+namespace {
+
+/// Split a box into pieces no larger than `max_size` per dimension.
+void split_box(const Box& b, std::int64_t max_size, std::vector<Box>& out) {
+  const IntVect sz = b.size();
+  if (sz.x <= max_size && sz.y <= max_size && sz.z <= max_size) {
+    out.push_back(b);
+    return;
+  }
+  // Split the longest axis in half (aligned to 2 for refinement parity).
+  int axis = 0;
+  if (sz.y > sz[axis]) axis = 1;
+  if (sz.z > sz[axis]) axis = 2;
+  IntVect hi = b.hi();
+  const std::int64_t mid =
+      b.lo()[axis] + ((sz[axis] / 2 + 1) & ~std::int64_t{1}) - 1;
+  hi[axis] = mid;
+  IntVect lo2 = b.lo();
+  lo2[axis] = mid + 1;
+  split_box(Box{b.lo(), hi}, max_size, out);
+  split_box(Box{lo2, b.hi()}, max_size, out);
+}
+
+}  // namespace
+
+namespace {
+
+Array3<std::uint8_t> dilate_tags(const Array3<std::uint8_t>& tags,
+                                 std::int64_t r) {
+  if (r <= 0) return tags;
+  const Shape3 bs = tags.shape();
+  Array3<std::uint8_t> dilated(bs, 0);
+  auto tv = tags.view();
+  auto dv = dilated.view();
+  for (std::int64_t k = 0; k < bs.nz; ++k)
+    for (std::int64_t j = 0; j < bs.ny; ++j)
+      for (std::int64_t i = 0; i < bs.nx; ++i) {
+        if (!tv(i, j, k)) continue;
+        for (std::int64_t dk = -r; dk <= r; ++dk)
+          for (std::int64_t dj = -r; dj <= r; ++dj)
+            for (std::int64_t di = -r; di <= r; ++di) {
+              const std::int64_t a = i + di, b = j + dj, c = k + dk;
+              if (a >= 0 && a < bs.nx && b >= 0 && b < bs.ny && c >= 0 &&
+                  c < bs.nz)
+                dv(a, b, c) = 1;
+            }
+      }
+  return dilated;
+}
+
+Array3<std::uint8_t> tags_for_threshold(const Array3<double>& scores,
+                                        double threshold, std::int64_t r) {
+  Array3<std::uint8_t> tags(scores.shape(), 0);
+  for (std::int64_t i = 0; i < scores.size(); ++i)
+    tags[i] = scores[i] >= threshold ? 1 : 0;
+  return dilate_tags(tags, r);
+}
+
+double coverage(const Array3<std::uint8_t>& tags) {
+  std::int64_t n = 0;
+  for (std::int64_t i = 0; i < tags.size(); ++i) n += tags[i];
+  return static_cast<double>(n) / static_cast<double>(tags.size());
+}
+
+}  // namespace
+
+SyntheticDataset build_two_level_hierarchy(Array3<double> fine_field,
+                                           const TaggingSpec& spec) {
+  const Shape3 fs = fine_field.shape();
+  AMRVIS_REQUIRE_MSG(fs.nx % (2 * spec.block) == 0 &&
+                         fs.ny % (2 * spec.block) == 0 &&
+                         fs.nz % (2 * spec.block) == 0,
+                     "fine extents must be divisible by 2*block");
+
+  // Score blocks, then bisect the threshold so the *post-dilation*
+  // coverage hits the target fraction (the buffer would otherwise inflate
+  // the refined region well past it).
+  Array3<double> scores =
+      block_scores(fine_field, spec.criterion, spec.block);
+  std::vector<double> sorted(scores.span().begin(), scores.span().end());
+  std::sort(sorted.begin(), sorted.end());
+  // Bisect over the sorted score index (coverage is monotone in it).
+  std::size_t lo = 0, hi = sorted.size() - 1;
+  Array3<std::uint8_t> tags;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    tags = tags_for_threshold(scores, sorted[mid], spec.buffer_blocks);
+    if (coverage(tags) > spec.fine_fraction)
+      lo = mid + 1;  // too much refined: raise the threshold
+    else
+      hi = mid;
+  }
+  tags = tags_for_threshold(scores, sorted[lo], spec.buffer_blocks);
+
+  // Cluster into patches (block units -> fine cells), split oversized.
+  std::vector<Box> fine_boxes;
+  for (const Box& bb : cluster_tags(tags)) {
+    const Box cells{bb.lo() * spec.block,
+                    (bb.hi() + IntVect::uniform(1)) * spec.block -
+                        IntVect::uniform(1)};
+    split_box(cells, spec.max_grid_size, fine_boxes);
+  }
+
+  // Assemble the hierarchy.
+  const Box fine_domain = Box::from_shape(fs);
+  const Box coarse_domain = fine_domain.coarsen(2);
+
+  AmrHierarchy hier(2);
+
+  // Level 0: conservative average of the truth, chunked patches.
+  Array3<double> coarse = amr::coarsen_average(fine_field.view(), 2);
+  AmrLevel l0;
+  l0.domain = coarse_domain;
+  std::vector<Box> coarse_boxes;
+  split_box(coarse_domain, spec.max_grid_size, coarse_boxes);
+  for (const Box& cb : coarse_boxes) {
+    FArrayBox fab(cb);
+    for (std::int64_t k = cb.lo().z; k <= cb.hi().z; ++k)
+      for (std::int64_t j = cb.lo().y; j <= cb.hi().y; ++j)
+        for (std::int64_t i = cb.lo().x; i <= cb.hi().x; ++i)
+          fab.at({i, j, k}) = coarse(i, j, k);
+    l0.box_array.push_back(cb);
+    l0.fabs.push_back(std::move(fab));
+  }
+  hier.add_level(std::move(l0));
+
+  // Level 1: fine patches filled from the truth field.
+  AmrLevel l1;
+  l1.domain = fine_domain;
+  for (const Box& fb : fine_boxes) {
+    FArrayBox fab(fb);
+    for (std::int64_t k = fb.lo().z; k <= fb.hi().z; ++k)
+      for (std::int64_t j = fb.lo().y; j <= fb.hi().y; ++j)
+        for (std::int64_t i = fb.lo().x; i <= fb.hi().x; ++i)
+          fab.at({i, j, k}) = fine_field(i, j, k);
+    l1.box_array.push_back(fb);
+    l1.fabs.push_back(std::move(fab));
+  }
+  hier.add_level(std::move(l1));
+
+  return SyntheticDataset{std::move(hier), std::move(fine_field)};
+}
+
+}  // namespace amrvis::sim

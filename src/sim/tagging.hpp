@@ -1,0 +1,52 @@
+#pragma once
+// Refinement tagging and grid generation: turn a finest-resolution truth
+// field into a two-level patch-based hierarchy the way an AMReX regrid
+// does (paper §2.2, Fig. 2): score blocks by a refinement criterion,
+// threshold at a quantile calibrated to a target fine coverage, buffer,
+// and cluster tagged blocks into rectangular patches.
+
+#include <cstdint>
+#include <vector>
+
+#include "amr/hierarchy.hpp"
+#include "util/array3d.hpp"
+
+namespace amrvis::sim {
+
+enum class RefineCriterion {
+  kMaxValue,      ///< refine where the block max exceeds the threshold
+  kMaxAbsValue,   ///< refine on |value| (signed fields like Ez)
+  kGradient,      ///< refine on the max gradient magnitude in the block
+};
+
+struct TaggingSpec {
+  RefineCriterion criterion = RefineCriterion::kMaxValue;
+  double fine_fraction = 0.4;   ///< target fraction of the domain refined
+  std::int64_t block = 8;       ///< tagging granularity in fine cells
+  std::int64_t buffer_blocks = 1;  ///< dilation around tagged blocks
+  std::int64_t max_grid_size = 64; ///< patches are split to at most this
+};
+
+/// Two-level dataset: the hierarchy plus the uniform truth field it was
+/// built from (kept for reference-quality comparisons).
+struct SyntheticDataset {
+  amr::AmrHierarchy hierarchy;
+  Array3<double> fine_truth;
+};
+
+/// Build a two-level hierarchy from `fine_field` (defined on the fine
+/// domain). Level 0 is the conservative average of the field at half
+/// resolution (split into max_grid_size^3 patches); level 1 contains the
+/// clustered fine patches. Fine extents must be divisible by 2*block.
+SyntheticDataset build_two_level_hierarchy(Array3<double> fine_field,
+                                           const TaggingSpec& spec);
+
+/// Greedy rectangular clustering of tagged blocks (in block units):
+/// x-runs merged into y-plates merged into z-bricks.
+std::vector<amr::Box> cluster_tags(const Array3<std::uint8_t>& tags);
+
+/// Per-block refinement scores for `field` at granularity `block`.
+Array3<double> block_scores(const Array3<double>& field,
+                            RefineCriterion criterion, std::int64_t block);
+
+}  // namespace amrvis::sim

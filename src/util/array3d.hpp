@@ -1,0 +1,114 @@
+#pragma once
+// Lightweight 3-D array views and owning arrays with (i fastest) C-order
+// layout index = (k*ny + j)*nx + i, matching the x-fastest layout AMReX
+// uses for a single FAB. All compressors and visualization kernels operate
+// on these views so the memory layout assumption lives here.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace amrvis {
+
+/// Shape of a 3-D array. 2-D data uses nz == 1; 1-D uses ny == nz == 1.
+struct Shape3 {
+  std::int64_t nx = 0;
+  std::int64_t ny = 0;
+  std::int64_t nz = 0;
+
+  [[nodiscard]] std::int64_t size() const { return nx * ny * nz; }
+  [[nodiscard]] bool valid() const { return nx > 0 && ny > 0 && nz > 0; }
+  /// Number of dimensions with extent > 1 (minimum 1).
+  [[nodiscard]] int rank() const {
+    int r = 0;
+    if (nx > 1) ++r;
+    if (ny > 1) ++r;
+    if (nz > 1) ++r;
+    return r == 0 ? 1 : r;
+  }
+  friend bool operator==(const Shape3&, const Shape3&) = default;
+};
+
+/// Non-owning mutable 3-D view.
+template <typename T>
+class View3 {
+ public:
+  View3() = default;
+  View3(T* data, Shape3 shape) : data_(data), shape_(shape) {
+    AMRVIS_REQUIRE(shape.valid());
+  }
+  View3(std::span<T> data, Shape3 shape) : View3(data.data(), shape) {
+    AMRVIS_REQUIRE(static_cast<std::int64_t>(data.size()) >= shape.size());
+  }
+  /// View3<T> converts implicitly to View3<const T>.
+  template <typename U = T,
+            typename = std::enable_if_t<std::is_const_v<U>>>
+  View3(View3<std::remove_const_t<T>> other)  // NOLINT(google-explicit-constructor)
+      : data_(other.data()), shape_(other.shape()) {}
+
+  [[nodiscard]] const Shape3& shape() const { return shape_; }
+  [[nodiscard]] std::int64_t size() const { return shape_.size(); }
+  [[nodiscard]] T* data() const { return data_; }
+  [[nodiscard]] std::span<T> span() const {
+    return {data_, static_cast<std::size_t>(size())};
+  }
+
+  [[nodiscard]] std::int64_t index(std::int64_t i, std::int64_t j,
+                                   std::int64_t k) const {
+    AMRVIS_ASSERT(i >= 0 && i < shape_.nx);
+    AMRVIS_ASSERT(j >= 0 && j < shape_.ny);
+    AMRVIS_ASSERT(k >= 0 && k < shape_.nz);
+    return (k * shape_.ny + j) * shape_.nx + i;
+  }
+
+  T& operator()(std::int64_t i, std::int64_t j, std::int64_t k) const {
+    return data_[index(i, j, k)];
+  }
+  T& operator[](std::int64_t flat) const { return data_[flat]; }
+
+ private:
+  T* data_ = nullptr;
+  Shape3 shape_{};
+};
+
+/// Owning 3-D array.
+template <typename T>
+class Array3 {
+ public:
+  Array3() = default;
+  explicit Array3(Shape3 shape, T fill = T{})
+      : shape_(shape), data_(static_cast<std::size_t>(shape.size()), fill) {
+    AMRVIS_REQUIRE(shape.valid());
+  }
+
+  [[nodiscard]] const Shape3& shape() const { return shape_; }
+  [[nodiscard]] std::int64_t size() const { return shape_.size(); }
+  [[nodiscard]] T* data() { return data_.data(); }
+  [[nodiscard]] const T* data() const { return data_.data(); }
+  [[nodiscard]] std::span<T> span() { return data_; }
+  [[nodiscard]] std::span<const T> span() const { return data_; }
+
+  [[nodiscard]] View3<T> view() { return {data_.data(), shape_}; }
+  [[nodiscard]] View3<const T> view() const { return {data_.data(), shape_}; }
+
+  T& operator()(std::int64_t i, std::int64_t j, std::int64_t k) {
+    return data_[static_cast<std::size_t>(view().index(i, j, k))];
+  }
+  const T& operator()(std::int64_t i, std::int64_t j, std::int64_t k) const {
+    return data_[static_cast<std::size_t>(view().index(i, j, k))];
+  }
+  T& operator[](std::int64_t flat) {
+    return data_[static_cast<std::size_t>(flat)];
+  }
+  const T& operator[](std::int64_t flat) const {
+    return data_[static_cast<std::size_t>(flat)];
+  }
+
+ private:
+  Shape3 shape_{};
+  std::vector<T> data_;
+};
+
+}  // namespace amrvis

@@ -1,0 +1,35 @@
+#include "util/bytestream.hpp"
+
+#include <cstdio>
+#include <memory>
+
+namespace amrvis {
+
+void write_file(const std::string& path, std::span<const std::uint8_t> data) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "wb"), &std::fclose);
+  AMRVIS_REQUIRE_MSG(f != nullptr, "cannot open for write: " + path);
+  if (!data.empty()) {
+    const std::size_t n = std::fwrite(data.data(), 1, data.size(), f.get());
+    AMRVIS_REQUIRE_MSG(n == data.size(), "short write: " + path);
+  }
+}
+
+Bytes read_file(const std::string& path) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "rb"), &std::fclose);
+  AMRVIS_REQUIRE_MSG(f != nullptr, "cannot open for read: " + path);
+  std::fseek(f.get(), 0, SEEK_END);
+  const long size = std::ftell(f.get());
+  AMRVIS_REQUIRE_MSG(size >= 0, "cannot stat: " + path);
+  std::fseek(f.get(), 0, SEEK_SET);
+  Bytes data(static_cast<std::size_t>(size));
+  if (size > 0) {
+    const std::size_t n =
+        std::fread(data.data(), 1, data.size(), f.get());
+    AMRVIS_REQUIRE_MSG(n == data.size(), "short read: " + path);
+  }
+  return data;
+}
+
+}  // namespace amrvis

@@ -1,0 +1,152 @@
+#pragma once
+// Byte- and bit-granular serialization used by the compression codecs.
+//
+// ByteWriter/ByteReader: little-endian POD packing with bounds checking.
+// BitWriter/BitReader: MSB-first bit packing (Huffman codes, ZFP-like
+// bit planes). All containers are std::vector<std::uint8_t>.
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace amrvis {
+
+using Bytes = std::vector<std::uint8_t>;
+
+class ByteWriter {
+ public:
+  explicit ByteWriter(Bytes& out) : out_(out) {}
+
+  template <typename T>
+  void put(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t pos = out_.size();
+    out_.resize(pos + sizeof(T));
+    std::memcpy(out_.data() + pos, &value, sizeof(T));
+  }
+
+  void put_bytes(std::span<const std::uint8_t> bytes) {
+    out_.insert(out_.end(), bytes.begin(), bytes.end());
+  }
+
+  /// Length-prefixed (u64) byte blob.
+  void put_blob(std::span<const std::uint8_t> bytes) {
+    put<std::uint64_t>(bytes.size());
+    put_bytes(bytes);
+  }
+
+  [[nodiscard]] std::size_t size() const { return out_.size(); }
+
+ private:
+  Bytes& out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> in) : in_(in) {}
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    AMRVIS_REQUIRE_MSG(pos_ + sizeof(T) <= in_.size(),
+                       "ByteReader: truncated stream");
+    T value;
+    std::memcpy(&value, in_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  std::span<const std::uint8_t> get_bytes(std::size_t n) {
+    AMRVIS_REQUIRE_MSG(pos_ + n <= in_.size(),
+                       "ByteReader: truncated stream");
+    auto s = in_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  std::span<const std::uint8_t> get_blob() {
+    const auto n = get<std::uint64_t>();
+    return get_bytes(static_cast<std::size_t>(n));
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return in_.size() - pos_; }
+  [[nodiscard]] std::size_t position() const { return pos_; }
+
+ private:
+  std::span<const std::uint8_t> in_;
+  std::size_t pos_ = 0;
+};
+
+/// MSB-first bit writer.
+class BitWriter {
+ public:
+  /// Append the low `nbits` bits of `value`, most significant first.
+  void put_bits(std::uint64_t value, int nbits) {
+    AMRVIS_ASSERT(nbits >= 0 && nbits <= 64);
+    for (int b = nbits - 1; b >= 0; --b) put_bit((value >> b) & 1u);
+  }
+
+  void put_bit(std::uint64_t bit) {
+    if (fill_ == 0) bytes_.push_back(0);
+    bytes_.back() |= static_cast<std::uint8_t>((bit & 1u) << (7 - fill_));
+    fill_ = (fill_ + 1) & 7;
+  }
+
+  /// Total bits written so far.
+  [[nodiscard]] std::uint64_t bit_count() const {
+    return bytes_.empty()
+               ? 0
+               : (static_cast<std::uint64_t>(bytes_.size()) - 1) * 8 +
+                     (fill_ == 0 ? 8 : static_cast<std::uint64_t>(fill_));
+  }
+
+  [[nodiscard]] const Bytes& bytes() const { return bytes_; }
+  [[nodiscard]] Bytes take() { return std::move(bytes_); }
+
+ private:
+  Bytes bytes_;
+  int fill_ = 0;  // bits used in the last byte (0 == byte full / none open)
+};
+
+/// MSB-first bit reader.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] std::uint64_t get_bit() {
+    AMRVIS_REQUIRE_MSG(byte_ < bytes_.size(), "BitReader: out of bits");
+    const std::uint64_t bit = (bytes_[byte_] >> (7 - bit_)) & 1u;
+    if (++bit_ == 8) {
+      bit_ = 0;
+      ++byte_;
+    }
+    return bit;
+  }
+
+  [[nodiscard]] std::uint64_t get_bits(int nbits) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < nbits; ++i) v = (v << 1) | get_bit();
+    return v;
+  }
+
+  [[nodiscard]] std::uint64_t bits_consumed() const {
+    return byte_ * 8 + static_cast<std::uint64_t>(bit_);
+  }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t byte_ = 0;
+  int bit_ = 0;
+};
+
+/// Write bytes to a file, throwing on failure.
+void write_file(const std::string& path, std::span<const std::uint8_t> data);
+
+/// Read a whole file, throwing on failure.
+Bytes read_file(const std::string& path);
+
+}  // namespace amrvis

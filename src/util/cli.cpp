@@ -1,0 +1,64 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace amrvis {
+
+void Cli::add_flag(const std::string& name, const std::string& default_value,
+                   const std::string& help) {
+  flags_[name] = Flag{default_value, help};
+}
+
+bool Cli::parse(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "amrvis";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    AMRVIS_REQUIRE_MSG(arg.rfind("--", 0) == 0, "expected --flag, got " + arg);
+    arg = arg.substr(2);
+    if (arg == "help") {
+      std::printf("usage: %s [flags]\n", program_.c_str());
+      for (const auto& [name, flag] : flags_)
+        std::printf("  --%-24s %s (default: %s)\n", name.c_str(),
+                    flag.help.c_str(), flag.value.c_str());
+      return false;
+    }
+    std::string value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+    } else {
+      value = "1";  // boolean flag
+    }
+    auto it = flags_.find(arg);
+    AMRVIS_REQUIRE_MSG(it != flags_.end(), "unknown flag: --" + arg);
+    it->second.value = value;
+  }
+  return true;
+}
+
+std::string Cli::get(const std::string& name) const {
+  auto it = flags_.find(name);
+  AMRVIS_REQUIRE_MSG(it != flags_.end(), "undeclared flag: " + name);
+  return it->second.value;
+}
+
+std::int64_t Cli::get_int(const std::string& name) const {
+  return std::strtoll(get(name).c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name) const {
+  return std::strtod(get(name).c_str(), nullptr);
+}
+
+bool Cli::get_bool(const std::string& name) const {
+  const std::string v = get(name);
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+}  // namespace amrvis

@@ -1,0 +1,39 @@
+#pragma once
+// Tiny command-line flag parser shared by benches and examples.
+//
+// Supports `--name value`, `--name=value`, and boolean `--name`. Unknown
+// flags are an error so typos in bench invocations fail loudly.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace amrvis {
+
+class Cli {
+ public:
+  /// Declare a flag with a default value and help text before parse().
+  void add_flag(const std::string& name, const std::string& default_value,
+                const std::string& help);
+
+  /// Parse argv; throws amrvis::Error on unknown flags. `--help` prints
+  /// usage and returns false (caller should exit 0).
+  bool parse(int argc, char** argv);
+
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string help;
+  };
+  std::map<std::string, Flag> flags_;
+  std::string program_;
+};
+
+}  // namespace amrvis

@@ -1,0 +1,60 @@
+#pragma once
+// Error handling for amrvis.
+//
+// Library code reports contract violations and unrecoverable conditions by
+// throwing amrvis::Error. AMRVIS_REQUIRE is used for preconditions on public
+// API entry points (always on, independent of NDEBUG); AMRVIS_ASSERT is an
+// internal invariant check compiled out in release-like builds.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace amrvis {
+
+/// Exception type thrown by all amrvis libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* kind, const char* expr,
+                              const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace amrvis
+
+/// Precondition check: always active.
+#define AMRVIS_REQUIRE(expr)                                              \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::amrvis::detail::fail("precondition", #expr, __FILE__, __LINE__,  \
+                             std::string{});                              \
+  } while (0)
+
+/// Precondition check with message: always active.
+#define AMRVIS_REQUIRE_MSG(expr, msg)                                     \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::amrvis::detail::fail("precondition", #expr, __FILE__, __LINE__,  \
+                             (msg));                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define AMRVIS_ASSERT(expr) ((void)0)
+#else
+/// Internal invariant check: active unless NDEBUG.
+#define AMRVIS_ASSERT(expr)                                               \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::amrvis::detail::fail("invariant", #expr, __FILE__, __LINE__,     \
+                             std::string{});                              \
+  } while (0)
+#endif

@@ -1,0 +1,78 @@
+#include "util/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace amrvis {
+
+void fft_1d(Complex* data, std::int64_t n, bool inverse) {
+  AMRVIS_REQUIRE_MSG(is_pow2(n), "fft_1d: size must be a power of two");
+  // Bit-reversal permutation.
+  for (std::int64_t i = 1, j = 0; i < n; ++i) {
+    std::int64_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Danielson–Lanczos butterflies.
+  for (std::int64_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::int64_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::int64_t k = 0; k < len / 2; ++k) {
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (std::int64_t i = 0; i < n; ++i) data[i] *= scale;
+  }
+}
+
+void fft_3d(Array3<Complex>& data, bool inverse) {
+  const Shape3 s = data.shape();
+  AMRVIS_REQUIRE_MSG(is_pow2(s.nx) && is_pow2(s.ny) && is_pow2(s.nz),
+                     "fft_3d: extents must be powers of two");
+  Complex* d = data.data();
+
+  // Transform along x: contiguous rows.
+  parallel_for(s.ny * s.nz, [&](std::int64_t row) {
+    fft_1d(d + row * s.nx, s.nx, inverse);
+  });
+
+  // Transform along y: gather strided columns per (k, i).
+  parallel_for(s.nz * s.nx, [&](std::int64_t idx) {
+    const std::int64_t k = idx / s.nx;
+    const std::int64_t i = idx % s.nx;
+    std::vector<Complex> tmp(static_cast<std::size_t>(s.ny));
+    for (std::int64_t j = 0; j < s.ny; ++j)
+      tmp[static_cast<std::size_t>(j)] = d[(k * s.ny + j) * s.nx + i];
+    fft_1d(tmp.data(), s.ny, inverse);
+    for (std::int64_t j = 0; j < s.ny; ++j)
+      d[(k * s.ny + j) * s.nx + i] = tmp[static_cast<std::size_t>(j)];
+  });
+
+  // Transform along z.
+  parallel_for(s.ny * s.nx, [&](std::int64_t idx) {
+    const std::int64_t j = idx / s.nx;
+    const std::int64_t i = idx % s.nx;
+    std::vector<Complex> tmp(static_cast<std::size_t>(s.nz));
+    for (std::int64_t k = 0; k < s.nz; ++k)
+      tmp[static_cast<std::size_t>(k)] = d[(k * s.ny + j) * s.nx + i];
+    fft_1d(tmp.data(), s.nz, inverse);
+    for (std::int64_t k = 0; k < s.nz; ++k)
+      d[(k * s.ny + j) * s.nx + i] = tmp[static_cast<std::size_t>(k)];
+  });
+}
+
+}  // namespace amrvis

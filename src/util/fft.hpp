@@ -1,0 +1,26 @@
+#pragma once
+// Radix-2 complex FFT (1-D) and a 3-D transform built from it.
+//
+// Used only by the Gaussian-random-field generator in src/sim; sizes are
+// powers of two. Forward transform uses e^{-i...}; inverse divides by N.
+
+#include <complex>
+#include <vector>
+
+#include "util/array3d.hpp"
+
+namespace amrvis {
+
+using Complex = std::complex<double>;
+
+/// In-place iterative radix-2 FFT. `n` must be a power of two.
+/// `inverse` selects the inverse transform (includes the 1/n scaling).
+void fft_1d(Complex* data, std::int64_t n, bool inverse);
+
+/// 3-D FFT over an Array3<Complex>; each extent must be a power of two.
+void fft_3d(Array3<Complex>& data, bool inverse);
+
+/// True iff v is a power of two (v >= 1).
+constexpr bool is_pow2(std::int64_t v) { return v > 0 && (v & (v - 1)) == 0; }
+
+}  // namespace amrvis

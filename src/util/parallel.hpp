@@ -1,0 +1,82 @@
+#pragma once
+// OpenMP-backed parallel loop helpers.
+//
+// All hot loops in amrvis go through parallel_for / parallel_reduce so the
+// parallelization policy lives in one place. Loops must be data-parallel:
+// the body may not touch shared mutable state other than its own output
+// slot. Determinism: iteration->result mapping is fixed, so outputs are
+// bitwise reproducible regardless of thread count (reductions over doubles
+// are done per-thread then combined in index order).
+
+#include <cstdint>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace amrvis {
+
+/// Number of threads the parallel helpers will use.
+inline int hardware_threads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Parallel loop over [0, n). `body(i)` must be independent across i.
+template <typename Body>
+void parallel_for(std::int64_t n, const Body& body) {
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::int64_t i = 0; i < n; ++i) body(i);
+}
+
+/// Parallel loop with a grain size: chunks of `grain` consecutive indices
+/// are dispatched together (useful when per-index work is tiny).
+template <typename Body>
+void parallel_for_chunked(std::int64_t n, std::int64_t grain,
+                          const Body& body) {
+  const std::int64_t chunks = (n + grain - 1) / grain;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::int64_t c = 0; c < chunks; ++c) {
+    const std::int64_t lo = c * grain;
+    const std::int64_t hi = (lo + grain < n) ? lo + grain : n;
+    for (std::int64_t i = lo; i < hi; ++i) body(i);
+  }
+}
+
+/// Deterministic parallel reduction: per-thread partials combined in thread
+/// order. `init` is the identity; `map(i)` produces a value; `combine(a,b)`
+/// folds. Result is independent of scheduling because static scheduling
+/// fixes the index->thread mapping.
+template <typename T, typename Map, typename Combine>
+T parallel_reduce(std::int64_t n, T init, const Map& map,
+                  const Combine& combine) {
+#ifdef _OPENMP
+  const int nt = omp_get_max_threads();
+  std::vector<T> partial(static_cast<std::size_t>(nt), init);
+#pragma omp parallel num_threads(nt)
+  {
+    const int tid = omp_get_thread_num();
+    T local = init;
+#pragma omp for schedule(static)
+    for (std::int64_t i = 0; i < n; ++i) local = combine(local, map(i));
+    partial[static_cast<std::size_t>(tid)] = local;
+  }
+  T result = init;
+  for (const T& p : partial) result = combine(result, p);
+  return result;
+#else
+  T result = init;
+  for (std::int64_t i = 0; i < n; ++i) result = combine(result, map(i));
+  return result;
+#endif
+}
+
+}  // namespace amrvis

@@ -1,0 +1,53 @@
+#pragma once
+// Small statistics helpers over spans of doubles.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <span>
+
+#include "util/error.hpp"
+
+namespace amrvis {
+
+struct MinMax {
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  [[nodiscard]] double range() const { return max - min; }
+};
+
+inline MinMax min_max(std::span<const double> xs) {
+  AMRVIS_REQUIRE(!xs.empty());
+  MinMax mm;
+  for (double x : xs) {
+    mm.min = std::min(mm.min, x);
+    mm.max = std::max(mm.max, x);
+  }
+  return mm;
+}
+
+inline double mean(std::span<const double> xs) {
+  AMRVIS_REQUIRE(!xs.empty());
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+inline double variance(std::span<const double> xs) {
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size());
+}
+
+/// Maximum absolute pointwise difference between two equal-length spans.
+inline double max_abs_diff(std::span<const double> a,
+                           std::span<const double> b) {
+  AMRVIS_REQUIRE(a.size() == b.size());
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+}  // namespace amrvis

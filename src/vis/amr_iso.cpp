@@ -1,0 +1,163 @@
+#include "vis/amr_iso.hpp"
+
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+#include "vis/isosurface.hpp"
+#include "vis/resample.hpp"
+
+namespace amrvis::vis {
+
+using amr::AmrHierarchy;
+using amr::AmrLevel;
+using amr::Box;
+using amr::FArrayBox;
+using amr::IntVect;
+
+std::vector<LevelField> rasterize_levels(const AmrHierarchy& hier) {
+  std::vector<LevelField> out;
+  for (int l = 0; l < hier.num_levels(); ++l) {
+    const AmrLevel& lvl = hier.level(l);
+    const Box& dom = lvl.domain;
+    LevelField lf;
+    lf.cell_size = hier.ratio_to_finest(l);
+    lf.values = Array3<double>(dom.shape(), 0.0);
+    lf.has_data = Array3<std::uint8_t>(dom.shape(), 0);
+    lf.uncovered = Array3<std::uint8_t>(dom.shape(), 0);
+    auto vv = lf.values.view();
+    auto hv = lf.has_data.view();
+    for (const FArrayBox& fab : lvl.fabs) {
+      const Box& b = fab.box();
+      for (std::int64_t k = b.lo().z; k <= b.hi().z; ++k)
+        for (std::int64_t j = b.lo().y; j <= b.hi().y; ++j)
+          for (std::int64_t i = b.lo().x; i <= b.hi().x; ++i) {
+            const IntVect rel = IntVect{i, j, k} - dom.lo();
+            vv(rel.x, rel.y, rel.z) = fab.at({i, j, k});
+            hv(rel.x, rel.y, rel.z) = 1;
+          }
+    }
+    // Uncovered = has_data minus the footprint of finer patches.
+    auto uv = lf.uncovered.view();
+    for (std::int64_t i = 0; i < lf.has_data.size(); ++i)
+      lf.uncovered[i] = lf.has_data[i];
+    if (l + 1 < hier.num_levels()) {
+      for (const Box& fb : hier.level(l + 1).box_array) {
+        const Box cb = fb.coarsen(hier.ref_ratio());
+        for (std::int64_t k = cb.lo().z; k <= cb.hi().z; ++k)
+          for (std::int64_t j = cb.lo().y; j <= cb.hi().y; ++j)
+            for (std::int64_t i = cb.lo().x; i <= cb.hi().x; ++i) {
+              const IntVect rel = IntVect{i, j, k} - dom.lo();
+              uv(rel.x, rel.y, rel.z) = 0;
+            }
+      }
+    }
+    out.push_back(std::move(lf));
+  }
+  return out;
+}
+
+TriMesh resampling_isosurface(const AmrHierarchy& hier, double iso) {
+  TriMesh mesh;
+  const auto fields = rasterize_levels(hier);
+  for (int l = 0; l < hier.num_levels(); ++l) {
+    const LevelField& lf = fields[static_cast<std::size_t>(l)];
+    // Vertex-centred data from the *used* (uncovered) cells only.
+    Array3<std::uint8_t> vertex_valid;
+    Array3<double> verts = resample_to_vertices_masked(
+        lf.values.view(), lf.uncovered.view(), vertex_valid);
+    // Contour the uncovered cells of this level.
+    const GridTransform tf{Vec3{0, 0, 0},
+                           static_cast<double>(lf.cell_size)};
+    TriMesh level_mesh = extract_isosurface(verts.view(), iso, tf, l,
+                                            lf.uncovered.view());
+    mesh.append(level_mesh);
+  }
+  return mesh;
+}
+
+namespace {
+
+/// Build the dual-cell validity mask for one level: a dual cube whose
+/// corners are the 8 cells [i..i+1]x[j..j+1]x[k..k+1]. With switching
+/// cells, a cube is valid when all corners have data and at least one is
+/// uncovered (the redundant coarse data bridges into the fine region);
+/// without, all corners must be uncovered.
+Array3<std::uint8_t> dual_mask(const LevelField& lf, bool switching) {
+  const Shape3 cs = lf.values.shape();
+  const Shape3 ds{std::max<std::int64_t>(cs.nx - 1, 1),
+                  std::max<std::int64_t>(cs.ny - 1, 1),
+                  std::max<std::int64_t>(cs.nz - 1, 1)};
+  Array3<std::uint8_t> mask(ds, 0);
+  auto mv = mask.view();
+  auto has = lf.has_data.view();
+  auto unc = lf.uncovered.view();
+  parallel_for(ds.nz, [&](std::int64_t k) {
+    for (std::int64_t j = 0; j < ds.ny; ++j)
+      for (std::int64_t i = 0; i < ds.nx; ++i) {
+        bool all_data = true, all_unc = true, any_unc = false;
+        for (int c = 0; c < 8; ++c) {
+          const std::int64_t ci = i + (c & 1);
+          const std::int64_t cj = j + ((c >> 1) & 1);
+          const std::int64_t ck = k + ((c >> 2) & 1);
+          if (ci >= cs.nx || cj >= cs.ny || ck >= cs.nz) {
+            all_data = false;
+            all_unc = false;
+            continue;
+          }
+          if (!has(ci, cj, ck)) all_data = false;
+          if (unc(ci, cj, ck)) any_unc = true;
+          else all_unc = false;
+        }
+        const bool ok = switching ? (all_data && any_unc) : all_unc;
+        mv(i, j, k) = ok ? 1 : 0;
+      }
+  });
+  return mask;
+}
+
+}  // namespace
+
+TriMesh dualcell_isosurface(const AmrHierarchy& hier, double iso,
+                            bool switching_cells) {
+  TriMesh mesh;
+  const auto fields = rasterize_levels(hier);
+  for (int l = 0; l < hier.num_levels(); ++l) {
+    const LevelField& lf = fields[static_cast<std::size_t>(l)];
+    const Shape3 cs = lf.values.shape();
+    if (cs.nx < 2 || cs.ny < 2 || cs.nz < 2) continue;
+    Array3<std::uint8_t> mask = dual_mask(lf, switching_cells);
+    // Dual nodes sit at cell centers: origin offset of half a cell.
+    const double h = static_cast<double>(lf.cell_size);
+    const GridTransform tf{Vec3{0.5 * h, 0.5 * h, 0.5 * h}, h};
+    TriMesh level_mesh =
+        extract_isosurface(lf.values.view(), iso, tf, l, mask.view());
+    mesh.append(level_mesh);
+  }
+  return mesh;
+}
+
+TriMesh amr_isosurface(const AmrHierarchy& hier, double iso,
+                       VisMethod method) {
+  switch (method) {
+    case VisMethod::kResampling:
+      return resampling_isosurface(hier, iso);
+    case VisMethod::kDualCell:
+      return dualcell_isosurface(hier, iso, false);
+    case VisMethod::kDualCellSwitching:
+      return dualcell_isosurface(hier, iso, true);
+  }
+  throw Error("amr_isosurface: bad method");
+}
+
+const char* vis_method_name(VisMethod method) {
+  switch (method) {
+    case VisMethod::kResampling:
+      return "re-sampling";
+    case VisMethod::kDualCell:
+      return "dual-cell";
+    case VisMethod::kDualCellSwitching:
+      return "dual-cell+switch";
+  }
+  return "?";
+}
+
+}  // namespace amrvis::vis

@@ -1,0 +1,50 @@
+#pragma once
+// The paper's two AMR iso-surface pipelines (§2.3–2.4, §3.1):
+//
+// Re-sampling + marching cubes (basic): each level's cell data is diffused
+// to vertices (tri-linear re-sampling) and contoured over its *uncovered*
+// cells. Dangling nodes at coarse/fine interfaces produce cracks
+// (Figs. 1a, 5, 6).
+//
+// Dual-cell + marching cubes (advanced): each level's grid connects cell
+// centers, keeping original cell values (no interpolation). Plain dual
+// grids leave gaps between levels (Figs. 1b, 8-left); enabling "switching
+// cells" extends the coarse dual grid into the redundant coarse data under
+// fine patches, bridging the gap (Figs. 1c, 8-upper).
+//
+// World coordinates: the finest level's cells have unit size; a level-l
+// cell has size ratio_to_finest(l).
+
+#include "amr/hierarchy.hpp"
+#include "vis/mesh.hpp"
+
+namespace amrvis::vis {
+
+/// Dense per-level rasterization of a hierarchy level over its domain.
+struct LevelField {
+  Array3<double> values;            ///< cell values (0 where no data)
+  Array3<std::uint8_t> has_data;    ///< cell stored at this level
+  Array3<std::uint8_t> uncovered;   ///< stored and not covered by finer
+  std::int64_t cell_size = 1;      ///< world size of one cell
+};
+
+/// Rasterize every level of `hier` onto dense domain-shaped arrays.
+std::vector<LevelField> rasterize_levels(const amr::AmrHierarchy& hier);
+
+/// Basic pipeline: re-sampling + marching cubes per level.
+TriMesh resampling_isosurface(const amr::AmrHierarchy& hier, double iso);
+
+/// Advanced pipeline: dual cells per level; `switching_cells` bridges
+/// inter-level gaps using the redundant coarse data.
+TriMesh dualcell_isosurface(const amr::AmrHierarchy& hier, double iso,
+                            bool switching_cells);
+
+/// Which pipeline to run (used by the study harness in src/core).
+enum class VisMethod { kResampling, kDualCell, kDualCellSwitching };
+
+TriMesh amr_isosurface(const amr::AmrHierarchy& hier, double iso,
+                       VisMethod method);
+
+const char* vis_method_name(VisMethod method);
+
+}  // namespace amrvis::vis

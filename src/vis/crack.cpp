@@ -1,0 +1,211 @@
+#include "vis/crack.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace amrvis::vis {
+
+double point_triangle_distance(Vec3 p, Vec3 a, Vec3 b, Vec3 c) {
+  // Ericson's closest-point-on-triangle.
+  const Vec3 ab = b - a;
+  const Vec3 ac = c - a;
+  const Vec3 ap = p - a;
+  const double d1 = dot(ab, ap);
+  const double d2 = dot(ac, ap);
+  if (d1 <= 0.0 && d2 <= 0.0) return norm(p - a);
+
+  const Vec3 bp = p - b;
+  const double d3 = dot(ab, bp);
+  const double d4 = dot(ac, bp);
+  if (d3 >= 0.0 && d4 <= d3) return norm(p - b);
+
+  const double vc = d1 * d4 - d3 * d2;
+  if (vc <= 0.0 && d1 >= 0.0 && d3 <= 0.0) {
+    const double v = d1 / (d1 - d3);
+    return norm(p - (a + ab * v));
+  }
+
+  const Vec3 cp = p - c;
+  const double d5 = dot(ab, cp);
+  const double d6 = dot(ac, cp);
+  if (d6 >= 0.0 && d5 <= d6) return norm(p - c);
+
+  const double vb = d5 * d2 - d1 * d6;
+  if (vb <= 0.0 && d2 >= 0.0 && d6 <= 0.0) {
+    const double w = d2 / (d2 - d6);
+    return norm(p - (a + ac * w));
+  }
+
+  const double va = d3 * d6 - d5 * d4;
+  if (va <= 0.0 && (d4 - d3) >= 0.0 && (d5 - d6) >= 0.0) {
+    const double w = (d4 - d3) / ((d4 - d3) + (d5 - d6));
+    return norm(p - (b + (c - b) * w));
+  }
+
+  const double denom = 1.0 / (va + vb + vc);
+  const double v = vb * denom;
+  const double w = vc * denom;
+  return norm(p - (a + ab * v + ac * w));
+}
+
+namespace {
+
+struct CellKey {
+  std::int64_t x, y, z;
+  friend bool operator==(const CellKey&, const CellKey&) = default;
+};
+struct CellKeyHash {
+  std::size_t operator()(const CellKey& k) const {
+    std::size_t h = static_cast<std::size_t>(k.x) * 0x9e3779b97f4a7c15ull;
+    h ^= static_cast<std::size_t>(k.y) * 0xc2b2ae3d27d4eb4full + (h << 6);
+    h ^= static_cast<std::size_t>(k.z) * 0x165667b19e3779f9ull + (h >> 2);
+    return h;
+  }
+};
+
+/// Uniform hash grid over triangle bounding boxes for nearest queries.
+class TriangleGrid {
+ public:
+  TriangleGrid(const TriMesh& mesh, double cell) : mesh_(mesh), cell_(cell) {
+    for (std::uint32_t t = 0; t < mesh.triangles.size(); ++t) {
+      Vec3 lo, hi;
+      tri_bounds(t, lo, hi);
+      for (std::int64_t z = idx(lo.z); z <= idx(hi.z); ++z)
+        for (std::int64_t y = idx(lo.y); y <= idx(hi.y); ++y)
+          for (std::int64_t x = idx(lo.x); x <= idx(hi.x); ++x)
+            grid_[{x, y, z}].push_back(t);
+    }
+  }
+
+  /// Distance from `p` to the nearest triangle whose level != skip_level,
+  /// searched within `max_ring` grid cells (~2 world units per cell).
+  /// Returns +inf when nothing lies within the search radius — gaps that
+  /// wide are no longer "cracks", they are missing geometry.
+  double nearest(Vec3 p, int skip_level, std::int64_t max_ring = 6) const {
+    double best = std::numeric_limits<double>::infinity();
+    const std::int64_t cx = idx(p.x), cy = idx(p.y), cz = idx(p.z);
+    for (std::int64_t ring = 0; ring <= max_ring; ++ring) {
+      // Once a hit is known, we only need to expand until the ring's
+      // inner boundary exceeds the current best distance.
+      if (best < static_cast<double>(ring - 1) * cell_) break;
+      for (std::int64_t z = cz - ring; z <= cz + ring; ++z)
+        for (std::int64_t y = cy - ring; y <= cy + ring; ++y)
+          for (std::int64_t x = cx - ring; x <= cx + ring; ++x) {
+            // Shell only.
+            if (std::max({std::llabs(x - cx), std::llabs(y - cy),
+                          std::llabs(z - cz)}) != ring)
+              continue;
+            const auto it = grid_.find({x, y, z});
+            if (it == grid_.end()) continue;
+            for (std::uint32_t t : it->second) {
+              const Triangle& tri = mesh_.triangles[t];
+              if (tri.level == skip_level) continue;
+              best = std::min(
+                  best, point_triangle_distance(p, mesh_.vertices[tri.v[0]],
+                                                mesh_.vertices[tri.v[1]],
+                                                mesh_.vertices[tri.v[2]]));
+            }
+          }
+    }
+    return best;
+  }
+
+ private:
+  void tri_bounds(std::uint32_t t, Vec3& lo, Vec3& hi) const {
+    const Triangle& tri = mesh_.triangles[t];
+    lo = hi = mesh_.vertices[tri.v[0]];
+    for (int i = 1; i < 3; ++i) {
+      const Vec3& v = mesh_.vertices[tri.v[i]];
+      lo.x = std::min(lo.x, v.x);
+      lo.y = std::min(lo.y, v.y);
+      lo.z = std::min(lo.z, v.z);
+      hi.x = std::max(hi.x, v.x);
+      hi.y = std::max(hi.y, v.y);
+      hi.z = std::max(hi.z, v.z);
+    }
+  }
+  [[nodiscard]] std::int64_t idx(double v) const {
+    return static_cast<std::int64_t>(std::floor(v / cell_));
+  }
+
+  const TriMesh& mesh_;
+  double cell_;
+  std::unordered_map<CellKey, std::vector<std::uint32_t>, CellKeyHash> grid_;
+};
+
+bool on_domain_boundary(const Vec3& a, const Vec3& b, Vec3 lo, Vec3 hi,
+                        double eps) {
+  // Both endpoints on the same outer face.
+  auto on_plane = [&](double va, double vb, double plane) {
+    return std::abs(va - plane) <= eps && std::abs(vb - plane) <= eps;
+  };
+  return on_plane(a.x, b.x, lo.x) || on_plane(a.x, b.x, hi.x) ||
+         on_plane(a.y, b.y, lo.y) || on_plane(a.y, b.y, hi.y) ||
+         on_plane(a.z, b.z, lo.z) || on_plane(a.z, b.z, hi.z);
+}
+
+}  // namespace
+
+CrackStats measure_cracks(const TriMesh& mesh, Vec3 domain_lo,
+                          Vec3 domain_hi, double eps) {
+  CrackStats stats;
+  if (mesh.empty()) return stats;
+
+  // Weld per level so only true boundaries remain; keep levels separate
+  // when welding (vertices shared across levels must not stitch cracks).
+  std::vector<BoundaryEdge> boundary;
+  int max_level = 0;
+  for (const Triangle& t : mesh.triangles)
+    max_level = std::max(max_level, t.level);
+  for (int l = 0; l <= max_level; ++l) {
+    TriMesh level_mesh;
+    level_mesh.vertices = mesh.vertices;
+    for (const Triangle& t : mesh.triangles)
+      if (t.level == l) level_mesh.triangles.push_back(t);
+    if (level_mesh.triangles.empty()) continue;
+    level_mesh.weld();
+    for (const BoundaryEdge& e : level_mesh.boundary_edges())
+      boundary.push_back({e.a, e.b, l});
+  }
+
+  const bool multi_level = max_level > 0;
+  TriangleGrid grid(mesh, 2.0);
+
+  // First pass: census every interior boundary edge (cheap).
+  std::vector<const BoundaryEdge*> interior;
+  for (const BoundaryEdge& e : boundary) {
+    if (on_domain_boundary(e.a, e.b, domain_lo, domain_hi, eps)) continue;
+    ++stats.interior_boundary_edges;
+    stats.boundary_length += norm(e.b - e.a);
+    interior.push_back(&e);
+  }
+
+  // Second pass: gap distances on a deterministic sample (the nearest-
+  // triangle query is the expensive part; a few thousand edges pin the
+  // mean/max gap well).
+  if (multi_level) {
+    constexpr std::size_t kMaxMeasured = 2048;
+    const std::size_t stride =
+        interior.size() > kMaxMeasured ? interior.size() / kMaxMeasured : 1;
+    for (std::size_t i = 0; i < interior.size(); i += stride) {
+      const BoundaryEdge& e = *interior[i];
+      const Vec3 mid = (e.a + e.b) * 0.5;
+      const double d = grid.nearest(mid, e.level);
+      if (std::isfinite(d)) {
+        stats.mean_gap += d;
+        stats.max_gap = std::max(stats.max_gap, d);
+        ++stats.edges_measured;
+      }
+    }
+  }
+  if (stats.edges_measured > 0)
+    stats.mean_gap /= static_cast<double>(stats.edges_measured);
+  return stats;
+}
+
+}  // namespace amrvis::vis

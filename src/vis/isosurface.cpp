@@ -1,0 +1,200 @@
+#include "vis/isosurface.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace amrvis::vis {
+
+namespace {
+
+// Cube corner c (bit 0 = +x, bit 1 = +y, bit 2 = +z) offsets.
+constexpr int kDx[8] = {0, 1, 0, 1, 0, 1, 0, 1};
+constexpr int kDy[8] = {0, 0, 1, 1, 0, 0, 1, 1};
+constexpr int kDz[8] = {0, 0, 0, 0, 1, 1, 1, 1};
+
+// Six tetrahedra sharing the 0-7 main diagonal; consistent across
+// neighboring cubes because faces are split along consistent diagonals.
+constexpr int kTets[6][4] = {{0, 5, 1, 7}, {0, 1, 3, 7}, {0, 3, 2, 7},
+                             {0, 2, 6, 7}, {0, 6, 4, 7}, {0, 4, 5, 7}};
+
+Vec3 interp_edge(const Vec3& pa, const Vec3& pb, double fa, double fb,
+                 double iso) {
+  const double denom = fb - fa;
+  double t = denom != 0.0 ? (iso - fa) / denom : 0.5;
+  t = std::clamp(t, 0.0, 1.0);
+  return pa + (pb - pa) * t;
+}
+
+/// Contour one tetrahedron into `mesh`.
+void contour_tet(const Vec3 p[4], const double f[4], double iso, int level,
+                 TriMesh& mesh) {
+  int inside_mask = 0;
+  for (int i = 0; i < 4; ++i)
+    if (f[i] > iso) inside_mask |= 1 << i;
+  if (inside_mask == 0 || inside_mask == 0xf) return;
+
+  auto emit_tri = [&](Vec3 a, Vec3 b, Vec3 c) {
+    const auto base = static_cast<std::uint32_t>(mesh.vertices.size());
+    mesh.vertices.push_back(a);
+    mesh.vertices.push_back(b);
+    mesh.vertices.push_back(c);
+    mesh.triangles.push_back({{base, base + 1, base + 2}, level});
+  };
+
+  const int count = __builtin_popcount(static_cast<unsigned>(inside_mask));
+  if (count == 1 || count == 3) {
+    // Isolate the lone vertex (inside for count==1, outside for count==3).
+    int lone = 0;
+    for (int i = 0; i < 4; ++i) {
+      const bool in = (inside_mask >> i) & 1;
+      if ((count == 1 && in) || (count == 3 && !in)) lone = i;
+    }
+    Vec3 pts[3];
+    int n = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (i == lone) continue;
+      pts[n++] = interp_edge(p[lone], p[i], f[lone], f[i], iso);
+    }
+    emit_tri(pts[0], pts[1], pts[2]);
+  } else {
+    // Two inside, two outside: a quad.
+    int in[2], out[2];
+    int ni = 0, no = 0;
+    for (int i = 0; i < 4; ++i) {
+      if ((inside_mask >> i) & 1) in[ni++] = i;
+      else out[no++] = i;
+    }
+    const Vec3 q0 = interp_edge(p[in[0]], p[out[0]], f[in[0]], f[out[0]], iso);
+    const Vec3 q1 = interp_edge(p[in[0]], p[out[1]], f[in[0]], f[out[1]], iso);
+    const Vec3 q2 = interp_edge(p[in[1]], p[out[1]], f[in[1]], f[out[1]], iso);
+    const Vec3 q3 = interp_edge(p[in[1]], p[out[0]], f[in[1]], f[out[0]], iso);
+    emit_tri(q0, q1, q2);
+    emit_tri(q0, q2, q3);
+  }
+}
+
+}  // namespace
+
+TriMesh extract_isosurface(View3<const double> values, double iso,
+                           const GridTransform& transform, int level,
+                           View3<const std::uint8_t> cell_valid) {
+  const Shape3 vs = values.shape();
+  AMRVIS_REQUIRE_MSG(vs.nx >= 2 && vs.ny >= 2 && vs.nz >= 2,
+                     "isosurface: need at least a 2x2x2 vertex grid");
+  const std::int64_t cx = vs.nx - 1, cy = vs.ny - 1, cz = vs.nz - 1;
+  const bool has_mask = cell_valid.data() != nullptr;
+  if (has_mask)
+    AMRVIS_REQUIRE_MSG((cell_valid.shape() == Shape3{cx, cy, cz}),
+                       "isosurface: mask shape must be cells of the grid");
+
+  // Deterministic parallelism: one sub-mesh per z-slab, appended in order.
+  std::vector<TriMesh> slabs(static_cast<std::size_t>(cz));
+  parallel_for(cz, [&](std::int64_t k) {
+    TriMesh& m = slabs[static_cast<std::size_t>(k)];
+    for (std::int64_t j = 0; j < cy; ++j)
+      for (std::int64_t i = 0; i < cx; ++i) {
+        if (has_mask && !cell_valid(i, j, k)) continue;
+        Vec3 pos[8];
+        double val[8];
+        for (int c = 0; c < 8; ++c) {
+          const std::int64_t vi = i + kDx[c];
+          const std::int64_t vj = j + kDy[c];
+          const std::int64_t vk = k + kDz[c];
+          val[c] = values(vi, vj, vk);
+          pos[c] = {transform.origin.x +
+                        static_cast<double>(vi) * transform.spacing,
+                    transform.origin.y +
+                        static_cast<double>(vj) * transform.spacing,
+                    transform.origin.z +
+                        static_cast<double>(vk) * transform.spacing};
+        }
+        // Quick reject: all 8 on the same side.
+        int above = 0;
+        for (double v : val)
+          if (v > iso) ++above;
+        if (above == 0 || above == 8) continue;
+        for (const auto& tet : kTets) {
+          const Vec3 tp[4] = {pos[tet[0]], pos[tet[1]], pos[tet[2]],
+                              pos[tet[3]]};
+          const double tf[4] = {val[tet[0]], val[tet[1]], val[tet[2]],
+                                val[tet[3]]};
+          contour_tet(tp, tf, iso, level, m);
+        }
+      }
+  });
+
+  TriMesh mesh;
+  for (const TriMesh& m : slabs) mesh.append(m);
+  return mesh;
+}
+
+std::vector<Segment2D> marching_squares(View3<const double> values,
+                                        double iso) {
+  const Shape3 vs = values.shape();
+  AMRVIS_REQUIRE_MSG(vs.nz == 1, "marching_squares: 2-D input required");
+  std::vector<Segment2D> segments;
+
+  auto lerp = [&](double x0, double y0, double f0, double x1, double y1,
+                  double f1) -> std::pair<double, double> {
+    const double denom = f1 - f0;
+    double t = denom != 0.0 ? (iso - f0) / denom : 0.5;
+    t = std::clamp(t, 0.0, 1.0);
+    return {x0 + (x1 - x0) * t, y0 + (y1 - y0) * t};
+  };
+
+  for (std::int64_t j = 0; j + 1 < vs.ny; ++j)
+    for (std::int64_t i = 0; i + 1 < vs.nx; ++i) {
+      // Corner order: 0=(i,j) 1=(i+1,j) 2=(i+1,j+1) 3=(i,j+1).
+      const double f0 = values(i, j, 0);
+      const double f1 = values(i + 1, j, 0);
+      const double f2 = values(i + 1, j + 1, 0);
+      const double f3 = values(i, j + 1, 0);
+      const double x0 = static_cast<double>(i), y0 = static_cast<double>(j);
+      const double x1 = x0 + 1, y1 = y0 + 1;
+      int c = 0;
+      if (f0 > iso) c |= 1;
+      if (f1 > iso) c |= 2;
+      if (f2 > iso) c |= 4;
+      if (f3 > iso) c |= 8;
+      if (c == 0 || c == 15) continue;
+
+      // Edge midpoints: bottom(0-1), right(1-2), top(3-2), left(0-3).
+      const auto bottom = lerp(x0, y0, f0, x1, y0, f1);
+      const auto right = lerp(x1, y0, f1, x1, y1, f2);
+      const auto top = lerp(x0, y1, f3, x1, y1, f2);
+      const auto left = lerp(x0, y0, f0, x0, y1, f3);
+
+      auto add = [&](std::pair<double, double> a,
+                     std::pair<double, double> b) {
+        segments.push_back({a.first, a.second, b.first, b.second});
+      };
+
+      switch (c) {
+        case 1: case 14: add(left, bottom); break;
+        case 2: case 13: add(bottom, right); break;
+        case 3: case 12: add(left, right); break;
+        case 4: case 11: add(right, top); break;
+        case 6: case 9: add(bottom, top); break;
+        case 7: case 8: add(left, top); break;
+        case 5: case 10: {
+          // Saddle: disambiguate with the cell average.
+          const double center = 0.25 * (f0 + f1 + f2 + f3);
+          const bool center_in = center > iso;
+          if ((c == 5) == center_in) {
+            add(left, top);
+            add(bottom, right);
+          } else {
+            add(left, bottom);
+            add(right, top);
+          }
+          break;
+        }
+        default: break;
+      }
+    }
+  return segments;
+}
+
+}  // namespace amrvis::vis

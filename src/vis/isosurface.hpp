@@ -1,0 +1,43 @@
+#pragma once
+// Iso-surface extraction from a vertex-centered scalar grid (marching
+// cubes family, paper §2.3).
+//
+// Each hexahedral cell of the vertex grid is split into six tetrahedra
+// sharing the main diagonal and each tetrahedron is contoured — identical
+// crack behaviour at AMR level interfaces to table-based marching cubes
+// (surface vertices lie on cube edges/diagonals; dangling nodes between
+// levels still produce discontinuities), watertight within a grid. See
+// DESIGN.md §3.4 for why this MC-family variant was chosen.
+//
+// A 2-D marching-squares contourer is provided for slice figures and
+// tests of the depicted 16-case behaviour (paper Fig. 4 right).
+
+#include "util/array3d.hpp"
+#include "vis/mesh.hpp"
+
+namespace amrvis::vis {
+
+/// Maps grid index space to world space: world = origin + index * spacing.
+struct GridTransform {
+  Vec3 origin{0, 0, 0};
+  double spacing = 1.0;
+};
+
+/// Extract the iso-surface of vertex-centered `values`. `cell_valid`
+/// (optional, shape = values shape - 1) restricts extraction to valid
+/// cells; pass an empty view to extract everywhere. Triangles are tagged
+/// with `level`.
+TriMesh extract_isosurface(View3<const double> values, double iso,
+                           const GridTransform& transform, int level = 0,
+                           View3<const std::uint8_t> cell_valid = {});
+
+struct Segment2D {
+  double ax = 0, ay = 0, bx = 0, by = 0;
+};
+
+/// 2-D marching squares on vertex-centered values (nz must be 1).
+/// Ambiguous saddles are resolved with the cell-average rule.
+std::vector<Segment2D> marching_squares(View3<const double> values,
+                                        double iso);
+
+}  // namespace amrvis::vis

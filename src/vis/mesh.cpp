@@ -1,0 +1,128 @@
+#include "vis/mesh.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace amrvis::vis {
+
+double norm(Vec3 a) { return std::sqrt(dot(a, a)); }
+
+Vec3 normalized(Vec3 a) {
+  const double n = norm(a);
+  return n > 0 ? a * (1.0 / n) : Vec3{0, 0, 0};
+}
+
+void TriMesh::append(const TriMesh& other) {
+  const auto base = static_cast<std::uint32_t>(vertices.size());
+  vertices.insert(vertices.end(), other.vertices.begin(),
+                  other.vertices.end());
+  triangles.reserve(triangles.size() + other.triangles.size());
+  for (Triangle t : other.triangles) {
+    for (auto& idx : t.v) idx += base;
+    triangles.push_back(t);
+  }
+}
+
+namespace {
+struct QuantKey {
+  std::int64_t x, y, z;
+  friend bool operator==(const QuantKey&, const QuantKey&) = default;
+};
+struct QuantKeyHash {
+  std::size_t operator()(const QuantKey& k) const {
+    std::size_t h = static_cast<std::size_t>(k.x) * 0x9e3779b97f4a7c15ull;
+    h ^= static_cast<std::size_t>(k.y) * 0xc2b2ae3d27d4eb4full + (h << 6);
+    h ^= static_cast<std::size_t>(k.z) * 0x165667b19e3779f9ull + (h >> 2);
+    return h;
+  }
+};
+}  // namespace
+
+void TriMesh::weld(double tol) {
+  AMRVIS_REQUIRE(tol > 0);
+  const double inv = 1.0 / tol;
+  std::unordered_map<QuantKey, std::uint32_t, QuantKeyHash> seen;
+  std::vector<std::uint32_t> remap(vertices.size());
+  std::vector<Vec3> unique_vertices;
+  unique_vertices.reserve(vertices.size());
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    const Vec3& v = vertices[i];
+    const QuantKey key{static_cast<std::int64_t>(std::llround(v.x * inv)),
+                       static_cast<std::int64_t>(std::llround(v.y * inv)),
+                       static_cast<std::int64_t>(std::llround(v.z * inv))};
+    auto [it, inserted] = seen.try_emplace(
+        key, static_cast<std::uint32_t>(unique_vertices.size()));
+    if (inserted) unique_vertices.push_back(v);
+    remap[i] = it->second;
+  }
+  std::vector<Triangle> kept;
+  kept.reserve(triangles.size());
+  for (Triangle t : triangles) {
+    for (auto& idx : t.v) idx = remap[idx];
+    if (t.v[0] == t.v[1] || t.v[1] == t.v[2] || t.v[0] == t.v[2]) continue;
+    kept.push_back(t);
+  }
+  vertices = std::move(unique_vertices);
+  triangles = std::move(kept);
+}
+
+double TriMesh::area() const {
+  double total = 0.0;
+  for (const Triangle& t : triangles) {
+    const Vec3 e1 = vertices[t.v[1]] - vertices[t.v[0]];
+    const Vec3 e2 = vertices[t.v[2]] - vertices[t.v[0]];
+    total += 0.5 * norm(cross(e1, e2));
+  }
+  return total;
+}
+
+std::vector<BoundaryEdge> TriMesh::boundary_edges() const {
+  // Count undirected edge occurrences.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::pair<int, int>>
+      edges;  // (count, level of first owner)
+  for (const Triangle& t : triangles)
+    for (int e = 0; e < 3; ++e) {
+      std::uint32_t a = t.v[e];
+      std::uint32_t b = t.v[(e + 1) % 3];
+      if (a > b) std::swap(a, b);
+      auto [it, inserted] = edges.try_emplace({a, b}, std::pair{0, t.level});
+      ++it->second.first;
+    }
+  std::vector<BoundaryEdge> out;
+  for (const auto& [key, info] : edges)
+    if (info.first == 1)
+      out.push_back({vertices[key.first], vertices[key.second], info.second});
+  return out;
+}
+
+bool TriMesh::bounds(Vec3& lo, Vec3& hi) const {
+  if (vertices.empty()) return false;
+  lo = hi = vertices.front();
+  for (const Vec3& v : vertices) {
+    lo.x = std::min(lo.x, v.x);
+    lo.y = std::min(lo.y, v.y);
+    lo.z = std::min(lo.z, v.z);
+    hi.x = std::max(hi.x, v.x);
+    hi.y = std::max(hi.y, v.y);
+    hi.z = std::max(hi.z, v.z);
+  }
+  return true;
+}
+
+void TriMesh::write_obj(const std::string& path) const {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "w"), &std::fclose);
+  AMRVIS_REQUIRE_MSG(f != nullptr, "cannot open for write: " + path);
+  for (const Vec3& v : vertices)
+    std::fprintf(f.get(), "v %.9g %.9g %.9g\n", v.x, v.y, v.z);
+  for (const Triangle& t : triangles)
+    std::fprintf(f.get(), "f %u %u %u\n", t.v[0] + 1, t.v[1] + 1,
+                 t.v[2] + 1);
+}
+
+}  // namespace amrvis::vis

@@ -1,0 +1,80 @@
+#pragma once
+// Triangle mesh with per-triangle AMR-level tags, plus the mesh utilities
+// the visualization studies need: vertex welding, area/normal computation,
+// boundary-edge extraction and OBJ export.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace amrvis::vis {
+
+struct Vec3 {
+  double x = 0, y = 0, z = 0;
+
+  friend Vec3 operator+(Vec3 a, Vec3 b) {
+    return {a.x + b.x, a.y + b.y, a.z + b.z};
+  }
+  friend Vec3 operator-(Vec3 a, Vec3 b) {
+    return {a.x - b.x, a.y - b.y, a.z - b.z};
+  }
+  friend Vec3 operator*(Vec3 a, double s) {
+    return {a.x * s, a.y * s, a.z * s};
+  }
+  friend bool operator==(const Vec3&, const Vec3&) = default;
+};
+
+inline double dot(Vec3 a, Vec3 b) { return a.x * b.x + a.y * b.y + a.z * b.z; }
+inline Vec3 cross(Vec3 a, Vec3 b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z,
+          a.x * b.y - a.y * b.x};
+}
+double norm(Vec3 a);
+Vec3 normalized(Vec3 a);
+
+struct Triangle {
+  std::array<std::uint32_t, 3> v;
+  int level = 0;  ///< AMR level that produced this triangle
+};
+
+/// An edge referenced by exactly one triangle (mesh boundary).
+struct BoundaryEdge {
+  Vec3 a, b;
+  int level = 0;
+};
+
+class TriMesh {
+ public:
+  std::vector<Vec3> vertices;
+  std::vector<Triangle> triangles;
+
+  [[nodiscard]] std::size_t num_vertices() const { return vertices.size(); }
+  [[nodiscard]] std::size_t num_triangles() const {
+    return triangles.size();
+  }
+  [[nodiscard]] bool empty() const { return triangles.empty(); }
+
+  /// Append another mesh (vertex indices are rebased).
+  void append(const TriMesh& other);
+
+  /// Merge vertices closer than `tol` (hash-grid exact-duplicate weld;
+  /// iso-surface extraction produces bitwise-identical coordinates for
+  /// shared edge crossings, so a tiny tolerance suffices). Degenerate
+  /// triangles left behind by welding are dropped.
+  void weld(double tol = 1e-9);
+
+  /// Total surface area.
+  [[nodiscard]] double area() const;
+
+  /// Edges referenced by exactly one triangle.
+  [[nodiscard]] std::vector<BoundaryEdge> boundary_edges() const;
+
+  /// Axis-aligned bounds; returns false for an empty mesh.
+  bool bounds(Vec3& lo, Vec3& hi) const;
+
+  /// Write a Wavefront OBJ file.
+  void write_obj(const std::string& path) const;
+};
+
+}  // namespace amrvis::vis

@@ -1,0 +1,70 @@
+#include "vis/resample.hpp"
+
+#include "util/parallel.hpp"
+
+namespace amrvis::vis {
+
+namespace {
+Shape3 vertex_shape(Shape3 s) { return {s.nx + 1, s.ny + 1, s.nz + 1}; }
+}  // namespace
+
+Array3<double> resample_to_vertices(View3<const double> cells) {
+  const Shape3 cs = cells.shape();
+  const Shape3 vs = vertex_shape(cs);
+  Array3<double> verts(vs);
+  auto vv = verts.view();
+  parallel_for(vs.nz, [&](std::int64_t k) {
+    for (std::int64_t j = 0; j < vs.ny; ++j)
+      for (std::int64_t i = 0; i < vs.nx; ++i) {
+        double sum = 0.0;
+        int n = 0;
+        for (std::int64_t dk = -1; dk <= 0; ++dk)
+          for (std::int64_t dj = -1; dj <= 0; ++dj)
+            for (std::int64_t di = -1; di <= 0; ++di) {
+              const std::int64_t ci = i + di, cj = j + dj, ck = k + dk;
+              if (ci < 0 || cj < 0 || ck < 0 || ci >= cs.nx || cj >= cs.ny ||
+                  ck >= cs.nz)
+                continue;
+              sum += cells(ci, cj, ck);
+              ++n;
+            }
+        vv(i, j, k) = sum / static_cast<double>(n);
+      }
+  });
+  return verts;
+}
+
+Array3<double> resample_to_vertices_masked(
+    View3<const double> cells, View3<const std::uint8_t> valid,
+    Array3<std::uint8_t>& vertex_valid) {
+  const Shape3 cs = cells.shape();
+  const Shape3 vs = vertex_shape(cs);
+  Array3<double> verts(vs, 0.0);
+  vertex_valid = Array3<std::uint8_t>(vs, 0);
+  auto vv = verts.view();
+  auto mv = vertex_valid.view();
+  parallel_for(vs.nz, [&](std::int64_t k) {
+    for (std::int64_t j = 0; j < vs.ny; ++j)
+      for (std::int64_t i = 0; i < vs.nx; ++i) {
+        double sum = 0.0;
+        int n = 0;
+        for (std::int64_t dk = -1; dk <= 0; ++dk)
+          for (std::int64_t dj = -1; dj <= 0; ++dj)
+            for (std::int64_t di = -1; di <= 0; ++di) {
+              const std::int64_t ci = i + di, cj = j + dj, ck = k + dk;
+              if (ci < 0 || cj < 0 || ck < 0 || ci >= cs.nx || cj >= cs.ny ||
+                  ck >= cs.nz || !valid(ci, cj, ck))
+                continue;
+              sum += cells(ci, cj, ck);
+              ++n;
+            }
+        if (n > 0) {
+          vv(i, j, k) = sum / static_cast<double>(n);
+          mv(i, j, k) = 1;
+        }
+      }
+  });
+  return verts;
+}
+
+}  // namespace amrvis::vis

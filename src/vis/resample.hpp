@@ -1,0 +1,21 @@
+#pragma once
+// Cell-centered -> vertex-centered re-sampling (paper §2.3, Fig. 4 left):
+// every vertex takes the average of its adjacent cells (up to 8 in 3-D),
+// which is exactly tri-linear interpolation evaluated at cell corners.
+// Each dimension grows by one.
+
+#include "util/array3d.hpp"
+
+namespace amrvis::vis {
+
+/// Plain dense version: every cell participates.
+Array3<double> resample_to_vertices(View3<const double> cells);
+
+/// Masked version for sparse AMR levels: a vertex averages only its valid
+/// adjacent cells; `vertex_valid` (same shape as the result) is set to 1
+/// where at least one adjacent cell was valid.
+Array3<double> resample_to_vertices_masked(
+    View3<const double> cells, View3<const std::uint8_t> valid,
+    Array3<std::uint8_t>& vertex_valid);
+
+}  // namespace amrvis::vis

@@ -1,0 +1,157 @@
+#include "vis/stitch2d.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace amrvis::vis {
+
+TwoLevel2d sample_two_level_2d(std::int64_t coarse_nx, std::int64_t coarse_ny,
+                               std::int64_t split_x,
+                               double (*f)(double, double)) {
+  AMRVIS_REQUIRE(split_x > 0 && split_x < coarse_nx);
+  TwoLevel2d out;
+  out.split_x = split_x;
+  out.coarse = Array3<double>({coarse_nx, coarse_ny, 1});
+  for (std::int64_t j = 0; j < coarse_ny; ++j)
+    for (std::int64_t i = 0; i < coarse_nx; ++i)
+      out.coarse(i, j, 0) = f(2.0 * static_cast<double>(i) + 1.0,
+                              2.0 * static_cast<double>(j) + 1.0);
+  out.fine = Array3<double>({2 * split_x, 2 * coarse_ny, 1});
+  for (std::int64_t j = 0; j < 2 * coarse_ny; ++j)
+    for (std::int64_t i = 0; i < 2 * split_x; ++i)
+      out.fine(i, j, 0) = f(static_cast<double>(i) + 0.5,
+                            static_cast<double>(j) + 0.5);
+  return out;
+}
+
+namespace {
+
+/// Contour one linear triangle; appends at most one segment.
+void contour_triangle(double iso, const double px[3], const double py[3],
+                      const double fv[3], std::vector<Segment2D>& out) {
+  int above = 0;
+  for (int i = 0; i < 3; ++i)
+    if (fv[i] > iso) ++above;
+  if (above == 0 || above == 3) return;
+  double xs[2], ys[2];
+  int n = 0;
+  for (int e = 0; e < 3; ++e) {
+    const int a = e, b = (e + 1) % 3;
+    const bool ia = fv[a] > iso, ib = fv[b] > iso;
+    if (ia == ib) continue;
+    const double t = (iso - fv[a]) / (fv[b] - fv[a]);
+    if (n < 2) {
+      xs[n] = px[a] + t * (px[b] - px[a]);
+      ys[n] = py[a] + t * (py[b] - py[a]);
+    }
+    ++n;
+  }
+  if (n == 2) out.push_back({xs[0], ys[0], xs[1], ys[1]});
+}
+
+}  // namespace
+
+Stitch2dResult stitch_contour_2d(const TwoLevel2d& data, double iso,
+                                 bool with_stitch) {
+  Stitch2dResult result;
+  const Shape3 cs = data.coarse.shape();
+  const Shape3 fs = data.fine.shape();
+  const std::int64_t sx = data.split_x;
+
+  // Coarse dual grid over the uncovered columns [sx, nx).
+  {
+    const std::int64_t w = cs.nx - sx;
+    Array3<double> sub({w, cs.ny, 1});
+    for (std::int64_t j = 0; j < cs.ny; ++j)
+      for (std::int64_t i = 0; i < w; ++i)
+        sub(i, j, 0) = data.coarse(sx + i, j, 0);
+    for (const Segment2D& s : marching_squares(sub.view(), iso))
+      result.coarse_segments.push_back(
+          {2.0 * (s.ax + static_cast<double>(sx)) + 1.0, 2.0 * s.ay + 1.0,
+           2.0 * (s.bx + static_cast<double>(sx)) + 1.0, 2.0 * s.by + 1.0});
+  }
+
+  // Fine dual grid over the whole fine patch.
+  for (const Segment2D& s : marching_squares(data.fine.view(), iso))
+    result.fine_segments.push_back(
+        {s.ax + 0.5, s.ay + 0.5, s.bx + 0.5, s.by + 0.5});
+
+  // Stitching strip: zipper triangles between the last fine-center
+  // column (x = 2*sx - 0.5) and the first uncovered coarse-center column
+  // (x = 2*sx + 1), paper Fig. 8 (lower).
+  if (with_stitch) {
+    const double xf = 2.0 * static_cast<double>(sx) - 0.5;
+    const double xc = 2.0 * static_cast<double>(sx) + 1.0;
+    const std::int64_t nf = fs.ny;   // fine points along y
+    const std::int64_t nc = cs.ny;   // coarse points along y
+    auto fine_y = [](std::int64_t j) {
+      return static_cast<double>(j) + 0.5;
+    };
+    auto coarse_y = [](std::int64_t j) {
+      return 2.0 * static_cast<double>(j) + 1.0;
+    };
+    auto fine_v = [&](std::int64_t j) {
+      return data.fine(fs.nx - 1, j, 0);
+    };
+    auto coarse_v = [&](std::int64_t j) { return data.coarse(sx, j, 0); };
+
+    std::int64_t fi = 0, ci = 0;
+    while (fi + 1 < nf || ci + 1 < nc) {
+      // Advance the side whose *next* point has the smaller y; tie goes
+      // to the fine side (denser sampling).
+      const bool advance_fine =
+          (ci + 1 >= nc) ||
+          (fi + 1 < nf && fine_y(fi + 1) <= coarse_y(ci + 1));
+      double px[3], py[3], fv[3];
+      px[0] = xf;
+      py[0] = fine_y(fi);
+      fv[0] = fine_v(fi);
+      px[1] = xc;
+      py[1] = coarse_y(ci);
+      fv[1] = coarse_v(ci);
+      if (advance_fine) {
+        px[2] = xf;
+        py[2] = fine_y(fi + 1);
+        fv[2] = fine_v(fi + 1);
+        ++fi;
+      } else {
+        px[2] = xc;
+        py[2] = coarse_y(ci + 1);
+        fv[2] = coarse_v(ci + 1);
+        ++ci;
+      }
+      contour_triangle(iso, px, py, fv, result.stitch_segments);
+    }
+  }
+
+  // Dangling-endpoint census inside the strip.
+  const double xf = 2.0 * static_cast<double>(sx) - 0.5;
+  const double xc = 2.0 * static_cast<double>(sx) + 1.0;
+  std::map<std::pair<std::int64_t, std::int64_t>, int> degree;
+  auto key = [](double x, double y) {
+    return std::pair{static_cast<std::int64_t>(std::llround(x * 1e6)),
+                     static_cast<std::int64_t>(std::llround(y * 1e6))};
+  };
+  auto add = [&](const std::vector<Segment2D>& segs) {
+    for (const Segment2D& s : segs) {
+      ++degree[key(s.ax, s.ay)];
+      ++degree[key(s.bx, s.by)];
+    }
+  };
+  add(result.coarse_segments);
+  add(result.fine_segments);
+  add(result.stitch_segments);
+  const double y_top = 2.0 * static_cast<double>(cs.ny) - 1.0;
+  for (const auto& [k, deg] : degree) {
+    if (deg != 1) continue;
+    const double x = static_cast<double>(k.first) * 1e-6;
+    const double y = static_cast<double>(k.second) * 1e-6;
+    if (x >= xf - 1e-9 && x <= xc + 1e-9 && y > 1.0 && y < y_top - 1.0)
+      ++result.dangling_endpoints;
+  }
+  return result;
+}
+
+}  // namespace amrvis::vis

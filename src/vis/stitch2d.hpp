@@ -1,0 +1,50 @@
+#pragma once
+// 2-D dual-grid contouring with an explicit stitching mesh — the paper's
+// Fig. 8 (lower path): instead of reusing redundant coarse data, the gap
+// strip between a coarse dual grid and a fine dual grid is filled with
+// dedicated "stitching cells" (trapezoids connecting coarse and fine cell
+// centers) that are contoured like marching-squares cells.
+//
+// This module is 2-D (the paper's own illustration is 2-D): a coarse row
+// of cells abuts a refined region; we contour the coarse dual grid, the
+// fine dual grid, and the stitch strip, and verify the union is
+// continuous (no dangling segment endpoints in the strip interior).
+
+#include <vector>
+
+#include "util/array3d.hpp"
+#include "vis/isosurface.hpp"
+
+namespace amrvis::vis {
+
+/// A 2-D two-level configuration: the coarse level covers the whole
+/// [0, nx) x [0, ny) cell domain (cell size 2 in world units); the fine
+/// level covers the cells with x < split_x (fine index space, cell size
+/// 1). Values are cell-centered samples of a scalar field.
+struct TwoLevel2d {
+  Array3<double> coarse;      ///< shape (nx, ny, 1), cell size 2
+  Array3<double> fine;        ///< shape (2*split_x, 2*ny, 1), cell size 1
+  std::int64_t split_x = 0;   ///< coarse-index x where the fine region ends
+};
+
+/// Build a TwoLevel2d by sampling f(x, y) at cell centers (world units;
+/// fine cell size 1).
+TwoLevel2d sample_two_level_2d(std::int64_t coarse_nx, std::int64_t coarse_ny,
+                               std::int64_t split_x, double (*f)(double,
+                                                                 double));
+
+struct Stitch2dResult {
+  std::vector<Segment2D> coarse_segments;  ///< coarse dual grid (uncovered)
+  std::vector<Segment2D> fine_segments;    ///< fine dual grid
+  std::vector<Segment2D> stitch_segments;  ///< the stitching strip
+  /// Dangling contour endpoints strictly inside the stitched strip after
+  /// merging all three sets; 0 means the stitch closed the gap.
+  int dangling_endpoints = 0;
+};
+
+/// Contour all three meshes at `iso` and count dangling endpoints.
+/// `with_stitch` = false skips the strip (reproducing the gap).
+Stitch2dResult stitch_contour_2d(const TwoLevel2d& data, double iso,
+                                 bool with_stitch);
+
+}  // namespace amrvis::vis

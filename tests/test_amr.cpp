@@ -1,0 +1,343 @@
+// Unit and property tests for the mini-AMReX substrate: box algebra,
+// box arrays, FABs, sampling operators and the hierarchy semantics the
+// paper's pipeline depends on (redundant coarse data, composites,
+// densities).
+
+#include <gtest/gtest.h>
+
+#include "amr/boxarray.hpp"
+#include "amr/hierarchy.hpp"
+#include "amr/sampling.hpp"
+#include "util/rng.hpp"
+
+namespace amrvis::amr {
+namespace {
+
+Box box(std::int64_t x0, std::int64_t y0, std::int64_t z0, std::int64_t x1,
+        std::int64_t y1, std::int64_t z1) {
+  return Box{{x0, y0, z0}, {x1, y1, z1}};
+}
+
+TEST(IntVectOps, Arithmetic) {
+  const IntVect a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_EQ(a + b, (IntVect{5, 7, 9}));
+  EXPECT_EQ(b - a, (IntVect{3, 3, 3}));
+  EXPECT_EQ(a * 2, (IntVect{2, 4, 6}));
+  EXPECT_TRUE(a.all_le(b));
+  EXPECT_FALSE(b.all_le(a));
+}
+
+TEST(IntVectOps, FloorDivNegative) {
+  EXPECT_EQ(floor_div(-1, 2), -1);
+  EXPECT_EQ(floor_div(-2, 2), -1);
+  EXPECT_EQ(floor_div(-3, 2), -2);
+  EXPECT_EQ(floor_div(3, 2), 1);
+}
+
+TEST(BoxAlgebra, SizeAndContains) {
+  const Box b = box(2, 2, 2, 5, 6, 7);
+  EXPECT_EQ(b.size(), (IntVect{4, 5, 6}));
+  EXPECT_EQ(b.num_cells(), 120);
+  EXPECT_TRUE(b.contains({2, 2, 2}));
+  EXPECT_TRUE(b.contains({5, 6, 7}));
+  EXPECT_FALSE(b.contains({6, 6, 7}));
+}
+
+TEST(BoxAlgebra, IntersectDisjoint) {
+  EXPECT_FALSE(box(0, 0, 0, 1, 1, 1).intersect(box(3, 3, 3, 4, 4, 4)));
+  const auto o = box(0, 0, 0, 3, 3, 3).intersect(box(2, 2, 2, 5, 5, 5));
+  ASSERT_TRUE(o);
+  EXPECT_EQ(*o, box(2, 2, 2, 3, 3, 3));
+}
+
+TEST(BoxAlgebra, RefineCoarsenInverse) {
+  const Box b = box(1, 2, 3, 6, 7, 9);
+  EXPECT_EQ(b.refine(2).coarsen(2), b);
+}
+
+TEST(BoxAlgebra, CoarsenCovers) {
+  // Coarsening must produce a box whose refinement covers the original.
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const IntVect lo{static_cast<std::int64_t>(rng.next_below(20)) - 10,
+                     static_cast<std::int64_t>(rng.next_below(20)) - 10,
+                     static_cast<std::int64_t>(rng.next_below(20)) - 10};
+    const IntVect hi = lo + IntVect{static_cast<std::int64_t>(rng.next_below(8)),
+                                    static_cast<std::int64_t>(rng.next_below(8)),
+                                    static_cast<std::int64_t>(rng.next_below(8))};
+    const Box b{lo, hi};
+    EXPECT_TRUE(b.coarsen(2).refine(2).contains(b));
+  }
+}
+
+TEST(BoxAlgebra, SurroundingNodes) {
+  const Box b = box(0, 0, 0, 3, 3, 3);
+  EXPECT_EQ(b.surrounding_nodes().size(), (IntVect{5, 5, 5}));
+}
+
+TEST(BoxAlgebra, FlatIndexIsXFastest) {
+  const Box b = box(10, 10, 10, 12, 12, 12);
+  EXPECT_EQ(b.flat_index({10, 10, 10}), 0);
+  EXPECT_EQ(b.flat_index({11, 10, 10}), 1);
+  EXPECT_EQ(b.flat_index({10, 11, 10}), 3);
+  EXPECT_EQ(b.flat_index({10, 10, 11}), 9);
+}
+
+TEST(BoxDifference, DisjointKeepsAll) {
+  const auto rest = box_difference(box(0, 0, 0, 1, 1, 1),
+                                   box(5, 5, 5, 6, 6, 6));
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0], box(0, 0, 0, 1, 1, 1));
+}
+
+TEST(BoxDifference, FullyCoveredIsEmpty) {
+  EXPECT_TRUE(box_difference(box(1, 1, 1, 2, 2, 2),
+                             box(0, 0, 0, 3, 3, 3)).empty());
+}
+
+TEST(BoxDifference, PiecesAreDisjointAndExact) {
+  Rng rng(17);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto rand_box = [&] {
+      const IntVect lo{static_cast<std::int64_t>(rng.next_below(6)),
+                       static_cast<std::int64_t>(rng.next_below(6)),
+                       static_cast<std::int64_t>(rng.next_below(6))};
+      const IntVect hi = lo +
+                         IntVect{static_cast<std::int64_t>(rng.next_below(5)),
+                                 static_cast<std::int64_t>(rng.next_below(5)),
+                                 static_cast<std::int64_t>(rng.next_below(5))};
+      return Box{lo, hi};
+    };
+    const Box a = rand_box(), b = rand_box();
+    const auto pieces = box_difference(a, b);
+    // Pieces are pairwise disjoint, inside a, outside b.
+    std::int64_t cells = 0;
+    for (std::size_t i = 0; i < pieces.size(); ++i) {
+      cells += pieces[i].num_cells();
+      EXPECT_TRUE(a.contains(pieces[i]));
+      EXPECT_FALSE(pieces[i].intersects(b));
+      for (std::size_t j = i + 1; j < pieces.size(); ++j)
+        EXPECT_FALSE(pieces[i].intersects(pieces[j]));
+    }
+    const auto overlap = a.intersect(b);
+    const std::int64_t expected =
+        a.num_cells() - (overlap ? overlap->num_cells() : 0);
+    EXPECT_EQ(cells, expected);
+  }
+}
+
+TEST(BoxArrayOps, CoversAndDisjoint) {
+  BoxArray ba({box(0, 0, 0, 3, 3, 3), box(4, 0, 0, 7, 3, 3)});
+  EXPECT_TRUE(ba.is_disjoint());
+  EXPECT_TRUE(ba.covers(box(0, 0, 0, 7, 3, 3)));
+  EXPECT_FALSE(ba.covers(box(0, 0, 0, 8, 3, 3)));
+  EXPECT_EQ(ba.num_cells(), 128);
+  EXPECT_EQ(ba.minimal_bounding_box(), box(0, 0, 0, 7, 3, 3));
+}
+
+TEST(BoxArrayOps, OverlapDetected) {
+  BoxArray ba({box(0, 0, 0, 3, 3, 3), box(3, 0, 0, 5, 3, 3)});
+  EXPECT_FALSE(ba.is_disjoint());
+}
+
+TEST(BoxArrayOps, ContainsCell) {
+  BoxArray ba({box(0, 0, 0, 1, 1, 1)});
+  EXPECT_TRUE(ba.contains_cell({1, 1, 1}));
+  EXPECT_FALSE(ba.contains_cell({2, 1, 1}));
+}
+
+TEST(FArrayBoxOps, GlobalIndexing) {
+  FArrayBox fab(box(4, 4, 4, 7, 7, 7), 0.0);
+  fab.at({5, 6, 7}) = 2.5;
+  EXPECT_DOUBLE_EQ(fab.at({5, 6, 7}), 2.5);
+  EXPECT_DOUBLE_EQ(fab.at({4, 4, 4}), 0.0);
+}
+
+TEST(FArrayBoxOps, CopyFromOverlap) {
+  FArrayBox dst(box(0, 0, 0, 3, 3, 3), 0.0);
+  FArrayBox src(box(2, 2, 2, 5, 5, 5), 7.0);
+  dst.copy_from(src);
+  EXPECT_DOUBLE_EQ(dst.at({2, 2, 2}), 7.0);
+  EXPECT_DOUBLE_EQ(dst.at({3, 3, 3}), 7.0);
+  EXPECT_DOUBLE_EQ(dst.at({1, 1, 1}), 0.0);
+}
+
+TEST(Sampling, NearestUpsampleBlocks) {
+  Array3<double> coarse({2, 2, 2});
+  for (std::int64_t i = 0; i < 8; ++i) coarse[i] = static_cast<double>(i);
+  const Array3<double> fine = upsample_nearest(coarse.view(), 2);
+  EXPECT_EQ(fine.shape(), (Shape3{4, 4, 4}));
+  EXPECT_DOUBLE_EQ(fine(0, 0, 0), coarse(0, 0, 0));
+  EXPECT_DOUBLE_EQ(fine(1, 1, 1), coarse(0, 0, 0));
+  EXPECT_DOUBLE_EQ(fine(2, 0, 0), coarse(1, 0, 0));
+  EXPECT_DOUBLE_EQ(fine(3, 3, 3), coarse(1, 1, 1));
+}
+
+TEST(Sampling, TrilinearReproducesLinearField) {
+  // Trilinear prolongation is exact on affine data (away from clamps).
+  Array3<double> coarse({8, 8, 8});
+  for (std::int64_t k = 0; k < 8; ++k)
+    for (std::int64_t j = 0; j < 8; ++j)
+      for (std::int64_t i = 0; i < 8; ++i)
+        coarse(i, j, k) = 2.0 * i + 3.0 * j - k;
+  const Array3<double> fine = upsample_trilinear(coarse.view(), 2);
+  // Interior fine cell centers: x_f = (i + 0.5)/2 - 0.5.
+  for (std::int64_t k = 2; k < 14; ++k)
+    for (std::int64_t j = 2; j < 14; ++j)
+      for (std::int64_t i = 2; i < 14; ++i) {
+        const double x = (i + 0.5) / 2.0 - 0.5;
+        const double y = (j + 0.5) / 2.0 - 0.5;
+        const double z = (k + 0.5) / 2.0 - 0.5;
+        EXPECT_NEAR(fine(i, j, k), 2.0 * x + 3.0 * y - z, 1e-12);
+      }
+}
+
+TEST(Sampling, CoarsenAverageConserves) {
+  Array3<double> fine({4, 4, 4});
+  Rng rng(23);
+  double total = 0;
+  for (std::int64_t i = 0; i < fine.size(); ++i) {
+    fine[i] = rng.normal();
+    total += fine[i];
+  }
+  const Array3<double> coarse = coarsen_average(fine.view(), 2);
+  double coarse_total = 0;
+  for (std::int64_t i = 0; i < coarse.size(); ++i)
+    coarse_total += coarse[i] * 8.0;
+  EXPECT_NEAR(total, coarse_total, 1e-10);
+}
+
+TEST(Sampling, CoarsenThenUpsampleIdentityOnBlockConstant) {
+  Array3<double> fine({4, 4, 4});
+  for (std::int64_t k = 0; k < 4; ++k)
+    for (std::int64_t j = 0; j < 4; ++j)
+      for (std::int64_t i = 0; i < 4; ++i)
+        fine(i, j, k) = static_cast<double>((i / 2) + 10 * (j / 2) +
+                                            100 * (k / 2));
+  const Array3<double> back =
+      upsample_nearest(coarsen_average(fine.view(), 2).view(), 2);
+  for (std::int64_t i = 0; i < fine.size(); ++i)
+    EXPECT_DOUBLE_EQ(back[i], fine[i]);
+}
+
+/// A small two-level hierarchy with analytically known contents:
+/// coarse domain 8^3 (one patch), one fine patch covering the refined
+/// region [4..11]^3 in fine index space (= coarse [2..5]^3).
+AmrHierarchy small_hierarchy() {
+  AmrHierarchy hier(2);
+  AmrLevel l0;
+  l0.domain = box(0, 0, 0, 7, 7, 7);
+  FArrayBox cfab(l0.domain);
+  for (std::int64_t k = 0; k < 8; ++k)
+    for (std::int64_t j = 0; j < 8; ++j)
+      for (std::int64_t i = 0; i < 8; ++i)
+        cfab.at({i, j, k}) = 100.0 + static_cast<double>(i + j + k);
+  l0.box_array.push_back(l0.domain);
+  l0.fabs.push_back(std::move(cfab));
+  hier.add_level(std::move(l0));
+
+  AmrLevel l1;
+  l1.domain = box(0, 0, 0, 15, 15, 15);
+  const Box fine_box = box(4, 4, 4, 11, 11, 11);
+  FArrayBox ffab(fine_box);
+  for (std::int64_t k = 4; k <= 11; ++k)
+    for (std::int64_t j = 4; j <= 11; ++j)
+      for (std::int64_t i = 4; i <= 11; ++i)
+        ffab.at({i, j, k}) = 1000.0 + static_cast<double>(i + j + k);
+  l1.box_array.push_back(fine_box);
+  l1.fabs.push_back(std::move(ffab));
+  hier.add_level(std::move(l1));
+  return hier;
+}
+
+TEST(Hierarchy, CoveredMaskMatchesFinePatch) {
+  const AmrHierarchy hier = small_hierarchy();
+  const auto masks = hier.covered_masks(0);
+  ASSERT_EQ(masks.size(), 1u);
+  std::int64_t covered = 0;
+  for (std::int64_t i = 0; i < masks[0].size(); ++i) covered += masks[0][i];
+  EXPECT_EQ(covered, 4 * 4 * 4);  // fine box coarsened = [2..5]^3
+  EXPECT_EQ(masks[0][Box(IntVect{0, 0, 0}, IntVect{7, 7, 7})
+                         .flat_index({2, 2, 2})],
+            1);
+  EXPECT_EQ(masks[0][Box(IntVect{0, 0, 0}, IntVect{7, 7, 7})
+                         .flat_index({1, 2, 2})],
+            0);
+}
+
+TEST(Hierarchy, FinestLevelHasNoCoveredCells) {
+  const AmrHierarchy hier = small_hierarchy();
+  for (const auto& mask : hier.covered_masks(1))
+    for (std::int64_t i = 0; i < mask.size(); ++i) EXPECT_EQ(mask[i], 0);
+}
+
+TEST(Hierarchy, CompositeUsesFineWhereCovered) {
+  const AmrHierarchy hier = small_hierarchy();
+  const Array3<double> composite = hier.composite_uniform();
+  EXPECT_EQ(composite.shape(), (Shape3{16, 16, 16}));
+  // Inside the fine patch: fine values.
+  EXPECT_DOUBLE_EQ(composite(4, 4, 4), 1000.0 + 12.0);
+  EXPECT_DOUBLE_EQ(composite(11, 11, 11), 1000.0 + 33.0);
+  // Outside: upsampled coarse values (fine cell 0 -> coarse cell 0).
+  EXPECT_DOUBLE_EQ(composite(0, 0, 0), 100.0);
+  EXPECT_DOUBLE_EQ(composite(15, 15, 15), 100.0 + 21.0);
+  EXPECT_DOUBLE_EQ(composite(1, 0, 0), 100.0);  // same coarse cell
+}
+
+TEST(Hierarchy, DensitySumsToOne) {
+  const AmrHierarchy hier = small_hierarchy();
+  const auto stats = hier.level_stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_NEAR(stats[0].density + stats[1].density, 1.0, 1e-12);
+  // Fine patch covers 8^3 of 16^3 = 1/8 of the domain.
+  EXPECT_NEAR(stats[1].density, 1.0 / 8.0, 1e-12);
+  EXPECT_NEAR(stats[0].covered_fraction, 64.0 / 512.0, 1e-12);
+}
+
+TEST(Hierarchy, SynchronizeCoarseFromFine) {
+  AmrHierarchy hier = small_hierarchy();
+  hier.synchronize_coarse_from_fine();
+  // Covered coarse cell (2,2,2) should now hold the average of fine cells
+  // (4..5)^3: values 1000 + (i+j+k) over that block; mean i+j+k = 13.5.
+  EXPECT_NEAR(hier.level(0).fabs[0].at({2, 2, 2}), 1013.5, 1e-12);
+  // Uncovered coarse cells unchanged.
+  EXPECT_DOUBLE_EQ(hier.level(0).fabs[0].at({0, 0, 0}), 100.0);
+}
+
+TEST(Hierarchy, RatioToFinest) {
+  const AmrHierarchy hier = small_hierarchy();
+  EXPECT_EQ(hier.ratio_to_finest(0), 2);
+  EXPECT_EQ(hier.ratio_to_finest(1), 1);
+}
+
+TEST(Hierarchy, RejectsOverlappingPatches) {
+  AmrHierarchy hier(2);
+  AmrLevel l0;
+  l0.domain = box(0, 0, 0, 7, 7, 7);
+  l0.box_array.push_back(box(0, 0, 0, 4, 7, 7));
+  l0.box_array.push_back(box(4, 0, 0, 7, 7, 7));  // overlaps at x=4
+  l0.fabs.emplace_back(box(0, 0, 0, 4, 7, 7));
+  l0.fabs.emplace_back(box(4, 0, 0, 7, 7, 7));
+  EXPECT_THROW(hier.add_level(std::move(l0)), Error);
+}
+
+TEST(Hierarchy, RejectsLevelZeroGaps) {
+  AmrHierarchy hier(2);
+  AmrLevel l0;
+  l0.domain = box(0, 0, 0, 7, 7, 7);
+  l0.box_array.push_back(box(0, 0, 0, 3, 7, 7));  // misses x in [4..7]
+  l0.fabs.emplace_back(box(0, 0, 0, 3, 7, 7));
+  EXPECT_THROW(hier.add_level(std::move(l0)), Error);
+}
+
+TEST(Hierarchy, RejectsFinePatchOutsideDomain) {
+  AmrHierarchy hier = small_hierarchy();
+  AmrLevel l2;
+  l2.domain = box(0, 0, 0, 31, 31, 31);
+  l2.box_array.push_back(box(30, 30, 30, 33, 33, 33));
+  l2.fabs.emplace_back(box(30, 30, 30, 33, 33, 33));
+  EXPECT_THROW(hier.add_level(std::move(l2)), Error);
+}
+
+}  // namespace
+}  // namespace amrvis::amr

@@ -1,0 +1,161 @@
+// Round-trip and error-bound tests for the lossy codecs: the foundational
+// guarantee everything downstream (visualization studies) relies on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compress/compressor.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace amrvis::compress {
+namespace {
+
+Array3<double> smooth_field(Shape3 s, std::uint64_t seed = 7) {
+  Array3<double> a(s);
+  Rng rng(seed);
+  const double px = rng.uniform(1.0, 3.0);
+  const double py = rng.uniform(1.0, 3.0);
+  const double pz = rng.uniform(1.0, 3.0);
+  for (std::int64_t k = 0; k < s.nz; ++k)
+    for (std::int64_t j = 0; j < s.ny; ++j)
+      for (std::int64_t i = 0; i < s.nx; ++i)
+        a(i, j, k) = std::sin(px * i * 0.11) * std::cos(py * j * 0.07) +
+                     0.3 * std::sin(pz * k * 0.05);
+  return a;
+}
+
+Array3<double> noisy_field(Shape3 s, std::uint64_t seed = 13) {
+  Array3<double> a = smooth_field(s, seed);
+  Rng rng(seed * 31 + 1);
+  for (std::int64_t i = 0; i < a.size(); ++i) a[i] += 0.2 * rng.normal();
+  return a;
+}
+
+struct Case {
+  const char* codec;
+  double abs_eb;
+};
+
+class RoundTrip : public ::testing::TestWithParam<Case> {};
+
+TEST_P(RoundTrip, SmoothFieldWithinBound) {
+  const auto [codec, eb] = GetParam();
+  const auto comp = make_compressor(codec);
+  const Array3<double> data = smooth_field({33, 20, 17});
+  const Bytes blob = comp->compress(data.view(), eb);
+  const Array3<double> back = comp->decompress(blob);
+  ASSERT_EQ(back.shape(), data.shape());
+  EXPECT_LE(max_abs_diff(data.span(), back.span()), eb * 1.0000001);
+}
+
+TEST_P(RoundTrip, NoisyFieldWithinBound) {
+  const auto [codec, eb] = GetParam();
+  const auto comp = make_compressor(codec);
+  const Array3<double> data = noisy_field({24, 24, 24});
+  const Bytes blob = comp->compress(data.view(), eb);
+  const Array3<double> back = comp->decompress(blob);
+  EXPECT_LE(max_abs_diff(data.span(), back.span()), eb * 1.0000001);
+}
+
+TEST_P(RoundTrip, CompressesSmoothData) {
+  const auto [codec, eb] = GetParam();
+  if (eb < 1e-6) GTEST_SKIP() << "tiny bounds need not compress";
+  const auto comp = make_compressor(codec);
+  const Array3<double> data = smooth_field({32, 32, 32});
+  const Bytes blob = comp->compress(data.view(), eb);
+  EXPECT_LT(blob.size(),
+            static_cast<std::size_t>(data.size()) * sizeof(double));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Codecs, RoundTrip,
+    ::testing::Values(Case{"sz-lr", 1e-2}, Case{"sz-lr", 1e-4},
+                      Case{"sz-lr", 1e-7}, Case{"sz-interp", 1e-2},
+                      Case{"sz-interp", 1e-4}, Case{"sz-interp", 1e-7},
+                      Case{"zfp-like", 1e-2}, Case{"zfp-like", 1e-4},
+                      Case{"zfp-like", 1e-7}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      std::string name = info.param.codec;
+      for (auto& c : name)
+        if (c == '-') c = '_';
+      return name + "_eb" + std::to_string(static_cast<int>(
+                                -std::log10(info.param.abs_eb)));
+    });
+
+TEST(CompressorEdgeCases, ConstantField) {
+  for (const char* codec : {"sz-lr", "sz-interp", "zfp-like"}) {
+    const auto comp = make_compressor(codec);
+    Array3<double> data({16, 16, 16});
+    for (std::int64_t i = 0; i < data.size(); ++i) data[i] = 3.25;
+    const Bytes blob = comp->compress(data.view(), 1e-3);
+    const Array3<double> back = comp->decompress(blob);
+    EXPECT_LE(max_abs_diff(data.span(), back.span()), 1e-3) << codec;
+    // A constant field must compress extremely well.
+    EXPECT_LT(blob.size(), 4096u) << codec;
+  }
+}
+
+TEST(CompressorEdgeCases, TinyArrays) {
+  for (const char* codec : {"sz-lr", "sz-interp", "zfp-like"}) {
+    const auto comp = make_compressor(codec);
+    for (Shape3 s : {Shape3{1, 1, 1}, Shape3{2, 1, 1}, Shape3{5, 3, 1},
+                     Shape3{3, 3, 3}}) {
+      const Array3<double> data = noisy_field(s, 99);
+      const Bytes blob = comp->compress(data.view(), 1e-4);
+      const Array3<double> back = comp->decompress(blob);
+      ASSERT_EQ(back.shape(), s) << codec;
+      EXPECT_LE(max_abs_diff(data.span(), back.span()), 1e-4 * 1.0000001)
+          << codec << " shape " << s.nx << "x" << s.ny << "x" << s.nz;
+    }
+  }
+}
+
+TEST(CompressorEdgeCases, NonMultipleOfBlockSize) {
+  const auto comp = make_compressor("sz-lr");
+  const Array3<double> data = noisy_field({37, 41, 29}, 5);
+  const Bytes blob = comp->compress(data.view(), 1e-3);
+  const Array3<double> back = comp->decompress(blob);
+  EXPECT_LE(max_abs_diff(data.span(), back.span()), 1e-3 * 1.0000001);
+}
+
+TEST(CompressorEdgeCases, ExtremeOutliers) {
+  // A field with isolated huge spikes exercises the outlier escape path.
+  const auto comp = make_compressor("sz-lr");
+  Array3<double> data = smooth_field({20, 20, 20});
+  data(3, 4, 5) = 1e12;
+  data(10, 11, 12) = -4e11;
+  const Bytes blob = comp->compress(data.view(), 1e-3);
+  const Array3<double> back = comp->decompress(blob);
+  EXPECT_LE(max_abs_diff(data.span(), back.span()), 1e-3 * 1.0000001);
+}
+
+TEST(CompressorEdgeCases, RelativeBoundResolution) {
+  const Array3<double> data = smooth_field({16, 16, 16});
+  const MinMax mm = min_max(data.span());
+  const double abs_eb =
+      resolve_abs_eb(ErrorBoundMode::kRelative, 1e-3, data.span());
+  EXPECT_NEAR(abs_eb, 1e-3 * mm.range(), 1e-12);
+  EXPECT_DOUBLE_EQ(
+      resolve_abs_eb(ErrorBoundMode::kAbsolute, 0.5, data.span()), 0.5);
+}
+
+TEST(CompressorEdgeCases, UnknownNameThrows) {
+  EXPECT_THROW(make_compressor("bogus"), Error);
+}
+
+TEST(CompressorRatios, InterpBeatsLorenzoOnSmoothData) {
+  // The paper's WarpX finding (Fig. 12): global interpolation wins on
+  // smooth fields at equal error bound.
+  const Array3<double> data = smooth_field({48, 48, 48});
+  const auto lr = make_compressor("sz-lr");
+  const auto itp = make_compressor("sz-interp");
+  const double eb = 1e-3;
+  const std::size_t lr_size = lr->compress(data.view(), eb).size();
+  const std::size_t itp_size = itp->compress(data.view(), eb).size();
+  EXPECT_LT(itp_size, lr_size);
+}
+
+}  // namespace
+}  // namespace amrvis::compress

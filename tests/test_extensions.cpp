@@ -1,0 +1,217 @@
+// Tests for the extension modules: the 2-D stitching mesh (paper Fig. 8
+// lower path), the zMesh-style 1-D baseline (paper §1 critique), and the
+// CSV emission.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compress/compressor.hpp"
+#include "compress/amr_compress.hpp"
+#include "compress/zmesh_like.hpp"
+#include "metrics/csv.hpp"
+#include "sim/fields.hpp"
+#include "sim/tagging.hpp"
+#include "util/bytestream.hpp"
+#include "util/stats.hpp"
+#include "vis/stitch2d.hpp"
+
+namespace amrvis {
+namespace {
+
+double diag_ramp(double x, double y) { return x + 0.37 * y - 14.2; }
+
+double radial(double x, double y) {
+  const double dx = x - 20.0, dy = y - 16.0;
+  return 12.0 - std::sqrt(dx * dx + dy * dy);
+}
+
+TEST(Stitch2d, SamplerShapes) {
+  const vis::TwoLevel2d data = vis::sample_two_level_2d(16, 16, 6,
+                                                        diag_ramp);
+  EXPECT_EQ(data.coarse.shape(), (Shape3{16, 16, 1}));
+  EXPECT_EQ(data.fine.shape(), (Shape3{12, 32, 1}));
+  // Fine and coarse sample the same function: a coarse cell equals the
+  // function at its center.
+  EXPECT_NEAR(data.coarse(3, 4, 0), diag_ramp(7.0, 9.0), 1e-12);
+  EXPECT_NEAR(data.fine(3, 4, 0), diag_ramp(3.5, 4.5), 1e-12);
+}
+
+TEST(Stitch2d, GapWithoutStitchClosedWithIt) {
+  // A contour crossing the level interface dangles without the
+  // stitching strip and connects with it — the Fig. 8 behaviour.
+  const vis::TwoLevel2d data = vis::sample_two_level_2d(16, 16, 6,
+                                                        diag_ramp);
+  const auto gap = vis::stitch_contour_2d(data, 0.0, false);
+  const auto stitched = vis::stitch_contour_2d(data, 0.0, true);
+  EXPECT_GT(gap.dangling_endpoints, 0);
+  EXPECT_EQ(stitched.dangling_endpoints, 0);
+  EXPECT_TRUE(gap.stitch_segments.empty());
+  EXPECT_FALSE(stitched.stitch_segments.empty());
+  // Coarse and fine contours identical in both runs.
+  EXPECT_EQ(gap.coarse_segments.size(), stitched.coarse_segments.size());
+  EXPECT_EQ(gap.fine_segments.size(), stitched.fine_segments.size());
+}
+
+TEST(Stitch2d, RadialContourAlsoCloses) {
+  const vis::TwoLevel2d data = vis::sample_two_level_2d(16, 16, 8, radial);
+  const auto gap = vis::stitch_contour_2d(data, 0.0, false);
+  const auto stitched = vis::stitch_contour_2d(data, 0.0, true);
+  EXPECT_GT(gap.dangling_endpoints, 0);
+  EXPECT_EQ(stitched.dangling_endpoints, 0);
+}
+
+TEST(Stitch2d, NoCrossingNoDangling) {
+  // Contour entirely inside the fine region: nothing dangles either way.
+  auto left_blob = [](double x, double y) {
+    const double dx = x - 5.0, dy = y - 16.0;
+    return 3.5 - std::sqrt(dx * dx + dy * dy);
+  };
+  const vis::TwoLevel2d data =
+      vis::sample_two_level_2d(16, 16, 8, left_blob);
+  const auto gap = vis::stitch_contour_2d(data, 0.0, false);
+  EXPECT_EQ(gap.dangling_endpoints, 0);
+  EXPECT_TRUE(gap.coarse_segments.empty());
+}
+
+TEST(ZmeshBaseline, RoundTripWithinBound) {
+  Array3<double> field = sim::nyx_like_density({32, 32, 32});
+  sim::TaggingSpec spec;
+  spec.fine_fraction = 0.3;
+  spec.block = 4;
+  const auto ds = sim::build_two_level_hierarchy(std::move(field), spec);
+  const auto codec = compress::make_compressor("sz-lr");
+  const auto compressed =
+      compress::compress_hierarchy_flat1d(ds.hierarchy, *codec, 1e-3);
+  const auto back = compress::decompress_flat1d(compressed, *codec);
+  ASSERT_EQ(back.size(), 2u);
+  // Verify the bound on the flattened arrays.
+  for (int l = 0; l < 2; ++l) {
+    std::size_t pos = 0;
+    for (const auto& fab : ds.hierarchy.level(l).fabs)
+      for (const double v : fab.values()) {
+        ASSERT_LT(pos, back[static_cast<std::size_t>(l)].size());
+        EXPECT_LE(std::abs(v - back[static_cast<std::size_t>(l)][pos++]),
+                  compressed.abs_eb * 1.0000001);
+      }
+  }
+}
+
+TEST(ZmeshBaseline, LosesToPerPatch3dCompression) {
+  // The paper's critique of zMesh: flattening to 1-D forfeits spatial
+  // locality, so 3-D per-patch compression achieves a better ratio at
+  // the same bound.
+  Array3<double> field = sim::nyx_like_density({64, 64, 64});
+  sim::TaggingSpec spec;
+  spec.fine_fraction = 0.4;
+  spec.block = 8;
+  const auto ds = sim::build_two_level_hierarchy(std::move(field), spec);
+  const auto codec = compress::make_compressor("sz-lr");
+  const double flat_ratio =
+      compress::compress_hierarchy_flat1d(ds.hierarchy, *codec, 1e-3)
+          .ratio();
+  const double patch_ratio =
+      compress::compress_hierarchy(ds.hierarchy, *codec, 1e-3,
+                                   compress::RedundantHandling::kKeep)
+          .ratio();
+  EXPECT_GT(patch_ratio, flat_ratio);
+}
+
+TEST(Csv, TableFormatting) {
+  metrics::CsvTable table({"a", "b"});
+  table.add_row(std::vector<std::string>{"x,y", "plain"});
+  table.add_row(std::vector<double>{1.5, 2.0});
+  const std::string text = table.to_string();
+  EXPECT_EQ(text, "a,b\n\"x,y\",plain\n1.5,2\n");
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(Csv, RowWidthMismatchThrows) {
+  metrics::CsvTable table({"a", "b"});
+  EXPECT_THROW(table.add_row(std::vector<std::string>{"only-one"}), Error);
+}
+
+TEST(Csv, RdSeriesAndFileRoundTrip) {
+  std::vector<metrics::RdPoint> points(2);
+  points[0] = {1e-3, 30.0, 65.0, 0.9995};
+  points[1] = {1e-2, 60.0, 50.0, 0.99};
+  const metrics::CsvTable table = metrics::rd_series_to_csv("sz-lr", points);
+  const std::string path = ::testing::TempDir() + "/rd.csv";
+  table.write(path);
+  const Bytes data = read_file(path);
+  const std::string text(data.begin(), data.end());
+  EXPECT_NE(text.find("codec,rel_eb,ratio"), std::string::npos);
+  EXPECT_NE(text.find("sz-lr,0.001,30"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace amrvis
+
+// --- plotfile round-trip tests (appended) -----------------------------
+
+#include <filesystem>
+
+#include "compress/plotfile.hpp"
+
+namespace amrvis {
+namespace {
+
+sim::SyntheticDataset plotfile_dataset() {
+  Array3<double> field = sim::nyx_like_density({32, 32, 32});
+  sim::TaggingSpec spec;
+  spec.fine_fraction = 0.3;
+  spec.block = 4;
+  spec.max_grid_size = 16;
+  return sim::build_two_level_hierarchy(std::move(field), spec);
+}
+
+TEST(Plotfile, RawRoundTripIsExact) {
+  const auto ds = plotfile_dataset();
+  const std::string dir = ::testing::TempDir() + "/plt_raw";
+  std::filesystem::create_directories(dir);
+  compress::write_plotfile(dir, ds.hierarchy);
+  const amr::AmrHierarchy back = compress::read_plotfile(dir);
+  ASSERT_EQ(back.num_levels(), ds.hierarchy.num_levels());
+  for (int l = 0; l < back.num_levels(); ++l) {
+    ASSERT_EQ(back.level(l).fabs.size(), ds.hierarchy.level(l).fabs.size());
+    for (std::size_t p = 0; p < back.level(l).fabs.size(); ++p) {
+      EXPECT_EQ(back.level(l).fabs[p].box(),
+                ds.hierarchy.level(l).fabs[p].box());
+      EXPECT_DOUBLE_EQ(
+          max_abs_diff(back.level(l).fabs[p].values(),
+                       ds.hierarchy.level(l).fabs[p].values()),
+          0.0);
+    }
+  }
+}
+
+TEST(Plotfile, CompressedRoundTripWithinBound) {
+  const auto ds = plotfile_dataset();
+  const auto codec = compress::make_compressor("sz-lr");
+  const double abs_eb = compress::resolve_abs_eb(
+      compress::ErrorBoundMode::kRelative, 1e-3,
+      ds.hierarchy.level(1).fabs[0].values());
+  const std::string dir = ::testing::TempDir() + "/plt_sz";
+  std::filesystem::create_directories(dir);
+  compress::write_plotfile(dir, ds.hierarchy, codec.get(), abs_eb);
+  const amr::AmrHierarchy back = compress::read_plotfile(dir);
+  for (int l = 0; l < back.num_levels(); ++l)
+    for (std::size_t p = 0; p < back.level(l).fabs.size(); ++p)
+      EXPECT_LE(max_abs_diff(back.level(l).fabs[p].values(),
+                             ds.hierarchy.level(l).fabs[p].values()),
+                abs_eb * 1.0000001);
+  // Compressed payload must actually be smaller than raw.
+  const auto raw_dir = ::testing::TempDir() + "/plt_raw2";
+  std::filesystem::create_directories(raw_dir);
+  compress::write_plotfile(raw_dir, ds.hierarchy);
+  EXPECT_LT(std::filesystem::file_size(dir + "/level_1.bin"),
+            std::filesystem::file_size(raw_dir + "/level_1.bin"));
+}
+
+TEST(Plotfile, MissingFileThrows) {
+  EXPECT_THROW(compress::read_plotfile(::testing::TempDir() + "/nope"),
+               Error);
+}
+
+}  // namespace
+}  // namespace amrvis

@@ -1,0 +1,137 @@
+// Lossless substrate tests: Huffman and LZSS must round-trip arbitrary
+// payloads bit-exactly.
+
+#include <gtest/gtest.h>
+
+#include "compress/huffman.hpp"
+#include "compress/lzss.hpp"
+#include "util/rng.hpp"
+
+namespace amrvis::compress {
+namespace {
+
+TEST(Huffman, EmptyStream) {
+  const Bytes blob = huffman_encode({});
+  EXPECT_TRUE(huffman_decode(blob).empty());
+}
+
+TEST(Huffman, SingleSymbolRepeated) {
+  std::vector<std::uint32_t> syms(1000, 42);
+  const Bytes blob = huffman_encode(syms);
+  EXPECT_EQ(huffman_decode(blob), syms);
+  EXPECT_LT(blob.size(), 200u);  // ~1 bit per symbol + table
+}
+
+TEST(Huffman, TwoSymbols) {
+  std::vector<std::uint32_t> syms;
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i)
+    syms.push_back(rng.next_double() < 0.9 ? 7 : 1234567);
+  const Bytes blob = huffman_encode(syms);
+  EXPECT_EQ(huffman_decode(blob), syms);
+}
+
+TEST(Huffman, SkewedQuantizerLikeDistribution) {
+  // Quantizer output: huge spike at the center code, geometric tails.
+  std::vector<std::uint32_t> syms;
+  Rng rng(11);
+  for (int i = 0; i < 100000; ++i) {
+    const double g = rng.normal() * 3.0;
+    syms.push_back(static_cast<std::uint32_t>(32768 + std::lround(g)));
+  }
+  const Bytes blob = huffman_encode(syms);
+  EXPECT_EQ(huffman_decode(blob), syms);
+  // Entropy of N(0,3) quantized ~ 3.4 bits; table overhead small.
+  EXPECT_LT(blob.size(), 100000u);  // < 8 bits per symbol
+}
+
+TEST(Huffman, UniformWideAlphabet) {
+  std::vector<std::uint32_t> syms;
+  Rng rng(17);
+  for (int i = 0; i < 20000; ++i)
+    syms.push_back(static_cast<std::uint32_t>(rng.next_below(4096)));
+  const Bytes blob = huffman_encode(syms);
+  EXPECT_EQ(huffman_decode(blob), syms);
+}
+
+TEST(Huffman, AllDistinctSymbols) {
+  std::vector<std::uint32_t> syms;
+  for (std::uint32_t i = 0; i < 2000; ++i) syms.push_back(i * 977 + 3);
+  const Bytes blob = huffman_encode(syms);
+  EXPECT_EQ(huffman_decode(blob), syms);
+}
+
+class LzssRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(LzssRoundTrip, RandomBytes) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  Bytes input;
+  const int n = GetParam() * 1000;
+  for (int i = 0; i < n; ++i)
+    input.push_back(static_cast<std::uint8_t>(rng.next_below(256)));
+  const Bytes blob = lzss_encode(input);
+  EXPECT_EQ(lzss_decode(blob), input);
+}
+
+TEST_P(LzssRoundTrip, RepetitiveBytes) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 100);
+  Bytes input;
+  const int n = GetParam() * 1000;
+  while (static_cast<int>(input.size()) < n) {
+    // Random short motif repeated a random number of times.
+    const std::size_t motif_len = 1 + rng.next_below(12);
+    const std::size_t reps = 1 + rng.next_below(40);
+    Bytes motif;
+    for (std::size_t i = 0; i < motif_len; ++i)
+      motif.push_back(static_cast<std::uint8_t>(rng.next_below(8)));
+    for (std::size_t r = 0; r < reps; ++r)
+      input.insert(input.end(), motif.begin(), motif.end());
+  }
+  const Bytes blob = lzss_encode(input);
+  EXPECT_EQ(lzss_decode(blob), input);
+  EXPECT_LT(blob.size(), input.size());  // must actually compress
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LzssRoundTrip, ::testing::Values(1, 5, 37));
+
+TEST(Lzss, Empty) {
+  const Bytes blob = lzss_encode({});
+  EXPECT_TRUE(lzss_decode(blob).empty());
+}
+
+TEST(Lzss, SingleByte) {
+  const Bytes input{0xAB};
+  EXPECT_EQ(lzss_decode(lzss_encode(input)), input);
+}
+
+TEST(Lzss, AllZeros) {
+  Bytes input(100000, 0);
+  const Bytes blob = lzss_encode(input);
+  EXPECT_EQ(lzss_decode(blob), input);
+  EXPECT_LT(blob.size(), 2000u);
+}
+
+TEST(Lzss, OverlappingMatch) {
+  // "abcabcabc..." forces self-overlapping copies.
+  Bytes input;
+  for (int i = 0; i < 10000; ++i)
+    input.push_back(static_cast<std::uint8_t>('a' + (i % 3)));
+  EXPECT_EQ(lzss_decode(lzss_encode(input)), input);
+}
+
+TEST(Lzss, LongRangeMatchAtWindowEdge) {
+  // Motif recurs exactly 64 KiB apart: offset == window size boundary.
+  Rng rng(23);
+  Bytes input;
+  Bytes motif;
+  for (int i = 0; i < 64; ++i)
+    motif.push_back(static_cast<std::uint8_t>(rng.next_below(256)));
+  input.insert(input.end(), motif.begin(), motif.end());
+  while (input.size() < (1u << 16))
+    input.push_back(static_cast<std::uint8_t>(rng.next_below(256)));
+  input.insert(input.end(), motif.begin(), motif.end());
+  EXPECT_EQ(lzss_decode(lzss_encode(input)), input);
+}
+
+}  // namespace
+}  // namespace amrvis::compress

@@ -1,0 +1,105 @@
+// Unit tests for the error-controlled linear quantizer — the stage that
+// carries the error-bound guarantee of every prediction codec.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compress/quantizer.hpp"
+#include "util/rng.hpp"
+
+namespace amrvis::compress {
+namespace {
+
+TEST(Quantizer, ExactPredictionGivesCenterCode) {
+  const LinearQuantizer q(0.1);
+  std::vector<double> outliers;
+  double recon;
+  const auto code = q.encode(5.0, 5.0, recon, outliers);
+  EXPECT_EQ(code, static_cast<std::uint32_t>(q.radius()));
+  EXPECT_DOUBLE_EQ(recon, 5.0);
+  EXPECT_TRUE(outliers.empty());
+}
+
+TEST(Quantizer, BoundHoldsAcrossResidualSweep) {
+  const double eb = 0.05;
+  const LinearQuantizer q(eb);
+  std::vector<double> outliers;
+  for (double residual = -10.0; residual <= 10.0; residual += 0.0137) {
+    double recon;
+    const auto code = q.encode(3.0 + residual, 3.0, recon, outliers);
+    EXPECT_LE(std::abs(recon - (3.0 + residual)), eb + 1e-15);
+    // Decoder agreement.
+    std::size_t pos = 0;
+    std::vector<double> decode_outliers = outliers;
+    if (code == 0) {
+      const double d =
+          q.decode(code, 3.0, decode_outliers.data(),
+                   pos = decode_outliers.size() - 1);
+      EXPECT_DOUBLE_EQ(d, recon);
+    } else {
+      std::size_t zero = 0;
+      EXPECT_DOUBLE_EQ(q.decode(code, 3.0, nullptr, zero), recon);
+    }
+  }
+}
+
+TEST(Quantizer, LargeResidualEscapesToOutlier) {
+  const LinearQuantizer q(1e-6, 128);
+  std::vector<double> outliers;
+  double recon;
+  const auto code = q.encode(1.0, 0.0, recon, outliers);
+  EXPECT_EQ(code, 0u);
+  ASSERT_EQ(outliers.size(), 1u);
+  EXPECT_LE(std::abs(recon - 1.0), 1e-6);
+}
+
+TEST(Quantizer, CodesStayInRange) {
+  const LinearQuantizer q(0.01, 256);
+  Rng rng(3);
+  std::vector<double> outliers;
+  for (int i = 0; i < 10000; ++i) {
+    double recon;
+    const auto code =
+        q.encode(rng.normal() * 10.0, rng.normal() * 10.0, recon, outliers);
+    EXPECT_LT(code, q.num_codes());
+  }
+}
+
+TEST(Quantizer, EncoderDecoderLockstep) {
+  // Replaying the decoder over the encoder's outputs reproduces exactly
+  // the reconstructed values the encoder committed to.
+  const double eb = 0.02;
+  const LinearQuantizer q(eb);
+  Rng rng(7);
+  std::vector<double> values(500), preds(500);
+  for (int i = 0; i < 500; ++i) {
+    values[static_cast<std::size_t>(i)] = rng.normal() * 4.0;
+    preds[static_cast<std::size_t>(i)] = rng.normal() * 4.0;
+  }
+  std::vector<std::uint32_t> codes;
+  std::vector<double> recons, outliers;
+  for (int i = 0; i < 500; ++i) {
+    double r;
+    codes.push_back(q.encode(values[static_cast<std::size_t>(i)],
+                             preds[static_cast<std::size_t>(i)], r,
+                             outliers));
+    recons.push_back(r);
+  }
+  std::size_t outlier_pos = 0;
+  for (int i = 0; i < 500; ++i) {
+    const double d = q.decode(codes[static_cast<std::size_t>(i)],
+                              preds[static_cast<std::size_t>(i)],
+                              outliers.data(), outlier_pos);
+    EXPECT_DOUBLE_EQ(d, recons[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(outlier_pos, outliers.size());
+}
+
+TEST(Quantizer, RejectsNonPositiveBound) {
+  EXPECT_THROW(LinearQuantizer(0.0), Error);
+  EXPECT_THROW(LinearQuantizer(-1.0), Error);
+}
+
+}  // namespace
+}  // namespace amrvis::compress

@@ -1,0 +1,316 @@
+// Tests for the synthetic data generators and AMR tagging: statistical
+// sanity of the fields, determinism, coverage calibration against the
+// paper's Table 1 densities, and clustering correctness.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "amr/sampling.hpp"
+#include "sim/advection.hpp"
+#include "sim/fields.hpp"
+#include "sim/grf.hpp"
+#include "sim/tagging.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace amrvis::sim {
+namespace {
+
+TEST(Grf, ZeroMeanUnitVariance) {
+  GrfSpec spec;
+  spec.seed = 9;
+  const Array3<double> f = gaussian_random_field({32, 32, 32}, spec);
+  EXPECT_NEAR(mean(f.span()), 0.0, 1e-12);
+  EXPECT_NEAR(variance(f.span()), 1.0, 1e-9);
+}
+
+TEST(Grf, Deterministic) {
+  GrfSpec spec;
+  spec.seed = 33;
+  const Array3<double> a = gaussian_random_field({16, 16, 16}, spec);
+  const Array3<double> b = gaussian_random_field({16, 16, 16}, spec);
+  EXPECT_DOUBLE_EQ(max_abs_diff(a.span(), b.span()), 0.0);
+}
+
+TEST(Grf, SeedChangesField) {
+  GrfSpec a_spec, b_spec;
+  a_spec.seed = 1;
+  b_spec.seed = 2;
+  const Array3<double> a = gaussian_random_field({16, 16, 16}, a_spec);
+  const Array3<double> b = gaussian_random_field({16, 16, 16}, b_spec);
+  EXPECT_GT(max_abs_diff(a.span(), b.span()), 0.1);
+}
+
+TEST(Grf, SpectralIndexControlsSmoothness) {
+  // Steeper spectrum => smoother field => smaller mean |gradient|.
+  GrfSpec steep, shallow;
+  steep.spectral_index = 4.0;
+  shallow.spectral_index = 1.0;
+  steep.seed = shallow.seed = 5;
+  const Array3<double> fs = gaussian_random_field({32, 32, 32}, steep);
+  const Array3<double> fh = gaussian_random_field({32, 32, 32}, shallow);
+  auto mean_grad = [](const Array3<double>& f) {
+    double g = 0;
+    std::int64_t n = 0;
+    for (std::int64_t k = 0; k < 32; ++k)
+      for (std::int64_t j = 0; j < 32; ++j)
+        for (std::int64_t i = 0; i + 1 < 32; ++i, ++n)
+          g += std::abs(f(i + 1, j, k) - f(i, j, k));
+    return g / static_cast<double>(n);
+  };
+  EXPECT_LT(mean_grad(fs), mean_grad(fh));
+}
+
+TEST(Grf, NonPow2Throws) {
+  EXPECT_THROW(gaussian_random_field({12, 16, 16}, {}), Error);
+}
+
+TEST(NyxField, PositiveAndSkewed) {
+  const Array3<double> rho = nyx_like_density({32, 32, 32});
+  MinMax mm = min_max(rho.span());
+  EXPECT_GT(mm.min, 0.0);
+  // Lognormal + halos: max far above the mean (clumpy).
+  EXPECT_GT(mm.max, 10.0 * mean(rho.span()));
+}
+
+TEST(NyxField, Deterministic) {
+  const Array3<double> a = nyx_like_density({16, 16, 16});
+  const Array3<double> b = nyx_like_density({16, 16, 16});
+  EXPECT_DOUBLE_EQ(max_abs_diff(a.span(), b.span()), 0.0);
+}
+
+TEST(WarpXField, PulseLocalizedAndSigned) {
+  WarpXLikeSpec spec;
+  spec.noise_amplitude = 0.0;
+  const Shape3 s{32, 32, 256};
+  const Array3<double> ez = warpx_like_ez(s, spec);
+  const MinMax mm = min_max(ez.span());
+  EXPECT_LT(mm.min, -0.2);
+  EXPECT_GT(mm.max, 0.2);
+  // Peak |Ez| near the pulse center plane, small far ahead of it.
+  const auto z0 = static_cast<std::int64_t>(spec.pulse_center_z * 256);
+  double near_max = 0, ahead_max = 0;
+  for (std::int64_t j = 0; j < s.ny; ++j)
+    for (std::int64_t i = 0; i < s.nx; ++i) {
+      near_max = std::max(near_max, std::abs(ez(i, j, z0)));
+      ahead_max = std::max(ahead_max, std::abs(ez(i, j, 250)));
+    }
+  EXPECT_GT(near_max, 5.0 * ahead_max);
+}
+
+TEST(WarpXField, SmootherThanNyx) {
+  // The paper picked these two applications for their contrast: WarpX
+  // smooth, Nyx irregular. "Smooth" in the compression-relevant sense is
+  // local predictability: the energy of the second difference relative
+  // to the field's variance (scale-invariant, unlike a range-normalized
+  // gradient which the Nyx halos' huge range would wash out).
+  WarpXLikeSpec wspec;
+  wspec.noise_amplitude = 0;
+  const Array3<double> ez = warpx_like_ez({32, 32, 128}, wspec);
+  const Array3<double> rho = nyx_like_density({32, 32, 32});
+  auto curvature = [](const Array3<double>& f) {
+    const Shape3 s = f.shape();
+    double g = 0;
+    std::int64_t n = 0;
+    for (std::int64_t k = 0; k < s.nz; ++k)
+      for (std::int64_t j = 0; j < s.ny; ++j)
+        for (std::int64_t i = 1; i + 1 < s.nx; ++i, ++n) {
+          const double d2 = f(i + 1, j, k) - 2.0 * f(i, j, k) +
+                            f(i - 1, j, k);
+          g += d2 * d2;
+        }
+    return g / static_cast<double>(n) / variance(f.span());
+  };
+  EXPECT_LT(curvature(ez), curvature(rho));
+}
+
+TEST(BlockScores, MaxValueCriterion) {
+  Array3<double> f({16, 16, 16}, 0.0);
+  f(3, 3, 3) = 9.0;    // block (0,0,0)
+  f(12, 12, 12) = 5.0; // block (1,1,1)
+  const Array3<double> scores =
+      block_scores(f, RefineCriterion::kMaxValue, 8);
+  EXPECT_EQ(scores.shape(), (Shape3{2, 2, 2}));
+  EXPECT_DOUBLE_EQ(scores(0, 0, 0), 9.0);
+  EXPECT_DOUBLE_EQ(scores(1, 1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(scores(1, 0, 0), 0.0);
+}
+
+TEST(BlockScores, GradientCriterionFlatIsZero) {
+  Array3<double> f({8, 8, 8}, 4.0);
+  const Array3<double> scores =
+      block_scores(f, RefineCriterion::kGradient, 4);
+  for (std::int64_t i = 0; i < scores.size(); ++i)
+    EXPECT_DOUBLE_EQ(scores[i], 0.0);
+}
+
+TEST(ClusterTags, SingleBlock) {
+  Array3<std::uint8_t> tags({4, 4, 4}, 0);
+  tags(1, 2, 3) = 1;
+  const auto boxes = cluster_tags(tags);
+  ASSERT_EQ(boxes.size(), 1u);
+  EXPECT_EQ(boxes[0], amr::Box(amr::IntVect{1, 2, 3}, amr::IntVect{1, 2, 3}));
+}
+
+TEST(ClusterTags, MergesRectangles) {
+  Array3<std::uint8_t> tags({4, 4, 4}, 0);
+  for (std::int64_t k = 1; k <= 2; ++k)
+    for (std::int64_t j = 0; j <= 3; ++j)
+      for (std::int64_t i = 2; i <= 3; ++i) tags(i, j, k) = 1;
+  const auto boxes = cluster_tags(tags);
+  ASSERT_EQ(boxes.size(), 1u);
+  EXPECT_EQ(boxes[0],
+            amr::Box(amr::IntVect{2, 0, 1}, amr::IntVect{3, 3, 2}));
+}
+
+TEST(ClusterTags, CoversExactlyTheTags) {
+  Rng rng(41);
+  Array3<std::uint8_t> tags({6, 5, 4}, 0);
+  for (std::int64_t i = 0; i < tags.size(); ++i)
+    tags[i] = rng.next_double() < 0.3 ? 1 : 0;
+  const auto boxes = cluster_tags(tags);
+  // Paint the boxes and compare against the tags exactly.
+  Array3<std::uint8_t> painted({6, 5, 4}, 0);
+  std::int64_t box_cells = 0;
+  for (const auto& b : boxes) {
+    box_cells += b.num_cells();
+    for (std::int64_t k = b.lo().z; k <= b.hi().z; ++k)
+      for (std::int64_t j = b.lo().y; j <= b.hi().y; ++j)
+        for (std::int64_t i = b.lo().x; i <= b.hi().x; ++i)
+          painted(i, j, k) = 1;
+  }
+  std::int64_t tag_cells = 0;
+  for (std::int64_t i = 0; i < tags.size(); ++i) {
+    tag_cells += tags[i];
+    EXPECT_EQ(painted[i], tags[i]);
+  }
+  EXPECT_EQ(box_cells, tag_cells);  // boxes are disjoint and exact
+}
+
+class HierarchyCoverage
+    : public ::testing::TestWithParam<std::pair<const char*, double>> {};
+
+TEST_P(HierarchyCoverage, HitsTargetFineFraction) {
+  const auto [kind, target] = GetParam();
+  Array3<double> field = std::string(kind) == "nyx"
+                             ? nyx_like_density({64, 64, 64})
+                             : warpx_like_ez({32, 32, 128});
+  TaggingSpec spec;
+  spec.criterion = std::string(kind) == "nyx"
+                       ? RefineCriterion::kMaxValue
+                       : RefineCriterion::kMaxAbsValue;
+  spec.fine_fraction = target;
+  spec.block = 4;
+  const SyntheticDataset ds = build_two_level_hierarchy(std::move(field),
+                                                        spec);
+  const auto stats = ds.hierarchy.level_stats();
+  // Post-dilation calibration: within one block quantum of the target.
+  EXPECT_NEAR(stats[1].density, target, 0.06);
+  EXPECT_NEAR(stats[0].density + stats[1].density, 1.0, 1e-12);
+  // Patch-based AMR invariants.
+  EXPECT_TRUE(ds.hierarchy.level(1).box_array.is_disjoint());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Targets, HierarchyCoverage,
+    ::testing::Values(std::pair{"nyx", 0.407}, std::pair{"nyx", 0.2},
+                      std::pair{"warpx", 0.086}, std::pair{"warpx", 0.3}));
+
+TEST(Hierarchy2Level, FineDataMatchesTruth) {
+  Array3<double> field = nyx_like_density({32, 32, 32});
+  const Array3<double> truth = field;
+  TaggingSpec spec;
+  spec.fine_fraction = 0.3;
+  spec.block = 4;
+  const SyntheticDataset ds =
+      build_two_level_hierarchy(std::move(field), spec);
+  for (const auto& fab : ds.hierarchy.level(1).fabs) {
+    const amr::Box& b = fab.box();
+    for (std::int64_t k = b.lo().z; k <= b.hi().z; ++k)
+      for (std::int64_t j = b.lo().y; j <= b.hi().y; ++j)
+        for (std::int64_t i = b.lo().x; i <= b.hi().x; ++i)
+          EXPECT_DOUBLE_EQ(fab.at({i, j, k}), truth(i, j, k));
+  }
+}
+
+TEST(Hierarchy2Level, CoarseIsConservativeAverage) {
+  Array3<double> field = nyx_like_density({32, 32, 32});
+  const Array3<double> truth = field;
+  TaggingSpec spec;
+  spec.fine_fraction = 0.3;
+  spec.block = 4;
+  const SyntheticDataset ds =
+      build_two_level_hierarchy(std::move(field), spec);
+  const Array3<double> expected = amr::coarsen_average(truth.view(), 2);
+  for (const auto& fab : ds.hierarchy.level(0).fabs) {
+    const amr::Box& b = fab.box();
+    for (std::int64_t k = b.lo().z; k <= b.hi().z; ++k)
+      for (std::int64_t j = b.lo().y; j <= b.hi().y; ++j)
+        for (std::int64_t i = b.lo().x; i <= b.hi().x; ++i)
+          EXPECT_NEAR(fab.at({i, j, k}), expected(i, j, k), 1e-12);
+  }
+}
+
+TEST(Hierarchy2Level, MaxGridSizeRespected) {
+  Array3<double> field = nyx_like_density({64, 64, 64});
+  TaggingSpec spec;
+  spec.fine_fraction = 0.5;
+  spec.block = 4;
+  spec.max_grid_size = 16;
+  const SyntheticDataset ds =
+      build_two_level_hierarchy(std::move(field), spec);
+  for (int l = 0; l < 2; ++l)
+    for (const auto& b : ds.hierarchy.level(l).box_array) {
+      EXPECT_LE(b.size().x, 16);
+      EXPECT_LE(b.size().y, 16);
+      EXPECT_LE(b.size().z, 16);
+    }
+}
+
+TEST(Advection, PeriodicMassConservedWithoutDiffusionLoss) {
+  Array3<double> f({16, 16, 16});
+  Rng rng(3);
+  for (std::int64_t i = 0; i < f.size(); ++i)
+    f[i] = rng.next_double();
+  double before = 0;
+  for (std::int64_t i = 0; i < f.size(); ++i) before += f[i];
+  AdvectionSpec spec;
+  advect_diffuse(f, spec, 10);
+  double after = 0;
+  for (std::int64_t i = 0; i < f.size(); ++i) after += f[i];
+  EXPECT_NEAR(before, after, 1e-8 * std::abs(before));
+}
+
+TEST(Advection, TransportsPeak) {
+  Array3<double> f({32, 4, 4}, 0.0);
+  f(4, 2, 2) = 1.0;
+  AdvectionSpec spec;
+  spec.vx = 0.9;
+  spec.vy = spec.vz = 0.0;
+  spec.diffusion = 0.0;
+  advect_diffuse(f, spec, 10);
+  // Peak should have moved ~9 cells in +x (upwind diffusion spreads it).
+  std::int64_t argmax = 0;
+  double best = -1;
+  for (std::int64_t i = 0; i < 32; ++i)
+    if (f(i, 2, 2) > best) {
+      best = f(i, 2, 2);
+      argmax = i;
+    }
+  EXPECT_GT(argmax, 8);
+  EXPECT_LT(argmax, 18);
+}
+
+TEST(Advection, RejectsUnstableParameters) {
+  Array3<double> f({8, 8, 8}, 0.0);
+  AdvectionSpec bad;
+  bad.vx = 1.5;
+  EXPECT_THROW(advect_diffuse(f, bad, 1), Error);
+  AdvectionSpec bad2;
+  bad2.diffusion = 0.5;
+  EXPECT_THROW(advect_diffuse(f, bad2, 1), Error);
+}
+
+}  // namespace
+}  // namespace amrvis::sim

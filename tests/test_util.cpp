@@ -1,0 +1,265 @@
+// Unit tests for the util substrate: streams, FFT, RNG, parallel
+// helpers, arrays and stats.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "util/array3d.hpp"
+#include "util/bytestream.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/fft.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace amrvis {
+namespace {
+
+TEST(ByteStream, PodRoundTrip) {
+  Bytes buf;
+  ByteWriter w(buf);
+  w.put<std::uint32_t>(0xdeadbeef);
+  w.put<double>(3.14159);
+  w.put<std::int64_t>(-42);
+  ByteReader r(buf);
+  EXPECT_EQ(r.get<std::uint32_t>(), 0xdeadbeefu);
+  EXPECT_DOUBLE_EQ(r.get<double>(), 3.14159);
+  EXPECT_EQ(r.get<std::int64_t>(), -42);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteStream, BlobRoundTrip) {
+  Bytes buf;
+  ByteWriter w(buf);
+  const Bytes payload{1, 2, 3, 4, 5};
+  w.put_blob(payload);
+  w.put_blob({});
+  ByteReader r(buf);
+  const auto back = r.get_blob();
+  EXPECT_EQ(Bytes(back.begin(), back.end()), payload);
+  EXPECT_TRUE(r.get_blob().empty());
+}
+
+TEST(ByteStream, TruncatedThrows) {
+  Bytes buf;
+  ByteWriter w(buf);
+  w.put<std::uint16_t>(7);
+  ByteReader r(buf);
+  EXPECT_THROW(r.get<std::uint64_t>(), Error);
+}
+
+TEST(BitStream, BitsRoundTrip) {
+  BitWriter w;
+  w.put_bits(0b1011, 4);
+  w.put_bits(0x12345678, 32);
+  w.put_bit(1);
+  BitReader r(w.bytes());
+  EXPECT_EQ(r.get_bits(4), 0b1011u);
+  EXPECT_EQ(r.get_bits(32), 0x12345678u);
+  EXPECT_EQ(r.get_bit(), 1u);
+}
+
+TEST(BitStream, BitCount) {
+  BitWriter w;
+  EXPECT_EQ(w.bit_count(), 0u);
+  w.put_bits(0, 13);
+  EXPECT_EQ(w.bit_count(), 13u);
+  w.put_bits(0, 3);
+  EXPECT_EQ(w.bit_count(), 16u);
+}
+
+TEST(BitStream, OutOfBitsThrows) {
+  BitWriter w;
+  w.put_bits(0xff, 8);
+  BitReader r(w.bytes());
+  (void)r.get_bits(8);
+  EXPECT_THROW((void)r.get_bit(), Error);
+}
+
+class Fft1dRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(Fft1dRoundTrip, InverseRecoversInput) {
+  const std::int64_t n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n));
+  std::vector<Complex> data(static_cast<std::size_t>(n));
+  for (auto& c : data) c = Complex(rng.normal(), rng.normal());
+  const auto original = data;
+  fft_1d(data.data(), n, false);
+  fft_1d(data.data(), n, true);
+  for (std::int64_t i = 0; i < n; ++i)
+    EXPECT_NEAR(std::abs(data[static_cast<std::size_t>(i)] -
+                         original[static_cast<std::size_t>(i)]),
+                0.0, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pow2Sizes, Fft1dRoundTrip,
+                         ::testing::Values(1, 2, 4, 16, 64, 256, 1024));
+
+TEST(Fft, SingleModeSpectrum) {
+  // A pure cosine concentrates energy at +/-k.
+  const std::int64_t n = 64;
+  std::vector<Complex> data(static_cast<std::size_t>(n));
+  const int k = 5;
+  for (std::int64_t i = 0; i < n; ++i)
+    data[static_cast<std::size_t>(i)] =
+        std::cos(2.0 * 3.14159265358979 * k * static_cast<double>(i) /
+                 static_cast<double>(n));
+  fft_1d(data.data(), n, false);
+  for (std::int64_t f = 0; f < n; ++f) {
+    const double mag = std::abs(data[static_cast<std::size_t>(f)]);
+    if (f == k || f == n - k)
+      EXPECT_NEAR(mag, static_cast<double>(n) / 2.0, 1e-8);
+    else
+      EXPECT_NEAR(mag, 0.0, 1e-8);
+  }
+}
+
+TEST(Fft, NonPow2Throws) {
+  std::vector<Complex> data(12);
+  EXPECT_THROW(fft_1d(data.data(), 12, false), Error);
+}
+
+TEST(Fft, ThreeDRoundTrip) {
+  Array3<Complex> data({8, 4, 16});
+  Rng rng(3);
+  for (std::int64_t i = 0; i < data.size(); ++i)
+    data[i] = Complex(rng.normal(), rng.normal());
+  Array3<Complex> original = data;
+  fft_3d(data, false);
+  fft_3d(data, true);
+  for (std::int64_t i = 0; i < data.size(); ++i)
+    EXPECT_NEAR(std::abs(data[i] - original[i]), 0.0, 1e-9);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 5.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  double sum = 0, sum2 = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum2 += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Parallel, ForCoversAllIndices) {
+  std::vector<int> hits(1000, 0);
+  parallel_for(1000, [&](std::int64_t i) { hits[static_cast<std::size_t>(i)]++; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000);
+}
+
+TEST(Parallel, ReduceMatchesSerial) {
+  const std::int64_t n = 100000;
+  const double parallel_sum = parallel_reduce<double>(
+      n, 0.0, [](std::int64_t i) { return static_cast<double>(i); },
+      [](double a, double b) { return a + b; });
+  EXPECT_DOUBLE_EQ(parallel_sum,
+                   static_cast<double>(n) * static_cast<double>(n - 1) / 2.0);
+}
+
+TEST(Parallel, ChunkedCoversAll) {
+  std::vector<int> hits(997, 0);  // prime size vs grain 64
+  parallel_for_chunked(997, 64,
+                       [&](std::int64_t i) { hits[static_cast<std::size_t>(i)]++; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 997);
+}
+
+TEST(Array3, IndexLayoutIsXFastest) {
+  Array3<double> a({3, 4, 5});
+  a(1, 2, 3) = 42.0;
+  EXPECT_DOUBLE_EQ(a[(3 * 4 + 2) * 3 + 1], 42.0);
+}
+
+TEST(Array3, ViewConvertsToConst) {
+  Array3<double> a({2, 2, 2}, 1.0);
+  View3<double> v = a.view();
+  View3<const double> cv = v;  // implicit conversion under test
+  EXPECT_DOUBLE_EQ(cv(1, 1, 1), 1.0);
+}
+
+TEST(Array3, ShapeRank) {
+  EXPECT_EQ((Shape3{5, 1, 1}).rank(), 1);
+  EXPECT_EQ((Shape3{5, 4, 1}).rank(), 2);
+  EXPECT_EQ((Shape3{5, 4, 3}).rank(), 3);
+  EXPECT_EQ((Shape3{1, 1, 1}).rank(), 1);
+}
+
+TEST(Stats, MinMaxMeanVariance) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const MinMax mm = min_max(xs);
+  EXPECT_DOUBLE_EQ(mm.min, 1.0);
+  EXPECT_DOUBLE_EQ(mm.max, 4.0);
+  EXPECT_DOUBLE_EQ(mm.range(), 3.0);
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(variance(xs), 1.25);
+}
+
+TEST(Stats, MaxAbsDiff) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{1.5, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 2.0);
+}
+
+TEST(CliFlags, ParseForms) {
+  Cli cli;
+  cli.add_flag("alpha", "1", "");
+  cli.add_flag("beta", "x", "");
+  cli.add_flag("gamma", "0", "");
+  const char* argv[] = {"prog", "--alpha=7", "--beta", "hello", "--gamma"};
+  ASSERT_TRUE(cli.parse(5, const_cast<char**>(argv)));
+  EXPECT_EQ(cli.get_int("alpha"), 7);
+  EXPECT_EQ(cli.get("beta"), "hello");
+  EXPECT_TRUE(cli.get_bool("gamma"));
+}
+
+TEST(CliFlags, UnknownFlagThrows) {
+  Cli cli;
+  const char* argv[] = {"prog", "--nope", "1"};
+  EXPECT_THROW(cli.parse(3, const_cast<char**>(argv)), Error);
+}
+
+TEST(ErrorMacros, RequireThrowsWithContext) {
+  try {
+    AMRVIS_REQUIRE_MSG(false, "ctx");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("ctx"), std::string::npos);
+  }
+}
+
+TEST(Files, WriteReadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/amrvis_io_test.bin";
+  Bytes data{0, 1, 2, 255, 128};
+  write_file(path, data);
+  EXPECT_EQ(read_file(path), data);
+}
+
+}  // namespace
+}  // namespace amrvis

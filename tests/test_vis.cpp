@@ -1,0 +1,332 @@
+// Tests for the visualization substrate: re-sampling, iso-surface
+// extraction, marching squares, mesh utilities and crack measurement —
+// including executable versions of the paper's conceptual Figures 4-8.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/fields.hpp"
+#include "util/bytestream.hpp"
+#include "vis/crack.hpp"
+#include "vis/isosurface.hpp"
+#include "vis/mesh.hpp"
+#include "vis/resample.hpp"
+
+namespace amrvis::vis {
+namespace {
+
+TEST(Resample, PaperFigure4Example) {
+  // Paper Fig. 4 (left): a vertex value is the average of its adjacent
+  // cells; the "6" comes from neighbors 8, 6, 6, 4.
+  Array3<double> cells({2, 2, 1});
+  cells(0, 0, 0) = 8;
+  cells(1, 0, 0) = 6;
+  cells(0, 1, 0) = 6;
+  cells(1, 1, 0) = 4;
+  const Array3<double> verts = resample_to_vertices(cells.view());
+  EXPECT_EQ(verts.shape(), (Shape3{3, 3, 2}));
+  // Center vertex of the 2x2 cell block (in the k=0 vertex plane it
+  // averages 4 cells; with nz=1 the k=0 and k=1 planes both see them).
+  EXPECT_DOUBLE_EQ(verts(1, 1, 0), 6.0);
+  // Corner vertex touches exactly one cell.
+  EXPECT_DOUBLE_EQ(verts(0, 0, 0), 8.0);
+  // Edge vertex averages two cells.
+  EXPECT_DOUBLE_EQ(verts(1, 0, 0), 7.0);
+}
+
+TEST(Resample, GrowsEachDimensionByOne) {
+  Array3<double> cells({5, 4, 3}, 1.0);
+  const Array3<double> verts = resample_to_vertices(cells.view());
+  EXPECT_EQ(verts.shape(), (Shape3{6, 5, 4}));
+  for (std::int64_t i = 0; i < verts.size(); ++i)
+    EXPECT_DOUBLE_EQ(verts[i], 1.0);
+}
+
+TEST(Resample, MaskedIgnoresInvalidCells) {
+  Array3<double> cells({2, 1, 1});
+  cells(0, 0, 0) = 10.0;
+  cells(1, 0, 0) = 99.0;
+  Array3<std::uint8_t> valid({2, 1, 1}, 1);
+  valid(1, 0, 0) = 0;
+  Array3<std::uint8_t> vertex_valid;
+  const Array3<double> verts = resample_to_vertices_masked(
+      cells.view(), valid.view(), vertex_valid);
+  // The shared vertex must only see the valid cell.
+  EXPECT_DOUBLE_EQ(verts(1, 0, 0), 10.0);
+  EXPECT_EQ(vertex_valid(1, 0, 0), 1);
+  // The far vertex of the invalid cell has no valid neighbor.
+  EXPECT_EQ(vertex_valid(2, 0, 0), 0);
+}
+
+TEST(Isosurface, SphereAreaConverges) {
+  // Marching over f = r - |p - c| at iso 0 recovers a sphere of radius r.
+  const double radius = 10.0;
+  const Array3<double> f =
+      sim::sphere_field({32, 32, 32}, 15.5, 15.5, 15.5, radius);
+  TriMesh mesh = extract_isosurface(f.view(), 0.0, {});
+  mesh.weld();
+  const double expected = 4.0 * 3.14159265358979 * radius * radius;
+  EXPECT_NEAR(mesh.area(), expected, 0.05 * expected);
+  // A closed surface has no boundary edges.
+  EXPECT_TRUE(mesh.boundary_edges().empty());
+}
+
+TEST(Isosurface, WatertightAcrossIsoValues) {
+  const Array3<double> f =
+      sim::sphere_field({20, 20, 20}, 9.5, 9.5, 9.5, 6.0);
+  for (const double iso : {-2.0, -1.0, 0.0, 1.0, 2.5}) {
+    TriMesh mesh = extract_isosurface(f.view(), iso, {});
+    mesh.weld();
+    EXPECT_TRUE(mesh.boundary_edges().empty()) << "iso=" << iso;
+  }
+}
+
+TEST(Isosurface, EmptyWhenIsoOutsideRange) {
+  const Array3<double> f =
+      sim::sphere_field({8, 8, 8}, 3.5, 3.5, 3.5, 2.0);
+  EXPECT_TRUE(extract_isosurface(f.view(), 100.0, {}).empty());
+  EXPECT_TRUE(extract_isosurface(f.view(), -100.0, {}).empty());
+}
+
+TEST(Isosurface, PlanarFieldGivesFlatSurfaceAtExactHeight) {
+  // f = z - 4.25: iso 0 is the plane z = 4.25.
+  Array3<double> f({8, 8, 8});
+  for (std::int64_t k = 0; k < 8; ++k)
+    for (std::int64_t j = 0; j < 8; ++j)
+      for (std::int64_t i = 0; i < 8; ++i)
+        f(i, j, k) = static_cast<double>(k) - 4.25;
+  const TriMesh mesh = extract_isosurface(f.view(), 0.0, {});
+  ASSERT_FALSE(mesh.empty());
+  for (const Vec3& v : mesh.vertices) EXPECT_NEAR(v.z, 4.25, 1e-12);
+  // Area of a 7x7-cell cross-section.
+  EXPECT_NEAR(mesh.area(), 49.0, 1e-9);
+}
+
+TEST(Isosurface, TransformAppliesOriginAndSpacing) {
+  Array3<double> f({4, 4, 4});
+  for (std::int64_t k = 0; k < 4; ++k)
+    for (std::int64_t j = 0; j < 4; ++j)
+      for (std::int64_t i = 0; i < 4; ++i)
+        f(i, j, k) = static_cast<double>(k) - 1.5;
+  const GridTransform tf{Vec3{10, 20, 30}, 2.0};
+  const TriMesh mesh = extract_isosurface(f.view(), 0.0, tf);
+  ASSERT_FALSE(mesh.empty());
+  for (const Vec3& v : mesh.vertices) {
+    EXPECT_NEAR(v.z, 30.0 + 1.5 * 2.0, 1e-12);
+    EXPECT_GE(v.x, 10.0);
+    EXPECT_LE(v.x, 10.0 + 3 * 2.0);
+  }
+}
+
+TEST(Isosurface, CellMaskRestrictsExtraction) {
+  Array3<double> f({4, 4, 4});
+  for (std::int64_t k = 0; k < 4; ++k)
+    for (std::int64_t j = 0; j < 4; ++j)
+      for (std::int64_t i = 0; i < 4; ++i)
+        f(i, j, k) = static_cast<double>(k) - 1.5;
+  Array3<std::uint8_t> mask({3, 3, 3}, 0);
+  mask(1, 1, 1) = 1;  // only the center cell
+  const TriMesh full = extract_isosurface(f.view(), 0.0, {});
+  const TriMesh masked =
+      extract_isosurface(f.view(), 0.0, {}, 0, mask.view());
+  EXPECT_LT(masked.num_triangles(), full.num_triangles());
+  EXPECT_NEAR(masked.area(), 1.0, 1e-9);  // one cell's worth of plane
+}
+
+TEST(Isosurface, LevelTagPropagates) {
+  const Array3<double> f =
+      sim::sphere_field({8, 8, 8}, 3.5, 3.5, 3.5, 2.0);
+  const TriMesh mesh = extract_isosurface(f.view(), 0.0, {}, 3);
+  for (const Triangle& t : mesh.triangles) EXPECT_EQ(t.level, 3);
+}
+
+TEST(MarchingSquares, PaperFigure4Contour) {
+  // Paper Fig. 4 (right): iso value 5 on vertex data.
+  Array3<double> verts({3, 3, 1});
+  const double vals[9] = {8, 7, 4, 6, 6, 3, 4, 6, 4};
+  for (std::int64_t j = 0; j < 3; ++j)
+    for (std::int64_t i = 0; i < 3; ++i)
+      verts(i, j, 0) = vals[j * 3 + i];
+  const auto segments = marching_squares(verts.view(), 5.0);
+  // Contour separates the high (left) from the low (right) region:
+  // each cell with a sign change yields exactly one segment here.
+  EXPECT_GE(segments.size(), 2u);
+  // All crossing points must have interpolated coordinates inside the grid.
+  for (const auto& s : segments) {
+    EXPECT_GE(std::min(s.ax, s.bx), 0.0);
+    EXPECT_LE(std::max(s.ax, s.bx), 2.0);
+  }
+}
+
+TEST(MarchingSquares, CircleLengthApproximation) {
+  const std::int64_t n = 64;
+  Array3<double> verts({n, n, 1});
+  const double r = 20.0;
+  for (std::int64_t j = 0; j < n; ++j)
+    for (std::int64_t i = 0; i < n; ++i) {
+      const double dx = static_cast<double>(i) - 31.5;
+      const double dy = static_cast<double>(j) - 31.5;
+      verts(i, j, 0) = r - std::sqrt(dx * dx + dy * dy);
+    }
+  const auto segments = marching_squares(verts.view(), 0.0);
+  double length = 0;
+  for (const auto& s : segments) {
+    const double dx = s.bx - s.ax, dy = s.by - s.ay;
+    length += std::sqrt(dx * dx + dy * dy);
+  }
+  EXPECT_NEAR(length, 2.0 * 3.14159265 * r, 0.02 * 2.0 * 3.14159265 * r);
+}
+
+TEST(MarchingSquares, SaddleProducesTwoSegments) {
+  Array3<double> verts({2, 2, 1});
+  verts(0, 0, 0) = 1.0;
+  verts(1, 1, 0) = 1.0;
+  verts(1, 0, 0) = -1.0;
+  verts(0, 1, 0) = -1.0;
+  const auto segments = marching_squares(verts.view(), 0.0);
+  EXPECT_EQ(segments.size(), 2u);
+}
+
+TEST(MeshOps, AppendRebasesIndices) {
+  TriMesh a, b;
+  a.vertices = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}};
+  a.triangles = {{{0, 1, 2}, 0}};
+  b.vertices = {{5, 5, 5}, {6, 5, 5}, {5, 6, 5}};
+  b.triangles = {{{0, 1, 2}, 1}};
+  a.append(b);
+  EXPECT_EQ(a.num_vertices(), 6u);
+  EXPECT_EQ(a.num_triangles(), 2u);
+  EXPECT_EQ(a.triangles[1].v[0], 3u);
+  EXPECT_EQ(a.triangles[1].level, 1);
+}
+
+TEST(MeshOps, WeldMergesDuplicates) {
+  TriMesh m;
+  m.vertices = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0},
+                {1, 0, 0}, {0, 1, 0}, {1, 1, 0}};
+  m.triangles = {{{0, 1, 2}, 0}, {{3, 5, 4}, 0}};
+  m.weld();
+  EXPECT_EQ(m.num_vertices(), 4u);
+  EXPECT_EQ(m.num_triangles(), 2u);
+  // The shared edge (1,0,0)-(0,1,0) is now interior: 2 boundary edges
+  // per triangle remain = 4.
+  EXPECT_EQ(m.boundary_edges().size(), 4u);
+}
+
+TEST(MeshOps, WeldDropsDegenerateTriangles) {
+  TriMesh m;
+  m.vertices = {{0, 0, 0}, {0, 0, 0}, {1, 1, 1}};
+  m.triangles = {{{0, 1, 2}, 0}};
+  m.weld();
+  EXPECT_EQ(m.num_triangles(), 0u);
+}
+
+TEST(MeshOps, AreaOfUnitRightTriangle) {
+  TriMesh m;
+  m.vertices = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}};
+  m.triangles = {{{0, 1, 2}, 0}};
+  EXPECT_DOUBLE_EQ(m.area(), 0.5);
+}
+
+TEST(MeshOps, BoundsOfMesh) {
+  TriMesh m;
+  m.vertices = {{-1, 2, 3}, {4, -5, 6}, {0, 0, 0}};
+  m.triangles = {{{0, 1, 2}, 0}};
+  Vec3 lo, hi;
+  ASSERT_TRUE(m.bounds(lo, hi));
+  EXPECT_DOUBLE_EQ(lo.x, -1);
+  EXPECT_DOUBLE_EQ(lo.y, -5);
+  EXPECT_DOUBLE_EQ(hi.x, 4);
+  EXPECT_DOUBLE_EQ(hi.z, 6);
+  TriMesh empty;
+  EXPECT_FALSE(empty.bounds(lo, hi));
+}
+
+TEST(PointTriangle, DistanceCases) {
+  const Vec3 a{0, 0, 0}, b{2, 0, 0}, c{0, 2, 0};
+  // Above the interior: perpendicular distance.
+  EXPECT_NEAR(point_triangle_distance({0.5, 0.5, 3.0}, a, b, c), 3.0, 1e-12);
+  // Closest to vertex a.
+  EXPECT_NEAR(point_triangle_distance({-1, -1, 0}, a, b, c), std::sqrt(2.0),
+              1e-12);
+  // Closest to edge ab.
+  EXPECT_NEAR(point_triangle_distance({1, -2, 0}, a, b, c), 2.0, 1e-12);
+  // On the triangle: zero.
+  EXPECT_NEAR(point_triangle_distance({0.5, 0.5, 0}, a, b, c), 0.0, 1e-12);
+}
+
+TEST(CrackCensus, ClosedSurfaceHasNone) {
+  const Array3<double> f =
+      sim::sphere_field({24, 24, 24}, 11.5, 11.5, 11.5, 8.0);
+  TriMesh mesh = extract_isosurface(f.view(), 0.0, {});
+  const CrackStats stats =
+      measure_cracks(mesh, {0, 0, 0}, {23, 23, 23});
+  EXPECT_EQ(stats.interior_boundary_edges, 0);
+}
+
+TEST(CrackCensus, DomainBoundaryEdgesExcluded) {
+  // A plane surface spanning the whole domain terminates at the outer
+  // faces only; those edges are not cracks.
+  Array3<double> f({8, 8, 8});
+  for (std::int64_t k = 0; k < 8; ++k)
+    for (std::int64_t j = 0; j < 8; ++j)
+      for (std::int64_t i = 0; i < 8; ++i)
+        f(i, j, k) = static_cast<double>(k) - 3.4;
+  TriMesh mesh = extract_isosurface(f.view(), 0.0, {});
+  const CrackStats stats = measure_cracks(mesh, {0, 0, 0}, {7, 7, 7});
+  EXPECT_EQ(stats.interior_boundary_edges, 0);
+}
+
+TEST(CrackCensus, DetectsMaskHole) {
+  // Cutting a hole in the extraction mask creates interior boundary.
+  Array3<double> f({8, 8, 8});
+  for (std::int64_t k = 0; k < 8; ++k)
+    for (std::int64_t j = 0; j < 8; ++j)
+      for (std::int64_t i = 0; i < 8; ++i)
+        f(i, j, k) = static_cast<double>(k) - 3.4;
+  Array3<std::uint8_t> mask({7, 7, 7}, 1);
+  mask(3, 3, 3) = 0;
+  TriMesh mesh = extract_isosurface(f.view(), 0.0, {}, 0, mask.view());
+  const CrackStats stats = measure_cracks(mesh, {0, 0, 0}, {7, 7, 7});
+  EXPECT_GT(stats.interior_boundary_edges, 0);
+}
+
+TEST(CrackCensus, GapDistanceBetweenOffsetSheets) {
+  // Two parallel square sheets at different levels, 1.5 apart, not
+  // overlapping in x: the gap distance from the level-1 sheet's boundary
+  // to the level-0 sheet is the lateral+vertical offset.
+  TriMesh m;
+  auto add_quad = [&m](Vec3 p, double size, int level) {
+    const auto base = static_cast<std::uint32_t>(m.vertices.size());
+    m.vertices.push_back(p);
+    m.vertices.push_back({p.x + size, p.y, p.z});
+    m.vertices.push_back({p.x + size, p.y + size, p.z});
+    m.vertices.push_back({p.x, p.y + size, p.z});
+    m.triangles.push_back({{base, base + 1, base + 2}, level});
+    m.triangles.push_back({{base, base + 2, base + 3}, level});
+  };
+  add_quad({0, 0, 5.0}, 4.0, 0);
+  add_quad({5.5, 0, 5.0}, 4.0, 1);  // gap of 1.5 in x
+  const CrackStats stats = measure_cracks(m, {-10, -10, -10}, {20, 20, 20});
+  EXPECT_GT(stats.edges_measured, 0);
+  // Per sheet, the four boundary-edge midpoints sit 1.5 / 3.5 / 3.5 / 5.5
+  // from the other sheet: mean 3.5, max 5.5, min (nearest crack) 1.5.
+  EXPECT_NEAR(stats.mean_gap, 3.5, 0.2);
+  EXPECT_NEAR(stats.max_gap, 5.5, 0.2);
+}
+
+TEST(MeshObj, WritesValidFile) {
+  TriMesh m;
+  m.vertices = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}};
+  m.triangles = {{{0, 1, 2}, 0}};
+  const std::string path = ::testing::TempDir() + "/amrvis_mesh.obj";
+  m.write_obj(path);
+  const Bytes data = read_file(path);
+  const std::string text(data.begin(), data.end());
+  EXPECT_NE(text.find("v 0 0 0"), std::string::npos);
+  EXPECT_NE(text.find("f 1 2 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace amrvis::vis
