@@ -180,6 +180,10 @@ Array3<double> SzInterpCompressor::decompress(
   const std::vector<std::uint32_t> codes =
       huffman_decode(lzss_decode(r.get_blob()));
   const auto n_outliers = r.get<std::uint64_t>();
+  // Checked before the multiply: a corrupt count near 2^61 would wrap the
+  // byte size and sneak past get_bytes' own bounds check.
+  AMRVIS_REQUIRE_MSG(n_outliers <= r.remaining() / sizeof(double),
+                     "sz-interp: truncated outlier stream");
   const auto outlier_bytes =
       r.get_bytes(static_cast<std::size_t>(n_outliers) * sizeof(double));
   std::vector<double> outliers(static_cast<std::size_t>(n_outliers));

@@ -71,10 +71,23 @@ class LinearQuantizer {
 
  private:
   /// Outliers are stored snapped to the eb grid so they stay within bound
-  /// while remaining identical on both sides.
+  /// while remaining identical on both sides: the snapped value is both
+  /// pushed to the side stream and returned as the encoder-visible
+  /// reconstruction, so the decoder (which reads the stream verbatim)
+  /// reproduces it bit-exactly. Snapping to multiples of 2*eb keeps
+  /// |value - stored| <= eb while zeroing the low mantissa bits, which
+  /// makes the side stream itself more compressible downstream.
   double quantize_outlier(double value, std::vector<double>& outliers) const {
-    outliers.push_back(value);
-    return value;
+    const double step = 2.0 * eb_;
+    const double snapped = step * std::round(value / step);
+    // Guard against overflow / cancellation for extreme value/eb ratios:
+    // if snapping cannot honor the bound, store the raw value (error 0).
+    const double stored =
+        (std::isfinite(snapped) && std::abs(snapped - value) <= eb_)
+            ? snapped
+            : value;
+    outliers.push_back(stored);
+    return stored;
   }
 
   double eb_;

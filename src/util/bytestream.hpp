@@ -61,7 +61,9 @@ class ByteReader {
   }
 
   std::span<const std::uint8_t> get_bytes(std::size_t n) {
-    AMRVIS_REQUIRE_MSG(pos_ + n <= in_.size(),
+    // Checked as `n <= remaining` (not `pos_ + n <= size`): a corrupt
+    // length prefix near SIZE_MAX would overflow the addition and pass.
+    AMRVIS_REQUIRE_MSG(n <= in_.size() - pos_,
                        "ByteReader: truncated stream");
     auto s = in_.subspan(pos_, n);
     pos_ += n;

@@ -25,15 +25,16 @@ bool Cli::parse(int argc, char** argv) {
                     flag.help.c_str(), flag.value.c_str());
       return false;
     }
-    std::string value;
+    // Initialized to the boolean-flag value up front: assigning a literal
+    // after the substr calls trips GCC 12's -Wrestrict false positive
+    // (PR105329) under -Werror.
+    std::string value = "1";
     const auto eq = arg.find('=');
     if (eq != std::string::npos) {
       value = arg.substr(eq + 1);
       arg = arg.substr(0, eq);
     } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
       value = argv[++i];
-    } else {
-      value = "1";  // boolean flag
     }
     auto it = flags_.find(arg);
     AMRVIS_REQUIRE_MSG(it != flags_.end(), "unknown flag: --" + arg);

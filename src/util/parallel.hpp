@@ -60,6 +60,15 @@ T parallel_reduce(std::int64_t n, T init, const Map& map,
                   const Combine& combine) {
 #ifdef _OPENMP
   const int nt = omp_get_max_threads();
+  if (nt <= 1 || n <= 1) {
+    // Thread-count=1 edge case: skip the parallel region entirely so a
+    // single-thread OpenMP build folds in exactly the same order (and with
+    // the same number of `combine(init, ...)` applications) as the
+    // serial-fallback build below.
+    T result = init;
+    for (std::int64_t i = 0; i < n; ++i) result = combine(result, map(i));
+    return result;
+  }
   std::vector<T> partial(static_cast<std::size_t>(nt), init);
 #pragma omp parallel num_threads(nt)
   {

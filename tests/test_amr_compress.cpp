@@ -66,11 +66,13 @@ TEST_P(AmrRoundTrip, EveryLevelWithinGlobalBound) {
         // Mean-fill: check only uncovered cells against the bound.
         const auto masks = ds.hierarchy.covered_masks(l);
         const auto& mask = masks[p];
-        for (std::int64_t i = 0; i < mask.size(); ++i)
-          if (!mask[i])
+        for (std::int64_t i = 0; i < mask.size(); ++i) {
+          if (!mask[i]) {
             EXPECT_LE(std::abs(orig[static_cast<std::size_t>(i)] -
                                recon[static_cast<std::size_t>(i)]),
                       abs_eb * 1.0000001);
+          }
+        }
       }
     }
 

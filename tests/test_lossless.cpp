@@ -54,6 +54,42 @@ TEST(Huffman, UniformWideAlphabet) {
   EXPECT_EQ(huffman_decode(blob), syms);
 }
 
+TEST(Huffman, SingleSymbolOnce) {
+  // Minimal stream hitting the one-leaf tree (length-1 code) path.
+  const std::vector<std::uint32_t> syms{987654321u};
+  const Bytes blob = huffman_encode(syms);
+  EXPECT_EQ(huffman_decode(blob), syms);
+}
+
+TEST(Huffman, EmptyStreamBlobIsHeaderOnly) {
+  // An empty stream must not serialize a code table.
+  const Bytes blob = huffman_encode({});
+  EXPECT_EQ(blob.size(), sizeof(std::uint64_t));
+  EXPECT_TRUE(huffman_decode(blob).empty());
+}
+
+TEST(Huffman, FibonacciSkewHitsDepthClamp) {
+  // Fibonacci-weighted frequencies build a maximally unbalanced Huffman
+  // tree: 34 distinct symbols give a deepest leaf of 33 > kMaxCodeLen
+  // (32), forcing the depth clamp + Kraft repair in build_code_lengths.
+  // Fibonacci is the minimal total weight achieving that depth, so this
+  // is the smallest stream that genuinely exercises the clamp.
+  constexpr int kLeaves = 34;
+  std::vector<std::uint64_t> fib{1, 1};
+  while (fib.size() < kLeaves) fib.push_back(fib.end()[-1] + fib.end()[-2]);
+  std::vector<std::uint32_t> syms;
+  std::uint64_t total = 0;
+  for (const std::uint64_t f : fib) total += f;
+  syms.reserve(static_cast<std::size_t>(total));
+  for (int s = 0; s < kLeaves; ++s)
+    syms.insert(syms.end(), static_cast<std::size_t>(fib[static_cast<std::size_t>(s)]),
+                static_cast<std::uint32_t>(s * 7919));
+  const Bytes blob = huffman_encode(syms);
+  // decode asserts every code length <= kMaxCodeLen, so a broken clamp or
+  // Kraft repair surfaces as a throw or a mismatch here.
+  EXPECT_EQ(huffman_decode(blob), syms);
+}
+
 TEST(Huffman, AllDistinctSymbols) {
   std::vector<std::uint32_t> syms;
   for (std::uint32_t i = 0; i < 2000; ++i) syms.push_back(i * 977 + 3);

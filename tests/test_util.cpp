@@ -51,6 +51,50 @@ TEST(ByteStream, TruncatedThrows) {
   EXPECT_THROW(r.get<std::uint64_t>(), Error);
 }
 
+TEST(ByteStream, GetBytesPastEndThrows) {
+  const Bytes buf{1, 2, 3};
+  ByteReader r(buf);
+  (void)r.get_bytes(3);
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_THROW((void)r.get_bytes(1), Error);
+}
+
+TEST(ByteStream, GetBytesPartialOverrunThrows) {
+  // A request straddling the end must throw without consuming anything.
+  const Bytes buf{1, 2, 3, 4};
+  ByteReader r(buf);
+  (void)r.get<std::uint16_t>();
+  EXPECT_THROW((void)r.get_bytes(3), Error);
+  EXPECT_EQ(r.position(), 2u);  // failed read must not advance
+}
+
+TEST(ByteStream, BlobWithLyingLengthThrows) {
+  // A length prefix larger than the remaining payload is corruption, not
+  // an out-of-bounds read.
+  Bytes buf;
+  ByteWriter w(buf);
+  w.put<std::uint64_t>(1000);  // claims 1000 payload bytes...
+  w.put<std::uint8_t>(42);     // ...but only 1 follows
+  ByteReader r(buf);
+  EXPECT_THROW((void)r.get_blob(), Error);
+}
+
+TEST(ByteStream, HugeBlobLengthDoesNotOverflowBoundsCheck) {
+  // Regression: a blob length near SIZE_MAX used to overflow the
+  // `pos_ + n <= size` bounds check and read out of bounds.
+  Bytes buf;
+  ByteWriter w(buf);
+  w.put<std::uint64_t>(~std::uint64_t{0} - 4);
+  ByteReader r(buf);
+  EXPECT_THROW((void)r.get_blob(), Error);
+}
+
+TEST(ByteStream, EmptyReaderThrows) {
+  ByteReader r(std::span<const std::uint8_t>{});
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_THROW((void)r.get<std::uint8_t>(), Error);
+}
+
 TEST(BitStream, BitsRoundTrip) {
   BitWriter w;
   w.put_bits(0b1011, 4);
@@ -76,6 +120,23 @@ TEST(BitStream, OutOfBitsThrows) {
   w.put_bits(0xff, 8);
   BitReader r(w.bytes());
   (void)r.get_bits(8);
+  EXPECT_THROW((void)r.get_bit(), Error);
+}
+
+TEST(BitStream, GetBitsStraddlingEndThrows) {
+  // A multi-bit read that starts in bounds but crosses the end must
+  // raise, not fabricate trailing bits.
+  BitWriter w;
+  w.put_bits(0b101, 3);  // one byte in the buffer
+  BitReader r(w.bytes());
+  (void)r.get_bits(3);
+  // 5 padding bits remain: this read starts in bounds, then runs out.
+  EXPECT_THROW((void)r.get_bits(12), Error);
+}
+
+TEST(BitStream, EmptyReaderThrows) {
+  BitReader r(std::span<const std::uint8_t>{});
+  EXPECT_EQ(r.bits_consumed(), 0u);
   EXPECT_THROW((void)r.get_bit(), Error);
 }
 
