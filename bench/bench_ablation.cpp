@@ -19,10 +19,12 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
 
   bench::banner("Ablations", "design-choice sensitivity (eb = 1e-3)");
+  bench::JsonReport report("ablation", "design-choice sensitivity, eb = 1e-3");
 
   for (const char* name : {"warpx", "nyx"}) {
-    const core::DatasetSpec spec =
+    core::DatasetSpec spec =
         core::dataset_spec(name, cli.get_bool("full"), seed);
+    if (cli.get_bool("smoke")) spec = core::smoke_spec(spec);
     const sim::SyntheticDataset dataset = core::make_dataset(spec);
     std::printf("\n--- dataset %s ---\n", name);
 
@@ -32,11 +34,17 @@ int main(int argc, char** argv) {
                                 compress::RedundantHandling::kMeanFill}) {
       const auto row =
           core::run_compression_study(dataset, *szlr, 1e-3, handling);
-      std::printf("redundant=%-9s CR=%7.2f  PSNR=%7.2f\n",
-                  handling == compress::RedundantHandling::kKeep
-                      ? "keep"
-                      : "mean-fill",
+      const char* handling_name =
+          handling == compress::RedundantHandling::kKeep ? "keep"
+                                                         : "mean-fill";
+      std::printf("redundant=%-9s CR=%7.2f  PSNR=%7.2f\n", handling_name,
                   row.ratio, row.psnr_db);
+      report.add_record()
+          .set("dataset", name)
+          .set("ablation", "redundant_handling")
+          .set("variant", handling_name)
+          .set("ratio", row.ratio)
+          .set("psnr_db", row.psnr_db);
     }
 
     // 2. Block size.
@@ -45,6 +53,12 @@ int main(int argc, char** argv) {
       const auto row = core::run_compression_study(dataset, codec, 1e-3);
       std::printf("szlr block=%-2d      CR=%7.2f  PSNR=%7.2f\n", bs,
                   row.ratio, row.psnr_db);
+      report.add_record()
+          .set("dataset", name)
+          .set("ablation", "block_size")
+          .set("variant", std::to_string(bs))
+          .set("ratio", row.ratio)
+          .set("psnr_db", row.psnr_db);
     }
 
     // 3. Codec family.
@@ -53,6 +67,13 @@ int main(int argc, char** argv) {
       const auto row = core::run_compression_study(dataset, *codec, 1e-3);
       std::printf("codec=%-10s    CR=%7.2f  PSNR=%7.2f  R-SSIM=%.3e\n",
                   codec_name, row.ratio, row.psnr_db, row.rssim());
+      report.add_record()
+          .set("dataset", name)
+          .set("ablation", "codec_family")
+          .set("variant", codec_name)
+          .set("ratio", row.ratio)
+          .set("psnr_db", row.psnr_db)
+          .set("rssim", row.rssim());
     }
 
     // 4. zMesh-style 1-D flattening vs per-patch 3-D (paper §1: 1-D
@@ -68,7 +89,18 @@ int main(int argc, char** argv) {
               .ratio();
       std::printf("layout=zmesh-1d    CR=%7.2f   vs per-patch-3d CR=%7.2f\n",
                   flat, patch);
+      report.add_record()
+          .set("dataset", name)
+          .set("ablation", "layout")
+          .set("variant", "zmesh-1d")
+          .set("ratio", flat);
+      report.add_record()
+          .set("dataset", name)
+          .set("ablation", "layout")
+          .set("variant", "per-patch-3d")
+          .set("ratio", patch);
     }
   }
+  report.write(cli.get("json"));
   return 0;
 }

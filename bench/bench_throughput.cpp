@@ -1,103 +1,196 @@
 // Compressor-stage throughput (extension; the paper reports no timing
 // table, but compression throughput is one of its three stated metrics,
-// §2.1). google-benchmark over: end-to-end compress/decompress for each
-// codec, plus the Huffman and LZSS stages in isolation.
+// §2.1). This is the harness of record for the BENCH_throughput.json
+// trajectory: end-to-end compress/decompress for each codec plus the
+// Huffman and LZSS stages in isolation, single-threaded, with
+// machine-readable JSON emission (--json) consumed by CI's regression
+// gate (tools/check_bench_regression.py).
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
 
+#include "bench_util.hpp"
 #include "compress/compressor.hpp"
 #include "compress/huffman.hpp"
 #include "compress/lzss.hpp"
+#include "metrics/quality.hpp"
 #include "sim/fields.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
 using namespace amrvis;
 
-Array3<double> bench_field() {
-  static const Array3<double> field = [] {
-    sim::WarpXLikeSpec spec;
-    return sim::warpx_like_ez({64, 64, 128}, spec);
-  }();
-  return field;
-}
-
-void BM_Compress(benchmark::State& state, const char* codec_name) {
-  const auto codec = compress::make_compressor(codec_name);
-  const Array3<double> data = bench_field();
-  const double abs_eb =
-      compress::resolve_abs_eb(compress::ErrorBoundMode::kRelative, 1e-3,
-                               data.span());
-  std::size_t bytes = 0;
-  for (auto _ : state) {
-    auto blob = codec->compress(data.view(), abs_eb);
-    bytes = blob.size();
-    benchmark::DoNotOptimize(blob);
+/// Median seconds per call: warm up once, then repeat until `min_ms` of
+/// total measured time and at least 3 samples. Median (not mean) so a
+/// stray scheduler hiccup on a busy CI runner can't poison the number.
+template <typename Fn>
+double time_median_s(double min_ms, const Fn& fn) {
+  fn();  // warm-up: page in buffers, populate allocator pools
+  std::vector<double> samples;
+  double total = 0.0;
+  while (total * 1e3 < min_ms || samples.size() < 3) {
+    Timer t;
+    fn();
+    const double s = t.seconds();
+    samples.push_back(s);
+    total += s;
   }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          data.size() * static_cast<std::int64_t>(sizeof(double)));
-  state.counters["ratio"] =
-      static_cast<double>(data.size()) * sizeof(double) /
-      static_cast<double>(bytes);
-}
-
-void BM_Decompress(benchmark::State& state, const char* codec_name) {
-  const auto codec = compress::make_compressor(codec_name);
-  const Array3<double> data = bench_field();
-  const double abs_eb =
-      compress::resolve_abs_eb(compress::ErrorBoundMode::kRelative, 1e-3,
-                               data.span());
-  const Bytes blob = codec->compress(data.view(), abs_eb);
-  for (auto _ : state) {
-    auto out = codec->decompress(blob);
-    benchmark::DoNotOptimize(out);
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          data.size() * static_cast<std::int64_t>(sizeof(double)));
-}
-
-void BM_Huffman(benchmark::State& state) {
-  Rng rng(5);
-  std::vector<std::uint32_t> syms;
-  for (int i = 0; i < 1 << 20; ++i)
-    syms.push_back(
-        static_cast<std::uint32_t>(32768 + std::lround(rng.normal() * 2)));
-  for (auto _ : state) {
-    auto blob = compress::huffman_encode(syms);
-    benchmark::DoNotOptimize(blob);
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(syms.size()));
-}
-
-void BM_Lzss(benchmark::State& state) {
-  Rng rng(6);
-  Bytes input;
-  for (int i = 0; i < 1 << 20; ++i)
-    input.push_back(static_cast<std::uint8_t>(rng.next_below(16)));
-  for (auto _ : state) {
-    auto blob = compress::lzss_encode(input);
-    benchmark::DoNotOptimize(blob);
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(input.size()));
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
 }
 
 }  // namespace
 
-BENCHMARK_CAPTURE(BM_Compress, sz_lr, "sz-lr")->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_Compress, sz_interp, "sz-interp")
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_Compress, zfp_like, "zfp-like")
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_Decompress, sz_lr, "sz-lr")
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_Decompress, sz_interp, "sz-interp")
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_Decompress, zfp_like, "zfp-like")
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Huffman)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Lzss)->Unit(benchmark::kMillisecond);
+int main(int argc, char** argv) {
+  Cli cli;
+  cli.add_flag("minms", "300", "min measured milliseconds per data point");
+  if (!bench::parse_standard_flags(cli, argc, argv)) return 0;
+  const bool smoke = cli.get_bool("smoke");
+  const double min_ms =
+      smoke ? 30.0 : static_cast<double>(cli.get_double("minms"));
 
-BENCHMARK_MAIN();
+  // The acceptance field for the perf trajectory: WarpX-like Ez on a
+  // 64x64x128 grid (4 MiB of doubles), single thread. --smoke shrinks it
+  // so the ctest smoke entry stays fast; --full doubles each dimension.
+  sim::WarpXLikeSpec spec;
+  spec.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const Shape3 shape = smoke              ? Shape3{32, 32, 64}
+                       : cli.get_bool("full") ? Shape3{128, 128, 256}
+                                              : Shape3{64, 64, 128};
+  const Array3<double> data = sim::warpx_like_ez(shape, spec);
+  const auto raw_bytes =
+      static_cast<double>(data.size()) * static_cast<double>(sizeof(double));
+  const double mb = raw_bytes / 1e6;
+
+  bench::banner("Throughput (extension)",
+                "single-thread codec and entropy-stage rates; MB = 1e6 bytes");
+  std::printf("field: warpx-like Ez %lldx%lldx%lld (%.1f MB)\n\n",
+              static_cast<long long>(shape.nx),
+              static_cast<long long>(shape.ny),
+              static_cast<long long>(shape.nz), mb);
+
+  bench::JsonReport report("throughput",
+                           "single-thread, median-of-runs; MB = 1e6 bytes");
+  auto& cfg = report.add_record();
+  cfg.set("stage", "config")
+      .set("field", "warpx_like_ez")
+      .set("nx", shape.nx)
+      .set("ny", shape.ny)
+      .set("nz", shape.nz)
+      .set("threads", std::int64_t{1});
+
+  std::printf("%-10s %-12s %10s %10s %10s\n", "codec", "stage", "MB/s",
+              "ratio", "PSNR dB");
+  for (const char* codec_name : {"sz-lr", "sz-interp", "zfp-like"}) {
+    const auto codec = compress::make_compressor(codec_name);
+    const double abs_eb = compress::resolve_abs_eb(
+        compress::ErrorBoundMode::kRelative, 1e-3, data.span());
+
+    const Bytes blob = codec->compress(data.view(), abs_eb);
+    const Array3<double> out = codec->decompress(blob);
+    const double ratio = compress::compression_ratio(data.size(), blob.size());
+    const double psnr_db = metrics::psnr(data.span(), out.span());
+
+    const double comp_s = time_median_s(min_ms, [&] {
+      const Bytes b = codec->compress(data.view(), abs_eb);
+      bench::do_not_optimize(b);
+    });
+    const double decomp_s = time_median_s(min_ms, [&] {
+      const Array3<double> d = codec->decompress(blob);
+      bench::do_not_optimize(d);
+    });
+
+    const double comp_mb_s = mb / comp_s;
+    const double decomp_mb_s = mb / decomp_s;
+    std::printf("%-10s %-12s %10.1f %10.2f %10.2f\n", codec_name, "compress",
+                comp_mb_s, ratio, psnr_db);
+    std::printf("%-10s %-12s %10.1f %10s %10s\n", codec_name, "decompress",
+                decomp_mb_s, "-", "-");
+    report.add_record()
+        .set("codec", codec_name)
+        .set("stage", "compress")
+        .set("mb_per_s", comp_mb_s)
+        .set("ratio", ratio)
+        .set("psnr_db", psnr_db);
+    report.add_record()
+        .set("codec", codec_name)
+        .set("stage", "decompress")
+        .set("mb_per_s", decomp_mb_s);
+  }
+
+  // Entropy stages in isolation, on a quantizer-like symbol distribution
+  // (narrow normal around the zero-residual code) and low-entropy bytes.
+  {
+    Rng rng(5);
+    std::vector<std::uint32_t> syms;
+    const int n = smoke ? 1 << 17 : 1 << 20;
+    syms.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+      syms.push_back(
+          static_cast<std::uint32_t>(32768 + std::lround(rng.normal() * 2)));
+    const double sym_mb =
+        static_cast<double>(syms.size()) * sizeof(std::uint32_t) / 1e6;
+    const Bytes enc = compress::huffman_encode(syms);
+
+    const double enc_s = time_median_s(min_ms, [&] {
+      const Bytes b = compress::huffman_encode(syms);
+      bench::do_not_optimize(b);
+    });
+    const double dec_s = time_median_s(min_ms, [&] {
+      const auto decoded = compress::huffman_decode(enc);
+      bench::do_not_optimize(decoded);
+    });
+    std::printf("%-10s %-12s %10.1f %10s %10s\n", "huffman", "encode",
+                sym_mb / enc_s, "-", "-");
+    std::printf("%-10s %-12s %10.1f %10s %10s\n", "huffman", "decode",
+                sym_mb / dec_s, "-", "-");
+    report.add_record()
+        .set("codec", "huffman")
+        .set("stage", "encode")
+        .set("mb_per_s", sym_mb / enc_s)
+        .set("msym_per_s", static_cast<double>(syms.size()) / enc_s / 1e6);
+    report.add_record()
+        .set("codec", "huffman")
+        .set("stage", "decode")
+        .set("mb_per_s", sym_mb / dec_s)
+        .set("msym_per_s", static_cast<double>(syms.size()) / dec_s / 1e6);
+  }
+  {
+    Rng rng(6);
+    Bytes input;
+    const int n = smoke ? 1 << 17 : 1 << 20;
+    input.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+      input.push_back(static_cast<std::uint8_t>(rng.next_below(16)));
+    const double in_mb = static_cast<double>(input.size()) / 1e6;
+    const Bytes enc = compress::lzss_encode(input);
+
+    const double enc_s = time_median_s(min_ms, [&] {
+      const Bytes b = compress::lzss_encode(input);
+      bench::do_not_optimize(b);
+    });
+    const double dec_s = time_median_s(min_ms, [&] {
+      const Bytes b = compress::lzss_decode(enc);
+      bench::do_not_optimize(b);
+    });
+    std::printf("%-10s %-12s %10.1f %10s %10s\n", "lzss", "encode",
+                in_mb / enc_s, "-", "-");
+    std::printf("%-10s %-12s %10.1f %10s %10s\n", "lzss", "decode",
+                in_mb / dec_s, "-", "-");
+    report.add_record()
+        .set("codec", "lzss")
+        .set("stage", "encode")
+        .set("mb_per_s", in_mb / enc_s);
+    report.add_record()
+        .set("codec", "lzss")
+        .set("stage", "decode")
+        .set("mb_per_s", in_mb / dec_s);
+  }
+
+  report.write(cli.get("json"));
+  return 0;
+}

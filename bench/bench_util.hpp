@@ -1,21 +1,36 @@
 #pragma once
 // Shared scaffolding for the paper-reproduction bench binaries: common
-// flags (--full for paper-scale grids, --seed, --csv) and table printing
-// helpers. Each bench regenerates one table or figure of the paper; see
-// DESIGN.md §4 for the index.
+// flags (--full for paper-scale grids, --smoke for sub-10s CI runs,
+// --seed, --json), table printing helpers, and machine-readable JSON
+// emission so the BENCH_* trajectory can be populated and gated in CI.
+// Each bench regenerates one table or figure of the paper; see DESIGN.md
+// §4 for the index.
 
+#include <cstdint>
 #include <cstdio>
+#include <deque>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "util/bytestream.hpp"
 #include "util/cli.hpp"
 
 namespace amrvis::bench {
 
+/// Keep `value` (and the computation feeding it) alive under the
+/// optimizer, google-benchmark's DoNotOptimize without the dependency.
+template <typename T>
+inline void do_not_optimize(const T& value) {
+  asm volatile("" : : "g"(&value) : "memory");
+}
+
 /// Standard bench flags; returns false if --help was printed.
 inline bool parse_standard_flags(Cli& cli, int argc, char** argv) {
   cli.add_flag("full", "0", "paper-scale grids (slow)");
+  cli.add_flag("smoke", "0", "shrunken grids so the bench finishes in seconds");
   cli.add_flag("seed", "42", "dataset generation seed");
+  cli.add_flag("json", "", "write machine-readable results to this path");
   return cli.parse(argc, argv);
 }
 
@@ -27,5 +42,94 @@ inline void banner(const std::string& artifact, const std::string& note) {
               "\n",
               artifact.c_str(), note.c_str());
 }
+
+/// Machine-readable bench results: a flat list of records (one per
+/// measured configuration), each an ordered set of key -> value fields.
+/// Written as pretty-printed JSON so committed baselines diff cleanly:
+///
+///   {
+///     "bench": "throughput",
+///     "note": "...",
+///     "records": [
+///       {"codec": "sz-lr", "stage": "compress", "mb_per_s": 123.4, ...}
+///     ]
+///   }
+///
+/// CI consumes this via tools/check_bench_regression.py.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench, std::string note = "")
+      : bench_(std::move(bench)), note_(std::move(note)) {}
+
+  class Record {
+   public:
+    Record& set(const std::string& key, const std::string& value) {
+      fields_.emplace_back(key, quote(value));
+      return *this;
+    }
+    Record& set(const std::string& key, const char* value) {
+      return set(key, std::string(value));
+    }
+    Record& set(const std::string& key, double value) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.9g", value);
+      fields_.emplace_back(key, buf);
+      return *this;
+    }
+    Record& set(const std::string& key, std::int64_t value) {
+      fields_.emplace_back(key, std::to_string(value));
+      return *this;
+    }
+
+   private:
+    friend class JsonReport;
+    static std::string quote(const std::string& s) {
+      std::string out = "\"";
+      for (const char c : s) {
+        if (c == '"' || c == '\\') out += '\\';
+        out += c;
+      }
+      out += '"';
+      return out;
+    }
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  /// References stay valid across later add_record() calls (deque).
+  Record& add_record() { return records_.emplace_back(); }
+
+  [[nodiscard]] std::string render() const {
+    std::string out = "{\n  \"bench\": " + Record::quote(bench_);
+    if (!note_.empty()) out += ",\n  \"note\": " + Record::quote(note_);
+    out += ",\n  \"records\": [";
+    for (std::size_t r = 0; r < records_.size(); ++r) {
+      out += r == 0 ? "\n" : ",\n";
+      out += "    {";
+      const auto& fields = records_[r].fields_;
+      for (std::size_t f = 0; f < fields.size(); ++f) {
+        if (f > 0) out += ", ";
+        out += Record::quote(fields[f].first) + ": " + fields[f].second;
+      }
+      out += "}";
+    }
+    out += "\n  ]\n}\n";
+    return out;
+  }
+
+  /// Write to `path`; no-op when the path is empty (flag unset).
+  void write(const std::string& path) const {
+    if (path.empty()) return;
+    const std::string text = render();
+    write_file(path, {reinterpret_cast<const std::uint8_t*>(text.data()),
+                      text.size()});
+    std::printf("[json] wrote %zu records to %s\n", records_.size(),
+                path.c_str());
+  }
+
+ private:
+  std::string bench_;
+  std::string note_;
+  std::deque<Record> records_;
+};
 
 }  // namespace amrvis::bench

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
-#include <map>
 #include <queue>
+#include <utility>
 
 #include "util/error.hpp"
 
@@ -14,17 +14,61 @@ namespace {
 
 constexpr int kMaxCodeLen = 32;
 
+/// First-level decode table width: codes of length <= kLutBits resolve in
+/// a single table lookup; longer codes (rare in quantizer streams) fall
+/// back to the canonical per-length scan.
+constexpr int kLutBits = 11;
+
 struct SymbolLength {
   std::uint32_t symbol;
   std::uint8_t length;
 };
 
+/// Alphabet bound below which the histogram and encode table use dense
+/// flat arrays indexed by symbol (capped so a hostile alphabet cannot
+/// demand gigabytes); shared so both stages always pick the same path.
+std::size_t dense_limit(std::size_t num_symbols) {
+  return std::max<std::size_t>(
+      std::size_t{1} << 16,
+      std::min<std::size_t>(4 * num_symbols, std::size_t{1} << 22));
+}
+
+/// Histogram as (symbol, count) pairs sorted by symbol — the iteration
+/// order the tree build depends on, matching what a std::map would yield.
+using Freq = std::vector<std::pair<std::uint32_t, std::uint64_t>>;
+
+/// Quantizer codes are small contiguous integers (< 2*radius = 65536 by
+/// default), so the histogram is a dense flat array indexed by symbol.
+/// Sparse or huge alphabets (symbols far beyond the input size) fall back
+/// to sort + run-length counting.
+Freq build_histogram(std::span<const std::uint32_t> symbols) {
+  std::uint32_t max_sym = 0;
+  for (const std::uint32_t s : symbols) max_sym = std::max(max_sym, s);
+
+  Freq freq;
+  if (max_sym < dense_limit(symbols.size())) {
+    std::vector<std::uint64_t> hist(static_cast<std::size_t>(max_sym) + 1, 0);
+    for (const std::uint32_t s : symbols) ++hist[s];
+    for (std::uint32_t sym = 0; sym <= max_sym; ++sym)
+      if (hist[sym] != 0) freq.emplace_back(sym, hist[sym]);
+  } else {
+    std::vector<std::uint32_t> sorted(symbols.begin(), symbols.end());
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 0; i < sorted.size();) {
+      std::size_t j = i;
+      while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+      freq.emplace_back(sorted[i], j - i);
+      i = j;
+    }
+  }
+  return freq;
+}
+
 /// Package-merge would be the textbook length-limited algorithm; symbol
 /// counts here are <= 2^16 so a plain Huffman tree never exceeds ~44 bits
 /// only in adversarial cases. We build the tree, and if a length exceeds
 /// the cap we flatten the worst tail (heuristic depth clamp + Kraft fix).
-std::vector<SymbolLength> build_code_lengths(
-    const std::map<std::uint32_t, std::uint64_t>& freq) {
+std::vector<SymbolLength> build_code_lengths(const Freq& freq) {
   struct Node {
     std::uint64_t weight;
     int left = -1, right = -1;
@@ -119,6 +163,46 @@ CanonicalCode canonicalize(std::vector<SymbolLength> lengths) {
   return cc;
 }
 
+/// Buffered MSB-first bit reader for the decode hot loop. Keeps the next
+/// >= 57 bits left-aligned in a 64-bit window so short codes resolve with
+/// one table lookup; bytes past the end of the payload read as zero and
+/// the caller checks consumed_bits() against the real payload size.
+class FastBits {
+ public:
+  explicit FastBits(std::span<const std::uint8_t> bytes)
+      : data_(bytes.data()), size_(bytes.size()) {}
+
+  void refill() {
+    while (nbits_ <= 56) {
+      const std::uint64_t b = next_ < size_ ? data_[next_] : 0;
+      ++next_;
+      buf_ |= b << (56 - nbits_);
+      nbits_ += 8;
+    }
+  }
+
+  /// Next `n` bits (1 <= n <= 32), MSB-first; refill() first.
+  [[nodiscard]] std::uint64_t peek(int n) const { return buf_ >> (64 - n); }
+
+  void consume(int n) {
+    buf_ <<= n;
+    nbits_ -= n;
+  }
+
+  /// Bits consumed so far, counting any synthetic zero padding.
+  [[nodiscard]] std::uint64_t consumed_bits() const {
+    return static_cast<std::uint64_t>(next_) * 8 -
+           static_cast<std::uint64_t>(nbits_);
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t next_ = 0;  // next byte index to feed (may pass size_)
+  std::uint64_t buf_ = 0;
+  int nbits_ = 0;
+};
+
 }  // namespace
 
 Bytes huffman_encode(std::span<const std::uint32_t> symbols) {
@@ -127,9 +211,7 @@ Bytes huffman_encode(std::span<const std::uint32_t> symbols) {
   w.put<std::uint64_t>(symbols.size());
   if (symbols.empty()) return blob;
 
-  std::map<std::uint32_t, std::uint64_t> freq;
-  for (std::uint32_t s : symbols) ++freq[s];
-
+  const Freq freq = build_histogram(symbols);
   const CanonicalCode cc = canonicalize(build_code_lengths(freq));
 
   // Serialize the table: entry count, then delta-encoded symbols (sorted
@@ -153,17 +235,55 @@ Bytes huffman_encode(std::span<const std::uint32_t> symbols) {
     w.put<std::uint8_t>(sl.length);
   }
 
-  // Build encode lookup (symbol -> code/length).
-  std::map<std::uint32_t, std::pair<std::uint64_t, int>> enc;
-  for (std::size_t i = 0; i < cc.lengths.size(); ++i)
-    enc[cc.lengths[i].symbol] = {cc.codes[i], cc.lengths[i].length};
-
-  BitWriter bits;
-  for (std::uint32_t s : symbols) {
-    const auto& [code, len] = enc.at(s);
-    bits.put_bits(code, len);
+  // Encode lookup (symbol -> code/length): a dense flat table over the
+  // alphabet range when it is compact (the quantizer case), else a
+  // sorted vector searched per symbol. Bits pack MSB-first through a
+  // 64-bit accumulator (nacc < 8 after each flush, so any code length
+  // up to kMaxCodeLen fits), emitting whole bytes — byte-identical to a
+  // per-bit writer with zero padding in the final partial byte.
+  const std::uint32_t max_sym = by_symbol.back().symbol;
+  Bytes payload;
+  payload.reserve(symbols.size() / 2);
+  std::uint64_t acc = 0;  // pending bits, left-aligned
+  int nacc = 0;
+  const auto put_code = [&](std::uint64_t code, int len) {
+    acc |= code << (64 - nacc - len);
+    nacc += len;
+    while (nacc >= 8) {
+      payload.push_back(static_cast<std::uint8_t>(acc >> 56));
+      acc <<= 8;
+      nacc -= 8;
+    }
+  };
+  if (max_sym < dense_limit(symbols.size())) {
+    std::vector<std::uint64_t> code_of(static_cast<std::size_t>(max_sym) + 1);
+    std::vector<std::uint8_t> len_of(static_cast<std::size_t>(max_sym) + 1, 0);
+    for (std::size_t i = 0; i < cc.lengths.size(); ++i) {
+      code_of[cc.lengths[i].symbol] = cc.codes[i];
+      len_of[cc.lengths[i].symbol] = cc.lengths[i].length;
+    }
+    for (const std::uint32_t s : symbols) put_code(code_of[s], len_of[s]);
+  } else {
+    struct Entry {
+      std::uint32_t symbol;
+      std::uint8_t length;
+      std::uint64_t code;
+    };
+    std::vector<Entry> enc;
+    enc.reserve(cc.lengths.size());
+    for (std::size_t i = 0; i < cc.lengths.size(); ++i)
+      enc.push_back({cc.lengths[i].symbol, cc.lengths[i].length, cc.codes[i]});
+    std::sort(enc.begin(), enc.end(),
+              [](const Entry& a, const Entry& b) { return a.symbol < b.symbol; });
+    for (const std::uint32_t s : symbols) {
+      const auto it = std::lower_bound(
+          enc.begin(), enc.end(), s,
+          [](const Entry& e, std::uint32_t sym) { return e.symbol < sym; });
+      put_code(it->code, it->length);
+    }
   }
-  w.put_blob(bits.bytes());
+  if (nacc > 0) payload.push_back(static_cast<std::uint8_t>(acc >> 56));
+  w.put_blob(payload);
   return blob;
 }
 
@@ -183,6 +303,9 @@ std::vector<std::uint32_t> huffman_decode(
     std::uint32_t delta = 0;
     int shift = 0;
     while (true) {
+      // A corrupt run of continuation bytes would push the shift past the
+      // type width (undefined behavior); 5 bytes cover any 32-bit delta.
+      AMRVIS_REQUIRE_MSG(shift < 32, "huffman: corrupt symbol delta");
       const auto byte = r.get<std::uint8_t>();
       delta |= static_cast<std::uint32_t>(byte & 0x7f) << shift;
       if (!(byte & 0x80)) break;
@@ -190,6 +313,10 @@ std::vector<std::uint32_t> huffman_decode(
     }
     prev += delta;
     const auto len = r.get<std::uint8_t>();
+    // Validated at parse time: an unchecked length would index the
+    // fixed-size per-length arrays below out of bounds.
+    AMRVIS_REQUIRE_MSG(len >= 1 && len <= kMaxCodeLen,
+                       "huffman: corrupt code length");
     by_symbol.push_back({prev, len});
     // Next delta is relative to this symbol.
   }
@@ -212,23 +339,62 @@ std::vector<std::uint32_t> huffman_decode(
     }
   }
 
+  // First-level flat table: the next kLutBits bits index directly to the
+  // decoded symbol for every code of length <= kLutBits. Slots covered
+  // only by longer codes keep length 0 and take the fallback scan.
+  struct LutEntry {
+    std::uint32_t symbol = 0;
+    std::uint8_t length = 0;
+  };
+  std::vector<LutEntry> lut(std::size_t{1} << kLutBits);
+  for (std::size_t i = 0; i < cc.lengths.size(); ++i) {
+    const int len = cc.lengths[i].length;
+    if (len > kLutBits) break;  // sorted by length: all following are longer
+    const std::uint64_t code = cc.codes[i];
+    // A corrupt (Kraft-oversubscribed) table can assign codes that do not
+    // fit in `len` bits; skip those so the fill below stays in bounds —
+    // the affected windows then resolve through the fallback scan, which
+    // rejects them exactly like the seed decoder did.
+    if (code >= (std::uint64_t{1} << len)) continue;
+    const std::size_t base = static_cast<std::size_t>(code)
+                             << (kLutBits - len);
+    const std::size_t span = std::size_t{1} << (kLutBits - len);
+    for (std::size_t s = 0; s < span; ++s)
+      lut[base + s] = {cc.lengths[i].symbol, static_cast<std::uint8_t>(len)};
+  }
+
   const auto payload = r.get_blob();
-  BitReader bits(payload);
+  const std::uint64_t total_bits =
+      static_cast<std::uint64_t>(payload.size()) * 8;
+  FastBits bits(payload);
   for (std::uint64_t n = 0; n < count; ++n) {
-    std::uint64_t code = 0;
-    int len = 0;
-    while (true) {
-      code = (code << 1) | bits.get_bit();
-      ++len;
-      AMRVIS_REQUIRE_MSG(len <= kMaxCodeLen, "huffman: corrupt stream");
-      if (count_at_len[len] > 0 &&
-          code < first_code[len] + count_at_len[len] &&
-          code >= first_code[len]) {
-        const std::uint64_t idx = first_index[len] + (code - first_code[len]);
-        out.push_back(cc.lengths[static_cast<std::size_t>(idx)].symbol);
-        break;
+    bits.refill();
+    const LutEntry e = lut[bits.peek(kLutBits)];
+    std::uint32_t symbol;
+    if (e.length != 0) {
+      symbol = e.symbol;
+      bits.consume(e.length);
+    } else {
+      // Long-code fallback: widen the window and scan the remaining
+      // lengths with the canonical first-code test (same acceptance
+      // condition as the seed bit-by-bit decoder).
+      const std::uint64_t window = bits.peek(kMaxCodeLen);
+      int len = kLutBits + 1;
+      std::uint64_t code = 0;
+      for (; len <= kMaxCodeLen; ++len) {
+        code = window >> (kMaxCodeLen - len);
+        if (count_at_len[len] > 0 && code >= first_code[len] &&
+            code < first_code[len] + count_at_len[len])
+          break;
       }
+      AMRVIS_REQUIRE_MSG(len <= kMaxCodeLen, "huffman: corrupt stream");
+      const std::uint64_t idx = first_index[len] + (code - first_code[len]);
+      symbol = cc.lengths[static_cast<std::size_t>(idx)].symbol;
+      bits.consume(len);
     }
+    AMRVIS_REQUIRE_MSG(bits.consumed_bits() <= total_bits,
+                       "huffman: corrupt stream (out of bits)");
+    out.push_back(symbol);
   }
   return out;
 }

@@ -13,56 +13,88 @@ namespace {
 
 constexpr std::uint32_t kMagic = 0x535a4950;  // "SZIP"
 
-/// One interpolation target: global index plus the axis geometry needed
-/// to form its prediction.
+/// One interpolation sweep: the pass axis plus the axis geometry needed
+/// to form predictions.
 struct AxisGeom {
   int axis;           // 0=x, 1=y, 2=z
   std::int64_t h;     // half stride (distance to neighbors)
   std::int64_t s;     // full stride (distance between known points)
 };
 
-/// Predict the value at coordinate `t` along the pass axis from the
-/// reconstructed field. `get(c)` reads the reconstructed value with the
-/// pass-axis coordinate replaced by c. `n` is the axis extent.
-template <typename Get>
-double predict(const AxisGeom& g, std::int64_t t, std::int64_t n,
-               bool cubic, const Get& get) {
-  const std::int64_t a = t - g.h;
-  const std::int64_t b = t + g.h;
-  if (b >= n) {
-    // Upper-boundary target: linear extrapolation from the two known
-    // points below, falling back to a copy when only one exists.
-    if (a - g.s >= 0) return 1.5 * get(a) - 0.5 * get(a - g.s);
-    return get(a);
-  }
-  if (cubic && a - g.s >= 0 && b + g.s < n) {
-    return (-get(a - g.s) + 9.0 * get(a) + 9.0 * get(b) - get(b + g.s)) /
-           16.0;
-  }
-  return 0.5 * (get(a) + get(b));
+/// Boundary category of one target coordinate `t` along the pass axis.
+/// Interior targets (kCub when the sweep chose cubic, else kLin) take the
+/// branch-free stencil; the boundary categories survive only at the axis
+/// ends — at most one hi target and one head target per line.
+enum class Cat : std::uint8_t {
+  kLin,     ///< linear stencil (or cubic sweep falling back near an edge)
+  kCub,     ///< full cubic stencil is in-domain
+  kHiX,     ///< upper boundary, two known points below: extrapolate
+  kHiC,     ///< upper boundary, one known point below: copy
+};
+
+inline Cat categorize(std::int64_t t, std::int64_t n, std::int64_t h,
+                      std::int64_t s) {
+  if (t + h >= n) return (t - h - s >= 0) ? Cat::kHiX : Cat::kHiC;
+  if (t - h - s >= 0 && t + h + s < n) return Cat::kCub;
+  return Cat::kLin;
 }
 
-/// Enumerate the targets of one (stride, axis) sweep in a fixed order and
-/// invoke fn(i, j, k). Targets along `axis` sit at odd multiples of h;
-/// the other two axes enumerate the already-known grid: the earlier axis
-/// (in sweep order x,y,z) at stride h, the later one at stride s.
+/// Linear-family prediction at element pointer `p` (the target), with
+/// `eh`/`es` the element offsets of the half and full stride along the
+/// pass axis. Expressions match the seed predictor exactly.
+inline double predict_lin(const double* p, std::int64_t eh, std::int64_t es,
+                          Cat c) {
+  if (c == Cat::kHiX) return 1.5 * p[-eh] - 0.5 * p[-eh - es];
+  if (c == Cat::kHiC) return p[-eh];
+  return 0.5 * (p[-eh] + p[eh]);
+}
+
+inline double predict_cub(const double* p, std::int64_t eh, std::int64_t es,
+                          Cat c) {
+  if (c == Cat::kCub)
+    return (-p[-eh - es] + 9.0 * p[-eh] + 9.0 * p[eh] - p[eh + es]) / 16.0;
+  return predict_lin(p, eh, es, c);
+}
+
+/// Enumerate the targets of one (stride, axis) sweep in the fixed k, j, i
+/// order and invoke fn(flat_index, category). Targets along the pass axis
+/// sit at odd multiples of h; the other two axes enumerate the
+/// already-known grid: axes before the pass axis (in sweep order x,y,z)
+/// at stride h, later ones at stride s. For y/z sweeps the category is
+/// constant along the inner x loop, so the hot loop is branch-free; for
+/// the x sweep it is two register compares per target.
 template <typename Fn>
-void for_each_target(const Shape3& sh, const AxisGeom& g, const Fn& fn) {
-  const std::int64_t n[3] = {sh.nx, sh.ny, sh.nz};
-  // Strides per axis for this sweep.
-  std::int64_t stride[3];
-  for (int d = 0; d < 3; ++d) {
-    if (d == g.axis) stride[d] = g.s;           // target axis: odd h steps
-    else if (d < g.axis) stride[d] = g.h;       // already refined this level
-    else stride[d] = g.s;                       // not yet refined
+void sweep_targets(const Shape3& sh, const AxisGeom& g, const Fn& fn) {
+  const std::int64_t nxny = sh.nx * sh.ny;
+  const std::int64_t h = g.h, s = g.s;
+  if (g.axis == 0) {
+    for (std::int64_t k = 0; k < sh.nz; k += s)
+      for (std::int64_t j = 0; j < sh.ny; j += s) {
+        const std::int64_t base = k * nxny + j * sh.nx;
+        for (std::int64_t i = h; i < sh.nx; i += s)
+          fn(base + i, categorize(i, sh.nx, h, s));
+      }
+  } else if (g.axis == 1) {
+    for (std::int64_t k = 0; k < sh.nz; k += s)
+      for (std::int64_t j = h; j < sh.ny; j += s) {
+        const Cat c = categorize(j, sh.ny, h, s);
+        const std::int64_t base = k * nxny + j * sh.nx;
+        for (std::int64_t i = 0; i < sh.nx; i += h) fn(base + i, c);
+      }
+  } else {
+    for (std::int64_t k = h; k < sh.nz; k += s) {
+      const Cat c = categorize(k, sh.nz, h, s);
+      for (std::int64_t j = 0; j < sh.ny; j += h) {
+        const std::int64_t base = k * nxny + j * sh.nx;
+        for (std::int64_t i = 0; i < sh.nx; i += h) fn(base + i, c);
+      }
+    }
   }
-  for (std::int64_t k = (g.axis == 2 ? g.h : 0); k < n[2];
-       k += (g.axis == 2 ? stride[2] : stride[2]))
-    for (std::int64_t j = (g.axis == 1 ? g.h : 0); j < n[1];
-         j += (g.axis == 1 ? stride[1] : stride[1]))
-      for (std::int64_t i = (g.axis == 0 ? g.h : 0); i < n[0];
-           i += (g.axis == 0 ? stride[0] : stride[0]))
-        fn(i, j, k);
+}
+
+/// Element stride of one coordinate step along `axis`.
+inline std::int64_t element_stride(const Shape3& sh, int axis) {
+  return axis == 0 ? 1 : (axis == 1 ? sh.nx : sh.nx * sh.ny);
 }
 
 std::int64_t initial_stride(const Shape3& sh, std::int64_t cap) {
@@ -79,7 +111,9 @@ Bytes SzInterpCompressor::compress(View3<const double> data,
   const Shape3 sh = data.shape();
   const LinearQuantizer quant(abs_eb);
   Array3<double> recon_arr(sh);
+  double* rb = recon_arr.data();
   auto recon = recon_arr.view();
+  const double* dp = data.data();
 
   // Anchor grid: store raw, copy into the reconstruction.
   const std::int64_t S = initial_stride(sh, max_stride_);
@@ -91,8 +125,11 @@ Bytes SzInterpCompressor::compress(View3<const double> data,
         recon(i, j, k) = data(i, j, k);
       }
 
-  std::vector<std::uint32_t> codes;
-  codes.reserve(static_cast<std::size_t>(sh.size()));
+  // Every non-anchor point is the target of exactly one sweep; write the
+  // codes through a cursor into a pre-sized buffer.
+  std::vector<std::uint32_t> codes(static_cast<std::size_t>(sh.size()) -
+                                   anchors.size());
+  std::uint32_t* cp = codes.data();
   std::vector<double> outliers;
   Bytes choices;  // one byte per (level, axis) sweep: 1 = cubic
 
@@ -108,37 +145,43 @@ Bytes SzInterpCompressor::compress(View3<const double> data,
         choices.push_back(0);
         continue;
       }
+      const std::int64_t estride = element_stride(sh, axis);
+      const std::int64_t eh = h * estride;
+      const std::int64_t es = s * estride;
+
       // Pass 1: pick linear vs cubic by total absolute error vs original.
       double err_lin = 0.0, err_cub = 0.0;
-      for_each_target(sh, g, [&](std::int64_t i, std::int64_t j,
-                                 std::int64_t k) {
-        auto get = [&](std::int64_t c) {
-          return axis == 0 ? recon(c, j, k)
-                           : (axis == 1 ? recon(i, c, k) : recon(i, j, c));
-        };
-        const std::int64_t t = axis == 0 ? i : (axis == 1 ? j : k);
-        const double v = data(i, j, k);
-        err_lin += std::abs(v - predict(g, t, n_axis, false, get));
-        err_cub += std::abs(v - predict(g, t, n_axis, true, get));
+      sweep_targets(sh, g, [&](std::int64_t flat, Cat c) {
+        const double* p = rb + flat;
+        const double v = dp[flat];
+        err_lin += std::abs(v - predict_lin(p, eh, es, c));
+        err_cub += std::abs(v - predict_cub(p, eh, es, c));
       });
       const bool cubic = err_cub < err_lin;
       choices.push_back(cubic ? 1 : 0);
 
       // Pass 2: quantize.
-      for_each_target(sh, g, [&](std::int64_t i, std::int64_t j,
-                                 std::int64_t k) {
-        auto get = [&](std::int64_t c) {
-          return axis == 0 ? recon(c, j, k)
-                           : (axis == 1 ? recon(i, c, k) : recon(i, j, c));
-        };
-        const std::int64_t t = axis == 0 ? i : (axis == 1 ? j : k);
-        const double pred = predict(g, t, n_axis, cubic, get);
-        double rv;
-        codes.push_back(quant.encode(data(i, j, k), pred, rv, outliers));
-        recon(i, j, k) = rv;
-      });
+      if (cubic) {
+        sweep_targets(sh, g, [&](std::int64_t flat, Cat c) {
+          double* p = rb + flat;
+          const double pred = predict_cub(p, eh, es, c);
+          double rv;
+          *cp++ = quant.encode(dp[flat], pred, rv, outliers);
+          *p = rv;
+        });
+      } else {
+        sweep_targets(sh, g, [&](std::int64_t flat, Cat c) {
+          double* p = rb + flat;
+          const double pred = predict_lin(p, eh, es, c);
+          double rv;
+          *cp++ = quant.encode(dp[flat], pred, rv, outliers);
+          *p = rv;
+        });
+      }
     }
   }
+
+  AMRVIS_REQUIRE(cp == codes.data() + codes.size());
 
   Bytes blob;
   ByteWriter w(blob);
@@ -169,6 +212,7 @@ Array3<double> SzInterpCompressor::decompress(
   sh.nz = r.get<std::int64_t>();
   const double abs_eb = r.get<double>();
   const std::int64_t S = r.get<std::int64_t>();
+  AMRVIS_REQUIRE_MSG(S >= 2, "sz-interp: corrupt anchor stride");
 
   const auto choice_span = r.get_blob();
   const Bytes choices(choice_span.begin(), choice_span.end());
@@ -191,15 +235,27 @@ Array3<double> SzInterpCompressor::decompress(
 
   const LinearQuantizer quant(abs_eb);
   Array3<double> out(sh);
+  double* rb = out.data();
   auto recon = out.view();
 
+  // Validated BEFORE the placement loop: a corrupt count smaller than
+  // the anchor grid would otherwise read past the anchors vector.
+  const auto expected_anchors = static_cast<std::size_t>(
+      ((sh.nx + S - 1) / S) * ((sh.ny + S - 1) / S) * ((sh.nz + S - 1) / S));
+  AMRVIS_REQUIRE_MSG(anchors.size() == expected_anchors,
+                     "sz-interp: anchor count mismatch");
   std::size_t anchor_pos = 0;
   for (std::int64_t k = 0; k < sh.nz; k += S)
     for (std::int64_t j = 0; j < sh.ny; j += S)
       for (std::int64_t i = 0; i < sh.nx; i += S)
         recon(i, j, k) = anchors[anchor_pos++];
-  AMRVIS_REQUIRE_MSG(anchor_pos == anchors.size(),
-                     "sz-interp: anchor count mismatch");
+
+  // Every non-anchor point is the target of exactly one sweep, so the
+  // code stream must hold one code per remaining point. One upfront
+  // completeness check replaces the seed's per-point test.
+  AMRVIS_REQUIRE_MSG(
+      codes.size() >= static_cast<std::size_t>(sh.size()) - anchors.size(),
+      "sz-interp: truncated code stream");
 
   std::size_t code_pos = 0, outlier_pos = 0, choice_pos = 0;
   for (std::int64_t s = S; s >= 2; s /= 2) {
@@ -212,19 +268,22 @@ Array3<double> SzInterpCompressor::decompress(
                          "sz-interp: truncated choice stream");
       const bool cubic = choices[choice_pos++] != 0;
       if (h >= n_axis && h > 0) continue;
-      for_each_target(sh, g, [&](std::int64_t i, std::int64_t j,
-                                 std::int64_t k) {
-        auto get = [&](std::int64_t c) {
-          return axis == 0 ? recon(c, j, k)
-                           : (axis == 1 ? recon(i, c, k) : recon(i, j, c));
-        };
-        const std::int64_t t = axis == 0 ? i : (axis == 1 ? j : k);
-        const double pred = predict(g, t, n_axis, cubic, get);
-        AMRVIS_REQUIRE_MSG(code_pos < codes.size(),
-                           "sz-interp: truncated code stream");
-        recon(i, j, k) = quant.decode(codes[code_pos++], pred,
-                                      outliers.data(), outlier_pos);
-      });
+      const std::int64_t estride = element_stride(sh, axis);
+      const std::int64_t eh = h * estride;
+      const std::int64_t es = s * estride;
+      if (cubic) {
+        sweep_targets(sh, g, [&](std::int64_t flat, Cat c) {
+          double* p = rb + flat;
+          const double pred = predict_cub(p, eh, es, c);
+          *p = quant.decode(codes[code_pos++], pred, outliers, outlier_pos);
+        });
+      } else {
+        sweep_targets(sh, g, [&](std::int64_t flat, Cat c) {
+          double* p = rb + flat;
+          const double pred = predict_lin(p, eh, es, c);
+          *p = quant.decode(codes[code_pos++], pred, outliers, outlier_pos);
+        });
+      }
     }
   }
   return out;

@@ -11,6 +11,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "util/error.hpp"
@@ -47,8 +48,11 @@ class LinearQuantizer {
       reconstructed = quantize_outlier(value, outliers);
       return 0;
     }
+    // Branchless round-half-away-from-zero: identical result to the
+    // sign-branch form for every non-NaN input (incl. +/-0), but immune
+    // to the ~random residual-sign misprediction in the hot loop.
     const auto q = static_cast<std::int32_t>(
-        scaled < 0 ? scaled - 0.5 : scaled + 0.5);
+        scaled + std::copysign(0.5, scaled));
     reconstructed = predicted + 2.0 * eb_ * static_cast<double>(q);
     if (!(std::abs(reconstructed - value) <= eb_)) {
       // Floating-point cancellation can break the bound for extreme
@@ -61,9 +65,17 @@ class LinearQuantizer {
   }
 
   /// Decoder counterpart: reproduce `reconstructed` from the code stream.
-  double decode(std::uint32_t code, double predicted, const double* outliers,
+  /// The outlier side stream is bounds-checked here: a corrupt blob with
+  /// more escape codes than stored outliers must throw, not read past the
+  /// stream (the check only runs on the rare code-0 path).
+  double decode(std::uint32_t code, double predicted,
+                std::span<const double> outliers,
                 std::size_t& outlier_pos) const {
-    if (code == 0) return outliers[outlier_pos++];
+    if (code == 0) {
+      AMRVIS_REQUIRE_MSG(outlier_pos < outliers.size(),
+                         "quantizer: truncated outlier stream");
+      return outliers[outlier_pos++];
+    }
     const auto q =
         static_cast<std::int32_t>(code) - radius_;
     return predicted + 2.0 * eb_ * static_cast<double>(q);

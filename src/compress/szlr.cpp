@@ -29,6 +29,9 @@ std::int64_t get_svarint(std::span<const std::uint8_t> in, std::size_t& pos) {
   int shift = 0;
   while (true) {
     AMRVIS_REQUIRE_MSG(pos < in.size(), "szlr: truncated coeff stream");
+    // Guard the shift before it passes the type width (UB on a corrupt
+    // run of continuation bytes); 10 bytes cover any 64-bit value.
+    AMRVIS_REQUIRE_MSG(shift < 64, "szlr: corrupt coeff varint");
     const std::uint8_t b = in[pos++];
     u |= static_cast<std::uint64_t>(b & 0x7f) << shift;
     if (!(b & 0x80)) break;
@@ -39,7 +42,9 @@ std::int64_t get_svarint(std::span<const std::uint8_t> in, std::size_t& pos) {
 }
 
 /// First-order 3-D Lorenzo prediction from the reconstructed field;
-/// out-of-domain neighbors read as 0 (SZ convention).
+/// out-of-domain neighbors read as 0 (SZ convention). General (boundary)
+/// form — the hot interior path reads the same stencil through raw
+/// pointers in the block loops below.
 inline double lorenzo_predict(const View3<const double>& recon,
                               std::int64_t i, std::int64_t j,
                               std::int64_t k) {
@@ -57,38 +62,107 @@ struct RegressionFit {
   double b0 = 0, bx = 0, by = 0, bz = 0;
 };
 
-RegressionFit fit_block(View3<const double> data, std::int64_t i0,
-                        std::int64_t j0, std::int64_t k0, std::int64_t bx,
-                        std::int64_t by, std::int64_t bz) {
+/// Geometry of one block: origin and clipped extents.
+struct BlockGeom {
+  std::int64_t i0, j0, k0;  ///< block origin
+  std::int64_t ex, ey, ez;  ///< clipped extents
+  /// True when every point's full Lorenzo stencil is in-domain, i.e. the
+  /// block touches no low boundary: neighbor reads need i-1, j-1, k-1
+  /// only, so high-side clipping never leaves the domain.
+  bool interior;
+};
+
+/// Fused pass over one block of original values: the regression-fit
+/// moments and the Lorenzo predictor's error estimate (against original
+/// neighbors — the standard SZ2 selection heuristic, decoder-free) in a
+/// single sweep. Interior blocks read the 7-point stencil through raw row
+/// pointers with no per-point domain checks.
+RegressionFit fit_and_lorenzo_error(const double* dp, std::int64_t sy,
+                                    std::int64_t sz, const BlockGeom& g,
+                                    double& err_lor_out) {
   // Centered coordinates are mutually orthogonal on a full grid, so each
   // slope is an independent 1-D least-squares solution.
-  const double mx = (static_cast<double>(bx) - 1.0) / 2.0;
-  const double my = (static_cast<double>(by) - 1.0) / 2.0;
-  const double mz = (static_cast<double>(bz) - 1.0) / 2.0;
-  double sum = 0, sx = 0, sy = 0, sz = 0, vxx = 0, vyy = 0, vzz = 0;
-  for (std::int64_t dz = 0; dz < bz; ++dz)
-    for (std::int64_t dy = 0; dy < by; ++dy)
-      for (std::int64_t dx = 0; dx < bx; ++dx) {
-        const double v = data(i0 + dx, j0 + dy, k0 + dz);
-        const double cx = static_cast<double>(dx) - mx;
-        const double cy = static_cast<double>(dy) - my;
-        const double cz = static_cast<double>(dz) - mz;
-        sum += v;
-        sx += cx * v;
-        sy += cy * v;
-        sz += cz * v;
-        vxx += cx * cx;
-        vyy += cy * cy;
-        vzz += cz * cz;
+  const double mx = (static_cast<double>(g.ex) - 1.0) / 2.0;
+  const double my = (static_cast<double>(g.ey) - 1.0) / 2.0;
+  const double mz = (static_cast<double>(g.ez) - 1.0) / 2.0;
+  double sum = 0, sx = 0, sy_ = 0, sz_ = 0, vxx = 0, vyy = 0, vzz = 0;
+  double err_lor = 0.0;
+  for (std::int64_t dz = 0; dz < g.ez; ++dz)
+    for (std::int64_t dy = 0; dy < g.ey; ++dy) {
+      const double* p = dp + (g.k0 + dz) * sz + (g.j0 + dy) * sy + g.i0;
+      const double cy = static_cast<double>(dy) - my;
+      const double cz = static_cast<double>(dz) - mz;
+      if (g.interior) {
+        for (std::int64_t dx = 0; dx < g.ex; ++dx) {
+          const double v = p[dx];
+          const double cx = static_cast<double>(dx) - mx;
+          sum += v;
+          sx += cx * v;
+          sy_ += cy * v;
+          sz_ += cz * v;
+          vxx += cx * cx;
+          vyy += cy * cy;
+          vzz += cz * cz;
+          const double pl = p[dx - 1] + p[dx - sy] + p[dx - sz] -
+                            p[dx - 1 - sy] - p[dx - 1 - sz] -
+                            p[dx - sy - sz] + p[dx - 1 - sy - sz];
+          err_lor += std::abs(v - pl);
+        }
+      } else {
+        const std::int64_t j = g.j0 + dy, k = g.k0 + dz;
+        for (std::int64_t dx = 0; dx < g.ex; ++dx) {
+          const double v = p[dx];
+          const double cx = static_cast<double>(dx) - mx;
+          sum += v;
+          sx += cx * v;
+          sy_ += cy * v;
+          sz_ += cz * v;
+          vxx += cx * cx;
+          vyy += cy * cy;
+          vzz += cz * cz;
+          const std::int64_t i = g.i0 + dx;
+          auto f = [&](std::int64_t a, std::int64_t b,
+                       std::int64_t c) -> double {
+            if (a < 0 || b < 0 || c < 0) return 0.0;
+            return dp[c * sz + b * sy + a];
+          };
+          const double pl = f(i - 1, j, k) + f(i, j - 1, k) +
+                            f(i, j, k - 1) - f(i - 1, j - 1, k) -
+                            f(i - 1, j, k - 1) - f(i, j - 1, k - 1) +
+                            f(i - 1, j - 1, k - 1);
+          err_lor += std::abs(v - pl);
+        }
       }
-  const double n = static_cast<double>(bx * by * bz);
+    }
+  const double n = static_cast<double>(g.ex * g.ey * g.ez);
   RegressionFit fit;
   fit.bx = vxx > 0 ? sx / vxx : 0.0;
-  fit.by = vyy > 0 ? sy / vyy : 0.0;
-  fit.bz = vzz > 0 ? sz / vzz : 0.0;
+  fit.by = vyy > 0 ? sy_ / vyy : 0.0;
+  fit.bz = vzz > 0 ? sz_ / vzz : 0.0;
   // Express as v = b0 + bx*dx + by*dy + bz*dz with dx from block origin.
   fit.b0 = sum / n - fit.bx * mx - fit.by * my - fit.bz * mz;
+  err_lor_out = err_lor;
   return fit;
+}
+
+/// Regression predictor's error estimate over one block (needs the
+/// completed fit, hence its own light pass: no stencil reads, no
+/// branches).
+double regression_error(const double* dp, std::int64_t sy, std::int64_t sz,
+                        const BlockGeom& g, const RegressionFit& fit) {
+  double err_reg = 0.0;
+  for (std::int64_t dz = 0; dz < g.ez; ++dz)
+    for (std::int64_t dy = 0; dy < g.ey; ++dy) {
+      const double* p = dp + (g.k0 + dz) * sz + (g.j0 + dy) * sy + g.i0;
+      for (std::int64_t dx = 0; dx < g.ex; ++dx) {
+        const double v = p[dx];
+        const double pr = fit.b0 + fit.bx * static_cast<double>(dx) +
+                          fit.by * static_cast<double>(dy) +
+                          fit.bz * static_cast<double>(dz);
+        err_reg += std::abs(v - pr);
+      }
+    }
+  return err_reg;
 }
 
 /// Coefficient quantizer state: per-coefficient error bound and the
@@ -138,11 +212,19 @@ Bytes SzLrCompressor::compress(View3<const double> data,
   const LinearQuantizer quant(abs_eb);
 
   Array3<double> recon_arr(s);
+  double* rbase = recon_arr.data();
   auto recon = recon_arr.view();
   View3<const double> recon_c(recon_arr.data(), s);
 
-  std::vector<std::uint32_t> codes;
-  codes.reserve(static_cast<std::size_t>(s.size()));
+  const double* dp = data.data();
+  const std::int64_t sy = s.nx;         // element step for j+1
+  const std::int64_t sz = s.nx * s.ny;  // element step for k+1
+
+  // One code per point, written through a cursor: the block loops below
+  // visit every point exactly once, so the final cursor position is
+  // checked against the pre-sized buffer instead of growing it per push.
+  std::vector<std::uint32_t> codes(static_cast<std::size_t>(s.size()));
+  std::uint32_t* cp = codes.data();
   std::vector<double> outliers;
   Bytes choice_bits;          // one byte per block (0 = Lorenzo, 1 = regression)
   Bytes coeff_stream;
@@ -155,61 +237,80 @@ Bytes SzLrCompressor::compress(View3<const double> data,
   for (std::int64_t bk = 0; bk < nbz; ++bk)
     for (std::int64_t bj = 0; bj < nby; ++bj)
       for (std::int64_t bi = 0; bi < nbx; ++bi) {
-        const std::int64_t i0 = bi * bs, j0 = bj * bs, k0 = bk * bs;
-        const std::int64_t ex = std::min(bs, s.nx - i0);
-        const std::int64_t ey = std::min(bs, s.ny - j0);
-        const std::int64_t ez = std::min(bs, s.nz - k0);
+        BlockGeom g;
+        g.i0 = bi * bs;
+        g.j0 = bj * bs;
+        g.k0 = bk * bs;
+        g.ex = std::min(bs, s.nx - g.i0);
+        g.ey = std::min(bs, s.ny - g.j0);
+        g.ez = std::min(bs, s.nz - g.k0);
+        g.interior = g.i0 > 0 && g.j0 > 0 && g.k0 > 0;
 
-        // Candidate 1: regression fit on original values.
-        const RegressionFit fit = fit_block(data, i0, j0, k0, ex, ey, ez);
-
-        // Estimate both predictors' error on the original data. Lorenzo
-        // is estimated with original neighbors (cheap, decoder-free), the
-        // standard SZ2 selection heuristic.
-        double err_reg = 0.0, err_lor = 0.0;
-        for (std::int64_t dz = 0; dz < ez; ++dz)
-          for (std::int64_t dy = 0; dy < ey; ++dy)
-            for (std::int64_t dx = 0; dx < ex; ++dx) {
-              const std::int64_t i = i0 + dx, j = j0 + dy, k = k0 + dz;
-              const double v = data(i, j, k);
-              const double pr = fit.b0 + fit.bx * static_cast<double>(dx) +
-                                fit.by * static_cast<double>(dy) +
-                                fit.bz * static_cast<double>(dz);
-              err_reg += std::abs(v - pr);
-              auto f = [&](std::int64_t a, std::int64_t b,
-                           std::int64_t c) -> double {
-                if (a < 0 || b < 0 || c < 0) return 0.0;
-                return data(a, b, c);
-              };
-              const double pl = f(i - 1, j, k) + f(i, j - 1, k) +
-                                f(i, j, k - 1) - f(i - 1, j - 1, k) -
-                                f(i - 1, j, k - 1) - f(i, j - 1, k - 1) +
-                                f(i - 1, j - 1, k - 1);
-              err_lor += std::abs(v - pl);
-            }
+        // Candidate 1: regression fit on original values, fused with the
+        // Lorenzo predictor's error estimate (original-neighbor form).
+        double err_lor = 0.0;
+        const RegressionFit fit =
+            fit_and_lorenzo_error(dp, sy, sz, g, err_lor);
+        const double err_reg = regression_error(dp, sy, sz, g, fit);
 
         const bool use_regression = err_reg < err_lor;
         choice_bits.push_back(use_regression ? 1 : 0);
 
-        RegressionFit qfit;
-        if (use_regression) qfit = coeffs.encode(fit, coeff_stream);
-
-        for (std::int64_t dz = 0; dz < ez; ++dz)
-          for (std::int64_t dy = 0; dy < ey; ++dy)
-            for (std::int64_t dx = 0; dx < ex; ++dx) {
-              const std::int64_t i = i0 + dx, j = j0 + dy, k = k0 + dz;
-              const double v = data(i, j, k);
-              const double pred =
-                  use_regression
-                      ? qfit.b0 + qfit.bx * static_cast<double>(dx) +
-                            qfit.by * static_cast<double>(dy) +
-                            qfit.bz * static_cast<double>(dz)
-                      : lorenzo_predict(recon_c, i, j, k);
-              double rv;
-              codes.push_back(quant.encode(v, pred, rv, outliers));
-              recon(i, j, k) = rv;
+        if (use_regression) {
+          // Branch-free quantize: the plane predictor reads no neighbors,
+          // so clipping and boundaries are irrelevant.
+          const RegressionFit qfit = coeffs.encode(fit, coeff_stream);
+          for (std::int64_t dz = 0; dz < g.ez; ++dz)
+            for (std::int64_t dy = 0; dy < g.ey; ++dy) {
+              const std::int64_t row =
+                  (g.k0 + dz) * sz + (g.j0 + dy) * sy + g.i0;
+              const double* p = dp + row;
+              double* rp = rbase + row;
+              for (std::int64_t dx = 0; dx < g.ex; ++dx) {
+                const double pred =
+                    qfit.b0 + qfit.bx * static_cast<double>(dx) +
+                    qfit.by * static_cast<double>(dy) +
+                    qfit.bz * static_cast<double>(dz);
+                double rv;
+                *cp++ = quant.encode(p[dx], pred, rv, outliers);
+                rp[dx] = rv;
+              }
             }
+        } else if (g.interior) {
+          // Lorenzo from the reconstruction through raw pointers; the
+          // full stencil is in-domain for every point of the block.
+          for (std::int64_t dz = 0; dz < g.ez; ++dz)
+            for (std::int64_t dy = 0; dy < g.ey; ++dy) {
+              const std::int64_t row =
+                  (g.k0 + dz) * sz + (g.j0 + dy) * sy + g.i0;
+              const double* p = dp + row;
+              double* rp = rbase + row;
+              for (std::int64_t dx = 0; dx < g.ex; ++dx) {
+                const double pred =
+                    rp[dx - 1] + rp[dx - sy] + rp[dx - sz] -
+                    rp[dx - 1 - sy] - rp[dx - 1 - sz] -
+                    rp[dx - sy - sz] + rp[dx - 1 - sy - sz];
+                double rv;
+                *cp++ = quant.encode(p[dx], pred, rv, outliers);
+                rp[dx] = rv;
+              }
+            }
+        } else {
+          // Boundary block: general branchy path (zero-extended reads).
+          for (std::int64_t dz = 0; dz < g.ez; ++dz)
+            for (std::int64_t dy = 0; dy < g.ey; ++dy)
+              for (std::int64_t dx = 0; dx < g.ex; ++dx) {
+                const std::int64_t i = g.i0 + dx, j = g.j0 + dy,
+                                   k = g.k0 + dz;
+                const double pred = lorenzo_predict(recon_c, i, j, k);
+                double rv;
+                *cp++ = quant.encode(data(i, j, k), pred, rv, outliers);
+                recon(i, j, k) = rv;
+              }
+        }
       }
+
+  AMRVIS_REQUIRE(cp == codes.data() + codes.size());
 
   // Assemble the container.
   Bytes blob;
@@ -261,12 +362,23 @@ Array3<double> SzLrCompressor::decompress(
 
   const LinearQuantizer quant(abs_eb);
   Array3<double> out(s);
+  double* rbase = out.data();
   auto recon = out.view();
   View3<const double> recon_c(out.data(), s);
+
+  const std::int64_t sy = s.nx;
+  const std::int64_t sz = s.nx * s.ny;
 
   const std::int64_t nbx = (s.nx + bs - 1) / bs;
   const std::int64_t nby = (s.ny + bs - 1) / bs;
   const std::int64_t nbz = (s.nz + bs - 1) / bs;
+
+  // One upfront completeness check instead of one per point: a truncated
+  // code stream throws before any block is decoded (the seed threw at the
+  // first missing code).
+  AMRVIS_REQUIRE_MSG(
+      static_cast<std::int64_t>(codes.size()) >= s.size(),
+      "szlr: truncated code stream");
 
   CoeffCodec coeffs(abs_eb, static_cast<int>(bs));
   std::size_t coeff_pos = 0;
@@ -277,31 +389,58 @@ Array3<double> SzLrCompressor::decompress(
   for (std::int64_t bk = 0; bk < nbz; ++bk)
     for (std::int64_t bj = 0; bj < nby; ++bj)
       for (std::int64_t bi = 0; bi < nbx; ++bi, ++block_idx) {
-        const std::int64_t i0 = bi * bs, j0 = bj * bs, k0 = bk * bs;
-        const std::int64_t ex = std::min(bs, s.nx - i0);
-        const std::int64_t ey = std::min(bs, s.ny - j0);
-        const std::int64_t ez = std::min(bs, s.nz - k0);
+        BlockGeom g;
+        g.i0 = bi * bs;
+        g.j0 = bj * bs;
+        g.k0 = bk * bs;
+        g.ex = std::min(bs, s.nx - g.i0);
+        g.ey = std::min(bs, s.ny - g.j0);
+        g.ez = std::min(bs, s.nz - g.k0);
+        g.interior = g.i0 > 0 && g.j0 > 0 && g.k0 > 0;
         AMRVIS_REQUIRE_MSG(block_idx < choice_bits.size(),
                            "szlr: truncated choice stream");
         const bool use_regression = choice_bits[block_idx] != 0;
-        RegressionFit qfit;
-        if (use_regression) qfit = coeffs.decode(coeff_stream, coeff_pos);
 
-        for (std::int64_t dz = 0; dz < ez; ++dz)
-          for (std::int64_t dy = 0; dy < ey; ++dy)
-            for (std::int64_t dx = 0; dx < ex; ++dx) {
-              const std::int64_t i = i0 + dx, j = j0 + dy, k = k0 + dz;
-              const double pred =
-                  use_regression
-                      ? qfit.b0 + qfit.bx * static_cast<double>(dx) +
-                            qfit.by * static_cast<double>(dy) +
-                            qfit.bz * static_cast<double>(dz)
-                      : lorenzo_predict(recon_c, i, j, k);
-              AMRVIS_REQUIRE_MSG(code_pos < codes.size(),
-                                 "szlr: truncated code stream");
-              recon(i, j, k) = quant.decode(codes[code_pos++], pred,
-                                            outliers.data(), outlier_pos);
+        if (use_regression) {
+          const RegressionFit qfit = coeffs.decode(coeff_stream, coeff_pos);
+          for (std::int64_t dz = 0; dz < g.ez; ++dz)
+            for (std::int64_t dy = 0; dy < g.ey; ++dy) {
+              double* rp =
+                  rbase + (g.k0 + dz) * sz + (g.j0 + dy) * sy + g.i0;
+              for (std::int64_t dx = 0; dx < g.ex; ++dx) {
+                const double pred =
+                    qfit.b0 + qfit.bx * static_cast<double>(dx) +
+                    qfit.by * static_cast<double>(dy) +
+                    qfit.bz * static_cast<double>(dz);
+                rp[dx] = quant.decode(codes[code_pos++], pred, outliers,
+                                      outlier_pos);
+              }
             }
+        } else if (g.interior) {
+          for (std::int64_t dz = 0; dz < g.ez; ++dz)
+            for (std::int64_t dy = 0; dy < g.ey; ++dy) {
+              double* rp =
+                  rbase + (g.k0 + dz) * sz + (g.j0 + dy) * sy + g.i0;
+              for (std::int64_t dx = 0; dx < g.ex; ++dx) {
+                const double pred =
+                    rp[dx - 1] + rp[dx - sy] + rp[dx - sz] -
+                    rp[dx - 1 - sy] - rp[dx - 1 - sz] -
+                    rp[dx - sy - sz] + rp[dx - 1 - sy - sz];
+                rp[dx] = quant.decode(codes[code_pos++], pred, outliers,
+                                      outlier_pos);
+              }
+            }
+        } else {
+          for (std::int64_t dz = 0; dz < g.ez; ++dz)
+            for (std::int64_t dy = 0; dy < g.ey; ++dy)
+              for (std::int64_t dx = 0; dx < g.ex; ++dx) {
+                const std::int64_t i = g.i0 + dx, j = g.j0 + dy,
+                                   k = g.k0 + dz;
+                const double pred = lorenzo_predict(recon_c, i, j, k);
+                recon(i, j, k) = quant.decode(codes[code_pos++], pred,
+                                              outliers, outlier_pos);
+              }
+        }
       }
   return out;
 }

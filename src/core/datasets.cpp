@@ -41,6 +41,13 @@ DatasetSpec dataset_spec(const std::string& name, bool full_scale,
   throw Error("unknown dataset: " + name + " (expected nyx or warpx)");
 }
 
+DatasetSpec smoke_spec(DatasetSpec spec) {
+  auto half = [](std::int64_t n) { return std::max<std::int64_t>(16, n / 2); };
+  spec.fine_shape = {half(spec.fine_shape.nx), half(spec.fine_shape.ny),
+                     half(spec.fine_shape.nz)};
+  return spec;
+}
+
 sim::SyntheticDataset make_dataset(const DatasetSpec& spec) {
   Array3<double> truth;
   if (spec.name == "nyx") {

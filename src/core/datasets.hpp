@@ -42,6 +42,11 @@ DatasetSpec warpx_spec(bool full_scale = false, std::uint64_t seed = 42);
 DatasetSpec dataset_spec(const std::string& name, bool full_scale = false,
                          std::uint64_t seed = 42);
 
+/// Smoke-test variant: halves each fine-grid dimension (floor 16 cells)
+/// while keeping the level structure, densities and tagging behavior, so
+/// heavyweight benches finish in seconds under `ctest -L bench_smoke`.
+DatasetSpec smoke_spec(DatasetSpec spec);
+
 /// Generate the truth field and build the two-level hierarchy.
 sim::SyntheticDataset make_dataset(const DatasetSpec& spec);
 

@@ -1,0 +1,738 @@
+// Golden-blob and boundary-shape tests for the optimized szlr / interp /
+// huffman hot paths (PR: fused single-pass kernels + flat-table Huffman).
+//
+// The optimized encoders are required to be BIT-IDENTICAL to the seed
+// encoders. The seed algorithms (three-pass szlr with per-point boundary
+// lambdas, std::map Huffman with a per-bit writer, branchy quantizer
+// rounding) are embedded here verbatim as reference implementations in
+// the `seedref` namespace, and every test compares whole blobs byte for
+// byte on fields that exercise both the interior fast paths and the
+// boundary fallbacks.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <queue>
+
+#include "compress/huffman.hpp"
+#include "compress/interp.hpp"
+#include "compress/lzss.hpp"
+#include "compress/quantizer.hpp"
+#include "compress/szlr.hpp"
+#include "util/rng.hpp"
+
+namespace amrvis::compress {
+namespace seedref {
+
+// ---------------------------------------------------------------------
+// Seed bit writer: strictly per-bit, MSB-first.
+// ---------------------------------------------------------------------
+struct BitWriter {
+  Bytes bytes;
+  int fill = 0;
+  void put_bit(std::uint64_t bit) {
+    if (fill == 0) bytes.push_back(0);
+    bytes.back() |= static_cast<std::uint8_t>((bit & 1u) << (7 - fill));
+    fill = (fill + 1) & 7;
+  }
+  void put_bits(std::uint64_t value, int nbits) {
+    for (int b = nbits - 1; b >= 0; --b) put_bit((value >> b) & 1u);
+  }
+};
+
+// ---------------------------------------------------------------------
+// Seed Huffman encoder: std::map histogram and encode table.
+// ---------------------------------------------------------------------
+constexpr int kMaxCodeLen = 32;
+
+struct SymbolLength {
+  std::uint32_t symbol;
+  std::uint8_t length;
+};
+
+inline std::vector<SymbolLength> build_code_lengths(
+    const std::map<std::uint32_t, std::uint64_t>& freq) {
+  struct Node {
+    std::uint64_t weight;
+    int left = -1, right = -1;
+    std::uint32_t symbol = 0;
+  };
+  std::vector<Node> nodes;
+  using HeapItem = std::pair<std::uint64_t, int>;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  for (const auto& [sym, count] : freq) {
+    nodes.push_back({count, -1, -1, sym});
+    heap.emplace(count, static_cast<int>(nodes.size() - 1));
+  }
+  if (nodes.size() == 1) return {{nodes[0].symbol, 1}};
+  while (heap.size() > 1) {
+    auto [wa, a] = heap.top();
+    heap.pop();
+    auto [wb, b] = heap.top();
+    heap.pop();
+    nodes.push_back({wa + wb, a, b, 0});
+    heap.emplace(wa + wb, static_cast<int>(nodes.size() - 1));
+  }
+  std::vector<SymbolLength> out;
+  std::vector<std::pair<int, int>> stack{
+      {static_cast<int>(nodes.size()) - 1, 0}};
+  while (!stack.empty()) {
+    auto [idx, depth] = stack.back();
+    stack.pop_back();
+    const Node& n = nodes[static_cast<std::size_t>(idx)];
+    if (n.left < 0) {
+      out.push_back(
+          {n.symbol, static_cast<std::uint8_t>(std::min(depth, kMaxCodeLen))});
+    } else {
+      stack.emplace_back(n.left, depth + 1);
+      stack.emplace_back(n.right, depth + 1);
+    }
+  }
+  auto kraft = [&out] {
+    long double k = 0;
+    for (const auto& sl : out) k += std::pow(2.0L, -int(sl.length));
+    return k;
+  };
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.length != b.length ? a.length < b.length : a.symbol < b.symbol;
+  });
+  while (kraft() > 1.0L + 1e-18L) {
+    bool changed = false;
+    for (auto it = out.rbegin(); it != out.rend(); ++it) {
+      if (it->length < kMaxCodeLen) {
+        ++it->length;
+        changed = true;
+        break;
+      }
+    }
+    if (!changed) throw Error("seedref huffman: Kraft");
+  }
+  return out;
+}
+
+struct CanonicalCode {
+  std::vector<SymbolLength> lengths;
+  std::vector<std::uint64_t> codes;
+};
+
+inline CanonicalCode canonicalize(std::vector<SymbolLength> lengths) {
+  std::sort(lengths.begin(), lengths.end(),
+            [](const SymbolLength& a, const SymbolLength& b) {
+              return a.length != b.length ? a.length < b.length
+                                          : a.symbol < b.symbol;
+            });
+  CanonicalCode cc;
+  cc.lengths = std::move(lengths);
+  cc.codes.resize(cc.lengths.size());
+  std::uint64_t code = 0;
+  int prev_len = 0;
+  for (std::size_t i = 0; i < cc.lengths.size(); ++i) {
+    const int len = cc.lengths[i].length;
+    code <<= (len - prev_len);
+    cc.codes[i] = code;
+    ++code;
+    prev_len = len;
+  }
+  return cc;
+}
+
+inline Bytes huffman_encode(std::span<const std::uint32_t> symbols) {
+  Bytes blob;
+  ByteWriter w(blob);
+  w.put<std::uint64_t>(symbols.size());
+  if (symbols.empty()) return blob;
+
+  std::map<std::uint32_t, std::uint64_t> freq;
+  for (std::uint32_t s : symbols) ++freq[s];
+
+  const CanonicalCode cc = canonicalize(build_code_lengths(freq));
+
+  std::vector<SymbolLength> by_symbol = cc.lengths;
+  std::sort(by_symbol.begin(), by_symbol.end(),
+            [](const SymbolLength& a, const SymbolLength& b) {
+              return a.symbol < b.symbol;
+            });
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(by_symbol.size()));
+  std::uint32_t prev = 0;
+  for (const auto& sl : by_symbol) {
+    std::uint32_t delta = sl.symbol - prev;
+    prev = sl.symbol;
+    while (delta >= 0x80) {
+      w.put<std::uint8_t>(static_cast<std::uint8_t>(delta) | 0x80);
+      delta >>= 7;
+    }
+    w.put<std::uint8_t>(static_cast<std::uint8_t>(delta));
+    w.put<std::uint8_t>(sl.length);
+  }
+
+  std::map<std::uint32_t, std::pair<std::uint64_t, int>> enc;
+  for (std::size_t i = 0; i < cc.lengths.size(); ++i)
+    enc[cc.lengths[i].symbol] = {cc.codes[i], cc.lengths[i].length};
+
+  BitWriter bits;
+  for (std::uint32_t s : symbols) {
+    const auto& [code, len] = enc.at(s);
+    bits.put_bits(code, len);
+  }
+  w.put_blob(bits.bytes);
+  return blob;
+}
+
+// ---------------------------------------------------------------------
+// Seed linear quantizer: branchy round-half-away-from-zero.
+// ---------------------------------------------------------------------
+struct Quantizer {
+  double eb;
+  std::int32_t radius = 32768;
+
+  double quantize_outlier(double value, std::vector<double>& outliers) const {
+    const double step = 2.0 * eb;
+    const double snapped = step * std::round(value / step);
+    const double stored =
+        (std::isfinite(snapped) && std::abs(snapped - value) <= eb) ? snapped
+                                                                    : value;
+    outliers.push_back(stored);
+    return stored;
+  }
+
+  std::uint32_t encode(double value, double predicted, double& reconstructed,
+                       std::vector<double>& outliers) const {
+    const double diff = value - predicted;
+    const double scaled = diff / (2.0 * eb);
+    if (scaled > static_cast<double>(radius - 1) ||
+        scaled < -static_cast<double>(radius - 1)) {
+      reconstructed = quantize_outlier(value, outliers);
+      return 0;
+    }
+    const auto q =
+        static_cast<std::int32_t>(scaled < 0 ? scaled - 0.5 : scaled + 0.5);
+    reconstructed = predicted + 2.0 * eb * static_cast<double>(q);
+    if (!(std::abs(reconstructed - value) <= eb)) {
+      reconstructed = quantize_outlier(value, outliers);
+      return 0;
+    }
+    return static_cast<std::uint32_t>(q + radius);
+  }
+};
+
+// ---------------------------------------------------------------------
+// Seed SZ-L/R encoder: three passes per block, per-point boundary lambda.
+// ---------------------------------------------------------------------
+inline void put_svarint(Bytes& out, std::int64_t v) {
+  std::uint64_t u = (static_cast<std::uint64_t>(v) << 1) ^
+                    static_cast<std::uint64_t>(v >> 63);
+  while (u >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(u) | 0x80);
+    u >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(u));
+}
+
+inline double lorenzo_predict(const View3<const double>& recon,
+                              std::int64_t i, std::int64_t j,
+                              std::int64_t k) {
+  auto f = [&](std::int64_t a, std::int64_t b, std::int64_t c) -> double {
+    if (a < 0 || b < 0 || c < 0) return 0.0;
+    return recon(a, b, c);
+  };
+  return f(i - 1, j, k) + f(i, j - 1, k) + f(i, j, k - 1) -
+         f(i - 1, j - 1, k) - f(i - 1, j, k - 1) - f(i, j - 1, k - 1) +
+         f(i - 1, j - 1, k - 1);
+}
+
+struct RegressionFit {
+  double b0 = 0, bx = 0, by = 0, bz = 0;
+};
+
+inline RegressionFit fit_block(View3<const double> data, std::int64_t i0,
+                               std::int64_t j0, std::int64_t k0,
+                               std::int64_t bx, std::int64_t by,
+                               std::int64_t bz) {
+  const double mx = (static_cast<double>(bx) - 1.0) / 2.0;
+  const double my = (static_cast<double>(by) - 1.0) / 2.0;
+  const double mz = (static_cast<double>(bz) - 1.0) / 2.0;
+  double sum = 0, sx = 0, sy = 0, sz = 0, vxx = 0, vyy = 0, vzz = 0;
+  for (std::int64_t dz = 0; dz < bz; ++dz)
+    for (std::int64_t dy = 0; dy < by; ++dy)
+      for (std::int64_t dx = 0; dx < bx; ++dx) {
+        const double v = data(i0 + dx, j0 + dy, k0 + dz);
+        const double cx = static_cast<double>(dx) - mx;
+        const double cy = static_cast<double>(dy) - my;
+        const double cz = static_cast<double>(dz) - mz;
+        sum += v;
+        sx += cx * v;
+        sy += cy * v;
+        sz += cz * v;
+        vxx += cx * cx;
+        vyy += cy * cy;
+        vzz += cz * cz;
+      }
+  const double n = static_cast<double>(bx * by * bz);
+  RegressionFit fit;
+  fit.bx = vxx > 0 ? sx / vxx : 0.0;
+  fit.by = vyy > 0 ? sy / vyy : 0.0;
+  fit.bz = vzz > 0 ? sz / vzz : 0.0;
+  fit.b0 = sum / n - fit.bx * mx - fit.by * my - fit.bz * mz;
+  return fit;
+}
+
+struct CoeffCodec {
+  double eb0, ebs;
+  std::int64_t prev[4] = {0, 0, 0, 0};
+
+  CoeffCodec(double abs_eb, int block_size)
+      : eb0(abs_eb * 0.5),
+        ebs(abs_eb / (2.0 * static_cast<double>(block_size))) {}
+
+  RegressionFit encode(const RegressionFit& fit, Bytes& stream) {
+    const double ebs_[4] = {eb0, ebs, ebs, ebs};
+    const double vals[4] = {fit.b0, fit.bx, fit.by, fit.bz};
+    double recon[4];
+    for (int c = 0; c < 4; ++c) {
+      const auto code = static_cast<std::int64_t>(
+          std::llround(vals[c] / (2.0 * ebs_[c])));
+      put_svarint(stream, code - prev[c]);
+      prev[c] = code;
+      recon[c] = 2.0 * ebs_[c] * static_cast<double>(code);
+    }
+    return {recon[0], recon[1], recon[2], recon[3]};
+  }
+};
+
+inline Bytes szlr_compress(View3<const double> data, double abs_eb,
+                           int block_size) {
+  const Shape3 s = data.shape();
+  const std::int64_t bs = block_size;
+  const Quantizer quant{abs_eb};
+
+  Array3<double> recon_arr(s);
+  auto recon = recon_arr.view();
+  View3<const double> recon_c(recon_arr.data(), s);
+
+  std::vector<std::uint32_t> codes;
+  std::vector<double> outliers;
+  Bytes choice_bits;
+  Bytes coeff_stream;
+  CoeffCodec coeffs(abs_eb, block_size);
+
+  const std::int64_t nbx = (s.nx + bs - 1) / bs;
+  const std::int64_t nby = (s.ny + bs - 1) / bs;
+  const std::int64_t nbz = (s.nz + bs - 1) / bs;
+
+  for (std::int64_t bk = 0; bk < nbz; ++bk)
+    for (std::int64_t bj = 0; bj < nby; ++bj)
+      for (std::int64_t bi = 0; bi < nbx; ++bi) {
+        const std::int64_t i0 = bi * bs, j0 = bj * bs, k0 = bk * bs;
+        const std::int64_t ex = std::min(bs, s.nx - i0);
+        const std::int64_t ey = std::min(bs, s.ny - j0);
+        const std::int64_t ez = std::min(bs, s.nz - k0);
+
+        const RegressionFit fit = fit_block(data, i0, j0, k0, ex, ey, ez);
+
+        double err_reg = 0.0, err_lor = 0.0;
+        for (std::int64_t dz = 0; dz < ez; ++dz)
+          for (std::int64_t dy = 0; dy < ey; ++dy)
+            for (std::int64_t dx = 0; dx < ex; ++dx) {
+              const std::int64_t i = i0 + dx, j = j0 + dy, k = k0 + dz;
+              const double v = data(i, j, k);
+              const double pr = fit.b0 + fit.bx * static_cast<double>(dx) +
+                                fit.by * static_cast<double>(dy) +
+                                fit.bz * static_cast<double>(dz);
+              err_reg += std::abs(v - pr);
+              auto f = [&](std::int64_t a, std::int64_t b,
+                           std::int64_t c) -> double {
+                if (a < 0 || b < 0 || c < 0) return 0.0;
+                return data(a, b, c);
+              };
+              const double pl = f(i - 1, j, k) + f(i, j - 1, k) +
+                                f(i, j, k - 1) - f(i - 1, j - 1, k) -
+                                f(i - 1, j, k - 1) - f(i, j - 1, k - 1) +
+                                f(i - 1, j - 1, k - 1);
+              err_lor += std::abs(v - pl);
+            }
+
+        const bool use_regression = err_reg < err_lor;
+        choice_bits.push_back(use_regression ? 1 : 0);
+
+        RegressionFit qfit;
+        if (use_regression) qfit = coeffs.encode(fit, coeff_stream);
+
+        for (std::int64_t dz = 0; dz < ez; ++dz)
+          for (std::int64_t dy = 0; dy < ey; ++dy)
+            for (std::int64_t dx = 0; dx < ex; ++dx) {
+              const std::int64_t i = i0 + dx, j = j0 + dy, k = k0 + dz;
+              const double v = data(i, j, k);
+              const double pred =
+                  use_regression
+                      ? qfit.b0 + qfit.bx * static_cast<double>(dx) +
+                            qfit.by * static_cast<double>(dy) +
+                            qfit.bz * static_cast<double>(dz)
+                      : lorenzo_predict(recon_c, i, j, k);
+              double rv;
+              codes.push_back(quant.encode(v, pred, rv, outliers));
+              recon(i, j, k) = rv;
+            }
+      }
+
+  Bytes blob;
+  ByteWriter w(blob);
+  w.put<std::uint32_t>(0x535a4c52u);
+  w.put<std::int64_t>(s.nx);
+  w.put<std::int64_t>(s.ny);
+  w.put<std::int64_t>(s.nz);
+  w.put<double>(abs_eb);
+  w.put<std::int32_t>(static_cast<std::int32_t>(bs));
+
+  const Bytes choice_z = lzss_encode(choice_bits);
+  const Bytes coeff_z = lzss_encode(coeff_stream);
+  const Bytes codes_z = lzss_encode(huffman_encode(codes));
+  w.put_blob(choice_z);
+  w.put_blob(coeff_z);
+  w.put_blob(codes_z);
+  w.put<std::uint64_t>(outliers.size());
+  w.put_bytes({reinterpret_cast<const std::uint8_t*>(outliers.data()),
+               outliers.size() * sizeof(double)});
+  return blob;
+}
+
+// ---------------------------------------------------------------------
+// Seed SZ-Interp encoder: per-point predict/get lambdas.
+// ---------------------------------------------------------------------
+struct AxisGeom {
+  int axis;
+  std::int64_t h;
+  std::int64_t s;
+};
+
+template <typename Get>
+double predict(const AxisGeom& g, std::int64_t t, std::int64_t n, bool cubic,
+               const Get& get) {
+  const std::int64_t a = t - g.h;
+  const std::int64_t b = t + g.h;
+  if (b >= n) {
+    if (a - g.s >= 0) return 1.5 * get(a) - 0.5 * get(a - g.s);
+    return get(a);
+  }
+  if (cubic && a - g.s >= 0 && b + g.s < n) {
+    return (-get(a - g.s) + 9.0 * get(a) + 9.0 * get(b) - get(b + g.s)) /
+           16.0;
+  }
+  return 0.5 * (get(a) + get(b));
+}
+
+template <typename Fn>
+void for_each_target(const Shape3& sh, const AxisGeom& g, const Fn& fn) {
+  const std::int64_t n[3] = {sh.nx, sh.ny, sh.nz};
+  std::int64_t stride[3];
+  for (int d = 0; d < 3; ++d) {
+    if (d == g.axis) stride[d] = g.s;
+    else if (d < g.axis) stride[d] = g.h;
+    else stride[d] = g.s;
+  }
+  for (std::int64_t k = (g.axis == 2 ? g.h : 0); k < n[2]; k += stride[2])
+    for (std::int64_t j = (g.axis == 1 ? g.h : 0); j < n[1]; j += stride[1])
+      for (std::int64_t i = (g.axis == 0 ? g.h : 0); i < n[0]; i += stride[0])
+        fn(i, j, k);
+}
+
+inline std::int64_t initial_stride(const Shape3& sh, std::int64_t cap) {
+  const std::int64_t m = std::max({sh.nx, sh.ny, sh.nz});
+  std::int64_t s = 2;
+  while (s < m && s < cap) s <<= 1;
+  return s;
+}
+
+inline Bytes interp_compress(View3<const double> data, double abs_eb,
+                             std::int64_t max_stride) {
+  const Shape3 sh = data.shape();
+  const Quantizer quant{abs_eb};
+  Array3<double> recon_arr(sh);
+  auto recon = recon_arr.view();
+
+  const std::int64_t S = initial_stride(sh, max_stride);
+  std::vector<double> anchors;
+  for (std::int64_t k = 0; k < sh.nz; k += S)
+    for (std::int64_t j = 0; j < sh.ny; j += S)
+      for (std::int64_t i = 0; i < sh.nx; i += S) {
+        anchors.push_back(data(i, j, k));
+        recon(i, j, k) = data(i, j, k);
+      }
+
+  std::vector<std::uint32_t> codes;
+  std::vector<double> outliers;
+  Bytes choices;
+
+  for (std::int64_t s = S; s >= 2; s /= 2) {
+    const std::int64_t h = s / 2;
+    for (int axis = 0; axis < 3; ++axis) {
+      const AxisGeom g{axis, h, s};
+      const std::int64_t n_axis =
+          axis == 0 ? sh.nx : (axis == 1 ? sh.ny : sh.nz);
+      if (h >= n_axis && h > 0) {
+        choices.push_back(0);
+        continue;
+      }
+      double err_lin = 0.0, err_cub = 0.0;
+      for_each_target(sh, g, [&](std::int64_t i, std::int64_t j,
+                                 std::int64_t k) {
+        auto get = [&](std::int64_t c) {
+          return axis == 0 ? recon(c, j, k)
+                           : (axis == 1 ? recon(i, c, k) : recon(i, j, c));
+        };
+        const std::int64_t t = axis == 0 ? i : (axis == 1 ? j : k);
+        const double v = data(i, j, k);
+        err_lin += std::abs(v - predict(g, t, n_axis, false, get));
+        err_cub += std::abs(v - predict(g, t, n_axis, true, get));
+      });
+      const bool cubic = err_cub < err_lin;
+      choices.push_back(cubic ? 1 : 0);
+
+      for_each_target(sh, g, [&](std::int64_t i, std::int64_t j,
+                                 std::int64_t k) {
+        auto get = [&](std::int64_t c) {
+          return axis == 0 ? recon(c, j, k)
+                           : (axis == 1 ? recon(i, c, k) : recon(i, j, c));
+        };
+        const std::int64_t t = axis == 0 ? i : (axis == 1 ? j : k);
+        const double pred = predict(g, t, n_axis, cubic, get);
+        double rv;
+        codes.push_back(quant.encode(data(i, j, k), pred, rv, outliers));
+        recon(i, j, k) = rv;
+      });
+    }
+  }
+
+  Bytes blob;
+  ByteWriter w(blob);
+  w.put<std::uint32_t>(0x535a4950u);
+  w.put<std::int64_t>(sh.nx);
+  w.put<std::int64_t>(sh.ny);
+  w.put<std::int64_t>(sh.nz);
+  w.put<double>(abs_eb);
+  w.put<std::int64_t>(S);
+  w.put_blob(choices);
+  w.put<std::uint64_t>(anchors.size());
+  w.put_bytes({reinterpret_cast<const std::uint8_t*>(anchors.data()),
+               anchors.size() * sizeof(double)});
+  w.put_blob(lzss_encode(huffman_encode(codes)));
+  w.put<std::uint64_t>(outliers.size());
+  w.put_bytes({reinterpret_cast<const std::uint8_t*>(outliers.data()),
+               outliers.size() * sizeof(double)});
+  return blob;
+}
+
+}  // namespace seedref
+
+namespace {
+
+/// Structured test field: smooth trend + oscillation + noise, so both
+/// predictor families stay competitive and block choices mix.
+Array3<double> structured_field(const Shape3& s, std::uint64_t seed,
+                                double noise) {
+  Array3<double> a(s);
+  Rng rng(seed);
+  for (std::int64_t k = 0; k < s.nz; ++k)
+    for (std::int64_t j = 0; j < s.ny; ++j)
+      for (std::int64_t i = 0; i < s.nx; ++i)
+        a(i, j, k) = std::sin(0.11 * static_cast<double>(i)) *
+                         std::cos(0.07 * static_cast<double>(j)) +
+                     0.013 * static_cast<double>(k) +
+                     0.5 * std::sin(0.31 * static_cast<double>(i + j + k)) +
+                     noise * rng.normal();
+  return a;
+}
+
+const Shape3 kBoundaryHeavyShapes[] = {
+    {32, 32, 32},   // not a multiple of the szlr block size
+    {13, 9, 30},    // all dims clipped
+    {12, 12, 12},   // exact multiple
+    {6, 6, 6},      // single block
+    {1, 40, 17},    // thin slab 1xNxM
+    {65, 1, 1},     // line Nx1x1
+    {5, 5, 5},      // smaller than one block
+};
+
+TEST(FastPathGolden, SzLrBlobsMatchSeedEncoder) {
+  for (const Shape3& s : kBoundaryHeavyShapes) {
+    for (const double noise : {0.0, 0.4}) {
+      const Array3<double> field = structured_field(s, 99, noise);
+      const SzLrCompressor codec;
+      const Bytes opt = codec.compress(field.view(), 1e-3);
+      const Bytes ref = seedref::szlr_compress(field.view(), 1e-3, 6);
+      ASSERT_EQ(opt.size(), ref.size())
+          << "shape " << s.nx << "x" << s.ny << "x" << s.nz
+          << " noise " << noise;
+      EXPECT_TRUE(opt == ref)
+          << "blob mismatch at shape " << s.nx << "x" << s.ny << "x" << s.nz
+          << " noise " << noise;
+    }
+  }
+}
+
+TEST(FastPathGolden, SzInterpBlobsMatchSeedEncoder) {
+  const Shape3 shapes[] = {{32, 32, 32}, {33, 17, 9}, {1, 64, 3},
+                           {100, 1, 1},  {5, 5, 5},   {16, 16, 16}};
+  for (const Shape3& s : shapes) {
+    for (const double noise : {0.0, 0.4}) {
+      const Array3<double> field = structured_field(s, 1234, noise);
+      const SzInterpCompressor codec;
+      const Bytes opt = codec.compress(field.view(), 1e-3);
+      const Bytes ref = seedref::interp_compress(field.view(), 1e-3, 64);
+      ASSERT_EQ(opt.size(), ref.size())
+          << "shape " << s.nx << "x" << s.ny << "x" << s.nz
+          << " noise " << noise;
+      EXPECT_TRUE(opt == ref)
+          << "blob mismatch at shape " << s.nx << "x" << s.ny << "x" << s.nz
+          << " noise " << noise;
+    }
+  }
+}
+
+TEST(FastPathGolden, HuffmanBlobsMatchSeedEncoder) {
+  Rng rng(5);
+  std::vector<std::vector<std::uint32_t>> streams;
+  // Quantizer-like: narrow normal around the center code (dense table).
+  streams.emplace_back();
+  for (int i = 0; i < 40000; ++i)
+    streams.back().push_back(
+        static_cast<std::uint32_t>(32768 + std::lround(rng.normal() * 3)));
+  // Uniform over a modest alphabet.
+  streams.emplace_back();
+  for (int i = 0; i < 20000; ++i)
+    streams.back().push_back(
+        static_cast<std::uint32_t>(rng.next_below(1000)));
+  // Sparse huge alphabet (forces the sorted-vector fallback).
+  streams.emplace_back();
+  for (int i = 0; i < 5000; ++i)
+    streams.back().push_back(static_cast<std::uint32_t>(
+        1000000000u + 12347u * static_cast<std::uint32_t>(i)));
+  // Single distinct symbol, and a two-symbol skew.
+  streams.push_back(std::vector<std::uint32_t>(777, 42u));
+  streams.emplace_back();
+  for (int i = 0; i < 5000; ++i)
+    streams.back().push_back(i % 17 == 0 ? 3u : 9u);
+  // Empty stream.
+  streams.emplace_back();
+
+  for (const auto& syms : streams) {
+    const Bytes opt = huffman_encode(syms);
+    const Bytes ref = seedref::huffman_encode(syms);
+    ASSERT_EQ(opt.size(), ref.size()) << "stream size " << syms.size();
+    EXPECT_TRUE(opt == ref) << "blob mismatch, stream size " << syms.size();
+    // And the flat-table decoder inverts both.
+    EXPECT_EQ(huffman_decode(opt), syms);
+  }
+}
+
+TEST(FastPathBoundary, RoundtripBoundHoldsOnBoundaryHeavyShapes) {
+  const double abs_eb = 1e-3;
+  for (const Shape3& s : kBoundaryHeavyShapes) {
+    const Array3<double> field = structured_field(s, 321, 0.25);
+    for (const bool use_interp : {false, true}) {
+      Bytes blob;
+      Array3<double> out;
+      if (use_interp) {
+        const SzInterpCompressor codec;
+        blob = codec.compress(field.view(), abs_eb);
+        out = codec.decompress(blob);
+      } else {
+        const SzLrCompressor codec;
+        blob = codec.compress(field.view(), abs_eb);
+        out = codec.decompress(blob);
+      }
+      ASSERT_EQ(out.shape(), s);
+      double max_err = 0.0;
+      for (std::int64_t f = 0; f < field.size(); ++f)
+        max_err = std::max(max_err, std::abs(field[f] - out[f]));
+      EXPECT_LE(max_err, abs_eb)
+          << (use_interp ? "sz-interp" : "sz-lr") << " shape " << s.nx << "x"
+          << s.ny << "x" << s.nz;
+    }
+  }
+}
+
+// --------------------------- security ---------------------------------
+
+/// Hand-craft a huffman blob header: count, table entries (delta varint +
+/// length byte), then an empty payload blob.
+Bytes corrupt_huffman_blob(std::uint8_t length_byte) {
+  Bytes blob;
+  ByteWriter w(blob);
+  w.put<std::uint64_t>(1);   // one encoded symbol
+  w.put<std::uint32_t>(1);   // one table entry
+  w.put<std::uint8_t>(5);    // symbol delta varint (symbol = 5)
+  w.put<std::uint8_t>(length_byte);
+  w.put<std::uint64_t>(4);   // payload blob: enough bits for any one code
+  for (int i = 0; i < 4; ++i) w.put<std::uint8_t>(0);
+  return blob;
+}
+
+TEST(HuffmanSecurity, OutOfRangeCodeLengthThrows) {
+  // Seed decoder indexed count_at_len[length] with an unvalidated length
+  // byte: 200 wrote far past the kMaxCodeLen-sized stack arrays. Must be
+  // rejected at parse time now.
+  EXPECT_THROW(huffman_decode(corrupt_huffman_blob(200)), Error);
+  EXPECT_THROW(huffman_decode(corrupt_huffman_blob(33)), Error);
+  EXPECT_THROW(huffman_decode(corrupt_huffman_blob(0)), Error);
+  // Boundary values stay accepted.
+  EXPECT_NO_THROW(huffman_decode(corrupt_huffman_blob(1)));
+  EXPECT_NO_THROW(huffman_decode(corrupt_huffman_blob(32)));
+}
+
+TEST(HuffmanSecurity, OverlongSymbolCountThrows) {
+  // A count claiming more symbols than the payload holds must throw, not
+  // decode zero-padding forever.
+  std::vector<std::uint32_t> syms(100, 7u);
+  syms[3] = 9u;
+  Bytes blob = huffman_encode(syms);
+  std::uint64_t huge = 1u << 20;
+  std::memcpy(blob.data(), &huge, sizeof(huge));
+  EXPECT_THROW(huffman_decode(blob), Error);
+}
+
+TEST(HuffmanSecurity, OverlongSymbolDeltaVarintThrows) {
+  // Six continuation bytes push the varint shift past 32 bits — UB in the
+  // seed parser; must be rejected.
+  Bytes blob;
+  ByteWriter w(blob);
+  w.put<std::uint64_t>(1);  // one encoded symbol
+  w.put<std::uint32_t>(1);  // one table entry
+  for (int i = 0; i < 6; ++i) w.put<std::uint8_t>(0x81);
+  w.put<std::uint8_t>(0x01);  // varint terminator
+  w.put<std::uint8_t>(1);     // length byte
+  w.put<std::uint64_t>(1);
+  w.put<std::uint8_t>(0);
+  EXPECT_THROW(huffman_decode(blob), Error);
+}
+
+TEST(InterpSecurity, ShortAnchorStreamThrows) {
+  // n_anchor smaller than the anchor grid must throw before the
+  // placement loop reads past the anchors vector (seed read heap OOB).
+  const Shape3 s{4, 4, 4};
+  Bytes blob;
+  ByteWriter w(blob);
+  w.put<std::uint32_t>(0x535a4950u);  // "SZIP"
+  w.put<std::int64_t>(s.nx);
+  w.put<std::int64_t>(s.ny);
+  w.put<std::int64_t>(s.nz);
+  w.put<double>(1e-3);
+  w.put<std::int64_t>(4);           // S: one anchor expected
+  w.put_blob({});                   // choices
+  w.put<std::uint64_t>(0);          // n_anchor = 0 (corrupt: expected 1)
+  const Bytes codes = lzss_encode(huffman_encode(std::vector<std::uint32_t>{}));
+  w.put_blob(codes);
+  w.put<std::uint64_t>(0);          // outliers
+  const SzInterpCompressor codec;
+  EXPECT_THROW(codec.decompress(blob), Error);
+}
+
+TEST(QuantizerSecurity, OutlierStarvationThrows) {
+  const LinearQuantizer q(1e-3);
+  std::size_t pos = 0;
+  EXPECT_THROW(q.decode(0, 0.0, {}, pos), Error);
+}
+
+}  // namespace
+}  // namespace amrvis::compress

@@ -33,13 +33,12 @@ TEST(Quantizer, BoundHoldsAcrossResidualSweep) {
     std::size_t pos = 0;
     std::vector<double> decode_outliers = outliers;
     if (code == 0) {
-      const double d =
-          q.decode(code, 3.0, decode_outliers.data(),
-                   pos = decode_outliers.size() - 1);
+      const double d = q.decode(code, 3.0, decode_outliers,
+                                pos = decode_outliers.size() - 1);
       EXPECT_DOUBLE_EQ(d, recon);
     } else {
       std::size_t zero = 0;
-      EXPECT_DOUBLE_EQ(q.decode(code, 3.0, nullptr, zero), recon);
+      EXPECT_DOUBLE_EQ(q.decode(code, 3.0, {}, zero), recon);
     }
   }
 }
@@ -89,8 +88,8 @@ TEST(Quantizer, EncoderDecoderLockstep) {
   std::size_t outlier_pos = 0;
   for (int i = 0; i < 500; ++i) {
     const double d = q.decode(codes[static_cast<std::size_t>(i)],
-                              preds[static_cast<std::size_t>(i)],
-                              outliers.data(), outlier_pos);
+                              preds[static_cast<std::size_t>(i)], outliers,
+                              outlier_pos);
     EXPECT_DOUBLE_EQ(d, recons[static_cast<std::size_t>(i)]);
   }
   EXPECT_EQ(outlier_pos, outliers.size());

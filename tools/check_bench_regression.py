@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Gate bench_throughput runs against the committed BENCH trajectory.
+
+Usage:
+    check_bench_regression.py BASELINE.json CURRENT.json \
+        [--max-regression 0.15] [--codec sz-lr] [--stage compress]
+
+BASELINE.json is either the committed trajectory file (BENCH_throughput.json,
+in which case the *last* trajectory entry is the baseline) or a flat
+bench_throughput --json output. CURRENT.json is a bench_throughput --json
+output. The script prints a comparison for every (codec, stage) record
+carrying mb_per_s, and exits non-zero if the gated metric (default: sz-lr
+compress) regressed more than --max-regression against the baseline.
+
+Absolute MB/s is hardware-dependent; the default 15% tolerance assumes
+baseline and current were measured on comparable machines (CI runners of
+the same class). Regenerate the committed baseline when the runner class
+changes.
+"""
+
+import argparse
+import json
+import sys
+
+
+def records_of(doc):
+    """Flat records from either a trajectory file or a bench output."""
+    if "trajectory" in doc:
+        return doc["trajectory"][-1]["records"], doc["trajectory"][-1].get(
+            "rev", "baseline")
+    return doc.get("records", []), doc.get("bench", "baseline")
+
+
+def find(records, codec, stage, key="mb_per_s"):
+    for r in records:
+        if r.get("codec") == codec and r.get("stage") == stage and key in r:
+            return float(r[key])
+    return None
+
+
+def config_of(records):
+    for r in records:
+        if r.get("stage") == "config":
+            return {k: r.get(k) for k in ("field", "nx", "ny", "nz",
+                                          "threads")}
+    return None
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--max-regression", type=float, default=0.15,
+                    help="allowed fractional slowdown for the gated metric")
+    ap.add_argument("--codec", default="sz-lr")
+    ap.add_argument("--stage", default="compress")
+    args = ap.parse_args()
+
+    with open(args.baseline, encoding="utf-8") as f:
+        base_records, base_rev = records_of(json.load(f))
+    with open(args.current, encoding="utf-8") as f:
+        cur_records, _ = records_of(json.load(f))
+
+    base_cfg = config_of(base_records)
+    cur_cfg = config_of(cur_records)
+    if base_cfg and cur_cfg and base_cfg != cur_cfg:
+        print(f"FAIL: bench configs differ — baseline {base_cfg} vs "
+              f"current {cur_cfg}; MB/s at different problem sizes is "
+              f"not comparable", file=sys.stderr)
+        return 2
+
+    print(f"baseline: {args.baseline} ({base_rev})")
+    print(f"{'codec':<12} {'stage':<12} {'baseline':>10} {'current':>10} "
+          f"{'ratio':>7}")
+    for r in cur_records:
+        if "mb_per_s" not in r:
+            continue
+        codec, stage = r.get("codec"), r.get("stage")
+        base = find(base_records, codec, stage)
+        cur = float(r["mb_per_s"])
+        ratio = cur / base if base else float("nan")
+        print(f"{codec:<12} {stage:<12} "
+              f"{base if base else float('nan'):>10.1f} {cur:>10.1f} "
+              f"{ratio:>6.2f}x")
+
+    base = find(base_records, args.codec, args.stage)
+    cur = find(cur_records, args.codec, args.stage)
+    if base is None or cur is None:
+        print(f"FAIL: gated metric ({args.codec}, {args.stage}) missing "
+              f"from {'baseline' if base is None else 'current'} JSON",
+              file=sys.stderr)
+        return 2
+    floor = (1.0 - args.max_regression) * base
+    if cur < floor:
+        print(f"FAIL: {args.codec} {args.stage} regressed: {cur:.1f} MB/s "
+              f"< {floor:.1f} MB/s "
+              f"({args.max_regression:.0%} below baseline {base:.1f})",
+              file=sys.stderr)
+        return 1
+    print(f"OK: {args.codec} {args.stage} {cur:.1f} MB/s >= floor "
+          f"{floor:.1f} MB/s (baseline {base:.1f})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
