@@ -2,9 +2,12 @@
 // table, but compression throughput is one of its three stated metrics,
 // §2.1). This is the harness of record for the BENCH_throughput.json
 // trajectory: end-to-end compress/decompress for each codec plus the
-// Huffman and LZSS stages in isolation, single-threaded, with
-// machine-readable JSON emission (--json) consumed by CI's regression
-// gate (tools/check_bench_regression.py).
+// Huffman and LZSS stages in isolation (single-threaded), and the
+// chunk-parallel container (chunked-<codec>) swept over OMP_NUM_THREADS
+// 1/2/4/8. Machine-readable JSON emission (--json) is consumed by CI's
+// regression + thread-scaling gates (tools/check_bench_regression.py);
+// every record carries a `threads` field so baselines only match records
+// measured at the same thread count.
 
 #include <algorithm>
 #include <cmath>
@@ -17,8 +20,13 @@
 #include "compress/lzss.hpp"
 #include "metrics/quality.hpp"
 #include "sim/fields.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 namespace {
 
@@ -67,14 +75,18 @@ int main(int argc, char** argv) {
   const double mb = raw_bytes / 1e6;
 
   bench::banner("Throughput (extension)",
-                "single-thread codec and entropy-stage rates; MB = 1e6 bytes");
+                "codec and entropy-stage rates, plus chunked multi-thread "
+                "scaling; MB = 1e6 bytes");
   std::printf("field: warpx-like Ez %lldx%lldx%lld (%.1f MB)\n\n",
               static_cast<long long>(shape.nx),
               static_cast<long long>(shape.ny),
               static_cast<long long>(shape.nz), mb);
 
-  bench::JsonReport report("throughput",
-                           "single-thread, median-of-runs; MB = 1e6 bytes");
+  bench::JsonReport report(
+      "throughput",
+      "median-of-runs; MB = 1e6 bytes; records carry a threads field "
+      "(plain codec/entropy stages are single-thread, chunked-* sweeps "
+      "OMP_NUM_THREADS)");
   auto& cfg = report.add_record();
   cfg.set("stage", "config")
       .set("field", "warpx_like_ez")
@@ -113,13 +125,76 @@ int main(int argc, char** argv) {
     report.add_record()
         .set("codec", codec_name)
         .set("stage", "compress")
+        .set("threads", std::int64_t{1})
         .set("mb_per_s", comp_mb_s)
         .set("ratio", ratio)
         .set("psnr_db", psnr_db);
     report.add_record()
         .set("codec", codec_name)
         .set("stage", "decompress")
+        .set("threads", std::int64_t{1})
         .set("mb_per_s", decomp_mb_s);
+  }
+
+  // Chunk-parallel container: the same field through chunked-<codec> at
+  // 1/2/4/8 threads. Blobs are bit-identical across thread counts by
+  // construction, so ratio/PSNR are reported once per codec; MB/s is what
+  // the thread sweep measures. Thread counts beyond the machine's cores
+  // still run (oversubscribed) so the record set is machine-independent
+  // and baseline matching stays exact.
+  {
+#ifdef _OPENMP
+    const std::vector<int> sweep = {1, 2, 4, 8};
+    const int restore_threads = omp_get_max_threads();
+#else
+    const std::vector<int> sweep = {1};
+#endif
+    for (const char* base_name : {"sz-lr", "sz-interp", "zfp-like"}) {
+      const std::string chunked_name = std::string("chunked-") + base_name;
+      const auto codec = compress::make_compressor(chunked_name);
+      const double abs_eb = compress::resolve_abs_eb(
+          compress::ErrorBoundMode::kRelative, 1e-3, data.span());
+      const Bytes blob = codec->compress(data.view(), abs_eb);
+      const Array3<double> out = codec->decompress(blob);
+      const double ratio =
+          compress::compression_ratio(data.size(), blob.size());
+      const double psnr_db = metrics::psnr(data.span(), out.span());
+
+      for (const int nt : sweep) {
+#ifdef _OPENMP
+        omp_set_num_threads(nt);
+#endif
+        const double comp_s = time_median_s(min_ms, [&] {
+          const Bytes b = codec->compress(data.view(), abs_eb);
+          bench::do_not_optimize(b);
+        });
+        const double decomp_s = time_median_s(min_ms, [&] {
+          const Array3<double> d = codec->decompress(blob);
+          bench::do_not_optimize(d);
+        });
+        const double comp_mb_s = mb / comp_s;
+        const double decomp_mb_s = mb / decomp_s;
+        std::printf("%-18s %-10s t=%d %10.1f MB/s (ratio %.2f)\n",
+                    chunked_name.c_str(), "compress", nt, comp_mb_s, ratio);
+        std::printf("%-18s %-10s t=%d %10.1f MB/s\n", chunked_name.c_str(),
+                    "decompress", nt, decomp_mb_s);
+        report.add_record()
+            .set("codec", chunked_name)
+            .set("stage", "compress")
+            .set("threads", static_cast<std::int64_t>(nt))
+            .set("mb_per_s", comp_mb_s)
+            .set("ratio", ratio)
+            .set("psnr_db", psnr_db);
+        report.add_record()
+            .set("codec", chunked_name)
+            .set("stage", "decompress")
+            .set("threads", static_cast<std::int64_t>(nt))
+            .set("mb_per_s", decomp_mb_s);
+      }
+#ifdef _OPENMP
+      omp_set_num_threads(restore_threads);
+#endif
+    }
   }
 
   // Entropy stages in isolation, on a quantizer-like symbol distribution
@@ -151,11 +226,13 @@ int main(int argc, char** argv) {
     report.add_record()
         .set("codec", "huffman")
         .set("stage", "encode")
+        .set("threads", std::int64_t{1})
         .set("mb_per_s", sym_mb / enc_s)
         .set("msym_per_s", static_cast<double>(syms.size()) / enc_s / 1e6);
     report.add_record()
         .set("codec", "huffman")
         .set("stage", "decode")
+        .set("threads", std::int64_t{1})
         .set("mb_per_s", sym_mb / dec_s)
         .set("msym_per_s", static_cast<double>(syms.size()) / dec_s / 1e6);
   }
@@ -184,10 +261,12 @@ int main(int argc, char** argv) {
     report.add_record()
         .set("codec", "lzss")
         .set("stage", "encode")
+        .set("threads", std::int64_t{1})
         .set("mb_per_s", in_mb / enc_s);
     report.add_record()
         .set("codec", "lzss")
         .set("stage", "decode")
+        .set("threads", std::int64_t{1})
         .set("mb_per_s", in_mb / dec_s);
   }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "compress/chunked.hpp"
 #include "util/parallel.hpp"
 
 namespace amrvis::compress {
@@ -10,6 +11,40 @@ using amr::AmrHierarchy;
 using amr::AmrLevel;
 using amr::Box;
 using amr::FArrayBox;
+
+namespace {
+
+/// Patches above this cell count are routed through the tile-parallel
+/// chunked container: a single oversized patch (the figure-bench single
+/// fields, large uniform levels) then compresses tile-parallel instead of
+/// on one thread, and its working set stays bounded. Typical AMR patches
+/// (max_grid_size <= 64^3 / 2) stay on the direct codec path.
+constexpr std::int64_t kOversizedPatchCells = std::int64_t{1} << 17;
+
+/// A codec that is already a ChunkedCompressor tiles (and parallelizes)
+/// on its own; wrapping it again would emit nested containers on the
+/// compress side and, worse, mis-wrap on the decompress side: every blob
+/// it produces is a container carrying the *inner* codec's name, which a
+/// second wrapper would reject as a codec mismatch.
+bool is_chunked_codec(const Compressor& comp) {
+  return dynamic_cast<const ChunkedCompressor*>(&comp) != nullptr;
+}
+
+Bytes compress_patch(const Compressor& comp, View3<const double> data,
+                     double abs_eb) {
+  if (data.size() > kOversizedPatchCells && !is_chunked_codec(comp))
+    return ChunkedCompressor(comp).compress(data, abs_eb);
+  return comp.compress(data, abs_eb);
+}
+
+Array3<double> decompress_patch(const Compressor& comp,
+                                std::span<const std::uint8_t> blob) {
+  if (ChunkedCompressor::is_chunked_blob(blob) && !is_chunked_codec(comp))
+    return ChunkedCompressor(comp).decompress(blob);
+  return comp.decompress(blob);
+}
+
+}  // namespace
 
 std::size_t AmrCompressed::compressed_bytes() const {
   std::size_t n = 0;
@@ -89,10 +124,10 @@ AmrCompressed compress_hierarchy(const AmrHierarchy& hier,
         for (std::int64_t i = 0; i < fab.size(); ++i)
           if (mask[i]) fvals[static_cast<std::size_t>(i)] = fill;
         clevel.patches[static_cast<std::size_t>(p)].blob =
-            comp.compress(filled.view(), abs_eb);
+            compress_patch(comp, filled.view(), abs_eb);
       } else {
         clevel.patches[static_cast<std::size_t>(p)].blob =
-            comp.compress(fab.view(), abs_eb);
+            compress_patch(comp, fab.view(), abs_eb);
       }
     });
     out.levels.push_back(std::move(clevel));
@@ -114,8 +149,8 @@ AmrHierarchy decompress_hierarchy(const AmrCompressed& compressed,
     parallel_for(static_cast<std::int64_t>(clevel.patches.size()),
                  [&](std::int64_t p) {
       const Box& box = compressed.boxes[l][static_cast<std::size_t>(p)];
-      Array3<double> data =
-          comp.decompress(clevel.patches[static_cast<std::size_t>(p)].blob);
+      Array3<double> data = decompress_patch(
+          comp, clevel.patches[static_cast<std::size_t>(p)].blob);
       AMRVIS_REQUIRE_MSG(data.shape() == box.shape(),
                          "decompress_hierarchy: shape mismatch");
       FArrayBox fab(box);

@@ -11,6 +11,10 @@
 //   covered cells are replaced by the patch mean so they cost almost
 //   nothing, and are rebuilt from the decompressed fine data afterwards
 //   (the TAC/AMRIC optimization discussed in §2.2).
+// - Oversized patches (> 2^17 cells) are routed through the tile-parallel
+//   chunked container (compress/chunked.hpp) so a single large patch does
+//   not serialize the pipeline; the per-patch blob is then a chunked
+//   container, detected by magic on the decompress side.
 
 #include <vector>
 

@@ -1,0 +1,198 @@
+#include "compress/chunked.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/parallel.hpp"
+
+namespace amrvis::compress {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4156434b;  // "AVCK"
+constexpr std::uint16_t kVersion = 1;
+// Decompress-side sanity caps: a corrupt header must not drive the output
+// allocation (cells * 8 bytes) from attacker-controlled dimensions alone.
+constexpr std::int64_t kMaxDim = std::int64_t{1} << 24;
+constexpr std::int64_t kMaxCells = std::int64_t{1} << 31;
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Tile grid geometry for a field shape under fixed tile extents.
+struct TileGrid {
+  std::int64_t tnx, tny, tnz;  ///< tiles per axis
+  [[nodiscard]] std::int64_t count() const { return tnx * tny * tnz; }
+};
+
+TileGrid tile_grid(const Shape3& s, const ChunkShape& t) {
+  return {ceil_div(s.nx, t.nx), ceil_div(s.ny, t.ny), ceil_div(s.nz, t.nz)};
+}
+
+/// Origin and clipped extents of tile slot `t` (row-major, tx fastest).
+struct TileBox {
+  std::int64_t i0, j0, k0;
+  Shape3 ext;
+};
+
+TileBox tile_box(std::int64_t t, const TileGrid& g, const Shape3& s,
+                 const ChunkShape& tile) {
+  const std::int64_t tz = t / (g.tnx * g.tny);
+  const std::int64_t rem = t % (g.tnx * g.tny);
+  const std::int64_t ty = rem / g.tnx;
+  const std::int64_t tx = rem % g.tnx;
+  TileBox b;
+  b.i0 = tx * tile.nx;
+  b.j0 = ty * tile.ny;
+  b.k0 = tz * tile.nz;
+  b.ext = {std::min(tile.nx, s.nx - b.i0), std::min(tile.ny, s.ny - b.j0),
+           std::min(tile.nz, s.nz - b.k0)};
+  return b;
+}
+
+}  // namespace
+
+ChunkedCompressor::ChunkedCompressor(std::unique_ptr<Compressor> inner,
+                                     ChunkShape tile)
+    : owned_(std::move(inner)), tile_(tile) {
+  AMRVIS_REQUIRE_MSG(owned_ != nullptr, "chunked: null inner codec");
+  AMRVIS_REQUIRE_MSG(tile_.valid(), "chunked: invalid tile shape");
+}
+
+ChunkedCompressor::ChunkedCompressor(const Compressor& inner, ChunkShape tile)
+    : borrowed_(&inner), tile_(tile) {
+  AMRVIS_REQUIRE_MSG(tile_.valid(), "chunked: invalid tile shape");
+}
+
+std::string ChunkedCompressor::name() const {
+  return "chunked-" + inner().name();
+}
+
+bool ChunkedCompressor::is_chunked_blob(std::span<const std::uint8_t> blob) {
+  if (blob.size() < sizeof(kMagic)) return false;
+  std::uint32_t magic;
+  std::memcpy(&magic, blob.data(), sizeof(magic));
+  return magic == kMagic;
+}
+
+Bytes ChunkedCompressor::compress(View3<const double> data,
+                                  double abs_eb) const {
+  const Shape3 s = data.shape();
+  const TileGrid grid = tile_grid(s, tile_);
+  const std::int64_t ntiles = grid.count();
+
+  // Fixed tile -> slot mapping: blobs land in their slot regardless of
+  // which thread produced them.
+  std::vector<Bytes> blobs(static_cast<std::size_t>(ntiles));
+  parallel_for(ntiles, [&](std::int64_t t) {
+    const TileBox b = tile_box(t, grid, s, tile_);
+    Array3<double> tdata(b.ext);
+    for (std::int64_t dz = 0; dz < b.ext.nz; ++dz)
+      for (std::int64_t dy = 0; dy < b.ext.ny; ++dy)
+        std::memcpy(&tdata(0, dy, dz), &data(b.i0, b.j0 + dy, b.k0 + dz),
+                    static_cast<std::size_t>(b.ext.nx) * sizeof(double));
+    blobs[static_cast<std::size_t>(t)] =
+        inner().compress(tdata.view(), abs_eb);
+  });
+
+  // Serial concatenation in slot order keeps the container byte-identical
+  // across thread counts.
+  const std::string codec = inner().name();
+  Bytes out;
+  ByteWriter w(out);
+  w.put<std::uint32_t>(kMagic);
+  w.put<std::uint16_t>(kVersion);
+  w.put<std::uint16_t>(static_cast<std::uint16_t>(codec.size()));
+  // Byte-at-a-time: a range insert from the string's SSO buffer trips a
+  // gcc-12 -Warray-bounds false positive under -Werror.
+  for (const char c : codec) w.put<std::uint8_t>(static_cast<std::uint8_t>(c));
+  w.put<std::int64_t>(s.nx);
+  w.put<std::int64_t>(s.ny);
+  w.put<std::int64_t>(s.nz);
+  w.put<std::int64_t>(tile_.nx);
+  w.put<std::int64_t>(tile_.ny);
+  w.put<std::int64_t>(tile_.nz);
+  w.put<std::uint64_t>(static_cast<std::uint64_t>(ntiles));
+  for (const Bytes& b : blobs) w.put<std::uint64_t>(b.size());
+  for (const Bytes& b : blobs) w.put_bytes(b);
+  return out;
+}
+
+Array3<double> ChunkedCompressor::decompress(
+    std::span<const std::uint8_t> blob) const {
+  ByteReader r(blob);
+  AMRVIS_REQUIRE_MSG(r.get<std::uint32_t>() == kMagic,
+                     "chunked: bad container magic");
+  AMRVIS_REQUIRE_MSG(r.get<std::uint16_t>() == kVersion,
+                     "chunked: unsupported container version");
+  const auto name_len = r.get<std::uint16_t>();
+  const auto name_bytes = r.get_bytes(name_len);
+  const std::string codec(reinterpret_cast<const char*>(name_bytes.data()),
+                          name_bytes.size());
+  AMRVIS_REQUIRE_MSG(codec == inner().name(),
+                     "chunked: codec mismatch (container says '" + codec +
+                         "', decoding with '" + inner().name() + "')");
+
+  Shape3 s;
+  s.nx = r.get<std::int64_t>();
+  s.ny = r.get<std::int64_t>();
+  s.nz = r.get<std::int64_t>();
+  ChunkShape tile;
+  tile.nx = r.get<std::int64_t>();
+  tile.ny = r.get<std::int64_t>();
+  tile.nz = r.get<std::int64_t>();
+  // Per-axis bound first, then the cell cap via division so the product
+  // itself can never overflow int64 on a corrupt header (2^24 cubed would).
+  AMRVIS_REQUIRE_MSG(s.valid() && s.nx <= kMaxDim && s.ny <= kMaxDim &&
+                         s.nz <= kMaxDim && s.ny <= kMaxCells / s.nx &&
+                         s.nz <= kMaxCells / (s.nx * s.ny),
+                     "chunked: implausible field shape");
+  AMRVIS_REQUIRE_MSG(tile.valid() && tile.nx <= kMaxDim &&
+                         tile.ny <= kMaxDim && tile.nz <= kMaxDim,
+                     "chunked: implausible tile shape");
+
+  // Tiles per axis never exceed cells per axis (tile extents >= 1), so
+  // the count is bounded by the validated cell count — no overflow.
+  const TileGrid grid = tile_grid(s, tile);
+  const std::int64_t ntiles = grid.count();
+  AMRVIS_REQUIRE_MSG(
+      r.get<std::uint64_t>() == static_cast<std::uint64_t>(ntiles),
+      "chunked: tile count does not match shape/tile header");
+  // The size table must fit in what the blob actually carries before any
+  // ntiles-sized allocation happens: a ~90-byte corrupt header must not
+  // be able to force a multi-GiB vector (same class as the lzss out_size
+  // cap).
+  AMRVIS_REQUIRE_MSG(
+      r.remaining() / sizeof(std::uint64_t) >=
+          static_cast<std::uint64_t>(ntiles),
+      "chunked: tile size table exceeds container");
+
+  std::vector<std::uint64_t> sizes(static_cast<std::size_t>(ntiles));
+  for (auto& sz : sizes) sz = r.get<std::uint64_t>();
+  // Slice the payload serially; get_bytes bounds-checks every size against
+  // the remaining payload, so corrupt sizes throw here instead of reading
+  // out of bounds in the parallel region.
+  std::vector<std::span<const std::uint8_t>> tiles(
+      static_cast<std::size_t>(ntiles));
+  for (std::int64_t t = 0; t < ntiles; ++t)
+    tiles[static_cast<std::size_t>(t)] =
+        r.get_bytes(static_cast<std::size_t>(sizes[static_cast<std::size_t>(t)]));
+  AMRVIS_REQUIRE_MSG(r.remaining() == 0, "chunked: trailing container bytes");
+
+  Array3<double> out(s);
+  parallel_for(ntiles, [&](std::int64_t t) {
+    const TileBox b = tile_box(t, grid, s, tile);
+    const Array3<double> tdata =
+        inner().decompress(tiles[static_cast<std::size_t>(t)]);
+    AMRVIS_REQUIRE_MSG(tdata.shape() == b.ext,
+                       "chunked: tile shape does not match its slot");
+    for (std::int64_t dz = 0; dz < b.ext.nz; ++dz)
+      for (std::int64_t dy = 0; dy < b.ext.ny; ++dy)
+        std::memcpy(&out(b.i0, b.j0 + dy, b.k0 + dz), &tdata(0, dy, dz),
+                    static_cast<std::size_t>(b.ext.nx) * sizeof(double));
+  });
+  return out;
+}
+
+}  // namespace amrvis::compress

@@ -1,0 +1,79 @@
+#pragma once
+// Chunk-parallel wrapper codec: tiles a field into fixed-size slabs,
+// compresses each tile independently with a wrapped codec via
+// parallel_for, and concatenates the tile blobs under a versioned
+// container header with per-tile sizes.
+//
+// Determinism: the tile -> slot mapping is fixed (row-major tile order,
+// tx fastest) and the concatenation is serial after the parallel region
+// joins, so a container blob is bit-identical across OMP_NUM_THREADS
+// settings and across the no-OpenMP build (each tile blob is produced by
+// the wrapped codec, whose encoders are single-thread deterministic).
+//
+// Container layout (little-endian, all fields validated on decompress):
+//
+//   u32  magic "AVCK"
+//   u16  version (1)
+//   u16  codec-name length, followed by that many name bytes
+//   i64  nx, ny, nz        full field shape
+//   i64  tx, ty, tz        tile extents (boundary tiles are clipped)
+//   u64  ntiles            must equal ceil(nx/tx)*ceil(ny/ty)*ceil(nz/tz)
+//   u64  size[ntiles]      byte size of each tile blob, tile order
+//        payload           concatenated tile blobs, tile order
+//
+// Error-bound semantics are unchanged: every tile is compressed with the
+// same absolute bound, so the wrapper provides the same max-error
+// guarantee as the wrapped codec.
+
+#include <memory>
+
+#include "compress/compressor.hpp"
+
+namespace amrvis::compress {
+
+/// Tile extents used by ChunkedCompressor. The default is a z-slab-ish
+/// tile: big enough that per-tile codec headers are noise, small enough
+/// that the flagship 64x64x128 field splits into 8 tiles for load balance.
+struct ChunkShape {
+  std::int64_t nx = 64;
+  std::int64_t ny = 64;
+  std::int64_t nz = 16;
+
+  [[nodiscard]] bool valid() const { return nx > 0 && ny > 0 && nz > 0; }
+};
+
+class ChunkedCompressor final : public Compressor {
+ public:
+  /// Owning wrapper (what make_compressor("chunked-...") builds).
+  explicit ChunkedCompressor(std::unique_ptr<Compressor> inner,
+                             ChunkShape tile = {});
+
+  /// Non-owning wrapper around a codec the caller keeps alive — used by
+  /// the AMR pipeline to route oversized patches through tiling without
+  /// cloning the codec.
+  explicit ChunkedCompressor(const Compressor& inner, ChunkShape tile = {});
+
+  /// "chunked-" + wrapped codec name, e.g. "chunked-sz-lr".
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] Bytes compress(View3<const double> data,
+                               double abs_eb) const override;
+  [[nodiscard]] Array3<double> decompress(
+      std::span<const std::uint8_t> blob) const override;
+
+  [[nodiscard]] const ChunkShape& tile() const { return tile_; }
+  [[nodiscard]] const Compressor& inner() const {
+    return owned_ ? *owned_ : *borrowed_;
+  }
+
+  /// True when `blob` starts with the chunked container magic; used to
+  /// detect tiled patch blobs inside an AmrCompressed.
+  static bool is_chunked_blob(std::span<const std::uint8_t> blob);
+
+ private:
+  std::unique_ptr<Compressor> owned_;
+  const Compressor* borrowed_ = nullptr;
+  ChunkShape tile_;
+};
+
+}  // namespace amrvis::compress

@@ -1,5 +1,8 @@
 #include "compress/compressor.hpp"
 
+#include <string_view>
+
+#include "compress/chunked.hpp"
 #include "compress/interp.hpp"
 #include "compress/szlr.hpp"
 #include "compress/zfp_like.hpp"
@@ -26,8 +29,15 @@ std::unique_ptr<Compressor> make_compressor(const std::string& name) {
   if (name == "sz-lr") return std::make_unique<SzLrCompressor>();
   if (name == "sz-interp") return std::make_unique<SzInterpCompressor>();
   if (name == "zfp-like") return std::make_unique<ZfpLikeCompressor>();
+  // "chunked-<codec>" wraps any registered codec in the tile-parallel
+  // container (src/compress/chunked.hpp).
+  constexpr std::string_view prefix = "chunked-";
+  if (name.size() > prefix.size() &&
+      name.compare(0, prefix.size(), prefix) == 0)
+    return std::make_unique<ChunkedCompressor>(
+        make_compressor(name.substr(prefix.size())));
   throw Error("unknown compressor: " + name +
-              " (expected sz-lr, sz-interp, or zfp-like)");
+              " (expected sz-lr, sz-interp, zfp-like, or chunked-<codec>)");
 }
 
 }  // namespace amrvis::compress

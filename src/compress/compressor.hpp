@@ -42,7 +42,9 @@ class Compressor {
       std::span<const std::uint8_t> blob) const = 0;
 };
 
-/// Factory: "sz-lr", "sz-interp", or "zfp-like". Throws on unknown names.
+/// Factory: "sz-lr", "sz-interp", or "zfp-like", optionally wrapped in the
+/// tile-parallel container as "chunked-<codec>" (e.g. "chunked-sz-lr").
+/// Throws on unknown names.
 std::unique_ptr<Compressor> make_compressor(const std::string& name);
 
 /// Convenience: compression ratio of original doubles vs blob size.

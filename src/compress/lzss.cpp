@@ -1,6 +1,7 @@
 #include "compress/lzss.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <vector>
 
 #include "util/error.hpp"
@@ -13,11 +14,36 @@ constexpr std::size_t kMinMatch = 4;
 constexpr std::size_t kMaxMatch = 258;         // length - kMinMatch fits a byte
 constexpr std::size_t kHashSize = 1u << 16;
 constexpr int kMaxChain = 48;
+// The densest possible token stream is back-to-back 3-byte match tokens,
+// each yielding at most kMaxMatch output bytes (control bytes and literals
+// only lower the density), so a token stream of T bytes cannot decode to
+// more than T * kMaxMatch/3 bytes. Used to reject corrupt out_size headers.
+constexpr std::uint64_t kMaxExpansionPerTokenByte = kMaxMatch / 3;  // 86
 
 std::uint32_t hash4(const std::uint8_t* p) {
   std::uint32_t v;
   std::memcpy(&v, p, 4);
   return (v * 2654435761u) >> 16;
+}
+
+/// Length of the common prefix of a and b, capped at `limit`. Word-at-a-time
+/// compare; exact same result as the byte loop, just faster.
+std::size_t match_length(const std::uint8_t* a, const std::uint8_t* b,
+                         std::size_t limit) {
+  std::size_t len = 0;
+  if constexpr (std::endian::native == std::endian::little) {
+    while (len + 8 <= limit) {
+      std::uint64_t va, vb;
+      std::memcpy(&va, a + len, 8);
+      std::memcpy(&vb, b + len, 8);
+      const std::uint64_t diff = va ^ vb;
+      if (diff != 0)
+        return len + (static_cast<std::size_t>(std::countr_zero(diff)) >> 3);
+      len += 8;
+    }
+  }
+  while (len < limit && a[len] == b[len]) ++len;
+  return len;
 }
 }  // namespace
 
@@ -51,18 +77,25 @@ Bytes lzss_encode(std::span<const std::uint8_t> input) {
     std::size_t best_off = 0;
     if (i + kMinMatch <= input.size()) {
       const std::uint32_t h = hash4(&input[i]);
+      const std::size_t limit = std::min(kMaxMatch, input.size() - i);
       std::int64_t cand = head[h];
       int chain = 0;
       while (cand >= 0 && chain < kMaxChain &&
              i - static_cast<std::size_t>(cand) <= kWindow) {
         const std::size_t c = static_cast<std::size_t>(cand);
-        const std::size_t limit = std::min(kMaxMatch, input.size() - i);
-        std::size_t len = 0;
-        while (len < limit && input[c + len] == input[i + len]) ++len;
-        if (len > best_len) {
-          best_len = len;
-          best_off = i - c;
-          if (len == limit) break;
+        // Beating best_len requires bytes [0, best_len] to all match, so a
+        // mismatch at position best_len rules the candidate out without a
+        // full compare (best_len < limit here, so the read is in bounds).
+        // A rejected candidate still costs a chain slot, exactly as the
+        // full compare would have — the selected matches, and therefore the
+        // output bytes, are identical to the plain loop's.
+        if (input[c + best_len] == input[i + best_len]) {
+          const std::size_t len = match_length(&input[c], &input[i], limit);
+          if (len > best_len) {
+            best_len = len;
+            best_off = i - c;
+            if (len == limit) break;
+          }
         }
         cand = prev[c];
         ++chain;
@@ -109,6 +142,13 @@ Bytes lzss_decode(std::span<const std::uint8_t> blob) {
   ByteReader r(blob);
   const auto out_size = r.get<std::uint64_t>();
   const auto tokens = r.get_blob();
+  // out_size is attacker-controlled on a corrupt blob; an unbounded
+  // reserve can OOM. Cap it at the maximum possible expansion of the
+  // token stream actually present before allocating anything.
+  AMRVIS_REQUIRE_MSG(
+      out_size <= static_cast<std::uint64_t>(tokens.size()) *
+                      kMaxExpansionPerTokenByte,
+      "lzss: output size exceeds maximum token-stream expansion");
 
   Bytes out;
   out.reserve(static_cast<std::size_t>(out_size));

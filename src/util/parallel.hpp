@@ -7,8 +7,17 @@
 // slot. Determinism: iteration->result mapping is fixed, so outputs are
 // bitwise reproducible regardless of thread count (reductions over doubles
 // are done per-thread then combined in index order).
+//
+// Exception safety: an exception escaping an OpenMP worker thread is
+// std::terminate, so every body invocation runs under a guard that captures
+// the first exception thrown anywhere in the region; remaining iterations
+// are skipped (best effort) and the captured exception is rethrown on the
+// calling thread after the region joins. Callers therefore see the original
+// exception exactly as they would from a serial loop.
 
+#include <atomic>
 #include <cstdint>
+#include <exception>
 #include <vector>
 
 #ifdef _OPENMP
@@ -26,35 +35,100 @@ inline int hardware_threads() {
 #endif
 }
 
+#ifdef _OPENMP
+namespace detail {
+
+/// Captures the first exception thrown inside an OpenMP region so it can be
+/// rethrown on the calling thread after the join. The CAS on `failed_`
+/// elects a single writer for `first_`; the implicit barrier at the end of
+/// the parallel region orders that write before rethrow() on the caller.
+class ParallelExceptionGuard {
+ public:
+  template <typename Fn>
+  void run(const Fn& fn) noexcept {
+    if (failed_.load(std::memory_order_relaxed)) return;  // skip remaining work
+    try {
+      fn();
+    } catch (...) {
+      bool expected = false;
+      if (failed_.compare_exchange_strong(expected, true,
+                                          std::memory_order_acq_rel))
+        first_ = std::current_exception();
+    }
+  }
+
+  void rethrow() const {
+    if (first_) std::rethrow_exception(first_);
+  }
+
+ private:
+  std::atomic<bool> failed_{false};
+  std::exception_ptr first_;
+};
+
+}  // namespace detail
+#endif
+
 /// Parallel loop over [0, n). `body(i)` must be independent across i.
+/// An exception thrown by any body propagates to the caller (the first one
+/// thrown wins; later iterations are skipped best-effort).
 template <typename Body>
 void parallel_for(std::int64_t n, const Body& body) {
 #ifdef _OPENMP
+  if (n <= 1) {
+    // Skip the parallel region entirely: besides avoiding fork/join
+    // overhead, this keeps a nested parallel_for (e.g. the chunked codec
+    // called on a single oversized patch) from landing inside an active
+    // region where nested parallelism is disabled.
+    for (std::int64_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  detail::ParallelExceptionGuard guard;
 #pragma omp parallel for schedule(static)
-#endif
+  for (std::int64_t i = 0; i < n; ++i)
+    guard.run([&] { body(i); });
+  guard.rethrow();
+#else
   for (std::int64_t i = 0; i < n; ++i) body(i);
+#endif
 }
 
 /// Parallel loop with a grain size: chunks of `grain` consecutive indices
-/// are dispatched together (useful when per-index work is tiny).
+/// are dispatched together (useful when per-index work is tiny). Same
+/// exception contract as parallel_for, at chunk granularity.
 template <typename Body>
 void parallel_for_chunked(std::int64_t n, std::int64_t grain,
                           const Body& body) {
   const std::int64_t chunks = (n + grain - 1) / grain;
 #ifdef _OPENMP
+  if (chunks <= 1) {
+    for (std::int64_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  detail::ParallelExceptionGuard guard;
 #pragma omp parallel for schedule(static)
-#endif
+  for (std::int64_t c = 0; c < chunks; ++c) {
+    guard.run([&] {
+      const std::int64_t lo = c * grain;
+      const std::int64_t hi = (lo + grain < n) ? lo + grain : n;
+      for (std::int64_t i = lo; i < hi; ++i) body(i);
+    });
+  }
+  guard.rethrow();
+#else
   for (std::int64_t c = 0; c < chunks; ++c) {
     const std::int64_t lo = c * grain;
     const std::int64_t hi = (lo + grain < n) ? lo + grain : n;
     for (std::int64_t i = lo; i < hi; ++i) body(i);
   }
+#endif
 }
 
 /// Deterministic parallel reduction: per-thread partials combined in thread
 /// order. `init` is the identity; `map(i)` produces a value; `combine(a,b)`
 /// folds. Result is independent of scheduling because static scheduling
-/// fixes the index->thread mapping.
+/// fixes the index->thread mapping. Exceptions from map/combine propagate
+/// to the caller like parallel_for's.
 template <typename T, typename Map, typename Combine>
 T parallel_reduce(std::int64_t n, T init, const Map& map,
                   const Combine& combine) {
@@ -69,15 +143,18 @@ T parallel_reduce(std::int64_t n, T init, const Map& map,
     for (std::int64_t i = 0; i < n; ++i) result = combine(result, map(i));
     return result;
   }
+  detail::ParallelExceptionGuard guard;
   std::vector<T> partial(static_cast<std::size_t>(nt), init);
 #pragma omp parallel num_threads(nt)
   {
     const int tid = omp_get_thread_num();
     T local = init;
 #pragma omp for schedule(static)
-    for (std::int64_t i = 0; i < n; ++i) local = combine(local, map(i));
+    for (std::int64_t i = 0; i < n; ++i)
+      guard.run([&] { local = combine(local, map(i)); });
     partial[static_cast<std::size_t>(tid)] = local;
   }
+  guard.rethrow();
   T result = init;
   for (const T& p : partial) result = combine(result, p);
   return result;

@@ -4,7 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <cmath>
+
 #include "compress/amr_compress.hpp"
+#include "compress/chunked.hpp"
 #include "compress/compressor.hpp"
 #include "sim/fields.hpp"
 #include "sim/tagging.hpp"
@@ -167,6 +172,125 @@ TEST(AmrCompression, GlobalRangeSharedAcrossLevels) {
       ds.hierarchy, *codec, 1e-3, RedundantHandling::kKeep);
   const MinMax mm = hierarchy_min_max(ds.hierarchy);
   EXPECT_NEAR(compressed.abs_eb, 1e-3 * mm.range(), 1e-12);
+}
+
+// Regression for the terminate-on-throw bug: decompress_hierarchy decodes
+// patches inside parallel_for, where codec decoders throw amrvis::Error on
+// corrupt blobs. Under OpenMP an exception escaping the region was
+// std::terminate — the PR 2 corrupt-blob hardening became an abort. The
+// exception must now be catchable; this runs in every CI OMP_NUM_THREADS
+// leg.
+TEST(AmrCompression, CorruptPatchBlobThrowsCatchablyUnderParallelDecode) {
+  const auto codec = make_compressor("sz-lr");
+  const sim::SyntheticDataset ds = make_test_dataset();
+  AmrCompressed compressed = compress_hierarchy(ds.hierarchy, *codec, 1e-3,
+                                                RedundantHandling::kKeep);
+
+  // Scribble over a patch header in the middle of the fine level (the one
+  // with several patches) so the decoder throws from a worker iteration,
+  // not just the first one.
+  auto& patches = compressed.levels.back().patches;
+  ASSERT_GT(patches.size(), 1u);
+  Bytes& blob = patches[patches.size() / 2].blob;
+  ASSERT_GE(blob.size(), 4u);
+  for (std::size_t b = 0; b < 4; ++b) blob[b] = 0xff;
+  EXPECT_THROW(decompress_hierarchy(compressed, *codec), Error);
+}
+
+TEST(AmrCompression, TruncatedPatchBlobThrowsCatchablyUnderParallelDecode) {
+  const auto codec = make_compressor("sz-interp");
+  const sim::SyntheticDataset ds = make_test_dataset();
+  AmrCompressed compressed = compress_hierarchy(ds.hierarchy, *codec, 1e-3,
+                                                RedundantHandling::kKeep);
+  Bytes& blob = compressed.levels.back().patches.back().blob;
+  blob.resize(blob.size() / 2);
+  EXPECT_THROW(decompress_hierarchy(compressed, *codec), Error);
+}
+
+/// Single-level hierarchy whose only patch exceeds the oversized-patch
+/// routing threshold (2^17 cells).
+amr::AmrHierarchy make_big_patch_hierarchy() {
+  const amr::Box box({0, 0, 0}, {63, 63, 39});  // 64x64x40 = 163840 cells
+  amr::FArrayBox fab(box);
+  auto vals = fab.values();
+  const Shape3 s = fab.shape();
+  for (std::int64_t k = 0; k < s.nz; ++k)
+    for (std::int64_t j = 0; j < s.ny; ++j)
+      for (std::int64_t i = 0; i < s.nx; ++i)
+        vals[static_cast<std::size_t>((k * s.ny + j) * s.nx + i)] =
+            std::sin(0.11 * static_cast<double>(i)) *
+                std::cos(0.07 * static_cast<double>(j)) +
+            0.01 * static_cast<double>(k);
+  amr::AmrLevel lvl;
+  lvl.domain = box;
+  lvl.box_array = amr::BoxArray({box});
+  lvl.fabs.push_back(std::move(fab));
+  amr::AmrHierarchy hier(2);
+  hier.add_level(std::move(lvl));
+  return hier;
+}
+
+TEST(AmrCompression, OversizedPatchRoutesThroughChunkedContainer) {
+  const auto codec = make_compressor("sz-lr");
+  const amr::AmrHierarchy hier = make_big_patch_hierarchy();
+  const AmrCompressed compressed = compress_hierarchy(
+      hier, *codec, 1e-3, RedundantHandling::kKeep);
+
+  // The oversized patch's blob is a chunked container, not a bare codec
+  // blob, and it still round-trips within the bound.
+  ASSERT_EQ(compressed.levels.size(), 1u);
+  ASSERT_EQ(compressed.levels[0].patches.size(), 1u);
+  EXPECT_TRUE(ChunkedCompressor::is_chunked_blob(
+      compressed.levels[0].patches[0].blob));
+
+  const amr::AmrHierarchy back = decompress_hierarchy(compressed, *codec);
+  const auto orig = hier.level(0).fabs[0].values();
+  const auto recon = back.level(0).fabs[0].values();
+  EXPECT_LE(max_abs_diff(orig, recon), compressed.abs_eb * 1.0000001);
+}
+
+TEST(AmrCompression, ChunkedCodecHierarchyRoundTripsWithoutDoubleWrap) {
+  // A hierarchy compressed with a chunked-* codec directly must round
+  // trip: small patches' blobs are containers carrying the *inner*
+  // codec's name, so the oversized-patch routing must not wrap the codec
+  // a second time on either side (that threw "chunked: codec mismatch").
+  const auto codec = make_compressor("chunked-sz-lr");
+  const sim::SyntheticDataset ds = make_test_dataset();
+  const AmrCompressed compressed = compress_hierarchy(
+      ds.hierarchy, *codec, 1e-3, RedundantHandling::kKeep);
+  const amr::AmrHierarchy back = decompress_hierarchy(compressed, *codec);
+  for (int l = 0; l < back.num_levels(); ++l)
+    for (std::size_t p = 0; p < back.level(l).fabs.size(); ++p)
+      EXPECT_LE(max_abs_diff(ds.hierarchy.level(l).fabs[p].values(),
+                             back.level(l).fabs[p].values()),
+                compressed.abs_eb * 1.0000001);
+
+  // Oversized patches keep working too (single wrap, no nesting).
+  const amr::AmrHierarchy big = make_big_patch_hierarchy();
+  const AmrCompressed big_compressed = compress_hierarchy(
+      big, *codec, 1e-3, RedundantHandling::kKeep);
+  const amr::AmrHierarchy big_back =
+      decompress_hierarchy(big_compressed, *codec);
+  EXPECT_LE(max_abs_diff(big.level(0).fabs[0].values(),
+                         big_back.level(0).fabs[0].values()),
+            big_compressed.abs_eb * 1.0000001);
+}
+
+TEST(AmrCompression, CorruptChunkedTileThrowsCatchablyUnderParallelDecode) {
+  const auto codec = make_compressor("sz-lr");
+  const amr::AmrHierarchy hier = make_big_patch_hierarchy();
+  AmrCompressed compressed = compress_hierarchy(hier, *codec, 1e-3,
+                                                RedundantHandling::kKeep);
+  // Flip the first tile's inner "SZLR" magic: the inner codec then throws
+  // from the chunked decoder's parallel region, nested in the per-patch
+  // region.
+  Bytes& blob = compressed.levels[0].patches[0].blob;
+  const std::array<std::uint8_t, 4> inner_magic{0x52, 0x4c, 0x5a, 0x53};
+  const auto it = std::search(blob.begin() + 8, blob.end(),
+                              inner_magic.begin(), inner_magic.end());
+  ASSERT_NE(it, blob.end());
+  *it ^= 0xff;
+  EXPECT_THROW(decompress_hierarchy(compressed, *codec), Error);
 }
 
 }  // namespace

@@ -1,0 +1,286 @@
+// Tests for the chunk-parallel wrapper codec (compress/chunked.hpp):
+// thread-count determinism of the container bytes, round-trip quality vs
+// the unchunked codec, degenerate/non-tile-multiple shapes, and container
+// header validation on corrupt blobs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "compress/chunked.hpp"
+#include "compress/compressor.hpp"
+#include "metrics/quality.hpp"
+#include "sim/fields.hpp"
+#include "util/stats.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace amrvis::compress {
+namespace {
+
+constexpr const char* kCodecs[] = {"sz-lr", "sz-interp", "zfp-like"};
+
+/// Thread counts every determinism test sweeps. Without OpenMP the
+/// parallel helpers are serial, so a single pass is the whole matrix.
+std::vector<int> thread_counts() {
+#ifdef _OPENMP
+  return {1, 2, std::max(4, omp_get_max_threads())};
+#else
+  return {1};
+#endif
+}
+
+/// RAII restore of the OpenMP thread-count setting.
+class ThreadCountGuard {
+ public:
+#ifdef _OPENMP
+  ThreadCountGuard() : saved_(omp_get_max_threads()) {}
+  ~ThreadCountGuard() { omp_set_num_threads(saved_); }
+  static void set(int n) { omp_set_num_threads(n); }
+
+ private:
+  int saved_;
+#else
+  static void set(int) {}
+#endif
+};
+
+Array3<double> test_field() {
+  return sim::warpx_like_ez({64, 64, 128});
+}
+
+TEST(ChunkedFactory, BuildsChunkedCodecs) {
+  for (const char* base : kCodecs) {
+    const auto codec = make_compressor(std::string("chunked-") + base);
+    EXPECT_EQ(codec->name(), std::string("chunked-") + base);
+  }
+  EXPECT_THROW(make_compressor("chunked-"), Error);
+  EXPECT_THROW(make_compressor("chunked-nope"), Error);
+}
+
+TEST(ChunkedDeterminism, BlobsBitIdenticalAcrossThreadCounts) {
+  const Array3<double> data = test_field();
+  const double abs_eb = resolve_abs_eb(ErrorBoundMode::kRelative, 1e-3,
+                                       data.span());
+  ThreadCountGuard guard;
+  for (const char* base : kCodecs) {
+    const auto chunked = make_compressor(std::string("chunked-") + base);
+    Bytes reference;
+    for (const int nt : thread_counts()) {
+      ThreadCountGuard::set(nt);
+      const Bytes blob = chunked->compress(data.view(), abs_eb);
+      if (reference.empty()) reference = blob;
+      EXPECT_EQ(blob, reference)
+          << base << ": container bytes differ at " << nt << " threads";
+      // Decompression must also be thread-count independent (it writes
+      // disjoint tile regions of the same output array).
+      const Array3<double> out = chunked->decompress(blob);
+      ASSERT_EQ(out.shape(), data.shape());
+      EXPECT_LE(max_abs_diff(data.span(), out.span()), abs_eb)
+          << base << " at " << nt << " threads";
+    }
+  }
+}
+
+TEST(ChunkedDeterminism, RoundTripQualityMatchesUnchunkedCodec) {
+  const Array3<double> data = test_field();
+  const double abs_eb = resolve_abs_eb(ErrorBoundMode::kRelative, 1e-3,
+                                       data.span());
+  for (const char* base : kCodecs) {
+    const auto plain = make_compressor(base);
+    const auto chunked = make_compressor(std::string("chunked-") + base);
+    const Array3<double> plain_out =
+        plain->decompress(plain->compress(data.view(), abs_eb));
+    const Array3<double> chunked_out =
+        chunked->decompress(chunked->compress(data.view(), abs_eb));
+    // Both obey the same absolute bound; tiling changes prediction
+    // contexts at tile faces but must not move PSNR materially.
+    EXPECT_LE(max_abs_diff(data.span(), chunked_out.span()), abs_eb) << base;
+    const double psnr_plain = metrics::psnr(data.span(), plain_out.span());
+    const double psnr_chunked = metrics::psnr(data.span(), chunked_out.span());
+    EXPECT_NEAR(psnr_chunked, psnr_plain, 3.0) << base;
+  }
+}
+
+TEST(ChunkedDeterminism, NonMultipleAndDegenerateShapes) {
+  // Tile 8x8x8 against shapes that exercise clipped boundary tiles, a
+  // single undersized tile, and 1-D/2-D degenerate extents.
+  const Shape3 shapes[] = {
+      {17, 13, 9}, {8, 8, 8}, {5, 5, 5}, {1, 40, 33}, {40, 1, 1}, {1, 1, 7}};
+  ThreadCountGuard guard;
+  for (const char* base : kCodecs) {
+    for (const Shape3& s : shapes) {
+      Array3<double> data(s);
+      for (std::int64_t f = 0; f < data.size(); ++f)
+        data[f] = std::sin(0.3 * static_cast<double>(f)) +
+                  0.05 * static_cast<double>(f % 11);
+      const double abs_eb = resolve_abs_eb(ErrorBoundMode::kRelative, 1e-3,
+                                           data.span());
+      const ChunkedCompressor codec(make_compressor(base), ChunkShape{8, 8, 8});
+      Bytes reference;
+      for (const int nt : thread_counts()) {
+        ThreadCountGuard::set(nt);
+        const Bytes blob = codec.compress(data.view(), abs_eb);
+        if (reference.empty()) reference = blob;
+        EXPECT_EQ(blob, reference) << base << " shape " << s.nx << "x" << s.ny
+                                   << "x" << s.nz << " at " << nt << " threads";
+        const Array3<double> out = codec.decompress(blob);
+        ASSERT_EQ(out.shape(), s);
+        EXPECT_LE(max_abs_diff(data.span(), out.span()), abs_eb)
+            << base << " shape " << s.nx << "x" << s.ny << "x" << s.nz;
+      }
+    }
+  }
+}
+
+// --------------------------- validation --------------------------------
+
+/// Small chunked sz-lr blob (2 tiles along z) for header-tampering tests.
+Bytes small_container(const ChunkedCompressor& codec) {
+  Array3<double> data({8, 8, 8});
+  for (std::int64_t f = 0; f < data.size(); ++f)
+    data[f] = 0.25 * static_cast<double>(f % 17);
+  return codec.compress(data.view(), 1e-3);
+}
+
+ChunkedCompressor small_codec() {
+  return ChunkedCompressor(make_compressor("sz-lr"), ChunkShape{8, 8, 4});
+}
+
+// Container header offsets for a "sz-lr" container (name length 5):
+// magic@0(4) version@4(2) namelen@6(2) name@8(5) shape@13(3x i64)
+// tile@37(3x i64) ntiles@61(u64) sizes@69.
+constexpr std::size_t kShapeOff = 13;
+constexpr std::size_t kTileOff = 37;
+
+TEST(ChunkedValidation, IsChunkedBlobDetectsContainers) {
+  const ChunkedCompressor codec = small_codec();
+  const Bytes container = small_container(codec);
+  EXPECT_TRUE(ChunkedCompressor::is_chunked_blob(container));
+
+  const auto plain = make_compressor("sz-lr");
+  Array3<double> data({4, 4, 4}, 1.0);
+  EXPECT_FALSE(ChunkedCompressor::is_chunked_blob(
+      plain->compress(data.view(), 1e-3)));
+  EXPECT_FALSE(ChunkedCompressor::is_chunked_blob({}));
+  EXPECT_FALSE(ChunkedCompressor::is_chunked_blob(Bytes{0x41, 0x56}));
+}
+
+TEST(ChunkedValidation, BadMagicThrows) {
+  const ChunkedCompressor codec = small_codec();
+  Bytes blob = small_container(codec);
+  blob[0] ^= 0xff;
+  EXPECT_THROW(codec.decompress(blob), Error);
+}
+
+TEST(ChunkedValidation, UnsupportedVersionThrows) {
+  const ChunkedCompressor codec = small_codec();
+  Bytes blob = small_container(codec);
+  blob[4] = 0x7f;
+  EXPECT_THROW(codec.decompress(blob), Error);
+}
+
+TEST(ChunkedValidation, CodecNameMismatchThrows) {
+  const ChunkedCompressor codec = small_codec();
+  const Bytes blob = small_container(codec);
+  const auto other = make_compressor("chunked-sz-interp");
+  EXPECT_THROW(other->decompress(blob), Error);
+}
+
+TEST(ChunkedValidation, TileCountMismatchThrows) {
+  const ChunkedCompressor codec = small_codec();
+  Bytes blob = small_container(codec);
+  // Claim nz = 100: ceil(100/4) = 25 tiles expected vs 2 stored.
+  const std::int64_t nz = 100;
+  std::memcpy(blob.data() + kShapeOff + 16, &nz, sizeof(nz));
+  EXPECT_THROW(codec.decompress(blob), Error);
+}
+
+TEST(ChunkedValidation, TileShapeMismatchThrows) {
+  const ChunkedCompressor codec = small_codec();
+  Bytes blob = small_container(codec);
+  // Claim nz = 7 with tile nz = 4: tile count still 2, but the second
+  // tile's slot is now 8x8x3 while its blob decodes to 8x8x4.
+  const std::int64_t nz = 7;
+  std::memcpy(blob.data() + kShapeOff + 16, &nz, sizeof(nz));
+  EXPECT_THROW(codec.decompress(blob), Error);
+}
+
+TEST(ChunkedValidation, ImplausibleShapeThrows) {
+  const ChunkedCompressor codec = small_codec();
+  // A corrupt header must not drive the output allocation: huge claimed
+  // dimensions are rejected before any memory is touched.
+  Bytes blob = small_container(codec);
+  const std::int64_t huge = std::int64_t{1} << 40;
+  std::memcpy(blob.data() + kShapeOff, &huge, sizeof(huge));
+  EXPECT_THROW(codec.decompress(blob), Error);
+
+  Bytes blob2 = small_container(codec);
+  const std::int64_t zero = 0;
+  std::memcpy(blob2.data() + kTileOff, &zero, sizeof(zero));
+  EXPECT_THROW(codec.decompress(blob2), Error);
+}
+
+TEST(ChunkedValidation, CellCountOverflowThrows) {
+  // Dims that individually pass the per-axis cap but whose product
+  // overflows int64 (2^24 * 2^24 * 2^16 = 2^64): the cell-cap check must
+  // reject via division, not compute the wrapped product (UB) and let a
+  // bogus shape through.
+  const ChunkedCompressor codec = small_codec();
+  Bytes blob = small_container(codec);
+  const std::int64_t big_xy = std::int64_t{1} << 24;
+  const std::int64_t big_z = std::int64_t{1} << 16;
+  std::memcpy(blob.data() + kShapeOff, &big_xy, sizeof(big_xy));
+  std::memcpy(blob.data() + kShapeOff + 8, &big_xy, sizeof(big_xy));
+  std::memcpy(blob.data() + kShapeOff + 16, &big_z, sizeof(big_z));
+  EXPECT_THROW(codec.decompress(blob), Error);
+}
+
+TEST(ChunkedValidation, TileSizeTableLargerThanBlobThrows) {
+  // A header claiming a huge (but shape-consistent) tile count must be
+  // rejected before the ntiles-sized bookkeeping vectors are allocated:
+  // shape 2^24 x 128 x 1 with 1x1x1 tiles wants 2^31 table entries
+  // (16 GiB) from a ~100-byte blob.
+  const ChunkedCompressor codec = small_codec();
+  Bytes blob = small_container(codec);
+  const std::int64_t nx = std::int64_t{1} << 24;
+  const std::int64_t ny = 128;
+  const std::int64_t nz = 1;
+  const std::int64_t one = 1;
+  std::memcpy(blob.data() + kShapeOff, &nx, sizeof(nx));
+  std::memcpy(blob.data() + kShapeOff + 8, &ny, sizeof(ny));
+  std::memcpy(blob.data() + kShapeOff + 16, &nz, sizeof(nz));
+  for (int d = 0; d < 3; ++d)
+    std::memcpy(blob.data() + kTileOff + 8 * d, &one, sizeof(one));
+  const std::uint64_t ntiles = std::uint64_t{1} << 31;
+  std::memcpy(blob.data() + kTileOff + 24, &ntiles, sizeof(ntiles));
+  EXPECT_THROW(codec.decompress(blob), Error);
+}
+
+TEST(ChunkedValidation, TruncatedAndTrailingBytesThrow) {
+  const ChunkedCompressor codec = small_codec();
+  const Bytes blob = small_container(codec);
+
+  Bytes truncated(blob.begin(), blob.end() - 5);
+  EXPECT_THROW(codec.decompress(truncated), Error);
+
+  Bytes trailing = blob;
+  trailing.push_back(0);
+  EXPECT_THROW(codec.decompress(trailing), Error);
+}
+
+TEST(ChunkedValidation, PlainCodecBlobThrows) {
+  const auto plain = make_compressor("sz-lr");
+  Array3<double> data({4, 4, 4}, 1.0);
+  const Bytes blob = plain->compress(data.view(), 1e-3);
+  const ChunkedCompressor codec = small_codec();
+  EXPECT_THROW(codec.decompress(blob), Error);
+}
+
+}  // namespace
+}  // namespace amrvis::compress

@@ -734,5 +734,163 @@ TEST(QuantizerSecurity, OutlierStarvationThrows) {
   EXPECT_THROW(q.decode(0, 0.0, {}, pos), Error);
 }
 
+// ----------------------------- lzss -----------------------------------
+
+/// Seed LZSS encoder (plain byte-loop match compare, no early reject),
+/// embedded as the reference for the tightened hash-chain loop: the
+/// optimized encoder must stay byte-identical.
+Bytes seedref_lzss_encode(std::span<const std::uint8_t> input) {
+  constexpr std::size_t kWindow = 1u << 16;
+  constexpr std::size_t kMinMatch = 4;
+  constexpr std::size_t kMaxMatch = 258;
+  constexpr std::size_t kHashSize = 1u << 16;
+  constexpr int kMaxChain = 48;
+  const auto hash4 = [](const std::uint8_t* p) {
+    std::uint32_t v;
+    std::memcpy(&v, p, 4);
+    return (v * 2654435761u) >> 16;
+  };
+
+  Bytes out;
+  ByteWriter w(out);
+  w.put<std::uint64_t>(input.size());
+
+  Bytes tokens;
+  std::uint8_t control = 0;
+  int control_bits = 0;
+  std::size_t control_pos = 0;
+  auto open_group = [&] {
+    control = 0;
+    control_bits = 0;
+    control_pos = tokens.size();
+    tokens.push_back(0);
+  };
+  auto close_group = [&] { tokens[control_pos] = control; };
+
+  std::vector<std::int64_t> head(kHashSize, -1);
+  std::vector<std::int64_t> prev(input.size(), -1);
+
+  open_group();
+  std::size_t i = 0;
+  while (i < input.size()) {
+    std::size_t best_len = 0;
+    std::size_t best_off = 0;
+    if (i + kMinMatch <= input.size()) {
+      const std::uint32_t h = hash4(&input[i]);
+      std::int64_t cand = head[h];
+      int chain = 0;
+      while (cand >= 0 && chain < kMaxChain &&
+             i - static_cast<std::size_t>(cand) <= kWindow) {
+        const std::size_t c = static_cast<std::size_t>(cand);
+        const std::size_t limit = std::min(kMaxMatch, input.size() - i);
+        std::size_t len = 0;
+        while (len < limit && input[c + len] == input[i + len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_off = i - c;
+          if (len == limit) break;
+        }
+        cand = prev[c];
+        ++chain;
+      }
+    }
+
+    if (best_len >= kMinMatch) {
+      control |= static_cast<std::uint8_t>(1u << control_bits);
+      tokens.push_back(static_cast<std::uint8_t>(best_off & 0xff));
+      tokens.push_back(static_cast<std::uint8_t>((best_off >> 8) & 0xff));
+      tokens.push_back(static_cast<std::uint8_t>(best_len - kMinMatch));
+      const std::size_t end = i + best_len;
+      for (; i < end && i + kMinMatch <= input.size(); ++i) {
+        const std::uint32_t h = hash4(&input[i]);
+        prev[i] = head[h];
+        head[h] = static_cast<std::int64_t>(i);
+      }
+      i = end;
+    } else {
+      tokens.push_back(input[i]);
+      if (i + kMinMatch <= input.size()) {
+        const std::uint32_t h = hash4(&input[i]);
+        prev[i] = head[h];
+        head[h] = static_cast<std::int64_t>(i);
+      }
+      ++i;
+    }
+
+    if (++control_bits == 8) {
+      close_group();
+      if (i < input.size()) open_group();
+      else control_bits = -1;
+    }
+  }
+  if (control_bits >= 0) close_group();
+
+  w.put_blob(tokens);
+  return out;
+}
+
+TEST(LzssFastPath, EncoderIsByteIdenticalToSeed) {
+  Rng rng(99);
+  std::vector<Bytes> inputs;
+  // Low-entropy bytes (the quantizer-output-like case the bench measures).
+  Bytes low;
+  for (int i = 0; i < 1 << 16; ++i)
+    low.push_back(static_cast<std::uint8_t>(rng.next_below(16)));
+  inputs.push_back(std::move(low));
+  // Highly repetitive: long matches exercise the len == limit break and
+  // the in-match hash insertion loop.
+  Bytes rep;
+  for (int i = 0; i < 5000; ++i)
+    rep.push_back(static_cast<std::uint8_t>("abcabcabd"[i % 9]));
+  inputs.push_back(std::move(rep));
+  // Incompressible: every candidate rejected, literal-only stream.
+  Bytes rnd;
+  for (int i = 0; i < 1 << 14; ++i)
+    rnd.push_back(static_cast<std::uint8_t>(rng.next_below(256)));
+  inputs.push_back(std::move(rnd));
+  // Degenerate sizes around the kMinMatch threshold.
+  inputs.push_back({});
+  inputs.push_back({1, 2, 3});
+  inputs.push_back({7, 7, 7, 7, 7, 7, 7, 7});
+
+  for (const Bytes& input : inputs) {
+    const Bytes fast = lzss_encode(input);
+    const Bytes ref = seedref_lzss_encode(input);
+    ASSERT_EQ(fast, ref) << "input size " << input.size();
+    EXPECT_EQ(lzss_decode(fast), input);
+  }
+}
+
+TEST(LzssSecurity, HugeOutSizeHeaderThrows) {
+  // out_size is attacker-controlled; the seed decoder reserved it
+  // unbounded, so a corrupt header OOMed before any token decoding. The
+  // cap is the maximum expansion of the token stream actually present
+  // (each 3-byte match token yields at most 258 bytes).
+  Bytes blob;
+  ByteWriter w(blob);
+  w.put<std::uint64_t>(std::uint64_t{1} << 60);
+  const Bytes tokens = {0x01, 0x01, 0x00, 0xfe};  // one max-length match
+  w.put_blob(tokens);
+  EXPECT_THROW(lzss_decode(blob), Error);
+}
+
+TEST(LzssSecurity, OutSizeJustPastExpansionCapThrows) {
+  // 4 token bytes can never expand past 4 * 86 = 344 bytes; 345 must be
+  // rejected before the reserve, regardless of token contents.
+  Bytes blob;
+  ByteWriter w(blob);
+  w.put<std::uint64_t>(345);
+  w.put_blob(Bytes{0x01, 0x01, 0x00, 0xfe});
+  EXPECT_THROW(lzss_decode(blob), Error);
+}
+
+TEST(LzssSecurity, MaxExpansionRoundTripStillDecodes) {
+  // A legitimately maximally-expanding stream (long runs -> back-to-back
+  // 258-byte matches) stays under the cap and round-trips.
+  Bytes input(1 << 15, 0xab);
+  const Bytes blob = lzss_encode(input);
+  EXPECT_EQ(lzss_decode(blob), input);
+}
+
 }  // namespace
 }  // namespace amrvis::compress

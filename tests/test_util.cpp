@@ -252,6 +252,64 @@ TEST(Parallel, ChunkedCoversAll) {
   EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 997);
 }
 
+// Exception contract: a throw from a body must reach the caller as the
+// original exception, never std::terminate. Under OpenMP the seed helpers
+// let the exception escape the worker thread (abort); these tests run in
+// every CI OMP_NUM_THREADS leg.
+
+TEST(Parallel, ForPropagatesBodyException) {
+  EXPECT_THROW(parallel_for(512,
+                            [](std::int64_t i) {
+                              if (i == 137) throw Error("body failed");
+                            }),
+               Error);
+}
+
+TEST(Parallel, ForPreservesOriginalExceptionAndMessage) {
+  try {
+    parallel_for(512, [](std::int64_t i) {
+      if (i == 400) throw std::out_of_range("custom exception type");
+    });
+    FAIL() << "parallel_for swallowed the exception";
+  } catch (const std::out_of_range& e) {
+    EXPECT_STREQ(e.what(), "custom exception type");
+  }
+}
+
+TEST(Parallel, ForSingleIterationPropagates) {
+  // n == 1 takes the no-region shortcut; the contract must hold there too.
+  EXPECT_THROW(parallel_for(1, [](std::int64_t) { throw Error("one"); }),
+               Error);
+}
+
+TEST(Parallel, ChunkedPropagatesBodyException) {
+  EXPECT_THROW(parallel_for_chunked(997, 64,
+                                    [](std::int64_t i) {
+                                      if (i == 900) throw Error("chunk");
+                                    }),
+               Error);
+}
+
+TEST(Parallel, ReducePropagatesMapException) {
+  EXPECT_THROW(parallel_reduce<double>(
+                   100000, 0.0,
+                   [](std::int64_t i) -> double {
+                     if (i == 99999) throw Error("map failed");
+                     return static_cast<double>(i);
+                   },
+                   [](double a, double b) { return a + b; }),
+               Error);
+}
+
+TEST(Parallel, HelpersUsableAfterException) {
+  // A failed region must not poison later calls (fresh guard per call).
+  EXPECT_THROW(parallel_for(64, [](std::int64_t) { throw Error("x"); }),
+               Error);
+  std::vector<int> hits(64, 0);
+  parallel_for(64, [&](std::int64_t i) { hits[static_cast<std::size_t>(i)]++; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 64);
+}
+
 TEST(Array3, IndexLayoutIsXFastest) {
   Array3<double> a({3, 4, 5});
   a(1, 2, 3) = 42.0;

@@ -3,14 +3,26 @@
 
 Usage:
     check_bench_regression.py BASELINE.json CURRENT.json \
-        [--max-regression 0.15] [--codec sz-lr] [--stage compress]
+        [--max-regression 0.15] [--codec sz-lr] [--stage compress] \
+        [--threads 1] [--min-scaling 2.0] [--scaling-codec chunked-sz-lr] \
+        [--scaling-threads 4]
 
 BASELINE.json is either the committed trajectory file (BENCH_throughput.json,
 in which case the *last* trajectory entry is the baseline) or a flat
 bench_throughput --json output. CURRENT.json is a bench_throughput --json
-output. The script prints a comparison for every (codec, stage) record
-carrying mb_per_s, and exits non-zero if the gated metric (default: sz-lr
-compress) regressed more than --max-regression against the baseline.
+output. The script prints a comparison for every (codec, stage, threads)
+record carrying mb_per_s, and exits non-zero if the gated metric (default:
+sz-lr compress at 1 thread) regressed more than --max-regression against
+the baseline. Records without a `threads` field (pre-PR3 baselines) are
+treated as single-thread, so the single-thread trajectory gating is
+unaffected by the multi-thread records.
+
+With --min-scaling, the script additionally requires CURRENT's
+--scaling-codec compress throughput at --scaling-threads threads to be at
+least --min-scaling times its own 1-thread record. That check compares two
+measurements from the same run on the same machine, so it is valid on any
+multi-core runner regardless of the committed baseline's hardware (the
+reference container is single-core and cannot demonstrate scaling).
 
 Absolute MB/s is hardware-dependent; the default 15% tolerance assumes
 baseline and current were measured on comparable machines (CI runners of
@@ -31,9 +43,15 @@ def records_of(doc):
     return doc.get("records", []), doc.get("bench", "baseline")
 
 
-def find(records, codec, stage, key="mb_per_s"):
+def threads_of(record):
+    """Thread count of a record; pre-PR3 records carry none and are 1."""
+    return int(record.get("threads", 1))
+
+
+def find(records, codec, stage, threads=1, key="mb_per_s"):
     for r in records:
-        if r.get("codec") == codec and r.get("stage") == stage and key in r:
+        if (r.get("codec") == codec and r.get("stage") == stage
+                and threads_of(r) == threads and key in r):
             return float(r[key])
     return None
 
@@ -54,6 +72,14 @@ def main():
                     help="allowed fractional slowdown for the gated metric")
     ap.add_argument("--codec", default="sz-lr")
     ap.add_argument("--stage", default="compress")
+    ap.add_argument("--threads", type=int, default=1,
+                    help="thread count of the gated metric's record")
+    ap.add_argument("--min-scaling", type=float, default=None,
+                    help="require scaling-codec compress at scaling-threads "
+                         "to beat this multiple of its own 1-thread record "
+                         "(within CURRENT; machine-independent ratio)")
+    ap.add_argument("--scaling-codec", default="chunked-sz-lr")
+    ap.add_argument("--scaling-threads", type=int, default=4)
     args = ap.parse_args()
 
     with open(args.baseline, encoding="utf-8") as f:
@@ -70,24 +96,25 @@ def main():
         return 2
 
     print(f"baseline: {args.baseline} ({base_rev})")
-    print(f"{'codec':<12} {'stage':<12} {'baseline':>10} {'current':>10} "
-          f"{'ratio':>7}")
+    print(f"{'codec':<18} {'stage':<12} {'threads':>7} {'baseline':>10} "
+          f"{'current':>10} {'ratio':>7}")
     for r in cur_records:
         if "mb_per_s" not in r:
             continue
-        codec, stage = r.get("codec"), r.get("stage")
-        base = find(base_records, codec, stage)
+        codec, stage, threads = r.get("codec"), r.get("stage"), threads_of(r)
+        base = find(base_records, codec, stage, threads)
         cur = float(r["mb_per_s"])
         ratio = cur / base if base else float("nan")
-        print(f"{codec:<12} {stage:<12} "
+        print(f"{codec:<18} {stage:<12} {threads:>7} "
               f"{base if base else float('nan'):>10.1f} {cur:>10.1f} "
               f"{ratio:>6.2f}x")
 
-    base = find(base_records, args.codec, args.stage)
-    cur = find(cur_records, args.codec, args.stage)
+    base = find(base_records, args.codec, args.stage, args.threads)
+    cur = find(cur_records, args.codec, args.stage, args.threads)
     if base is None or cur is None:
-        print(f"FAIL: gated metric ({args.codec}, {args.stage}) missing "
-              f"from {'baseline' if base is None else 'current'} JSON",
+        print(f"FAIL: gated metric ({args.codec}, {args.stage}, "
+              f"{args.threads}t) missing from "
+              f"{'baseline' if base is None else 'current'} JSON",
               file=sys.stderr)
         return 2
     floor = (1.0 - args.max_regression) * base
@@ -99,6 +126,26 @@ def main():
         return 1
     print(f"OK: {args.codec} {args.stage} {cur:.1f} MB/s >= floor "
           f"{floor:.1f} MB/s (baseline {base:.1f})")
+
+    if args.min_scaling is not None:
+        one = find(cur_records, args.scaling_codec, "compress", 1)
+        many = find(cur_records, args.scaling_codec, "compress",
+                    args.scaling_threads)
+        if one is None or many is None:
+            print(f"FAIL: scaling records for {args.scaling_codec} compress "
+                  f"(1t / {args.scaling_threads}t) missing from current "
+                  f"JSON (no-OpenMP build?)", file=sys.stderr)
+            return 2
+        scaling = many / one
+        if scaling < args.min_scaling:
+            print(f"FAIL: {args.scaling_codec} compress scaled only "
+                  f"{scaling:.2f}x at {args.scaling_threads} threads "
+                  f"(required {args.min_scaling:.2f}x of its 1-thread "
+                  f"{one:.1f} MB/s)", file=sys.stderr)
+            return 1
+        print(f"OK: {args.scaling_codec} compress scales {scaling:.2f}x at "
+              f"{args.scaling_threads} threads ({one:.1f} -> {many:.1f} "
+              f"MB/s) >= {args.min_scaling:.2f}x")
     return 0
 
 
