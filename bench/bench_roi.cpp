@@ -1,0 +1,175 @@
+// Region-of-interest decode speedup (extension): the v2 chunked container
+// decodes only the tiles a request box touches, so an interactive probe,
+// slice view, or isosurface band query should cost a fraction of a full
+// inflate. This bench is the harness of record for the BENCH_roi.json
+// trajectory: full decompress vs a 1-tile region vs a 1-cell-thick plane,
+// single-threaded so the speedup measures work avoided, not thread
+// scheduling (at N threads a full decode of N tiles finishes in ~1 tile's
+// wall time and the comparison would say nothing). A value-band culling
+// census (tiles_overlapping) rides along. CI gates the 1-tile speedup via
+// tools/check_bench_regression.py --mode quality.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "compress/chunked.hpp"
+#include "compress/compressor.hpp"
+#include "sim/fields.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace {
+
+using namespace amrvis;
+
+template <typename Fn>
+double time_median_s(double min_ms, const Fn& fn) {
+  fn();  // warm-up
+  std::vector<double> samples;
+  double total = 0.0;
+  while (total * 1e3 < min_ms || samples.size() < 3) {
+    Timer t;
+    fn();
+    const double s = t.seconds();
+    samples.push_back(s);
+    total += s;
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  cli.add_flag("minms", "300", "min measured milliseconds per data point");
+  if (!bench::parse_standard_flags(cli, argc, argv)) return 0;
+  const bool smoke = cli.get_bool("smoke");
+  const double min_ms =
+      smoke ? 30.0 : static_cast<double>(cli.get_double("minms"));
+
+#ifdef _OPENMP
+  omp_set_num_threads(1);
+#endif
+
+  sim::WarpXLikeSpec spec;
+  spec.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const Shape3 shape = smoke              ? Shape3{32, 32, 64}
+                       : cli.get_bool("full") ? Shape3{128, 128, 256}
+                                              : Shape3{64, 64, 128};
+  const Array3<double> data = sim::warpx_like_ez(shape, spec);
+  const double mb =
+      static_cast<double>(data.size()) * static_cast<double>(sizeof(double)) /
+      1e6;
+
+  bench::banner("ROI decode (extension)",
+                "v2 container region decode vs full inflate, 1 thread; "
+                "MB = 1e6 bytes");
+
+  const auto codec = compress::make_compressor("chunked-sz-lr");
+  const auto* chunked =
+      dynamic_cast<const compress::ChunkedCompressor*>(codec.get());
+  const double abs_eb = compress::resolve_abs_eb(
+      compress::ErrorBoundMode::kRelative, 1e-3, data.span());
+  const Bytes blob = codec->compress(data.view(), abs_eb);
+
+  const amr::Box field = amr::Box::from_shape(shape);
+  const compress::ChunkShape tile = chunked->tile();
+  const amr::Box one_tile{
+      {0, 0, 0},
+      {std::min(tile.nx, shape.nx) - 1, std::min(tile.ny, shape.ny) - 1,
+       std::min(tile.nz, shape.nz) - 1}};
+  const amr::Box plane{{0, 0, shape.nz / 2}, {shape.nx - 1, shape.ny - 1,
+                                              shape.nz / 2}};
+
+  compress::RegionDecodeStats tile_stats, plane_stats;
+  (void)chunked->decompress_region(blob, one_tile, &tile_stats);
+  (void)chunked->decompress_region(blob, plane, &plane_stats);
+
+  const double full_s = time_median_s(min_ms, [&] {
+    const Array3<double> d = codec->decompress(blob);
+    bench::do_not_optimize(d);
+  });
+  const double tile_s = time_median_s(min_ms, [&] {
+    const Array3<double> d = chunked->decompress_region(blob, one_tile);
+    bench::do_not_optimize(d);
+  });
+  const double plane_s = time_median_s(min_ms, [&] {
+    const Array3<double> d = chunked->decompress_region(blob, plane);
+    bench::do_not_optimize(d);
+  });
+
+  std::printf("field: warpx-like Ez %lldx%lldx%lld (%.1f MB), tile "
+              "%lldx%lldx%lld\n\n",
+              static_cast<long long>(shape.nx),
+              static_cast<long long>(shape.ny),
+              static_cast<long long>(shape.nz), mb,
+              static_cast<long long>(tile.nx),
+              static_cast<long long>(tile.ny),
+              static_cast<long long>(tile.nz));
+  std::printf("%-22s %12s %10s %16s\n", "stage", "ms", "speedup",
+              "tiles decoded");
+  std::printf("%-22s %12.2f %10s %10lld/%lld\n", "decompress_full",
+              full_s * 1e3, "1.00x",
+              static_cast<long long>(tile_stats.tiles_total),
+              static_cast<long long>(tile_stats.tiles_total));
+  std::printf("%-22s %12.2f %9.2fx %10lld/%lld\n", "roi_1tile",
+              tile_s * 1e3, full_s / tile_s,
+              static_cast<long long>(tile_stats.tiles_decoded),
+              static_cast<long long>(tile_stats.tiles_total));
+  std::printf("%-22s %12.2f %9.2fx %10lld/%lld\n", "roi_plane",
+              plane_s * 1e3, full_s / plane_s,
+              static_cast<long long>(plane_stats.tiles_decoded),
+              static_cast<long long>(plane_stats.tiles_total));
+
+  // Value-band culling census: an isosurface near the field maximum only
+  // lives in the tiles whose range reaches it — those are the only ones a
+  // vis query has to inflate.
+  const auto mm = min_max(data.span());
+  const auto hits = chunked->tiles_overlapping(
+      blob, mm.max - 0.05 * mm.range(), mm.max);
+  std::printf("\ntiles_overlapping(top 5%% of value range): %zu of %lld "
+              "tiles\n",
+              hits.size(), static_cast<long long>(tile_stats.tiles_total));
+
+  bench::JsonReport report(
+      "roi", "v2 container region decode vs full inflate; single-thread "
+             "(speedup measures work avoided); MB = 1e6 bytes");
+  report.add_record()
+      .set("stage", "config")
+      .set("field", "warpx_like_ez")
+      .set("nx", shape.nx)
+      .set("ny", shape.ny)
+      .set("nz", shape.nz)
+      .set("threads", std::int64_t{1});
+  report.add_record()
+      .set("codec", "chunked-sz-lr")
+      .set("stage", "decompress_full")
+      .set("threads", std::int64_t{1})
+      .set("mb_per_s", mb / full_s)
+      .set("ms", full_s * 1e3);
+  report.add_record()
+      .set("codec", "chunked-sz-lr")
+      .set("stage", "roi_1tile")
+      .set("threads", std::int64_t{1})
+      .set("ms", tile_s * 1e3)
+      .set("speedup", full_s / tile_s)
+      .set("tiles_decoded", tile_stats.tiles_decoded)
+      .set("tiles_total", tile_stats.tiles_total);
+  report.add_record()
+      .set("codec", "chunked-sz-lr")
+      .set("stage", "roi_plane")
+      .set("threads", std::int64_t{1})
+      .set("ms", plane_s * 1e3)
+      .set("speedup", full_s / plane_s)
+      .set("tiles_decoded", plane_stats.tiles_decoded)
+      .set("tiles_total", plane_stats.tiles_total);
+  report.write(cli.get("json"));
+  return 0;
+}

@@ -87,6 +87,94 @@ Array3<double> upsample_trilinear(View3<const double> coarse, std::int64_t r) {
   return fine;
 }
 
+double sample_point_compressed(const compress::AmrCompressed& compressed,
+                               const compress::Compressor& comp, IntVect p,
+                               compress::RegionDecodeStats* stats) {
+  const int nlev = static_cast<int>(compressed.levels.size());
+  AMRVIS_REQUIRE_MSG(nlev >= 1, "sample_point_compressed: empty hierarchy");
+  AMRVIS_REQUIRE_MSG(compressed.domains.back().contains(p),
+                     "sample_point_compressed: point outside finest domain");
+  // Finest-first: the first level whose patches cover the (coarsened)
+  // point is the one composite_uniform would read at `p`, and skipping
+  // coarser levels also skips their mean-fill placeholders.
+  std::int64_t r = 1;
+  for (int l = nlev - 1; l >= 0; --l) {
+    const IntVect pl = floor_div(p, IntVect::uniform(r));
+    compress::RegionDecodeStats rs;
+    const auto rps =
+        compress::decompress_level_region(compressed, comp, l, Box{pl, pl},
+                                          &rs);
+    if (!rps.empty()) {
+      if (stats != nullptr) *stats = rs;
+      // Overlapping same-level patches paint in patch order during
+      // compositing, so the last one containing the cell wins.
+      return rps.back().data[0];
+    }
+    r *= compressed.ref_ratio;
+  }
+  throw Error("sample_point_compressed: point not covered by any level");
+}
+
+Array3<double> sample_plane_compressed(
+    const compress::AmrCompressed& compressed,
+    const compress::Compressor& comp, int axis, std::int64_t index,
+    compress::RegionDecodeStats* stats) {
+  const int nlev = static_cast<int>(compressed.levels.size());
+  AMRVIS_REQUIRE_MSG(nlev >= 1, "sample_plane_compressed: empty hierarchy");
+  AMRVIS_REQUIRE_MSG(axis >= 0 && axis < 3,
+                     "sample_plane_compressed: axis must be 0, 1 or 2");
+  const Box fine_domain = compressed.domains.back();
+  AMRVIS_REQUIRE_MSG(
+      index >= fine_domain.lo()[axis] && index <= fine_domain.hi()[axis],
+      "sample_plane_compressed: plane index outside finest domain");
+
+  Shape3 out_shape = fine_domain.shape();
+  (axis == 0 ? out_shape.nx : axis == 1 ? out_shape.ny : out_shape.nz) = 1;
+  Array3<double> out(out_shape);
+  compress::RegionDecodeStats agg;
+
+  // Paint coarse-to-fine like composite_uniform, but only the cells each
+  // level contributes to the plane — region decode keeps chunked patches
+  // partial.
+  for (int l = 0; l < nlev; ++l) {
+    std::int64_t r = 1;
+    for (int i = l; i + 1 < nlev; ++i) r *= compressed.ref_ratio;
+    const Box& dom = compressed.domains[static_cast<std::size_t>(l)];
+    IntVect rlo = dom.lo(), rhi = dom.hi();
+    rlo[axis] = rhi[axis] = floor_div(index, r);
+    compress::RegionDecodeStats rs;
+    const auto rps = compress::decompress_level_region(compressed, comp, l,
+                                                       Box{rlo, rhi}, &rs);
+    agg.tiles_decoded += rs.tiles_decoded;
+    agg.tiles_total += rs.tiles_total;
+    for (const auto& rp : rps) {
+      const IntVect blo = rp.box.lo();
+      const Shape3 bs = rp.box.shape();
+      for (std::int64_t dz = 0; dz < bs.nz; ++dz)
+        for (std::int64_t dy = 0; dy < bs.ny; ++dy)
+          for (std::int64_t dx = 0; dx < bs.nx; ++dx) {
+            const double v = rp.data(dx, dy, dz);
+            const IntVect q{blo.x + dx, blo.y + dy, blo.z + dz};
+            // Fine cells of q on the plane: `axis` is pinned to `index`
+            // (which q's refined block contains by construction of the
+            // region), the free axes span r cells.
+            IntVect flo = q * r;
+            IntVect fhi = flo + IntVect::uniform(r - 1);
+            flo[axis] = fhi[axis] = index;
+            for (std::int64_t fz = flo.z; fz <= fhi.z; ++fz)
+              for (std::int64_t fy = flo.y; fy <= fhi.y; ++fy)
+                for (std::int64_t fx = flo.x; fx <= fhi.x; ++fx) {
+                  IntVect o = IntVect{fx, fy, fz} - fine_domain.lo();
+                  o[axis] = 0;
+                  out(o.x, o.y, o.z) = v;
+                }
+          }
+    }
+  }
+  if (stats != nullptr) *stats = agg;
+  return out;
+}
+
 Array3<double> coarsen_average(View3<const double> fine, std::int64_t r) {
   AMRVIS_REQUIRE(r >= 1);
   const Shape3 fs = fine.shape();

@@ -1,5 +1,6 @@
 #pragma once
-// Resolution transfer operators between AMR levels.
+// Resolution transfer operators between AMR levels, plus region-decode
+// sampling of *compressed* hierarchies.
 //
 // - upsample_nearest: piecewise-constant injection coarse -> fine (the
 //   default "up-sample and merge" used when flattening a patch-based
@@ -7,7 +8,13 @@
 // - upsample_trilinear: cell-centered trilinear prolongation.
 // - coarsen_average: conservative average fine -> coarse (used when
 //   building the redundant coarse data underneath fine patches).
+// - sample_point_compressed / sample_plane_compressed: point and
+//   axis-aligned-plane queries served directly from an AmrCompressed via
+//   decompress_level_region, so an interactive probe or slice view
+//   inflates only the tiles its query touches instead of whole patches.
 
+#include "amr/intvect.hpp"
+#include "compress/amr_compress.hpp"
 #include "util/array3d.hpp"
 
 namespace amrvis::amr {
@@ -22,5 +29,26 @@ Array3<double> upsample_trilinear(View3<const double> coarse, std::int64_t r);
 /// Coarse(I) = average of the r^3 fine cells it covers. Extents of `fine`
 /// must be divisible by r (per dimension, unless that extent is 1).
 Array3<double> coarsen_average(View3<const double> fine, std::int64_t r);
+
+/// Value at finest-index-space cell `p` of a compressed hierarchy, read
+/// from the finest level whose patches contain the (coarsened) point —
+/// the same value composite_uniform() of the decompressed hierarchy would
+/// hold at `p`. Chunked patches inflate only the tile covering the point.
+/// Throws if `p` lies outside the finest-level domain. `stats`, when
+/// non-null, receives the decode counts of the one region decode issued.
+double sample_point_compressed(const compress::AmrCompressed& compressed,
+                               const compress::Compressor& comp, IntVect p,
+                               compress::RegionDecodeStats* stats = nullptr);
+
+/// Axis-aligned plane slice (axis in {0,1,2}; `index` in finest index
+/// space) of a compressed hierarchy, composited coarse-to-fine at finest
+/// resolution exactly like AmrHierarchy::composite_uniform — but decoding
+/// only the cells each level contributes to the plane. The returned array
+/// has extent 1 along `axis`. `stats`, when non-null, accumulates decode
+/// counts across all levels.
+Array3<double> sample_plane_compressed(
+    const compress::AmrCompressed& compressed,
+    const compress::Compressor& comp, int axis, std::int64_t index,
+    compress::RegionDecodeStats* stats = nullptr);
 
 }  // namespace amrvis::amr

@@ -1,6 +1,7 @@
 #include "compress/amr_compress.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "compress/chunked.hpp"
 #include "util/parallel.hpp"
@@ -14,34 +15,42 @@ using amr::FArrayBox;
 
 namespace {
 
-/// Patches above this cell count are routed through the tile-parallel
-/// chunked container: a single oversized patch (the figure-bench single
-/// fields, large uniform levels) then compresses tile-parallel instead of
-/// on one thread, and its working set stays bounded. Typical AMR patches
-/// (max_grid_size <= 64^3 / 2) stay on the direct codec path.
-constexpr std::int64_t kOversizedPatchCells = std::int64_t{1} << 17;
-
 /// A codec that is already a ChunkedCompressor tiles (and parallelizes)
 /// on its own; wrapping it again would emit nested containers on the
 /// compress side and, worse, mis-wrap on the decompress side: every blob
 /// it produces is a container carrying the *inner* codec's name, which a
 /// second wrapper would reject as a codec mismatch.
-bool is_chunked_codec(const Compressor& comp) {
-  return dynamic_cast<const ChunkedCompressor*>(&comp) != nullptr;
+const ChunkedCompressor* as_chunked_codec(const Compressor& comp) {
+  return dynamic_cast<const ChunkedCompressor*>(&comp);
 }
 
 Bytes compress_patch(const Compressor& comp, View3<const double> data,
-                     double abs_eb) {
-  if (data.size() > kOversizedPatchCells && !is_chunked_codec(comp))
-    return ChunkedCompressor(comp).compress(data, abs_eb);
+                     double abs_eb, const AmrChunkPolicy& policy) {
+  if (data.size() > policy.oversized_patch_cells &&
+      as_chunked_codec(comp) == nullptr)
+    return ChunkedCompressor(comp, policy.tile).compress(data, abs_eb);
   return comp.compress(data, abs_eb);
 }
 
 Array3<double> decompress_patch(const Compressor& comp,
                                 std::span<const std::uint8_t> blob) {
-  if (ChunkedCompressor::is_chunked_blob(blob) && !is_chunked_codec(comp))
+  if (ChunkedCompressor::is_chunked_blob(blob) &&
+      as_chunked_codec(comp) == nullptr)
     return ChunkedCompressor(comp).decompress(blob);
   return comp.decompress(blob);
+}
+
+/// Copy the cells of `local` (a box in `full`'s 0-based index space) into
+/// a box-shaped array.
+Array3<double> slice_box(const Array3<double>& full, const Box& local) {
+  Array3<double> out(local.shape());
+  const Shape3 os = out.shape();
+  for (std::int64_t dz = 0; dz < os.nz; ++dz)
+    for (std::int64_t dy = 0; dy < os.ny; ++dy)
+      std::memcpy(&out(0, dy, dz),
+                  &full(local.lo().x, local.lo().y + dy, local.lo().z + dz),
+                  static_cast<std::size_t>(os.nx) * sizeof(double));
+  return out;
 }
 
 }  // namespace
@@ -70,7 +79,8 @@ MinMax hierarchy_min_max(const AmrHierarchy& hier) {
 
 AmrCompressed compress_hierarchy(const AmrHierarchy& hier,
                                  const Compressor& comp, double rel_eb,
-                                 RedundantHandling handling) {
+                                 RedundantHandling handling,
+                                 const AmrChunkPolicy& policy) {
   AMRVIS_REQUIRE(hier.num_levels() >= 1);
   const MinMax mm = hierarchy_min_max(hier);
   const double range = mm.range() > 0 ? mm.range()
@@ -124,10 +134,10 @@ AmrCompressed compress_hierarchy(const AmrHierarchy& hier,
         for (std::int64_t i = 0; i < fab.size(); ++i)
           if (mask[i]) fvals[static_cast<std::size_t>(i)] = fill;
         clevel.patches[static_cast<std::size_t>(p)].blob =
-            compress_patch(comp, filled.view(), abs_eb);
+            compress_patch(comp, filled.view(), abs_eb, policy);
       } else {
         clevel.patches[static_cast<std::size_t>(p)].blob =
-            compress_patch(comp, fab.view(), abs_eb);
+            compress_patch(comp, fab.view(), abs_eb, policy);
       }
     });
     out.levels.push_back(std::move(clevel));
@@ -163,6 +173,58 @@ AmrHierarchy decompress_hierarchy(const AmrCompressed& compressed,
   if (compressed.handling == RedundantHandling::kMeanFill)
     hier.synchronize_coarse_from_fine();
   return hier;
+}
+
+std::vector<RegionPatch> decompress_level_region(
+    const AmrCompressed& compressed, const Compressor& comp, int level,
+    const amr::Box& region, RegionDecodeStats* stats) {
+  AMRVIS_REQUIRE_MSG(comp.name() == compressed.compressor_name,
+                     "decompress_level_region: codec mismatch");
+  AMRVIS_REQUIRE_MSG(
+      level >= 0 &&
+          static_cast<std::size_t>(level) < compressed.levels.size(),
+      "decompress_level_region: level out of range");
+  const auto& clevel = compressed.levels[static_cast<std::size_t>(level)];
+  const auto& boxes = compressed.boxes[static_cast<std::size_t>(level)];
+  const ChunkedCompressor* chunked_codec = as_chunked_codec(comp);
+
+  std::vector<RegionPatch> out;
+  RegionDecodeStats agg;
+  for (std::size_t p = 0; p < boxes.size(); ++p) {
+    const auto overlap = boxes[p].intersect(region);
+    if (!overlap) continue;
+    const Bytes& blob = clevel.patches[p].blob;
+    // The container speaks 0-based patch-local coordinates.
+    const Box local{overlap->lo() - boxes[p].lo(),
+                    overlap->hi() - boxes[p].lo()};
+    RegionPatch rp;
+    rp.patch = p;
+    rp.box = *overlap;
+    if (chunked_codec != nullptr) {
+      // The codec itself is chunked: every patch blob is a container.
+      RegionDecodeStats rs;
+      rp.data = chunked_codec->decompress_region(blob, local, &rs);
+      agg.tiles_decoded += rs.tiles_decoded;
+      agg.tiles_total += rs.tiles_total;
+    } else if (ChunkedCompressor::is_chunked_blob(blob)) {
+      // Oversized patch routed through the container at compress time.
+      RegionDecodeStats rs;
+      rp.data = ChunkedCompressor(comp).decompress_region(blob, local, &rs);
+      agg.tiles_decoded += rs.tiles_decoded;
+      agg.tiles_total += rs.tiles_total;
+    } else {
+      // Plain blob: no partial decode possible; inflate and slice.
+      const Array3<double> full = comp.decompress(blob);
+      AMRVIS_REQUIRE_MSG(full.shape() == boxes[p].shape(),
+                         "decompress_level_region: shape mismatch");
+      rp.data = slice_box(full, local);
+      agg.tiles_decoded += 1;
+      agg.tiles_total += 1;
+    }
+    out.push_back(std::move(rp));
+  }
+  if (stats != nullptr) *stats = agg;
+  return out;
 }
 
 }  // namespace amrvis::compress

@@ -19,10 +19,22 @@
 #include <vector>
 
 #include "amr/hierarchy.hpp"
+#include "compress/chunked.hpp"
 #include "compress/compressor.hpp"
 #include "util/stats.hpp"
 
 namespace amrvis::compress {
+
+/// Routing policy for oversized patches: patches above
+/// `oversized_patch_cells` cells are compressed through the tile-parallel
+/// chunked container (compress/chunked.hpp) with tile shape `tile`.
+/// Detection on the decompress side is by container magic, so the policy
+/// only matters when compressing. The defaults reproduce the historical
+/// hard constants (2^17 cells, 64x64x16 tiles).
+struct AmrChunkPolicy {
+  std::int64_t oversized_patch_cells = std::int64_t{1} << 17;
+  ChunkShape tile{};
+};
 
 enum class RedundantHandling {
   kKeep,      ///< compress coarse levels as stored (redundant data included)
@@ -61,15 +73,40 @@ struct AmrCompressed {
 };
 
 /// Compress every patch of `hier` with `comp` at relative bound `rel_eb`.
+/// `policy` controls how oversized patches are routed through the chunked
+/// container; the default reproduces the historical constants.
 AmrCompressed compress_hierarchy(const amr::AmrHierarchy& hier,
                                  const Compressor& comp, double rel_eb,
-                                 RedundantHandling handling);
+                                 RedundantHandling handling,
+                                 const AmrChunkPolicy& policy = {});
 
 /// Rebuild a hierarchy (same structure) from an AmrCompressed. With
 /// kMeanFill, covered coarse cells are restored by averaging the
 /// decompressed fine data (synchronize_coarse_from_fine).
 amr::AmrHierarchy decompress_hierarchy(const AmrCompressed& compressed,
                                        const Compressor& comp);
+
+/// One patch's contribution to a region query: the intersection box (in
+/// the level's index space) and the decoded values for exactly that box.
+struct RegionPatch {
+  std::size_t patch = 0;  ///< index into boxes[level] / patches
+  amr::Box box;           ///< region ∩ patch box
+  Array3<double> data;    ///< decoded values for `box`, box-shaped
+};
+
+/// Region variant of decompress_hierarchy: decode only the cells of level
+/// `level` that intersect `region` (a box in that level's index space).
+/// Chunked patch blobs inflate only the tiles the region touches
+/// (ChunkedCompressor::decompress_region); plain blobs decode fully and
+/// are sliced. Values are bit-identical to the corresponding cells of a
+/// full decompress_hierarchy **before** coarse/fine synchronization: with
+/// kMeanFill, covered coarse cells hold the mean-fill placeholder — query
+/// the finest level covering the point (amr::sample_point_compressed does).
+/// `stats`, when non-null, accumulates decode counts over all touched
+/// patches (a plain patch counts as one tile).
+std::vector<RegionPatch> decompress_level_region(
+    const AmrCompressed& compressed, const Compressor& comp, int level,
+    const amr::Box& region, RegionDecodeStats* stats = nullptr);
 
 /// Global min/max over all stored cells of the hierarchy.
 MinMax hierarchy_min_max(const amr::AmrHierarchy& hier);

@@ -1,7 +1,9 @@
 #include "compress/chunked.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
+#include <limits>
 
 #include "util/parallel.hpp"
 
@@ -10,7 +12,8 @@ namespace amrvis::compress {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x4156434b;  // "AVCK"
-constexpr std::uint16_t kVersion = 1;
+constexpr std::uint16_t kVersionV1 = 1;       // no stats table (PR3 format)
+constexpr std::uint16_t kVersionV2 = 2;       // per-tile min/max after sizes
 // Decompress-side sanity caps: a corrupt header must not drive the output
 // allocation (cells * 8 bytes) from attacker-controlled dimensions alone.
 constexpr std::int64_t kMaxDim = std::int64_t{1} << 24;
@@ -51,7 +54,126 @@ TileBox tile_box(std::int64_t t, const TileGrid& g, const Shape3& s,
   return b;
 }
 
+amr::Box tile_cell_box(const TileBox& b) {
+  return {amr::IntVect{b.i0, b.j0, b.k0},
+          amr::IntVect{b.i0 + b.ext.nx - 1, b.j0 + b.ext.ny - 1,
+                       b.k0 + b.ext.nz - 1}};
+}
+
+/// Fully validated container header plus payload slices. Slicing the tile
+/// spans is O(ntiles) pointer arithmetic — no payload is inflated, so
+/// header-only queries (tiles_overlapping) stay cheap.
+struct ParsedContainer {
+  std::uint16_t version = 0;
+  Shape3 shape;
+  ChunkShape tile;
+  TileGrid grid{};
+  std::int64_t ntiles = 0;
+  std::vector<std::span<const std::uint8_t>> tiles;
+  std::vector<TileStats> stats;  ///< empty on a v1 container
+};
+
+ParsedContainer parse_container(std::span<const std::uint8_t> blob,
+                                const std::string& expect_codec) {
+  ByteReader r(blob);
+  AMRVIS_REQUIRE_MSG(r.get<std::uint32_t>() == kMagic,
+                     "chunked: bad container magic");
+  ParsedContainer pc;
+  pc.version = r.get<std::uint16_t>();
+  AMRVIS_REQUIRE_MSG(pc.version == kVersionV1 || pc.version == kVersionV2,
+                     "chunked: unsupported container version");
+  const auto name_len = r.get<std::uint16_t>();
+  const auto name_bytes = r.get_bytes(name_len);
+  const std::string codec(reinterpret_cast<const char*>(name_bytes.data()),
+                          name_bytes.size());
+  AMRVIS_REQUIRE_MSG(codec == expect_codec,
+                     "chunked: codec mismatch (container says '" + codec +
+                         "', decoding with '" + expect_codec + "')");
+
+  pc.shape.nx = r.get<std::int64_t>();
+  pc.shape.ny = r.get<std::int64_t>();
+  pc.shape.nz = r.get<std::int64_t>();
+  pc.tile.nx = r.get<std::int64_t>();
+  pc.tile.ny = r.get<std::int64_t>();
+  pc.tile.nz = r.get<std::int64_t>();
+  const Shape3& s = pc.shape;
+  // Per-axis bound first, then the cell cap via division so the product
+  // itself can never overflow int64 on a corrupt header (2^24 cubed would).
+  AMRVIS_REQUIRE_MSG(s.valid() && s.nx <= kMaxDim && s.ny <= kMaxDim &&
+                         s.nz <= kMaxDim && s.ny <= kMaxCells / s.nx &&
+                         s.nz <= kMaxCells / (s.nx * s.ny),
+                     "chunked: implausible field shape");
+  AMRVIS_REQUIRE_MSG(pc.tile.valid() && pc.tile.nx <= kMaxDim &&
+                         pc.tile.ny <= kMaxDim && pc.tile.nz <= kMaxDim,
+                     "chunked: implausible tile shape");
+
+  // Tiles per axis never exceed cells per axis (tile extents >= 1), so
+  // the count is bounded by the validated cell count — no overflow.
+  pc.grid = tile_grid(s, pc.tile);
+  pc.ntiles = pc.grid.count();
+  AMRVIS_REQUIRE_MSG(
+      r.get<std::uint64_t>() == static_cast<std::uint64_t>(pc.ntiles),
+      "chunked: tile count does not match shape/tile header");
+  // The fixed-size tables (u64 size, plus a min/max double pair in v2)
+  // must fit in what the blob actually carries before any ntiles-sized
+  // allocation happens: a ~100-byte corrupt header must not be able to
+  // force a multi-GiB vector (same class as the lzss out_size cap).
+  const std::size_t entry_bytes =
+      sizeof(std::uint64_t) +
+      (pc.version >= kVersionV2 ? 2 * sizeof(double) : 0);
+  AMRVIS_REQUIRE_MSG(
+      r.remaining() / entry_bytes >= static_cast<std::uint64_t>(pc.ntiles),
+      "chunked: tile size/stats tables exceed container");
+
+  std::vector<std::uint64_t> sizes(static_cast<std::size_t>(pc.ntiles));
+  for (auto& sz : sizes) sz = r.get<std::uint64_t>();
+  if (pc.version >= kVersionV2) {
+    pc.stats.resize(static_cast<std::size_t>(pc.ntiles));
+    for (auto& st : pc.stats) {
+      st.min = r.get<double>();
+      st.max = r.get<double>();
+      // Also rejects NaN (comparison is false): a stats table the culling
+      // predicate cannot trust is a corrupt container.
+      AMRVIS_REQUIRE_MSG(st.min <= st.max,
+                         "chunked: corrupt tile stats (min > max)");
+    }
+  }
+  // Slice the payload serially; get_bytes bounds-checks every size against
+  // the remaining payload, so corrupt sizes throw here instead of reading
+  // out of bounds in the parallel region.
+  pc.tiles.resize(static_cast<std::size_t>(pc.ntiles));
+  for (std::size_t t = 0; t < pc.tiles.size(); ++t)
+    pc.tiles[t] = r.get_bytes(static_cast<std::size_t>(sizes[t]));
+  AMRVIS_REQUIRE_MSG(r.remaining() == 0, "chunked: trailing container bytes");
+  return pc;
+}
+
 }  // namespace
+
+ChunkShape parse_chunk_shape(const std::string& spec) {
+  ChunkShape tile;
+  std::int64_t* dims[3] = {&tile.nx, &tile.ny, &tile.nz};
+  std::size_t pos = 0;
+  for (int d = 0; d < 3; ++d) {
+    std::size_t used = 0;
+    try {
+      *dims[d] = std::stoll(spec.substr(pos), &used);
+    } catch (const std::exception&) {
+      throw Error("chunked: malformed tile spec '" + spec +
+                  "' (expected TXxTYxTZ)");
+    }
+    pos += used;
+    const bool want_sep = d < 2;
+    const bool have_sep = pos < spec.size() && spec[pos] == 'x';
+    AMRVIS_REQUIRE_MSG(want_sep ? have_sep : pos == spec.size(),
+                       "chunked: malformed tile spec '" + spec +
+                           "' (expected TXxTYxTZ)");
+    if (want_sep) ++pos;
+  }
+  AMRVIS_REQUIRE_MSG(tile.valid(), "chunked: tile spec '" + spec +
+                                       "' has non-positive extents");
+  return tile;
+}
 
 ChunkedCompressor::ChunkedCompressor(std::unique_ptr<Compressor> inner,
                                      ChunkShape tile)
@@ -66,7 +188,19 @@ ChunkedCompressor::ChunkedCompressor(const Compressor& inner, ChunkShape tile)
 }
 
 std::string ChunkedCompressor::name() const {
-  return "chunked-" + inner().name();
+  // Built with append, not operator+: gcc-12 -Wrestrict false-positives
+  // on `const char* + std::string` under -Werror (same as util/cli.cpp).
+  std::string n = "chunked-";
+  n += inner().name();
+  if (!(tile_ == ChunkShape{})) {
+    n += '@';
+    n += std::to_string(tile_.nx);
+    n += 'x';
+    n += std::to_string(tile_.ny);
+    n += 'x';
+    n += std::to_string(tile_.nz);
+  }
+  return n;
 }
 
 bool ChunkedCompressor::is_chunked_blob(std::span<const std::uint8_t> blob) {
@@ -82,9 +216,12 @@ Bytes ChunkedCompressor::compress(View3<const double> data,
   const TileGrid grid = tile_grid(s, tile_);
   const std::int64_t ntiles = grid.count();
 
-  // Fixed tile -> slot mapping: blobs land in their slot regardless of
-  // which thread produced them.
+  // Fixed tile -> slot mapping: blobs and stats land in their slot
+  // regardless of which thread produced them, and each tile's min/max is
+  // a serial pass over that tile alone — the container stays bit-identical
+  // across thread counts.
   std::vector<Bytes> blobs(static_cast<std::size_t>(ntiles));
+  std::vector<TileStats> stats(static_cast<std::size_t>(ntiles));
   parallel_for(ntiles, [&](std::int64_t t) {
     const TileBox b = tile_box(t, grid, s, tile_);
     Array3<double> tdata(b.ext);
@@ -92,17 +229,36 @@ Bytes ChunkedCompressor::compress(View3<const double> data,
       for (std::int64_t dy = 0; dy < b.ext.ny; ++dy)
         std::memcpy(&tdata(0, dy, dz), &data(b.i0, b.j0 + dy, b.k0 + dz),
                     static_cast<std::size_t>(b.ext.nx) * sizeof(double));
+    // Stats skip NaN cells (the quantizer stores non-finite values
+    // losslessly, so NaN-masked fields are legal inputs): NaN would
+    // poison min/max and the parser rejects untrustworthy stats. A tile
+    // with no non-NaN cells records the unbounded "anything" range —
+    // same conservative semantics as a v1 container. Infinities are
+    // real range endpoints and stay in.
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (std::int64_t f = 0; f < tdata.size(); ++f) {
+      const double v = tdata[f];
+      if (std::isnan(v)) continue;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (lo > hi) {
+      lo = -std::numeric_limits<double>::infinity();
+      hi = std::numeric_limits<double>::infinity();
+    }
+    stats[static_cast<std::size_t>(t)] = {lo, hi};
     blobs[static_cast<std::size_t>(t)] =
         inner().compress(tdata.view(), abs_eb);
   });
 
-  // Serial concatenation in slot order keeps the container byte-identical
-  // across thread counts.
+  // Serial concatenation in slot order after the join keeps the container
+  // byte-identical across thread counts.
   const std::string codec = inner().name();
   Bytes out;
   ByteWriter w(out);
   w.put<std::uint32_t>(kMagic);
-  w.put<std::uint16_t>(kVersion);
+  w.put<std::uint16_t>(kVersionV2);
   w.put<std::uint16_t>(static_cast<std::uint16_t>(codec.size()));
   // Byte-at-a-time: a range insert from the string's SSO buffer trips a
   // gcc-12 -Warray-bounds false positive under -Werror.
@@ -115,76 +271,22 @@ Bytes ChunkedCompressor::compress(View3<const double> data,
   w.put<std::int64_t>(tile_.nz);
   w.put<std::uint64_t>(static_cast<std::uint64_t>(ntiles));
   for (const Bytes& b : blobs) w.put<std::uint64_t>(b.size());
+  for (const TileStats& st : stats) {
+    w.put<double>(st.min);
+    w.put<double>(st.max);
+  }
   for (const Bytes& b : blobs) w.put_bytes(b);
   return out;
 }
 
 Array3<double> ChunkedCompressor::decompress(
     std::span<const std::uint8_t> blob) const {
-  ByteReader r(blob);
-  AMRVIS_REQUIRE_MSG(r.get<std::uint32_t>() == kMagic,
-                     "chunked: bad container magic");
-  AMRVIS_REQUIRE_MSG(r.get<std::uint16_t>() == kVersion,
-                     "chunked: unsupported container version");
-  const auto name_len = r.get<std::uint16_t>();
-  const auto name_bytes = r.get_bytes(name_len);
-  const std::string codec(reinterpret_cast<const char*>(name_bytes.data()),
-                          name_bytes.size());
-  AMRVIS_REQUIRE_MSG(codec == inner().name(),
-                     "chunked: codec mismatch (container says '" + codec +
-                         "', decoding with '" + inner().name() + "')");
-
-  Shape3 s;
-  s.nx = r.get<std::int64_t>();
-  s.ny = r.get<std::int64_t>();
-  s.nz = r.get<std::int64_t>();
-  ChunkShape tile;
-  tile.nx = r.get<std::int64_t>();
-  tile.ny = r.get<std::int64_t>();
-  tile.nz = r.get<std::int64_t>();
-  // Per-axis bound first, then the cell cap via division so the product
-  // itself can never overflow int64 on a corrupt header (2^24 cubed would).
-  AMRVIS_REQUIRE_MSG(s.valid() && s.nx <= kMaxDim && s.ny <= kMaxDim &&
-                         s.nz <= kMaxDim && s.ny <= kMaxCells / s.nx &&
-                         s.nz <= kMaxCells / (s.nx * s.ny),
-                     "chunked: implausible field shape");
-  AMRVIS_REQUIRE_MSG(tile.valid() && tile.nx <= kMaxDim &&
-                         tile.ny <= kMaxDim && tile.nz <= kMaxDim,
-                     "chunked: implausible tile shape");
-
-  // Tiles per axis never exceed cells per axis (tile extents >= 1), so
-  // the count is bounded by the validated cell count — no overflow.
-  const TileGrid grid = tile_grid(s, tile);
-  const std::int64_t ntiles = grid.count();
-  AMRVIS_REQUIRE_MSG(
-      r.get<std::uint64_t>() == static_cast<std::uint64_t>(ntiles),
-      "chunked: tile count does not match shape/tile header");
-  // The size table must fit in what the blob actually carries before any
-  // ntiles-sized allocation happens: a ~90-byte corrupt header must not
-  // be able to force a multi-GiB vector (same class as the lzss out_size
-  // cap).
-  AMRVIS_REQUIRE_MSG(
-      r.remaining() / sizeof(std::uint64_t) >=
-          static_cast<std::uint64_t>(ntiles),
-      "chunked: tile size table exceeds container");
-
-  std::vector<std::uint64_t> sizes(static_cast<std::size_t>(ntiles));
-  for (auto& sz : sizes) sz = r.get<std::uint64_t>();
-  // Slice the payload serially; get_bytes bounds-checks every size against
-  // the remaining payload, so corrupt sizes throw here instead of reading
-  // out of bounds in the parallel region.
-  std::vector<std::span<const std::uint8_t>> tiles(
-      static_cast<std::size_t>(ntiles));
-  for (std::int64_t t = 0; t < ntiles; ++t)
-    tiles[static_cast<std::size_t>(t)] =
-        r.get_bytes(static_cast<std::size_t>(sizes[static_cast<std::size_t>(t)]));
-  AMRVIS_REQUIRE_MSG(r.remaining() == 0, "chunked: trailing container bytes");
-
-  Array3<double> out(s);
-  parallel_for(ntiles, [&](std::int64_t t) {
-    const TileBox b = tile_box(t, grid, s, tile);
+  const ParsedContainer pc = parse_container(blob, inner().name());
+  Array3<double> out(pc.shape);
+  parallel_for(pc.ntiles, [&](std::int64_t t) {
+    const TileBox b = tile_box(t, pc.grid, pc.shape, pc.tile);
     const Array3<double> tdata =
-        inner().decompress(tiles[static_cast<std::size_t>(t)]);
+        inner().decompress(pc.tiles[static_cast<std::size_t>(t)]);
     AMRVIS_REQUIRE_MSG(tdata.shape() == b.ext,
                        "chunked: tile shape does not match its slot");
     for (std::int64_t dz = 0; dz < b.ext.nz; ++dz)
@@ -192,6 +294,76 @@ Array3<double> ChunkedCompressor::decompress(
         std::memcpy(&out(b.i0, b.j0 + dy, b.k0 + dz), &tdata(0, dy, dz),
                     static_cast<std::size_t>(b.ext.nx) * sizeof(double));
   });
+  return out;
+}
+
+Array3<double> ChunkedCompressor::decompress_region(
+    std::span<const std::uint8_t> blob, const amr::Box& region,
+    RegionDecodeStats* stats) const {
+  const ParsedContainer pc = parse_container(blob, inner().name());
+  const amr::Box field = amr::Box::from_shape(pc.shape);
+  AMRVIS_REQUIRE_MSG(field.contains(region),
+                     "chunked: region outside the stored field");
+
+  // The request box maps to a dense sub-grid of tiles; enumerate exactly
+  // those slots so decode work scales with the region, not the field.
+  const std::int64_t tx0 = region.lo().x / pc.tile.nx;
+  const std::int64_t tx1 = region.hi().x / pc.tile.nx;
+  const std::int64_t ty0 = region.lo().y / pc.tile.ny;
+  const std::int64_t ty1 = region.hi().y / pc.tile.ny;
+  const std::int64_t tz0 = region.lo().z / pc.tile.nz;
+  const std::int64_t tz1 = region.hi().z / pc.tile.nz;
+  std::vector<std::int64_t> hit;
+  hit.reserve(static_cast<std::size_t>((tx1 - tx0 + 1) * (ty1 - ty0 + 1) *
+                                       (tz1 - tz0 + 1)));
+  for (std::int64_t tz = tz0; tz <= tz1; ++tz)
+    for (std::int64_t ty = ty0; ty <= ty1; ++ty)
+      for (std::int64_t tx = tx0; tx <= tx1; ++tx)
+        hit.push_back((tz * pc.grid.tny + ty) * pc.grid.tnx + tx);
+  if (stats != nullptr)
+    *stats = {static_cast<std::int64_t>(hit.size()), pc.ntiles};
+
+  Array3<double> out(region.shape());
+  parallel_for(static_cast<std::int64_t>(hit.size()), [&](std::int64_t h) {
+    const std::int64_t t = hit[static_cast<std::size_t>(h)];
+    const TileBox b = tile_box(t, pc.grid, pc.shape, pc.tile);
+    const Array3<double> tdata =
+        inner().decompress(pc.tiles[static_cast<std::size_t>(t)]);
+    AMRVIS_REQUIRE_MSG(tdata.shape() == b.ext,
+                       "chunked: tile shape does not match its slot");
+    const auto ov = tile_cell_box(b).intersect(region);
+    AMRVIS_REQUIRE(ov.has_value());
+    const Shape3 os = ov->shape();
+    for (std::int64_t dz = 0; dz < os.nz; ++dz)
+      for (std::int64_t dy = 0; dy < os.ny; ++dy)
+        std::memcpy(&out(ov->lo().x - region.lo().x,
+                         ov->lo().y - region.lo().y + dy,
+                         ov->lo().z - region.lo().z + dz),
+                    &tdata(ov->lo().x - b.i0, ov->lo().y - b.j0 + dy,
+                           ov->lo().z - b.k0 + dz),
+                    static_cast<std::size_t>(os.nx) * sizeof(double));
+  });
+  return out;
+}
+
+std::vector<TileRegion> ChunkedCompressor::tiles_overlapping(
+    std::span<const std::uint8_t> blob, double lo, double hi) const {
+  AMRVIS_REQUIRE_MSG(lo <= hi, "chunked: tiles_overlapping needs lo <= hi");
+  const ParsedContainer pc = parse_container(blob, inner().name());
+  std::vector<TileRegion> out;
+  for (std::int64_t t = 0; t < pc.ntiles; ++t) {
+    TileStats st;
+    if (pc.stats.empty()) {
+      // v1 container: no stats table, every tile may hold anything.
+      st = {-std::numeric_limits<double>::infinity(),
+            std::numeric_limits<double>::infinity()};
+    } else {
+      st = pc.stats[static_cast<std::size_t>(t)];
+    }
+    if (st.max < lo || st.min > hi) continue;
+    out.push_back(
+        {t, tile_cell_box(tile_box(t, pc.grid, pc.shape, pc.tile)), st});
+  }
   return out;
 }
 

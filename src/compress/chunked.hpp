@@ -2,31 +2,49 @@
 // Chunk-parallel wrapper codec: tiles a field into fixed-size slabs,
 // compresses each tile independently with a wrapped codec via
 // parallel_for, and concatenates the tile blobs under a versioned
-// container header with per-tile sizes.
+// container header with per-tile sizes and (since v2) per-tile
+// min/max statistics.
 //
 // Determinism: the tile -> slot mapping is fixed (row-major tile order,
 // tx fastest) and the concatenation is serial after the parallel region
 // joins, so a container blob is bit-identical across OMP_NUM_THREADS
 // settings and across the no-OpenMP build (each tile blob is produced by
 // the wrapped codec, whose encoders are single-thread deterministic).
+// Per-tile stats are computed inside each tile's own (serial) pass and
+// serialized after the join, so v2 keeps the same guarantee.
 //
 // Container layout (little-endian, all fields validated on decompress):
 //
 //   u32  magic "AVCK"
-//   u16  version (1)
+//   u16  version (1 or 2; the writer emits 2, both decode)
 //   u16  codec-name length, followed by that many name bytes
 //   i64  nx, ny, nz        full field shape
 //   i64  tx, ty, tz        tile extents (boundary tiles are clipped)
 //   u64  ntiles            must equal ceil(nx/tx)*ceil(ny/ty)*ceil(nz/tz)
 //   u64  size[ntiles]      byte size of each tile blob, tile order
+//   f64  (min,max)[ntiles] v2 only: per-tile input value range, tile order
 //        payload           concatenated tile blobs, tile order
+//
+// The stats table is what makes the container a queryable store instead
+// of a blob pipe: decompress_region() inflates only the tiles a request
+// box touches, and tiles_overlapping(lo, hi) culls tiles whose value
+// range cannot intersect an isosurface / query band without touching the
+// payload at all. Stats are ranges of the *original* data; decoded
+// values may exceed them by up to the absolute error bound, so widen the
+// query band by abs_eb when culling against decompressed values. NaN
+// cells are skipped when accumulating (the quantizer round-trips
+// non-finite values losslessly, so they are legal inputs; a NaN is in no
+// query band); a tile with no non-NaN cells records (-inf, +inf) — the
+// same conservative "anything" range a v1 container implies.
 //
 // Error-bound semantics are unchanged: every tile is compressed with the
 // same absolute bound, so the wrapper provides the same max-error
 // guarantee as the wrapped codec.
 
 #include <memory>
+#include <vector>
 
+#include "amr/box.hpp"
 #include "compress/compressor.hpp"
 
 namespace amrvis::compress {
@@ -40,6 +58,34 @@ struct ChunkShape {
   std::int64_t nz = 16;
 
   [[nodiscard]] bool valid() const { return nx > 0 && ny > 0 && nz > 0; }
+  friend bool operator==(const ChunkShape&, const ChunkShape&) = default;
+};
+
+/// Parse a "TXxTYxTZ" tile spec (e.g. "32x32x16") into a ChunkShape.
+/// Throws on malformed specs or non-positive extents. This is the format
+/// make_compressor accepts after '@' in "chunked-<codec>@TXxTYxTZ".
+ChunkShape parse_chunk_shape(const std::string& spec);
+
+/// Per-tile value range recorded in the v2 container header.
+struct TileStats {
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// One tile selected by a header query: its slot index and the cell
+/// region it covers in the full field (0-based, inclusive corners).
+struct TileRegion {
+  std::int64_t index = 0;
+  amr::Box box;
+  TileStats stats;
+};
+
+/// Decode-count instrumentation for decompress_region: how many tiles
+/// were actually inflated vs how many the container holds. Tests use it
+/// to prove partial decode stays partial.
+struct RegionDecodeStats {
+  std::int64_t tiles_decoded = 0;
+  std::int64_t tiles_total = 0;
 };
 
 class ChunkedCompressor final : public Compressor {
@@ -53,13 +99,33 @@ class ChunkedCompressor final : public Compressor {
   /// cloning the codec.
   explicit ChunkedCompressor(const Compressor& inner, ChunkShape tile = {});
 
-  /// "chunked-" + wrapped codec name, e.g. "chunked-sz-lr".
+  /// "chunked-" + wrapped codec name, e.g. "chunked-sz-lr"; a non-default
+  /// tile shape is appended as "@TXxTYxTZ" (e.g. "chunked-sz-lr@32x32x16")
+  /// so make_compressor(name()) reproduces the codec including its tile
+  /// policy.
   [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] Bytes compress(View3<const double> data,
                                double abs_eb) const override;
   [[nodiscard]] Array3<double> decompress(
       std::span<const std::uint8_t> blob) const override;
+
+  /// Region-of-interest decode: inflate only the tiles intersecting
+  /// `region` (0-based cell box, must lie inside the field) and return
+  /// the region's values as a region-shaped array. Bit-identical to the
+  /// same box sliced out of a full decompress(). Works on v1 and v2
+  /// containers; `stats`, when non-null, receives the decode counts.
+  [[nodiscard]] Array3<double> decompress_region(
+      std::span<const std::uint8_t> blob, const amr::Box& region,
+      RegionDecodeStats* stats = nullptr) const;
+
+  /// Value-range tile cull: the tiles whose recorded [min, max] range
+  /// intersects [lo, hi], without touching the payload. On a v1
+  /// container (no stats table) every tile is returned — conservative,
+  /// never wrong. Stats describe the original data; widen [lo, hi] by
+  /// the absolute error bound when the query targets decoded values.
+  [[nodiscard]] std::vector<TileRegion> tiles_overlapping(
+      std::span<const std::uint8_t> blob, double lo, double hi) const;
 
   [[nodiscard]] const ChunkShape& tile() const { return tile_; }
   [[nodiscard]] const Compressor& inner() const {

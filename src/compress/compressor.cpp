@@ -30,14 +30,24 @@ std::unique_ptr<Compressor> make_compressor(const std::string& name) {
   if (name == "sz-interp") return std::make_unique<SzInterpCompressor>();
   if (name == "zfp-like") return std::make_unique<ZfpLikeCompressor>();
   // "chunked-<codec>" wraps any registered codec in the tile-parallel
-  // container (src/compress/chunked.hpp).
+  // container (src/compress/chunked.hpp); an optional "@TXxTYxTZ" suffix
+  // selects the tile shape, e.g. "chunked-sz-lr@32x32x16", so the tile
+  // policy is configurable wherever a codec name is (CLI flags, the AMR
+  // routing policy) instead of being a hard constant.
   constexpr std::string_view prefix = "chunked-";
   if (name.size() > prefix.size() &&
-      name.compare(0, prefix.size(), prefix) == 0)
-    return std::make_unique<ChunkedCompressor>(
-        make_compressor(name.substr(prefix.size())));
+      name.compare(0, prefix.size(), prefix) == 0) {
+    std::string base = name.substr(prefix.size());
+    ChunkShape tile;
+    if (const auto at = base.find('@'); at != std::string::npos) {
+      tile = parse_chunk_shape(base.substr(at + 1));
+      base = base.substr(0, at);
+    }
+    return std::make_unique<ChunkedCompressor>(make_compressor(base), tile);
+  }
   throw Error("unknown compressor: " + name +
-              " (expected sz-lr, sz-interp, zfp-like, or chunked-<codec>)");
+              " (expected sz-lr, sz-interp, zfp-like, or "
+              "chunked-<codec>[@TXxTYxTZ])");
 }
 
 }  // namespace amrvis::compress

@@ -1,0 +1,51 @@
+// Regenerates the *current-version* golden container blobs under
+// tests/data/ (see tests/test_roi.cpp for the compatibility contract).
+//
+//   cmake --build build --target gen_golden_blobs
+//   ./build/tests/gen_golden_blobs tests/data
+//
+// Only run this after an INTENTIONAL container format bump, and commit
+// the new files alongside the version change: the golden suite exists to
+// make silent format breaks impossible. Frozen-version blobs
+// (golden_v1_*) can never be regenerated — the v1 writer is gone — and
+// must not be deleted while the decoder still claims v1 support.
+//
+// The input field and codec configuration here must stay in lock-step
+// with golden_field()/golden_codec() in tests/test_roi.cpp.
+
+#include <cstdio>
+#include <string>
+
+#include "compress/chunked.hpp"
+#include "compress/compressor.hpp"
+#include "util/bytestream.hpp"
+
+using namespace amrvis;
+using namespace amrvis::compress;
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : "tests/data";
+
+  // Deterministic 12x10x9 field, non-multiple of the 8x8x4 tile so the
+  // golden blobs exercise clipped boundary tiles. Dyadic-exact terms
+  // only (no libm): the field, and therefore the container bytes, are
+  // platform-independent. (The frozen v1 goldens were generated from a
+  // different, sin-based input; irrelevant, since they are decode-only.)
+  Array3<double> data({12, 10, 9});
+  for (std::int64_t f = 0; f < data.size(); ++f) {
+    const auto h = static_cast<std::uint64_t>(f) * 2654435761ULL;
+    data[f] = static_cast<double>(h % 1024) / 64.0 - 8.0 +
+              static_cast<double>(f % 11) / 16.0;
+  }
+  const ChunkedCompressor codec(make_compressor("sz-lr"), ChunkShape{8, 8, 4});
+  const Bytes blob = codec.compress(data.view(), 1e-3);
+  const Array3<double> dec = codec.decompress(blob);
+  write_file(dir + "/golden_v2_chunked_szlr.bin", blob);
+  write_file(dir + "/golden_v2_chunked_szlr.dec.bin",
+             {reinterpret_cast<const std::uint8_t*>(dec.data()),
+              static_cast<std::size_t>(dec.size()) * sizeof(double)});
+  std::printf("wrote %s/golden_v2_chunked_szlr.bin (%zu bytes) and "
+              ".dec.bin (%lld doubles)\n",
+              dir.c_str(), blob.size(), static_cast<long long>(dec.size()));
+  return 0;
+}

@@ -1,0 +1,628 @@
+// Region-of-interest decode subsystem (container v2): golden-blob format
+// compatibility, ROI property tests (decompress_region == slice of full
+// decode, bit-for-bit, across codecs/shapes/threads), per-tile stats
+// culling, adversarial v2 header handling, the make_compressor tile-shape
+// suffix, and the AMR/sampling consumers of partial decode.
+//
+// Golden blobs under tests/data/ pin the container format:
+//  - golden_v1_chunked_szlr.bin      version-1 container written by the
+//                                    PR3 code (no stats table). FROZEN:
+//                                    the v1 writer no longer exists; this
+//                                    file can never be regenerated and
+//                                    must decode byte-exactly forever.
+//  - golden_v2_chunked_szlr.bin      current-version container. Regenerate
+//                                    ONLY on an intentional format bump:
+//                                      cmake --build build --target gen_golden_blobs
+//                                      ./build/tests/gen_golden_blobs tests/data
+//  - *.dec.bin                       raw little-endian doubles of the
+//                                    expected decode, byte-compared.
+// Input field/codec for all golden files: golden_field() 12x10x9, sz-lr,
+// tile 8x8x4, abs_eb 1e-3 (kept in lock-step with gen_golden_blobs.cpp).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "amr/sampling.hpp"
+#include "compress/amr_compress.hpp"
+#include "compress/chunked.hpp"
+#include "compress/compressor.hpp"
+#include "sim/fields.hpp"
+#include "sim/tagging.hpp"
+#include "util/bytestream.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace amrvis::compress {
+namespace {
+
+using amr::Box;
+using amr::IntVect;
+
+constexpr const char* kCodecs[] = {"sz-lr", "sz-interp", "zfp-like"};
+
+std::vector<int> thread_counts() {
+#ifdef _OPENMP
+  return {1, 2, std::max(4, omp_get_max_threads())};
+#else
+  return {1};
+#endif
+}
+
+/// RAII restore of the OpenMP thread-count setting.
+class ThreadCountGuard {
+ public:
+#ifdef _OPENMP
+  ThreadCountGuard() : saved_(omp_get_max_threads()) {}
+  ~ThreadCountGuard() { omp_set_num_threads(saved_); }
+  static void set(int n) { omp_set_num_threads(n); }
+
+ private:
+  int saved_;
+#else
+  static void set(int) {}
+#endif
+};
+
+/// Deterministic filler shared with gen_golden_blobs.cpp. Every term is
+/// a small dyadic rational and the sum is exact, so the field is
+/// bit-identical on every platform and compiler — no libm (sin ulp) or
+/// FMA-contraction dependence feeds the byte-exact golden contract.
+Array3<double> deterministic_field(Shape3 s) {
+  Array3<double> data(s);
+  for (std::int64_t f = 0; f < data.size(); ++f) {
+    const auto h = static_cast<std::uint64_t>(f) * 2654435761ULL;
+    data[f] = static_cast<double>(h % 1024) / 64.0 - 8.0 +
+              static_cast<double>(f % 11) / 16.0;
+  }
+  return data;
+}
+
+Array3<double> golden_field() { return deterministic_field({12, 10, 9}); }
+
+ChunkedCompressor golden_codec() {
+  return ChunkedCompressor(make_compressor("sz-lr"), ChunkShape{8, 8, 4});
+}
+
+std::string data_path(const std::string& file) {
+  return std::string(AMRVIS_TEST_DATA_DIR "/") + file;
+}
+
+/// Slice `region` out of a full array (0-based), row-copy like the codec.
+Array3<double> slice(const Array3<double>& full, const Box& region) {
+  Array3<double> out(region.shape());
+  const Shape3 os = out.shape();
+  for (std::int64_t dz = 0; dz < os.nz; ++dz)
+    for (std::int64_t dy = 0; dy < os.ny; ++dy)
+      std::memcpy(&out(0, dy, dz),
+                  &full(region.lo().x, region.lo().y + dy,
+                        region.lo().z + dz),
+                  static_cast<std::size_t>(os.nx) * sizeof(double));
+  return out;
+}
+
+bool bit_equal(const Array3<double>& a, const Array3<double>& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<std::size_t>(a.size()) * sizeof(double)) == 0;
+}
+
+// ------------------------- golden blobs --------------------------------
+
+TEST(RoiGolden, V1BlobStillDecodesByteExact) {
+  const Bytes blob = read_file(data_path("golden_v1_chunked_szlr.bin"));
+  const Bytes expect = read_file(data_path("golden_v1_chunked_szlr.dec.bin"));
+  ASSERT_GE(blob.size(), 5u);
+  EXPECT_EQ(blob[4], 1) << "golden v1 blob is not version 1";
+
+  const ChunkedCompressor codec = golden_codec();
+  const Array3<double> dec = codec.decompress(blob);
+  ASSERT_EQ(static_cast<std::size_t>(dec.size()) * sizeof(double),
+            expect.size());
+  EXPECT_EQ(std::memcmp(dec.data(), expect.data(), expect.size()), 0)
+      << "v1 container decode changed — silent format break";
+}
+
+TEST(RoiGolden, V1BlobSupportsRegionDecode) {
+  // ROI decode must work on pre-stats containers too (no stats needed).
+  const Bytes blob = read_file(data_path("golden_v1_chunked_szlr.bin"));
+  const ChunkedCompressor codec = golden_codec();
+  const Array3<double> full = codec.decompress(blob);
+  const Box region{{3, 2, 1}, {10, 9, 6}};
+  RegionDecodeStats stats;
+  const Array3<double> roi = codec.decompress_region(blob, region, &stats);
+  EXPECT_TRUE(bit_equal(roi, slice(full, region)));
+  EXPECT_EQ(stats.tiles_total, 12);  // 12x10x9 under 8x8x4 = 2*2*3
+  EXPECT_LT(stats.tiles_decoded, stats.tiles_total);
+}
+
+TEST(RoiGolden, V1BlobTilesOverlappingIsConservative) {
+  // A v1 container has no stats table: every tile must be returned, with
+  // an unbounded range, so culling is conservative rather than wrong.
+  const Bytes blob = read_file(data_path("golden_v1_chunked_szlr.bin"));
+  const auto tiles = golden_codec().tiles_overlapping(blob, 0.0, 0.0);
+  ASSERT_EQ(tiles.size(), 12u);
+  for (const TileRegion& t : tiles) {
+    EXPECT_EQ(t.stats.min, -std::numeric_limits<double>::infinity());
+    EXPECT_EQ(t.stats.max, std::numeric_limits<double>::infinity());
+  }
+}
+
+TEST(RoiGolden, V2BlobDecodesByteExactAndReproduces) {
+  const Bytes blob = read_file(data_path("golden_v2_chunked_szlr.bin"));
+  const Bytes expect = read_file(data_path("golden_v2_chunked_szlr.dec.bin"));
+  ASSERT_GE(blob.size(), 5u);
+  EXPECT_EQ(blob[4], 2) << "golden v2 blob is not version 2";
+
+  const ChunkedCompressor codec = golden_codec();
+  const Array3<double> dec = codec.decompress(blob);
+  ASSERT_EQ(static_cast<std::size_t>(dec.size()) * sizeof(double),
+            expect.size());
+  EXPECT_EQ(std::memcmp(dec.data(), expect.data(), expect.size()), 0)
+      << "v2 container decode changed — silent format break";
+
+  // The writer must also still produce these exact bytes: an encoder-side
+  // drift is a format break even if decode still accepts old blobs.
+  const Bytes rewritten = codec.compress(golden_field().view(), 1e-3);
+  EXPECT_EQ(rewritten, blob)
+      << "v2 container bytes changed — regen goldens only on an "
+         "intentional format bump (see header comment)";
+}
+
+// ---------------------- ROI property tests -----------------------------
+
+/// Region boxes exercising the ISSUE grid for a given field shape:
+/// full field, single cell, a box straddling tile seams, and a 1-thick
+/// plane. All are clipped into the field.
+std::vector<Box> region_cases(const Shape3& s, const ChunkShape& tile) {
+  const Box field = Box::from_shape(s);
+  std::vector<Box> regions;
+  regions.push_back(field);  // region == full
+  const IntVect mid{s.nx / 2, s.ny / 2, s.nz / 2};
+  regions.push_back({mid, mid});  // single cell
+  // Straddle the first tile seam on every axis that has one (clip keeps
+  // this valid for sub-tile fields too).
+  const IntVect seam{std::min(tile.nx, s.nx - 1), std::min(tile.ny, s.ny - 1),
+                     std::min(tile.nz, s.nz - 1)};
+  regions.push_back(
+      {elementwise_max(seam - IntVect::uniform(2), IntVect{0, 0, 0}),
+       elementwise_min(seam + IntVect::uniform(2), field.hi())});
+  regions.push_back({{0, 0, s.nz / 2}, {s.nx - 1, s.ny - 1, s.nz / 2}});
+  return regions;
+}
+
+TEST(RoiProperty, RegionEqualsSliceOfFullDecodeAllCodecsShapesThreads) {
+  // Non-multiple-of-tile, tile-exact, sub-tile, 1xNxM and Nx1x1 shapes.
+  const Shape3 shapes[] = {
+      {17, 13, 9}, {8, 8, 8}, {5, 5, 5}, {1, 40, 33}, {40, 1, 1}};
+  const ChunkShape tile{8, 8, 4};
+  ThreadCountGuard guard;
+  for (const char* base : kCodecs) {
+    for (const Shape3& s : shapes) {
+      const Array3<double> data = deterministic_field(s);
+      const double abs_eb = resolve_abs_eb(ErrorBoundMode::kRelative, 1e-3,
+                                           data.span());
+      const ChunkedCompressor codec(make_compressor(base), tile);
+      const Bytes blob = codec.compress(data.view(), abs_eb);
+      const Array3<double> full = codec.decompress(blob);
+      for (const Box& region : region_cases(s, tile)) {
+        const Array3<double> expect = slice(full, region);
+        for (const int nt : thread_counts()) {
+          ThreadCountGuard::set(nt);
+          const Array3<double> roi = codec.decompress_region(blob, region);
+          EXPECT_TRUE(bit_equal(roi, expect))
+              << base << " shape " << s.nx << "x" << s.ny << "x" << s.nz
+              << " region " << region << " at " << nt << " threads";
+        }
+      }
+    }
+  }
+}
+
+TEST(RoiProperty, DecodesOnlyIntersectingTiles) {
+  // 16x16x8 under 8x8x4 tiles = 2x2x2 grid of 8 tiles.
+  const Array3<double> data = deterministic_field({16, 16, 8});
+  const ChunkedCompressor codec(make_compressor("sz-lr"), ChunkShape{8, 8, 4});
+  const Bytes blob = codec.compress(data.view(), 1e-3);
+
+  RegionDecodeStats stats;
+  // Interior of tile 0 only.
+  (void)codec.decompress_region(blob, {{1, 1, 1}, {3, 3, 2}}, &stats);
+  EXPECT_EQ(stats.tiles_decoded, 1);
+  EXPECT_EQ(stats.tiles_total, 8);
+  // Straddles the x and y seams in the low-z slab: 4 tiles.
+  (void)codec.decompress_region(blob, {{6, 6, 0}, {9, 9, 3}}, &stats);
+  EXPECT_EQ(stats.tiles_decoded, 4);
+  // Full field: all 8.
+  (void)codec.decompress_region(blob, Box::from_shape(data.shape()), &stats);
+  EXPECT_EQ(stats.tiles_decoded, 8);
+}
+
+TEST(RoiProperty, RegionOutsideFieldThrows) {
+  const Array3<double> data = deterministic_field({16, 16, 8});
+  const ChunkedCompressor codec(make_compressor("sz-lr"), ChunkShape{8, 8, 4});
+  const Bytes blob = codec.compress(data.view(), 1e-3);
+  EXPECT_THROW((void)codec.decompress_region(blob, {{0, 0, 0}, {16, 15, 7}}),
+               Error);
+  EXPECT_THROW(
+      (void)codec.decompress_region(blob, {{-1, 0, 0}, {3, 3, 3}}, nullptr),
+      Error);
+}
+
+// ----------------------- per-tile stats culling ------------------------
+
+TEST(RoiStats, TilesOverlappingCullsByValueRange) {
+  // Each 8x8x4 tile of a 16x16x8 field holds its own tile index as a
+  // constant, so per-tile stats are exact: min = max = index.
+  const ChunkShape tile{8, 8, 4};
+  Array3<double> data({16, 16, 8});
+  for (std::int64_t k = 0; k < 8; ++k)
+    for (std::int64_t j = 0; j < 16; ++j)
+      for (std::int64_t i = 0; i < 16; ++i)
+        data(i, j, k) = static_cast<double>((k / tile.nz) * 4 +
+                                            (j / tile.ny) * 2 + i / tile.nx);
+  const ChunkedCompressor codec(make_compressor("sz-lr"), tile);
+  const Bytes blob = codec.compress(data.view(), 1e-6);
+
+  const auto band = codec.tiles_overlapping(blob, 2.5, 4.5);
+  ASSERT_EQ(band.size(), 2u);
+  EXPECT_EQ(band[0].index, 3);
+  EXPECT_EQ(band[1].index, 4);
+  EXPECT_EQ(band[0].box, (Box{{8, 8, 0}, {15, 15, 3}}));
+  EXPECT_EQ(band[1].box, (Box{{0, 0, 4}, {7, 7, 7}}));
+  EXPECT_EQ(band[0].stats.min, 3.0);
+  EXPECT_EQ(band[0].stats.max, 3.0);
+
+  EXPECT_EQ(codec.tiles_overlapping(blob, 2.0, 2.0).size(), 1u);
+  EXPECT_EQ(codec.tiles_overlapping(blob, 100.0, 200.0).size(), 0u);
+  EXPECT_EQ(codec.tiles_overlapping(blob, -1e300, 1e300).size(), 8u);
+  EXPECT_THROW((void)codec.tiles_overlapping(blob, 1.0, 0.0), Error);
+
+  // The culled tile set is sufficient: decoding just those tiles yields
+  // every cell in the value band (the isosurface access pattern).
+  const Array3<double> full = codec.decompress(blob);
+  for (const TileRegion& t : band) {
+    const Array3<double> part = codec.decompress_region(blob, t.box);
+    EXPECT_TRUE(bit_equal(part, slice(full, t.box)));
+  }
+}
+
+TEST(RoiStats, NanAndInfCellsDoNotPoisonStats) {
+  // The quantizer stores non-finite values losslessly, so NaN-masked
+  // fields are legal codec inputs; the v2 writer must not emit NaN stats
+  // its own parser would reject (min <= max validation). NaN cells are
+  // skipped, an all-NaN tile records the conservative (-inf, +inf)
+  // range, and infinities are genuine range endpoints.
+  const ChunkShape tile{8, 8, 4};
+  Array3<double> data = deterministic_field({16, 16, 8});
+  // Tile 0 ([0..7]x[0..7]x[0..3]): all NaN. Tile 1: one +inf cell.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (std::int64_t k = 0; k < 4; ++k)
+    for (std::int64_t j = 0; j < 8; ++j)
+      for (std::int64_t i = 0; i < 8; ++i) data(i, j, k) = nan;
+  data(12, 3, 1) = std::numeric_limits<double>::infinity();
+
+  const ChunkedCompressor codec(make_compressor("sz-lr"), tile);
+  const Bytes blob = codec.compress(data.view(), 1e-3);  // must not throw
+  const Array3<double> out = codec.decompress(blob);     // on decode either
+
+  // Non-finite cells round-trip bit-exactly through the outlier path.
+  for (std::int64_t k = 0; k < 4; ++k)
+    for (std::int64_t j = 0; j < 8; ++j)
+      for (std::int64_t i = 0; i < 8; ++i)
+        EXPECT_TRUE(std::isnan(out(i, j, k)));
+  EXPECT_EQ(out(12, 3, 1), std::numeric_limits<double>::infinity());
+
+  // Region decode through the NaN tile and across its seam still equals
+  // the full-decode slice bit-for-bit (NaN-safe comparison via memcmp).
+  const Box seam{{5, 5, 1}, {10, 10, 5}};
+  EXPECT_TRUE(bit_equal(codec.decompress_region(blob, seam),
+                        slice(out, seam)));
+
+  // All-NaN tile 0: unbounded range, so every band query returns it.
+  const auto hits = codec.tiles_overlapping(blob, -2.0, -1.5);
+  bool tile0_hit = false;
+  for (const TileRegion& t : hits)
+    if (t.index == 0) {
+      tile0_hit = true;
+      EXPECT_EQ(t.stats.min, -std::numeric_limits<double>::infinity());
+      EXPECT_EQ(t.stats.max, std::numeric_limits<double>::infinity());
+    }
+  EXPECT_TRUE(tile0_hit);
+  // Tile 1's +inf is a real endpoint: an arbitrarily high band hits it.
+  bool tile1_hit = false;
+  for (const TileRegion& t : codec.tiles_overlapping(blob, 1e300, 1e308))
+    tile1_hit |= t.index == 1;
+  EXPECT_TRUE(tile1_hit);
+}
+
+// -------------------- adversarial v2 headers ---------------------------
+
+// v2 container offsets for a "sz-lr" container (name length 5):
+// magic@0(4) version@4(2) namelen@6(2) name@8(5) shape@13(3x i64)
+// tile@37(3x i64) ntiles@61(u64) sizes@69(8*n) stats@69+8n(16*n) payload.
+constexpr std::size_t kSizesOff = 69;
+
+/// 16x16x8 sz-lr container, 8 tiles: sizes@69..133, stats@133..261.
+Bytes adversarial_container() {
+  const Array3<double> data = deterministic_field({16, 16, 8});
+  const ChunkedCompressor codec(make_compressor("sz-lr"), ChunkShape{8, 8, 4});
+  return codec.compress(data.view(), 1e-3);
+}
+
+ChunkedCompressor adversarial_codec() {
+  return ChunkedCompressor(make_compressor("sz-lr"), ChunkShape{8, 8, 4});
+}
+
+constexpr std::size_t kNtiles = 8;
+constexpr std::size_t kStatsOff = kSizesOff + 8 * kNtiles;
+
+TEST(RoiAdversarial, TruncatedStatsTableThrows) {
+  const ChunkedCompressor codec = adversarial_codec();
+  // Cut in the middle of the stats table (drops the payload too) and
+  // right before its last byte: both must throw, never read OOB.
+  for (const std::size_t keep :
+       {kStatsOff + 5, kStatsOff + 16 * kNtiles - 1}) {
+    Bytes blob = adversarial_container();
+    ASSERT_GT(blob.size(), keep);
+    blob.resize(keep);
+    EXPECT_THROW((void)codec.decompress(blob), Error);
+    EXPECT_THROW((void)codec.decompress_region(blob, {{0, 0, 0}, {1, 1, 1}}),
+                 Error);
+  }
+}
+
+TEST(RoiAdversarial, StatsTableLengthDisagreeingWithNtilesThrows) {
+  // Remove exactly one stats entry: the header still claims 8 tiles, so
+  // parsing consumes 16 payload bytes as stats and the payload comes up
+  // short — the container must be rejected, not mis-sliced.
+  const ChunkedCompressor codec = adversarial_codec();
+  Bytes blob = adversarial_container();
+  blob.erase(blob.begin() + static_cast<std::ptrdiff_t>(kStatsOff),
+             blob.begin() + static_cast<std::ptrdiff_t>(kStatsOff + 16));
+  EXPECT_THROW((void)codec.decompress(blob), Error);
+}
+
+TEST(RoiAdversarial, MinGreaterThanMaxThrows) {
+  const ChunkedCompressor codec = adversarial_codec();
+  Bytes blob = adversarial_container();
+  double mn, mx;
+  std::memcpy(&mn, blob.data() + kStatsOff, sizeof(mn));
+  std::memcpy(&mx, blob.data() + kStatsOff + 8, sizeof(mx));
+  ASSERT_LT(mn, mx);
+  std::memcpy(blob.data() + kStatsOff, &mx, sizeof(mx));
+  std::memcpy(blob.data() + kStatsOff + 8, &mn, sizeof(mn));
+  EXPECT_THROW((void)codec.decompress(blob), Error);
+  EXPECT_THROW((void)codec.tiles_overlapping(blob, 0.0, 1.0), Error);
+}
+
+TEST(RoiAdversarial, NanStatsThrow) {
+  // A NaN range poisons every comparison the culling predicate makes; it
+  // must be rejected like min > max.
+  const ChunkedCompressor codec = adversarial_codec();
+  Bytes blob = adversarial_container();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::memcpy(blob.data() + kStatsOff, &nan, sizeof(nan));
+  EXPECT_THROW((void)codec.decompress(blob), Error);
+}
+
+TEST(RoiAdversarial, V2MagicWithV1LengthThrows) {
+  // A v1-sized blob (no stats table) relabeled as v2: the stats parse
+  // would eat payload bytes, so the tile slicing must come up short.
+  Bytes blob = read_file(data_path("golden_v1_chunked_szlr.bin"));
+  ASSERT_EQ(blob[4], 1);
+  blob[4] = 2;
+  EXPECT_THROW((void)golden_codec().decompress(blob), Error);
+}
+
+TEST(RoiAdversarial, V1MagicWithV2LengthThrows) {
+  // The converse: a v2 blob relabeled v1 leaves the stats table inside
+  // the payload area, so tile slots point at stats doubles — the inner
+  // codec must reject them (and the trailing-bytes check backstops it).
+  const ChunkedCompressor codec = adversarial_codec();
+  Bytes blob = adversarial_container();
+  blob[4] = 1;
+  EXPECT_THROW((void)codec.decompress(blob), Error);
+}
+
+// ----------------------- factory tile suffix ---------------------------
+
+TEST(RoiFactory, TileSuffixRoundTrips) {
+  const auto codec = make_compressor("chunked-sz-lr@8x8x4");
+  EXPECT_EQ(codec->name(), "chunked-sz-lr@8x8x4");
+  // name() -> make_compressor -> name() is a fixed point.
+  EXPECT_EQ(make_compressor(codec->name())->name(), codec->name());
+  // Default tile shape keeps the suffix-free name.
+  EXPECT_EQ(make_compressor("chunked-sz-lr")->name(), "chunked-sz-lr");
+
+  // The suffix actually selects the tile grid: 16x16x8 under 8x8x4 = 8.
+  const Array3<double> data = deterministic_field({16, 16, 8});
+  const Bytes blob = data.size() > 0 ? codec->compress(data.view(), 1e-3)
+                                     : Bytes{};
+  const auto* chunked = dynamic_cast<const ChunkedCompressor*>(codec.get());
+  ASSERT_NE(chunked, nullptr);
+  RegionDecodeStats stats;
+  (void)chunked->decompress_region(blob, {{0, 0, 0}, {0, 0, 0}}, &stats);
+  EXPECT_EQ(stats.tiles_total, 8);
+
+  // A suffixed codec decodes blobs a default-tile codec wrote (tile shape
+  // comes from the header, not the codec): container compatibility.
+  const auto other = make_compressor("chunked-sz-lr@4x4x4");
+  EXPECT_TRUE(bit_equal(other->decompress(blob), codec->decompress(blob)));
+}
+
+TEST(RoiFactory, MalformedTileSuffixThrows) {
+  for (const char* name :
+       {"chunked-sz-lr@", "chunked-sz-lr@8x8", "chunked-sz-lr@0x8x8",
+        "chunked-sz-lr@8x8x-4", "chunked-sz-lr@ax8x8", "chunked-sz-lr@8x8x8x8",
+        "chunked-@8x8x8"}) {
+    EXPECT_THROW((void)make_compressor(name), Error) << name;
+  }
+}
+
+// ------------------- AMR + sampling consumers --------------------------
+
+sim::SyntheticDataset make_test_dataset() {
+  Array3<double> field = sim::nyx_like_density({32, 32, 32});
+  sim::TaggingSpec spec;
+  spec.fine_fraction = 0.3;
+  spec.block = 4;
+  spec.max_grid_size = 16;
+  return sim::build_two_level_hierarchy(std::move(field), spec);
+}
+
+/// Chunk every patch (16^3 = 4096 > 1000) with small tiles so partial
+/// decode is observable on a test-sized hierarchy.
+AmrChunkPolicy test_policy() {
+  AmrChunkPolicy policy;
+  policy.oversized_patch_cells = 1000;
+  policy.tile = ChunkShape{8, 8, 8};
+  return policy;
+}
+
+TEST(RoiAmr, LevelRegionMatchesFullDecodeChunkedAndPlain) {
+  const sim::SyntheticDataset ds = make_test_dataset();
+  const auto codec = make_compressor("sz-lr");
+  for (const bool chunk_patches : {false, true}) {
+    const AmrCompressed compressed = compress_hierarchy(
+        ds.hierarchy, *codec, 1e-3, RedundantHandling::kKeep,
+        chunk_patches ? test_policy() : AmrChunkPolicy{});
+    const amr::AmrHierarchy full = decompress_hierarchy(compressed, *codec);
+    for (int l = 0; l < full.num_levels(); ++l) {
+      const Box dom = compressed.domains[static_cast<std::size_t>(l)];
+      const IntVect mid = floor_div(dom.lo() + dom.hi(), IntVect::uniform(2));
+      const Box region{elementwise_max(dom.lo(), mid - IntVect::uniform(3)),
+                       elementwise_min(dom.hi(), mid + IntVect::uniform(3))};
+      RegionDecodeStats stats;
+      const auto rps =
+          decompress_level_region(compressed, *codec, l, region, &stats);
+      ASSERT_FALSE(rps.empty());
+      for (const RegionPatch& rp : rps) {
+        const amr::FArrayBox& fab =
+            full.level(l).fabs[static_cast<std::size_t>(rp.patch)];
+        const Box local{rp.box.lo() - fab.box().lo(),
+                        rp.box.hi() - fab.box().lo()};
+        Array3<double> fab_data(fab.box().shape());
+        std::copy(fab.values().begin(), fab.values().end(),
+                  fab_data.span().begin());
+        EXPECT_TRUE(bit_equal(rp.data, slice(fab_data, local)))
+            << "level " << l << " patch " << rp.patch
+            << (chunk_patches ? " (chunked)" : " (plain)");
+      }
+    }
+    if (chunk_patches) {
+      // Level 0 is a single 16^3 patch carrying 8 tiles under the 8^3
+      // policy; a corner region must inflate exactly one of them.
+      const Box dom0 = compressed.domains[0];
+      RegionDecodeStats stats;
+      (void)decompress_level_region(
+          compressed, *codec, 0,
+          {dom0.lo(), dom0.lo() + IntVect::uniform(2)}, &stats);
+      EXPECT_EQ(stats.tiles_total, 8);
+      EXPECT_EQ(stats.tiles_decoded, 1)
+          << "corner region decode inflated more than its tile";
+    }
+  }
+}
+
+TEST(RoiAmr, LevelRegionValidation) {
+  const sim::SyntheticDataset ds = make_test_dataset();
+  const auto codec = make_compressor("sz-lr");
+  const AmrCompressed compressed = compress_hierarchy(
+      ds.hierarchy, *codec, 1e-3, RedundantHandling::kKeep);
+  EXPECT_THROW((void)decompress_level_region(compressed, *codec, -1,
+                                             {{0, 0, 0}, {1, 1, 1}}),
+               Error);
+  EXPECT_THROW((void)decompress_level_region(compressed, *codec, 99,
+                                             {{0, 0, 0}, {1, 1, 1}}),
+               Error);
+  const auto other = make_compressor("sz-interp");
+  EXPECT_THROW((void)decompress_level_region(compressed, *other, 0,
+                                             {{0, 0, 0}, {1, 1, 1}}),
+               Error);
+  // A disjoint region is not an error: it decodes nothing.
+  const auto rps = decompress_level_region(
+      compressed, *codec, 0, {{-10, -10, -10}, {-5, -5, -5}});
+  EXPECT_TRUE(rps.empty());
+}
+
+TEST(RoiSampling, PointMatchesCompositeUniform) {
+  const sim::SyntheticDataset ds = make_test_dataset();
+  const auto codec = make_compressor("sz-lr");
+  for (const auto handling :
+       {RedundantHandling::kKeep, RedundantHandling::kMeanFill}) {
+    const AmrCompressed compressed = compress_hierarchy(
+        ds.hierarchy, *codec, 1e-3, handling, test_policy());
+    const Array3<double> composite =
+        decompress_hierarchy(compressed, *codec).composite_uniform();
+    const Box fd = compressed.domains.back();
+    const IntVect probes[] = {fd.lo(), fd.hi(),
+                              floor_div(fd.lo() + fd.hi(),
+                                        IntVect::uniform(2)),
+                              fd.lo() + IntVect{3, 29, 17}};
+    for (const IntVect p : probes) {
+      RegionDecodeStats stats;
+      const double v =
+          amr::sample_point_compressed(compressed, *codec, p, &stats);
+      const IntVect o = p - fd.lo();
+      EXPECT_EQ(v, composite(o.x, o.y, o.z)) << "point " << p;
+      EXPECT_GE(stats.tiles_decoded, 1);
+    }
+    EXPECT_THROW((void)amr::sample_point_compressed(
+                     compressed, *codec, fd.hi() + IntVect::uniform(1)),
+                 Error);
+  }
+}
+
+TEST(RoiSampling, PlaneMatchesCompositeSlice) {
+  const sim::SyntheticDataset ds = make_test_dataset();
+  const auto codec = make_compressor("sz-lr");
+  const AmrCompressed compressed = compress_hierarchy(
+      ds.hierarchy, *codec, 1e-3, RedundantHandling::kMeanFill,
+      test_policy());
+  const Array3<double> composite =
+      decompress_hierarchy(compressed, *codec).composite_uniform();
+  const Box fd = compressed.domains.back();
+  const Shape3 fs = fd.shape();
+
+  for (int axis = 0; axis < 3; ++axis) {
+    const std::int64_t extent = axis == 0 ? fs.nx : axis == 1 ? fs.ny : fs.nz;
+    for (const std::int64_t rel : {std::int64_t{0}, extent / 2, extent - 1}) {
+      const std::int64_t index = fd.lo()[axis] + rel;
+      RegionDecodeStats stats;
+      const Array3<double> plane = amr::sample_plane_compressed(
+          compressed, *codec, axis, index, &stats);
+      // Build the expected slice from the composite.
+      Shape3 ps = fs;
+      (axis == 0 ? ps.nx : axis == 1 ? ps.ny : ps.nz) = 1;
+      ASSERT_EQ(plane.shape(), ps);
+      bool equal = true;
+      for (std::int64_t k = 0; k < ps.nz && equal; ++k)
+        for (std::int64_t j = 0; j < ps.ny && equal; ++j)
+          for (std::int64_t i = 0; i < ps.nx && equal; ++i) {
+            IntVect o{i, j, k};
+            o[axis] = rel;
+            equal = plane(i, j, k) == composite(o.x, o.y, o.z);
+          }
+      EXPECT_TRUE(equal) << "axis " << axis << " index " << index;
+      // Partial decode: a plane cannot need every tile of a 3-D field.
+      EXPECT_LT(stats.tiles_decoded, stats.tiles_total)
+          << "axis " << axis << " index " << index;
+    }
+  }
+
+  EXPECT_THROW(
+      (void)amr::sample_plane_compressed(compressed, *codec, 3, 0), Error);
+  EXPECT_THROW((void)amr::sample_plane_compressed(compressed, *codec, 0,
+                                                  fd.hi().x + 1),
+               Error);
+}
+
+}  // namespace
+}  // namespace amrvis::compress

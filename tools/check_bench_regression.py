@@ -1,28 +1,46 @@
 #!/usr/bin/env python3
-"""Gate bench_throughput runs against the committed BENCH trajectory.
+"""Gate bench JSON runs against the committed BENCH_* trajectories.
 
-Usage:
+Throughput mode (default):
     check_bench_regression.py BASELINE.json CURRENT.json \
         [--max-regression 0.15] [--codec sz-lr] [--stage compress] \
         [--threads 1] [--min-scaling 2.0] [--scaling-codec chunked-sz-lr] \
         [--scaling-threads 4]
 
-BASELINE.json is either the committed trajectory file (BENCH_throughput.json,
-in which case the *last* trajectory entry is the baseline) or a flat
-bench_throughput --json output. CURRENT.json is a bench_throughput --json
-output. The script prints a comparison for every (codec, stage, threads)
-record carrying mb_per_s, and exits non-zero if the gated metric (default:
-sz-lr compress at 1 thread) regressed more than --max-regression against
-the baseline. Records without a `threads` field (pre-PR3 baselines) are
-treated as single-thread, so the single-thread trajectory gating is
-unaffected by the multi-thread records.
+Quality mode (fig11/ablation/roi trend gating):
+    check_bench_regression.py BASELINE.json CURRENT.json \
+        --mode quality --metrics ratio,psnr_db [--tolerance 0.02]
 
-With --min-scaling, the script additionally requires CURRENT's
+BASELINE.json is either a committed trajectory file (BENCH_*.json, in
+which case the *last* trajectory entry is the baseline) or a flat bench
+--json output. CURRENT.json is a bench --json output.
+
+In throughput mode the script prints a comparison for every (codec,
+stage, threads) record carrying mb_per_s, and exits non-zero if the gated
+metric (default: sz-lr compress at 1 thread) regressed more than
+--max-regression against the baseline. Records without a `threads` field
+(pre-PR3 baselines) are treated as single-thread, so the single-thread
+trajectory gating is unaffected by the multi-thread records.
+
+With --min-scaling, throughput mode additionally requires CURRENT's
 --scaling-codec compress throughput at --scaling-threads threads to be at
 least --min-scaling times its own 1-thread record. That check compares two
 measurements from the same run on the same machine, so it is valid on any
 multi-core runner regardless of the committed baseline's hardware (the
 reference container is single-core and cannot demonstrate scaling).
+
+In quality mode, records are matched on the set of their string- and
+integer-valued fields (codec/variant/vis_method/stage/threads/...) minus
+the gated metrics themselves, and every gated metric of every baseline
+record must satisfy current >= (1 - tolerance) * baseline.
+Metrics are treated as higher-is-better (ratio, psnr_db, rssim-style
+similarity, speedup); do not list error-style metrics where lower is
+better. A baseline record with no match in CURRENT fails the gate —
+silently dropping a measured configuration is itself a regression.
+Compression ratio and PSNR of the seeded synthetic studies are
+deterministic, so the default 2% tolerance only absorbs harmless noise;
+the roi speedup gate uses a looser tolerance because it is a timing
+ratio.
 
 Absolute MB/s is hardware-dependent; the default 15% tolerance assumes
 baseline and current were measured on comparable machines (CI runners of
@@ -64,6 +82,65 @@ def config_of(records):
     return None
 
 
+def quality_key(record, metrics):
+    """Identity of a quality record: its string- and integer-valued
+    fields, minus the gated metrics themselves. Integers matter:
+    records can differ only in `threads` (or a tile count) while sharing
+    every string field, and collapsing them onto one key would let a
+    regression in the overwritten record pass silently. Gated metrics
+    are excluded by name rather than by type because %.9g emission turns
+    an integral measurement into a JSON int."""
+    return tuple(sorted((k, v) for k, v in record.items()
+                        if isinstance(v, (str, int)) and k not in metrics))
+
+
+def run_quality(base_records, cur_records, metrics, tolerance):
+    """Gate higher-is-better metrics record-by-record; 0 ok, 1 regressed,
+    2 structural mismatch (baseline record missing from current)."""
+    current = {quality_key(r, metrics): r for r in cur_records
+               if r.get("stage") != "config"}
+    status = 0
+    checked = 0
+    for base in base_records:
+        if base.get("stage") == "config":
+            continue
+        gated = [m for m in metrics if m in base]
+        if not gated:
+            continue
+        ident = ", ".join(f"{k}={v}" for k, v in quality_key(base, metrics))
+        cur = current.get(quality_key(base, metrics))
+        if cur is None:
+            print(f"FAIL: baseline record ({ident}) missing from current "
+                  f"JSON", file=sys.stderr)
+            status = max(status, 2)
+            continue
+        for m in gated:
+            if m not in cur:
+                print(f"FAIL: metric {m} missing from current ({ident})",
+                      file=sys.stderr)
+                status = max(status, 2)
+                continue
+            b, c = float(base[m]), float(cur[m])
+            floor = (1.0 - tolerance) * b
+            checked += 1
+            mark = "ok"
+            if c < floor:
+                mark = "REGRESSED"
+                status = max(status, 1)
+                print(f"FAIL: {m} regressed for ({ident}): {c:.4g} < "
+                      f"floor {floor:.4g} (baseline {b:.4g})",
+                      file=sys.stderr)
+            print(f"{ident:<60} {m:<10} {b:>10.4g} {c:>10.4g} {mark}")
+    if checked == 0:
+        print("FAIL: no baseline records carry the gated metrics "
+              f"({','.join(metrics)})", file=sys.stderr)
+        return 2
+    if status == 0:
+        print(f"OK: {checked} quality metrics within "
+              f"{tolerance:.0%} of baseline")
+    return status
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline")
@@ -80,12 +157,25 @@ def main():
                          "(within CURRENT; machine-independent ratio)")
     ap.add_argument("--scaling-codec", default="chunked-sz-lr")
     ap.add_argument("--scaling-threads", type=int, default=4)
+    ap.add_argument("--mode", choices=("throughput", "quality"),
+                    default="throughput")
+    ap.add_argument("--metrics", default="ratio,psnr_db",
+                    help="quality mode: comma list of higher-is-better "
+                         "record keys to gate")
+    ap.add_argument("--tolerance", type=float, default=0.02,
+                    help="quality mode: allowed fractional decrease")
     args = ap.parse_args()
 
     with open(args.baseline, encoding="utf-8") as f:
         base_records, base_rev = records_of(json.load(f))
     with open(args.current, encoding="utf-8") as f:
         cur_records, _ = records_of(json.load(f))
+
+    if args.mode == "quality":
+        print(f"baseline: {args.baseline} ({base_rev})")
+        return run_quality(base_records, cur_records,
+                           [m for m in args.metrics.split(",") if m],
+                           args.tolerance)
 
     base_cfg = config_of(base_records)
     cur_cfg = config_of(cur_records)

@@ -1,0 +1,276 @@
+#!/usr/bin/env python3
+"""Tests for tools/check_bench_regression.py — the CI perf/quality gate.
+
+The gate decides whether CI goes red, so it needs its own suite: baseline
+matching across trajectory vs flat files, the missing-`threads` default
+(pre-PR3 records are single-thread), --min-scaling, config mismatch, and
+the quality mode added for the fig11/ablation/roi trend gating.
+
+Written as stdlib unittest so it runs anywhere Python runs; pytest
+collects unittest classes, so CI runs it via `pytest tools` and local
+ctest runs it via `python3 -m unittest discover -s tools`.
+"""
+
+import importlib.util
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_bench_regression",
+    os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                 "check_bench_regression.py"))
+cbr = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(cbr)
+
+
+def record(codec, stage, mb_per_s, threads=None, **extra):
+    r = {"codec": codec, "stage": stage, "mb_per_s": mb_per_s}
+    if threads is not None:
+        r["threads"] = threads
+    r.update(extra)
+    return r
+
+
+CONFIG = {"stage": "config", "field": "warpx_like_ez", "nx": 64, "ny": 64,
+          "nz": 128, "threads": 1}
+
+
+class GateHarness(unittest.TestCase):
+    """Writes temp JSON files and runs main() with a patched argv."""
+
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self._tmp.cleanup)
+
+    def write(self, name, doc):
+        path = os.path.join(self._tmp.name, name)
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(doc, f)
+        return path
+
+    def run_gate(self, baseline, current, *flags):
+        argv = sys.argv
+        sys.argv = ["check_bench_regression.py", baseline, current,
+                    *flags]
+        try:
+            return cbr.main()
+        finally:
+            sys.argv = argv
+
+    def flat(self, records):
+        return {"bench": "throughput", "records": records}
+
+    def trajectory(self, *entries):
+        return {"bench": "throughput",
+                "trajectory": [{"rev": f"r{i}", "records": rs}
+                               for i, rs in enumerate(entries)]}
+
+
+class RecordsOfTest(unittest.TestCase):
+    def test_flat_doc(self):
+        records, rev = cbr.records_of({"bench": "b", "records": [{"a": 1}]})
+        self.assertEqual(records, [{"a": 1}])
+        self.assertEqual(rev, "b")
+
+    def test_trajectory_uses_last_entry(self):
+        doc = {"trajectory": [
+            {"rev": "old", "records": [{"v": 1}]},
+            {"rev": "new", "records": [{"v": 2}]}]}
+        records, rev = cbr.records_of(doc)
+        self.assertEqual(records, [{"v": 2}])
+        self.assertEqual(rev, "new")
+
+    def test_missing_threads_defaults_to_one(self):
+        # Pre-PR3 baselines carry no threads field; they must keep
+        # matching the single-thread gate.
+        self.assertEqual(cbr.threads_of({"codec": "sz-lr"}), 1)
+        self.assertEqual(cbr.threads_of({"threads": 4}), 4)
+
+    def test_find_matches_on_codec_stage_threads(self):
+        records = [record("sz-lr", "compress", 100.0),
+                   record("sz-lr", "compress", 400.0, threads=4)]
+        self.assertEqual(cbr.find(records, "sz-lr", "compress"), 100.0)
+        self.assertEqual(
+            cbr.find(records, "sz-lr", "compress", threads=4), 400.0)
+        self.assertIsNone(cbr.find(records, "sz-lr", "decompress"))
+
+
+class ThroughputGateTest(GateHarness):
+    def test_within_tolerance_passes(self):
+        base = self.write("b.json", self.flat(
+            [CONFIG, record("sz-lr", "compress", 100.0, threads=1)]))
+        cur = self.write("c.json", self.flat(
+            [CONFIG, record("sz-lr", "compress", 90.0, threads=1)]))
+        self.assertEqual(self.run_gate(base, cur), 0)
+
+    def test_regression_fails(self):
+        base = self.write("b.json", self.flat(
+            [CONFIG, record("sz-lr", "compress", 100.0, threads=1)]))
+        cur = self.write("c.json", self.flat(
+            [CONFIG, record("sz-lr", "compress", 50.0, threads=1)]))
+        self.assertEqual(self.run_gate(base, cur), 1)
+
+    def test_missing_threads_baseline_still_gates(self):
+        # A pre-PR3 baseline (no threads field) must gate a current run
+        # whose records carry threads=1.
+        base = self.write("b.json", self.trajectory(
+            [CONFIG, record("sz-lr", "compress", 100.0)]))
+        cur = self.write("c.json", self.flat(
+            [CONFIG, record("sz-lr", "compress", 50.0, threads=1)]))
+        self.assertEqual(self.run_gate(base, cur), 1)
+
+    def test_multithread_records_do_not_alias_the_gate(self):
+        # A fast 4-thread record must not mask a 1-thread regression.
+        base = self.write("b.json", self.flat(
+            [CONFIG, record("sz-lr", "compress", 100.0, threads=1)]))
+        cur = self.write("c.json", self.flat(
+            [CONFIG, record("sz-lr", "compress", 50.0, threads=1),
+             record("sz-lr", "compress", 400.0, threads=4)]))
+        self.assertEqual(self.run_gate(base, cur), 1)
+
+    def test_missing_gated_metric_is_structural_failure(self):
+        base = self.write("b.json", self.flat(
+            [CONFIG, record("sz-lr", "compress", 100.0, threads=1)]))
+        cur = self.write("c.json", self.flat([CONFIG]))
+        self.assertEqual(self.run_gate(base, cur), 2)
+
+    def test_config_mismatch_is_structural_failure(self):
+        other = dict(CONFIG, nx=128)
+        base = self.write("b.json", self.flat(
+            [CONFIG, record("sz-lr", "compress", 100.0, threads=1)]))
+        cur = self.write("c.json", self.flat(
+            [other, record("sz-lr", "compress", 100.0, threads=1)]))
+        self.assertEqual(self.run_gate(base, cur), 2)
+
+    def test_trajectory_gates_against_last_entry(self):
+        base = self.write("b.json", self.trajectory(
+            [CONFIG, record("sz-lr", "compress", 50.0, threads=1)],
+            [CONFIG, record("sz-lr", "compress", 100.0, threads=1)]))
+        cur = self.write("c.json", self.flat(
+            [CONFIG, record("sz-lr", "compress", 60.0, threads=1)]))
+        # 60 passes vs the old 50 but must fail vs the last entry's 100.
+        self.assertEqual(self.run_gate(base, cur), 1)
+
+
+class MinScalingTest(GateHarness):
+    def scaling_docs(self, one_thread, four_thread):
+        records = [
+            CONFIG,
+            record("sz-lr", "compress", 100.0, threads=1),
+            record("chunked-sz-lr", "compress", one_thread, threads=1),
+            record("chunked-sz-lr", "compress", four_thread, threads=4),
+        ]
+        return (self.write("b.json", self.flat(records)),
+                self.write("c.json", self.flat(records)))
+
+    def test_scaling_met_passes(self):
+        base, cur = self.scaling_docs(100.0, 250.0)
+        self.assertEqual(self.run_gate(base, cur, "--min-scaling", "2.0"), 0)
+
+    def test_scaling_missed_fails(self):
+        base, cur = self.scaling_docs(100.0, 150.0)
+        self.assertEqual(self.run_gate(base, cur, "--min-scaling", "2.0"), 1)
+
+    def test_scaling_records_missing_is_structural_failure(self):
+        records = [CONFIG, record("sz-lr", "compress", 100.0, threads=1)]
+        base = self.write("b.json", self.flat(records))
+        cur = self.write("c.json", self.flat(records))
+        self.assertEqual(self.run_gate(base, cur, "--min-scaling", "2.0"), 2)
+
+
+class QualityGateTest(GateHarness):
+    def quality_records(self, ratio, psnr):
+        return [
+            {"codec": "sz-lr", "vis_method": "resampling", "ratio": ratio,
+             "psnr_db": psnr},
+            {"codec": "sz-interp", "vis_method": "dual_cell", "ratio": 30.0,
+             "psnr_db": 70.0},
+        ]
+
+    def run_quality(self, base, cur, *flags):
+        return self.run_gate(base, cur, "--mode", "quality", *flags)
+
+    def test_identical_passes(self):
+        base = self.write("b.json", self.flat(self.quality_records(20, 65)))
+        cur = self.write("c.json", self.flat(self.quality_records(20, 65)))
+        self.assertEqual(self.run_quality(base, cur), 0)
+
+    def test_ratio_regression_fails(self):
+        base = self.write("b.json", self.flat(self.quality_records(20, 65)))
+        cur = self.write("c.json", self.flat(self.quality_records(15, 65)))
+        self.assertEqual(self.run_quality(base, cur), 1)
+
+    def test_within_tolerance_passes(self):
+        base = self.write("b.json", self.flat(self.quality_records(20, 65)))
+        cur = self.write("c.json", self.flat(
+            self.quality_records(19.9, 64.9)))
+        self.assertEqual(self.run_quality(base, cur), 0)
+
+    def test_tolerance_flag_widens_floor(self):
+        base = self.write("b.json", self.flat(self.quality_records(20, 65)))
+        cur = self.write("c.json", self.flat(self.quality_records(15, 65)))
+        self.assertEqual(
+            self.run_quality(base, cur, "--tolerance", "0.3"), 0)
+
+    def test_dropped_record_is_structural_failure(self):
+        base = self.write("b.json", self.flat(self.quality_records(20, 65)))
+        cur = self.write("c.json", self.flat(
+            self.quality_records(20, 65)[:1]))
+        self.assertEqual(self.run_quality(base, cur), 2)
+
+    def test_matching_ignores_extra_current_records(self):
+        base = self.write("b.json", self.flat(self.quality_records(20, 65)))
+        extended = self.quality_records(20, 65) + [
+            {"codec": "new-codec", "vis_method": "resampling",
+             "ratio": 1.0, "psnr_db": 1.0}]
+        cur = self.write("c.json", self.flat(extended))
+        self.assertEqual(self.run_quality(base, cur), 0)
+
+    def test_custom_metric_list(self):
+        base = self.write("b.json", self.flat(
+            [{"codec": "chunked-sz-lr", "stage": "roi_1tile",
+              "speedup": 8.0}]))
+        ok = self.write("ok.json", self.flat(
+            [{"codec": "chunked-sz-lr", "stage": "roi_1tile",
+              "speedup": 5.0}]))
+        bad = self.write("bad.json", self.flat(
+            [{"codec": "chunked-sz-lr", "stage": "roi_1tile",
+              "speedup": 3.0}]))
+        flags = ("--metrics", "speedup", "--tolerance", "0.5")
+        self.assertEqual(self.run_quality(base, ok, *flags), 0)
+        self.assertEqual(self.run_quality(base, bad, *flags), 1)
+
+    def test_no_gated_metrics_is_structural_failure(self):
+        base = self.write("b.json", self.flat(
+            [{"codec": "sz-lr", "other": 1.0}]))
+        cur = self.write("c.json", self.flat(
+            [{"codec": "sz-lr", "other": 1.0}]))
+        self.assertEqual(self.run_quality(base, cur), 2)
+
+    def test_integer_fields_are_identity_not_collapsed(self):
+        # Records differing only in an int field (threads) must gate
+        # independently: a regression in one must not be masked by the
+        # other overwriting it in the match table.
+        def recs(speedup_1t, speedup_4t):
+            return [{"codec": "chunked-sz-lr", "stage": "roi_1tile",
+                     "threads": 1, "speedup": speedup_1t},
+                    {"codec": "chunked-sz-lr", "stage": "roi_1tile",
+                     "threads": 4, "speedup": speedup_4t}]
+        base = self.write("b.json", self.flat(recs(8.0, 8.0)))
+        cur = self.write("c.json", self.flat(recs(1.0, 8.0)))
+        flags = ("--metrics", "speedup", "--tolerance", "0.5")
+        self.assertEqual(self.run_quality(base, cur, *flags), 1)
+
+    def test_quality_mode_ignores_config_records(self):
+        base = self.write("b.json", self.flat(
+            [CONFIG] + self.quality_records(20, 65)))
+        cur = self.write("c.json", self.flat(
+            [dict(CONFIG, nx=32)] + self.quality_records(20, 65)))
+        self.assertEqual(self.run_quality(base, cur), 0)
+
+
+if __name__ == "__main__":
+    unittest.main()
