@@ -18,6 +18,7 @@
 #include "compress/compressor.hpp"
 #include "compress/huffman.hpp"
 #include "compress/lzss.hpp"
+#include "core/datasets.hpp"
 #include "metrics/quality.hpp"
 #include "sim/fields.hpp"
 #include "util/parallel.hpp"
@@ -56,6 +57,9 @@ double time_median_s(double min_ms, const Fn& fn) {
 int main(int argc, char** argv) {
   Cli cli;
   cli.add_flag("minms", "300", "min measured milliseconds per data point");
+  cli.add_flag("field", "warpx",
+               "dataset field: warpx (smooth Ez) or nyx (clumpy baryon "
+               "density)");
   if (!bench::parse_standard_flags(cli, argc, argv)) return 0;
   const bool smoke = cli.get_bool("smoke");
   const double min_ms =
@@ -63,13 +67,19 @@ int main(int argc, char** argv) {
 
   // The acceptance field for the perf trajectory: WarpX-like Ez on a
   // 64x64x128 grid (4 MiB of doubles), single thread. --smoke shrinks it
-  // so the ctest smoke entry stays fast; --full doubles each dimension.
-  sim::WarpXLikeSpec spec;
-  spec.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  // so the ctest smoke entry stays fast; --full (128x128x256, 33 MB)
+  // leaves every cache level behind and is recorded as the ungated
+  // trajectory_full lane of BENCH_throughput.json. --field nyx swaps in
+  // the clumpy Nyx-like baryon density, whose value distribution stresses
+  // the quantizer/Huffman stages the smooth pulse cannot.
+  const std::string field = cli.get("field");
+  const std::string field_label =
+      field == "nyx" ? "nyx_like_density" : "warpx_like_ez";
   const Shape3 shape = smoke              ? Shape3{32, 32, 64}
                        : cli.get_bool("full") ? Shape3{128, 128, 256}
                                               : Shape3{64, 64, 128};
-  const Array3<double> data = sim::warpx_like_ez(shape, spec);
+  const Array3<double> data = core::uniform_truth_field(
+      field, shape, static_cast<std::uint64_t>(cli.get_int("seed")));
   const auto raw_bytes =
       static_cast<double>(data.size()) * static_cast<double>(sizeof(double));
   const double mb = raw_bytes / 1e6;
@@ -77,7 +87,7 @@ int main(int argc, char** argv) {
   bench::banner("Throughput (extension)",
                 "codec and entropy-stage rates, plus chunked multi-thread "
                 "scaling; MB = 1e6 bytes");
-  std::printf("field: warpx-like Ez %lldx%lldx%lld (%.1f MB)\n\n",
+  std::printf("field: %s %lldx%lldx%lld (%.1f MB)\n\n", field_label.c_str(),
               static_cast<long long>(shape.nx),
               static_cast<long long>(shape.ny),
               static_cast<long long>(shape.nz), mb);
@@ -89,7 +99,7 @@ int main(int argc, char** argv) {
       "OMP_NUM_THREADS)");
   auto& cfg = report.add_record();
   cfg.set("stage", "config")
-      .set("field", "warpx_like_ez")
+      .set("field", field_label)
       .set("nx", shape.nx)
       .set("ny", shape.ny)
       .set("nz", shape.nz)

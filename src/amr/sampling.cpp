@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <limits>
 
 #include "util/error.hpp"
 #include "util/parallel.hpp"
@@ -173,6 +175,134 @@ Array3<double> sample_plane_compressed(
   }
   if (stats != nullptr) *stats = agg;
   return out;
+}
+
+void for_each_tile_compressed(
+    const compress::AmrCompressed& compressed,
+    const compress::Compressor& comp, int level, const Box& region,
+    const std::function<void(HierTile&&)>& fn,
+    const HierTileOptions& options, compress::RegionDecodeStats* stats) {
+  AMRVIS_REQUIRE_MSG(comp.name() == compressed.compressor_name,
+                     "for_each_tile_compressed: codec mismatch");
+  AMRVIS_REQUIRE_MSG(
+      level >= 0 &&
+          static_cast<std::size_t>(level) < compressed.levels.size(),
+      "for_each_tile_compressed: level out of range");
+  AMRVIS_REQUIRE_MSG(
+      options.band_lo.has_value() == options.band_hi.has_value(),
+      "for_each_tile_compressed: set both band_lo and band_hi or neither");
+  AMRVIS_REQUIRE_MSG(!options.band_lo.has_value() ||
+                         *options.band_lo <= *options.band_hi,
+                     "for_each_tile_compressed: value band needs lo <= hi");
+  const auto& clevel = compressed.levels[static_cast<std::size_t>(level)];
+  const auto& boxes = compressed.boxes[static_cast<std::size_t>(level)];
+  AMRVIS_REQUIRE_MSG(options.plain_cache == nullptr ||
+                         options.plain_cache->size() >= boxes.size(),
+                     "for_each_tile_compressed: plain_cache smaller than "
+                     "the level's patch count");
+  const auto* chunked_codec =
+      dynamic_cast<const compress::ChunkedCompressor*>(&comp);
+
+  compress::RegionDecodeStats agg;
+  for (std::size_t p = 0; p < boxes.size(); ++p) {
+    const auto overlap = boxes[p].intersect(region);
+    if (!overlap) continue;
+    const Bytes& blob = clevel.patches[p].blob;
+    // The container speaks 0-based patch-local coordinates.
+    const Box local{overlap->lo() - boxes[p].lo(),
+                    overlap->hi() - boxes[p].lo()};
+    if (chunked_codec != nullptr ||
+        compress::ChunkedCompressor::is_chunked_blob(blob)) {
+      // Tiled patch: stream the container, one decoded tile at a time.
+      // Tiles are yielded whole and shifted into level index space.
+      std::optional<compress::ChunkedCompressor> wrap;
+      const compress::ChunkedCompressor* cc = chunked_codec;
+      if (cc == nullptr) cc = &wrap.emplace(comp);
+      compress::TileStreamOptions so;
+      so.prefetch = options.prefetch;
+      so.region = local;
+      if (options.tile_select)
+        so.select = [&options, p](const compress::TileRegion& t) {
+          return options.tile_select(p, t);
+        };
+      if (options.band_lo.has_value()) {
+        so.order = compress::TileStreamOptions::Order::kValueBand;
+        so.band_lo = *options.band_lo;
+        so.band_hi = *options.band_hi;
+        // The band targets decoded values; header stats describe the
+        // original data, so widen by the hierarchy's absolute bound.
+        so.band_widen = compressed.abs_eb;
+      }
+      compress::TileStream stream(*cc, blob, so);
+      while (auto tile = stream.next()) {
+        HierTile ht;
+        ht.level = level;
+        ht.patch = p;
+        ht.box = tile->box.shift(boxes[p].lo());
+        ht.stats = tile->stats;
+        ht.data = std::move(tile->data);
+        fn(std::move(ht));
+      }
+      agg.tiles_decoded += stream.tiles_decoded();
+      agg.tiles_total += stream.tiles_total();
+    } else {
+      // Plain blob: no partial decode possible; inflate (once per call,
+      // or once per sweep through the caller's cache) and yield the
+      // region clip as a single tile with unknown value range.
+      Array3<double> local_full;
+      const Array3<double>* full = nullptr;
+      if (options.plain_cache != nullptr) {
+        auto& slot = (*options.plain_cache)[p];
+        if (!slot.has_value()) {
+          slot = comp.decompress(blob);
+          agg.tiles_decoded += 1;
+        }
+        full = &*slot;
+      } else {
+        local_full = comp.decompress(blob);
+        agg.tiles_decoded += 1;
+        full = &local_full;
+      }
+      AMRVIS_REQUIRE_MSG(full->shape() == boxes[p].shape(),
+                         "for_each_tile_compressed: shape mismatch");
+      HierTile ht;
+      ht.level = level;
+      ht.patch = p;
+      ht.box = *overlap;
+      ht.stats = {-std::numeric_limits<double>::infinity(),
+                  std::numeric_limits<double>::infinity()};
+      ht.data = Array3<double>(local.shape());
+      const Shape3 os = ht.data.shape();
+      for (std::int64_t dz = 0; dz < os.nz; ++dz)
+        for (std::int64_t dy = 0; dy < os.ny; ++dy)
+          std::memcpy(&ht.data(0, dy, dz),
+                      &(*full)(local.lo().x, local.lo().y + dy,
+                               local.lo().z + dz),
+                      static_cast<std::size_t>(os.nx) * sizeof(double));
+      fn(std::move(ht));
+      agg.tiles_total += 1;
+    }
+  }
+  if (stats != nullptr) *stats = agg;
+}
+
+void for_each_tile_compressed(
+    const compress::AmrCompressed& compressed,
+    const compress::Compressor& comp,
+    const std::function<void(HierTile&&)>& fn,
+    const HierTileOptions& options, compress::RegionDecodeStats* stats) {
+  // Finest first: real data before coarse levels whose covered cells may
+  // hold mean-fill placeholders (the sample_point_compressed order).
+  compress::RegionDecodeStats agg;
+  for (int l = static_cast<int>(compressed.levels.size()) - 1; l >= 0; --l) {
+    compress::RegionDecodeStats ls;
+    for_each_tile_compressed(compressed, comp, l,
+                             compressed.domains[static_cast<std::size_t>(l)],
+                             fn, options, &ls);
+    agg.tiles_decoded += ls.tiles_decoded;
+    agg.tiles_total += ls.tiles_total;
+  }
+  if (stats != nullptr) *stats = agg;
 }
 
 Array3<double> coarsen_average(View3<const double> fine, std::int64_t r) {

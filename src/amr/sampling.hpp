@@ -1,6 +1,6 @@
 #pragma once
 // Resolution transfer operators between AMR levels, plus region-decode
-// sampling of *compressed* hierarchies.
+// sampling and tile streaming of *compressed* hierarchies.
 //
 // - upsample_nearest: piecewise-constant injection coarse -> fine (the
 //   default "up-sample and merge" used when flattening a patch-based
@@ -12,9 +12,19 @@
 //   axis-aligned-plane queries served directly from an AmrCompressed via
 //   decompress_level_region, so an interactive probe or slice view
 //   inflates only the tiles its query touches instead of whole patches.
+// - for_each_tile_compressed: patch-level streaming — visit every stored
+//   tile of a compressed hierarchy one decoded buffer at a time
+//   (compress/tile_stream.hpp under each chunked patch blob), so a
+//   consumer can walk a --full-scale hierarchy without ever holding more
+//   than two inflated tiles per patch stream.
+
+#include <functional>
+#include <optional>
+#include <vector>
 
 #include "amr/intvect.hpp"
 #include "compress/amr_compress.hpp"
+#include "compress/tile_stream.hpp"
 #include "util/array3d.hpp"
 
 namespace amrvis::amr {
@@ -49,6 +59,68 @@ double sample_point_compressed(const compress::AmrCompressed& compressed,
 Array3<double> sample_plane_compressed(
     const compress::AmrCompressed& compressed,
     const compress::Compressor& comp, int axis, std::int64_t index,
+    compress::RegionDecodeStats* stats = nullptr);
+
+/// One streamed tile of a compressed hierarchy: which level/patch it came
+/// from, its cell box in that LEVEL's index space, the container stats
+/// (conservative (-inf, +inf) for plain patch blobs and v1 containers)
+/// and the owning decoded buffer.
+struct HierTile {
+  int level = 0;
+  std::size_t patch = 0;
+  amr::Box box;
+  compress::TileStats stats;
+  Array3<double> data;  ///< box-shaped decoded values
+};
+
+/// Knobs forwarded to the per-patch TileStream.
+struct HierTileOptions {
+  /// When set, only tiles whose value range (widened by the hierarchy's
+  /// abs_eb) intersects [band_lo, band_hi] are decoded; plain patch blobs
+  /// carry no stats and always qualify — conservative, never wrong.
+  std::optional<double> band_lo, band_hi;
+  /// Optional per-tile filter for chunked patches: called with the patch
+  /// index and the PATCH-LOCAL TileRegion; tiles it rejects are never
+  /// decoded. Plain patch blobs cannot be filtered and always decode.
+  std::function<bool(std::size_t, const compress::TileRegion&)> tile_select;
+  /// Optional cross-call decode cache for PLAIN patch blobs, indexed by
+  /// patch (size it to the level's patch count). A plain blob has no
+  /// partial decode, so a slab sweep calling for_each_tile_compressed
+  /// once per slab would otherwise inflate the same patch once per slab
+  /// it spans; with the cache it decodes once (counted once) and is
+  /// sliced per call. The caller owns the memory and its lifetime.
+  std::vector<std::optional<Array3<double>>>* plain_cache = nullptr;
+  bool prefetch = true;  ///< pair decode-ahead inside each patch stream
+};
+
+/// Stream every stored tile of `level` intersecting `region` (a box in
+/// that level's index space), in patch order then container layout order,
+/// invoking `fn` once per decoded tile. Chunked patch blobs stream
+/// through TileStream (at most 2 live decoded tiles); a plain patch blob
+/// is decoded whole, once, and yielded as a single tile clipped to
+/// `region`. Chunked tiles are yielded WHOLE (their box may extend past
+/// `region`); consumers clip. Values are bit-identical to the same cells
+/// of decompress_hierarchy BEFORE coarse/fine synchronization — with
+/// kMeanFill, covered coarse cells hold the placeholder (see the
+/// all-levels overload). `stats`, when non-null, accumulates decode
+/// counts (a plain patch counts as one tile).
+void for_each_tile_compressed(
+    const compress::AmrCompressed& compressed,
+    const compress::Compressor& comp, int level, const Box& region,
+    const std::function<void(HierTile&&)>& fn,
+    const HierTileOptions& options = {},
+    compress::RegionDecodeStats* stats = nullptr);
+
+/// All-levels variant: streams every patch of every level, FINEST FIRST —
+/// the mean-fill-safe order (same reason sample_point_compressed probes
+/// finest-first): a consumer that paints or keeps the first value it sees
+/// per region reads real data before any coarser level whose covered
+/// cells may hold mean-fill placeholders.
+void for_each_tile_compressed(
+    const compress::AmrCompressed& compressed,
+    const compress::Compressor& comp,
+    const std::function<void(HierTile&&)>& fn,
+    const HierTileOptions& options = {},
     compress::RegionDecodeStats* stats = nullptr);
 
 }  // namespace amrvis::amr

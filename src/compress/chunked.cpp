@@ -14,6 +14,7 @@ namespace {
 constexpr std::uint32_t kMagic = 0x4156434b;  // "AVCK"
 constexpr std::uint16_t kVersionV1 = 1;       // no stats table (PR3 format)
 constexpr std::uint16_t kVersionV2 = 2;       // per-tile min/max after sizes
+constexpr std::uint16_t kVersionV3 = 3;       // + per-tile face-slab ranges
 // Decompress-side sanity caps: a corrupt header must not drive the output
 // allocation (cells * 8 bytes) from attacker-controlled dimensions alone.
 constexpr std::int64_t kMaxDim = std::int64_t{1} << 24;
@@ -23,21 +24,13 @@ std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
   return (a + b - 1) / b;
 }
 
-/// Tile grid geometry for a field shape under fixed tile extents.
-struct TileGrid {
-  std::int64_t tnx, tny, tnz;  ///< tiles per axis
-  [[nodiscard]] std::int64_t count() const { return tnx * tny * tnz; }
-};
+}  // namespace
+
+namespace detail {
 
 TileGrid tile_grid(const Shape3& s, const ChunkShape& t) {
   return {ceil_div(s.nx, t.nx), ceil_div(s.ny, t.ny), ceil_div(s.nz, t.nz)};
 }
-
-/// Origin and clipped extents of tile slot `t` (row-major, tx fastest).
-struct TileBox {
-  std::int64_t i0, j0, k0;
-  Shape3 ext;
-};
 
 TileBox tile_box(std::int64_t t, const TileGrid& g, const Shape3& s,
                  const ChunkShape& tile) {
@@ -60,18 +53,14 @@ amr::Box tile_cell_box(const TileBox& b) {
                        b.k0 + b.ext.nz - 1}};
 }
 
-/// Fully validated container header plus payload slices. Slicing the tile
-/// spans is O(ntiles) pointer arithmetic — no payload is inflated, so
-/// header-only queries (tiles_overlapping) stay cheap.
-struct ParsedContainer {
-  std::uint16_t version = 0;
-  Shape3 shape;
-  ChunkShape tile;
-  TileGrid grid{};
-  std::int64_t ntiles = 0;
-  std::vector<std::span<const std::uint8_t>> tiles;
-  std::vector<TileStats> stats;  ///< empty on a v1 container
-};
+TileStats ParsedContainer::stats_of(std::int64_t t) const {
+  if (stats.empty()) {
+    // v1 container: no stats table, every tile may hold anything.
+    return {-std::numeric_limits<double>::infinity(),
+            std::numeric_limits<double>::infinity()};
+  }
+  return stats[static_cast<std::size_t>(t)];
+}
 
 ParsedContainer parse_container(std::span<const std::uint8_t> blob,
                                 const std::string& expect_codec) {
@@ -80,7 +69,7 @@ ParsedContainer parse_container(std::span<const std::uint8_t> blob,
                      "chunked: bad container magic");
   ParsedContainer pc;
   pc.version = r.get<std::uint16_t>();
-  AMRVIS_REQUIRE_MSG(pc.version == kVersionV1 || pc.version == kVersionV2,
+  AMRVIS_REQUIRE_MSG(pc.version >= kVersionV1 && pc.version <= kVersionV3,
                      "chunked: unsupported container version");
   const auto name_len = r.get<std::uint16_t>();
   const auto name_bytes = r.get_bytes(name_len);
@@ -114,13 +103,15 @@ ParsedContainer parse_container(std::span<const std::uint8_t> blob,
   AMRVIS_REQUIRE_MSG(
       r.get<std::uint64_t>() == static_cast<std::uint64_t>(pc.ntiles),
       "chunked: tile count does not match shape/tile header");
-  // The fixed-size tables (u64 size, plus a min/max double pair in v2)
-  // must fit in what the blob actually carries before any ntiles-sized
-  // allocation happens: a ~100-byte corrupt header must not be able to
-  // force a multi-GiB vector (same class as the lzss out_size cap).
+  // The fixed-size tables (u64 size, a min/max double pair in v2+, six
+  // more pairs of face ranges in v3) must fit in what the blob actually
+  // carries before any ntiles-sized allocation happens: a ~100-byte
+  // corrupt header must not be able to force a multi-GiB vector (same
+  // class as the lzss out_size cap).
   const std::size_t entry_bytes =
       sizeof(std::uint64_t) +
-      (pc.version >= kVersionV2 ? 2 * sizeof(double) : 0);
+      (pc.version >= kVersionV2 ? 2 * sizeof(double) : 0) +
+      (pc.version >= kVersionV3 ? 12 * sizeof(double) : 0);
   AMRVIS_REQUIRE_MSG(
       r.remaining() / entry_bytes >= static_cast<std::uint64_t>(pc.ntiles),
       "chunked: tile size/stats tables exceed container");
@@ -138,6 +129,20 @@ ParsedContainer parse_container(std::span<const std::uint8_t> blob,
                          "chunked: corrupt tile stats (min > max)");
     }
   }
+  if (pc.version >= kVersionV3) {
+    pc.faces.resize(static_cast<std::size_t>(pc.ntiles));
+    for (auto& tf : pc.faces) {
+      for (TileStats& st : tf) {
+        st.min = r.get<double>();
+        st.max = r.get<double>();
+        // NaN rejected the same way; a face slab is NOT required to be a
+        // sub-range of the tile range (an all-NaN slab legally records
+        // the conservative (-inf, +inf) inside a finite-ranged tile).
+        AMRVIS_REQUIRE_MSG(st.min <= st.max,
+                           "chunked: corrupt tile face stats (min > max)");
+      }
+    }
+  }
   // Slice the payload serially; get_bytes bounds-checks every size against
   // the remaining payload, so corrupt sizes throw here instead of reading
   // out of bounds in the parallel region.
@@ -148,7 +153,15 @@ ParsedContainer parse_container(std::span<const std::uint8_t> blob,
   return pc;
 }
 
-}  // namespace
+}  // namespace detail
+
+using detail::parse_container;
+using detail::ParsedContainer;
+using detail::tile_box;
+using detail::tile_cell_box;
+using detail::tile_grid;
+using detail::TileBox;
+using detail::TileGrid;
 
 ChunkShape parse_chunk_shape(const std::string& spec) {
   ChunkShape tile;
@@ -222,6 +235,7 @@ Bytes ChunkedCompressor::compress(View3<const double> data,
   // across thread counts.
   std::vector<Bytes> blobs(static_cast<std::size_t>(ntiles));
   std::vector<TileStats> stats(static_cast<std::size_t>(ntiles));
+  std::vector<TileFaceStats> faces(static_cast<std::size_t>(ntiles));
   parallel_for(ntiles, [&](std::int64_t t) {
     const TileBox b = tile_box(t, grid, s, tile_);
     Array3<double> tdata(b.ext);
@@ -229,25 +243,51 @@ Bytes ChunkedCompressor::compress(View3<const double> data,
       for (std::int64_t dy = 0; dy < b.ext.ny; ++dy)
         std::memcpy(&tdata(0, dy, dz), &data(b.i0, b.j0 + dy, b.k0 + dz),
                     static_cast<std::size_t>(b.ext.nx) * sizeof(double));
-    // Stats skip NaN cells (the quantizer stores non-finite values
-    // losslessly, so NaN-masked fields are legal inputs): NaN would
-    // poison min/max and the parser rejects untrustworthy stats. A tile
-    // with no non-NaN cells records the unbounded "anything" range —
-    // same conservative semantics as a v1 container. Infinities are
-    // real range endpoints and stay in.
-    double lo = std::numeric_limits<double>::infinity();
-    double hi = -std::numeric_limits<double>::infinity();
-    for (std::int64_t f = 0; f < tdata.size(); ++f) {
-      const double v = tdata[f];
-      if (std::isnan(v)) continue;
-      lo = std::min(lo, v);
-      hi = std::max(hi, v);
-    }
-    if (lo > hi) {
-      lo = -std::numeric_limits<double>::infinity();
-      hi = std::numeric_limits<double>::infinity();
-    }
-    stats[static_cast<std::size_t>(t)] = {lo, hi};
+    // A region CONTAINING any NaN cell records the unbounded "anything"
+    // range (the quantizer stores non-finite values losslessly, so
+    // NaN-masked fields are legal inputs): NaN poisons every downstream
+    // comparison — a marching cube with a NaN corner still emits
+    // geometry whenever another corner crosses the band, so no finite
+    // range can promise such a region is silent, and the parser rejects
+    // NaN in the table itself. Infinities are real range endpoints and
+    // stay in.
+    auto region_range = [&](std::int64_t x0, std::int64_t x1,
+                            std::int64_t y0, std::int64_t y1,
+                            std::int64_t z0, std::int64_t z1) {
+      double lo = std::numeric_limits<double>::infinity();
+      double hi = -std::numeric_limits<double>::infinity();
+      for (std::int64_t z = z0; z <= z1; ++z)
+        for (std::int64_t y = y0; y <= y1; ++y)
+          for (std::int64_t x = x0; x <= x1; ++x) {
+            const double v = tdata(x, y, z);
+            if (std::isnan(v)) {
+              return TileStats{-std::numeric_limits<double>::infinity(),
+                               std::numeric_limits<double>::infinity()};
+            }
+            lo = std::min(lo, v);
+            hi = std::max(hi, v);
+          }
+      if (lo > hi) {
+        lo = -std::numeric_limits<double>::infinity();
+        hi = std::numeric_limits<double>::infinity();
+      }
+      return TileStats{lo, hi};
+    };
+    const Shape3& e = b.ext;
+    stats[static_cast<std::size_t>(t)] =
+        region_range(0, e.nx - 1, 0, e.ny - 1, 0, e.nz - 1);
+    // Face slabs, two layers deep (clamped): what a seam-crossing cube's
+    // vertex window can reach from the neighboring side.
+    TileFaceStats& tf = faces[static_cast<std::size_t>(t)];
+    const std::int64_t dx = std::min<std::int64_t>(2, e.nx) - 1;
+    const std::int64_t dy = std::min<std::int64_t>(2, e.ny) - 1;
+    const std::int64_t dz = std::min<std::int64_t>(2, e.nz) - 1;
+    tf[0] = region_range(0, dx, 0, e.ny - 1, 0, e.nz - 1);
+    tf[1] = region_range(e.nx - 1 - dx, e.nx - 1, 0, e.ny - 1, 0, e.nz - 1);
+    tf[2] = region_range(0, e.nx - 1, 0, dy, 0, e.nz - 1);
+    tf[3] = region_range(0, e.nx - 1, e.ny - 1 - dy, e.ny - 1, 0, e.nz - 1);
+    tf[4] = region_range(0, e.nx - 1, 0, e.ny - 1, 0, dz);
+    tf[5] = region_range(0, e.nx - 1, 0, e.ny - 1, e.nz - 1 - dz, e.nz - 1);
     blobs[static_cast<std::size_t>(t)] =
         inner().compress(tdata.view(), abs_eb);
   });
@@ -258,7 +298,7 @@ Bytes ChunkedCompressor::compress(View3<const double> data,
   Bytes out;
   ByteWriter w(out);
   w.put<std::uint32_t>(kMagic);
-  w.put<std::uint16_t>(kVersionV2);
+  w.put<std::uint16_t>(kVersionV3);
   w.put<std::uint16_t>(static_cast<std::uint16_t>(codec.size()));
   // Byte-at-a-time: a range insert from the string's SSO buffer trips a
   // gcc-12 -Warray-bounds false positive under -Werror.
@@ -275,6 +315,11 @@ Bytes ChunkedCompressor::compress(View3<const double> data,
     w.put<double>(st.min);
     w.put<double>(st.max);
   }
+  for (const TileFaceStats& tf : faces)
+    for (const TileStats& st : tf) {
+      w.put<double>(st.min);
+      w.put<double>(st.max);
+    }
   for (const Bytes& b : blobs) w.put_bytes(b);
   return out;
 }
@@ -346,20 +391,18 @@ Array3<double> ChunkedCompressor::decompress_region(
   return out;
 }
 
+std::vector<TileFaceStats> ChunkedCompressor::tile_face_stats(
+    std::span<const std::uint8_t> blob) const {
+  return parse_container(blob, inner().name()).faces;
+}
+
 std::vector<TileRegion> ChunkedCompressor::tiles_overlapping(
     std::span<const std::uint8_t> blob, double lo, double hi) const {
   AMRVIS_REQUIRE_MSG(lo <= hi, "chunked: tiles_overlapping needs lo <= hi");
   const ParsedContainer pc = parse_container(blob, inner().name());
   std::vector<TileRegion> out;
   for (std::int64_t t = 0; t < pc.ntiles; ++t) {
-    TileStats st;
-    if (pc.stats.empty()) {
-      // v1 container: no stats table, every tile may hold anything.
-      st = {-std::numeric_limits<double>::infinity(),
-            std::numeric_limits<double>::infinity()};
-    } else {
-      st = pc.stats[static_cast<std::size_t>(t)];
-    }
+    const TileStats st = pc.stats_of(t);
     if (st.max < lo || st.min > hi) continue;
     out.push_back(
         {t, tile_cell_box(tile_box(t, pc.grid, pc.shape, pc.tile)), st});

@@ -16,13 +16,18 @@
 // Container layout (little-endian, all fields validated on decompress):
 //
 //   u32  magic "AVCK"
-//   u16  version (1 or 2; the writer emits 2, both decode)
+//   u16  version (1, 2 or 3; the writer emits 3, all decode)
 //   u16  codec-name length, followed by that many name bytes
 //   i64  nx, ny, nz        full field shape
 //   i64  tx, ty, tz        tile extents (boundary tiles are clipped)
 //   u64  ntiles            must equal ceil(nx/tx)*ceil(ny/ty)*ceil(nz/tz)
 //   u64  size[ntiles]      byte size of each tile blob, tile order
-//   f64  (min,max)[ntiles] v2 only: per-tile input value range, tile order
+//   f64  (min,max)[ntiles] v2+: per-tile input value range, tile order
+//   f64  face (min,max)[6][ntiles]
+//                          v3 only: per-tile FACE-SLAB value ranges —
+//                          the range of the cells within two layers of
+//                          each tile face, face order [-x,+x,-y,+y,-z,+z]
+//                          — tile order
 //        payload           concatenated tile blobs, tile order
 //
 // The stats table is what makes the container a queryable store instead
@@ -31,16 +36,27 @@
 // range cannot intersect an isosurface / query band without touching the
 // payload at all. Stats are ranges of the *original* data; decoded
 // values may exceed them by up to the absolute error bound, so widen the
-// query band by abs_eb when culling against decompressed values. NaN
-// cells are skipped when accumulating (the quantizer round-trips
-// non-finite values losslessly, so they are legal inputs; a NaN is in no
-// query band); a tile with no non-NaN cells records (-inf, +inf) — the
-// same conservative "anything" range a v1 container implies.
+// query band by abs_eb when culling against decompressed values. A tile
+// (or face slab) containing any NaN cell records (-inf, +inf) — the
+// same conservative "anything" range a v1 container implies: the
+// quantizer round-trips non-finite values losslessly, so NaN-masked
+// fields are legal inputs, and a marching cube with a NaN corner can
+// still emit geometry, so no finite range may vouch for such a region.
+//
+// The v3 face-slab table exists for seam-exact streaming consumers (the
+// streamed isosurface in vis/amr_iso): a cube of cells crossing a tile
+// boundary draws its values from the two facing boundary slabs, so a
+// neighbor tile needs decoding only when those slabs' combined range can
+// cross the query band — without face ranges, every neighbor of an
+// interesting tile must be decoded and a thin isosurface shell dilates
+// into most of the field. Two layers deep because the re-sampling
+// pipeline's vertex windows reach two cells past a seam.
 //
 // Error-bound semantics are unchanged: every tile is compressed with the
 // same absolute bound, so the wrapper provides the same max-error
 // guarantee as the wrapped codec.
 
+#include <array>
 #include <memory>
 #include <vector>
 
@@ -66,11 +82,15 @@ struct ChunkShape {
 /// make_compressor accepts after '@' in "chunked-<codec>@TXxTYxTZ".
 ChunkShape parse_chunk_shape(const std::string& spec);
 
-/// Per-tile value range recorded in the v2 container header.
+/// Per-tile value range recorded in the v2+ container header.
 struct TileStats {
   double min = 0.0;
   double max = 0.0;
 };
+
+/// Per-tile face-slab ranges (v3): range of the cells within two layers
+/// of each face, order [-x, +x, -y, +y, -z, +z] (index 2*axis + side).
+using TileFaceStats = std::array<TileStats, 6>;
 
 /// One tile selected by a header query: its slot index and the cell
 /// region it covers in the full field (0-based, inclusive corners).
@@ -87,6 +107,51 @@ struct RegionDecodeStats {
   std::int64_t tiles_decoded = 0;
   std::int64_t tiles_total = 0;
 };
+
+namespace detail {
+
+/// Tile grid geometry for a field shape under fixed tile extents.
+struct TileGrid {
+  std::int64_t tnx = 0, tny = 0, tnz = 0;  ///< tiles per axis
+  [[nodiscard]] std::int64_t count() const { return tnx * tny * tnz; }
+};
+
+TileGrid tile_grid(const Shape3& s, const ChunkShape& t);
+
+/// Origin and clipped extents of one tile slot (row-major, tx fastest).
+struct TileBox {
+  std::int64_t i0 = 0, j0 = 0, k0 = 0;
+  Shape3 ext;
+};
+
+TileBox tile_box(std::int64_t t, const TileGrid& g, const Shape3& s,
+                 const ChunkShape& tile);
+
+amr::Box tile_cell_box(const TileBox& b);
+
+/// Fully validated container header plus payload slices. Slicing the tile
+/// spans is O(ntiles) pointer arithmetic — no payload is inflated, so
+/// header-only queries (tiles_overlapping, TileStream planning) stay
+/// cheap. The spans alias the parsed blob: the blob must outlive the
+/// ParsedContainer.
+struct ParsedContainer {
+  std::uint16_t version = 0;
+  Shape3 shape;
+  ChunkShape tile;
+  TileGrid grid{};
+  std::int64_t ntiles = 0;
+  std::vector<std::span<const std::uint8_t>> tiles;
+  std::vector<TileStats> stats;       ///< empty on a v1 container
+  std::vector<TileFaceStats> faces;   ///< empty below v3
+
+  /// Stats of slot `t`; the conservative (-inf, +inf) on a v1 container.
+  [[nodiscard]] TileStats stats_of(std::int64_t t) const;
+};
+
+ParsedContainer parse_container(std::span<const std::uint8_t> blob,
+                                const std::string& expect_codec);
+
+}  // namespace detail
 
 class ChunkedCompressor final : public Compressor {
  public:
@@ -126,6 +191,12 @@ class ChunkedCompressor final : public Compressor {
   /// the absolute error bound when the query targets decoded values.
   [[nodiscard]] std::vector<TileRegion> tiles_overlapping(
       std::span<const std::uint8_t> blob, double lo, double hi) const;
+
+  /// Per-tile face-slab ranges (slot order) from a v3 container header —
+  /// no payload touched. Empty for v1/v2 containers: consumers must fall
+  /// back to the whole-tile range (every face slab is a subset of it).
+  [[nodiscard]] std::vector<TileFaceStats> tile_face_stats(
+      std::span<const std::uint8_t> blob) const;
 
   [[nodiscard]] const ChunkShape& tile() const { return tile_; }
   [[nodiscard]] const Compressor& inner() const {

@@ -25,10 +25,45 @@ double resolve_abs_eb(ErrorBoundMode mode, double eb,
   return eb * range;
 }
 
+namespace {
+
+/// The single registry both the factory dispatch and the public name
+/// list are built from — a codec added here is automatically named in
+/// the unknown-codec error and everywhere else the list is shown.
+using CompressorMaker = std::unique_ptr<Compressor> (*)();
+const std::vector<std::pair<std::string, CompressorMaker>>&
+compressor_registry() {
+  static const std::vector<std::pair<std::string, CompressorMaker>> r = {
+      {"sz-lr",
+       +[]() -> std::unique_ptr<Compressor> {
+         return std::make_unique<SzLrCompressor>();
+       }},
+      {"sz-interp",
+       +[]() -> std::unique_ptr<Compressor> {
+         return std::make_unique<SzInterpCompressor>();
+       }},
+      {"zfp-like",
+       +[]() -> std::unique_ptr<Compressor> {
+         return std::make_unique<ZfpLikeCompressor>();
+       }},
+  };
+  return r;
+}
+
+}  // namespace
+
+const std::vector<std::string>& registered_compressor_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const auto& [n, maker] : compressor_registry()) out.push_back(n);
+    return out;
+  }();
+  return names;
+}
+
 std::unique_ptr<Compressor> make_compressor(const std::string& name) {
-  if (name == "sz-lr") return std::make_unique<SzLrCompressor>();
-  if (name == "sz-interp") return std::make_unique<SzInterpCompressor>();
-  if (name == "zfp-like") return std::make_unique<ZfpLikeCompressor>();
+  for (const auto& [known, maker] : compressor_registry())
+    if (name == known) return maker();
   // "chunked-<codec>" wraps any registered codec in the tile-parallel
   // container (src/compress/chunked.hpp); an optional "@TXxTYxTZ" suffix
   // selects the tile shape, e.g. "chunked-sz-lr@32x32x16", so the tile
@@ -45,9 +80,17 @@ std::unique_ptr<Compressor> make_compressor(const std::string& name) {
     }
     return std::make_unique<ChunkedCompressor>(make_compressor(base), tile);
   }
-  throw Error("unknown compressor: " + name +
-              " (expected sz-lr, sz-interp, zfp-like, or "
-              "chunked-<codec>[@TXxTYxTZ])");
+  // The full registry in the message: a typo'd name (CLI flag, config
+  // file, container header) should cost one read, not a source dive.
+  std::string known;
+  for (const std::string& n : registered_compressor_names()) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  throw Error("unknown compressor: '" + name + "' (registered: " + known +
+              "; any of them wraps in the tile container as "
+              "chunked-<codec> or chunked-<codec>@TXxTYxTZ, e.g. "
+              "chunked-sz-lr@32x32x16)");
 }
 
 }  // namespace amrvis::compress

@@ -8,6 +8,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "util/array3d.hpp"
 #include "util/bytestream.hpp"
@@ -42,9 +43,16 @@ class Compressor {
       std::span<const std::uint8_t> blob) const = 0;
 };
 
-/// Factory: "sz-lr", "sz-interp", or "zfp-like", optionally wrapped in the
-/// tile-parallel container as "chunked-<codec>" (e.g. "chunked-sz-lr").
-/// Throws on unknown names.
+/// Base codec names make_compressor accepts (without the "chunked-"
+/// container prefix), in registration order. Error messages and CLI help
+/// build on this so the list can never drift from the factory.
+const std::vector<std::string>& registered_compressor_names();
+
+/// Factory: any name from registered_compressor_names(), optionally
+/// wrapped in the tile-parallel container as "chunked-<codec>" with an
+/// optional tile-shape suffix "chunked-<codec>@TXxTYxTZ" (e.g.
+/// "chunked-sz-lr@32x32x16"). Throws on unknown names; the exception
+/// message lists every registered codec and the chunked form.
 std::unique_ptr<Compressor> make_compressor(const std::string& name);
 
 /// Convenience: compression ratio of original doubles vs blob size.

@@ -1,0 +1,112 @@
+#include "compress/tile_stream.hpp"
+
+#include <algorithm>
+
+#include "util/parallel.hpp"
+
+namespace amrvis::compress {
+
+namespace {
+
+/// Live decoded bytes of one buffered tile.
+std::size_t tile_bytes(const StreamTile& t) {
+  return static_cast<std::size_t>(t.data.size()) * sizeof(double);
+}
+
+}  // namespace
+
+TileStream::TileStream(const ChunkedCompressor& codec,
+                       std::span<const std::uint8_t> blob,
+                       TileStreamOptions options)
+    : codec_(&codec),
+      pc_(detail::parse_container(blob, codec.inner().name())),
+      prefetch_(options.prefetch) {
+  const bool band = options.order == TileStreamOptions::Order::kValueBand;
+  if (band) {
+    AMRVIS_REQUIRE_MSG(options.band_lo <= options.band_hi,
+                       "tile_stream: value band needs lo <= hi");
+    AMRVIS_REQUIRE_MSG(options.band_widen >= 0.0,
+                       "tile_stream: band_widen must be >= 0");
+  }
+  if (options.region) {
+    AMRVIS_REQUIRE_MSG(
+        amr::Box::from_shape(pc_.shape).contains(*options.region),
+        "tile_stream: region outside the stored field");
+  }
+  const double lo = band ? options.band_lo - options.band_widen : 0.0;
+  const double hi = band ? options.band_hi + options.band_widen : 0.0;
+  selected_.reserve(static_cast<std::size_t>(pc_.ntiles));
+  for (std::int64_t t = 0; t < pc_.ntiles; ++t) {
+    const amr::Box box = detail::tile_cell_box(
+        detail::tile_box(t, pc_.grid, pc_.shape, pc_.tile));
+    if (options.region && !options.region->intersects(box)) continue;
+    const TileStats st = pc_.stats_of(t);
+    if (band && (st.max < lo || st.min > hi)) continue;
+    if (options.select && !options.select(TileRegion{t, box, st})) continue;
+    selected_.push_back(t);
+  }
+}
+
+void TileStream::refill() {
+  // Batch decode through the exception-safe parallel helpers: with
+  // prefetch on, two tiles inflate concurrently and the second one waits,
+  // already decoded, for the following next() call. The batch size is the
+  // memory bound: never more than 2 live decoded tiles.
+  const std::size_t remaining = selected_.size() - cursor_;
+  const std::size_t batch = std::min<std::size_t>(prefetch_ ? 2 : 1,
+                                                  remaining);
+  buffer_.clear();
+  buffer_.resize(batch);
+  head_ = 0;
+  // A decode failure must not leave half-constructed tiles behind a live
+  // head_: poison the stream so later next() calls throw instead of
+  // handing out default StreamTiles as data.
+  try {
+    decode_batch(batch);
+  } catch (...) {
+    buffer_.clear();
+    head_ = 0;
+    poisoned_ = true;
+    throw;
+  }
+  cursor_ += batch;
+  decoded_ += static_cast<std::int64_t>(batch);
+
+  AMRVIS_ASSERT(live_tiles() <= 2);  // the contract, not a hope
+  peak_live_tiles_ = std::max(peak_live_tiles_, live_tiles());
+  std::size_t live_bytes = 0;
+  for (std::size_t i = head_; i < buffer_.size(); ++i)
+    live_bytes += tile_bytes(buffer_[i]);
+  peak_live_bytes_ = std::max(peak_live_bytes_, live_bytes);
+}
+
+void TileStream::decode_batch(std::size_t batch) {
+  parallel_for(static_cast<std::int64_t>(batch), [&](std::int64_t b) {
+    const std::int64_t t = selected_[cursor_ + static_cast<std::size_t>(b)];
+    const detail::TileBox tb =
+        detail::tile_box(t, pc_.grid, pc_.shape, pc_.tile);
+    StreamTile& out = buffer_[static_cast<std::size_t>(b)];
+    out.index = t;
+    out.box = detail::tile_cell_box(tb);
+    out.stats = pc_.stats_of(t);
+    out.data = codec_->inner().decompress(
+        pc_.tiles[static_cast<std::size_t>(t)]);
+    AMRVIS_REQUIRE_MSG(out.data.shape() == tb.ext,
+                       "tile_stream: tile shape does not match its slot");
+  });
+}
+
+std::optional<StreamTile> TileStream::next() {
+  AMRVIS_REQUIRE_MSG(!poisoned_,
+                     "tile_stream: a previous tile decode failed; the "
+                     "stream cannot continue");
+  if (head_ == buffer_.size()) {
+    if (cursor_ == selected_.size()) return std::nullopt;
+    refill();
+  }
+  StreamTile out = std::move(buffer_[head_]);
+  ++head_;
+  return out;
+}
+
+}  // namespace amrvis::compress

@@ -1,0 +1,128 @@
+#pragma once
+// TileStream: out-of-core, one-decoded-tile-at-a-time iteration over a
+// chunked container blob (compress/chunked.hpp) — the read-path primitive
+// behind streamed visualization of fields too large to inflate whole.
+//
+// Where decompress() materializes the entire field and decompress_region()
+// materializes one box, TileStream yields one decoded tile per next()
+// call: the tile's cell box, its v2 stats (conservative (-inf, +inf) on a
+// v1 container) and an owning buffer the caller takes. Peak memory held
+// by the stream is bounded by TWO inflated tiles plus the compressed blob
+// — instrumented (peak_live_tiles() / peak_live_bytes()) and asserted,
+// never just promised.
+//
+// Ordering policy:
+//  - kLayout      every selected tile in container slot order (row-major,
+//                 tx fastest — the order decompress() assembles).
+//  - kValueBand   only tiles whose recorded [min, max] range, widened by
+//                 `band_widen` (pass the codec's abs_eb when the query
+//                 targets decoded values), intersects [band_lo, band_hi];
+//                 still in slot order. On a v1 container every tile
+//                 qualifies — conservative, never wrong.
+// An optional `region` box additionally restricts either order to tiles
+// intersecting it (the slab-raster access pattern of the streamed
+// isosurface path).
+//
+// Prefetch: with `prefetch` on (default), tiles are decoded in pairs
+// through the exception-safe parallel helpers (util/parallel.hpp), so the
+// tile after the one being consumed is already inflated when next() is
+// called for it — one-tile decode-ahead at the cost of the second live
+// buffer. The yielded sequence, and every decoded byte, is identical with
+// prefetch on or off, serial or threaded (each tile blob is decoded by
+// the wrapped codec's single-thread-deterministic decoder). A codec
+// exception inside the prefetch batch is rethrown from next() on the
+// calling thread, exactly as a serial decode would throw; the stream is
+// then poisoned — further next() calls throw instead of yielding tiles,
+// so a catch-and-continue caller can never mistake an undecoded buffer
+// for data.
+//
+// Lifetime: the stream aliases both the codec and the blob — the caller
+// keeps them alive for the stream's lifetime.
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "amr/box.hpp"
+#include "compress/chunked.hpp"
+
+namespace amrvis::compress {
+
+/// One decoded tile: slot index, cell box in the full field (0-based,
+/// inclusive corners), header stats and the owning decoded buffer.
+struct StreamTile {
+  std::int64_t index = 0;
+  amr::Box box;
+  TileStats stats;
+  Array3<double> data;  ///< box-shaped decoded values
+};
+
+struct TileStreamOptions {
+  enum class Order {
+    kLayout,     ///< all tiles, container slot order
+    kValueBand,  ///< only tiles whose value range meets the band
+  };
+  Order order = Order::kLayout;
+  double band_lo = 0.0;    ///< kValueBand: inclusive band low edge
+  double band_hi = 0.0;    ///< kValueBand: inclusive band high edge
+  double band_widen = 0.0;  ///< widen the band by this (codec abs_eb)
+  std::optional<amr::Box> region;  ///< keep only tiles intersecting this
+  /// Optional custom filter, applied after the order/region filters:
+  /// tiles it rejects are never decoded. Receives the slot index,
+  /// field-local cell box and header stats — the streamed isosurface
+  /// cull plans its exact tile set through this.
+  std::function<bool(const TileRegion&)> select;
+  bool prefetch = true;    ///< pair decode-ahead via parallel helpers
+};
+
+class TileStream {
+ public:
+  /// Parses and validates the container header (throws on corruption);
+  /// no tile payload is decoded until next().
+  TileStream(const ChunkedCompressor& codec,
+             std::span<const std::uint8_t> blob, TileStreamOptions options = {});
+
+  /// The next selected tile, or nullopt when the stream is exhausted.
+  /// Ownership of the decoded buffer transfers to the caller.
+  std::optional<StreamTile> next();
+
+  [[nodiscard]] const Shape3& field_shape() const { return pc_.shape; }
+  /// Tiles in the container.
+  [[nodiscard]] std::int64_t tiles_total() const { return pc_.ntiles; }
+  /// Tiles passing the ordering policy / region filters.
+  [[nodiscard]] std::int64_t tiles_selected() const {
+    return static_cast<std::int64_t>(selected_.size());
+  }
+  /// Tiles decoded so far (== tiles handed out + tiles still buffered).
+  [[nodiscard]] std::int64_t tiles_decoded() const { return decoded_; }
+
+  /// Decoded tiles currently held by the stream (prefetch buffer).
+  [[nodiscard]] int live_tiles() const {
+    return static_cast<int>(buffer_.size() - head_);
+  }
+  /// High-water mark of live_tiles(); the memory-bound contract is <= 2.
+  [[nodiscard]] int peak_live_tiles() const { return peak_live_tiles_; }
+  /// High-water mark of decoded bytes held by the stream.
+  [[nodiscard]] std::size_t peak_live_bytes() const {
+    return peak_live_bytes_;
+  }
+
+ private:
+  void refill();
+  void decode_batch(std::size_t batch);
+
+  const ChunkedCompressor* codec_;
+  detail::ParsedContainer pc_;
+  bool prefetch_;
+  std::vector<std::int64_t> selected_;  ///< slot indices, ascending
+  std::size_t cursor_ = 0;              ///< next selected_ entry to decode
+  std::vector<StreamTile> buffer_;      ///< decoded, not yet handed out
+  std::size_t head_ = 0;                ///< first live entry of buffer_
+  std::int64_t decoded_ = 0;
+  bool poisoned_ = false;  ///< a decode threw; next() refuses to continue
+  int peak_live_tiles_ = 0;
+  std::size_t peak_live_bytes_ = 0;
+};
+
+}  // namespace amrvis::compress

@@ -71,6 +71,21 @@ sim::SyntheticDataset make_dataset(const DatasetSpec& spec) {
   return sim::build_two_level_hierarchy(std::move(truth), tagging);
 }
 
+Array3<double> uniform_truth_field(const std::string& name, Shape3 shape,
+                                   std::uint64_t seed) {
+  if (name == "nyx") {
+    sim::NyxLikeSpec spec;
+    spec.seed = seed;
+    return sim::nyx_like_density(shape, spec);
+  }
+  if (name == "warpx") {
+    sim::WarpXLikeSpec spec;
+    spec.seed = seed;
+    return sim::warpx_like_ez(shape, spec);
+  }
+  throw Error("unknown dataset: " + name + " (expected nyx or warpx)");
+}
+
 double pick_iso_value(const DatasetSpec& spec, const Array3<double>& truth) {
   if (spec.iso_fraction_of_max > 0) {
     double max_v = truth[0];

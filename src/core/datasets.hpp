@@ -50,6 +50,14 @@ DatasetSpec smoke_spec(DatasetSpec spec);
 /// Generate the truth field and build the two-level hierarchy.
 sim::SyntheticDataset make_dataset(const DatasetSpec& spec);
 
+/// Uniform (no-hierarchy) truth field by dataset name, for the
+/// throughput/streaming bench surface: "warpx" is the smooth anisotropic
+/// Ez pulse, "nyx" the clumpy Nyx-like baryon density — the two value
+/// distributions whose cache behaviour brackets the paper's workloads.
+/// Throws on unknown names.
+Array3<double> uniform_truth_field(const std::string& name, Shape3 shape,
+                                   std::uint64_t seed = 42);
+
 /// Iso value for `spec` given its truth field (quantile-based).
 double pick_iso_value(const DatasetSpec& spec,
                       const Array3<double>& truth);

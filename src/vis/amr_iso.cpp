@@ -1,5 +1,12 @@
 #include "vis/amr_iso.hpp"
 
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "amr/sampling.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 #include "vis/isosurface.hpp"
@@ -146,6 +153,673 @@ TriMesh amr_isosurface(const AmrHierarchy& hier, double iso,
       return dualcell_isosurface(hier, iso, true);
   }
   throw Error("amr_isosurface: bad method");
+}
+
+// ------------------------- streamed pipeline ---------------------------
+
+namespace {
+
+using compress::AmrCompressed;
+using compress::ChunkedCompressor;
+using compress::Compressor;
+
+/// Value range accumulated from per-tile container stats; `any` is false
+/// while nothing contributed (a slab with no stored cells).
+struct VRange {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  bool any = false;
+
+  void add(double l, double h) {
+    lo = std::min(lo, l);
+    hi = std::max(hi, h);
+    any = true;
+  }
+  void add(const VRange& o) {
+    if (o.any) add(o.lo, o.hi);
+  }
+};
+
+/// Could a cube whose values lie in `r` widened by `eb` survive the
+/// extraction quick-reject (some value > iso, some <= iso)? Mirrors the
+/// reject exactly: kept cubes have max > iso and min <= iso; decoded
+/// values sit within [stats.min - eb, stats.max + eb], and both vertex
+/// averages (re-sampling) and raw cell values (dual) stay in that hull.
+bool straddles(const VRange& r, double iso, double eb) {
+  return r.any && r.lo - eb <= iso && iso < r.hi + eb;
+}
+
+/// Dense raster of one z-slab of one level (full xy extent,
+/// domain-relative planes [z0, z1]) — the streamed analogue of a
+/// LevelField restricted to the slab, plus a `dec` mask marking the
+/// cells whose tile was actually decoded (the value cull may skip tiles;
+/// a cell with has=1, dec=0 belongs to a provably non-straddling cube).
+struct SlabRaster {
+  std::int64_t z0 = 0, z1 = -1;
+  Array3<double> values;
+  Array3<std::uint8_t> has, unc, dec;
+
+  [[nodiscard]] std::size_t bytes() const {
+    return static_cast<std::size_t>(values.size()) *
+           (sizeof(double) + 3 * sizeof(std::uint8_t));
+  }
+};
+
+/// One cullable decode unit of a level: a container tile of a chunked
+/// patch (index >= 0) or a whole plain-blob patch (index -1, range
+/// unknown). Boxes are in LEVEL index space. Face-slab ranges default to
+/// the whole-tile range when the container predates v3 (every slab is a
+/// subset of it — conservative, never wrong).
+struct LevelTile {
+  std::size_t patch = 0;
+  std::int64_t index = -1;
+  amr::Box box;
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+  compress::TileFaceStats faces{};
+  bool decode = true;
+};
+
+/// Tile-grid view of one chunked patch (tiles in slot order, x fastest).
+struct PatchGridInfo {
+  bool grid = false;  ///< block tests applicable (grid with safe extents)
+  std::size_t first = 0;  ///< index of slot 0 in the level tile list
+  std::int64_t tnx = 0, tny = 0, tnz = 0;
+};
+
+/// Everything the per-level sweep needs in one place.
+struct LevelSweep {
+  const AmrCompressed* compressed = nullptr;
+  const Compressor* comp = nullptr;
+  int level = 0;
+  amr::Box dom;
+  Shape3 ds{};
+  std::int64_t cell_size = 1;
+  bool switching = false;
+  StreamedIsoOptions options{};
+  StreamedIsoStats* stats = nullptr;
+};
+
+/// Decoded — and, below the finest level of a mean-fill hierarchy,
+/// synchronized — values of `level` over `box`. Cells outside any patch
+/// stay 0 (callers only read patch cells). Recursion mirrors the
+/// finest-to-coarse cascade of synchronize_coarse_from_fine.
+Array3<double> synced_level_values(const LevelSweep& ls, int level,
+                                   const amr::Box& box);
+
+/// For every `level` cell inside `target` that is covered by a level+1
+/// patch AND lies inside a level patch, hand `write` the synchronized
+/// average the full-inflate path would produce there. Replicates
+/// coarsen_average cell-for-cell (same summand order, same 1/(r^3)
+/// factor) so the rebuilt values are bit-identical.
+template <typename Write>
+void sync_covered(const LevelSweep& ls, int level, const amr::Box& target,
+                  const Write& write) {
+  const AmrCompressed& c = *ls.compressed;
+  const std::int64_t rr = c.ref_ratio;
+  const auto& fine_boxes = c.boxes[static_cast<std::size_t>(level) + 1];
+  const auto& coarse_boxes = c.boxes[static_cast<std::size_t>(level)];
+  for (const Box& fb : fine_boxes) {
+    const Shape3 fs = fb.shape();
+    const std::int64_t rx = fs.nx == 1 ? 1 : rr;
+    const std::int64_t ry = fs.ny == 1 ? 1 : rr;
+    const std::int64_t rz = fs.nz == 1 ? 1 : rr;
+    // The full-inflate path would throw from coarsen_average on a
+    // non-divisible patch; a misaligned origin would silently corrupt it
+    // there, so it is rejected here rather than reproduced.
+    AMRVIS_REQUIRE_MSG(
+        (fs.nx == 1 || fs.nx % rr == 0) && (fs.ny == 1 || fs.ny % rr == 0) &&
+            (fs.nz == 1 || fs.nz % rr == 0),
+        "coarsen_average: extent not divisible by ratio");
+    AMRVIS_REQUIRE_MSG(
+        (rx == 1 || amr::floor_div(fb.lo().x, rr) * rr == fb.lo().x) &&
+            (ry == 1 || amr::floor_div(fb.lo().y, rr) * rr == fb.lo().y) &&
+            (rz == 1 || amr::floor_div(fb.lo().z, rr) * rr == fb.lo().z),
+        "streamed iso: fine patch origin not aligned to the refinement "
+        "ratio");
+    const IntVect rvec{rx, ry, rz};
+    const Box cb = fb.coarsen(rr);
+    const double inv = 1.0 / static_cast<double>(rx * ry * rz);
+    for (const Box& pb : coarse_boxes) {
+      auto ov = cb.intersect(pb);
+      if (ov) ov = ov->intersect(target);
+      if (!ov) continue;
+      // Fine cells feeding the overlap: fb.lo + (c - cb.lo)*r + [0, r).
+      const Box need{fb.lo() + (ov->lo() - cb.lo()) * rvec,
+                     fb.lo() + (ov->hi() - cb.lo()) * rvec + rvec -
+                         IntVect::uniform(1)};
+      const Array3<double> fine = synced_level_values(ls, level + 1, need);
+      for (std::int64_t cz = ov->lo().z; cz <= ov->hi().z; ++cz)
+        for (std::int64_t cy = ov->lo().y; cy <= ov->hi().y; ++cy)
+          for (std::int64_t cx = ov->lo().x; cx <= ov->hi().x; ++cx) {
+            const IntVect base =
+                fb.lo() +
+                (IntVect{cx, cy, cz} - cb.lo()) * rvec - need.lo();
+            double sum = 0.0;
+            for (std::int64_t dz = 0; dz < rz; ++dz)
+              for (std::int64_t dy = 0; dy < ry; ++dy)
+                for (std::int64_t dx = 0; dx < rx; ++dx)
+                  sum += fine(base.x + dx, base.y + dy, base.z + dz);
+            write(IntVect{cx, cy, cz}, sum * inv);
+          }
+    }
+  }
+}
+
+Array3<double> synced_level_values(const LevelSweep& ls, int level,
+                                   const amr::Box& box) {
+  Array3<double> out(box.shape(), 0.0);
+  compress::RegionDecodeStats rs;
+  const auto rps = compress::decompress_level_region(
+      *ls.compressed, *ls.comp, level, box, &rs);
+  if (ls.stats != nullptr) ls.stats->tiles_decoded += rs.tiles_decoded;
+  for (const auto& rp : rps) {
+    const Shape3 os = rp.box.shape();
+    for (std::int64_t dz = 0; dz < os.nz; ++dz)
+      for (std::int64_t dy = 0; dy < os.ny; ++dy)
+        std::memcpy(&out(rp.box.lo().x - box.lo().x,
+                         rp.box.lo().y - box.lo().y + dy,
+                         rp.box.lo().z - box.lo().z + dz),
+                    &rp.data(0, dy, dz),
+                    static_cast<std::size_t>(os.nx) * sizeof(double));
+  }
+  if (static_cast<std::size_t>(level) + 1 < ls.compressed->levels.size())
+    sync_covered(ls, level, box, [&](IntVect cc, double v) {
+      const IntVect o = cc - box.lo();
+      out(o.x, o.y, o.z) = v;
+    });
+  return out;
+}
+
+/// Build the raster of slab [z0, z1]: paint has/uncovered/decoded masks
+/// from the box arrays and the cull plan, stream-decode the selected
+/// tiles (`do_decode` false skips all decoding — the slab then only
+/// serves masks to its neighbor's seam cubes), and (for switching cells
+/// on a mean-fill hierarchy) rebuild the covered coarse values from
+/// region-decoded fine data.
+SlabRaster build_slab(const LevelSweep& ls,
+                      const std::vector<LevelTile>& tiles,
+                      const std::vector<std::vector<char>>& decided,
+                      std::vector<std::optional<Array3<double>>>& plain_cache,
+                      std::int64_t z0, std::int64_t z1, bool do_decode) {
+  SlabRaster r;
+  r.z0 = z0;
+  r.z1 = z1;
+  const Shape3 rs{ls.ds.nx, ls.ds.ny, z1 - z0 + 1};
+  r.values = Array3<double>(rs, 0.0);
+  r.has = Array3<std::uint8_t>(rs, 0);
+  r.unc = Array3<std::uint8_t>(rs, 0);
+  r.dec = Array3<std::uint8_t>(rs, 0);
+  const amr::Box slab_box{
+      {ls.dom.lo().x, ls.dom.lo().y, ls.dom.lo().z + z0},
+      {ls.dom.hi().x, ls.dom.hi().y, ls.dom.lo().z + z1}};
+
+  // Masks first — they cost no decode.
+  const auto& boxes =
+      ls.compressed->boxes[static_cast<std::size_t>(ls.level)];
+  auto paint_mask = [&](Array3<std::uint8_t>& mask, const Box& b,
+                        std::uint8_t v) {
+    const auto ov = b.intersect(slab_box);
+    if (!ov) return;
+    for (std::int64_t k = ov->lo().z; k <= ov->hi().z; ++k)
+      for (std::int64_t j = ov->lo().y; j <= ov->hi().y; ++j)
+        for (std::int64_t i = ov->lo().x; i <= ov->hi().x; ++i)
+          mask(i - ls.dom.lo().x, j - ls.dom.lo().y,
+               k - ls.dom.lo().z - z0) = v;
+  };
+  for (const Box& pb : boxes) paint_mask(r.has, pb, 1);
+  for (std::int64_t f = 0; f < r.has.size(); ++f) r.unc[f] = r.has[f];
+  const bool has_finer = static_cast<std::size_t>(ls.level) + 1 <
+                         ls.compressed->levels.size();
+  if (has_finer) {
+    for (const Box& fb :
+         ls.compressed->boxes[static_cast<std::size_t>(ls.level) + 1])
+      paint_mask(r.unc, fb.coarsen(ls.compressed->ref_ratio), 0);
+  }
+  if (!do_decode) return r;
+  for (const LevelTile& t : tiles)
+    if (t.decode) paint_mask(r.dec, t.box, 1);
+
+  // Values: one decoded tile at a time through the cull plan; a tile may
+  // overhang the slab in z, only the slab rows are kept.
+  amr::HierTileOptions hto;
+  hto.prefetch = ls.options.prefetch;
+  hto.plain_cache = &plain_cache;  // plain patches inflate once per sweep
+  hto.tile_select = [&](std::size_t p, const compress::TileRegion& tr) {
+    return decided[p].empty() ||
+           decided[p][static_cast<std::size_t>(tr.index)] != 0;
+  };
+  compress::RegionDecodeStats dstats;
+  amr::for_each_tile_compressed(
+      *ls.compressed, *ls.comp, ls.level, slab_box,
+      [&](amr::HierTile&& t) {
+        const auto ov = t.box.intersect(slab_box);
+        if (!ov) return;
+        const Shape3 os = ov->shape();
+        for (std::int64_t dz = 0; dz < os.nz; ++dz)
+          for (std::int64_t dy = 0; dy < os.ny; ++dy)
+            std::memcpy(
+                &r.values(ov->lo().x - ls.dom.lo().x,
+                          ov->lo().y - ls.dom.lo().y + dy,
+                          ov->lo().z - ls.dom.lo().z - z0 + dz),
+                &t.data(ov->lo().x - t.box.lo().x,
+                        ov->lo().y - t.box.lo().y + dy,
+                        ov->lo().z - t.box.lo().z + dz),
+                static_cast<std::size_t>(os.nx) * sizeof(double));
+      },
+      hto, &dstats);
+  if (ls.stats != nullptr) ls.stats->tiles_decoded += dstats.tiles_decoded;
+
+  // Switching cells read the redundant coarse data; under mean-fill the
+  // stored values there are placeholders, so rebuild them from the fine
+  // level exactly like synchronize_coarse_from_fine (coarse-to-fine).
+  // Those levels never cull (stats cannot bound rebuilt values), so the
+  // rebuilt cells are always decoded cells.
+  if (ls.switching && has_finer &&
+      ls.compressed->handling == compress::RedundantHandling::kMeanFill) {
+    sync_covered(ls, ls.level, slab_box, [&](IntVect cc, double v) {
+      r.values(cc.x - ls.dom.lo().x, cc.y - ls.dom.lo().y,
+               cc.z - ls.dom.lo().z - z0) = v;
+    });
+  }
+  return r;
+}
+
+/// Streamed sweep of one level; appends its triangles to `mesh` in the
+/// exact order the full-inflate pipeline would emit them.
+void sweep_level(const LevelSweep& ls, VisMethod method, double iso,
+                 TriMesh& mesh) {
+  const AmrCompressed& c = *ls.compressed;
+  const Shape3 ds = ls.ds;
+  const bool resampling = method == VisMethod::kResampling;
+  if (!resampling && (ds.nx < 2 || ds.ny < 2 || ds.nz < 2))
+    return;  // the full dual-cell path skips such levels too
+
+  // ---- planning: the cullable tile set of this level ----
+  const auto& boxes = c.boxes[static_cast<std::size_t>(ls.level)];
+  const auto& patches = c.levels[static_cast<std::size_t>(ls.level)].patches;
+  const auto* chunked_codec = dynamic_cast<const ChunkedCompressor*>(ls.comp);
+  // Mean-fill rebuilds covered coarse values from fine data, which the
+  // stored per-tile stats do not bound — stats are unusable there.
+  const bool stats_usable =
+      !(ls.switching &&
+        c.handling == compress::RedundantHandling::kMeanFill &&
+        static_cast<std::size_t>(ls.level) + 1 < c.levels.size());
+
+  std::vector<LevelTile> tiles;
+  std::vector<PatchGridInfo> pgrids(boxes.size());
+  // Per patch: decode flags per container slot (empty for plain blobs,
+  // which always decode whole).
+  std::vector<std::vector<char>> decided(boxes.size());
+  for (std::size_t p = 0; p < boxes.size(); ++p) {
+    const Box& pb = boxes[p];
+    const bool tiled = chunked_codec != nullptr ||
+                       ChunkedCompressor::is_chunked_blob(patches[p].blob);
+    if (tiled) {
+      std::optional<ChunkedCompressor> wrap;
+      const ChunkedCompressor* cc = chunked_codec;
+      if (cc == nullptr) cc = &wrap.emplace(*ls.comp);
+      // One header parse serves the tile boxes, the overall stats AND
+      // the face table (no payload is touched).
+      const auto pc = compress::detail::parse_container(
+          patches[p].blob, cc->inner().name());
+      decided[p].assign(static_cast<std::size_t>(pc.ntiles), 0);
+      PatchGridInfo& g = pgrids[p];
+      g.first = tiles.size();
+      // Only v3 stats are trusted by the cull: the pre-v3 writers
+      // computed ranges by SKIPPING NaN cells, and a NaN-cornered
+      // marching cube can emit geometry a finite range never admits —
+      // a v1/v2 patch blob therefore decodes whole (conservative,
+      // mesh-identical) rather than risking dropped triangles.
+      const bool trust_stats = stats_usable && !pc.faces.empty();
+      for (std::int64_t t = 0; t < pc.ntiles; ++t) {
+        LevelTile lt;
+        lt.patch = p;
+        lt.index = t;
+        lt.box = compress::detail::tile_cell_box(
+                     compress::detail::tile_box(t, pc.grid, pc.shape,
+                                                pc.tile))
+                     .shift(pb.lo());
+        if (trust_stats) {
+          const compress::TileStats st = pc.stats_of(t);
+          lt.lo = st.min;
+          lt.hi = st.max;
+          lt.faces = pc.faces[static_cast<std::size_t>(t)];
+        } else {
+          lt.faces.fill({lt.lo, lt.hi});  // unbounded: always decoded
+        }
+        tiles.push_back(lt);
+      }
+      g.tnx = pc.grid.tnx;
+      g.tny = pc.grid.tny;
+      g.tnz = pc.grid.tnz;
+      // Block tests assume a cell window spans at most two tiles per
+      // axis: true when interior tile extents are >= 2 (only the last
+      // tile of an axis is ever clipped).
+      g.grid = (g.tnx < 2 || pc.tile.nx >= 2) &&
+               (g.tny < 2 || pc.tile.ny >= 2) &&
+               (g.tnz < 2 || pc.tile.nz >= 2);
+    } else {
+      LevelTile lt;
+      lt.patch = p;
+      lt.box = pb;
+      tiles.push_back(lt);  // range unknown: always decoded
+    }
+  }
+  if (ls.stats != nullptr)
+    ls.stats->tiles_total += static_cast<std::int64_t>(tiles.size());
+
+  // Exact cull. A cube can only straddle the isovalue if the union of
+  // the widened value ranges of the regions its cell window touches
+  // does. Within a patch grid the window spans at most two tiles per
+  // axis, and each tile's share of a seam/edge/corner window lies in
+  // its two-layer face slabs — so testing every face pair, edge quad
+  // and corner octet against the respective face-slab ranges (v3
+  // stats; whole-tile ranges for older containers) and decoding every
+  // participant of a straddling test guarantees every potentially
+  // contributing cube is fully decoded. Cubes touching a skipped tile
+  // are provably silent and masked off below. Windows crossing PATCH
+  // boundaries (and patches whose tiling defeats the two-tile
+  // assumption) fall back to the grow(2) whole-range union.
+  const double eb = c.abs_eb;
+  if (!ls.options.value_cull) {
+    for (LevelTile& t : tiles) t.decode = true;
+  } else {
+    for (LevelTile& t : tiles)
+      t.decode = straddles(VRange{t.lo, t.hi, true}, iso, eb);
+
+    // Range of a tile's block-facing region: intersection of the face
+    // ranges toward the block, one per spanned axis (the region lies in
+    // each of those slabs). An empty intersection means the region holds
+    // no non-NaN value and contributes nothing.
+    auto face_bound = [&](const LevelTile& t, int fx, int fy,
+                          int fz) -> VRange {
+      double lo = t.lo, hi = t.hi;
+      auto clip = [&](const compress::TileStats& st) {
+        lo = std::max(lo, st.min);
+        hi = std::min(hi, st.max);
+      };
+      if (fx >= 0) clip(t.faces[static_cast<std::size_t>(fx)]);
+      if (fy >= 0) clip(t.faces[static_cast<std::size_t>(fy)]);
+      if (fz >= 0) clip(t.faces[static_cast<std::size_t>(fz)]);
+      if (lo > hi) return {};
+      return {lo, hi, true};
+    };
+    for (std::size_t p = 0; p < boxes.size(); ++p) {
+      const PatchGridInfo& g = pgrids[p];
+      if (!g.grid) continue;
+      auto at = [&](std::int64_t i, std::int64_t j,
+                    std::int64_t k) -> LevelTile& {
+        return tiles[g.first + static_cast<std::size_t>(
+                                   (k * g.tny + j) * g.tnx + i)];
+      };
+      // Every face pair (1 spanned axis), edge quad (2) and corner
+      // octet (3) of adjacent tiles: union the block-facing bounds; if
+      // they straddle, decode every participant.
+      for (int ax = 0; ax <= (g.tnx > 1 ? 1 : 0); ++ax)
+        for (int ay = 0; ay <= (g.tny > 1 ? 1 : 0); ++ay)
+          for (int az = 0; az <= (g.tnz > 1 ? 1 : 0); ++az) {
+            if (ax + ay + az == 0) continue;  // own-range test done
+            for (std::int64_t bz = 0; bz + az < g.tnz; ++bz)
+              for (std::int64_t by = 0; by + ay < g.tny; ++by)
+                for (std::int64_t bx = 0; bx + ax < g.tnx; ++bx) {
+                  VRange u;
+                  for (int ox = 0; ox <= ax; ++ox)
+                    for (int oy = 0; oy <= ay; ++oy)
+                      for (int oz = 0; oz <= az; ++oz) {
+                        const LevelTile& t =
+                            at(bx + ox, by + oy, bz + oz);
+                        u.add(face_bound(
+                            t, ax ? (ox ? 0 : 1) : -1,
+                            ay ? (oy ? 2 : 3) : -1,
+                            az ? (oz ? 4 : 5) : -1));
+                      }
+                  if (!straddles(u, iso, eb)) continue;
+                  for (int ox = 0; ox <= ax; ++ox)
+                    for (int oy = 0; oy <= ay; ++oy)
+                      for (int oz = 0; oz <= az; ++oz)
+                        at(bx + ox, by + oy, bz + oz).decode = true;
+                }
+          }
+    }
+    // Cross-patch seams and non-grid tilings: conservative whole-range
+    // neighborhood union, applied to every tile near a foreign tile.
+    // A single grid-tiled patch (the flagship whole-domain container)
+    // has neither, so the quadratic scan is skipped entirely.
+    const bool need_fallback_scan =
+        boxes.size() > 1 || (!pgrids.empty() && !pgrids[0].grid);
+    if (need_fallback_scan) {
+      for (LevelTile& t : tiles) {
+        if (t.decode) continue;
+        const Box probe = t.box.grow(2);
+        bool fallback = !pgrids[t.patch].grid && t.index >= 0;
+        if (!fallback) {
+          for (const LevelTile& o : tiles)
+            if (o.patch != t.patch && o.box.intersects(probe)) {
+              fallback = true;
+              break;
+            }
+        }
+        if (!fallback) continue;
+        VRange u;
+        for (const LevelTile& o : tiles)
+          if (o.box.intersects(probe)) u.add(o.lo, o.hi);
+        t.decode = straddles(u, iso, eb);
+      }
+    }
+  }
+  for (const LevelTile& t : tiles)
+    if (t.decode && t.index >= 0)
+      decided[t.patch][static_cast<std::size_t>(t.index)] = 1;
+
+  // ---- sweep: slabs in z order; decode planned tiles, contour, cache
+  // a two-plane halo (masks always exist; values only where decoded) ----
+  const std::int64_t T = std::max<std::int64_t>(2, ls.options.slab_nz);
+  const std::int64_t nslab = (ds.nz + T - 1) / T;
+  if (ls.stats != nullptr) ls.stats->slabs_total += nslab;
+  const double h = static_cast<double>(ls.cell_size);
+
+  auto slab_has_decode = [&](std::int64_t k) {
+    const amr::Box sb{{ls.dom.lo().x, ls.dom.lo().y,
+                       ls.dom.lo().z + k * T},
+                      {ls.dom.hi().x, ls.dom.hi().y,
+                       ls.dom.lo().z + std::min(k * T + T - 1, ds.nz - 1)}};
+    for (const LevelTile& t : tiles)
+      if (t.decode && t.box.intersects(sb)) return true;
+    return false;
+  };
+
+  SlabRaster halo;  // last two planes of the previous slab (masks always)
+  bool prev_decoded = false;
+  // Plain patch blobs have no partial decode: inflate each at most once
+  // per sweep (held for the whole level sweep — they are the patches the
+  // chunk policy deemed small enough not to tile).
+  std::vector<std::optional<Array3<double>>> plain_cache(boxes.size());
+  for (std::int64_t k = 0; k < nslab; ++k) {
+    const std::int64_t z0 = k * T;
+    const std::int64_t z1 = std::min(z0 + T - 1, ds.nz - 1);
+    const bool decode_k = slab_has_decode(k);
+    // Anchors owned by this iteration: the seam layer into the previous
+    // slab plus this slab's interior (the top layer belongs to the next
+    // iteration, whose window sees both slabs).
+    const std::int64_t a_lo = k == 0 ? 0 : z0 - 1;
+    const std::int64_t a_hi =
+        k == nslab - 1 ? (resampling ? ds.nz - 1 : ds.nz - 2)
+                       : z1 - 1;
+    const bool emit_any = (decode_k || prev_decoded) && a_lo <= a_hi;
+    // Undecoded slabs still materialize (mask-only, no decode): their
+    // has/uncovered planes feed the next iteration's seam windows, where
+    // data-free cells are legitimately averaged around.
+    SlabRaster cur =
+        build_slab(ls, tiles, decided, plain_cache, z0, z1, decode_k);
+    if (ls.stats != nullptr && decode_k) ls.stats->slabs_decoded += 1;
+
+    if (emit_any) {
+      // Working window: up to two halo planes + the current slab. For
+      // k > 0 the halo always exists (built even for undecoded slabs —
+      // masks cost no decode).
+      const std::int64_t w0 = k == 0 ? 0 : z0 - 2;
+      const Shape3 ws{ds.nx, ds.ny, z1 - w0 + 1};
+      Array3<double> wv(ws, 0.0);
+      Array3<std::uint8_t> wh(ws, 0), wu(ws, 0), wd(ws, 0);
+      auto copy_plane = [&](const SlabRaster& src, std::int64_t z) {
+        const std::int64_t sz = z - src.z0, dz = z - w0;
+        const std::size_t row = static_cast<std::size_t>(ws.nx);
+        for (std::int64_t j = 0; j < ws.ny; ++j) {
+          std::memcpy(&wv(0, j, dz), &src.values(0, j, sz),
+                      row * sizeof(double));
+          std::memcpy(&wh(0, j, dz), &src.has(0, j, sz), row);
+          std::memcpy(&wu(0, j, dz), &src.unc(0, j, sz), row);
+          std::memcpy(&wd(0, j, dz), &src.dec(0, j, sz), row);
+        }
+      };
+      for (std::int64_t z = w0; z < z0; ++z) copy_plane(halo, z);
+      for (std::int64_t z = z0; z <= z1; ++z) copy_plane(cur, z);
+
+      // A cell with data whose tile the cull skipped: any cube whose
+      // window touches it is provably non-straddling — mask it off.
+      Array3<std::uint8_t> missing(ws, 0);
+      for (std::int64_t f = 0; f < missing.size(); ++f)
+        missing[f] = static_cast<std::uint8_t>(wh[f] != 0 && wd[f] == 0);
+      const std::int64_t win = resampling ? 1 : 0;  // window low reach
+      auto window_clean = [&](std::int64_t i, std::int64_t j,
+                              std::int64_t kk) {
+        const std::int64_t i0 = std::max<std::int64_t>(i - win, 0);
+        const std::int64_t j0 = std::max<std::int64_t>(j - win, 0);
+        const std::int64_t k0 = std::max<std::int64_t>(kk - win, 0);
+        const std::int64_t i1 = std::min(i + 1, ws.nx - 1);
+        const std::int64_t j1 = std::min(j + 1, ws.ny - 1);
+        const std::int64_t k1 = std::min(kk + 1, ws.nz - 1);
+        for (std::int64_t cz = k0; cz <= k1; ++cz)
+          for (std::int64_t cy = j0; cy <= j1; ++cy)
+            for (std::int64_t cx = i0; cx <= i1; ++cx)
+              if (missing(cx, cy, cz)) return false;
+        return true;
+      };
+
+      std::size_t live = cur.bytes() + halo.bytes() +
+                         static_cast<std::size_t>(wv.size()) *
+                             (sizeof(double) + 4);
+      for (const auto& cached : plain_cache)
+        if (cached.has_value())
+          live += static_cast<std::size_t>(cached->size()) * sizeof(double);
+      auto emit = [&](View3<const double> grid,
+                      View3<const std::uint8_t> mask,
+                      const GridTransform& tf) {
+        mesh.append(extract_isosurface_slab(grid, iso, tf, ls.level, mask,
+                                            a_lo - w0, a_hi - w0 + 1));
+      };
+      if (resampling) {
+        Array3<std::uint8_t> vertex_valid;
+        const Array3<double> verts =
+            resample_to_vertices_masked(wv.view(), wu.view(), vertex_valid);
+        // Extraction mask = uncovered anchors whose 3-cell windows hold
+        // no missing cells (their vertex averages would read them).
+        Array3<std::uint8_t> cmask(ws, 0);
+        parallel_for(ws.nz, [&](std::int64_t kk) {
+          for (std::int64_t j = 0; j < ws.ny; ++j)
+            for (std::int64_t i = 0; i < ws.nx; ++i)
+              cmask(i, j, kk) = static_cast<std::uint8_t>(
+                  wu(i, j, kk) != 0 && window_clean(i, j, kk));
+        });
+        live += static_cast<std::size_t>(verts.size()) *
+                    (sizeof(double) + 1) +
+                static_cast<std::size_t>(cmask.size());
+        const GridTransform tf{Vec3{0, 0, static_cast<double>(w0) * h}, h};
+        emit(verts.view(), cmask.view(), tf);
+      } else {
+        // Dual mask over the window's cube grid: the dual_mask corner
+        // rules (no clipping needed — every corner is in-window for the
+        // anchors emitted here) plus the missing-cell veto.
+        const Shape3 ms{ds.nx - 1, ds.ny - 1, ws.nz - 1};
+        Array3<std::uint8_t> dmask(ms, 0);
+        auto mv = dmask.view();
+        parallel_for(ms.nz, [&](std::int64_t kk) {
+          for (std::int64_t j = 0; j < ms.ny; ++j)
+            for (std::int64_t i = 0; i < ms.nx; ++i) {
+              bool all_data = true, all_unc = true, any_unc = false;
+              bool clean = true;
+              for (int cnr = 0; cnr < 8; ++cnr) {
+                const std::int64_t ci = i + (cnr & 1);
+                const std::int64_t cj = j + ((cnr >> 1) & 1);
+                const std::int64_t ck = kk + ((cnr >> 2) & 1);
+                if (!wh(ci, cj, ck)) all_data = false;
+                if (wu(ci, cj, ck)) any_unc = true;
+                else all_unc = false;
+                if (missing(ci, cj, ck)) clean = false;
+              }
+              const bool ok =
+                  (ls.switching ? (all_data && any_unc) : all_unc) && clean;
+              mv(i, j, kk) = ok ? 1 : 0;
+            }
+        });
+        live += static_cast<std::size_t>(dmask.size());
+        const GridTransform tf{
+            Vec3{0.5 * h, 0.5 * h, 0.5 * h + static_cast<double>(w0) * h},
+            h};
+        emit(wv.view(), dmask.view(), tf);
+      }
+      if (ls.stats != nullptr)
+        ls.stats->peak_live_bytes =
+            std::max(ls.stats->peak_live_bytes, live);
+    }
+
+    // Cache the last two planes as the next iteration's halo.
+    const std::int64_t h0 = std::max(z0, z1 - 1);
+    halo.z0 = h0;
+    halo.z1 = z1;
+    const Shape3 hs{ds.nx, ds.ny, z1 - h0 + 1};
+    halo.values = Array3<double>(hs);
+    halo.has = Array3<std::uint8_t>(hs);
+    halo.unc = Array3<std::uint8_t>(hs);
+    halo.dec = Array3<std::uint8_t>(hs);
+    for (std::int64_t z = h0; z <= z1; ++z) {
+      const std::int64_t sz = z - z0, dz = z - h0;
+      for (std::int64_t j = 0; j < ds.ny; ++j) {
+        std::memcpy(&halo.values(0, j, dz), &cur.values(0, j, sz),
+                    static_cast<std::size_t>(ds.nx) * sizeof(double));
+        std::memcpy(&halo.has(0, j, dz), &cur.has(0, j, sz),
+                    static_cast<std::size_t>(ds.nx));
+        std::memcpy(&halo.unc(0, j, dz), &cur.unc(0, j, sz),
+                    static_cast<std::size_t>(ds.nx));
+        std::memcpy(&halo.dec(0, j, dz), &cur.dec(0, j, sz),
+                    static_cast<std::size_t>(ds.nx));
+      }
+    }
+    prev_decoded = decode_k;
+  }
+}
+
+}  // namespace
+
+TriMesh amr_isosurface_streamed(const AmrCompressed& compressed,
+                                const Compressor& comp, double iso,
+                                VisMethod method,
+                                const StreamedIsoOptions& options,
+                                StreamedIsoStats* stats) {
+  AMRVIS_REQUIRE_MSG(!compressed.levels.empty(),
+                     "amr_isosurface_streamed: empty hierarchy");
+  AMRVIS_REQUIRE_MSG(comp.name() == compressed.compressor_name,
+                     "amr_isosurface_streamed: codec mismatch");
+  if (stats != nullptr) *stats = {};
+  TriMesh mesh;
+  const int nlev = static_cast<int>(compressed.levels.size());
+  for (int l = 0; l < nlev; ++l) {
+    LevelSweep ls;
+    ls.compressed = &compressed;
+    ls.comp = &comp;
+    ls.level = l;
+    ls.dom = compressed.domains[static_cast<std::size_t>(l)];
+    ls.ds = ls.dom.shape();
+    std::int64_t r = 1;
+    for (int i = l; i + 1 < nlev; ++i) r *= compressed.ref_ratio;
+    ls.cell_size = r;
+    ls.switching = method == VisMethod::kDualCellSwitching;
+    ls.options = options;
+    ls.stats = stats;
+    sweep_level(ls, method, iso, mesh);
+  }
+  return mesh;
 }
 
 const char* vis_method_name(VisMethod method) {

@@ -14,8 +14,25 @@
 //
 // World coordinates: the finest level's cells have unit size; a level-l
 // cell has size ratio_to_finest(l).
+//
+// Streamed path (amr_isosurface_streamed): the same three pipelines
+// driven directly from a COMPRESSED hierarchy, without ever inflating a
+// level whole. Each level is swept in full-xy z-slabs; a slab is decoded
+// (tile-streamed through amr::for_each_tile_compressed, at most two live
+// decoded tiles per patch stream) only when its value range — assembled
+// from the container's per-tile stats and widened by the hierarchy's
+// absolute error bound — straddles the isovalue, alone or paired with a
+// neighboring slab (seam cubes can cross the isovalue between two slabs
+// neither of which straddles it alone). Cubes spanning a slab seam are
+// contoured from a one-cell halo cached off the previous slab, so every
+// tile is decoded at most once per slab sweep and the resulting mesh is
+// BIT-IDENTICAL — triangles, vertex coordinates and order — to running
+// the full-inflate pipeline on decompress_hierarchy(). Peak memory is
+// two cell slabs (one being built, one cached as two halo planes) plus
+// the per-patch stream buffers, instrumented in StreamedIsoStats.
 
 #include "amr/hierarchy.hpp"
+#include "compress/amr_compress.hpp"
 #include "vis/mesh.hpp"
 
 namespace amrvis::vis {
@@ -46,5 +63,44 @@ TriMesh amr_isosurface(const amr::AmrHierarchy& hier, double iso,
                        VisMethod method);
 
 const char* vis_method_name(VisMethod method);
+
+/// Knobs for the streamed pipeline.
+struct StreamedIsoOptions {
+  /// z-thickness of the sweep slabs (clamped to >= 2; align it with the
+  /// chunk tile nz so every container tile is decoded at most once).
+  std::int64_t slab_nz = 16;
+  /// Skip slabs whose widened value range cannot straddle the isovalue.
+  /// Off = decode every slab that holds data (still out-of-core).
+  bool value_cull = true;
+  /// Pair decode-ahead inside each patch's TileStream.
+  bool prefetch = true;
+};
+
+/// Decode-work and memory instrumentation of one streamed extraction.
+struct StreamedIsoStats {
+  std::int64_t tiles_decoded = 0;  ///< container tile decode events
+  std::int64_t tiles_total = 0;    ///< tiles stored across all levels
+  std::int64_t slabs_decoded = 0;
+  std::int64_t slabs_total = 0;
+  std::size_t peak_live_bytes = 0;  ///< rasters + vertex planes + masks
+};
+
+/// Isosurface a COMPRESSED hierarchy by streaming slabs of decoded tiles:
+/// walks only the slabs whose [min - abs_eb, max + abs_eb] value range
+/// (from the v2 per-tile stats; plain blobs and v1 containers are
+/// conservatively unbounded) straddles `iso`, pulling seam-crossing cubes
+/// from a one-cell halo cached off the neighboring slab. The mesh is
+/// bit-identical — vertices, triangles, emission order — to
+/// amr_isosurface(decompress_hierarchy(compressed, comp), iso, method).
+/// Mean-fill-compressed hierarchies are handled coarse-to-fine: for the
+/// switching-cell pipeline the redundant coarse values under fine patches
+/// are rebuilt from region-decoded fine tiles exactly like
+/// synchronize_coarse_from_fine (and value culling is disabled on those
+/// levels, since the rebuilt values are not bounded by the stored stats).
+TriMesh amr_isosurface_streamed(const compress::AmrCompressed& compressed,
+                                const compress::Compressor& comp, double iso,
+                                VisMethod method,
+                                const StreamedIsoOptions& options = {},
+                                StreamedIsoStats* stats = nullptr);
 
 }  // namespace amrvis::vis

@@ -80,19 +80,30 @@ void contour_tet(const Vec3 p[4], const double f[4], double iso, int level,
 TriMesh extract_isosurface(View3<const double> values, double iso,
                            const GridTransform& transform, int level,
                            View3<const std::uint8_t> cell_valid) {
+  return extract_isosurface_slab(values, iso, transform, level, cell_valid,
+                                 0, values.shape().nz - 1);
+}
+
+TriMesh extract_isosurface_slab(View3<const double> values, double iso,
+                                const GridTransform& transform, int level,
+                                View3<const std::uint8_t> cell_valid,
+                                std::int64_t k_begin, std::int64_t k_end) {
   const Shape3 vs = values.shape();
   AMRVIS_REQUIRE_MSG(vs.nx >= 2 && vs.ny >= 2 && vs.nz >= 2,
                      "isosurface: need at least a 2x2x2 vertex grid");
   const std::int64_t cx = vs.nx - 1, cy = vs.ny - 1, cz = vs.nz - 1;
+  AMRVIS_REQUIRE_MSG(k_begin >= 0 && k_end <= cz && k_begin <= k_end,
+                     "isosurface: cube layer range outside the grid");
   const bool has_mask = cell_valid.data() != nullptr;
   if (has_mask)
     AMRVIS_REQUIRE_MSG((cell_valid.shape() == Shape3{cx, cy, cz}),
                        "isosurface: mask shape must be cells of the grid");
 
   // Deterministic parallelism: one sub-mesh per z-slab, appended in order.
-  std::vector<TriMesh> slabs(static_cast<std::size_t>(cz));
-  parallel_for(cz, [&](std::int64_t k) {
-    TriMesh& m = slabs[static_cast<std::size_t>(k)];
+  std::vector<TriMesh> slabs(static_cast<std::size_t>(k_end - k_begin));
+  parallel_for(k_end - k_begin, [&](std::int64_t kk) {
+    const std::int64_t k = k_begin + kk;
+    TriMesh& m = slabs[static_cast<std::size_t>(kk)];
     for (std::int64_t j = 0; j < cy; ++j)
       for (std::int64_t i = 0; i < cx; ++i) {
         if (has_mask && !cell_valid(i, j, k)) continue;

@@ -31,6 +31,17 @@ TriMesh extract_isosurface(View3<const double> values, double iso,
                            const GridTransform& transform, int level = 0,
                            View3<const std::uint8_t> cell_valid = {});
 
+/// Slab variant for streaming consumers: identical to extract_isosurface
+/// restricted to cube anchors with z in [k_begin, k_end) — the triangles
+/// (values, order, level tags) are exactly the corresponding subsequence
+/// of a full extraction, so z-windowed callers (vis/amr_iso streamed
+/// path) can emit a big mesh slab by slab without ever holding the whole
+/// grid. `k_begin`/`k_end` index cube layers (0 .. values.nz - 1).
+TriMesh extract_isosurface_slab(View3<const double> values, double iso,
+                                const GridTransform& transform, int level,
+                                View3<const std::uint8_t> cell_valid,
+                                std::int64_t k_begin, std::int64_t k_end);
+
 struct Segment2D {
   double ax = 0, ay = 0, bx = 0, by = 0;
 };

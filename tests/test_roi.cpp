@@ -10,14 +10,20 @@
 //                                    the v1 writer no longer exists; this
 //                                    file can never be regenerated and
 //                                    must decode byte-exactly forever.
-//  - golden_v2_chunked_szlr.bin      current-version container. Regenerate
-//                                    ONLY on an intentional format bump:
+//  - golden_v2_chunked_szlr.bin      version-2 container written by the
+//                                    PR4 code (min/max stats, no face
+//                                    table). FROZEN like v1 — the PR5
+//                                    writer emits v3.
+//  - golden_v3_chunked_szlr.bin      current-version container (per-tile
+//                                    min/max + face-slab stats).
+//                                    Regenerate ONLY on an intentional
+//                                    format bump:
 //                                      cmake --build build --target gen_golden_blobs
 //                                      ./build/tests/gen_golden_blobs tests/data
 //  - *.dec.bin                       raw little-endian doubles of the
 //                                    expected decode, byte-compared.
-// Input field/codec for all golden files: golden_field() 12x10x9, sz-lr,
-// tile 8x8x4, abs_eb 1e-3 (kept in lock-step with gen_golden_blobs.cpp).
+// Input field/codec for the v2/v3 golden files: golden_field() 12x10x9,
+// sz-lr, tile 8x8x4, abs_eb 1e-3 (lock-step with gen_golden_blobs.cpp).
 
 #include <gtest/gtest.h>
 
@@ -154,7 +160,9 @@ TEST(RoiGolden, V1BlobTilesOverlappingIsConservative) {
   }
 }
 
-TEST(RoiGolden, V2BlobDecodesByteExactAndReproduces) {
+TEST(RoiGolden, V2BlobStillDecodesByteExact) {
+  // FROZEN since the PR5 v3 bump: the v2 writer is gone; this blob can
+  // never be regenerated and must decode byte-exactly forever.
   const Bytes blob = read_file(data_path("golden_v2_chunked_szlr.bin"));
   const Bytes expect = read_file(data_path("golden_v2_chunked_szlr.dec.bin"));
   ASSERT_GE(blob.size(), 5u);
@@ -167,12 +175,69 @@ TEST(RoiGolden, V2BlobDecodesByteExactAndReproduces) {
   EXPECT_EQ(std::memcmp(dec.data(), expect.data(), expect.size()), 0)
       << "v2 container decode changed — silent format break";
 
+  // A v2 container carries no face table: the face-stat query must come
+  // back empty (consumers fall back to whole-tile ranges), never throw.
+  EXPECT_TRUE(codec.tile_face_stats(blob).empty());
+  // And ROI decode still works on it.
+  const Box region{{3, 2, 1}, {10, 9, 6}};
+  EXPECT_TRUE(bit_equal(codec.decompress_region(blob, region),
+                        slice(dec, region)));
+}
+
+TEST(RoiGolden, V3BlobDecodesByteExactAndReproduces) {
+  const Bytes blob = read_file(data_path("golden_v3_chunked_szlr.bin"));
+  const Bytes expect = read_file(data_path("golden_v3_chunked_szlr.dec.bin"));
+  ASSERT_GE(blob.size(), 5u);
+  EXPECT_EQ(blob[4], 3) << "golden v3 blob is not version 3";
+
+  const ChunkedCompressor codec = golden_codec();
+  const Array3<double> dec = codec.decompress(blob);
+  ASSERT_EQ(static_cast<std::size_t>(dec.size()) * sizeof(double),
+            expect.size());
+  EXPECT_EQ(std::memcmp(dec.data(), expect.data(), expect.size()), 0)
+      << "v3 container decode changed — silent format break";
+
   // The writer must also still produce these exact bytes: an encoder-side
   // drift is a format break even if decode still accepts old blobs.
   const Bytes rewritten = codec.compress(golden_field().view(), 1e-3);
   EXPECT_EQ(rewritten, blob)
-      << "v2 container bytes changed — regen goldens only on an "
+      << "v3 container bytes changed — regen goldens only on an "
          "intentional format bump (see header comment)";
+}
+
+TEST(RoiGolden, V3FaceStatsBoundTheirSlabs) {
+  // The face table must be exact for its slabs: every face range is
+  // contained in the tile range, and recomputing the two-layer slab
+  // ranges from the original field reproduces the stored values.
+  const Array3<double> field = golden_field();
+  const ChunkedCompressor codec = golden_codec();
+  const Bytes blob = codec.compress(field.view(), 1e-3);
+  const auto tiles = codec.tiles_overlapping(
+      blob, -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::infinity());
+  const auto faces = codec.tile_face_stats(blob);
+  ASSERT_EQ(faces.size(), tiles.size());
+  for (const TileRegion& t : tiles) {
+    const auto& tf = faces[static_cast<std::size_t>(t.index)];
+    for (int f = 0; f < 6; ++f) {
+      EXPECT_GE(tf[static_cast<std::size_t>(f)].min, t.stats.min);
+      EXPECT_LE(tf[static_cast<std::size_t>(f)].max, t.stats.max);
+    }
+    // Recompute the +x slab by hand and compare exactly.
+    const Box b = t.box;
+    const std::int64_t x0 =
+        std::max(b.lo().x, b.hi().x - 1);
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (std::int64_t z = b.lo().z; z <= b.hi().z; ++z)
+      for (std::int64_t y = b.lo().y; y <= b.hi().y; ++y)
+        for (std::int64_t x = x0; x <= b.hi().x; ++x) {
+          lo = std::min(lo, field(x, y, z));
+          hi = std::max(hi, field(x, y, z));
+        }
+    EXPECT_EQ(tf[1].min, lo) << "tile " << t.index;
+    EXPECT_EQ(tf[1].max, hi) << "tile " << t.index;
+  }
 }
 
 // ---------------------- ROI property tests -----------------------------
@@ -295,10 +360,11 @@ TEST(RoiStats, TilesOverlappingCullsByValueRange) {
 
 TEST(RoiStats, NanAndInfCellsDoNotPoisonStats) {
   // The quantizer stores non-finite values losslessly, so NaN-masked
-  // fields are legal codec inputs; the v2 writer must not emit NaN stats
-  // its own parser would reject (min <= max validation). NaN cells are
-  // skipped, an all-NaN tile records the conservative (-inf, +inf)
-  // range, and infinities are genuine range endpoints.
+  // fields are legal codec inputs; the writer must not emit NaN stats
+  // its own parser would reject (min <= max validation). A tile holding
+  // any NaN records the conservative (-inf, +inf) range (a NaN-cornered
+  // marching cube can still emit geometry, so no finite range may vouch
+  // for it), and infinities are genuine range endpoints.
   const ChunkShape tile{8, 8, 4};
   Array3<double> data = deterministic_field({16, 16, 8});
   // Tile 0 ([0..7]x[0..7]x[0..3]): all NaN. Tile 1: one +inf cell.
@@ -342,14 +408,78 @@ TEST(RoiStats, NanAndInfCellsDoNotPoisonStats) {
   EXPECT_TRUE(tile1_hit);
 }
 
+TEST(RoiStats, V1ContainersReturnEveryTileForAnyBand) {
+  // Property (v1 half): with no stats table the cull must degrade to
+  // "return everything" for every band, however improbable — dropping a
+  // tile it knows nothing about would be wrong, not conservative.
+  const Bytes blob = read_file(data_path("golden_v1_chunked_szlr.bin"));
+  const ChunkedCompressor codec = golden_codec();
+  const double bands[][2] = {{0.0, 0.0},
+                             {-1e308, -1e307},
+                             {1e307, 1e308},
+                             {-1e-300, 1e-300}};
+  for (const auto& b : bands) {
+    const auto tiles = codec.tiles_overlapping(blob, b[0], b[1]);
+    EXPECT_EQ(tiles.size(), 12u) << "band [" << b[0] << ", " << b[1] << "]";
+  }
+}
+
+TEST(RoiStats, EbWidenedCullNeverDropsAMatchingDecodedValue) {
+  // Property (v2 half), fuzzed over codecs x error bounds: for any band
+  // [lo, hi], the tiles NOT returned by tiles_overlapping(lo - eb,
+  // hi + eb) must contain no decoded value inside [lo, hi] — the
+  // contract the streamed isosurface cull rests on. eb spans loose to
+  // near-lossless so the widening matters (loose bounds) and degenerates
+  // harmlessly (tight bounds).
+  const ChunkShape tile{8, 8, 4};
+  const Shape3 shapes[] = {{17, 13, 9}, {16, 16, 8}};
+  for (const char* base : kCodecs) {
+    for (const double eb_rel : {1e-1, 1e-3, 1e-6}) {
+      for (const Shape3& s : shapes) {
+        const Array3<double> data = deterministic_field(s);
+        const double abs_eb =
+            resolve_abs_eb(ErrorBoundMode::kRelative, eb_rel, data.span());
+        const ChunkedCompressor codec(make_compressor(base), tile);
+        const Bytes blob = codec.compress(data.view(), abs_eb);
+        const auto all = codec.tiles_overlapping(
+            blob, -std::numeric_limits<double>::infinity(),
+            std::numeric_limits<double>::infinity());
+        // Bands around several isovalues spanning the field's range.
+        for (const double iso : {-7.9, -2.5, 0.0, 3.25, 7.5}) {
+          for (const double half_width : {0.0, 0.5}) {
+            const double lo = iso - half_width, hi = iso + half_width;
+            const auto hits = codec.tiles_overlapping(blob, lo - abs_eb,
+                                                      hi + abs_eb);
+            std::vector<bool> kept(all.size(), false);
+            for (const TileRegion& t : hits)
+              kept[static_cast<std::size_t>(t.index)] = true;
+            for (const TileRegion& t : all) {
+              if (kept[static_cast<std::size_t>(t.index)]) continue;
+              // Dropped tile: no decoded cell may land in [lo, hi].
+              const Array3<double> part =
+                  codec.decompress_region(blob, t.box);
+              for (std::int64_t f = 0; f < part.size(); ++f)
+                ASSERT_FALSE(part[f] >= lo && part[f] <= hi)
+                    << base << " eb " << eb_rel << " iso " << iso
+                    << " tile " << t.index << " holds " << part[f];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
 // -------------------- adversarial v2 headers ---------------------------
 
-// v2 container offsets for a "sz-lr" container (name length 5):
+// v3 container offsets for a "sz-lr" container (name length 5):
 // magic@0(4) version@4(2) namelen@6(2) name@8(5) shape@13(3x i64)
-// tile@37(3x i64) ntiles@61(u64) sizes@69(8*n) stats@69+8n(16*n) payload.
+// tile@37(3x i64) ntiles@61(u64) sizes@69(8*n) stats@69+8n(16*n)
+// faces@69+24n(96*n) payload.
 constexpr std::size_t kSizesOff = 69;
 
-/// 16x16x8 sz-lr container, 8 tiles: sizes@69..133, stats@133..261.
+/// 16x16x8 sz-lr container, 8 tiles: sizes@69..133, stats@133..261,
+/// faces@261..1029.
 Bytes adversarial_container() {
   const Array3<double> data = deterministic_field({16, 16, 8});
   const ChunkedCompressor codec(make_compressor("sz-lr"), ChunkShape{8, 8, 4});
@@ -362,6 +492,7 @@ ChunkedCompressor adversarial_codec() {
 
 constexpr std::size_t kNtiles = 8;
 constexpr std::size_t kStatsOff = kSizesOff + 8 * kNtiles;
+constexpr std::size_t kFaceOff = kStatsOff + 16 * kNtiles;
 
 TEST(RoiAdversarial, TruncatedStatsTableThrows) {
   const ChunkedCompressor codec = adversarial_codec();
@@ -412,6 +543,64 @@ TEST(RoiAdversarial, NanStatsThrow) {
   EXPECT_THROW((void)codec.decompress(blob), Error);
 }
 
+TEST(RoiAdversarial, TruncatedFaceTableThrows) {
+  const ChunkedCompressor codec = adversarial_codec();
+  // Cut inside the face table and right before its last byte: both must
+  // throw, never read OOB or mis-slice the payload.
+  for (const std::size_t keep :
+       {kFaceOff + 17, kFaceOff + 96 * kNtiles - 1}) {
+    Bytes blob = adversarial_container();
+    ASSERT_GT(blob.size(), keep);
+    blob.resize(keep);
+    EXPECT_THROW((void)codec.decompress(blob), Error);
+    EXPECT_THROW((void)codec.tile_face_stats(blob), Error);
+  }
+}
+
+TEST(RoiAdversarial, FaceStatsMinGreaterThanMaxOrNanThrow) {
+  const ChunkedCompressor codec = adversarial_codec();
+  {
+    Bytes blob = adversarial_container();
+    double mn, mx;
+    std::memcpy(&mn, blob.data() + kFaceOff, sizeof(mn));
+    std::memcpy(&mx, blob.data() + kFaceOff + 8, sizeof(mx));
+    ASSERT_LE(mn, mx);
+    std::memcpy(blob.data() + kFaceOff, &mx, sizeof(mx));
+    std::memcpy(blob.data() + kFaceOff + 8, &mn, sizeof(mn));
+    if (mn != mx) {
+      EXPECT_THROW((void)codec.decompress(blob), Error);
+    }
+  }
+  {
+    Bytes blob = adversarial_container();
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    // Last face entry of the last tile: the validation must reach it.
+    std::memcpy(blob.data() + kFaceOff + 96 * kNtiles - 16, &nan,
+                sizeof(nan));
+    EXPECT_THROW((void)codec.decompress(blob), Error);
+    EXPECT_THROW((void)codec.tile_face_stats(blob), Error);
+  }
+}
+
+TEST(RoiAdversarial, V3MagicWithV2LengthThrows) {
+  // A v2-sized blob (no face table) relabeled as v3: the face parse
+  // would eat payload bytes, so the tile slicing must come up short.
+  Bytes blob = read_file(data_path("golden_v2_chunked_szlr.bin"));
+  ASSERT_EQ(blob[4], 2);
+  blob[4] = 3;
+  EXPECT_THROW((void)golden_codec().decompress(blob), Error);
+}
+
+TEST(RoiAdversarial, V2MagicWithV3LengthThrows) {
+  // The converse: a v3 blob relabeled v2 leaves the face table inside
+  // the payload area, so tile slots point at face doubles — the inner
+  // codec must reject them (and the trailing-bytes check backstops it).
+  Bytes blob = adversarial_container();
+  ASSERT_EQ(blob[4], 3);
+  blob[4] = 2;
+  EXPECT_THROW((void)adversarial_codec().decompress(blob), Error);
+}
+
 TEST(RoiAdversarial, V2MagicWithV1LengthThrows) {
   // A v1-sized blob (no stats table) relabeled as v2: the stats parse
   // would eat payload bytes, so the tile slicing must come up short.
@@ -421,10 +610,10 @@ TEST(RoiAdversarial, V2MagicWithV1LengthThrows) {
   EXPECT_THROW((void)golden_codec().decompress(blob), Error);
 }
 
-TEST(RoiAdversarial, V1MagicWithV2LengthThrows) {
-  // The converse: a v2 blob relabeled v1 leaves the stats table inside
-  // the payload area, so tile slots point at stats doubles — the inner
-  // codec must reject them (and the trailing-bytes check backstops it).
+TEST(RoiAdversarial, V1MagicWithV3LengthThrows) {
+  // A current (v3) blob relabeled v1 leaves the stats + face tables
+  // inside the payload area, so tile slots point at stats doubles — the
+  // inner codec must reject them (trailing-bytes check backstops it).
   const ChunkedCompressor codec = adversarial_codec();
   Bytes blob = adversarial_container();
   blob[4] = 1;
@@ -463,6 +652,34 @@ TEST(RoiFactory, MalformedTileSuffixThrows) {
         "chunked-sz-lr@8x8x-4", "chunked-sz-lr@ax8x8", "chunked-sz-lr@8x8x8x8",
         "chunked-@8x8x8"}) {
     EXPECT_THROW((void)make_compressor(name), Error) << name;
+  }
+}
+
+TEST(RoiFactory, UnknownCodecErrorListsEveryRegisteredName) {
+  // A typo'd codec name must be diagnosable from the exception alone:
+  // every registered base codec plus the chunked-<codec>@TXxTYxTZ wrapper
+  // form appear in the message, and the registry helper agrees with what
+  // the factory actually accepts.
+  const auto& names = registered_compressor_names();
+  ASSERT_GE(names.size(), 3u);
+  for (const std::string& n : names) {
+    EXPECT_NO_THROW((void)make_compressor(n)) << n;
+    EXPECT_NO_THROW((void)make_compressor("chunked-" + n)) << n;
+  }
+  for (const char* bogus : {"sz-lr2", "lzss", "", "chunked-nope"}) {
+    try {
+      (void)make_compressor(bogus);
+      FAIL() << "make_compressor(\"" << bogus << "\") did not throw";
+    } catch (const Error& e) {
+      const std::string msg = e.what();
+      for (const std::string& n : names)
+        EXPECT_NE(msg.find(n), std::string::npos)
+            << "'" << bogus << "' error does not name codec " << n
+            << ": " << msg;
+      EXPECT_NE(msg.find("chunked-<codec>@TXxTYxTZ"), std::string::npos)
+          << "'" << bogus << "' error does not show the chunked form: "
+          << msg;
+    }
   }
 }
 

@@ -1,0 +1,616 @@
+// Streaming decode subsystem: TileStream iteration/prefetch/memory-bound
+// contracts, amr::for_each_tile_compressed plumbing, and the streamed
+// ROI-aware isosurface path — whose meshes must be BIT-identical
+// (vertices, triangles, emission order) to the full-inflate amr_iso
+// pipelines across codecs, shapes, handlings, methods and thread counts.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "amr/sampling.hpp"
+#include "compress/amr_compress.hpp"
+#include "compress/chunked.hpp"
+#include "compress/compressor.hpp"
+#include "compress/tile_stream.hpp"
+#include "sim/fields.hpp"
+#include "sim/tagging.hpp"
+#include "util/bytestream.hpp"
+#include "vis/amr_iso.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace amrvis {
+namespace {
+
+using amr::Box;
+using amr::IntVect;
+using compress::ChunkedCompressor;
+using compress::ChunkShape;
+using compress::make_compressor;
+using compress::TileStream;
+using compress::TileStreamOptions;
+
+constexpr const char* kCodecs[] = {"sz-lr", "sz-interp", "zfp-like"};
+
+std::vector<int> thread_counts() {
+#ifdef _OPENMP
+  return {1, 2, std::max(4, omp_get_max_threads())};
+#else
+  return {1};
+#endif
+}
+
+class ThreadCountGuard {
+ public:
+#ifdef _OPENMP
+  ThreadCountGuard() : saved_(omp_get_max_threads()) {}
+  ~ThreadCountGuard() { omp_set_num_threads(saved_); }
+  static void set(int n) { omp_set_num_threads(n); }
+
+ private:
+  int saved_;
+#else
+  static void set(int) {}
+#endif
+};
+
+/// Deterministic dyadic filler (same construction as test_roi.cpp).
+Array3<double> deterministic_field(Shape3 s) {
+  Array3<double> data(s);
+  for (std::int64_t f = 0; f < data.size(); ++f) {
+    const auto h = static_cast<std::uint64_t>(f) * 2654435761ULL;
+    data[f] = static_cast<double>(h % 1024) / 64.0 - 8.0 +
+              static_cast<double>(f % 11) / 16.0;
+  }
+  return data;
+}
+
+std::string data_path(const std::string& file) {
+  return std::string(AMRVIS_TEST_DATA_DIR "/") + file;
+}
+
+Array3<double> slice(const Array3<double>& full, const Box& region) {
+  Array3<double> out(region.shape());
+  const Shape3 os = out.shape();
+  for (std::int64_t dz = 0; dz < os.nz; ++dz)
+    for (std::int64_t dy = 0; dy < os.ny; ++dy)
+      std::memcpy(&out(0, dy, dz),
+                  &full(region.lo().x, region.lo().y + dy,
+                        region.lo().z + dz),
+                  static_cast<std::size_t>(os.nx) * sizeof(double));
+  return out;
+}
+
+bool bit_equal(const Array3<double>& a, const Array3<double>& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<std::size_t>(a.size()) * sizeof(double)) ==
+             0;
+}
+
+// --------------------------- TileStream --------------------------------
+
+TEST(TileStream, LayoutOrderYieldsEveryTileBitExact) {
+  const Array3<double> data = deterministic_field({17, 13, 9});
+  const ChunkedCompressor codec(make_compressor("sz-lr"), ChunkShape{8, 8, 4});
+  const Bytes blob = codec.compress(data.view(), 1e-3);
+  const Array3<double> full = codec.decompress(blob);
+
+  TileStream stream(codec, blob);
+  EXPECT_EQ(stream.tiles_total(), 3 * 2 * 3);
+  EXPECT_EQ(stream.tiles_selected(), stream.tiles_total());
+  std::int64_t expect_index = 0;
+  while (auto tile = stream.next()) {
+    EXPECT_EQ(tile->index, expect_index++);  // container slot order
+    EXPECT_TRUE(bit_equal(tile->data, slice(full, tile->box)));
+    EXPECT_LE(tile->stats.min, tile->stats.max);
+    EXPECT_LE(stream.live_tiles(), 2);
+  }
+  EXPECT_EQ(expect_index, stream.tiles_total());
+  EXPECT_EQ(stream.tiles_decoded(), stream.tiles_total());
+  EXPECT_LE(stream.peak_live_tiles(), 2);  // the memory-bound contract
+  EXPECT_GT(stream.peak_live_bytes(), 0u);
+  EXPECT_LE(stream.peak_live_bytes(),
+            2u * 8 * 8 * 4 * sizeof(double));
+  EXPECT_FALSE(stream.next().has_value());  // exhausted stays exhausted
+}
+
+TEST(TileStream, PrefetchOnAndOffYieldIdenticalSequences) {
+  const Array3<double> data = deterministic_field({16, 16, 8});
+  const ChunkedCompressor codec(make_compressor("sz-lr"), ChunkShape{8, 8, 4});
+  const Bytes blob = codec.compress(data.view(), 1e-3);
+  ThreadCountGuard guard;
+  for (const int nt : thread_counts()) {
+    ThreadCountGuard::set(nt);
+    TileStreamOptions on, off;
+    on.prefetch = true;
+    off.prefetch = false;
+    TileStream a(codec, blob, on);
+    TileStream b(codec, blob, off);
+    while (true) {
+      auto ta = a.next();
+      auto tb = b.next();
+      ASSERT_EQ(ta.has_value(), tb.has_value());
+      if (!ta) break;
+      EXPECT_EQ(ta->index, tb->index);
+      EXPECT_EQ(ta->box, tb->box);
+      EXPECT_TRUE(bit_equal(ta->data, tb->data));
+    }
+    EXPECT_LE(a.peak_live_tiles(), 2);
+    EXPECT_LE(b.peak_live_tiles(), 1);  // no decode-ahead without prefetch
+  }
+}
+
+TEST(TileStream, RegionFilterSelectsOnlyIntersectingTiles) {
+  const Array3<double> data = deterministic_field({16, 16, 8});
+  const ChunkedCompressor codec(make_compressor("sz-lr"), ChunkShape{8, 8, 4});
+  const Bytes blob = codec.compress(data.view(), 1e-3);
+
+  TileStreamOptions opt;
+  opt.region = Box{{1, 1, 1}, {3, 3, 2}};  // interior of tile 0
+  TileStream stream(codec, blob, opt);
+  EXPECT_EQ(stream.tiles_selected(), 1);
+  auto tile = stream.next();
+  ASSERT_TRUE(tile.has_value());
+  EXPECT_EQ(tile->index, 0);
+  EXPECT_FALSE(stream.next().has_value());
+  EXPECT_EQ(stream.tiles_decoded(), 1);
+
+  TileStreamOptions bad;
+  bad.region = Box{{0, 0, 0}, {16, 15, 7}};
+  EXPECT_THROW((void)TileStream(codec, blob, bad), Error);
+}
+
+TEST(TileStream, ValueBandOrderMatchesTilesOverlapping) {
+  // Tiles hold their own index as a constant (the test_roi construction),
+  // so band selection is exact and comparable to tiles_overlapping.
+  const ChunkShape tile{8, 8, 4};
+  Array3<double> data({16, 16, 8});
+  for (std::int64_t k = 0; k < 8; ++k)
+    for (std::int64_t j = 0; j < 16; ++j)
+      for (std::int64_t i = 0; i < 16; ++i)
+        data(i, j, k) = static_cast<double>((k / tile.nz) * 4 +
+                                            (j / tile.ny) * 2 + i / tile.nx);
+  const ChunkedCompressor codec(make_compressor("sz-lr"), tile);
+  const Bytes blob = codec.compress(data.view(), 1e-6);
+
+  TileStreamOptions opt;
+  opt.order = TileStreamOptions::Order::kValueBand;
+  opt.band_lo = 2.5;
+  opt.band_hi = 4.5;
+  TileStream stream(codec, blob, opt);
+  const auto expect = codec.tiles_overlapping(blob, 2.5, 4.5);
+  ASSERT_EQ(stream.tiles_selected(),
+            static_cast<std::int64_t>(expect.size()));
+  for (const auto& e : expect) {
+    auto tile_out = stream.next();
+    ASSERT_TRUE(tile_out.has_value());
+    EXPECT_EQ(tile_out->index, e.index);
+    EXPECT_EQ(tile_out->box, e.box);
+  }
+  EXPECT_FALSE(stream.next().has_value());
+
+  // band_widen loosens the cut the way an abs_eb-aware caller needs.
+  TileStreamOptions widened = opt;
+  widened.band_lo = widened.band_hi = 4.75;  // between tiles 4 and 5
+  widened.band_widen = 0.5;
+  TileStream ws(codec, blob, widened);
+  EXPECT_EQ(ws.tiles_selected(), 1);  // tile 5 within the widened band
+
+  TileStreamOptions bad_band;
+  bad_band.order = TileStreamOptions::Order::kValueBand;
+  bad_band.band_lo = 1.0;
+  bad_band.band_hi = 0.0;
+  EXPECT_THROW((void)TileStream(codec, blob, bad_band), Error);
+}
+
+TEST(TileStream, V1GoldenBlobStreamsEveryTileWithUnboundedStats) {
+  const Bytes blob = read_file(data_path("golden_v1_chunked_szlr.bin"));
+  const ChunkedCompressor codec(make_compressor("sz-lr"), ChunkShape{8, 8, 4});
+  const Array3<double> full = codec.decompress(blob);
+
+  TileStreamOptions opt;
+  opt.order = TileStreamOptions::Order::kValueBand;  // v1: cannot cull
+  opt.band_lo = opt.band_hi = 1e300;
+  TileStream stream(codec, blob, opt);
+  EXPECT_EQ(stream.tiles_selected(), 12);
+  std::int64_t n = 0;
+  while (auto tile = stream.next()) {
+    EXPECT_EQ(tile->stats.min, -std::numeric_limits<double>::infinity());
+    EXPECT_EQ(tile->stats.max, std::numeric_limits<double>::infinity());
+    EXPECT_TRUE(bit_equal(tile->data, slice(full, tile->box)));
+    ++n;
+  }
+  EXPECT_EQ(n, 12);
+}
+
+TEST(TileStream, CorruptTilePayloadThrowsFromNext) {
+  const Array3<double> data = deterministic_field({16, 16, 8});
+  const ChunkedCompressor codec(make_compressor("sz-lr"), ChunkShape{8, 8, 4});
+  Bytes blob = codec.compress(data.view(), 1e-3);
+  // Scramble the tail of the payload (the last tile's bytes) without
+  // touching header or size table: construction succeeds, the decode of
+  // that tile must throw from next() — on every thread count, proving
+  // the parallel prefetch rethrows instead of std::terminate.
+  for (std::size_t i = blob.size() - 40; i < blob.size(); ++i)
+    blob[i] = static_cast<std::uint8_t>(i * 131);
+  ThreadCountGuard guard;
+  for (const int nt : thread_counts()) {
+    ThreadCountGuard::set(nt);
+    TileStream stream(codec, blob);
+    bool threw = false;
+    try {
+      while (stream.next()) {
+      }
+    } catch (const Error&) {
+      threw = true;
+    }
+    EXPECT_TRUE(threw) << nt << " threads";
+    // The stream is poisoned: a catch-and-continue caller must get an
+    // error, never a default-constructed tile posing as data.
+    EXPECT_THROW((void)stream.next(), Error) << nt << " threads";
+  }
+}
+
+// ---------------------- for_each_tile_compressed -----------------------
+
+sim::SyntheticDataset make_test_dataset() {
+  Array3<double> field = sim::nyx_like_density({32, 32, 32});
+  sim::TaggingSpec spec;
+  spec.fine_fraction = 0.3;
+  spec.block = 4;
+  spec.max_grid_size = 16;
+  return sim::build_two_level_hierarchy(std::move(field), spec);
+}
+
+compress::AmrChunkPolicy test_policy() {
+  compress::AmrChunkPolicy policy;
+  policy.oversized_patch_cells = 1000;
+  policy.tile = ChunkShape{8, 8, 8};
+  return policy;
+}
+
+TEST(ForEachTile, TilesReassembleTheLevelBitExact) {
+  const sim::SyntheticDataset ds = make_test_dataset();
+  const auto codec = make_compressor("sz-lr");
+  for (const bool chunk_patches : {false, true}) {
+    const auto compressed = compress_hierarchy(
+        ds.hierarchy, *codec, 1e-3, compress::RedundantHandling::kKeep,
+        chunk_patches ? test_policy() : compress::AmrChunkPolicy{});
+    const amr::AmrHierarchy full =
+        decompress_hierarchy(compressed, *codec);
+    for (int l = 0; l < full.num_levels(); ++l) {
+      const Box dom = compressed.domains[static_cast<std::size_t>(l)];
+      // Paint every streamed tile; the union must equal the decoded
+      // hierarchy on every patch cell, each cell painted exactly once.
+      Array3<double> painted(dom.shape(), 0.0);
+      Array3<std::uint8_t> count(dom.shape(), 0);
+      compress::RegionDecodeStats stats;
+      amr::for_each_tile_compressed(
+          compressed, *codec, l, dom,
+          [&](amr::HierTile&& t) {
+            EXPECT_EQ(t.level, l);
+            for (std::int64_t k = t.box.lo().z; k <= t.box.hi().z; ++k)
+              for (std::int64_t j = t.box.lo().y; j <= t.box.hi().y; ++j)
+                for (std::int64_t i = t.box.lo().x; i <= t.box.hi().x;
+                     ++i) {
+                  const IntVect o = IntVect{i, j, k} - dom.lo();
+                  painted(o.x, o.y, o.z) =
+                      t.data(i - t.box.lo().x, j - t.box.lo().y,
+                             k - t.box.lo().z);
+                  ++count(o.x, o.y, o.z);
+                }
+          },
+          {}, &stats);
+      EXPECT_EQ(stats.tiles_decoded, stats.tiles_total);
+      for (const auto& fab : full.level(l).fabs) {
+        const Box& b = fab.box();
+        for (std::int64_t k = b.lo().z; k <= b.hi().z; ++k)
+          for (std::int64_t j = b.lo().y; j <= b.hi().y; ++j)
+            for (std::int64_t i = b.lo().x; i <= b.hi().x; ++i) {
+              const IntVect o = IntVect{i, j, k} - dom.lo();
+              EXPECT_EQ(count(o.x, o.y, o.z), 1);
+              EXPECT_EQ(painted(o.x, o.y, o.z), fab.at({i, j, k}));
+            }
+      }
+    }
+  }
+}
+
+TEST(ForEachTile, RegionRestrictsDecodeAndAllLevelsRunFinestFirst) {
+  const sim::SyntheticDataset ds = make_test_dataset();
+  const auto codec = make_compressor("sz-lr");
+  const auto compressed =
+      compress_hierarchy(ds.hierarchy, *codec, 1e-3,
+                         compress::RedundantHandling::kKeep, test_policy());
+
+  // Corner region of level 0 (single 16^3 patch, 8 tiles of 8^3): only
+  // one tile may be decoded.
+  compress::RegionDecodeStats stats;
+  std::int64_t n = 0;
+  const Box dom0 = compressed.domains[0];
+  amr::for_each_tile_compressed(
+      compressed, *codec, 0, {dom0.lo(), dom0.lo() + IntVect::uniform(2)},
+      [&](amr::HierTile&&) { ++n; }, {}, &stats);
+  EXPECT_EQ(n, 1);
+  EXPECT_EQ(stats.tiles_decoded, 1);
+  EXPECT_EQ(stats.tiles_total, 8);
+
+  // All-levels variant: finest level tiles arrive before any coarser.
+  int last_level = std::numeric_limits<int>::max();
+  amr::for_each_tile_compressed(compressed, *codec, [&](amr::HierTile&& t) {
+    EXPECT_LE(t.level, last_level);
+    last_level = t.level;
+  });
+  EXPECT_EQ(last_level, 0);
+}
+
+// ------------------------- streamed isosurface -------------------------
+
+/// Exact (bitwise) mesh comparison: vertex coordinates, triangle indices,
+/// level tags and ORDER all must match.
+void expect_mesh_identical(const vis::TriMesh& a, const vis::TriMesh& b,
+                           const std::string& what) {
+  ASSERT_EQ(a.vertices.size(), b.vertices.size()) << what;
+  ASSERT_EQ(a.triangles.size(), b.triangles.size()) << what;
+  EXPECT_EQ(std::memcmp(a.vertices.data(), b.vertices.data(),
+                        a.vertices.size() * sizeof(vis::Vec3)),
+            0)
+      << what;
+  for (std::size_t t = 0; t < a.triangles.size(); ++t) {
+    EXPECT_EQ(a.triangles[t].v, b.triangles[t].v) << what << " tri " << t;
+    EXPECT_EQ(a.triangles[t].level, b.triangles[t].level)
+        << what << " tri " << t;
+  }
+}
+
+/// Single-level hierarchy wrapping `data` as one whole-domain patch.
+amr::AmrHierarchy single_level_hierarchy(Array3<double> data) {
+  amr::AmrHierarchy hier(2);
+  const Box dom = Box::from_shape(data.shape());
+  amr::AmrLevel l0;
+  l0.domain = dom;
+  amr::FArrayBox fab(dom);
+  std::copy(data.span().begin(), data.span().end(), fab.values().begin());
+  l0.box_array.push_back(dom);
+  l0.fabs.push_back(std::move(fab));
+  hier.add_level(std::move(l0));
+  return hier;
+}
+
+constexpr vis::VisMethod kMethods[] = {
+    vis::VisMethod::kResampling, vis::VisMethod::kDualCell,
+    vis::VisMethod::kDualCellSwitching};
+
+TEST(StreamedIso, SingleLevelMatchesFullInflateAcrossCodecsShapesThreads) {
+  // Non-multiple-of-tile, tile-exact, 1xNxM and Nx1x1 shapes. Chunk
+  // policy forces the whole-domain patch through the tile container.
+  const Shape3 shapes[] = {{17, 13, 9}, {16, 16, 8}, {1, 40, 33}, {40, 1, 1}};
+  compress::AmrChunkPolicy policy;
+  policy.oversized_patch_cells = 16;  // always tile
+  policy.tile = ChunkShape{8, 8, 4};
+  vis::StreamedIsoOptions opt;
+  opt.slab_nz = 4;
+  ThreadCountGuard guard;
+  for (const char* base : kCodecs) {
+    const auto codec = make_compressor(base);
+    for (const Shape3& s : shapes) {
+      const amr::AmrHierarchy hier =
+          single_level_hierarchy(deterministic_field(s));
+      const auto compressed = compress_hierarchy(
+          hier, *codec, 1e-3, compress::RedundantHandling::kKeep, policy);
+      const amr::AmrHierarchy full = decompress_hierarchy(compressed, *codec);
+      for (const auto method : kMethods) {
+        const vis::TriMesh expect = vis::amr_isosurface(full, 0.25, method);
+        for (const int nt : thread_counts()) {
+          ThreadCountGuard::set(nt);
+          const vis::TriMesh streamed = vis::amr_isosurface_streamed(
+              compressed, *codec, 0.25, method, opt);
+          expect_mesh_identical(
+              streamed, expect,
+              std::string(base) + " " + vis::vis_method_name(method) + " " +
+                  std::to_string(s.nx) + "x" + std::to_string(s.ny) + "x" +
+                  std::to_string(s.nz) + " " + std::to_string(nt) + "t");
+        }
+      }
+    }
+  }
+}
+
+TEST(StreamedIso, TwoLevelHierarchyMatchesAcrossMethodsAndHandlings) {
+  const sim::SyntheticDataset ds = make_test_dataset();
+  const auto codec = make_compressor("sz-lr");
+  vis::StreamedIsoOptions opt;
+  opt.slab_nz = 8;
+  ThreadCountGuard guard;
+  for (const auto handling : {compress::RedundantHandling::kKeep,
+                              compress::RedundantHandling::kMeanFill}) {
+    const auto compressed =
+        compress_hierarchy(ds.hierarchy, *codec, 1e-3, handling,
+                           test_policy());
+    const amr::AmrHierarchy full = decompress_hierarchy(compressed, *codec);
+    // An isovalue crossing both levels of the clumpy density field.
+    const double iso = 1.5;
+    for (const auto method : kMethods) {
+      const vis::TriMesh expect = vis::amr_isosurface(full, iso, method);
+      ASSERT_FALSE(expect.empty());
+      for (const int nt : thread_counts()) {
+        ThreadCountGuard::set(nt);
+        const vis::TriMesh streamed = vis::amr_isosurface_streamed(
+            compressed, *codec, iso, method, opt);
+        expect_mesh_identical(
+            streamed, expect,
+            std::string(vis::vis_method_name(method)) +
+                (handling == compress::RedundantHandling::kMeanFill
+                     ? " mean-fill"
+                     : " keep") +
+                " " + std::to_string(nt) + "t");
+      }
+    }
+  }
+}
+
+TEST(StreamedIso, ChunkedCodecHierarchyAndCullToggleMatch) {
+  // The hierarchy codec itself chunked (every patch blob a container),
+  // and value culling on vs off: all four combinations bit-identical.
+  const sim::SyntheticDataset ds = make_test_dataset();
+  const auto codec = make_compressor("chunked-sz-lr@8x8x8");
+  const auto compressed = compress_hierarchy(
+      ds.hierarchy, *codec, 1e-3, compress::RedundantHandling::kKeep);
+  const amr::AmrHierarchy full = decompress_hierarchy(compressed, *codec);
+  const double iso = 1.5;
+  const vis::TriMesh expect =
+      vis::amr_isosurface(full, iso, vis::VisMethod::kResampling);
+  std::map<bool, vis::StreamedIsoStats> run;
+  for (const bool cull : {true, false}) {
+    vis::StreamedIsoOptions opt;
+    opt.slab_nz = 8;
+    opt.value_cull = cull;
+    vis::StreamedIsoStats stats;
+    const vis::TriMesh streamed = vis::amr_isosurface_streamed(
+        compressed, *codec, iso, vis::VisMethod::kResampling, opt, &stats);
+    expect_mesh_identical(streamed, expect,
+                          cull ? "cull on" : "cull off");
+    EXPECT_GT(stats.tiles_total, 0);
+    EXPECT_GT(stats.slabs_total, 0);
+    run[cull] = stats;
+  }
+  // Culling only ever removes decode work (data-free slabs are skipped
+  // either way), and both settings produced the identical mesh above.
+  EXPECT_LE(run[true].slabs_decoded, run[false].slabs_decoded);
+  EXPECT_LE(run[true].tiles_decoded, run[false].tiles_decoded);
+  EXPECT_EQ(run[true].tiles_total, run[false].tiles_total);
+}
+
+TEST(StreamedIso, ValueCullSkipsSlabsAndBoundsMemory) {
+  // A tall field whose surface lives in one thin z-band: the sweep must
+  // decode only the straddling slabs (plus seam neighbors) and its live
+  // raster bytes must stay far below the full-inflate footprint.
+  const Shape3 s{16, 16, 96};
+  Array3<double> data(s);
+  for (std::int64_t k = 0; k < s.nz; ++k)
+    for (std::int64_t j = 0; j < s.ny; ++j)
+      for (std::int64_t i = 0; i < s.nx; ++i)
+        data(i, j, k) = static_cast<double>(k);  // ramp: iso k0 in one slab
+  const auto codec = make_compressor("sz-lr");
+  compress::AmrChunkPolicy policy;
+  policy.oversized_patch_cells = 16;
+  policy.tile = ChunkShape{16, 16, 8};
+  const auto compressed =
+      compress_hierarchy(single_level_hierarchy(std::move(data)), *codec,
+                         1e-3, compress::RedundantHandling::kKeep, policy);
+  const amr::AmrHierarchy full = decompress_hierarchy(compressed, *codec);
+
+  vis::StreamedIsoOptions opt;
+  opt.slab_nz = 8;
+  vis::StreamedIsoStats stats;
+  const double iso = 50.5;  // straddles exactly one 8-plane slab
+  const vis::TriMesh streamed = vis::amr_isosurface_streamed(
+      compressed, *codec, iso, vis::VisMethod::kResampling, opt, &stats);
+  expect_mesh_identical(
+      streamed, vis::amr_isosurface(full, iso, vis::VisMethod::kResampling),
+      "ramp cull");
+  EXPECT_EQ(stats.slabs_total, 12);
+  // The straddling slab plus at most its two seam neighbors.
+  EXPECT_GE(stats.slabs_decoded, 1);
+  EXPECT_LE(stats.slabs_decoded, 3);
+  EXPECT_LT(stats.tiles_decoded, stats.tiles_total / 2);
+  // Peak live bytes stay well under one full level raster (values alone:
+  // 16*16*96 doubles).
+  const std::size_t full_raster =
+      static_cast<std::size_t>(s.size()) * sizeof(double);
+  EXPECT_LT(stats.peak_live_bytes, full_raster / 2);
+}
+
+TEST(StreamedIso, NanMaskedFieldStaysBitIdenticalUnderCull) {
+  // A NaN-masked block inside an otherwise high-valued region: the
+  // marching extractor still emits geometry at NaN-adjacent cubes
+  // whenever a real corner crosses the isovalue, so the writer records
+  // the conservative (-inf, +inf) range for NaN-holding tiles and the
+  // cull must keep them — dropping them would silently change the mesh.
+  const Shape3 s{16, 16, 24};
+  Array3<double> data(s);
+  for (std::int64_t f = 0; f < data.size(); ++f)
+    data[f] = 10.0 + static_cast<double>(f % 7) / 8.0;  // all >> iso
+  // The block straddles tile seams on every axis (tiles are 8x8x4), so
+  // the tiles it touches are MIXED NaN/real — the case where a finite
+  // [min, max] of the real cells would wrongly vouch for silence.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (std::int64_t k = 6; k < 11; ++k)
+    for (std::int64_t j = 5; j < 12; ++j)
+      for (std::int64_t i = 5; i < 12; ++i) data(i, j, k) = nan;
+
+  const auto codec = make_compressor("sz-lr");
+  compress::AmrChunkPolicy policy;
+  policy.oversized_patch_cells = 16;
+  policy.tile = ChunkShape{8, 8, 4};
+  const auto compressed =
+      compress_hierarchy(single_level_hierarchy(std::move(data)), *codec,
+                         1e-3, compress::RedundantHandling::kKeep, policy);
+  const amr::AmrHierarchy full = decompress_hierarchy(compressed, *codec);
+
+  vis::StreamedIsoOptions opt;
+  opt.slab_nz = 4;
+  const double iso = 5.0;  // every real value is above; only NaN cubes cut
+  for (const auto method :
+       {vis::VisMethod::kResampling, vis::VisMethod::kDualCell}) {
+    const vis::TriMesh expect = vis::amr_isosurface(full, iso, method);
+    vis::StreamedIsoStats stats;
+    const vis::TriMesh streamed = vis::amr_isosurface_streamed(
+        compressed, *codec, iso, method, opt, &stats);
+    expect_mesh_identical(streamed, expect,
+                          std::string("nan ") + vis::vis_method_name(method));
+    // The NaN-holding tiles (and their seam neighbors) are decoded, the
+    // far all-above tiles are still culled.
+    EXPECT_GT(stats.tiles_decoded, 0);
+    EXPECT_LT(stats.tiles_decoded, stats.tiles_total);
+  }
+
+  // Legacy containers are a separate trap: the PRE-v3 writers computed
+  // stats by SKIPPING NaN cells, so their finite ranges wrongly vouch
+  // for NaN-holding tiles. The cull must refuse to trust them (v1/v2
+  // patches decode whole). Build a genuine v2 blob by stripping the v3
+  // face table: version byte -> 2, face bytes (96 per tile, after the
+  // 8-byte sizes + 16-byte stats tables) erased.
+  auto downgraded = compressed;
+  Bytes& blob = downgraded.levels[0].patches[0].blob;
+  ASSERT_EQ(blob[4], 3);
+  std::uint64_t ntiles = 0;
+  std::memcpy(&ntiles, blob.data() + 61, sizeof(ntiles));
+  ASSERT_EQ(ntiles, 24u);  // 16x16x24 under 8x8x4
+  const std::size_t face_off = 69 + (8 + 16) * ntiles;
+  blob[4] = 2;
+  blob.erase(blob.begin() + static_cast<std::ptrdiff_t>(face_off),
+             blob.begin() + static_cast<std::ptrdiff_t>(face_off +
+                                                        96 * ntiles));
+  const amr::AmrHierarchy full_v2 = decompress_hierarchy(downgraded, *codec);
+  const vis::TriMesh expect_v2 =
+      vis::amr_isosurface(full_v2, iso, vis::VisMethod::kResampling);
+  vis::StreamedIsoStats v2_stats;
+  const vis::TriMesh streamed_v2 = vis::amr_isosurface_streamed(
+      downgraded, *codec, iso, vis::VisMethod::kResampling, opt, &v2_stats);
+  expect_mesh_identical(streamed_v2, expect_v2, "nan v2 legacy blob");
+  EXPECT_EQ(v2_stats.tiles_decoded, v2_stats.tiles_total)
+      << "pre-v3 stats must not be trusted by the cull";
+}
+
+TEST(StreamedIso, ValidationErrors) {
+  const sim::SyntheticDataset ds = make_test_dataset();
+  const auto codec = make_compressor("sz-lr");
+  const auto compressed = compress_hierarchy(
+      ds.hierarchy, *codec, 1e-3, compress::RedundantHandling::kKeep);
+  const auto other = make_compressor("sz-interp");
+  EXPECT_THROW((void)vis::amr_isosurface_streamed(
+                   compressed, *other, 0.0, vis::VisMethod::kResampling),
+               Error);
+}
+
+}  // namespace
+}  // namespace amrvis
