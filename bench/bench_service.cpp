@@ -1,0 +1,295 @@
+// Concurrent query service bench (extension): N clients firing a mixed
+// point-probe / plane-slice / region-decode workload at ONE shared
+// QueryService (shared byte-bounded tile cache, all loops on the
+// persistent pool) vs the same N workloads run sequentially through the
+// uncached library primitives (sample_point_compressed,
+// sample_plane_compressed, decompress_level_region) — the only
+// single-caller option before the service layer existed, since the
+// decoded-tile cache IS part of that layer. This is the harness of
+// record for the BENCH_service.json trajectory; CI gates `speedup`
+// (aggregate queries/s, concurrent-shared over sequential-uncached) via
+// check_bench_regression.py --mode quality. The reference container is
+// single-core, so the gated speedup comes from DECODE ELIMINATION —
+// repeated and overlapping queries hit the shared cache instead of
+// re-inflating the same tiles — not from parallel scheduling;
+// multi-core runners only add to it.
+//
+// Correctness is asserted before anything is reported: every concurrent
+// client's results must be bit-identical to an uncached single-caller
+// run of its own workload (a fast wrong service must fail the bench, not
+// win it). Per-request p50/p95/p99 service latency is reported for the
+// concurrent run.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "compress/compressor.hpp"
+#include "core/datasets.hpp"
+#include "service/query_service.hpp"
+#include "sim/tagging.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace amrvis;
+
+/// One client's deterministic mixed workload. Clients overlap heavily on
+/// purpose: interactive viewers orbit the same interesting feature, and
+/// the shared-cache win the service exists for is exactly that overlap.
+struct Workload {
+  std::vector<service::Request> requests;
+};
+
+Workload make_workload(int client, const amr::Box& finest, int reps) {
+  Workload w;
+  const Shape3 fs = finest.shape();
+  const amr::Box coarse{{0, 0, 0},
+                        {fs.nx / 2 - 1, fs.ny / 2 - 1, fs.nz / 2 - 1}};
+  const Shape3 cs = coarse.shape();
+  for (int r = 0; r < reps; ++r) {
+    // Point probes along a client-specific ray through the shared tiles.
+    for (int i = 0; i < 4; ++i) {
+      const amr::IntVect p{
+          finest.lo().x + (client * 3 + i * 7) % fs.nx,
+          finest.lo().y + (r * 5 + i * 11) % fs.ny,
+          finest.lo().z + (client + r + i * 13) % fs.nz};
+      w.requests.push_back(service::Request::Point(p));
+    }
+    // A handful of plane slices near the domain mid — clients share most
+    // of the decoded tiles here.
+    w.requests.push_back(service::Request::Plane(
+        2, finest.lo().z + (fs.nz / 2 + client + r) % fs.nz));
+    // Overlapping level-0 ROIs: each client's window is shifted a few
+    // cells, so the union is barely larger than one window.
+    const std::int64_t sx = (client * 2 + r) % std::max<std::int64_t>(
+                                                  1, cs.nx / 4);
+    const amr::Box roi{
+        {coarse.lo().x + sx, coarse.lo().y, coarse.lo().z},
+        {std::min(coarse.hi().x, coarse.lo().x + sx + cs.nx / 2),
+         coarse.hi().y, coarse.hi().z}};
+    w.requests.push_back(service::Request::Region(0, roi));
+  }
+  return w;
+}
+
+bool responses_identical(const service::Response& a,
+                         const service::Response& b) {
+  if (a.value != b.value) return false;
+  if (a.slice.size() != b.slice.size()) return false;
+  for (std::int64_t i = 0; i < a.slice.size(); ++i)
+    if (a.slice[i] != b.slice[i]) return false;
+  if (a.patches.size() != b.patches.size()) return false;
+  for (std::size_t p = 0; p < a.patches.size(); ++p) {
+    if (a.patches[p].box != b.patches[p].box) return false;
+    for (std::int64_t i = 0; i < a.patches[p].data.size(); ++i)
+      if (a.patches[p].data[i] != b.patches[p].data[i]) return false;
+  }
+  return true;
+}
+
+double percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  cli.add_flag("clients", "4", "number of concurrent query clients");
+  cli.add_flag("reps", "3", "workload repetitions per client");
+  cli.add_flag("cachemb", "64", "shared cache budget (MB)");
+  if (!bench::parse_standard_flags(cli, argc, argv)) return 0;
+  const bool smoke = cli.get_bool("smoke");
+  const int clients = static_cast<int>(cli.get_int("clients"));
+  const int reps = smoke ? 2 : static_cast<int>(cli.get_int("reps"));
+  const Shape3 shape = smoke                  ? Shape3{32, 32, 64}
+                       : cli.get_bool("full") ? Shape3{128, 128, 256}
+                                              : Shape3{64, 64, 128};
+
+  Array3<double> field = core::uniform_truth_field(
+      "warpx", shape, static_cast<std::uint64_t>(cli.get_int("seed")));
+
+  // Two-level hierarchy under the chunked codec: real tile traffic on
+  // both levels, small tiles so ROIs touch many container slots.
+  sim::TaggingSpec spec;
+  spec.fine_fraction = 0.3;
+  spec.block = 4;
+  spec.max_grid_size = 32;
+  const sim::SyntheticDataset ds =
+      sim::build_two_level_hierarchy(std::move(field), spec);
+  const auto codec = compress::make_compressor("chunked-sz-lr@16x16x16");
+  const compress::AmrCompressed compressed = compress::compress_hierarchy(
+      ds.hierarchy, *codec, 1e-3, compress::RedundantHandling::kKeep);
+  const amr::Box finest = compressed.domains.back();
+
+  bench::banner(
+      "Concurrent query service (extension)",
+      "N clients, mixed point/plane/region workload; shared cache+pool "
+      "vs sequential uncached single-caller runs");
+
+  std::vector<Workload> workloads;
+  workloads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c)
+    workloads.push_back(make_workload(c, finest, reps));
+  std::int64_t total_queries = 0;
+  for (const Workload& w : workloads)
+    total_queries += static_cast<std::int64_t>(w.requests.size());
+
+  service::ServiceOptions opts;
+  opts.cache_bytes =
+      static_cast<std::size_t>(cli.get_int("cachemb")) << 20;
+
+  // Both phases are timed best-of-kRounds: the workloads are
+  // deterministic, so repeat rounds re-measure the same work and the min
+  // discards OS-scheduling noise (this container shares one core). For
+  // the shared service, round 1 warms the cache and later rounds measure
+  // steady state — which is the state an interactive service lives in.
+  constexpr int kRounds = 3;
+
+  // ---- baseline: each client sequentially, uncached primitives ----
+  // This is what N independent viewers cost before this layer existed:
+  // every query re-inflates the tiles it touches, every round.
+  std::vector<std::vector<service::Response>> reference(
+      static_cast<std::size_t>(clients));
+  std::int64_t seq_decodes = 0;
+  double seq_s = 0.0;
+  for (int round = 0; round < kRounds; ++round) {
+    Timer seq_timer;
+    for (int c = 0; c < clients; ++c) {
+      auto& out = reference[static_cast<std::size_t>(c)];
+      const auto& reqs = workloads[static_cast<std::size_t>(c)].requests;
+      out.clear();
+      out.reserve(reqs.size());
+      for (const auto& req : reqs) {
+        service::Response resp;
+        compress::RegionDecodeStats rs;
+        switch (req.kind) {
+          case service::Request::Kind::kPoint:
+            resp.value = amr::sample_point_compressed(compressed, *codec,
+                                                      req.point, &rs);
+            break;
+          case service::Request::Kind::kPlane:
+            resp.slice = amr::sample_plane_compressed(
+                compressed, *codec, req.axis, req.plane_index, &rs);
+            break;
+          case service::Request::Kind::kRegion:
+            resp.patches = compress::decompress_level_region(
+                compressed, *codec, req.level, req.region, &rs);
+            break;
+          case service::Request::Kind::kIso:
+            break;  // workload has no iso requests
+        }
+        if (round == 0) seq_decodes += rs.tiles_decoded;
+        out.push_back(std::move(resp));
+      }
+    }
+    const double s = seq_timer.seconds();
+    seq_s = (round == 0) ? s : std::min(seq_s, s);
+  }
+
+  // ---- measured: one shared service, all clients concurrent ----
+  service::QueryService shared(compressed, *codec, opts);
+  std::vector<std::vector<service::Response>> concurrent(
+      static_cast<std::size_t>(clients));
+  double conc_s = 0.0;
+  for (int round = 0; round < kRounds; ++round) {
+    for (auto& per_client : concurrent) per_client.clear();
+    std::atomic<int> start_gate{0};
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(clients));
+    Timer conc_timer;
+    for (int c = 0; c < clients; ++c)
+      threads.emplace_back([&, c] {
+        start_gate.fetch_add(1);
+        while (start_gate.load() < clients) std::this_thread::yield();
+        auto& out = concurrent[static_cast<std::size_t>(c)];
+        const auto& reqs = workloads[static_cast<std::size_t>(c)].requests;
+        out.reserve(reqs.size());
+        for (const auto& req : reqs) out.push_back(shared.execute(req));
+      });
+    for (auto& t : threads) t.join();
+    const double s = conc_timer.seconds();
+    conc_s = (round == 0) ? s : std::min(conc_s, s);
+  }
+
+  // Correctness before speed: the shared concurrent run must be
+  // bit-identical to the uncached single-caller baseline.
+  for (int c = 0; c < clients; ++c)
+    for (std::size_t q = 0;
+         q < reference[static_cast<std::size_t>(c)].size(); ++q)
+      if (!responses_identical(reference[static_cast<std::size_t>(c)][q],
+                               concurrent[static_cast<std::size_t>(c)][q])) {
+        std::fprintf(stderr,
+                     "FATAL: concurrent response differs from uncached "
+                     "single-caller reference (client %d, query %zu)\n",
+                     c, q);
+        return 1;
+      }
+
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<std::size_t>(total_queries));
+  for (const auto& per_client : concurrent)
+    for (const auto& resp : per_client)
+      latencies.push_back(resp.stats.service_ms);
+  std::sort(latencies.begin(), latencies.end());
+
+  const double seq_qps = static_cast<double>(total_queries) / seq_s;
+  const double conc_qps = static_cast<double>(total_queries) / conc_s;
+  const double speedup = conc_qps / seq_qps;
+  const auto shared_ctr = shared.counters();
+
+  std::printf("%-28s %10s %12s %10s\n", "mode", "queries", "queries/s",
+              "decodes");
+  std::printf("%-28s %10lld %12.1f %10lld\n", "sequential uncached (base)",
+              static_cast<long long>(total_queries), seq_qps,
+              static_cast<long long>(seq_decodes));
+  std::printf("%-28s %10lld %12.1f %10lld\n", "concurrent shared",
+              static_cast<long long>(total_queries), conc_qps,
+              static_cast<long long>(shared_ctr.tiles_decoded));
+  std::printf("\naggregate speedup: %.2fx   cache hits: %lld   "
+              "latency ms p50/p95/p99: %.3f/%.3f/%.3f\n",
+              speedup, static_cast<long long>(shared_ctr.cache_hits),
+              percentile(latencies, 0.50), percentile(latencies, 0.95),
+              percentile(latencies, 0.99));
+
+  bench::JsonReport report(
+      "service",
+      "N-client mixed workload; speedup = aggregate queries/s of the "
+      "shared concurrent service over sequential uncached single-caller "
+      "runs (single-core: decode elimination, not scheduling)");
+  report.add_record()
+      .set("stage", "config")
+      .set("field", "warpx_like_ez")
+      .set("nx", shape.nx)
+      .set("ny", shape.ny)
+      .set("nz", shape.nz)
+      .set("clients", static_cast<std::int64_t>(clients))
+      .set("reps", static_cast<std::int64_t>(reps));
+  report.add_record()
+      .set("stage", "sequential")
+      .set("queries", total_queries)
+      .set("queries_per_s", seq_qps)
+      .set("tiles_decoded", seq_decodes);
+  report.add_record()
+      .set("stage", "concurrent")
+      .set("queries", total_queries)
+      .set("queries_per_s", conc_qps)
+      .set("tiles_decoded", shared_ctr.tiles_decoded)
+      .set("cache_hits", shared_ctr.cache_hits)
+      .set("p50_ms", percentile(latencies, 0.50))
+      .set("p95_ms", percentile(latencies, 0.95))
+      .set("p99_ms", percentile(latencies, 0.99));
+  report.add_record()
+      .set("stage", "speedup")
+      .set("clients", static_cast<std::int64_t>(clients))
+      .set("speedup", speedup);
+  report.write(cli.get("json"));
+  return 0;
+}

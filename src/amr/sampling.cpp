@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <memory>
 
 #include "util/error.hpp"
 #include "util/parallel.hpp"
@@ -91,7 +92,8 @@ Array3<double> upsample_trilinear(View3<const double> coarse, std::int64_t r) {
 
 double sample_point_compressed(const compress::AmrCompressed& compressed,
                                const compress::Compressor& comp, IntVect p,
-                               compress::RegionDecodeStats* stats) {
+                               compress::RegionDecodeStats* stats,
+                               const compress::AmrTileCache* cache) {
   const int nlev = static_cast<int>(compressed.levels.size());
   AMRVIS_REQUIRE_MSG(nlev >= 1, "sample_point_compressed: empty hierarchy");
   AMRVIS_REQUIRE_MSG(compressed.domains.back().contains(p),
@@ -105,7 +107,7 @@ double sample_point_compressed(const compress::AmrCompressed& compressed,
     compress::RegionDecodeStats rs;
     const auto rps =
         compress::decompress_level_region(compressed, comp, l, Box{pl, pl},
-                                          &rs);
+                                          &rs, cache);
     if (!rps.empty()) {
       if (stats != nullptr) *stats = rs;
       // Overlapping same-level patches paint in patch order during
@@ -120,7 +122,8 @@ double sample_point_compressed(const compress::AmrCompressed& compressed,
 Array3<double> sample_plane_compressed(
     const compress::AmrCompressed& compressed,
     const compress::Compressor& comp, int axis, std::int64_t index,
-    compress::RegionDecodeStats* stats) {
+    compress::RegionDecodeStats* stats,
+    const compress::AmrTileCache* cache) {
   const int nlev = static_cast<int>(compressed.levels.size());
   AMRVIS_REQUIRE_MSG(nlev >= 1, "sample_plane_compressed: empty hierarchy");
   AMRVIS_REQUIRE_MSG(axis >= 0 && axis < 3,
@@ -145,10 +148,11 @@ Array3<double> sample_plane_compressed(
     IntVect rlo = dom.lo(), rhi = dom.hi();
     rlo[axis] = rhi[axis] = floor_div(index, r);
     compress::RegionDecodeStats rs;
-    const auto rps = compress::decompress_level_region(compressed, comp, l,
-                                                       Box{rlo, rhi}, &rs);
+    const auto rps = compress::decompress_level_region(
+        compressed, comp, l, Box{rlo, rhi}, &rs, cache);
     agg.tiles_decoded += rs.tiles_decoded;
     agg.tiles_total += rs.tiles_total;
+    agg.cache_hits += rs.cache_hits;
     for (const auto& rp : rps) {
       const IntVect blo = rp.box.lo();
       const Shape3 bs = rp.box.shape();
@@ -196,10 +200,8 @@ void for_each_tile_compressed(
                      "for_each_tile_compressed: value band needs lo <= hi");
   const auto& clevel = compressed.levels[static_cast<std::size_t>(level)];
   const auto& boxes = compressed.boxes[static_cast<std::size_t>(level)];
-  AMRVIS_REQUIRE_MSG(options.plain_cache == nullptr ||
-                         options.plain_cache->size() >= boxes.size(),
-                     "for_each_tile_compressed: plain_cache smaller than "
-                     "the level's patch count");
+  // Note: no cache sizing check — AmrTileCache::ref() carries the
+  // invariant by construction (one container id per patch).
   const auto* chunked_codec =
       dynamic_cast<const compress::ChunkedCompressor*>(&comp);
 
@@ -221,6 +223,8 @@ void for_each_tile_compressed(
       compress::TileStreamOptions so;
       so.prefetch = options.prefetch;
       so.region = local;
+      if (options.cache != nullptr && options.cache_chunked_tiles)
+        so.cache = options.cache->ref(level, p);
       if (options.tile_select)
         so.select = [&options, p](const compress::TileRegion& t) {
           return options.tile_select(p, t);
@@ -243,21 +247,24 @@ void for_each_tile_compressed(
         ht.data = std::move(tile->data);
         fn(std::move(ht));
       }
-      agg.tiles_decoded += stream.tiles_decoded();
+      agg.tiles_decoded += stream.tiles_decoded() - stream.cache_hits();
+      agg.cache_hits += stream.cache_hits();
       agg.tiles_total += stream.tiles_total();
     } else {
       // Plain blob: no partial decode possible; inflate (once per call,
-      // or once per sweep through the caller's cache) and yield the
-      // region clip as a single tile with unknown value range.
+      // or once per cache lifetime through the shared cache) and yield
+      // the region clip as a single tile with unknown value range.
       Array3<double> local_full;
+      std::shared_ptr<const Array3<double>> shared_full;
       const Array3<double>* full = nullptr;
-      if (options.plain_cache != nullptr) {
-        auto& slot = (*options.plain_cache)[p];
-        if (!slot.has_value()) {
-          slot = comp.decompress(blob);
-          agg.tiles_decoded += 1;
-        }
-        full = &*slot;
+      if (options.cache != nullptr) {
+        const compress::TileCacheRef cref = options.cache->ref(level, p);
+        bool was_hit = false;
+        shared_full = cref.cache->get_or_decode(
+            cref.container, compress::TileCache::kWholeBlob,
+            [&] { return comp.decompress(blob); }, &was_hit);
+        (was_hit ? agg.cache_hits : agg.tiles_decoded) += 1;
+        full = shared_full.get();
       } else {
         local_full = comp.decompress(blob);
         agg.tiles_decoded += 1;
@@ -301,6 +308,7 @@ void for_each_tile_compressed(
                              fn, options, &ls);
     agg.tiles_decoded += ls.tiles_decoded;
     agg.tiles_total += ls.tiles_total;
+    agg.cache_hits += ls.cache_hits;
   }
   if (stats != nullptr) *stats = agg;
 }

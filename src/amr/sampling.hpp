@@ -46,9 +46,12 @@ Array3<double> coarsen_average(View3<const double> fine, std::int64_t r);
 /// hold at `p`. Chunked patches inflate only the tile covering the point.
 /// Throws if `p` lies outside the finest-level domain. `stats`, when
 /// non-null, receives the decode counts of the one region decode issued.
+/// `cache`, when non-null (bound to `compressed`), serves repeated
+/// decodes from the shared tile cache.
 double sample_point_compressed(const compress::AmrCompressed& compressed,
                                const compress::Compressor& comp, IntVect p,
-                               compress::RegionDecodeStats* stats = nullptr);
+                               compress::RegionDecodeStats* stats = nullptr,
+                               const compress::AmrTileCache* cache = nullptr);
 
 /// Axis-aligned plane slice (axis in {0,1,2}; `index` in finest index
 /// space) of a compressed hierarchy, composited coarse-to-fine at finest
@@ -59,7 +62,8 @@ double sample_point_compressed(const compress::AmrCompressed& compressed,
 Array3<double> sample_plane_compressed(
     const compress::AmrCompressed& compressed,
     const compress::Compressor& comp, int axis, std::int64_t index,
-    compress::RegionDecodeStats* stats = nullptr);
+    compress::RegionDecodeStats* stats = nullptr,
+    const compress::AmrTileCache* cache = nullptr);
 
 /// One streamed tile of a compressed hierarchy: which level/patch it came
 /// from, its cell box in that LEVEL's index space, the container stats
@@ -83,13 +87,21 @@ struct HierTileOptions {
   /// index and the PATCH-LOCAL TileRegion; tiles it rejects are never
   /// decoded. Plain patch blobs cannot be filtered and always decode.
   std::function<bool(std::size_t, const compress::TileRegion&)> tile_select;
-  /// Optional cross-call decode cache for PLAIN patch blobs, indexed by
-  /// patch (size it to the level's patch count). A plain blob has no
-  /// partial decode, so a slab sweep calling for_each_tile_compressed
-  /// once per slab would otherwise inflate the same patch once per slab
-  /// it spans; with the cache it decodes once (counted once) and is
-  /// sliced per call. The caller owns the memory and its lifetime.
-  std::vector<std::optional<Array3<double>>>* plain_cache = nullptr;
+  /// Optional shared decoded-tile cache bound to the hierarchy
+  /// (compress/tile_cache.hpp). Plain patch blobs ALWAYS route through
+  /// it when set: a plain blob has no partial decode, so a slab sweep
+  /// calling for_each_tile_compressed once per slab would otherwise
+  /// inflate the same patch once per slab it spans; with the cache it
+  /// decodes once (counted once) and is sliced per call. This replaces
+  /// the old per-sweep `vector<optional<Array3>>` plain_cache — the
+  /// sizing invariant is held by AmrTileCache's construction instead of
+  /// re-checked by every consumer. The caller owns cache lifetime.
+  const compress::AmrTileCache* cache = nullptr;
+  /// Route CHUNKED container tiles through `cache` too (the concurrent
+  /// query service shares its byte-bounded cache across queries this
+  /// way). Off for the sweep-local unbounded caches of the streamed iso
+  /// path, which must keep the <= 2 live decoded tiles guarantee.
+  bool cache_chunked_tiles = false;
   bool prefetch = true;  ///< pair decode-ahead inside each patch stream
 };
 

@@ -55,6 +55,27 @@ Array3<double> slice_box(const Array3<double>& full, const Box& local) {
 
 }  // namespace
 
+AmrTileCache::AmrTileCache(TileCache& cache, const AmrCompressed& compressed)
+    : cache_(&cache) {
+  ids_.reserve(compressed.levels.size());
+  for (const auto& lvl : compressed.levels) {
+    std::vector<std::uint64_t> level_ids;
+    level_ids.reserve(lvl.patches.size());
+    for (std::size_t p = 0; p < lvl.patches.size(); ++p)
+      level_ids.push_back(TileCache::new_container_id());
+    ids_.push_back(std::move(level_ids));
+  }
+}
+
+TileCacheRef AmrTileCache::ref(int level, std::size_t patch) const {
+  AMRVIS_REQUIRE_MSG(
+      level >= 0 && static_cast<std::size_t>(level) < ids_.size(),
+      "AmrTileCache: level out of range");
+  const auto& lvl = ids_[static_cast<std::size_t>(level)];
+  AMRVIS_REQUIRE_MSG(patch < lvl.size(), "AmrTileCache: patch out of range");
+  return {cache_, lvl[patch]};
+}
+
 std::size_t AmrCompressed::compressed_bytes() const {
   std::size_t n = 0;
   for (const auto& lvl : levels)
@@ -177,7 +198,8 @@ AmrHierarchy decompress_hierarchy(const AmrCompressed& compressed,
 
 std::vector<RegionPatch> decompress_level_region(
     const AmrCompressed& compressed, const Compressor& comp, int level,
-    const amr::Box& region, RegionDecodeStats* stats) {
+    const amr::Box& region, RegionDecodeStats* stats,
+    const AmrTileCache* cache) {
   AMRVIS_REQUIRE_MSG(comp.name() == compressed.compressor_name,
                      "decompress_level_region: codec mismatch");
   AMRVIS_REQUIRE_MSG(
@@ -200,18 +222,35 @@ std::vector<RegionPatch> decompress_level_region(
     RegionPatch rp;
     rp.patch = p;
     rp.box = *overlap;
+    const TileCacheRef cref =
+        cache != nullptr ? cache->ref(level, p) : TileCacheRef{};
     if (chunked_codec != nullptr) {
       // The codec itself is chunked: every patch blob is a container.
       RegionDecodeStats rs;
-      rp.data = chunked_codec->decompress_region(blob, local, &rs);
+      rp.data = chunked_codec->decompress_region(blob, local, &rs, cref);
       agg.tiles_decoded += rs.tiles_decoded;
       agg.tiles_total += rs.tiles_total;
+      agg.cache_hits += rs.cache_hits;
     } else if (ChunkedCompressor::is_chunked_blob(blob)) {
       // Oversized patch routed through the container at compress time.
       RegionDecodeStats rs;
-      rp.data = ChunkedCompressor(comp).decompress_region(blob, local, &rs);
+      rp.data =
+          ChunkedCompressor(comp).decompress_region(blob, local, &rs, cref);
       agg.tiles_decoded += rs.tiles_decoded;
       agg.tiles_total += rs.tiles_total;
+      agg.cache_hits += rs.cache_hits;
+    } else if (cref) {
+      // Plain blob through the shared cache: one whole-decode entry per
+      // patch, sliced per query.
+      bool was_hit = false;
+      const auto full = cref.cache->get_or_decode(
+          cref.container, TileCache::kWholeBlob,
+          [&] { return comp.decompress(blob); }, &was_hit);
+      AMRVIS_REQUIRE_MSG(full->shape() == boxes[p].shape(),
+                         "decompress_level_region: shape mismatch");
+      rp.data = slice_box(*full, local);
+      (was_hit ? agg.cache_hits : agg.tiles_decoded) += 1;
+      agg.tiles_total += 1;
     } else {
       // Plain blob: no partial decode possible; inflate and slice.
       const Array3<double> full = comp.decompress(blob);

@@ -72,6 +72,30 @@ struct AmrCompressed {
   std::int64_t original_cells = 0;
 };
 
+/// A shared TileCache bound to one AmrCompressed: allocates one container
+/// id per (level, patch) AT CONSTRUCTION, so every read path addressing
+/// the cache through ref() is correctly sized by construction — the old
+/// ad-hoc plain-patch cache (`vector<optional<Array3>>` sized by the
+/// caller) required each consumer to re-check `size() >= patch count`;
+/// a mis-sized caller now cannot exist. The binding aliases both the
+/// cache and the compressed hierarchy; the caller keeps them alive (the
+/// query service owns all three). Copying the binding is cheap-ish
+/// (id table) and shares the underlying cache.
+class AmrTileCache {
+ public:
+  AmrTileCache(TileCache& cache, const AmrCompressed& compressed);
+
+  /// Cache handle of one patch blob; throws on out-of-range level/patch.
+  [[nodiscard]] TileCacheRef ref(int level, std::size_t patch) const;
+
+  /// The underlying shared store (budget, counters, invalidation).
+  [[nodiscard]] TileCache& store() const { return *cache_; }
+
+ private:
+  TileCache* cache_;
+  std::vector<std::vector<std::uint64_t>> ids_;  ///< [level][patch]
+};
+
 /// Compress every patch of `hier` with `comp` at relative bound `rel_eb`.
 /// `policy` controls how oversized patches are routed through the chunked
 /// container; the default reproduces the historical constants.
@@ -103,10 +127,14 @@ struct RegionPatch {
 /// kMeanFill, covered coarse cells hold the mean-fill placeholder — query
 /// the finest level covering the point (amr::sample_point_compressed does).
 /// `stats`, when non-null, accumulates decode counts over all touched
-/// patches (a plain patch counts as one tile).
+/// patches (a plain patch counts as one tile). `cache`, when non-null
+/// (must be bound to `compressed`), serves repeated tile/patch decodes
+/// from the shared store — values stay bit-identical, only the decode
+/// work moves.
 std::vector<RegionPatch> decompress_level_region(
     const AmrCompressed& compressed, const Compressor& comp, int level,
-    const amr::Box& region, RegionDecodeStats* stats = nullptr);
+    const amr::Box& region, RegionDecodeStats* stats = nullptr,
+    const AmrTileCache* cache = nullptr);
 
 /// Global min/max over all stored cells of the hierarchy.
 MinMax hierarchy_min_max(const amr::AmrHierarchy& hier);

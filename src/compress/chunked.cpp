@@ -1,9 +1,11 @@
 #include "compress/chunked.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <memory>
 
 #include "util/parallel.hpp"
 
@@ -344,7 +346,7 @@ Array3<double> ChunkedCompressor::decompress(
 
 Array3<double> ChunkedCompressor::decompress_region(
     std::span<const std::uint8_t> blob, const amr::Box& region,
-    RegionDecodeStats* stats) const {
+    RegionDecodeStats* stats, const TileCacheRef& cache) const {
   const ParsedContainer pc = parse_container(blob, inner().name());
   const amr::Box field = amr::Box::from_shape(pc.shape);
   AMRVIS_REQUIRE_MSG(field.contains(region),
@@ -365,17 +367,37 @@ Array3<double> ChunkedCompressor::decompress_region(
     for (std::int64_t ty = ty0; ty <= ty1; ++ty)
       for (std::int64_t tx = tx0; tx <= tx1; ++tx)
         hit.push_back((tz * pc.grid.tny + ty) * pc.grid.tnx + tx);
-  if (stats != nullptr)
-    *stats = {static_cast<std::int64_t>(hit.size()), pc.ntiles};
-
+  // Cache-hit counting is the only cross-tile state; the body otherwise
+  // writes disjoint `out` slices (the parallel_for contract).
+  std::atomic<std::int64_t> cached_hits{0};
   Array3<double> out(region.shape());
   parallel_for(static_cast<std::int64_t>(hit.size()), [&](std::int64_t h) {
     const std::int64_t t = hit[static_cast<std::size_t>(h)];
     const TileBox b = tile_box(t, pc.grid, pc.shape, pc.tile);
-    const Array3<double> tdata =
-        inner().decompress(pc.tiles[static_cast<std::size_t>(t)]);
-    AMRVIS_REQUIRE_MSG(tdata.shape() == b.ext,
-                       "chunked: tile shape does not match its slot");
+    auto decode = [&] {
+      Array3<double> td =
+          inner().decompress(pc.tiles[static_cast<std::size_t>(t)]);
+      AMRVIS_REQUIRE_MSG(td.shape() == b.ext,
+                         "chunked: tile shape does not match its slot");
+      return td;
+    };
+    std::shared_ptr<const Array3<double>> shared;
+    Array3<double> local;
+    const Array3<double>* tdata = nullptr;
+    if (cache) {
+      bool was_hit = false;
+      shared = cache.cache->get_or_decode(cache.container, t, decode,
+                                          &was_hit);
+      if (was_hit) cached_hits.fetch_add(1, std::memory_order_relaxed);
+      // A cached tile skipped our decode lambda (and its shape check).
+      AMRVIS_REQUIRE_MSG(shared->shape() == b.ext,
+                         "chunked: cached tile shape does not match its "
+                         "slot");
+      tdata = shared.get();
+    } else {
+      local = decode();
+      tdata = &local;
+    }
     const auto ov = tile_cell_box(b).intersect(region);
     AMRVIS_REQUIRE(ov.has_value());
     const Shape3 os = ov->shape();
@@ -384,10 +406,15 @@ Array3<double> ChunkedCompressor::decompress_region(
         std::memcpy(&out(ov->lo().x - region.lo().x,
                          ov->lo().y - region.lo().y + dy,
                          ov->lo().z - region.lo().z + dz),
-                    &tdata(ov->lo().x - b.i0, ov->lo().y - b.j0 + dy,
-                           ov->lo().z - b.k0 + dz),
+                    &(*tdata)(ov->lo().x - b.i0, ov->lo().y - b.j0 + dy,
+                              ov->lo().z - b.k0 + dz),
                     static_cast<std::size_t>(os.nx) * sizeof(double));
   });
+  if (stats != nullptr) {
+    const std::int64_t hits = cached_hits.load(std::memory_order_relaxed);
+    *stats = {static_cast<std::int64_t>(hit.size()) - hits, pc.ntiles,
+              hits};
+  }
   return out;
 }
 

@@ -62,6 +62,7 @@
 
 #include "amr/box.hpp"
 #include "compress/compressor.hpp"
+#include "compress/tile_cache.hpp"
 
 namespace amrvis::compress {
 
@@ -102,10 +103,14 @@ struct TileRegion {
 
 /// Decode-count instrumentation for decompress_region: how many tiles
 /// were actually inflated vs how many the container holds. Tests use it
-/// to prove partial decode stays partial.
+/// to prove partial decode stays partial. Instances are per-query stack
+/// state, never shared between threads — concurrent queries each carry
+/// their own (the thread-safety story for instrumentation under the
+/// concurrent query service).
 struct RegionDecodeStats {
-  std::int64_t tiles_decoded = 0;
+  std::int64_t tiles_decoded = 0;  ///< tiles this query inflated itself
   std::int64_t tiles_total = 0;
+  std::int64_t cache_hits = 0;     ///< tiles served from a shared cache
 };
 
 namespace detail {
@@ -180,9 +185,13 @@ class ChunkedCompressor final : public Compressor {
   /// the region's values as a region-shaped array. Bit-identical to the
   /// same box sliced out of a full decompress(). Works on v1 and v2
   /// containers; `stats`, when non-null, receives the decode counts.
+  /// `cache`, when engaged, serves/retains whole decoded tiles keyed by
+  /// (cache.container, slot) — concurrent queries for the same tile
+  /// decode it once, and stats split into tiles_decoded vs cache_hits.
   [[nodiscard]] Array3<double> decompress_region(
       std::span<const std::uint8_t> blob, const amr::Box& region,
-      RegionDecodeStats* stats = nullptr) const;
+      RegionDecodeStats* stats = nullptr,
+      const TileCacheRef& cache = {}) const;
 
   /// Value-range tile cull: the tiles whose recorded [min, max] range
   /// intersects [lo, hi], without touching the payload. On a v1

@@ -1,0 +1,155 @@
+#include "compress/tile_cache.hpp"
+
+#include <atomic>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace amrvis::compress {
+
+namespace {
+
+std::size_t value_bytes(const Array3<double>& v) {
+  return static_cast<std::size_t>(v.size()) * sizeof(double);
+}
+
+}  // namespace
+
+TileCache::TileCache(std::size_t byte_budget) : budget_(byte_budget) {}
+
+std::uint64_t TileCache::new_container_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TileCache::make_room(std::size_t need) {
+  // Evict from the LRU tail until `need` fits; in-flight entries are not
+  // in lru_ and are never evicted (their bytes are not counted yet).
+  while (!lru_.empty() && counters_.bytes + need > budget_) {
+    const Key victim = lru_.back();
+    lru_.pop_back();
+    auto it = map_.find(victim);
+    AMRVIS_ASSERT(it != map_.end() && it->second.ready);
+    counters_.bytes -= it->second.bytes;
+    counters_.entries -= 1;
+    counters_.evictions += 1;
+    map_.erase(it);
+  }
+}
+
+std::shared_ptr<const Array3<double>> TileCache::get_or_decode(
+    std::uint64_t container, std::int64_t tile, const Decode& decode,
+    bool* hit) {
+  const Key key{container, tile};
+  std::shared_future<Value> wait_on;
+  std::promise<Value> mine;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      if (it->second.ready) {
+        // Completed entry: touch LRU, serve under the lock.
+        lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+        counters_.hits += 1;
+        if (hit != nullptr) *hit = true;
+        return it->second.future.get();
+      }
+      // In-flight: wait outside the lock; the future rethrows a failed
+      // decode into every waiter.
+      counters_.hits += 1;
+      wait_on = it->second.future;
+    } else {
+      Entry e;
+      e.future = mine.get_future().share();
+      e.owner = &mine;
+      map_.emplace(key, std::move(e));
+      counters_.misses += 1;
+    }
+  }
+  if (wait_on.valid()) {
+    if (hit != nullptr) *hit = true;
+    return wait_on.get();
+  }
+
+  // This caller owns the decode; run it unlocked so concurrent queries
+  // for other tiles proceed.
+  if (hit != nullptr) *hit = false;
+  Value value;
+  try {
+    value = std::make_shared<const Array3<double>>(decode());
+  } catch (...) {
+    // Poison the waiters with the same exception, drop the entry so a
+    // later call retries fresh, and rethrow to this caller.
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      auto it = map_.find(key);
+      if (it != map_.end() && it->second.owner == &mine) map_.erase(it);
+      counters_.failed_decodes += 1;
+    }
+    mine.set_exception(std::current_exception());
+    throw;
+  }
+  mine.set_value(value);
+
+  const std::size_t bytes = value_bytes(*value);
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = map_.find(key);
+  // invalidate()/clear() may have raced this in-flight entry away (and a
+  // retry may even have inserted a NEW entry under the same key); the
+  // value is still correct for every holder of our future, but only the
+  // entry we inserted may be finalized here.
+  if (it == map_.end() || it->second.owner != &mine) return value;
+  if (bytes > budget_) {
+    // Larger than the whole cache: serve it, never retain it — the byte
+    // bound holds at all times, not just between calls.
+    map_.erase(it);
+    counters_.bypasses += 1;
+    return value;
+  }
+  make_room(bytes);
+  lru_.push_front(key);
+  it->second.ready = true;
+  it->second.bytes = bytes;
+  it->second.lru_it = lru_.begin();
+  counters_.bytes += bytes;
+  counters_.entries += 1;
+  counters_.peak_bytes = std::max(counters_.peak_bytes, counters_.bytes);
+  return value;
+}
+
+void TileCache::invalidate(std::uint64_t container) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto it = map_.begin(); it != map_.end();) {
+    if (it->first.container == container) {
+      if (it->second.ready) {
+        counters_.bytes -= it->second.bytes;
+        counters_.entries -= 1;
+        lru_.erase(it->second.lru_it);
+        it = map_.erase(it);
+      } else {
+        // In-flight: the decoding thread drops it on completion (its
+        // map_.find(key) miss above); nothing to reclaim yet.
+        it = map_.erase(it);
+      }
+    } else {
+      ++it;
+    }
+  }
+}
+
+void TileCache::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  // Drops in-flight entries too: their decoders finalize nothing (owner
+  // check) and their waiters still get the value through the future.
+  map_.clear();
+  lru_.clear();
+  counters_.bytes = 0;
+  counters_.entries = 0;
+}
+
+TileCache::Counters TileCache::counters() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return counters_;
+}
+
+}  // namespace amrvis::compress

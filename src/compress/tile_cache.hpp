@@ -1,0 +1,146 @@
+#pragma once
+// TileCache: byte-bounded shared LRU of decoded tiles — the caching layer
+// between the compressed containers and every read path (region decode,
+// point/plane sampling, tile streaming, streamed iso, query service).
+//
+// Entries are keyed by (container id, tile index): a container id names
+// one compressed blob (one chunked patch container, or one plain patch
+// blob — allocate ids with new_container_id(), or per hierarchy through
+// AmrTileCache in compress/amr_compress.hpp), and the tile index is the
+// container slot, or kWholeBlob for a plain blob's single whole-decode
+// entry. This one keying scheme subsumes the old ad-hoc per-sweep
+// `vector<optional<Array3>>` plain-patch cache: plain patches and chunked
+// tiles now go through the same store, with the sizing invariant held by
+// construction (AmrTileCache allocates exactly one id per patch) instead
+// of re-checked at every call site.
+//
+// Concurrency:
+//  - get_or_decode is thread safe; N concurrent callers of the same key
+//    decode it exactly ONCE. The first caller inserts an in-flight entry
+//    and runs `decode` outside the lock; the others wait on the entry's
+//    shared_future. A decode that throws propagates the exception to the
+//    decoding caller AND every waiter, then the entry is removed so a
+//    later call retries fresh (a transient failure is not cached).
+//  - The byte budget bounds RETAINED entries at all times: completed
+//    entries are LRU-evicted before a new entry's bytes are added, and a
+//    single value larger than the whole budget is returned but never
+//    retained (a bypass). Readers hold values by shared_ptr, so an
+//    evicted value stays alive for the readers that already have it —
+//    the budget is a cache-residency bound, not a global liveness bound.
+//
+// Determinism: the cache only changes WHERE decoded bytes come from,
+// never what they are — every consumer stays bit-identical with the
+// cache on, off, shared or thrashing.
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <limits>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "util/array3d.hpp"
+
+namespace amrvis::compress {
+
+class TileCache;
+
+/// One container's handle into a shared cache: the pair every per-blob
+/// read path (ChunkedCompressor::decompress_region, TileStream) threads
+/// through. A default-constructed ref means "no cache" — decode fresh.
+struct TileCacheRef {
+  TileCache* cache = nullptr;
+  std::uint64_t container = 0;
+
+  explicit operator bool() const { return cache != nullptr; }
+};
+
+class TileCache {
+ public:
+  /// Budget for "never evict" (still once-flag + shared).
+  static constexpr std::size_t kUnbounded =
+      std::numeric_limits<std::size_t>::max();
+  /// Tile index of a plain (non-container) blob's whole-decode entry.
+  static constexpr std::int64_t kWholeBlob = -1;
+
+  explicit TileCache(std::size_t byte_budget);
+
+  /// Process-unique container id (a plain atomic counter).
+  static std::uint64_t new_container_id();
+
+  using Decode = std::function<Array3<double>()>;
+
+  /// The decoded value of (container, tile), decoding via `decode` at
+  /// most once across all concurrent callers. `hit`, when non-null, is
+  /// set to true iff THIS call did not execute `decode` itself (found
+  /// ready, or waited on another caller's in-flight decode) — so a
+  /// caller's miss count is exactly its decode-work count.
+  std::shared_ptr<const Array3<double>> get_or_decode(
+      std::uint64_t container, std::int64_t tile, const Decode& decode,
+      bool* hit = nullptr);
+
+  /// Drop every completed entry of one container (e.g. its blob was
+  /// replaced). In-flight decodes complete normally and are then dropped.
+  void invalidate(std::uint64_t container);
+
+  /// Drop every completed entry.
+  void clear();
+
+  /// Point-in-time counters (monotonic except bytes/entries).
+  struct Counters {
+    std::int64_t hits = 0;        ///< served without running decode
+    std::int64_t misses = 0;      ///< this caller ran decode
+    std::int64_t evictions = 0;   ///< completed entries LRU-evicted
+    std::int64_t bypasses = 0;    ///< values larger than the whole budget
+    std::int64_t failed_decodes = 0;
+    std::size_t bytes = 0;        ///< retained bytes right now
+    std::size_t peak_bytes = 0;   ///< high-water mark of `bytes`
+    std::int64_t entries = 0;     ///< retained entries right now
+  };
+  [[nodiscard]] Counters counters() const;
+
+  [[nodiscard]] std::size_t byte_budget() const { return budget_; }
+
+ private:
+  struct Key {
+    std::uint64_t container = 0;
+    std::int64_t tile = 0;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      // splitmix-style mix of the two words.
+      std::uint64_t x =
+          k.container * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(k.tile);
+      x ^= x >> 30;
+      x *= 0xbf58476d1ce4e5b9ULL;
+      x ^= x >> 27;
+      return static_cast<std::size_t>(x);
+    }
+  };
+  using Value = std::shared_ptr<const Array3<double>>;
+  struct Entry {
+    std::shared_future<Value> future;  ///< waiters block here, unlocked
+    const void* owner = nullptr;  ///< in-flight: inserting call's token,
+                                  ///< so a decode finalizes only its OWN
+                                  ///< entry (invalidate may race a new
+                                  ///< entry in under the same key)
+    bool ready = false;
+    std::size_t bytes = 0;             ///< 0 until ready
+    std::list<Key>::iterator lru_it;   ///< valid iff ready
+  };
+
+  /// Evict completed LRU entries until `need` more bytes fit. Caller
+  /// holds mu_.
+  void make_room(std::size_t need);
+
+  const std::size_t budget_;
+  mutable std::mutex mu_;
+  std::unordered_map<Key, Entry, KeyHash> map_;
+  std::list<Key> lru_;  ///< front = most recently used
+  Counters counters_{};
+};
+
+}  // namespace amrvis::compress

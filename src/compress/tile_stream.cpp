@@ -20,7 +20,8 @@ TileStream::TileStream(const ChunkedCompressor& codec,
                        TileStreamOptions options)
     : codec_(&codec),
       pc_(detail::parse_container(blob, codec.inner().name())),
-      prefetch_(options.prefetch) {
+      prefetch_(options.prefetch),
+      cache_(options.cache) {
   const bool band = options.order == TileStreamOptions::Order::kValueBand;
   if (band) {
     AMRVIS_REQUIRE_MSG(options.band_lo <= options.band_hi,
@@ -89,8 +90,21 @@ void TileStream::decode_batch(std::size_t batch) {
     out.index = t;
     out.box = detail::tile_cell_box(tb);
     out.stats = pc_.stats_of(t);
-    out.data = codec_->inner().decompress(
-        pc_.tiles[static_cast<std::size_t>(t)]);
+    if (cache_) {
+      bool was_hit = false;
+      const auto shared = cache_.cache->get_or_decode(
+          cache_.container, t,
+          [&] {
+            return codec_->inner().decompress(
+                pc_.tiles[static_cast<std::size_t>(t)]);
+          },
+          &was_hit);
+      if (was_hit) cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      out.data = *shared;  // the caller owns its buffer (next() moves it)
+    } else {
+      out.data = codec_->inner().decompress(
+          pc_.tiles[static_cast<std::size_t>(t)]);
+    }
     AMRVIS_REQUIRE_MSG(out.data.shape() == tb.ext,
                        "tile_stream: tile shape does not match its slot");
   });

@@ -39,6 +39,7 @@
 // Lifetime: the stream aliases both the codec and the blob — the caller
 // keeps them alive for the stream's lifetime.
 
+#include <atomic>
 #include <functional>
 #include <optional>
 #include <span>
@@ -74,6 +75,11 @@ struct TileStreamOptions {
   /// cull plans its exact tile set through this.
   std::function<bool(const TileRegion&)> select;
   bool prefetch = true;    ///< pair decode-ahead via parallel helpers
+  /// Optional shared decoded-tile cache (compress/tile_cache.hpp): tiles
+  /// are served from / retained in it keyed by (cache.container, slot).
+  /// The yielded sequence and every byte stay identical; only the decode
+  /// work moves (cache_hits() counts the tiles that skipped a decode).
+  TileCacheRef cache{};
 };
 
 class TileStream {
@@ -96,6 +102,11 @@ class TileStream {
   }
   /// Tiles decoded so far (== tiles handed out + tiles still buffered).
   [[nodiscard]] std::int64_t tiles_decoded() const { return decoded_; }
+  /// Of tiles_decoded(), how many were served by the shared cache
+  /// without running a decode (0 without TileStreamOptions::cache).
+  [[nodiscard]] std::int64_t cache_hits() const {
+    return cache_hits_.load(std::memory_order_relaxed);
+  }
 
   /// Decoded tiles currently held by the stream (prefetch buffer).
   [[nodiscard]] int live_tiles() const {
@@ -115,11 +126,16 @@ class TileStream {
   const ChunkedCompressor* codec_;
   detail::ParsedContainer pc_;
   bool prefetch_;
+  TileCacheRef cache_;
   std::vector<std::int64_t> selected_;  ///< slot indices, ascending
   std::size_t cursor_ = 0;              ///< next selected_ entry to decode
   std::vector<StreamTile> buffer_;      ///< decoded, not yet handed out
   std::size_t head_ = 0;                ///< first live entry of buffer_
   std::int64_t decoded_ = 0;
+  /// Atomic: the prefetch pair decodes concurrently, and both batch
+  /// members may hit the cache at once (the S1 counter-safety contract;
+  /// the other counters are only written after the batch joins).
+  std::atomic<std::int64_t> cache_hits_{0};
   bool poisoned_ = false;  ///< a decode threw; next() refuses to continue
   int peak_live_tiles_ = 0;
   std::size_t peak_live_bytes_ = 0;

@@ -1,0 +1,325 @@
+#include "service/query_service.hpp"
+
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <unordered_set>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+#include "util/thread_pool.hpp"
+
+namespace amrvis::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// One deduplicated decode unit of a batch's region requests: a chunked
+/// container slot, or a whole plain patch blob (slot == kWholeBlob).
+struct DecodeUnit {
+  int level = 0;
+  std::size_t patch = 0;
+  std::int64_t slot = 0;
+
+  friend bool operator==(const DecodeUnit&, const DecodeUnit&) = default;
+};
+
+struct DecodeUnitHash {
+  std::size_t operator()(const DecodeUnit& u) const {
+    // splitmix-style fold; unit keys are tiny, any decent mix works.
+    std::uint64_t h = static_cast<std::uint64_t>(u.level);
+    h = (h ^ (static_cast<std::uint64_t>(u.patch) +
+              0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2)));
+    h = (h ^ (static_cast<std::uint64_t>(u.slot) +
+              0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2)));
+    return static_cast<std::size_t>(h * 0xbf58476d1ce4e5b9ULL);
+  }
+};
+
+}  // namespace
+
+Request Request::Point(amr::IntVect p) {
+  Request r;
+  r.kind = Kind::kPoint;
+  r.point = p;
+  return r;
+}
+
+Request Request::Plane(int axis, std::int64_t index) {
+  Request r;
+  r.kind = Kind::kPlane;
+  r.axis = axis;
+  r.plane_index = index;
+  return r;
+}
+
+Request Request::Region(int level, const amr::Box& box) {
+  Request r;
+  r.kind = Kind::kRegion;
+  r.level = level;
+  r.region = box;
+  return r;
+}
+
+Request Request::Iso(double iso, vis::VisMethod method) {
+  Request r;
+  r.kind = Kind::kIso;
+  r.iso = iso;
+  r.method = method;
+  return r;
+}
+
+QueryService::QueryService(const compress::AmrCompressed& compressed,
+                           const compress::Compressor& comp,
+                           const ServiceOptions& options)
+    : compressed_(&compressed),
+      comp_(&comp),
+      options_(options),
+      store_(options.cache_bytes),
+      cache_(store_, compressed) {
+  AMRVIS_REQUIRE_MSG(comp.name() == compressed.compressor_name,
+                     "query_service: codec mismatch");
+}
+
+void QueryService::account(const QueryStats& s) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  tiles_decoded_.fetch_add(s.tiles_decoded, std::memory_order_relaxed);
+  cache_hits_.fetch_add(s.cache_hits, std::memory_order_relaxed);
+}
+
+QueryService::Counters QueryService::counters() const {
+  return {requests_.load(std::memory_order_relaxed),
+          tiles_decoded_.load(std::memory_order_relaxed),
+          cache_hits_.load(std::memory_order_relaxed)};
+}
+
+double QueryService::point(amr::IntVect p, QueryStats* stats) {
+  const Clock::time_point t0 = Clock::now();
+  ScopedParallelBackend scope(ParallelBackend::kPool);
+  compress::RegionDecodeStats rs;
+  const double v =
+      amr::sample_point_compressed(*compressed_, *comp_, p, &rs, &cache_);
+  QueryStats qs;
+  qs.tiles_decoded = rs.tiles_decoded;
+  qs.cache_hits = rs.cache_hits;
+  qs.service_ms = ms_since(t0);
+  account(qs);
+  if (stats != nullptr) *stats = qs;
+  return v;
+}
+
+Array3<double> QueryService::plane(int axis, std::int64_t index,
+                                   QueryStats* stats) {
+  const Clock::time_point t0 = Clock::now();
+  ScopedParallelBackend scope(ParallelBackend::kPool);
+  compress::RegionDecodeStats rs;
+  Array3<double> out = amr::sample_plane_compressed(*compressed_, *comp_,
+                                                    axis, index, &rs,
+                                                    &cache_);
+  QueryStats qs;
+  qs.tiles_decoded = rs.tiles_decoded;
+  qs.cache_hits = rs.cache_hits;
+  qs.service_ms = ms_since(t0);
+  account(qs);
+  if (stats != nullptr) *stats = qs;
+  return out;
+}
+
+std::vector<compress::RegionPatch> QueryService::region(int level,
+                                                        const amr::Box& box,
+                                                        QueryStats* stats) {
+  const Clock::time_point t0 = Clock::now();
+  ScopedParallelBackend scope(ParallelBackend::kPool);
+  compress::RegionDecodeStats rs;
+  auto out = compress::decompress_level_region(*compressed_, *comp_, level,
+                                               box, &rs, &cache_);
+  QueryStats qs;
+  qs.tiles_decoded = rs.tiles_decoded;
+  qs.cache_hits = rs.cache_hits;
+  qs.service_ms = ms_since(t0);
+  account(qs);
+  if (stats != nullptr) *stats = qs;
+  return out;
+}
+
+vis::TriMesh QueryService::isosurface(double iso, vis::VisMethod method,
+                                      QueryStats* stats) {
+  const Clock::time_point t0 = Clock::now();
+  ScopedParallelBackend scope(ParallelBackend::kPool);
+  vis::StreamedIsoOptions opts = options_.iso;
+  opts.cache = &cache_;
+  vis::StreamedIsoStats is;
+  vis::TriMesh mesh = vis::amr_isosurface_streamed(*compressed_, *comp_,
+                                                   iso, method, opts, &is);
+  QueryStats qs;
+  qs.tiles_decoded = is.tiles_decoded;
+  qs.cache_hits = is.cache_hits;
+  qs.service_ms = ms_since(t0);
+  account(qs);
+  if (stats != nullptr) *stats = qs;
+  return mesh;
+}
+
+Response QueryService::execute_impl(const Request& req, double queue_ms) {
+  Response resp;
+  switch (req.kind) {
+    case Request::Kind::kPoint:
+      resp.value = point(req.point, &resp.stats);
+      break;
+    case Request::Kind::kPlane:
+      resp.slice = plane(req.axis, req.plane_index, &resp.stats);
+      break;
+    case Request::Kind::kRegion:
+      resp.patches = region(req.level, req.region, &resp.stats);
+      break;
+    case Request::Kind::kIso:
+      resp.mesh = isosurface(req.iso, req.method, &resp.stats);
+      break;
+  }
+  resp.stats.queue_ms = queue_ms;
+  return resp;
+}
+
+Response QueryService::execute(const Request& req) {
+  return execute_impl(req, 0.0);
+}
+
+std::future<Response> QueryService::submit(Request req) {
+  const Clock::time_point enq = Clock::now();
+  auto prom = std::make_shared<std::promise<Response>>();
+  std::future<Response> fut = prom->get_future();
+  ThreadPool::global().post([this, req = std::move(req), prom, enq] {
+    try {
+      prom->set_value(execute_impl(req, ms_since(enq)));
+    } catch (...) {
+      prom->set_exception(std::current_exception());
+    }
+  });
+  return fut;
+}
+
+void QueryService::prefetch_regions(const std::vector<Request>& reqs) {
+  // Enumerate the decode units every region request touches — the same
+  // (patch, tile-slot) arithmetic ChunkedCompressor::decompress_region
+  // walks — and dedupe them across the batch. The cache key of a unit
+  // here is identical to the key the serving path will look up, so a
+  // prefetched tile is a guaranteed hit.
+  const auto* chunked =
+      dynamic_cast<const compress::ChunkedCompressor*>(comp_);
+  std::unordered_set<DecodeUnit, DecodeUnitHash> seen;
+  std::vector<DecodeUnit> units;
+  // Parsed headers for the chunked patches touched (parse once, reuse in
+  // decode lambdas; the spans alias blobs owned by compressed_).
+  struct PatchPlan {
+    std::optional<compress::detail::ParsedContainer> pc;
+    std::optional<compress::ChunkedCompressor> wrap;  // non-owning
+    const compress::ChunkedCompressor* codec = nullptr;
+  };
+  std::vector<std::vector<std::optional<PatchPlan>>> plans(
+      compressed_->levels.size());
+  for (std::size_t l = 0; l < plans.size(); ++l)
+    plans[l].resize(compressed_->levels[l].patches.size());
+
+  for (const Request& req : reqs) {
+    if (req.kind != Request::Kind::kRegion) continue;
+    const int level = req.level;
+    AMRVIS_REQUIRE_MSG(
+        level >= 0 &&
+            static_cast<std::size_t>(level) < compressed_->levels.size(),
+        "query_service: region level out of range");
+    const auto& boxes = compressed_->boxes[static_cast<std::size_t>(level)];
+    const auto& patches =
+        compressed_->levels[static_cast<std::size_t>(level)].patches;
+    for (std::size_t p = 0; p < boxes.size(); ++p) {
+      const auto overlap = boxes[p].intersect(req.region);
+      if (!overlap) continue;
+      const Bytes& blob = patches[p].blob;
+      const bool tiled =
+          chunked != nullptr ||
+          compress::ChunkedCompressor::is_chunked_blob(blob);
+      if (!tiled) {
+        DecodeUnit u{level, p, compress::TileCache::kWholeBlob};
+        if (seen.insert(u).second) units.push_back(u);
+        continue;
+      }
+      auto& plan = plans[static_cast<std::size_t>(level)][p];
+      if (!plan) {
+        plan.emplace();
+        plan->codec = chunked;
+        if (plan->codec == nullptr)
+          plan->codec = &plan->wrap.emplace(*comp_);
+        plan->pc = compress::detail::parse_container(
+            blob, plan->codec->inner().name());
+      }
+      const auto& pc = *plan->pc;
+      // Patch-local region box -> the tile slots it intersects.
+      const amr::Box local{overlap->lo() - boxes[p].lo(),
+                           overlap->hi() - boxes[p].lo()};
+      const std::int64_t tx0 = local.lo().x / pc.tile.nx;
+      const std::int64_t ty0 = local.lo().y / pc.tile.ny;
+      const std::int64_t tz0 = local.lo().z / pc.tile.nz;
+      const std::int64_t tx1 = local.hi().x / pc.tile.nx;
+      const std::int64_t ty1 = local.hi().y / pc.tile.ny;
+      const std::int64_t tz1 = local.hi().z / pc.tile.nz;
+      for (std::int64_t tz = tz0; tz <= tz1; ++tz)
+        for (std::int64_t ty = ty0; ty <= ty1; ++ty)
+          for (std::int64_t tx = tx0; tx <= tx1; ++tx) {
+            const std::int64_t slot =
+                (tz * pc.grid.tny + ty) * pc.grid.tnx + tx;
+            DecodeUnit u{level, p, slot};
+            if (seen.insert(u).second) units.push_back(u);
+          }
+    }
+  }
+  if (units.empty()) return;
+
+  // One pool pass over the deduplicated units; the per-entry once-flag
+  // makes this safe even if a concurrent client races the same tiles.
+  std::atomic<std::int64_t> decoded{0};
+  ThreadPool::global().run(
+      static_cast<std::int64_t>(units.size()), [&](std::int64_t i) {
+        const DecodeUnit& u = units[static_cast<std::size_t>(i)];
+        const compress::TileCacheRef cref = cache_.ref(u.level, u.patch);
+        const Bytes& blob = compressed_->levels[static_cast<std::size_t>(
+            u.level)].patches[u.patch].blob;
+        bool was_hit = false;
+        if (u.slot == compress::TileCache::kWholeBlob) {
+          cref.cache->get_or_decode(
+              cref.container, u.slot,
+              [&] { return comp_->decompress(blob); }, &was_hit);
+        } else {
+          const auto& plan =
+              *plans[static_cast<std::size_t>(u.level)][u.patch];
+          cref.cache->get_or_decode(
+              cref.container, u.slot,
+              [&] {
+                return plan.codec->inner().decompress(
+                    plan.pc->tiles[static_cast<std::size_t>(u.slot)]);
+              },
+              &was_hit);
+        }
+        if (!was_hit) decoded.fetch_add(1, std::memory_order_relaxed);
+      });
+  tiles_decoded_.fetch_add(decoded.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+}
+
+std::vector<Response> QueryService::run_batch(
+    const std::vector<Request>& reqs) {
+  const Clock::time_point enq = Clock::now();
+  if (options_.merge_regions) prefetch_regions(reqs);
+  std::vector<Response> out;
+  out.reserve(reqs.size());
+  for (const Request& req : reqs)
+    out.push_back(execute_impl(req, ms_since(enq)));
+  return out;
+}
+
+}  // namespace amrvis::service

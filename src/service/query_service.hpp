@@ -1,0 +1,172 @@
+#pragma once
+// Concurrent query service over a compressed AMR hierarchy — the front
+// end that turns the region-decode / sampling / streamed-iso machinery
+// into something N interactive clients can hit at once:
+//
+//  - One byte-bounded decoded-tile cache (compress/tile_cache.hpp) bound
+//    to the hierarchy is shared by every query, so concurrent or repeated
+//    requests touching the same tiles decode them once (per-entry
+//    once-flag) and the hot working set stays resident within a fixed
+//    byte budget.
+//  - Every request executes under ScopedParallelBackend(kPool): all
+//    internal parallel loops share the persistent work-stealing pool
+//    (util/thread_pool.hpp) instead of forking per-caller OpenMP teams,
+//    so N clients cannot oversubscribe the machine N-fold.
+//  - The batched front end (run_batch) merges overlapping region-decode
+//    requests: the union of their (level, patch, tile) decode units is
+//    deduplicated and prefetched across the pool, then each request is
+//    served — overlapping tiles cost one decode for the whole batch
+//    instead of one per request.
+//
+// Thread safety: all public methods may be called concurrently from any
+// number of client threads. Per-request instrumentation (QueryStats) is
+// stack-owned by each call; service-wide counters are atomics.
+//
+// Results are bit-identical to calling the underlying primitives
+// directly without any cache — the cache moves decode work, never
+// values.
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <vector>
+
+#include "amr/sampling.hpp"
+#include "compress/amr_compress.hpp"
+#include "vis/amr_iso.hpp"
+
+namespace amrvis::service {
+
+/// Service configuration, fixed at construction.
+struct ServiceOptions {
+  /// Byte budget of the shared decoded-tile cache. Entries above the
+  /// budget bypass the cache (decode still succeeds); the bound is never
+  /// exceeded, see TileCache.
+  std::size_t cache_bytes = std::size_t{64} << 20;
+  /// Batch front end: deduplicate + prefetch the decode units of
+  /// overlapping region requests before serving them.
+  bool merge_regions = true;
+  /// Base options for isosurface requests (the cache binding is filled
+  /// in by the service; a caller-provided `cache` here is ignored).
+  vis::StreamedIsoOptions iso{};
+};
+
+/// Per-request instrumentation, stack-owned by each call — never shared
+/// between threads (the concurrency story for stats under the service).
+struct QueryStats {
+  std::int64_t tiles_decoded = 0;  ///< decodes this request ran itself
+  std::int64_t cache_hits = 0;     ///< tiles served by the shared cache
+  double queue_ms = 0.0;    ///< submit -> execution start (async/batch)
+  double service_ms = 0.0;  ///< execution start -> finish
+};
+
+/// One query of the batched/async front end.
+struct Request {
+  enum class Kind { kPoint, kPlane, kRegion, kIso };
+  Kind kind = Kind::kPoint;
+
+  amr::IntVect point{};                  ///< kPoint: finest-space cell
+  int axis = 0;                          ///< kPlane: 0, 1 or 2
+  std::int64_t plane_index = 0;          ///< kPlane: finest-space index
+  int level = 0;                         ///< kRegion: hierarchy level
+  amr::Box region{};                     ///< kRegion: level-space box
+  double iso = 0.0;                      ///< kIso: isovalue
+  vis::VisMethod method = vis::VisMethod::kDualCellSwitching;  ///< kIso
+
+  static Request Point(amr::IntVect p);
+  static Request Plane(int axis, std::int64_t index);
+  static Request Region(int level, const amr::Box& box);
+  static Request Iso(double iso, vis::VisMethod method);
+};
+
+/// Result of one request; only the member matching the request kind is
+/// populated (the rest stay default). `stats` is always filled.
+struct Response {
+  double value = 0.0;                          ///< kPoint
+  Array3<double> slice;                        ///< kPlane
+  std::vector<compress::RegionPatch> patches;  ///< kRegion
+  vis::TriMesh mesh;                           ///< kIso
+  QueryStats stats;
+};
+
+class QueryService {
+ public:
+  /// Binds the service to `compressed`/`comp`; the caller keeps both
+  /// alive for the service lifetime. Allocates the shared cache and its
+  /// per-(level, patch) container ids up front.
+  QueryService(const compress::AmrCompressed& compressed,
+               const compress::Compressor& comp,
+               const ServiceOptions& options = {});
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  // ---- synchronous API (thread-safe; callers may overlap freely) ----
+
+  /// Value at finest-space cell `p` (amr::sample_point_compressed).
+  double point(amr::IntVect p, QueryStats* stats = nullptr);
+
+  /// Axis-aligned finest-resolution slice (amr::sample_plane_compressed).
+  Array3<double> plane(int axis, std::int64_t index,
+                       QueryStats* stats = nullptr);
+
+  /// Region decode of one level (compress::decompress_level_region).
+  std::vector<compress::RegionPatch> region(int level, const amr::Box& box,
+                                            QueryStats* stats = nullptr);
+
+  /// Streamed isosurface (vis::amr_isosurface_streamed) through the
+  /// shared cache; the mesh is bit-identical to the uncached pipelines.
+  vis::TriMesh isosurface(double iso, vis::VisMethod method,
+                          QueryStats* stats = nullptr);
+
+  // ---- batched / async front end ----
+
+  /// Serve one request (dispatch on kind).
+  Response execute(const Request& req);
+
+  /// Fire-and-forget onto the pool; the future carries the response or
+  /// the query's exception. queue_ms measures submit -> task start.
+  std::future<Response> submit(Request req);
+
+  /// Serve a batch: with merge_regions, the union of all region
+  /// requests' decode units is deduplicated and prefetched across the
+  /// pool first, so overlapping ROIs decode shared tiles once. Responses
+  /// are returned in request order.
+  std::vector<Response> run_batch(const std::vector<Request>& reqs);
+
+  // ---- introspection ----
+
+  /// Lifetime totals across all requests (atomically maintained).
+  struct Counters {
+    std::uint64_t requests = 0;
+    std::int64_t tiles_decoded = 0;  ///< incl. batch prefetch decodes
+    std::int64_t cache_hits = 0;
+  };
+  [[nodiscard]] Counters counters() const;
+
+  /// The shared store (budget, eviction counters) and its binding.
+  [[nodiscard]] compress::TileCache& cache() { return store_; }
+  [[nodiscard]] const compress::AmrTileCache& binding() const {
+    return cache_;
+  }
+
+ private:
+  struct Timed;  // steady_clock plumbing lives in the .cpp
+
+  Response execute_impl(const Request& req, double queue_ms);
+  /// Merge step of run_batch: decode-unit dedup + pool prefetch.
+  void prefetch_regions(const std::vector<Request>& reqs);
+  void account(const QueryStats& s);
+
+  const compress::AmrCompressed* compressed_;
+  const compress::Compressor* comp_;
+  ServiceOptions options_;
+  compress::TileCache store_;
+  compress::AmrTileCache cache_;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::int64_t> tiles_decoded_{0};
+  std::atomic<std::int64_t> cache_hits_{0};
+};
+
+}  // namespace amrvis::service

@@ -1,27 +1,56 @@
 #pragma once
-// OpenMP-backed parallel loop helpers.
+// Parallel loop helpers with a pluggable execution backend.
 //
 // All hot loops in amrvis go through parallel_for / parallel_reduce so the
 // parallelization policy lives in one place. Loops must be data-parallel:
 // the body may not touch shared mutable state other than its own output
 // slot. Determinism: iteration->result mapping is fixed, so outputs are
-// bitwise reproducible regardless of thread count (reductions over doubles
-// are done per-thread then combined in index order).
+// bitwise reproducible regardless of thread count or backend (reductions
+// over doubles are done per-partition then combined in partition order).
+//
+// Backends:
+//  - kOpenMP  the historical `#pragma omp parallel for schedule(static)`
+//             path (serial when built without OpenMP). One fork/join team
+//             per loop, owned by the calling thread.
+//  - kPool    the persistent work-stealing pool (util/thread_pool.hpp).
+//             Nested and CONCURRENT loops compose: every caller shares
+//             one fixed worker set instead of forking its own team, so N
+//             query clients cannot oversubscribe the machine N-fold.
+//             Compiled in when AMRVIS_HAVE_THREAD_POOL is defined (CMake
+//             option AMRVIS_ENABLE_THREAD_POOL, default ON).
+//  - kSerial  plain loops (debugging / reference).
+//
+// The process default is kOpenMP (matching every prior release); it can
+// be switched globally with set_parallel_backend() or per-thread with
+// ScopedParallelBackend (the query service runs its requests under a
+// scoped kPool so concurrent clients share the pool). Regardless of the
+// configured backend, a loop issued FROM a pool worker thread always
+// routes back into the pool: an OpenMP region inside a pool task would
+// fork a fresh team per task — exactly the oversubscription the pool
+// exists to prevent.
 //
 // Exception safety: an exception escaping an OpenMP worker thread is
 // std::terminate, so every body invocation runs under a guard that captures
 // the first exception thrown anywhere in the region; remaining iterations
 // are skipped (best effort) and the captured exception is rethrown on the
-// calling thread after the region joins. Callers therefore see the original
-// exception exactly as they would from a serial loop.
+// calling thread after the region joins. The pool backend honors the same
+// contract (ThreadPool::run captures/rethrows identically). Callers
+// therefore see the original exception exactly as they would from a
+// serial loop.
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <exception>
+#include <functional>
 #include <vector>
 
 #ifdef _OPENMP
 #include <omp.h>
+#endif
+
+#ifdef AMRVIS_HAVE_THREAD_POOL
+#include "util/thread_pool.hpp"
 #endif
 
 namespace amrvis {
@@ -34,6 +63,66 @@ inline int hardware_threads() {
   return 1;
 #endif
 }
+
+enum class ParallelBackend {
+  kOpenMP,  ///< per-loop OpenMP team (serial without OpenMP)
+  kPool,    ///< shared persistent pool (OpenMP path if not compiled in)
+  kSerial,  ///< plain loops
+};
+
+namespace detail {
+
+inline std::atomic<ParallelBackend>& backend_state() {
+  static std::atomic<ParallelBackend> backend{ParallelBackend::kOpenMP};
+  return backend;
+}
+
+/// Per-thread override; -1 = none. An int (not optional<enum>) so the
+/// thread_local stays trivially destructible.
+inline int& backend_override() {
+  thread_local int override_ = -1;
+  return override_;
+}
+
+}  // namespace detail
+
+/// Process-wide default backend (kOpenMP unless reconfigured).
+inline ParallelBackend parallel_backend() {
+  return detail::backend_state().load(std::memory_order_relaxed);
+}
+
+inline void set_parallel_backend(ParallelBackend b) {
+  detail::backend_state().store(b, std::memory_order_relaxed);
+}
+
+/// Backend the CURRENT thread's next parallel_* call will dispatch to:
+/// thread-local override first, then pool-worker auto-routing, then the
+/// process default.
+inline ParallelBackend effective_parallel_backend() {
+  if (detail::backend_override() >= 0)
+    return static_cast<ParallelBackend>(detail::backend_override());
+#ifdef AMRVIS_HAVE_THREAD_POOL
+  if (ThreadPool::on_worker_thread()) return ParallelBackend::kPool;
+#endif
+  return parallel_backend();
+}
+
+/// RAII thread-local backend override — scopes a backend to one call
+/// tree without touching the process default (the query service wraps
+/// each request in ScopedParallelBackend(kPool)).
+class ScopedParallelBackend {
+ public:
+  explicit ScopedParallelBackend(ParallelBackend b)
+      : saved_(detail::backend_override()) {
+    detail::backend_override() = static_cast<int>(b);
+  }
+  ~ScopedParallelBackend() { detail::backend_override() = saved_; }
+  ScopedParallelBackend(const ScopedParallelBackend&) = delete;
+  ScopedParallelBackend& operator=(const ScopedParallelBackend&) = delete;
+
+ private:
+  int saved_;
+};
 
 #ifdef _OPENMP
 namespace detail {
@@ -69,20 +158,64 @@ class ParallelExceptionGuard {
 }  // namespace detail
 #endif
 
+#ifdef AMRVIS_HAVE_THREAD_POOL
+namespace detail {
+
+/// Pool width + 1: the caller participates alongside the workers, so the
+/// natural partition count mirrors an OpenMP team of that many threads.
+inline std::int64_t pool_partitions() {
+  return static_cast<std::int64_t>(ThreadPool::global().size()) + 1;
+}
+
+/// Dispatch [0, n) to the pool in contiguous chunks of `grain` indices.
+/// ThreadPool::run provides the first-exception capture/rethrow.
+template <typename Body>
+void pool_for_grained(std::int64_t n, std::int64_t grain, const Body& body) {
+  const std::int64_t chunks = (n + grain - 1) / grain;
+  const std::function<void(std::int64_t)> chunk_fn = [&](std::int64_t c) {
+    const std::int64_t lo = c * grain;
+    const std::int64_t hi = (lo + grain < n) ? lo + grain : n;
+    for (std::int64_t i = lo; i < hi; ++i) body(i);
+  };
+  ThreadPool::global().run(chunks, chunk_fn);
+}
+
+/// Grain for a bare parallel_for: ~4 chunks per participant gives the
+/// stealing some slack without shredding cache locality.
+inline std::int64_t pool_auto_grain(std::int64_t n) {
+  const std::int64_t target = 4 * pool_partitions();
+  const std::int64_t grain = (n + target - 1) / target;
+  return grain < 1 ? 1 : grain;
+}
+
+}  // namespace detail
+#endif
+
 /// Parallel loop over [0, n). `body(i)` must be independent across i.
 /// An exception thrown by any body propagates to the caller (the first one
 /// thrown wins; later iterations are skipped best-effort).
 template <typename Body>
 void parallel_for(std::int64_t n, const Body& body) {
-#ifdef _OPENMP
   if (n <= 1) {
-    // Skip the parallel region entirely: besides avoiding fork/join
+    // Skip any parallel machinery entirely: besides avoiding fork/join
     // overhead, this keeps a nested parallel_for (e.g. the chunked codec
     // called on a single oversized patch) from landing inside an active
-    // region where nested parallelism is disabled.
+    // OpenMP region where nested parallelism is disabled.
     for (std::int64_t i = 0; i < n; ++i) body(i);
     return;
   }
+  const ParallelBackend be = effective_parallel_backend();
+  if (be == ParallelBackend::kSerial) {
+    for (std::int64_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+#ifdef AMRVIS_HAVE_THREAD_POOL
+  if (be == ParallelBackend::kPool) {
+    detail::pool_for_grained(n, detail::pool_auto_grain(n), body);
+    return;
+  }
+#endif
+#ifdef _OPENMP
   detail::ParallelExceptionGuard guard;
 #pragma omp parallel for schedule(static)
   for (std::int64_t i = 0; i < n; ++i)
@@ -100,11 +233,22 @@ template <typename Body>
 void parallel_for_chunked(std::int64_t n, std::int64_t grain,
                           const Body& body) {
   const std::int64_t chunks = (n + grain - 1) / grain;
-#ifdef _OPENMP
   if (chunks <= 1) {
     for (std::int64_t i = 0; i < n; ++i) body(i);
     return;
   }
+  const ParallelBackend be = effective_parallel_backend();
+  if (be == ParallelBackend::kSerial) {
+    for (std::int64_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+#ifdef AMRVIS_HAVE_THREAD_POOL
+  if (be == ParallelBackend::kPool) {
+    detail::pool_for_grained(n, grain, body);
+    return;
+  }
+#endif
+#ifdef _OPENMP
   detail::ParallelExceptionGuard guard;
 #pragma omp parallel for schedule(static)
   for (std::int64_t c = 0; c < chunks; ++c) {
@@ -124,24 +268,50 @@ void parallel_for_chunked(std::int64_t n, std::int64_t grain,
 #endif
 }
 
-/// Deterministic parallel reduction: per-thread partials combined in thread
-/// order. `init` is the identity; `map(i)` produces a value; `combine(a,b)`
-/// folds. Result is independent of scheduling because static scheduling
-/// fixes the index->thread mapping. Exceptions from map/combine propagate
-/// to the caller like parallel_for's.
+/// Deterministic parallel reduction: per-partition partials combined in
+/// partition order. `init` is the identity; `map(i)` produces a value;
+/// `combine(a,b)` folds. Result is independent of scheduling because the
+/// index->partition mapping is fixed (OpenMP: static schedule per-thread;
+/// pool: contiguous blocks in block order). Exceptions from map/combine
+/// propagate to the caller like parallel_for's.
 template <typename T, typename Map, typename Combine>
 T parallel_reduce(std::int64_t n, T init, const Map& map,
                   const Combine& combine) {
+  auto serial = [&] {
+    T result = init;
+    for (std::int64_t i = 0; i < n; ++i) result = combine(result, map(i));
+    return result;
+  };
+  if (n <= 1) return serial();
+  const ParallelBackend be = effective_parallel_backend();
+  if (be == ParallelBackend::kSerial) return serial();
+#ifdef AMRVIS_HAVE_THREAD_POOL
+  if (be == ParallelBackend::kPool) {
+    const std::int64_t nb = std::min(n, detail::pool_partitions());
+    if (nb <= 1) return serial();
+    const std::int64_t len = (n + nb - 1) / nb;
+    std::vector<T> partial(static_cast<std::size_t>(nb), init);
+    const std::function<void(std::int64_t)> block = [&](std::int64_t b) {
+      const std::int64_t lo = b * len;
+      const std::int64_t hi = (lo + len < n) ? lo + len : n;
+      T local = init;
+      for (std::int64_t i = lo; i < hi; ++i) local = combine(local, map(i));
+      partial[static_cast<std::size_t>(b)] = local;
+    };
+    ThreadPool::global().run(nb, block);
+    T result = init;
+    for (const T& p : partial) result = combine(result, p);
+    return result;
+  }
+#endif
 #ifdef _OPENMP
   const int nt = omp_get_max_threads();
-  if (nt <= 1 || n <= 1) {
+  if (nt <= 1) {
     // Thread-count=1 edge case: skip the parallel region entirely so a
     // single-thread OpenMP build folds in exactly the same order (and with
     // the same number of `combine(init, ...)` applications) as the
     // serial-fallback build below.
-    T result = init;
-    for (std::int64_t i = 0; i < n; ++i) result = combine(result, map(i));
-    return result;
+    return serial();
   }
   detail::ParallelExceptionGuard guard;
   std::vector<T> partial(static_cast<std::size_t>(nt), init);
@@ -159,9 +329,7 @@ T parallel_reduce(std::int64_t n, T init, const Map& map,
   for (const T& p : partial) result = combine(result, p);
   return result;
 #else
-  T result = init;
-  for (std::int64_t i = 0; i < n; ++i) result = combine(result, map(i));
-  return result;
+  return serial();
 #endif
 }
 

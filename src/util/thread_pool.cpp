@@ -1,0 +1,204 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <utility>
+
+namespace amrvis {
+
+namespace {
+
+/// Set for the lifetime of a worker thread; queried by on_worker_thread()
+/// so nested parallel loops auto-route into the pool.
+thread_local bool tl_is_pool_worker = false;
+
+int clamp_threads(int threads) { return threads < 1 ? 1 : threads; }
+
+int default_pool_threads() {
+  if (const char* env = std::getenv("AMRVIS_POOL_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/// Shared state of one run() call. Chunks are claimed by an atomic ticket
+/// counter; a claimed ticket is executed immediately by the claiming
+/// thread, so a blocked thread only ever waits on chunks that are
+/// actively executing — nested waits terminate by induction on depth.
+struct RunJob {
+  std::int64_t n = 0;
+  const std::function<void(std::int64_t)>* chunk = nullptr;
+  std::atomic<std::int64_t> next{0};
+  std::atomic<std::int64_t> completed{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first;  ///< written once by the failed_ CAS winner
+  std::mutex mu;
+  std::condition_variable done;
+};
+
+/// Claim and execute tickets until none remain. The completed counter's
+/// release increments order the first-exception write (same iteration)
+/// before the caller's acquire load in the done-wait.
+void participate(const std::shared_ptr<RunJob>& job) {
+  for (;;) {
+    const std::int64_t i = job->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job->n) return;
+    if (!job->failed.load(std::memory_order_relaxed)) {
+      try {
+        (*job->chunk)(i);
+      } catch (...) {
+        bool expected = false;
+        if (job->failed.compare_exchange_strong(expected, true,
+                                                std::memory_order_acq_rel))
+          job->first = std::current_exception();
+      }
+    }
+    if (job->completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        job->n) {
+      std::lock_guard<std::mutex> lk(job->mu);
+      job->done.notify_all();
+    }
+  }
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = clamp_threads(threads);
+  queues_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) queues_.push_back(std::make_unique<Queue>());
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    workers_.emplace_back(
+        [this, i] { worker_main(static_cast<std::size_t>(i)); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(sleep_mu_);
+    stop_ = true;
+  }
+  sleep_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(default_pool_threads());
+  return pool;
+}
+
+bool ThreadPool::on_worker_thread() { return tl_is_pool_worker; }
+
+void ThreadPool::enqueue(std::size_t slot, std::function<void()> task) {
+  Queue& q = slot < queues_.size() ? *queues_[slot] : injection_;
+  {
+    std::lock_guard<std::mutex> lk(q.mu);
+    q.q.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lk(sleep_mu_);
+    ++pending_;
+  }
+  sleep_cv_.notify_one();
+}
+
+void ThreadPool::post(std::function<void()> task) {
+  enqueue(queues_.size(), std::move(task));  // injection queue
+}
+
+void ThreadPool::run(std::int64_t nchunks,
+                     const std::function<void(std::int64_t)>& chunk) {
+  if (nchunks <= 0) return;
+  if (nchunks == 1) {
+    // No sharing possible; skip the job machinery (and its allocation).
+    chunk(0);
+    return;
+  }
+  auto job = std::make_shared<RunJob>();
+  job->n = nchunks;
+  job->chunk = &chunk;
+  // One participation task per worker (capped by the chunk count): each
+  // claims tickets until the job is drained. The caller participates too,
+  // so completion never depends on a free worker. Tasks that arrive after
+  // the job drained claim no ticket and drop their (shared) reference —
+  // job->chunk is only dereferenced under a valid ticket, which the
+  // caller's completion wait keeps alive.
+  const std::int64_t helpers =
+      std::min<std::int64_t>(size(), nchunks - 1);
+  for (std::int64_t h = 0; h < helpers; ++h)
+    enqueue(rr_.fetch_add(1, std::memory_order_relaxed) % queues_.size(),
+            [job] { participate(job); });
+  participate(job);
+  {
+    std::unique_lock<std::mutex> lk(job->mu);
+    job->done.wait(lk, [&] {
+      return job->completed.load(std::memory_order_acquire) == job->n;
+    });
+  }
+  if (job->failed.load(std::memory_order_acquire) && job->first)
+    std::rethrow_exception(job->first);
+}
+
+bool ThreadPool::try_run_one(std::size_t self) {
+  std::function<void()> task;
+  // Own deque first (LIFO: cache-warm, most recently posted), then the
+  // injection queue, then steal the OLDEST task of a sibling (FIFO keeps
+  // stolen work coarse).
+  auto pop_back = [&](Queue& q) {
+    std::lock_guard<std::mutex> lk(q.mu);
+    if (q.q.empty()) return false;
+    task = std::move(q.q.back());
+    q.q.pop_back();
+    return true;
+  };
+  auto pop_front = [&](Queue& q) {
+    std::lock_guard<std::mutex> lk(q.mu);
+    if (q.q.empty()) return false;
+    task = std::move(q.q.front());
+    q.q.pop_front();
+    return true;
+  };
+  bool stolen = false;
+  bool got = pop_back(*queues_[self]) || pop_front(injection_);
+  if (!got) {
+    for (std::size_t off = 1; off < queues_.size() && !got; ++off) {
+      const std::size_t victim = (self + off) % queues_.size();
+      got = pop_front(*queues_[victim]);
+      stolen = got;
+    }
+  }
+  if (!got) return false;
+  {
+    std::lock_guard<std::mutex> lk(sleep_mu_);
+    --pending_;
+  }
+  if (stolen) steals_.fetch_add(1, std::memory_order_relaxed);
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  task();
+  return true;
+}
+
+void ThreadPool::worker_main(std::size_t self) {
+  tl_is_pool_worker = true;
+  for (;;) {
+    if (try_run_one(self)) continue;
+    std::unique_lock<std::mutex> lk(sleep_mu_);
+    if (stop_) return;
+    sleep_cv_.wait(lk, [&] { return stop_ || pending_ > 0; });
+    if (stop_) return;
+  }
+}
+
+std::uint64_t ThreadPool::steals() const {
+  return steals_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t ThreadPool::tasks_executed() const {
+  return executed_.load(std::memory_order_relaxed);
+}
+
+}  // namespace amrvis

@@ -1,0 +1,106 @@
+#pragma once
+// Persistent work-stealing thread pool — the process-wide execution layer
+// behind util/parallel.hpp's kPool backend and the concurrent query
+// service (service/query_service.hpp).
+//
+// Why a pool when OpenMP already parallelizes the hot loops: an OpenMP
+// `parallel for` region is owned by its calling thread. N concurrent
+// callers (query clients) each fork their own team, oversubscribing the
+// machine N-fold, and a nested region inside an active one is serialized.
+// The pool inverts that: one fixed set of workers serves every caller,
+// and a caller always PARTICIPATES in its own job — it claims chunk
+// tickets like any worker until the job is done. Nested run() calls
+// therefore compose instead of deadlocking or oversubscribing: the
+// submitting thread drains whatever chunks no worker has claimed, so
+// forward progress never depends on a free worker.
+//
+// Exception contract (same as util/parallel.hpp): the first exception
+// thrown by any chunk is captured, remaining chunks are skipped best
+// effort, and the exception is rethrown on the calling thread after every
+// chunk has been accounted for. Workers never terminate the process.
+//
+// Determinism: run(n, chunk) executes every chunk exactly once; which
+// thread runs a chunk is scheduling-dependent, so chunk bodies must be
+// data-parallel (own-output-slot only) exactly like parallel_for bodies.
+// Under that contract outputs are bitwise independent of scheduling.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace amrvis {
+
+class ThreadPool {
+ public:
+  /// Spins up `threads` persistent workers (clamped to >= 1).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// The process-wide pool used by the kPool parallel backend. Sized by
+  /// AMRVIS_POOL_THREADS when set, else std::thread::hardware_concurrency.
+  /// Created on first use, joined at process exit.
+  static ThreadPool& global();
+
+  /// True when the calling thread is a worker of ANY ThreadPool. The
+  /// parallel helpers use this to route nested loops back into the pool
+  /// regardless of the configured backend — the composition guarantee.
+  static bool on_worker_thread();
+
+  /// Worker count (callers additionally participate in their own jobs).
+  [[nodiscard]] int size() const {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// Execute chunk(0) .. chunk(nchunks-1), each exactly once, across the
+  /// workers AND the calling thread; returns after all chunks completed.
+  /// First exception wins and is rethrown here; remaining chunks are
+  /// skipped best effort. Safe to call concurrently from many threads and
+  /// recursively from inside a chunk.
+  void run(std::int64_t nchunks,
+           const std::function<void(std::int64_t)>& chunk);
+
+  /// Fire-and-forget task on some worker (the async service front end).
+  /// The task must not throw; exceptions must be routed through the
+  /// caller's own channel (e.g. a std::promise).
+  void post(std::function<void()> task);
+
+  /// Chunks stolen from another worker's deque (instrumentation).
+  [[nodiscard]] std::uint64_t steals() const;
+  /// Tasks executed by pool workers (instrumentation; caller-executed
+  /// chunks of run() are not pool tasks and are not counted).
+  [[nodiscard]] std::uint64_t tasks_executed() const;
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::deque<std::function<void()>> q;
+  };
+
+  void worker_main(std::size_t self);
+  bool try_run_one(std::size_t self);
+  void enqueue(std::size_t slot, std::function<void()> task);
+
+  std::vector<std::unique_ptr<Queue>> queues_;  ///< one per worker
+  Queue injection_;                             ///< external post() tasks
+  std::vector<std::thread> workers_;
+
+  std::mutex sleep_mu_;                 ///< guards pending_ and stop_
+  std::condition_variable sleep_cv_;
+  std::int64_t pending_ = 0;            ///< queued, not yet popped tasks
+  bool stop_ = false;
+
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::size_t> rr_{0};      ///< round-robin enqueue cursor
+};
+
+}  // namespace amrvis

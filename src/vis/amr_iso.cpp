@@ -311,8 +311,11 @@ Array3<double> synced_level_values(const LevelSweep& ls, int level,
   Array3<double> out(box.shape(), 0.0);
   compress::RegionDecodeStats rs;
   const auto rps = compress::decompress_level_region(
-      *ls.compressed, *ls.comp, level, box, &rs);
-  if (ls.stats != nullptr) ls.stats->tiles_decoded += rs.tiles_decoded;
+      *ls.compressed, *ls.comp, level, box, &rs, ls.options.cache);
+  if (ls.stats != nullptr) {
+    ls.stats->tiles_decoded += rs.tiles_decoded;
+    ls.stats->cache_hits += rs.cache_hits;
+  }
   for (const auto& rp : rps) {
     const Shape3 os = rp.box.shape();
     for (std::int64_t dz = 0; dz < os.nz; ++dz)
@@ -340,8 +343,9 @@ Array3<double> synced_level_values(const LevelSweep& ls, int level,
 SlabRaster build_slab(const LevelSweep& ls,
                       const std::vector<LevelTile>& tiles,
                       const std::vector<std::vector<char>>& decided,
-                      std::vector<std::optional<Array3<double>>>& plain_cache,
-                      std::int64_t z0, std::int64_t z1, bool do_decode) {
+                      const compress::AmrTileCache& cache,
+                      bool cache_chunked, std::int64_t z0, std::int64_t z1,
+                      bool do_decode) {
   SlabRaster r;
   r.z0 = z0;
   r.z1 = z1;
@@ -384,7 +388,8 @@ SlabRaster build_slab(const LevelSweep& ls,
   // overhang the slab in z, only the slab rows are kept.
   amr::HierTileOptions hto;
   hto.prefetch = ls.options.prefetch;
-  hto.plain_cache = &plain_cache;  // plain patches inflate once per sweep
+  hto.cache = &cache;  // plain patches inflate once per cache lifetime
+  hto.cache_chunked_tiles = cache_chunked;
   hto.tile_select = [&](std::size_t p, const compress::TileRegion& tr) {
     return decided[p].empty() ||
            decided[p][static_cast<std::size_t>(tr.index)] != 0;
@@ -408,7 +413,10 @@ SlabRaster build_slab(const LevelSweep& ls,
                 static_cast<std::size_t>(os.nx) * sizeof(double));
       },
       hto, &dstats);
-  if (ls.stats != nullptr) ls.stats->tiles_decoded += dstats.tiles_decoded;
+  if (ls.stats != nullptr) {
+    ls.stats->tiles_decoded += dstats.tiles_decoded;
+    ls.stats->cache_hits += dstats.cache_hits;
+  }
 
   // Switching cells read the redundant coarse data; under mean-fill the
   // stored values there are placeholders, so rebuild them from the fine
@@ -633,8 +641,19 @@ void sweep_level(const LevelSweep& ls, VisMethod method, double iso,
   bool prev_decoded = false;
   // Plain patch blobs have no partial decode: inflate each at most once
   // per sweep (held for the whole level sweep — they are the patches the
-  // chunk policy deemed small enough not to tile).
-  std::vector<std::optional<Array3<double>>> plain_cache(boxes.size());
+  // chunk policy deemed small enough not to tile). Without a shared
+  // service cache, a sweep-local unbounded store plays that role; chunked
+  // tiles stay uncached there so the <= 2 live decoded tiles per stream
+  // guarantee holds.
+  std::optional<compress::TileCache> local_store;
+  std::optional<compress::AmrTileCache> local_cache;
+  const bool shared = ls.options.cache != nullptr;
+  if (!shared) {
+    local_store.emplace(compress::TileCache::kUnbounded);
+    local_cache.emplace(*local_store, *ls.compressed);
+  }
+  const compress::AmrTileCache& cache =
+      shared ? *ls.options.cache : *local_cache;
   for (std::int64_t k = 0; k < nslab; ++k) {
     const std::int64_t z0 = k * T;
     const std::int64_t z1 = std::min(z0 + T - 1, ds.nz - 1);
@@ -651,7 +670,7 @@ void sweep_level(const LevelSweep& ls, VisMethod method, double iso,
     // has/uncovered planes feed the next iteration's seam windows, where
     // data-free cells are legitimately averaged around.
     SlabRaster cur =
-        build_slab(ls, tiles, decided, plain_cache, z0, z1, decode_k);
+        build_slab(ls, tiles, decided, cache, shared, z0, z1, decode_k);
     if (ls.stats != nullptr && decode_k) ls.stats->slabs_decoded += 1;
 
     if (emit_any) {
@@ -700,9 +719,7 @@ void sweep_level(const LevelSweep& ls, VisMethod method, double iso,
       std::size_t live = cur.bytes() + halo.bytes() +
                          static_cast<std::size_t>(wv.size()) *
                              (sizeof(double) + 4);
-      for (const auto& cached : plain_cache)
-        if (cached.has_value())
-          live += static_cast<std::size_t>(cached->size()) * sizeof(double);
+      if (local_store) live += local_store->counters().bytes;
       auto emit = [&](View3<const double> grid,
                       View3<const std::uint8_t> mask,
                       const GridTransform& tf) {

@@ -74,12 +74,21 @@ struct StreamedIsoOptions {
   bool value_cull = true;
   /// Pair decode-ahead inside each patch's TileStream.
   bool prefetch = true;
+  /// Optional shared decoded-tile cache bound to the hierarchy: plain
+  /// patches AND chunked tiles are served from / retained in it across
+  /// slabs, levels and whole queries (the concurrent query service
+  /// shares one byte-bounded cache across clients this way). When null,
+  /// each sweep uses its own unbounded plain-patch cache — the historical
+  /// behavior, keeping the <= 2 live decoded tiles per stream guarantee.
+  /// The mesh is bit-identical either way.
+  const compress::AmrTileCache* cache = nullptr;
 };
 
 /// Decode-work and memory instrumentation of one streamed extraction.
 struct StreamedIsoStats {
   std::int64_t tiles_decoded = 0;  ///< container tile decode events
   std::int64_t tiles_total = 0;    ///< tiles stored across all levels
+  std::int64_t cache_hits = 0;     ///< decodes served by a shared cache
   std::int64_t slabs_decoded = 0;
   std::int64_t slabs_total = 0;
   std::size_t peak_live_bytes = 0;  ///< rasters + vertex planes + masks

@@ -1,0 +1,269 @@
+// Concurrent query service (service/query_service.hpp): every query kind
+// returns bit-identical results to the uncached primitives, the shared
+// cache turns repeated work into hits, the batched front end prefetches
+// the deduplicated union of overlapping region ROIs, async submission
+// carries results and exceptions through futures, and — the S1 contract —
+// many client threads can hammer one service concurrently while each
+// request's stats stay coherent (run under TSan in CI).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "compress/compressor.hpp"
+#include "service/query_service.hpp"
+#include "sim/fields.hpp"
+#include "sim/tagging.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace amrvis::service {
+namespace {
+
+using amr::Box;
+using amr::IntVect;
+using compress::AmrCompressed;
+using compress::compress_hierarchy;
+using compress::make_compressor;
+using compress::RedundantHandling;
+
+struct Fixture {
+  std::unique_ptr<compress::Compressor> codec;
+  AmrCompressed compressed;
+  Box finest_domain;
+  double iso = 0.0;
+};
+
+/// Two-level hierarchy under a chunked codec (small tiles => real tile
+/// traffic for the cache), kKeep handling.
+Fixture make_fixture() {
+  Array3<double> field = sim::nyx_like_density({32, 32, 32});
+  sim::TaggingSpec spec;
+  spec.fine_fraction = 0.3;
+  spec.block = 4;
+  spec.max_grid_size = 16;
+  const sim::SyntheticDataset ds =
+      sim::build_two_level_hierarchy(std::move(field), spec);
+  Fixture f;
+  f.codec = make_compressor("chunked-sz-lr@16x16x8");
+  f.compressed = compress_hierarchy(ds.hierarchy, *f.codec, 1e-3,
+                                    RedundantHandling::kKeep);
+  f.finest_domain = f.compressed.domains.back();
+  const MinMax mm = compress::hierarchy_min_max(ds.hierarchy);
+  f.iso = 0.5 * (mm.min + mm.max);
+  return f;
+}
+
+void expect_mesh_identical(const vis::TriMesh& a, const vis::TriMesh& b) {
+  ASSERT_EQ(a.vertices.size(), b.vertices.size());
+  ASSERT_EQ(a.triangles.size(), b.triangles.size());
+  EXPECT_EQ(std::memcmp(a.vertices.data(), b.vertices.data(),
+                        a.vertices.size() * sizeof(vis::Vec3)),
+            0);
+  for (std::size_t t = 0; t < a.triangles.size(); ++t)
+    ASSERT_EQ(a.triangles[t].v, b.triangles[t].v) << "tri " << t;
+}
+
+TEST(QueryService, PointMatchesDirectSamplingAndRepeatsHitCache) {
+  const Fixture f = make_fixture();
+  QueryService svc(f.compressed, *f.codec);
+  const IntVect p{f.finest_domain.lo().x + 5, f.finest_domain.lo().y + 9,
+                  f.finest_domain.lo().z + 13};
+  const double direct =
+      amr::sample_point_compressed(f.compressed, *f.codec, p);
+
+  QueryStats s1;
+  EXPECT_EQ(svc.point(p, &s1), direct);
+  EXPECT_GE(s1.tiles_decoded, 1);
+  EXPECT_EQ(s1.cache_hits, 0);
+
+  QueryStats s2;
+  EXPECT_EQ(svc.point(p, &s2), direct);
+  EXPECT_EQ(s2.tiles_decoded, 0);  // entirely served from the cache
+  EXPECT_GE(s2.cache_hits, 1);
+
+  const auto ctr = svc.counters();
+  EXPECT_EQ(ctr.requests, 2u);
+  EXPECT_EQ(ctr.tiles_decoded, s1.tiles_decoded);
+  EXPECT_EQ(ctr.cache_hits, s2.cache_hits);
+}
+
+TEST(QueryService, PlaneAndRegionAreBitIdenticalToUncachedPaths) {
+  const Fixture f = make_fixture();
+  QueryService svc(f.compressed, *f.codec);
+  const std::int64_t zmid =
+      (f.finest_domain.lo().z + f.finest_domain.hi().z) / 2;
+
+  const Array3<double> direct_plane =
+      amr::sample_plane_compressed(f.compressed, *f.codec, 2, zmid);
+  const Array3<double> served = svc.plane(2, zmid);
+  ASSERT_EQ(served.shape(), direct_plane.shape());
+  for (std::int64_t i = 0; i < served.size(); ++i)
+    ASSERT_EQ(served[i], direct_plane[i]);
+
+  const Box roi{{2, 2, 2}, {25, 25, 25}};
+  const auto direct_region =
+      compress::decompress_level_region(f.compressed, *f.codec, 0, roi);
+  QueryStats rs;
+  const auto served_region = svc.region(0, roi, &rs);
+  ASSERT_EQ(served_region.size(), direct_region.size());
+  for (std::size_t rp = 0; rp < served_region.size(); ++rp) {
+    ASSERT_EQ(served_region[rp].box, direct_region[rp].box);
+    for (std::int64_t i = 0; i < served_region[rp].data.size(); ++i)
+      ASSERT_EQ(served_region[rp].data[i], direct_region[rp].data[i]);
+  }
+  EXPECT_GT(rs.tiles_decoded + rs.cache_hits, 0);
+  EXPECT_GE(rs.service_ms, 0.0);
+}
+
+TEST(QueryService, IsoMeshBitIdenticalToUncachedAndSecondRunAllHits) {
+  const Fixture f = make_fixture();
+  QueryService svc(f.compressed, *f.codec);
+  const vis::TriMesh direct = vis::amr_isosurface_streamed(
+      f.compressed, *f.codec, f.iso, vis::VisMethod::kDualCell);
+
+  QueryStats s1;
+  const vis::TriMesh served =
+      svc.isosurface(f.iso, vis::VisMethod::kDualCell, &s1);
+  expect_mesh_identical(served, direct);
+  ASSERT_FALSE(served.empty());
+
+  QueryStats s2;
+  const vis::TriMesh again =
+      svc.isosurface(f.iso, vis::VisMethod::kDualCell, &s2);
+  expect_mesh_identical(again, direct);
+  EXPECT_EQ(s2.tiles_decoded, 0);  // the whole working set stayed cached
+  EXPECT_GE(s2.cache_hits, s1.tiles_decoded);
+}
+
+TEST(QueryService, BatchMergePrefetchesOverlappingRegionsOnce) {
+  const Fixture f = make_fixture();
+  std::vector<Request> reqs;
+  reqs.push_back(Request::Region(0, Box{{0, 0, 0}, {19, 19, 19}}));
+  reqs.push_back(Request::Region(0, Box{{8, 8, 8}, {27, 27, 27}}));
+  reqs.push_back(Request::Region(0, Box{{4, 4, 4}, {15, 15, 23}}));
+
+  QueryService merged(f.compressed, *f.codec);
+  const auto responses = merged.run_batch(reqs);
+  ASSERT_EQ(responses.size(), reqs.size());
+  // The merge prefetched the deduplicated decode-unit union across the
+  // pool, so no request decoded anything itself — every tile it touched
+  // was already resident.
+  for (const Response& r : responses) {
+    EXPECT_EQ(r.stats.tiles_decoded, 0);
+    EXPECT_GT(r.stats.cache_hits, 0);
+    EXPECT_GE(r.stats.queue_ms, 0.0);
+  }
+
+  // Total decode work equals what an unmerged service ends up doing
+  // after its own cache dedup — the merge moves the work up front, it
+  // must not change the unique-tile count...
+  ServiceOptions unmerged_opts;
+  unmerged_opts.merge_regions = false;
+  QueryService unmerged(f.compressed, *f.codec, unmerged_opts);
+  const auto unmerged_responses = unmerged.run_batch(reqs);
+  EXPECT_EQ(merged.counters().tiles_decoded,
+            unmerged.counters().tiles_decoded);
+
+  // ...nor the bytes: responses are bit-identical either way.
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    ASSERT_EQ(responses[i].patches.size(),
+              unmerged_responses[i].patches.size());
+    for (std::size_t rp = 0; rp < responses[i].patches.size(); ++rp)
+      for (std::int64_t v = 0; v < responses[i].patches[rp].data.size();
+           ++v)
+        ASSERT_EQ(responses[i].patches[rp].data[v],
+                  unmerged_responses[i].patches[rp].data[v]);
+  }
+}
+
+TEST(QueryService, SubmitServesAsynchronouslyWithQueueTiming) {
+  const Fixture f = make_fixture();
+  QueryService svc(f.compressed, *f.codec);
+  const IntVect p{f.finest_domain.lo().x + 3, f.finest_domain.lo().y + 3,
+                  f.finest_domain.lo().z + 3};
+  const double direct =
+      amr::sample_point_compressed(f.compressed, *f.codec, p);
+  auto fut = svc.submit(Request::Point(p));
+  Response resp = fut.get();
+  EXPECT_EQ(resp.value, direct);
+  EXPECT_GE(resp.stats.queue_ms, 0.0);
+  EXPECT_GE(resp.stats.service_ms, 0.0);
+}
+
+TEST(QueryService, SubmitPropagatesQueryExceptionsThroughTheFuture) {
+  const Fixture f = make_fixture();
+  QueryService svc(f.compressed, *f.codec);
+  auto fut = svc.submit(
+      Request::Region(99, Box{{0, 0, 0}, {1, 1, 1}}));  // bad level
+  EXPECT_THROW(fut.get(), Error);
+}
+
+TEST(QueryService, ManyClientThreadsHammerOneServiceCoherently) {
+  // S1: concurrent clients share the service; per-request stats are
+  // stack-owned so no query can corrupt another's counts, and every
+  // value served concurrently matches the single-threaded reference.
+  // The TSan CI lane runs this to certify the no-data-race claim.
+  const Fixture f = make_fixture();
+  QueryService svc(f.compressed, *f.codec);
+  constexpr int kClients = 8;
+  constexpr int kReps = 5;
+  const std::int64_t zmid =
+      (f.finest_domain.lo().z + f.finest_domain.hi().z) / 2;
+  const Array3<double> ref_plane =
+      amr::sample_plane_compressed(f.compressed, *f.codec, 2, zmid);
+
+  std::atomic<int> mismatches{0};
+  std::atomic<int> stat_errors{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int t = 0; t < kClients; ++t)
+    clients.emplace_back([&, t] {
+      for (int rep = 0; rep < kReps; ++rep) {
+        // Point probes at client-distinct cells (wrapped into the
+        // finest domain, whatever its extent).
+        const Shape3 fs = f.finest_domain.shape();
+        const IntVect p{
+            f.finest_domain.lo().x + (3 + t * 5) % fs.nx,
+            f.finest_domain.lo().y + (2 + rep * 7) % fs.ny,
+            f.finest_domain.lo().z + 11 % fs.nz};
+        QueryStats ps;
+        const double got = svc.point(p, &ps);
+        const double want =
+            amr::sample_point_compressed(f.compressed, *f.codec, p);
+        if (got != want) mismatches.fetch_add(1);
+        if (ps.tiles_decoded + ps.cache_hits < 1) stat_errors.fetch_add(1);
+
+        // Region decodes with overlapping ROIs across clients.
+        const Box roi{{t, t, 0}, {t + 12, t + 12, 15}};
+        QueryStats rs;
+        const auto patches = svc.region(0, roi, &rs);
+        if (patches.empty()) mismatches.fetch_add(1);
+        if (rs.tiles_decoded + rs.cache_hits < 1) stat_errors.fetch_add(1);
+
+        // Plane slices, all identical to the reference.
+        QueryStats ss;
+        const Array3<double> plane = svc.plane(2, zmid, &ss);
+        for (std::int64_t i = 0; i < plane.size(); ++i)
+          if (plane[i] != ref_plane[i]) {
+            mismatches.fetch_add(1);
+            break;
+          }
+      }
+    });
+  for (auto& th : clients) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(stat_errors.load(), 0);
+  EXPECT_EQ(svc.counters().requests,
+            static_cast<std::uint64_t>(kClients * kReps * 3));
+  // The shared once-flag cache bounds total decode work: far fewer
+  // decodes than requests * touched tiles.
+  EXPECT_GT(svc.counters().cache_hits, 0);
+}
+
+}  // namespace
+}  // namespace amrvis::service

@@ -1,0 +1,242 @@
+// TileCache contract suite (the caching layer of the concurrent query
+// service): the byte budget is never exceeded at any point in time, N
+// concurrent readers of one key decode it exactly once (per-entry
+// once-flag), a decode that throws poisons nobody — the exception reaches
+// every waiter and the next call retries fresh — and the AmrTileCache
+// binding carries the per-patch sizing invariant by construction.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "compress/amr_compress.hpp"
+#include "compress/compressor.hpp"
+#include "compress/tile_cache.hpp"
+#include "sim/fields.hpp"
+#include "sim/tagging.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace amrvis::compress {
+namespace {
+
+/// Bytes of one s-shaped decoded tile.
+std::size_t tile_bytes(Shape3 s) {
+  return static_cast<std::size_t>(s.size()) * sizeof(double);
+}
+
+/// A decode producing an 8x8x8 tile whose cells encode `tag`.
+TileCache::Decode make_decode(double tag,
+                              std::atomic<int>* count = nullptr) {
+  return [tag, count] {
+    if (count != nullptr) count->fetch_add(1);
+    Array3<double> data({8, 8, 8});
+    for (std::int64_t f = 0; f < data.size(); ++f)
+      data[f] = tag + static_cast<double>(f);
+    return data;
+  };
+}
+
+TEST(TileCache, HitFlagSplitsDecodeWorkFromReuse) {
+  TileCache cache(TileCache::kUnbounded);
+  const std::uint64_t c = TileCache::new_container_id();
+  bool hit = true;
+  auto a = cache.get_or_decode(c, 0, make_decode(1.0), &hit);
+  EXPECT_FALSE(hit);  // this call ran the decode
+  auto b = cache.get_or_decode(c, 0, make_decode(2.0), &hit);
+  EXPECT_TRUE(hit);
+  // Served the FIRST decode's value; the second lambda never ran.
+  EXPECT_EQ((*b)(0, 0, 0), 1.0);
+  EXPECT_EQ(a.get(), b.get());
+  const auto ctr = cache.counters();
+  EXPECT_EQ(ctr.hits, 1);
+  EXPECT_EQ(ctr.misses, 1);
+  EXPECT_EQ(ctr.entries, 1);
+}
+
+TEST(TileCache, ByteBudgetNeverExceededUnderRandomWorkload) {
+  // Property test: across a randomized get/reuse workload the retained
+  // bytes NEVER exceed the budget — not just at rest, at every step.
+  const std::size_t one = tile_bytes({8, 8, 8});
+  TileCache cache(3 * one + one / 2);  // room for 3 tiles, not 4
+  const std::uint64_t c1 = TileCache::new_container_id();
+  const std::uint64_t c2 = TileCache::new_container_id();
+  Rng rng(0xC0FFEE);
+  std::atomic<int> decodes{0};
+  for (int step = 0; step < 500; ++step) {
+    const std::uint64_t c = (rng.next_u64() & 1) != 0 ? c1 : c2;
+    const auto tile = static_cast<std::int64_t>(rng.next_u64() % 12);
+    const auto v = cache.get_or_decode(
+        c, tile, make_decode(static_cast<double>(tile), &decodes));
+    ASSERT_EQ((*v)(0, 0, 0), static_cast<double>(tile));
+    const auto ctr = cache.counters();
+    ASSERT_LE(ctr.bytes, cache.byte_budget()) << "step " << step;
+    ASSERT_LE(ctr.peak_bytes, cache.byte_budget());
+    ASSERT_LE(ctr.entries, 3);
+  }
+  const auto ctr = cache.counters();
+  EXPECT_EQ(ctr.misses, decodes.load());
+  EXPECT_GT(ctr.evictions, 0);  // 24 keys through a 3-slot budget
+  EXPECT_GT(ctr.hits, 0);
+}
+
+TEST(TileCache, ConcurrentReadersDecodeExactlyOnce) {
+  TileCache cache(TileCache::kUnbounded);
+  const std::uint64_t c = TileCache::new_container_id();
+  constexpr int kReaders = 8;
+  std::atomic<int> decodes{0};
+  std::atomic<int> ready{0};
+  std::vector<std::thread> readers;
+  std::vector<double> seen(kReaders, 0.0);
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r)
+    readers.emplace_back([&, r] {
+      ready.fetch_add(1);
+      while (ready.load() < kReaders) std::this_thread::yield();
+      const auto v = cache.get_or_decode(c, 7, [&] {
+        decodes.fetch_add(1);
+        // Widen the in-flight window so waiters really overlap.
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        return make_decode(7.0)();
+      });
+      seen[static_cast<std::size_t>(r)] = (*v)(0, 0, 0);
+    });
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(decodes.load(), 1);  // the once-flag contract
+  for (double v : seen) EXPECT_EQ(v, 7.0);
+  const auto ctr = cache.counters();
+  EXPECT_EQ(ctr.misses, 1);
+  EXPECT_EQ(ctr.hits, kReaders - 1);
+}
+
+TEST(TileCache, ThrowingDecodeReachesAllWaitersThenRetriesFresh) {
+  TileCache cache(TileCache::kUnbounded);
+  const std::uint64_t c = TileCache::new_container_id();
+  constexpr int kReaders = 6;
+  std::atomic<int> attempts{0};
+  std::atomic<int> failures{0};
+  std::atomic<int> ready{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r)
+    readers.emplace_back([&] {
+      ready.fetch_add(1);
+      while (ready.load() < kReaders) std::this_thread::yield();
+      try {
+        cache.get_or_decode(c, 3, [&]() -> Array3<double> {
+          attempts.fetch_add(1);
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+          throw Error("decode boom");
+        });
+      } catch (const Error&) {
+        failures.fetch_add(1);
+      }
+    });
+  for (auto& t : readers) t.join();
+  // One in-flight decode threw; the decoding caller AND every waiter on
+  // that entry saw the exception. Late callers may have retried (each
+  // retry throws again), so attempts >= 1 and failures == kReaders.
+  EXPECT_GE(attempts.load(), 1);
+  EXPECT_EQ(failures.load(), kReaders);
+  EXPECT_GE(cache.counters().failed_decodes, 1);
+
+  // The failure was not cached: a later call decodes fresh and succeeds.
+  bool hit = true;
+  const auto v = cache.get_or_decode(c, 3, make_decode(3.5), &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ((*v)(0, 0, 0), 3.5);
+}
+
+TEST(TileCache, OversizedValueBypassesRetention) {
+  const std::size_t one = tile_bytes({8, 8, 8});
+  TileCache cache(one / 2);  // smaller than any decoded tile
+  const std::uint64_t c = TileCache::new_container_id();
+  const auto v = cache.get_or_decode(c, 0, make_decode(9.0));
+  EXPECT_EQ((*v)(0, 0, 0), 9.0);  // the value is served...
+  const auto ctr = cache.counters();
+  EXPECT_EQ(ctr.bypasses, 1);  // ...but never retained
+  EXPECT_EQ(ctr.bytes, 0u);
+  EXPECT_EQ(ctr.entries, 0);
+}
+
+TEST(TileCache, EvictsLeastRecentlyUsedFirst) {
+  const std::size_t one = tile_bytes({8, 8, 8});
+  TileCache cache(2 * one);  // two slots
+  const std::uint64_t c = TileCache::new_container_id();
+  std::atomic<int> decodes{0};
+  cache.get_or_decode(c, 0, make_decode(0.0, &decodes));  // A
+  cache.get_or_decode(c, 1, make_decode(1.0, &decodes));  // B
+  cache.get_or_decode(c, 0, make_decode(0.0, &decodes));  // touch A
+  cache.get_or_decode(c, 2, make_decode(2.0, &decodes));  // C evicts B
+  EXPECT_EQ(decodes.load(), 3);
+  bool hit = false;
+  cache.get_or_decode(c, 0, make_decode(0.0, &decodes), &hit);
+  EXPECT_TRUE(hit);  // A survived (recently used)
+  cache.get_or_decode(c, 1, make_decode(1.0, &decodes), &hit);
+  EXPECT_FALSE(hit);  // B was the LRU victim
+}
+
+TEST(TileCache, InvalidateDropsOneContainerOnly) {
+  TileCache cache(TileCache::kUnbounded);
+  const std::uint64_t c1 = TileCache::new_container_id();
+  const std::uint64_t c2 = TileCache::new_container_id();
+  cache.get_or_decode(c1, 0, make_decode(1.0));
+  cache.get_or_decode(c2, 0, make_decode(2.0));
+  cache.invalidate(c1);
+  bool hit = true;
+  cache.get_or_decode(c1, 0, make_decode(1.0), &hit);
+  EXPECT_FALSE(hit);  // c1 redecodes
+  cache.get_or_decode(c2, 0, make_decode(2.0), &hit);
+  EXPECT_TRUE(hit);  // c2 untouched
+}
+
+TEST(TileCache, ClearResetsRetention) {
+  TileCache cache(TileCache::kUnbounded);
+  const std::uint64_t c = TileCache::new_container_id();
+  cache.get_or_decode(c, 0, make_decode(1.0));
+  cache.clear();
+  const auto ctr = cache.counters();
+  EXPECT_EQ(ctr.bytes, 0u);
+  EXPECT_EQ(ctr.entries, 0);
+}
+
+TEST(AmrTileCacheBinding, RefIsSizedByConstructionAndBoundsChecked) {
+  Array3<double> field = sim::nyx_like_density({32, 32, 32});
+  sim::TaggingSpec spec;
+  spec.fine_fraction = 0.3;
+  spec.block = 4;
+  spec.max_grid_size = 16;
+  const sim::SyntheticDataset ds =
+      sim::build_two_level_hierarchy(std::move(field), spec);
+  const auto codec = make_compressor("sz-lr");
+  const AmrCompressed compressed = compress_hierarchy(
+      ds.hierarchy, *codec, 1e-3, RedundantHandling::kKeep);
+
+  TileCache store(TileCache::kUnbounded);
+  const AmrTileCache binding(store, compressed);
+  // Every (level, patch) of the hierarchy has a handle, each distinct.
+  std::vector<std::uint64_t> ids;
+  for (std::size_t l = 0; l < compressed.levels.size(); ++l)
+    for (std::size_t p = 0; p < compressed.levels[l].patches.size(); ++p) {
+      const TileCacheRef ref = binding.ref(static_cast<int>(l), p);
+      EXPECT_EQ(ref.cache, &store);
+      ids.push_back(ref.container);
+    }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+
+  // The old ad-hoc plain-cache required every consumer to re-check its
+  // size; the binding rejects out-of-range addressing at the source.
+  EXPECT_THROW(binding.ref(-1, 0), Error);
+  EXPECT_THROW(binding.ref(static_cast<int>(compressed.levels.size()), 0),
+               Error);
+  EXPECT_THROW(binding.ref(0, compressed.levels[0].patches.size()), Error);
+}
+
+}  // namespace
+}  // namespace amrvis::compress

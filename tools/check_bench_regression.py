@@ -53,10 +53,15 @@ import json
 import sys
 
 
-def records_of(doc):
-    """Flat records from either a trajectory file or a bench output."""
-    if "trajectory" in doc:
-        return doc["trajectory"][-1]["records"], doc["trajectory"][-1].get(
+def records_of(doc, lane="trajectory"):
+    """Flat records from either a trajectory file or a bench output.
+
+    `lane` selects which trajectory list of a committed BENCH_* file the
+    baseline comes from (default: the gated "trajectory" lane; pass
+    "trajectory_full" to gate the paper-scale lane). Flat bench outputs
+    ignore it."""
+    if lane in doc:
+        return doc[lane][-1]["records"], doc[lane][-1].get(
             "rev", "baseline")
     return doc.get("records", []), doc.get("bench", "baseline")
 
@@ -164,12 +169,15 @@ def main():
                          "record keys to gate")
     ap.add_argument("--tolerance", type=float, default=0.02,
                     help="quality mode: allowed fractional decrease")
+    ap.add_argument("--lane", default="trajectory",
+                    help="trajectory list to read the baseline from "
+                         "(e.g. trajectory_full for the paper-scale lane)")
     args = ap.parse_args()
 
     with open(args.baseline, encoding="utf-8") as f:
-        base_records, base_rev = records_of(json.load(f))
+        base_records, base_rev = records_of(json.load(f), args.lane)
     with open(args.current, encoding="utf-8") as f:
-        cur_records, _ = records_of(json.load(f))
+        cur_records, _ = records_of(json.load(f), args.lane)
 
     if args.mode == "quality":
         print(f"baseline: {args.baseline} ({base_rev})")

@@ -83,6 +83,23 @@ class RecordsOfTest(unittest.TestCase):
         self.assertEqual(records, [{"v": 2}])
         self.assertEqual(rev, "new")
 
+    def test_lane_selects_alternate_trajectory(self):
+        doc = {"trajectory": [{"rev": "default", "records": [{"v": 1}]}],
+               "trajectory_full": [
+                   {"rev": "full-old", "records": [{"v": 10}]},
+                   {"rev": "full-new", "records": [{"v": 20}]}]}
+        records, rev = cbr.records_of(doc, "trajectory_full")
+        self.assertEqual(records, [{"v": 20}])
+        self.assertEqual(rev, "full-new")
+
+    def test_missing_lane_falls_back_to_flat(self):
+        # A bench --json output has no trajectory lanes at all; any lane
+        # name degrades to the flat records list.
+        doc = {"bench": "b", "records": [{"a": 1}]}
+        records, rev = cbr.records_of(doc, "trajectory_full")
+        self.assertEqual(records, [{"a": 1}])
+        self.assertEqual(rev, "b")
+
     def test_missing_threads_defaults_to_one(self):
         # Pre-PR3 baselines carry no threads field; they must keep
         # matching the single-thread gate.
@@ -153,6 +170,21 @@ class ThroughputGateTest(GateHarness):
             [CONFIG, record("sz-lr", "compress", 60.0, threads=1)]))
         # 60 passes vs the old 50 but must fail vs the last entry's 100.
         self.assertEqual(self.run_gate(base, cur), 1)
+
+    def test_lane_flag_gates_the_named_trajectory(self):
+        # One file, two lanes: the default lane would pass, the full lane
+        # must be the one gated when --lane selects it.
+        doc = {"bench": "throughput",
+               "trajectory": [{"rev": "d", "records": [
+                   CONFIG, record("sz-lr", "compress", 50.0, threads=1)]}],
+               "trajectory_full": [{"rev": "f", "records": [
+                   CONFIG, record("sz-lr", "compress", 100.0, threads=1)]}]}
+        base = self.write("b.json", doc)
+        cur = self.write("c.json", self.flat(
+            [CONFIG, record("sz-lr", "compress", 60.0, threads=1)]))
+        self.assertEqual(self.run_gate(base, cur), 0)
+        self.assertEqual(
+            self.run_gate(base, cur, "--lane", "trajectory_full"), 1)
 
 
 class MinScalingTest(GateHarness):
