@@ -31,6 +31,7 @@
 #include "core/datasets.hpp"
 #include "service/query_service.hpp"
 #include "sim/tagging.hpp"
+#include "util/fault.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -112,6 +113,17 @@ int main(int argc, char** argv) {
   const Shape3 shape = smoke                  ? Shape3{32, 32, 64}
                        : cli.get_bool("full") ? Shape3{128, 128, 256}
                                               : Shape3{64, 64, 128};
+
+  // The fault-injection layer is compiled into every decode path this
+  // bench measures; the gated numbers are only meaningful with it
+  // DISARMED (one relaxed load per hook, the zero-cost-when-disabled
+  // claim the speedup gate now also guards).
+  if (amrvis::fault::enabled()) {
+    std::fprintf(stderr,
+                 "FATAL: a fault plan is armed (AMRVIS_FAULT_SPEC?); "
+                 "bench numbers would be meaningless\n");
+    return 1;
+  }
 
   Array3<double> field = core::uniform_truth_field(
       "warpx", shape, static_cast<std::uint64_t>(cli.get_int("seed")));
@@ -271,7 +283,8 @@ int main(int argc, char** argv) {
       .set("ny", shape.ny)
       .set("nz", shape.nz)
       .set("clients", static_cast<std::int64_t>(clients))
-      .set("reps", static_cast<std::int64_t>(reps));
+      .set("reps", static_cast<std::int64_t>(reps))
+      .set("fault_hooks", std::int64_t{0});  // layer present, disarmed
   report.add_record()
       .set("stage", "sequential")
       .set("queries", total_queries)

@@ -93,7 +93,8 @@ Array3<double> upsample_trilinear(View3<const double> coarse, std::int64_t r) {
 double sample_point_compressed(const compress::AmrCompressed& compressed,
                                const compress::Compressor& comp, IntVect p,
                                compress::RegionDecodeStats* stats,
-                               const compress::AmrTileCache* cache) {
+                               const compress::AmrTileCache* cache,
+                               const compress::LevelReadOptions& read) {
   const int nlev = static_cast<int>(compressed.levels.size());
   AMRVIS_REQUIRE_MSG(nlev >= 1, "sample_point_compressed: empty hierarchy");
   AMRVIS_REQUIRE_MSG(compressed.domains.back().contains(p),
@@ -107,7 +108,7 @@ double sample_point_compressed(const compress::AmrCompressed& compressed,
     compress::RegionDecodeStats rs;
     const auto rps =
         compress::decompress_level_region(compressed, comp, l, Box{pl, pl},
-                                          &rs, cache);
+                                          &rs, cache, read);
     if (!rps.empty()) {
       if (stats != nullptr) *stats = rs;
       // Overlapping same-level patches paint in patch order during
@@ -116,14 +117,18 @@ double sample_point_compressed(const compress::AmrCompressed& compressed,
     }
     r *= compressed.ref_ratio;
   }
-  throw Error("sample_point_compressed: point not covered by any level");
+  // With skip_patch in play this is a degraded no-coverage outcome, not
+  // corruption: every level's covering patches were skipped.
+  throw Error(ErrorCode::kUnavailable,
+              "sample_point_compressed: point not covered by any level");
 }
 
 Array3<double> sample_plane_compressed(
     const compress::AmrCompressed& compressed,
     const compress::Compressor& comp, int axis, std::int64_t index,
     compress::RegionDecodeStats* stats,
-    const compress::AmrTileCache* cache) {
+    const compress::AmrTileCache* cache,
+    const compress::LevelReadOptions& read) {
   const int nlev = static_cast<int>(compressed.levels.size());
   AMRVIS_REQUIRE_MSG(nlev >= 1, "sample_plane_compressed: empty hierarchy");
   AMRVIS_REQUIRE_MSG(axis >= 0 && axis < 3,
@@ -149,7 +154,7 @@ Array3<double> sample_plane_compressed(
     rlo[axis] = rhi[axis] = floor_div(index, r);
     compress::RegionDecodeStats rs;
     const auto rps = compress::decompress_level_region(
-        compressed, comp, l, Box{rlo, rhi}, &rs, cache);
+        compressed, comp, l, Box{rlo, rhi}, &rs, cache, read);
     agg.tiles_decoded += rs.tiles_decoded;
     agg.tiles_total += rs.tiles_total;
     agg.cache_hits += rs.cache_hits;
@@ -209,6 +214,7 @@ void for_each_tile_compressed(
   for (std::size_t p = 0; p < boxes.size(); ++p) {
     const auto overlap = boxes[p].intersect(region);
     if (!overlap) continue;
+    if (options.cancel != nullptr) options.cancel->check();
     const Bytes& blob = clevel.patches[p].blob;
     // The container speaks 0-based patch-local coordinates.
     const Box local{overlap->lo() - boxes[p].lo(),
@@ -223,6 +229,7 @@ void for_each_tile_compressed(
       compress::TileStreamOptions so;
       so.prefetch = options.prefetch;
       so.region = local;
+      so.cancel = options.cancel;
       if (options.cache != nullptr && options.cache_chunked_tiles)
         so.cache = options.cache->ref(level, p);
       if (options.tile_select)

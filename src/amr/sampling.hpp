@@ -47,11 +47,16 @@ Array3<double> coarsen_average(View3<const double> fine, std::int64_t r);
 /// Throws if `p` lies outside the finest-level domain. `stats`, when
 /// non-null, receives the decode counts of the one region decode issued.
 /// `cache`, when non-null (bound to `compressed`), serves repeated
-/// decodes from the shared tile cache.
-double sample_point_compressed(const compress::AmrCompressed& compressed,
-                               const compress::Compressor& comp, IntVect p,
-                               compress::RegionDecodeStats* stats = nullptr,
-                               const compress::AmrTileCache* cache = nullptr);
+/// decodes from the shared tile cache. `read` forwards cancellation and
+/// patch skipping (quarantine) to every level decode; a skipped fine
+/// patch degrades to the coarser data beneath it, and a point every
+/// covering level skips throws Error{kUnavailable}.
+double sample_point_compressed(
+    const compress::AmrCompressed& compressed,
+    const compress::Compressor& comp, IntVect p,
+    compress::RegionDecodeStats* stats = nullptr,
+    const compress::AmrTileCache* cache = nullptr,
+    const compress::LevelReadOptions& read = {});
 
 /// Axis-aligned plane slice (axis in {0,1,2}; `index` in finest index
 /// space) of a compressed hierarchy, composited coarse-to-fine at finest
@@ -63,7 +68,8 @@ Array3<double> sample_plane_compressed(
     const compress::AmrCompressed& compressed,
     const compress::Compressor& comp, int axis, std::int64_t index,
     compress::RegionDecodeStats* stats = nullptr,
-    const compress::AmrTileCache* cache = nullptr);
+    const compress::AmrTileCache* cache = nullptr,
+    const compress::LevelReadOptions& read = {});
 
 /// One streamed tile of a compressed hierarchy: which level/patch it came
 /// from, its cell box in that LEVEL's index space, the container stats
@@ -103,6 +109,10 @@ struct HierTileOptions {
   /// path, which must keep the <= 2 live decoded tiles guarantee.
   bool cache_chunked_tiles = false;
   bool prefetch = true;  ///< pair decode-ahead inside each patch stream
+  /// Optional cooperative deadline/cancellation, checked once per patch
+  /// and at tile granularity inside each chunked stream. The token must
+  /// outlive the call.
+  const util::CancelToken* cancel = nullptr;
 };
 
 /// Stream every stored tile of `level` intersecting `region` (a box in

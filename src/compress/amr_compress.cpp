@@ -199,7 +199,7 @@ AmrHierarchy decompress_hierarchy(const AmrCompressed& compressed,
 std::vector<RegionPatch> decompress_level_region(
     const AmrCompressed& compressed, const Compressor& comp, int level,
     const amr::Box& region, RegionDecodeStats* stats,
-    const AmrTileCache* cache) {
+    const AmrTileCache* cache, const LevelReadOptions& read) {
   AMRVIS_REQUIRE_MSG(comp.name() == compressed.compressor_name,
                      "decompress_level_region: codec mismatch");
   AMRVIS_REQUIRE_MSG(
@@ -215,6 +215,8 @@ std::vector<RegionPatch> decompress_level_region(
   for (std::size_t p = 0; p < boxes.size(); ++p) {
     const auto overlap = boxes[p].intersect(region);
     if (!overlap) continue;
+    if (read.cancel != nullptr) read.cancel->check();
+    if (read.skip_patch && read.skip_patch(level, p)) continue;
     const Bytes& blob = clevel.patches[p].blob;
     // The container speaks 0-based patch-local coordinates.
     const Box local{overlap->lo() - boxes[p].lo(),
@@ -227,15 +229,16 @@ std::vector<RegionPatch> decompress_level_region(
     if (chunked_codec != nullptr) {
       // The codec itself is chunked: every patch blob is a container.
       RegionDecodeStats rs;
-      rp.data = chunked_codec->decompress_region(blob, local, &rs, cref);
+      rp.data = chunked_codec->decompress_region(blob, local, &rs, cref,
+                                                 read.cancel);
       agg.tiles_decoded += rs.tiles_decoded;
       agg.tiles_total += rs.tiles_total;
       agg.cache_hits += rs.cache_hits;
     } else if (ChunkedCompressor::is_chunked_blob(blob)) {
       // Oversized patch routed through the container at compress time.
       RegionDecodeStats rs;
-      rp.data =
-          ChunkedCompressor(comp).decompress_region(blob, local, &rs, cref);
+      rp.data = ChunkedCompressor(comp).decompress_region(blob, local, &rs,
+                                                          cref, read.cancel);
       agg.tiles_decoded += rs.tiles_decoded;
       agg.tiles_total += rs.tiles_total;
       agg.cache_hits += rs.cache_hits;

@@ -16,11 +16,13 @@
 //   not serialize the pipeline; the per-patch blob is then a chunked
 //   container, detected by magic on the decompress side.
 
+#include <functional>
 #include <vector>
 
 #include "amr/hierarchy.hpp"
 #include "compress/chunked.hpp"
 #include "compress/compressor.hpp"
+#include "util/cancel.hpp"
 #include "util/stats.hpp"
 
 namespace amrvis::compress {
@@ -131,10 +133,24 @@ struct RegionPatch {
 /// (must be bound to `compressed`), serves repeated tile/patch decodes
 /// from the shared store — values stay bit-identical, only the decode
 /// work moves.
+/// Robustness knobs of the level read paths (decompress_level_region and
+/// the compressed sampling entry points that forward to it).
+struct LevelReadOptions {
+  /// Checked at patch and tile granularity; fires as
+  /// Error{kCancelled}/Error{kTimeout}.
+  const util::CancelToken* cancel = nullptr;
+  /// When set, patches it returns true for are skipped entirely — not
+  /// decoded, not returned. The query service serves quarantined
+  /// containers in this degraded mode (coarser data fills in for point/
+  /// plane sampling) instead of failing the whole request.
+  std::function<bool(int level, std::size_t patch)> skip_patch;
+};
+
 std::vector<RegionPatch> decompress_level_region(
     const AmrCompressed& compressed, const Compressor& comp, int level,
     const amr::Box& region, RegionDecodeStats* stats = nullptr,
-    const AmrTileCache* cache = nullptr);
+    const AmrTileCache* cache = nullptr,
+    const LevelReadOptions& read = {});
 
 /// Global min/max over all stored cells of the hierarchy.
 MinMax hierarchy_min_max(const amr::AmrHierarchy& hier);

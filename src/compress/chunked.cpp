@@ -7,6 +7,7 @@
 #include <limits>
 #include <memory>
 
+#include "util/fault.hpp"
 #include "util/parallel.hpp"
 
 namespace amrvis::compress {
@@ -64,22 +65,25 @@ TileStats ParsedContainer::stats_of(std::int64_t t) const {
   return stats[static_cast<std::size_t>(t)];
 }
 
-ParsedContainer parse_container(std::span<const std::uint8_t> blob,
-                                const std::string& expect_codec) {
-  ByteReader r(blob);
-  AMRVIS_REQUIRE_MSG(r.get<std::uint32_t>() == kMagic,
-                     "chunked: bad container magic");
+namespace {
+
+thread_local int lenient_stats_depth = 0;
+
+ParsedContainer parse_body(ByteReader& r, const std::string& expect_codec) {
+  AMRVIS_CHECK(ErrorCode::kCorruptHeader, r.get<std::uint32_t>() == kMagic,
+               "chunked: bad container magic");
   ParsedContainer pc;
   pc.version = r.get<std::uint16_t>();
-  AMRVIS_REQUIRE_MSG(pc.version >= kVersionV1 && pc.version <= kVersionV3,
-                     "chunked: unsupported container version");
+  AMRVIS_CHECK(ErrorCode::kCorruptHeader,
+               pc.version >= kVersionV1 && pc.version <= kVersionV3,
+               "chunked: unsupported container version");
   const auto name_len = r.get<std::uint16_t>();
   const auto name_bytes = r.get_bytes(name_len);
   const std::string codec(reinterpret_cast<const char*>(name_bytes.data()),
                           name_bytes.size());
-  AMRVIS_REQUIRE_MSG(codec == expect_codec,
-                     "chunked: codec mismatch (container says '" + codec +
-                         "', decoding with '" + expect_codec + "')");
+  AMRVIS_CHECK(ErrorCode::kCorruptHeader, codec == expect_codec,
+               "chunked: codec mismatch (container says '" + codec +
+                   "', decoding with '" + expect_codec + "')");
 
   pc.shape.nx = r.get<std::int64_t>();
   pc.shape.ny = r.get<std::int64_t>();
@@ -90,21 +94,24 @@ ParsedContainer parse_container(std::span<const std::uint8_t> blob,
   const Shape3& s = pc.shape;
   // Per-axis bound first, then the cell cap via division so the product
   // itself can never overflow int64 on a corrupt header (2^24 cubed would).
-  AMRVIS_REQUIRE_MSG(s.valid() && s.nx <= kMaxDim && s.ny <= kMaxDim &&
-                         s.nz <= kMaxDim && s.ny <= kMaxCells / s.nx &&
-                         s.nz <= kMaxCells / (s.nx * s.ny),
-                     "chunked: implausible field shape");
-  AMRVIS_REQUIRE_MSG(pc.tile.valid() && pc.tile.nx <= kMaxDim &&
-                         pc.tile.ny <= kMaxDim && pc.tile.nz <= kMaxDim,
-                     "chunked: implausible tile shape");
+  AMRVIS_CHECK(ErrorCode::kCorruptHeader,
+               s.valid() && s.nx <= kMaxDim && s.ny <= kMaxDim &&
+                   s.nz <= kMaxDim && s.ny <= kMaxCells / s.nx &&
+                   s.nz <= kMaxCells / (s.nx * s.ny),
+               "chunked: implausible field shape");
+  AMRVIS_CHECK(ErrorCode::kCorruptHeader,
+               pc.tile.valid() && pc.tile.nx <= kMaxDim &&
+                   pc.tile.ny <= kMaxDim && pc.tile.nz <= kMaxDim,
+               "chunked: implausible tile shape");
 
   // Tiles per axis never exceed cells per axis (tile extents >= 1), so
   // the count is bounded by the validated cell count — no overflow.
   pc.grid = tile_grid(s, pc.tile);
   pc.ntiles = pc.grid.count();
-  AMRVIS_REQUIRE_MSG(
-      r.get<std::uint64_t>() == static_cast<std::uint64_t>(pc.ntiles),
-      "chunked: tile count does not match shape/tile header");
+  AMRVIS_CHECK(ErrorCode::kCorruptHeader,
+               r.get<std::uint64_t>() ==
+                   static_cast<std::uint64_t>(pc.ntiles),
+               "chunked: tile count does not match shape/tile header");
   // The fixed-size tables (u64 size, a min/max double pair in v2+, six
   // more pairs of face ranges in v3) must fit in what the blob actually
   // carries before any ntiles-sized allocation happens: a ~100-byte
@@ -114,21 +121,31 @@ ParsedContainer parse_container(std::span<const std::uint8_t> blob,
       sizeof(std::uint64_t) +
       (pc.version >= kVersionV2 ? 2 * sizeof(double) : 0) +
       (pc.version >= kVersionV3 ? 12 * sizeof(double) : 0);
-  AMRVIS_REQUIRE_MSG(
-      r.remaining() / entry_bytes >= static_cast<std::uint64_t>(pc.ntiles),
-      "chunked: tile size/stats tables exceed container");
+  AMRVIS_CHECK(ErrorCode::kCorruptHeader,
+               r.remaining() / entry_bytes >=
+                   static_cast<std::uint64_t>(pc.ntiles),
+               "chunked: tile size/stats tables exceed container");
 
   std::vector<std::uint64_t> sizes(static_cast<std::size_t>(pc.ntiles));
   for (auto& sz : sizes) sz = r.get<std::uint64_t>();
+  // An invalid stats/faces entry normally rejects the container; under a
+  // ScopedLenientStats (the iso fallback path) the table is still consumed
+  // byte-wise but dropped wholesale at the end — the v1 "every tile may
+  // hold anything" semantics, conservative and never wrong.
+  bool stats_ok = true;
   if (pc.version >= kVersionV2) {
     pc.stats.resize(static_cast<std::size_t>(pc.ntiles));
     for (auto& st : pc.stats) {
       st.min = r.get<double>();
       st.max = r.get<double>();
-      // Also rejects NaN (comparison is false): a stats table the culling
-      // predicate cannot trust is a corrupt container.
-      AMRVIS_REQUIRE_MSG(st.min <= st.max,
-                         "chunked: corrupt tile stats (min > max)");
+      // `min <= max` also rejects NaN (comparison is false): a stats table
+      // the culling predicate cannot trust is a corrupt container.
+      if (!(st.min <= st.max)) {
+        if (lenient_stats_depth == 0)
+          throw Error(ErrorCode::kStatsInvalid,
+                      "chunked: corrupt tile stats (min > max)");
+        stats_ok = false;
+      }
     }
   }
   if (pc.version >= kVersionV3) {
@@ -140,10 +157,18 @@ ParsedContainer parse_container(std::span<const std::uint8_t> blob,
         // NaN rejected the same way; a face slab is NOT required to be a
         // sub-range of the tile range (an all-NaN slab legally records
         // the conservative (-inf, +inf) inside a finite-ranged tile).
-        AMRVIS_REQUIRE_MSG(st.min <= st.max,
-                           "chunked: corrupt tile face stats (min > max)");
+        if (!(st.min <= st.max)) {
+          if (lenient_stats_depth == 0)
+            throw Error(ErrorCode::kStatsInvalid,
+                        "chunked: corrupt tile face stats (min > max)");
+          stats_ok = false;
+        }
       }
     }
+  }
+  if (!stats_ok) {
+    pc.stats.clear();
+    pc.faces.clear();
   }
   // Slice the payload serially; get_bytes bounds-checks every size against
   // the remaining payload, so corrupt sizes throw here instead of reading
@@ -151,8 +176,42 @@ ParsedContainer parse_container(std::span<const std::uint8_t> blob,
   pc.tiles.resize(static_cast<std::size_t>(pc.ntiles));
   for (std::size_t t = 0; t < pc.tiles.size(); ++t)
     pc.tiles[t] = r.get_bytes(static_cast<std::size_t>(sizes[t]));
-  AMRVIS_REQUIRE_MSG(r.remaining() == 0, "chunked: trailing container bytes");
+  AMRVIS_CHECK(ErrorCode::kCorruptHeader, r.remaining() == 0,
+               "chunked: trailing container bytes");
   return pc;
+}
+
+}  // namespace
+
+ScopedLenientStats::ScopedLenientStats() { ++lenient_stats_depth; }
+ScopedLenientStats::~ScopedLenientStats() { --lenient_stats_depth; }
+bool lenient_stats_active() { return lenient_stats_depth > 0; }
+
+ParsedContainer parse_container(std::span<const std::uint8_t> blob,
+                                const std::string& expect_codec) {
+  AMRVIS_FAULT_POINT(fault::Site::kHeaderParse);
+  ByteReader r(blob);
+  try {
+    return parse_body(r, expect_codec);
+  } catch (const Error& e) {
+    const ErrorContext at{0, ErrorContext::kNoTile,
+                          static_cast<std::int64_t>(r.position())};
+    // ByteReader bounds failures (and anything untyped) surfacing here
+    // mean the container itself is truncated: header corruption.
+    if (e.code() == ErrorCode::kCorruptPayload ||
+        e.code() == ErrorCode::kGeneric)
+      throw Error(ErrorCode::kCorruptHeader, e.message(), at);
+    throw e.with_context(at);
+  }
+}
+
+Array3<double> decode_tile(const Compressor& inner,
+                           std::span<const std::uint8_t> blob) {
+  if (fault::enabled()) {
+    if (auto mutated = fault::on_op(fault::Site::kTileDecode, blob))
+      return inner.decompress(*mutated);
+  }
+  return inner.decompress(blob);
 }
 
 }  // namespace detail
@@ -332,21 +391,26 @@ Array3<double> ChunkedCompressor::decompress(
   Array3<double> out(pc.shape);
   parallel_for(pc.ntiles, [&](std::int64_t t) {
     const TileBox b = tile_box(t, pc.grid, pc.shape, pc.tile);
-    const Array3<double> tdata =
-        inner().decompress(pc.tiles[static_cast<std::size_t>(t)]);
-    AMRVIS_REQUIRE_MSG(tdata.shape() == b.ext,
-                       "chunked: tile shape does not match its slot");
-    for (std::int64_t dz = 0; dz < b.ext.nz; ++dz)
-      for (std::int64_t dy = 0; dy < b.ext.ny; ++dy)
-        std::memcpy(&out(b.i0, b.j0 + dy, b.k0 + dz), &tdata(0, dy, dz),
-                    static_cast<std::size_t>(b.ext.nx) * sizeof(double));
+    try {
+      const Array3<double> tdata = detail::decode_tile(
+          inner(), pc.tiles[static_cast<std::size_t>(t)]);
+      AMRVIS_CHECK(ErrorCode::kDecodeFailure, tdata.shape() == b.ext,
+                   "chunked: tile shape does not match its slot");
+      for (std::int64_t dz = 0; dz < b.ext.nz; ++dz)
+        for (std::int64_t dy = 0; dy < b.ext.ny; ++dy)
+          std::memcpy(&out(b.i0, b.j0 + dy, b.k0 + dz), &tdata(0, dy, dz),
+                      static_cast<std::size_t>(b.ext.nx) * sizeof(double));
+    } catch (const Error& e) {
+      throw e.with_context({.tile = t});
+    }
   });
   return out;
 }
 
 Array3<double> ChunkedCompressor::decompress_region(
     std::span<const std::uint8_t> blob, const amr::Box& region,
-    RegionDecodeStats* stats, const TileCacheRef& cache) const {
+    RegionDecodeStats* stats, const TileCacheRef& cache,
+    const util::CancelToken* cancel) const {
   const ParsedContainer pc = parse_container(blob, inner().name());
   const amr::Box field = amr::Box::from_shape(pc.shape);
   AMRVIS_REQUIRE_MSG(field.contains(region),
@@ -374,41 +438,45 @@ Array3<double> ChunkedCompressor::decompress_region(
   parallel_for(static_cast<std::int64_t>(hit.size()), [&](std::int64_t h) {
     const std::int64_t t = hit[static_cast<std::size_t>(h)];
     const TileBox b = tile_box(t, pc.grid, pc.shape, pc.tile);
-    auto decode = [&] {
-      Array3<double> td =
-          inner().decompress(pc.tiles[static_cast<std::size_t>(t)]);
-      AMRVIS_REQUIRE_MSG(td.shape() == b.ext,
-                         "chunked: tile shape does not match its slot");
-      return td;
-    };
-    std::shared_ptr<const Array3<double>> shared;
-    Array3<double> local;
-    const Array3<double>* tdata = nullptr;
-    if (cache) {
-      bool was_hit = false;
-      shared = cache.cache->get_or_decode(cache.container, t, decode,
-                                          &was_hit);
-      if (was_hit) cached_hits.fetch_add(1, std::memory_order_relaxed);
-      // A cached tile skipped our decode lambda (and its shape check).
-      AMRVIS_REQUIRE_MSG(shared->shape() == b.ext,
-                         "chunked: cached tile shape does not match its "
-                         "slot");
-      tdata = shared.get();
-    } else {
-      local = decode();
-      tdata = &local;
+    try {
+      if (cancel != nullptr) cancel->check();
+      auto decode = [&] {
+        Array3<double> td = detail::decode_tile(
+            inner(), pc.tiles[static_cast<std::size_t>(t)]);
+        AMRVIS_CHECK(ErrorCode::kDecodeFailure, td.shape() == b.ext,
+                     "chunked: tile shape does not match its slot");
+        return td;
+      };
+      std::shared_ptr<const Array3<double>> shared;
+      Array3<double> local;
+      const Array3<double>* tdata = nullptr;
+      if (cache) {
+        bool was_hit = false;
+        shared = cache.cache->get_or_decode(cache.container, t, decode,
+                                            &was_hit);
+        if (was_hit) cached_hits.fetch_add(1, std::memory_order_relaxed);
+        // A cached tile skipped our decode lambda (and its shape check).
+        AMRVIS_CHECK(ErrorCode::kDecodeFailure, shared->shape() == b.ext,
+                     "chunked: cached tile shape does not match its slot");
+        tdata = shared.get();
+      } else {
+        local = decode();
+        tdata = &local;
+      }
+      const auto ov = tile_cell_box(b).intersect(region);
+      AMRVIS_REQUIRE(ov.has_value());
+      const Shape3 os = ov->shape();
+      for (std::int64_t dz = 0; dz < os.nz; ++dz)
+        for (std::int64_t dy = 0; dy < os.ny; ++dy)
+          std::memcpy(&out(ov->lo().x - region.lo().x,
+                           ov->lo().y - region.lo().y + dy,
+                           ov->lo().z - region.lo().z + dz),
+                      &(*tdata)(ov->lo().x - b.i0, ov->lo().y - b.j0 + dy,
+                                ov->lo().z - b.k0 + dz),
+                      static_cast<std::size_t>(os.nx) * sizeof(double));
+    } catch (const Error& e) {
+      throw e.with_context({cache ? cache.container : 0, t, -1});
     }
-    const auto ov = tile_cell_box(b).intersect(region);
-    AMRVIS_REQUIRE(ov.has_value());
-    const Shape3 os = ov->shape();
-    for (std::int64_t dz = 0; dz < os.nz; ++dz)
-      for (std::int64_t dy = 0; dy < os.ny; ++dy)
-        std::memcpy(&out(ov->lo().x - region.lo().x,
-                         ov->lo().y - region.lo().y + dy,
-                         ov->lo().z - region.lo().z + dz),
-                    &(*tdata)(ov->lo().x - b.i0, ov->lo().y - b.j0 + dy,
-                              ov->lo().z - b.k0 + dz),
-                    static_cast<std::size_t>(os.nx) * sizeof(double));
   });
   if (stats != nullptr) {
     const std::int64_t hits = cached_hits.load(std::memory_order_relaxed);

@@ -63,6 +63,7 @@
 #include "amr/box.hpp"
 #include "compress/compressor.hpp"
 #include "compress/tile_cache.hpp"
+#include "util/cancel.hpp"
 
 namespace amrvis::compress {
 
@@ -156,6 +157,30 @@ struct ParsedContainer {
 ParsedContainer parse_container(std::span<const std::uint8_t> blob,
                                 const std::string& expect_codec);
 
+/// While alive on this thread, parse_container degrades an invalid
+/// stats/faces table to "no table" (the conservative v1 semantics: every
+/// tile may hold anything) instead of throwing Error{kStatsInvalid}.
+/// Header and payload corruption still throw. The scope is thread-local
+/// ambient state: it covers the serving thread's parse calls only, which
+/// is where every parse in the query pipeline happens — tile decode work
+/// handed to pool workers never re-parses the header.
+class ScopedLenientStats {
+ public:
+  ScopedLenientStats();
+  ~ScopedLenientStats();
+  ScopedLenientStats(const ScopedLenientStats&) = delete;
+  ScopedLenientStats& operator=(const ScopedLenientStats&) = delete;
+};
+
+[[nodiscard]] bool lenient_stats_active();
+
+/// The one true tile-payload decode: the fault-injection tile-decode site
+/// (throw / bit-flip) wraps the inner codec here, so every decode path —
+/// full inflate, region decode, tile stream, cache fill, batch prefetch —
+/// is instrumentable.
+Array3<double> decode_tile(const Compressor& inner,
+                           std::span<const std::uint8_t> blob);
+
 }  // namespace detail
 
 class ChunkedCompressor final : public Compressor {
@@ -188,10 +213,12 @@ class ChunkedCompressor final : public Compressor {
   /// `cache`, when engaged, serves/retains whole decoded tiles keyed by
   /// (cache.container, slot) — concurrent queries for the same tile
   /// decode it once, and stats split into tiles_decoded vs cache_hits.
+  /// `cancel`, when non-null, is checked at tile granularity and aborts
+  /// the decode with Error{kCancelled}/Error{kTimeout}.
   [[nodiscard]] Array3<double> decompress_region(
       std::span<const std::uint8_t> blob, const amr::Box& region,
-      RegionDecodeStats* stats = nullptr,
-      const TileCacheRef& cache = {}) const;
+      RegionDecodeStats* stats = nullptr, const TileCacheRef& cache = {},
+      const util::CancelToken* cancel = nullptr) const;
 
   /// Value-range tile cull: the tiles whose recorded [min, max] range
   /// intersects [lo, hi], without touching the payload. On a v1

@@ -291,11 +291,21 @@ std::vector<std::uint32_t> huffman_decode(
     std::span<const std::uint8_t> blob) {
   ByteReader r(blob);
   const auto count = r.get<std::uint64_t>();
+  // count is attacker-controlled on a corrupt blob; every decoded symbol
+  // consumes at least one payload bit, so the whole blob bounds it and an
+  // unbounded reserve cannot OOM.
+  AMRVIS_CHECK(ErrorCode::kCorruptPayload,
+               count <= static_cast<std::uint64_t>(blob.size()) * 8,
+               "huffman: symbol count exceeds payload capacity");
   std::vector<std::uint32_t> out;
   out.reserve(static_cast<std::size_t>(count));
   if (count == 0) return out;
 
   const auto table_size = r.get<std::uint32_t>();
+  // Each table entry consumes at least two stream bytes (delta + length).
+  AMRVIS_CHECK(ErrorCode::kCorruptPayload,
+               table_size <= r.remaining(),
+               "huffman: corrupt table size");
   std::vector<SymbolLength> by_symbol;
   by_symbol.reserve(table_size);
   std::uint32_t prev = 0;
@@ -305,7 +315,8 @@ std::vector<std::uint32_t> huffman_decode(
     while (true) {
       // A corrupt run of continuation bytes would push the shift past the
       // type width (undefined behavior); 5 bytes cover any 32-bit delta.
-      AMRVIS_REQUIRE_MSG(shift < 32, "huffman: corrupt symbol delta");
+      AMRVIS_CHECK(ErrorCode::kCorruptPayload, shift < 32,
+                   "huffman: corrupt symbol delta");
       const auto byte = r.get<std::uint8_t>();
       delta |= static_cast<std::uint32_t>(byte & 0x7f) << shift;
       if (!(byte & 0x80)) break;
@@ -315,8 +326,8 @@ std::vector<std::uint32_t> huffman_decode(
     const auto len = r.get<std::uint8_t>();
     // Validated at parse time: an unchecked length would index the
     // fixed-size per-length arrays below out of bounds.
-    AMRVIS_REQUIRE_MSG(len >= 1 && len <= kMaxCodeLen,
-                       "huffman: corrupt code length");
+    AMRVIS_CHECK(ErrorCode::kCorruptPayload, len >= 1 && len <= kMaxCodeLen,
+                 "huffman: corrupt code length");
     by_symbol.push_back({prev, len});
     // Next delta is relative to this symbol.
   }
@@ -387,13 +398,15 @@ std::vector<std::uint32_t> huffman_decode(
             code < first_code[len] + count_at_len[len])
           break;
       }
-      AMRVIS_REQUIRE_MSG(len <= kMaxCodeLen, "huffman: corrupt stream");
+      AMRVIS_CHECK(ErrorCode::kCorruptPayload, len <= kMaxCodeLen,
+                   "huffman: corrupt stream");
       const std::uint64_t idx = first_index[len] + (code - first_code[len]);
       symbol = cc.lengths[static_cast<std::size_t>(idx)].symbol;
       bits.consume(len);
     }
-    AMRVIS_REQUIRE_MSG(bits.consumed_bits() <= total_bits,
-                       "huffman: corrupt stream (out of bits)");
+    AMRVIS_CHECK(ErrorCode::kCorruptPayload,
+                 bits.consumed_bits() <= total_bits,
+                 "huffman: corrupt stream (out of bits)");
     out.push_back(symbol);
   }
   return out;

@@ -205,18 +205,36 @@ Bytes SzInterpCompressor::compress(View3<const double> data,
 Array3<double> SzInterpCompressor::decompress(
     std::span<const std::uint8_t> blob) const {
   ByteReader r(blob);
-  AMRVIS_REQUIRE_MSG(r.get<std::uint32_t>() == kMagic, "sz-interp: bad magic");
+  AMRVIS_CHECK(ErrorCode::kCorruptPayload, r.get<std::uint32_t>() == kMagic,
+               "sz-interp: bad magic");
   Shape3 sh;
   sh.nx = r.get<std::int64_t>();
   sh.ny = r.get<std::int64_t>();
   sh.nz = r.get<std::int64_t>();
   const double abs_eb = r.get<double>();
   const std::int64_t S = r.get<std::int64_t>();
-  AMRVIS_REQUIRE_MSG(S >= 2, "sz-interp: corrupt anchor stride");
+  // Header fields are attacker-controlled on a corrupt blob: reject
+  // shapes that would overflow the cell count before anything is
+  // allocated or looped over.
+  constexpr std::int64_t kMaxDim = std::int64_t{1} << 24;
+  constexpr std::int64_t kMaxCells = std::int64_t{1} << 31;
+  AMRVIS_CHECK(ErrorCode::kCorruptPayload,
+               sh.nx >= 1 && sh.ny >= 1 && sh.nz >= 1 && sh.nx <= kMaxDim &&
+                   sh.ny <= kMaxDim && sh.nz <= kMaxDim &&
+                   sh.ny <= kMaxCells / sh.nx &&
+                   sh.nz <= kMaxCells / (sh.nx * sh.ny),
+               "sz-interp: corrupt shape");
+  AMRVIS_CHECK(ErrorCode::kCorruptPayload, S >= 2 && S <= kMaxDim,
+               "sz-interp: corrupt anchor stride");
 
   const auto choice_span = r.get_blob();
   const Bytes choices(choice_span.begin(), choice_span.end());
   const auto n_anchor = r.get<std::uint64_t>();
+  // Checked before the multiply: a corrupt count near 2^61 would wrap the
+  // byte size and sneak past get_bytes' own bounds check.
+  AMRVIS_CHECK(ErrorCode::kCorruptPayload,
+               n_anchor <= r.remaining() / sizeof(double),
+               "sz-interp: truncated anchor stream");
   const auto anchor_bytes =
       r.get_bytes(static_cast<std::size_t>(n_anchor) * sizeof(double));
   std::vector<double> anchors(static_cast<std::size_t>(n_anchor));
@@ -226,36 +244,42 @@ Array3<double> SzInterpCompressor::decompress(
   const auto n_outliers = r.get<std::uint64_t>();
   // Checked before the multiply: a corrupt count near 2^61 would wrap the
   // byte size and sneak past get_bytes' own bounds check.
-  AMRVIS_REQUIRE_MSG(n_outliers <= r.remaining() / sizeof(double),
-                     "sz-interp: truncated outlier stream");
+  AMRVIS_CHECK(ErrorCode::kCorruptPayload,
+               n_outliers <= r.remaining() / sizeof(double),
+               "sz-interp: truncated outlier stream");
   const auto outlier_bytes =
       r.get_bytes(static_cast<std::size_t>(n_outliers) * sizeof(double));
   std::vector<double> outliers(static_cast<std::size_t>(n_outliers));
   std::memcpy(outliers.data(), outlier_bytes.data(), outlier_bytes.size());
+
+  // Validated BEFORE the output allocation and placement loop: a corrupt
+  // count smaller than the anchor grid would otherwise read past the
+  // anchors vector, and a corrupt shape would commit cells the stored
+  // streams never encoded.
+  const auto expected_anchors = static_cast<std::size_t>(
+      ((sh.nx + S - 1) / S) * ((sh.ny + S - 1) / S) * ((sh.nz + S - 1) / S));
+  AMRVIS_CHECK(ErrorCode::kCorruptPayload,
+               anchors.size() == expected_anchors,
+               "sz-interp: anchor count mismatch");
+
+  // Every non-anchor point is the target of exactly one sweep, so the
+  // code stream must hold one code per remaining point. One upfront
+  // completeness check replaces the seed's per-point test.
+  AMRVIS_CHECK(
+      ErrorCode::kCorruptPayload,
+      codes.size() >= static_cast<std::size_t>(sh.size()) - anchors.size(),
+      "sz-interp: truncated code stream");
 
   const LinearQuantizer quant(abs_eb);
   Array3<double> out(sh);
   double* rb = out.data();
   auto recon = out.view();
 
-  // Validated BEFORE the placement loop: a corrupt count smaller than
-  // the anchor grid would otherwise read past the anchors vector.
-  const auto expected_anchors = static_cast<std::size_t>(
-      ((sh.nx + S - 1) / S) * ((sh.ny + S - 1) / S) * ((sh.nz + S - 1) / S));
-  AMRVIS_REQUIRE_MSG(anchors.size() == expected_anchors,
-                     "sz-interp: anchor count mismatch");
   std::size_t anchor_pos = 0;
   for (std::int64_t k = 0; k < sh.nz; k += S)
     for (std::int64_t j = 0; j < sh.ny; j += S)
       for (std::int64_t i = 0; i < sh.nx; i += S)
         recon(i, j, k) = anchors[anchor_pos++];
-
-  // Every non-anchor point is the target of exactly one sweep, so the
-  // code stream must hold one code per remaining point. One upfront
-  // completeness check replaces the seed's per-point test.
-  AMRVIS_REQUIRE_MSG(
-      codes.size() >= static_cast<std::size_t>(sh.size()) - anchors.size(),
-      "sz-interp: truncated code stream");
 
   std::size_t code_pos = 0, outlier_pos = 0, choice_pos = 0;
   for (std::int64_t s = S; s >= 2; s /= 2) {
@@ -264,8 +288,8 @@ Array3<double> SzInterpCompressor::decompress(
       const AxisGeom g{axis, h, s};
       const std::int64_t n_axis = axis == 0 ? sh.nx : (axis == 1 ? sh.ny
                                                                  : sh.nz);
-      AMRVIS_REQUIRE_MSG(choice_pos < choices.size(),
-                         "sz-interp: truncated choice stream");
+      AMRVIS_CHECK(ErrorCode::kCorruptPayload, choice_pos < choices.size(),
+                   "sz-interp: truncated choice stream");
       const bool cubic = choices[choice_pos++] != 0;
       if (h >= n_axis && h > 0) continue;
       const std::int64_t estride = element_stride(sh, axis);

@@ -145,7 +145,8 @@ Bytes lzss_decode(std::span<const std::uint8_t> blob) {
   // out_size is attacker-controlled on a corrupt blob; an unbounded
   // reserve can OOM. Cap it at the maximum possible expansion of the
   // token stream actually present before allocating anything.
-  AMRVIS_REQUIRE_MSG(
+  AMRVIS_CHECK(
+      ErrorCode::kCorruptPayload,
       out_size <= static_cast<std::uint64_t>(tokens.size()) *
                       kMaxExpansionPerTokenByte,
       "lzss: output size exceeds maximum token-stream expansion");
@@ -154,23 +155,27 @@ Bytes lzss_decode(std::span<const std::uint8_t> blob) {
   out.reserve(static_cast<std::size_t>(out_size));
   std::size_t t = 0;
   while (out.size() < out_size) {
-    AMRVIS_REQUIRE_MSG(t < tokens.size(), "lzss: truncated token stream");
+    AMRVIS_CHECK(ErrorCode::kCorruptPayload, t < tokens.size(),
+                 "lzss: truncated token stream");
     const std::uint8_t control = tokens[t++];
     for (int bit = 0; bit < 8 && out.size() < out_size; ++bit) {
       if (control & (1u << bit)) {
-        AMRVIS_REQUIRE_MSG(t + 3 <= tokens.size(), "lzss: truncated match");
+        AMRVIS_CHECK(ErrorCode::kCorruptPayload, t + 3 <= tokens.size(),
+                     "lzss: truncated match");
         const std::size_t off = static_cast<std::size_t>(tokens[t]) |
                                 (static_cast<std::size_t>(tokens[t + 1]) << 8);
         const std::size_t actual_off = off == 0 ? kWindow : off;
         const std::size_t len = static_cast<std::size_t>(tokens[t + 2]) +
                                 kMinMatch;
         t += 3;
-        AMRVIS_REQUIRE_MSG(actual_off <= out.size(), "lzss: bad offset");
+        AMRVIS_CHECK(ErrorCode::kCorruptPayload, actual_off <= out.size(),
+                     "lzss: bad offset");
         const std::size_t start = out.size() - actual_off;
         for (std::size_t k = 0; k < len; ++k)
           out.push_back(out[start + k]);  // may self-overlap, byte-by-byte
       } else {
-        AMRVIS_REQUIRE_MSG(t < tokens.size(), "lzss: truncated literal");
+        AMRVIS_CHECK(ErrorCode::kCorruptPayload, t < tokens.size(),
+                     "lzss: truncated literal");
         out.push_back(tokens[t++]);
       }
     }

@@ -72,8 +72,9 @@ class LinearQuantizer {
                 std::span<const double> outliers,
                 std::size_t& outlier_pos) const {
     if (code == 0) {
-      AMRVIS_REQUIRE_MSG(outlier_pos < outliers.size(),
-                         "quantizer: truncated outlier stream");
+      AMRVIS_CHECK(ErrorCode::kCorruptPayload,
+                   outlier_pos < outliers.size(),
+                   "quantizer: truncated outlier stream");
       return outliers[outlier_pos++];
     }
     const auto q =

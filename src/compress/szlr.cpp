@@ -28,10 +28,12 @@ std::int64_t get_svarint(std::span<const std::uint8_t> in, std::size_t& pos) {
   std::uint64_t u = 0;
   int shift = 0;
   while (true) {
-    AMRVIS_REQUIRE_MSG(pos < in.size(), "szlr: truncated coeff stream");
+    AMRVIS_CHECK(ErrorCode::kCorruptPayload, pos < in.size(),
+                 "szlr: truncated coeff stream");
     // Guard the shift before it passes the type width (UB on a corrupt
     // run of continuation bytes); 10 bytes cover any 64-bit value.
-    AMRVIS_REQUIRE_MSG(shift < 64, "szlr: corrupt coeff varint");
+    AMRVIS_CHECK(ErrorCode::kCorruptPayload, shift < 64,
+                 "szlr: corrupt coeff varint");
     const std::uint8_t b = in[pos++];
     u |= static_cast<std::uint64_t>(b & 0x7f) << shift;
     if (!(b & 0x80)) break;
@@ -337,14 +339,27 @@ Bytes SzLrCompressor::compress(View3<const double> data,
 Array3<double> SzLrCompressor::decompress(
     std::span<const std::uint8_t> blob) const {
   ByteReader r(blob);
-  AMRVIS_REQUIRE_MSG(r.get<std::uint32_t>() == kMagic,
-                     "szlr: bad magic");
+  AMRVIS_CHECK(ErrorCode::kCorruptPayload, r.get<std::uint32_t>() == kMagic,
+               "szlr: bad magic");
   Shape3 s;
   s.nx = r.get<std::int64_t>();
   s.ny = r.get<std::int64_t>();
   s.nz = r.get<std::int64_t>();
   const double abs_eb = r.get<double>();
   const auto bs = static_cast<std::int64_t>(r.get<std::int32_t>());
+  // Header fields are attacker-controlled on a corrupt blob: reject
+  // shapes that would overflow the cell count and strides that would
+  // divide by zero BEFORE anything is allocated or looped over.
+  constexpr std::int64_t kMaxDim = std::int64_t{1} << 24;
+  constexpr std::int64_t kMaxCells = std::int64_t{1} << 31;
+  AMRVIS_CHECK(ErrorCode::kCorruptPayload,
+               s.nx >= 1 && s.ny >= 1 && s.nz >= 1 && s.nx <= kMaxDim &&
+                   s.ny <= kMaxDim && s.nz <= kMaxDim &&
+                   s.ny <= kMaxCells / s.nx &&
+                   s.nz <= kMaxCells / (s.nx * s.ny),
+               "szlr: corrupt shape");
+  AMRVIS_CHECK(ErrorCode::kCorruptPayload, bs >= 2 && bs <= kMaxDim,
+               "szlr: corrupt block size");
 
   const Bytes choice_bits = lzss_decode(r.get_blob());
   const Bytes coeff_stream = lzss_decode(r.get_blob());
@@ -353,12 +368,21 @@ Array3<double> SzLrCompressor::decompress(
   const auto n_outliers = r.get<std::uint64_t>();
   // Checked before the multiply: a corrupt count near 2^61 would wrap the
   // byte size and sneak past get_bytes' own bounds check.
-  AMRVIS_REQUIRE_MSG(n_outliers <= r.remaining() / sizeof(double),
-                     "sz-lr: truncated outlier stream");
+  AMRVIS_CHECK(ErrorCode::kCorruptPayload,
+               n_outliers <= r.remaining() / sizeof(double),
+               "sz-lr: truncated outlier stream");
   const auto outlier_bytes =
       r.get_bytes(static_cast<std::size_t>(n_outliers) * sizeof(double));
   std::vector<double> outliers(static_cast<std::size_t>(n_outliers));
   std::memcpy(outliers.data(), outlier_bytes.data(), outlier_bytes.size());
+
+  // One upfront completeness check instead of one per point: a truncated
+  // code stream throws before any block is decoded (the seed threw at the
+  // first missing code). Ordered before the output allocation so a
+  // corrupt shape cannot commit cells the stored streams never encoded.
+  AMRVIS_CHECK(ErrorCode::kCorruptPayload,
+               static_cast<std::int64_t>(codes.size()) >= s.size(),
+               "szlr: truncated code stream");
 
   const LinearQuantizer quant(abs_eb);
   Array3<double> out(s);
@@ -372,13 +396,6 @@ Array3<double> SzLrCompressor::decompress(
   const std::int64_t nbx = (s.nx + bs - 1) / bs;
   const std::int64_t nby = (s.ny + bs - 1) / bs;
   const std::int64_t nbz = (s.nz + bs - 1) / bs;
-
-  // One upfront completeness check instead of one per point: a truncated
-  // code stream throws before any block is decoded (the seed threw at the
-  // first missing code).
-  AMRVIS_REQUIRE_MSG(
-      static_cast<std::int64_t>(codes.size()) >= s.size(),
-      "szlr: truncated code stream");
 
   CoeffCodec coeffs(abs_eb, static_cast<int>(bs));
   std::size_t coeff_pos = 0;
@@ -397,8 +414,9 @@ Array3<double> SzLrCompressor::decompress(
         g.ey = std::min(bs, s.ny - g.j0);
         g.ez = std::min(bs, s.nz - g.k0);
         g.interior = g.i0 > 0 && g.j0 > 0 && g.k0 > 0;
-        AMRVIS_REQUIRE_MSG(block_idx < choice_bits.size(),
-                           "szlr: truncated choice stream");
+        AMRVIS_CHECK(ErrorCode::kCorruptPayload,
+                     block_idx < choice_bits.size(),
+                     "szlr: truncated choice stream");
         const bool use_regression = choice_bits[block_idx] != 0;
 
         if (use_regression) {

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace amrvis::compress {
 
@@ -45,6 +46,12 @@ std::shared_ptr<const Array3<double>> TileCache::get_or_decode(
   std::promise<Value> mine;
   {
     std::lock_guard<std::mutex> lk(mu_);
+    if (quarantined_.count(key) != 0) {
+      counters_.quarantine_refusals += 1;
+      throw Error(ErrorCode::kQuarantined,
+                  "tile_cache: slot is quarantined",
+                  {container, tile, -1});
+    }
     auto it = map_.find(key);
     if (it != map_.end()) {
       if (it->second.ready) {
@@ -77,6 +84,9 @@ std::shared_ptr<const Array3<double>> TileCache::get_or_decode(
   Value value;
   try {
     value = std::make_shared<const Array3<double>>(decode());
+    // An injected cache-insert fault takes the failure path below — the
+    // same unwinding a decode throw exercises, at the publish boundary.
+    AMRVIS_FAULT_POINT(::amrvis::fault::Site::kCacheInsert);
   } catch (...) {
     // Poison the waiters with the same exception, drop the entry so a
     // later call retries fresh, and rethrow to this caller.
@@ -85,6 +95,7 @@ std::shared_ptr<const Array3<double>> TileCache::get_or_decode(
       auto it = map_.find(key);
       if (it != map_.end() && it->second.owner == &mine) map_.erase(it);
       counters_.failed_decodes += 1;
+      failures_[key] += 1;
     }
     mine.set_exception(std::current_exception());
     throw;
@@ -145,6 +156,52 @@ void TileCache::clear() {
   lru_.clear();
   counters_.bytes = 0;
   counters_.entries = 0;
+}
+
+void TileCache::quarantine(std::uint64_t container, std::int64_t tile) {
+  const Key key{container, tile};
+  std::lock_guard<std::mutex> lk(mu_);
+  quarantined_.insert(key);
+  // Drop any retained value for the slot: a quarantined tile must not be
+  // servable from a stale cache entry.
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    if (it->second.ready) {
+      counters_.bytes -= it->second.bytes;
+      counters_.entries -= 1;
+      lru_.erase(it->second.lru_it);
+    }
+    map_.erase(it);
+  }
+}
+
+void TileCache::unquarantine(std::uint64_t container) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto it = quarantined_.begin(); it != quarantined_.end();) {
+    if (it->container == container)
+      it = quarantined_.erase(it);
+    else
+      ++it;
+  }
+  for (auto it = failures_.begin(); it != failures_.end();) {
+    if (it->first.container == container)
+      it = failures_.erase(it);
+    else
+      ++it;
+  }
+}
+
+bool TileCache::is_quarantined(std::uint64_t container,
+                               std::int64_t tile) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return quarantined_.count(Key{container, tile}) != 0;
+}
+
+std::int64_t TileCache::failure_count(std::uint64_t container,
+                                      std::int64_t tile) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = failures_.find(Key{container, tile});
+  return it == failures_.end() ? 0 : it->second;
 }
 
 TileCache::Counters TileCache::counters() const {

@@ -40,6 +40,7 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "util/array3d.hpp"
 
@@ -88,6 +89,23 @@ class TileCache {
   /// Drop every completed entry.
   void clear();
 
+  /// Slot-level quarantine (the circuit breaker's enforcement hook). A
+  /// quarantined (container, tile) refuses get_or_decode with
+  /// Error{kQuarantined} — it never decodes and never blocks a waiter.
+  /// Quarantine is always EXPLICIT: a failed decode only increments
+  /// failure_count (retry-fresh stays the default), and only
+  /// quarantine()/unquarantine() change the refused set, so one bad tile
+  /// blocks exactly as long as its quarantining caller decides.
+  void quarantine(std::uint64_t container, std::int64_t tile);
+  /// Lift the quarantine (and reset failure counts) for every slot of
+  /// `container`.
+  void unquarantine(std::uint64_t container);
+  [[nodiscard]] bool is_quarantined(std::uint64_t container,
+                                    std::int64_t tile) const;
+  /// Decode failures recorded for one slot since its last unquarantine.
+  [[nodiscard]] std::int64_t failure_count(std::uint64_t container,
+                                           std::int64_t tile) const;
+
   /// Point-in-time counters (monotonic except bytes/entries).
   struct Counters {
     std::int64_t hits = 0;        ///< served without running decode
@@ -95,6 +113,7 @@ class TileCache {
     std::int64_t evictions = 0;   ///< completed entries LRU-evicted
     std::int64_t bypasses = 0;    ///< values larger than the whole budget
     std::int64_t failed_decodes = 0;
+    std::int64_t quarantine_refusals = 0;  ///< requests refused by quarantine
     std::size_t bytes = 0;        ///< retained bytes right now
     std::size_t peak_bytes = 0;   ///< high-water mark of `bytes`
     std::int64_t entries = 0;     ///< retained entries right now
@@ -140,6 +159,8 @@ class TileCache {
   mutable std::mutex mu_;
   std::unordered_map<Key, Entry, KeyHash> map_;
   std::list<Key> lru_;  ///< front = most recently used
+  std::unordered_map<Key, std::int64_t, KeyHash> failures_;
+  std::unordered_set<Key, KeyHash> quarantined_;
   Counters counters_{};
 };
 

@@ -21,7 +21,8 @@ TileStream::TileStream(const ChunkedCompressor& codec,
     : codec_(&codec),
       pc_(detail::parse_container(blob, codec.inner().name())),
       prefetch_(options.prefetch),
-      cache_(options.cache) {
+      cache_(options.cache),
+      cancel_(options.cancel) {
   const bool band = options.order == TileStreamOptions::Order::kValueBand;
   if (band) {
     AMRVIS_REQUIRE_MSG(options.band_lo <= options.band_hi,
@@ -60,14 +61,25 @@ void TileStream::refill() {
   buffer_.resize(batch);
   head_ = 0;
   // A decode failure must not leave half-constructed tiles behind a live
-  // head_: poison the stream so later next() calls throw instead of
-  // handing out default StreamTiles as data.
+  // head_: the buffer is dropped and the cursor does not advance, so the
+  // NEXT next() call retries the same batch once — a transient failure
+  // clears losslessly. A second consecutive failure poisons the stream so
+  // later next() calls throw instead of handing out default StreamTiles
+  // as data.
   try {
+    if (cancel_ != nullptr) cancel_->check();
     decode_batch(batch);
+    batch_failures_ = 0;
+  } catch (const Error& e) {
+    buffer_.clear();
+    head_ = 0;
+    failed_ctx_ = e.context();
+    if (++batch_failures_ >= 2) poisoned_ = true;
+    throw;
   } catch (...) {
     buffer_.clear();
     head_ = 0;
-    poisoned_ = true;
+    if (++batch_failures_ >= 2) poisoned_ = true;
     throw;
   }
   cursor_ += batch;
@@ -90,30 +102,37 @@ void TileStream::decode_batch(std::size_t batch) {
     out.index = t;
     out.box = detail::tile_cell_box(tb);
     out.stats = pc_.stats_of(t);
-    if (cache_) {
-      bool was_hit = false;
-      const auto shared = cache_.cache->get_or_decode(
-          cache_.container, t,
-          [&] {
-            return codec_->inner().decompress(
-                pc_.tiles[static_cast<std::size_t>(t)]);
-          },
-          &was_hit);
-      if (was_hit) cache_hits_.fetch_add(1, std::memory_order_relaxed);
-      out.data = *shared;  // the caller owns its buffer (next() moves it)
-    } else {
-      out.data = codec_->inner().decompress(
-          pc_.tiles[static_cast<std::size_t>(t)]);
+    try {
+      if (cache_) {
+        bool was_hit = false;
+        const auto shared = cache_.cache->get_or_decode(
+            cache_.container, t,
+            [&] {
+              return detail::decode_tile(
+                  codec_->inner(), pc_.tiles[static_cast<std::size_t>(t)]);
+            },
+            &was_hit);
+        if (was_hit) cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        out.data = *shared;  // the caller owns its buffer (next() moves it)
+      } else {
+        out.data = detail::decode_tile(
+            codec_->inner(), pc_.tiles[static_cast<std::size_t>(t)]);
+      }
+      AMRVIS_CHECK(ErrorCode::kDecodeFailure, out.data.shape() == tb.ext,
+                   "tile_stream: tile shape does not match its slot");
+    } catch (const Error& e) {
+      throw e.with_context({cache_ ? cache_.container : 0, t, -1});
     }
-    AMRVIS_REQUIRE_MSG(out.data.shape() == tb.ext,
-                       "tile_stream: tile shape does not match its slot");
   });
 }
 
 std::optional<StreamTile> TileStream::next() {
-  AMRVIS_REQUIRE_MSG(!poisoned_,
-                     "tile_stream: a previous tile decode failed; the "
-                     "stream cannot continue");
+  if (poisoned_) {
+    throw Error(ErrorCode::kDecodeFailure,
+                "tile_stream: a tile decode failed twice; the stream "
+                "cannot continue",
+                failed_ctx_);
+  }
   if (head_ == buffer_.size()) {
     if (cursor_ == selected_.size()) return std::nullopt;
     refill();

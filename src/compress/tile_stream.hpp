@@ -31,10 +31,14 @@
 // prefetch on or off, serial or threaded (each tile blob is decoded by
 // the wrapped codec's single-thread-deterministic decoder). A codec
 // exception inside the prefetch batch is rethrown from next() on the
-// calling thread, exactly as a serial decode would throw; the stream is
-// then poisoned — further next() calls throw instead of yielding tiles,
-// so a catch-and-continue caller can never mistake an undecoded buffer
-// for data.
+// calling thread, exactly as a serial decode would throw; the thrown
+// Error carries the (container id, slot) of the failed tile. The cursor
+// does not advance, so ONE subsequent next() call retries the failed
+// batch — a transient failure (e.g. an injected fault) clears and the
+// stream continues losslessly. A second consecutive failure poisons the
+// stream: further next() calls throw Error{kDecodeFailure} instead of
+// yielding tiles, so a catch-and-continue caller can never mistake an
+// undecoded buffer for data.
 //
 // Lifetime: the stream aliases both the codec and the blob — the caller
 // keeps them alive for the stream's lifetime.
@@ -80,6 +84,10 @@ struct TileStreamOptions {
   /// The yielded sequence and every byte stay identical; only the decode
   /// work moves (cache_hits() counts the tiles that skipped a decode).
   TileCacheRef cache{};
+  /// Optional cancellation/deadline token checked before each decode
+  /// batch; fires as Error{kCancelled}/Error{kTimeout} from next(). The
+  /// token must outlive the stream.
+  const util::CancelToken* cancel = nullptr;
 };
 
 class TileStream {
@@ -127,6 +135,7 @@ class TileStream {
   detail::ParsedContainer pc_;
   bool prefetch_;
   TileCacheRef cache_;
+  const util::CancelToken* cancel_ = nullptr;
   std::vector<std::int64_t> selected_;  ///< slot indices, ascending
   std::size_t cursor_ = 0;              ///< next selected_ entry to decode
   std::vector<StreamTile> buffer_;      ///< decoded, not yet handed out
@@ -136,7 +145,9 @@ class TileStream {
   /// members may hit the cache at once (the S1 counter-safety contract;
   /// the other counters are only written after the batch joins).
   std::atomic<std::int64_t> cache_hits_{0};
-  bool poisoned_ = false;  ///< a decode threw; next() refuses to continue
+  int batch_failures_ = 0;  ///< consecutive failures of the CURRENT batch
+  bool poisoned_ = false;   ///< the batch failed twice; next() refuses
+  ErrorContext failed_ctx_{};  ///< (container, slot) of the failed tile
   int peak_live_tiles_ = 0;
   std::size_t peak_live_bytes_ = 0;
 };

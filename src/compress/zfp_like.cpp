@@ -214,16 +214,33 @@ Bytes ZfpLikeCompressor::compress(View3<const double> data,
 Array3<double> ZfpLikeCompressor::decompress(
     std::span<const std::uint8_t> blob) const {
   ByteReader r(blob);
-  AMRVIS_REQUIRE_MSG(r.get<std::uint32_t>() == kMagic, "zfp-like: bad magic");
+  AMRVIS_CHECK(ErrorCode::kCorruptPayload, r.get<std::uint32_t>() == kMagic,
+               "zfp-like: bad magic");
   Shape3 s;
   s.nx = r.get<std::int64_t>();
   s.ny = r.get<std::int64_t>();
   s.nz = r.get<std::int64_t>();
   (void)r.get<double>();  // abs_eb (informational)
+  // Header fields are attacker-controlled on a corrupt blob: reject
+  // shapes that would overflow the cell count before anything is
+  // allocated or looped over.
+  constexpr std::int64_t kMaxDim = std::int64_t{1} << 24;
+  constexpr std::int64_t kMaxCells = std::int64_t{1} << 31;
+  AMRVIS_CHECK(ErrorCode::kCorruptPayload,
+               s.nx >= 1 && s.ny >= 1 && s.nz >= 1 && s.nx <= kMaxDim &&
+                   s.ny <= kMaxDim && s.nz <= kMaxDim &&
+                   s.ny <= kMaxCells / s.nx &&
+                   s.nz <= kMaxCells / (s.nx * s.ny),
+               "zfp-like: corrupt shape");
   const Bytes exponents = lzss_decode(r.get_blob());
   const std::vector<std::uint32_t> symbols =
       huffman_decode(lzss_decode(r.get_blob()));
   const auto n_escapes = r.get<std::uint64_t>();
+  // Checked before the multiply: a corrupt count near 2^61 would wrap the
+  // byte size and sneak past get_bytes' own bounds check.
+  AMRVIS_CHECK(ErrorCode::kCorruptPayload,
+               n_escapes <= r.remaining() / sizeof(std::int64_t),
+               "zfp-like: truncated escape stream");
   const auto escape_bytes =
       r.get_bytes(static_cast<std::size_t>(n_escapes) * sizeof(std::int64_t));
   std::vector<std::int64_t> escapes(static_cast<std::size_t>(n_escapes));
@@ -234,6 +251,16 @@ Array3<double> ZfpLikeCompressor::decompress(
   const std::int64_t nby = (s.ny + kBlock - 1) / kBlock;
   const std::int64_t nbz = (s.nz + kBlock - 1) / kBlock;
 
+  // Every block consumes exactly 1 + kBlockCells symbols; checked before
+  // the output allocation so a corrupt shape cannot commit cells the
+  // stored streams never encoded (nbx*nby*nbz <= cells <= kMaxCells, so
+  // the product cannot overflow).
+  AMRVIS_CHECK(ErrorCode::kCorruptPayload,
+               static_cast<std::uint64_t>(symbols.size()) >=
+                   static_cast<std::uint64_t>(nbx * nby * nbz) *
+                       (1 + kBlockCells),
+               "zfp-like: truncated symbols");
+
   Array3<double> out(s);
   auto ov = out.view();
   std::size_t sym = 0;
@@ -241,20 +268,32 @@ Array3<double> ZfpLikeCompressor::decompress(
   for (std::int64_t bk = 0; bk < nbz; ++bk)
     for (std::int64_t bj = 0; bj < nby; ++bj)
       for (std::int64_t bi = 0; bi < nbx; ++bi) {
-        AMRVIS_REQUIRE_MSG(eb_pos + 2 <= exponents.size(),
-                           "zfp-like: truncated exponents");
+        AMRVIS_CHECK(ErrorCode::kCorruptPayload,
+                     eb_pos + 2 <= exponents.size(),
+                     "zfp-like: truncated exponents");
         const int e = static_cast<std::int16_t>(
             static_cast<std::uint16_t>(exponents[eb_pos]) |
             (static_cast<std::uint16_t>(exponents[eb_pos + 1]) << 8));
         eb_pos += 2;
-        AMRVIS_REQUIRE_MSG(sym + 1 + kBlockCells <= symbols.size(),
-                           "zfp-like: truncated symbols");
+        AMRVIS_CHECK(ErrorCode::kCorruptPayload,
+                     sym + 1 + kBlockCells <= symbols.size(),
+                     "zfp-like: truncated symbols");
         const int shift = static_cast<int>(symbols[sym++]);
+        // A corrupt shift past the type width is UB in `rounded << shift`.
+        AMRVIS_CHECK(ErrorCode::kCorruptPayload, shift >= 0 && shift < 64,
+                     "zfp-like: corrupt block shift");
         std::int64_t q[kBlockCells];
         for (int c = 0; c < kBlockCells; ++c) {
           const std::uint32_t symbol = symbols[sym++];
-          const std::int64_t rounded =
-              symbol == kEscape ? escapes.at(escape_pos++) : unzigzag(symbol);
+          std::int64_t rounded;
+          if (symbol == kEscape) {
+            AMRVIS_CHECK(ErrorCode::kCorruptPayload,
+                         escape_pos < escapes.size(),
+                         "zfp-like: truncated escape stream");
+            rounded = escapes[escape_pos++];
+          } else {
+            rounded = unzigzag(symbol);
+          }
           q[c] = rounded << shift;
         }
         inv_transform(q);

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <memory>
 #include <optional>
+#include <thread>
 #include <unordered_set>
 #include <utility>
 
@@ -42,6 +43,17 @@ struct DecodeUnitHash {
     return static_cast<std::size_t>(h * 0xbf58476d1ce4e5b9ULL);
   }
 };
+
+/// Failure codes the circuit breaker counts: data-level decode problems
+/// attributable to one (container, tile). Deadlines, cancellations and
+/// quarantine refusals are request-scoped, not evidence of bad storage.
+bool counts_toward_breaker(ErrorCode code) {
+  return code == ErrorCode::kDecodeFailure ||
+         code == ErrorCode::kCorruptPayload ||
+         code == ErrorCode::kCorruptHeader ||
+         code == ErrorCode::kStatsInvalid ||
+         code == ErrorCode::kFaultInjected;
+}
 
 }  // namespace
 
@@ -88,106 +100,234 @@ QueryService::QueryService(const compress::AmrCompressed& compressed,
                      "query_service: codec mismatch");
 }
 
-void QueryService::account(const QueryStats& s) {
+void QueryService::account(const Response& resp) {
   requests_.fetch_add(1, std::memory_order_relaxed);
-  tiles_decoded_.fetch_add(s.tiles_decoded, std::memory_order_relaxed);
-  cache_hits_.fetch_add(s.cache_hits, std::memory_order_relaxed);
+  tiles_decoded_.fetch_add(resp.stats.tiles_decoded,
+                           std::memory_order_relaxed);
+  cache_hits_.fetch_add(resp.stats.cache_hits, std::memory_order_relaxed);
+  if (!resp.outcome.ok())
+    failures_.fetch_add(1, std::memory_order_relaxed);
+  else if (resp.outcome.degraded())
+    degraded_.fetch_add(1, std::memory_order_relaxed);
+  retries_.fetch_add(static_cast<std::uint64_t>(resp.outcome.retries),
+                     std::memory_order_relaxed);
 }
 
 QueryService::Counters QueryService::counters() const {
   return {requests_.load(std::memory_order_relaxed),
           tiles_decoded_.load(std::memory_order_relaxed),
-          cache_hits_.load(std::memory_order_relaxed)};
+          cache_hits_.load(std::memory_order_relaxed),
+          failures_.load(std::memory_order_relaxed),
+          retries_.load(std::memory_order_relaxed),
+          degraded_.load(std::memory_order_relaxed)};
+}
+
+bool QueryService::is_patch_quarantined(int level, std::size_t patch) {
+  if (!has_quarantined_.load(std::memory_order_relaxed)) return false;
+  const std::uint64_t container = cache_.ref(level, patch).container;
+  std::lock_guard<std::mutex> lk(breaker_mu_);
+  return quarantined_.count(container) != 0;
+}
+
+void QueryService::record_failure(const Error& e) {
+  if (options_.quarantine_failures <= 0) return;
+  if (!counts_toward_breaker(e.code())) return;
+  const ErrorContext& c = e.context();
+  if (c.container == 0 || c.tile == ErrorContext::kNoTile) return;
+  std::lock_guard<std::mutex> lk(breaker_mu_);
+  auto& slots = failed_slots_[c.container];
+  slots.insert(c.tile);
+  if (static_cast<int>(slots.size()) >= options_.quarantine_failures &&
+      quarantined_.insert(c.container).second) {
+    // Enforce at the cache layer too, so read paths that bypass the
+    // patch-skip predicate (iso tile streams) refuse the bad slots
+    // instead of re-decoding garbage.
+    for (const std::int64_t slot : slots) store_.quarantine(c.container, slot);
+    has_quarantined_.store(true, std::memory_order_relaxed);
+  }
+}
+
+void QueryService::unquarantine_all() {
+  std::lock_guard<std::mutex> lk(breaker_mu_);
+  // unquarantine() also resets the cache-side failure counts, so lifting
+  // the breaker fully re-arms it (the next N distinct failures trip it
+  // again, not the first one).
+  for (const auto& [container, slots] : failed_slots_) {
+    (void)slots;
+    store_.unquarantine(container);
+  }
+  failed_slots_.clear();
+  quarantined_.clear();
+  has_quarantined_.store(false, std::memory_order_relaxed);
+}
+
+std::size_t QueryService::quarantined_containers() const {
+  std::lock_guard<std::mutex> lk(breaker_mu_);
+  return quarantined_.size();
+}
+
+void QueryService::run_once(const Request& req, Response& resp,
+                            const util::CancelToken* cancel,
+                            bool lenient_iso, std::int64_t* skipped) {
+  ScopedParallelBackend scope(ParallelBackend::kPool);
+  compress::LevelReadOptions read;
+  read.cancel = cancel;
+  if (has_quarantined_.load(std::memory_order_relaxed))
+    read.skip_patch = [this, skipped](int level, std::size_t patch) {
+      if (!is_patch_quarantined(level, patch)) return false;
+      *skipped += 1;  // serving thread only; the patch walk is serial
+      return true;
+    };
+  compress::RegionDecodeStats rs;
+  switch (req.kind) {
+    case Request::Kind::kPoint:
+      resp.value = amr::sample_point_compressed(*compressed_, *comp_,
+                                                req.point, &rs, &cache_,
+                                                read);
+      break;
+    case Request::Kind::kPlane:
+      resp.slice = amr::sample_plane_compressed(*compressed_, *comp_,
+                                                req.axis, req.plane_index,
+                                                &rs, &cache_, read);
+      break;
+    case Request::Kind::kRegion:
+      resp.patches = compress::decompress_level_region(
+          *compressed_, *comp_, req.level, req.region, &rs, &cache_, read);
+      break;
+    case Request::Kind::kIso: {
+      vis::StreamedIsoOptions opts = options_.iso;
+      opts.cache = &cache_;
+      opts.cancel = cancel;
+      // Degraded iso: a corrupt stats table only costs the culling
+      // speedup — parse leniently (stats dropped, conservative) and
+      // stream every slab. The mesh is bit-identical to the culled one.
+      std::optional<compress::detail::ScopedLenientStats> lenient;
+      if (lenient_iso) {
+        opts.value_cull = false;
+        lenient.emplace();
+      }
+      vis::StreamedIsoStats is;
+      resp.mesh = vis::amr_isosurface_streamed(*compressed_, *comp_,
+                                               req.iso, req.method, opts,
+                                               &is);
+      rs.tiles_decoded = is.tiles_decoded;
+      rs.cache_hits = is.cache_hits;
+      break;
+    }
+  }
+  // Accumulate across attempts: retried decodes are real work.
+  resp.stats.tiles_decoded += rs.tiles_decoded;
+  resp.stats.cache_hits += rs.cache_hits;
+}
+
+Response QueryService::execute_impl(const Request& req, double queue_ms) {
+  const Clock::time_point t0 = Clock::now();
+  Response resp;
+  resp.stats.queue_ms = queue_ms;
+
+  std::optional<util::CancelToken> token;
+  if (req.deadline_ms > 0.0 || req.cancel) {
+    std::optional<Clock::time_point> deadline;
+    if (req.deadline_ms > 0.0)
+      deadline = t0 + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double, std::milli>(
+                              req.deadline_ms));
+    token.emplace(req.cancel, deadline);
+  }
+  const util::CancelToken* cancel = token ? &*token : nullptr;
+
+  int retries = 0;
+  bool lenient_iso = false;
+  std::int64_t skipped = 0;
+  for (;;) {
+    skipped = 0;
+    try {
+      run_once(req, resp, cancel, lenient_iso, &skipped);
+      resp.outcome.code = ErrorCode::kOk;
+      resp.outcome.message.clear();
+      resp.outcome.context = {};
+      break;
+    } catch (const Error& e) {
+      const bool fired =
+          cancel != nullptr && (cancel->cancelled() || cancel->expired());
+      if (error_is_transient(e.code()) && !fired &&
+          retries < options_.max_retries) {
+        ++retries;
+        if (options_.retry_backoff_ms > 0.0)
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(
+                  options_.retry_backoff_ms *
+                  static_cast<double>(1 << (retries - 1))));
+        continue;
+      }
+      if (req.kind == Request::Kind::kIso &&
+          e.code() == ErrorCode::kStatsInvalid && !lenient_iso && !fired) {
+        lenient_iso = true;
+        continue;
+      }
+      record_failure(e);
+      resp.outcome.code = e.code();
+      // A point every covering level skipped is a quarantine casualty,
+      // not a coverage gap — report it as such.
+      if (e.code() == ErrorCode::kUnavailable && skipped > 0)
+        resp.outcome.code = ErrorCode::kQuarantined;
+      resp.outcome.message = e.message();
+      resp.outcome.context = e.context();
+      break;
+    } catch (const std::exception& e) {
+      resp.outcome.code = ErrorCode::kGeneric;
+      resp.outcome.message = e.what();
+      resp.outcome.context = {};
+      break;
+    }
+  }
+  resp.outcome.retries = retries;
+  resp.outcome.quarantined_patches = skipped;
+  resp.outcome.stats_fallback = lenient_iso && resp.outcome.ok();
+  resp.stats.service_ms = ms_since(t0);
+  account(resp);
+  return resp;
 }
 
 double QueryService::point(amr::IntVect p, QueryStats* stats) {
-  const Clock::time_point t0 = Clock::now();
-  ScopedParallelBackend scope(ParallelBackend::kPool);
-  compress::RegionDecodeStats rs;
-  const double v =
-      amr::sample_point_compressed(*compressed_, *comp_, p, &rs, &cache_);
-  QueryStats qs;
-  qs.tiles_decoded = rs.tiles_decoded;
-  qs.cache_hits = rs.cache_hits;
-  qs.service_ms = ms_since(t0);
-  account(qs);
-  if (stats != nullptr) *stats = qs;
-  return v;
+  Response r = execute_impl(Request::Point(p), 0.0);
+  if (stats != nullptr) *stats = r.stats;
+  if (!r.outcome.ok()) throw r.outcome.to_error();
+  return r.value;
 }
 
 Array3<double> QueryService::plane(int axis, std::int64_t index,
                                    QueryStats* stats) {
-  const Clock::time_point t0 = Clock::now();
-  ScopedParallelBackend scope(ParallelBackend::kPool);
-  compress::RegionDecodeStats rs;
-  Array3<double> out = amr::sample_plane_compressed(*compressed_, *comp_,
-                                                    axis, index, &rs,
-                                                    &cache_);
-  QueryStats qs;
-  qs.tiles_decoded = rs.tiles_decoded;
-  qs.cache_hits = rs.cache_hits;
-  qs.service_ms = ms_since(t0);
-  account(qs);
-  if (stats != nullptr) *stats = qs;
-  return out;
+  Response r = execute_impl(Request::Plane(axis, index), 0.0);
+  if (stats != nullptr) *stats = r.stats;
+  if (!r.outcome.ok()) throw r.outcome.to_error();
+  return std::move(r.slice);
 }
 
 std::vector<compress::RegionPatch> QueryService::region(int level,
                                                         const amr::Box& box,
                                                         QueryStats* stats) {
-  const Clock::time_point t0 = Clock::now();
-  ScopedParallelBackend scope(ParallelBackend::kPool);
-  compress::RegionDecodeStats rs;
-  auto out = compress::decompress_level_region(*compressed_, *comp_, level,
-                                               box, &rs, &cache_);
-  QueryStats qs;
-  qs.tiles_decoded = rs.tiles_decoded;
-  qs.cache_hits = rs.cache_hits;
-  qs.service_ms = ms_since(t0);
-  account(qs);
-  if (stats != nullptr) *stats = qs;
-  return out;
+  Response r = execute_impl(Request::Region(level, box), 0.0);
+  if (stats != nullptr) *stats = r.stats;
+  if (!r.outcome.ok()) throw r.outcome.to_error();
+  return std::move(r.patches);
 }
 
 vis::TriMesh QueryService::isosurface(double iso, vis::VisMethod method,
                                       QueryStats* stats) {
-  const Clock::time_point t0 = Clock::now();
-  ScopedParallelBackend scope(ParallelBackend::kPool);
-  vis::StreamedIsoOptions opts = options_.iso;
-  opts.cache = &cache_;
-  vis::StreamedIsoStats is;
-  vis::TriMesh mesh = vis::amr_isosurface_streamed(*compressed_, *comp_,
-                                                   iso, method, opts, &is);
-  QueryStats qs;
-  qs.tiles_decoded = is.tiles_decoded;
-  qs.cache_hits = is.cache_hits;
-  qs.service_ms = ms_since(t0);
-  account(qs);
-  if (stats != nullptr) *stats = qs;
-  return mesh;
-}
-
-Response QueryService::execute_impl(const Request& req, double queue_ms) {
-  Response resp;
-  switch (req.kind) {
-    case Request::Kind::kPoint:
-      resp.value = point(req.point, &resp.stats);
-      break;
-    case Request::Kind::kPlane:
-      resp.slice = plane(req.axis, req.plane_index, &resp.stats);
-      break;
-    case Request::Kind::kRegion:
-      resp.patches = region(req.level, req.region, &resp.stats);
-      break;
-    case Request::Kind::kIso:
-      resp.mesh = isosurface(req.iso, req.method, &resp.stats);
-      break;
-  }
-  resp.stats.queue_ms = queue_ms;
-  return resp;
+  Response r = execute_impl(Request::Iso(iso, method), 0.0);
+  if (stats != nullptr) *stats = r.stats;
+  if (!r.outcome.ok()) throw r.outcome.to_error();
+  return std::move(r.mesh);
 }
 
 Response QueryService::execute(const Request& req) {
+  Response r = execute_impl(req, 0.0);
+  if (!r.outcome.ok()) throw r.outcome.to_error();
+  return r;
+}
+
+Response QueryService::execute_full(const Request& req) {
   return execute_impl(req, 0.0);
 }
 
@@ -197,7 +337,12 @@ std::future<Response> QueryService::submit(Request req) {
   std::future<Response> fut = prom->get_future();
   ThreadPool::global().post([this, req = std::move(req), prom, enq] {
     try {
-      prom->set_value(execute_impl(req, ms_since(enq)));
+      Response r = execute_impl(req, ms_since(enq));
+      if (!r.outcome.ok())
+        prom->set_exception(
+            std::make_exception_ptr(r.outcome.to_error()));
+      else
+        prom->set_value(std::move(r));
     } catch (...) {
       prom->set_exception(std::current_exception());
     }
@@ -240,6 +385,9 @@ void QueryService::prefetch_regions(const std::vector<Request>& reqs) {
     for (std::size_t p = 0; p < boxes.size(); ++p) {
       const auto overlap = boxes[p].intersect(req.region);
       if (!overlap) continue;
+      // Quarantined patches will be skipped at serve time; don't spend
+      // prefetch decodes (or collect refusals) on them.
+      if (is_patch_quarantined(level, p)) continue;
       const Bytes& blob = patches[p].blob;
       const bool tiled =
           chunked != nullptr ||
@@ -282,6 +430,9 @@ void QueryService::prefetch_regions(const std::vector<Request>& reqs) {
 
   // One pool pass over the deduplicated units; the per-entry once-flag
   // makes this safe even if a concurrent client races the same tiles.
+  // Prefetch is best-effort: a failing unit is swallowed here (the
+  // serving path retries it and owns the typed outcome), so one bad
+  // tile never aborts the whole batch's warm-up.
   std::atomic<std::int64_t> decoded{0};
   ThreadPool::global().run(
       static_cast<std::int64_t>(units.size()), [&](std::int64_t i) {
@@ -290,20 +441,25 @@ void QueryService::prefetch_regions(const std::vector<Request>& reqs) {
         const Bytes& blob = compressed_->levels[static_cast<std::size_t>(
             u.level)].patches[u.patch].blob;
         bool was_hit = false;
-        if (u.slot == compress::TileCache::kWholeBlob) {
-          cref.cache->get_or_decode(
-              cref.container, u.slot,
-              [&] { return comp_->decompress(blob); }, &was_hit);
-        } else {
-          const auto& plan =
-              *plans[static_cast<std::size_t>(u.level)][u.patch];
-          cref.cache->get_or_decode(
-              cref.container, u.slot,
-              [&] {
-                return plan.codec->inner().decompress(
-                    plan.pc->tiles[static_cast<std::size_t>(u.slot)]);
-              },
-              &was_hit);
+        try {
+          if (u.slot == compress::TileCache::kWholeBlob) {
+            cref.cache->get_or_decode(
+                cref.container, u.slot,
+                [&] { return comp_->decompress(blob); }, &was_hit);
+          } else {
+            const auto& plan =
+                *plans[static_cast<std::size_t>(u.level)][u.patch];
+            cref.cache->get_or_decode(
+                cref.container, u.slot,
+                [&] {
+                  return compress::detail::decode_tile(
+                      plan.codec->inner(),
+                      plan.pc->tiles[static_cast<std::size_t>(u.slot)]);
+                },
+                &was_hit);
+          }
+        } catch (const Error&) {
+          return;
         }
         if (!was_hit) decoded.fetch_add(1, std::memory_order_relaxed);
       });
@@ -314,7 +470,15 @@ void QueryService::prefetch_regions(const std::vector<Request>& reqs) {
 std::vector<Response> QueryService::run_batch(
     const std::vector<Request>& reqs) {
   const Clock::time_point enq = Clock::now();
-  if (options_.merge_regions) prefetch_regions(reqs);
+  if (options_.merge_regions) {
+    // Best-effort warm-up: a corrupt header (or an injected parse fault)
+    // must not abort the batch — each request re-discovers and reports
+    // its own typed failure.
+    try {
+      prefetch_regions(reqs);
+    } catch (const Error&) {
+    }
+  }
   std::vector<Response> out;
   out.reserve(reqs.size());
   for (const Request& req : reqs)

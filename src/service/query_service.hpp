@@ -18,21 +18,48 @@
 //    served — overlapping tiles cost one decode for the whole batch
 //    instead of one per request.
 //
+// Fault tolerance (util/error.hpp taxonomy end to end):
+//
+//  - Every request carries an optional deadline and cancellation flag,
+//    checked cooperatively at patch/tile granularity; firing yields a
+//    typed kTimeout / kCancelled outcome instead of a wedged client.
+//  - Transient failures (injected faults, util/fault.hpp) are retried
+//    with bounded exponential backoff before they surface.
+//  - A per-container circuit breaker tracks distinct failing tile slots;
+//    at `quarantine_failures` distinct slots the container is quarantined
+//    (its known-bad slots also refused at the TileCache layer) and
+//    subsequent point/plane/region requests degrade gracefully: the
+//    quarantined patches are skipped (coarser levels fill in for
+//    sampling) and the response reports how many patches it lost.
+//    unquarantine_all() lifts every breaker once the storage is fixed.
+//  - An iso request that fails only because the stats table is invalid
+//    (Error{kStatsInvalid}) falls back to cull-disabled streaming under
+//    a lenient-stats parse — correct mesh, no culling speedup.
+//
 // Thread safety: all public methods may be called concurrently from any
 // number of client threads. Per-request instrumentation (QueryStats) is
-// stack-owned by each call; service-wide counters are atomics.
+// stack-owned by each call; service-wide counters are atomics; the
+// breaker state is mutex-guarded with a relaxed-atomic fast path.
 //
 // Results are bit-identical to calling the underlying primitives
 // directly without any cache — the cache moves decode work, never
-// values.
+// values. Once faults stop and quarantines are lifted, responses are
+// again bit-identical to the fault-free ones (the chaos suite pins
+// this).
 
 #include <atomic>
 #include <cstdint>
 #include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "amr/sampling.hpp"
 #include "compress/amr_compress.hpp"
+#include "util/error.hpp"
 #include "vis/amr_iso.hpp"
 
 namespace amrvis::service {
@@ -49,6 +76,16 @@ struct ServiceOptions {
   /// Base options for isosurface requests (the cache binding is filled
   /// in by the service; a caller-provided `cache` here is ignored).
   vis::StreamedIsoOptions iso{};
+  /// Extra attempts for TRANSIENT failures (error_is_transient) before a
+  /// request gives up; hard corruption is never retried here (TileStream
+  /// owns its one in-stream retry).
+  int max_retries = 2;
+  /// Base backoff before the first retry; doubles per retry. 0 disables
+  /// the sleep (retries stay bounded either way).
+  double retry_backoff_ms = 0.5;
+  /// Circuit breaker: distinct failing tile slots within one container
+  /// before that container is quarantined. <= 0 disables the breaker.
+  int quarantine_failures = 3;
 };
 
 /// Per-request instrumentation, stack-owned by each call — never shared
@@ -73,20 +110,57 @@ struct Request {
   double iso = 0.0;                      ///< kIso: isovalue
   vis::VisMethod method = vis::VisMethod::kDualCellSwitching;  ///< kIso
 
+  /// Wall-clock budget measured from execution start; 0 = none. Firing
+  /// yields a kTimeout outcome.
+  double deadline_ms = 0.0;
+  /// Optional external cancellation flag (store(true) from any thread);
+  /// firing yields a kCancelled outcome.
+  std::shared_ptr<std::atomic<bool>> cancel;
+
   static Request Point(amr::IntVect p);
   static Request Plane(int axis, std::int64_t index);
   static Request Region(int level, const amr::Box& box);
   static Request Iso(double iso, vis::VisMethod method);
+  /// Fluent deadline attach: Request::Point(p).with_deadline(50.0).
+  Request with_deadline(double ms) && {
+    deadline_ms = ms;
+    return std::move(*this);
+  }
+};
+
+/// Typed result classification of one request. ok() responses carry the
+/// payload; a degraded() response is still usable but lost quarantined
+/// patches (or culling); a failed response carries the Error's code,
+/// message and (container, tile) context instead of throwing — so one
+/// bad request never aborts a batch.
+struct Outcome {
+  ErrorCode code = ErrorCode::kOk;
+  std::string message;        ///< unformatted Error message on failure
+  ErrorContext context{};     ///< (container, tile, offset) when known
+  std::int64_t quarantined_patches = 0;  ///< patches skipped, degraded
+  int retries = 0;            ///< transient retries this request used
+  bool stats_fallback = false;  ///< iso served via lenient cull-off path
+
+  [[nodiscard]] bool ok() const { return code == ErrorCode::kOk; }
+  [[nodiscard]] bool degraded() const {
+    return ok() && (quarantined_patches > 0 || stats_fallback);
+  }
+  /// Rebuild the Error a throwing API would have surfaced.
+  [[nodiscard]] Error to_error() const {
+    return Error(code, message, context);
+  }
 };
 
 /// Result of one request; only the member matching the request kind is
-/// populated (the rest stay default). `stats` is always filled.
+/// populated (the rest stay default). `stats` and `outcome` are always
+/// filled.
 struct Response {
   double value = 0.0;                          ///< kPoint
   Array3<double> slice;                        ///< kPlane
   std::vector<compress::RegionPatch> patches;  ///< kRegion
   vis::TriMesh mesh;                           ///< kIso
   QueryStats stats;
+  Outcome outcome;
 };
 
 class QueryService {
@@ -102,6 +176,9 @@ class QueryService {
   QueryService& operator=(const QueryService&) = delete;
 
   // ---- synchronous API (thread-safe; callers may overlap freely) ----
+  // These throw the typed Error on failure (after retries/degradation);
+  // the Request/Response front end reports the same Error as an Outcome
+  // instead.
 
   /// Value at finest-space cell `p` (amr::sample_point_compressed).
   double point(amr::IntVect p, QueryStats* stats = nullptr);
@@ -121,18 +198,36 @@ class QueryService {
 
   // ---- batched / async front end ----
 
-  /// Serve one request (dispatch on kind).
+  /// Serve one request (dispatch on kind). Throws the typed Error on a
+  /// failed outcome; degraded successes return normally (inspect
+  /// execute_full().outcome to observe degradation).
   Response execute(const Request& req);
 
+  /// Serve one request and NEVER throw for request-scoped failures: the
+  /// outcome carries the typed error instead.
+  Response execute_full(const Request& req);
+
   /// Fire-and-forget onto the pool; the future carries the response or
-  /// the query's exception. queue_ms measures submit -> task start.
+  /// the query's typed exception. queue_ms measures submit -> task start.
   std::future<Response> submit(Request req);
 
   /// Serve a batch: with merge_regions, the union of all region
   /// requests' decode units is deduplicated and prefetched across the
   /// pool first, so overlapping ROIs decode shared tiles once. Responses
-  /// are returned in request order.
+  /// are returned in request order; a failed request yields a response
+  /// with a failed outcome — it never aborts the rest of the batch.
   std::vector<Response> run_batch(const std::vector<Request>& reqs);
+
+  // ---- fault management ----
+
+  /// Lift every container quarantine and reset all breaker/failure
+  /// state (service breaker + TileCache slot quarantines + failure
+  /// counts). Call after the underlying storage fault is fixed;
+  /// subsequent responses are bit-identical to fault-free ones.
+  void unquarantine_all();
+
+  /// Containers currently quarantined by the circuit breaker.
+  [[nodiscard]] std::size_t quarantined_containers() const;
 
   // ---- introspection ----
 
@@ -141,6 +236,9 @@ class QueryService {
     std::uint64_t requests = 0;
     std::int64_t tiles_decoded = 0;  ///< incl. batch prefetch decodes
     std::int64_t cache_hits = 0;
+    std::uint64_t failures = 0;   ///< requests with a failed outcome
+    std::uint64_t retries = 0;    ///< transient retries across requests
+    std::uint64_t degraded = 0;   ///< ok-but-degraded responses
   };
   [[nodiscard]] Counters counters() const;
 
@@ -154,9 +252,16 @@ class QueryService {
   struct Timed;  // steady_clock plumbing lives in the .cpp
 
   Response execute_impl(const Request& req, double queue_ms);
+  /// One attempt of a request's primitive; fills payload + decode stats.
+  void run_once(const Request& req, Response& resp,
+                const util::CancelToken* cancel, bool lenient_iso,
+                std::int64_t* skipped);
+  /// Circuit-breaker bookkeeping for a request-fatal decode failure.
+  void record_failure(const Error& e);
+  [[nodiscard]] bool is_patch_quarantined(int level, std::size_t patch);
   /// Merge step of run_batch: decode-unit dedup + pool prefetch.
   void prefetch_regions(const std::vector<Request>& reqs);
-  void account(const QueryStats& s);
+  void account(const Response& resp);
 
   const compress::AmrCompressed* compressed_;
   const compress::Compressor* comp_;
@@ -167,6 +272,18 @@ class QueryService {
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::int64_t> tiles_decoded_{0};
   std::atomic<std::int64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> failures_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> degraded_{0};
+
+  /// Breaker state. has_quarantined_ is the lock-free fast path: the
+  /// per-patch skip predicate only takes the mutex once a breaker has
+  /// actually tripped, so the healthy hot path costs one relaxed load.
+  mutable std::mutex breaker_mu_;
+  std::unordered_map<std::uint64_t, std::unordered_set<std::int64_t>>
+      failed_slots_;                              ///< container -> slots
+  std::unordered_set<std::uint64_t> quarantined_;  ///< containers
+  std::atomic<bool> has_quarantined_{false};
 };
 
 }  // namespace amrvis::service

@@ -52,8 +52,8 @@ class ByteReader {
   template <typename T>
   T get() {
     static_assert(std::is_trivially_copyable_v<T>);
-    AMRVIS_REQUIRE_MSG(pos_ + sizeof(T) <= in_.size(),
-                       "ByteReader: truncated stream");
+    AMRVIS_CHECK(ErrorCode::kCorruptPayload, pos_ + sizeof(T) <= in_.size(),
+                 "ByteReader: truncated stream");
     T value;
     std::memcpy(&value, in_.data() + pos_, sizeof(T));
     pos_ += sizeof(T);
@@ -63,8 +63,8 @@ class ByteReader {
   std::span<const std::uint8_t> get_bytes(std::size_t n) {
     // Checked as `n <= remaining` (not `pos_ + n <= size`): a corrupt
     // length prefix near SIZE_MAX would overflow the addition and pass.
-    AMRVIS_REQUIRE_MSG(n <= in_.size() - pos_,
-                       "ByteReader: truncated stream");
+    AMRVIS_CHECK(ErrorCode::kCorruptPayload, n <= in_.size() - pos_,
+                 "ByteReader: truncated stream");
     auto s = in_.subspan(pos_, n);
     pos_ += n;
     return s;
@@ -120,7 +120,8 @@ class BitReader {
   explicit BitReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
 
   [[nodiscard]] std::uint64_t get_bit() {
-    AMRVIS_REQUIRE_MSG(byte_ < bytes_.size(), "BitReader: out of bits");
+    AMRVIS_CHECK(ErrorCode::kCorruptPayload, byte_ < bytes_.size(),
+                 "BitReader: out of bits");
     const std::uint64_t bit = (bytes_[byte_] >> (7 - bit_)) & 1u;
     if (++bit_ == 8) {
       bit_ = 0;

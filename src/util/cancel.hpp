@@ -1,0 +1,65 @@
+#pragma once
+// Cooperative cancellation and deadlines for long-running decode loops.
+//
+// A CancelToken is a cheap-to-copy handle pairing an optional shared
+// cancellation flag with an optional absolute deadline. Work loops call
+// check() at tile granularity; it throws Error{kCancelled} or
+// Error{kTimeout}, which the query service converts into a typed failed
+// outcome. The default-constructed token never fires, so plumbed-through
+// call sites cost one null test when no deadline is in play.
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <optional>
+
+#include "util/error.hpp"
+
+namespace amrvis::util {
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Never cancels, never expires.
+  CancelToken() = default;
+
+  CancelToken(std::shared_ptr<std::atomic<bool>> flag,
+              std::optional<Clock::time_point> deadline)
+      : flag_(std::move(flag)), deadline_(deadline) {}
+
+  static CancelToken with_deadline(Clock::time_point deadline) {
+    return {nullptr, deadline};
+  }
+
+  /// A token whose cancel() has an effect (owns a flag, no deadline).
+  static CancelToken manual() {
+    return {std::make_shared<std::atomic<bool>>(false), std::nullopt};
+  }
+
+  void cancel() const {
+    if (flag_) flag_->store(true, std::memory_order_release);
+  }
+
+  [[nodiscard]] bool cancelled() const {
+    return flag_ && flag_->load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] bool expired() const {
+    return deadline_ && Clock::now() > *deadline_;
+  }
+
+  /// Throws Error{kCancelled} / Error{kTimeout} when fired.
+  void check() const {
+    if (cancelled())
+      throw Error(ErrorCode::kCancelled, "request cancelled");
+    if (expired())
+      throw Error(ErrorCode::kTimeout, "request deadline exceeded");
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+  std::optional<Clock::time_point> deadline_;
+};
+
+}  // namespace amrvis::util

@@ -1,0 +1,105 @@
+#include "util/error.hpp"
+
+#include <sstream>
+#include <string_view>
+
+namespace amrvis {
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kGeneric: return "generic";
+    case ErrorCode::kPrecondition: return "precondition";
+    case ErrorCode::kInvariant: return "invariant";
+    case ErrorCode::kCorruptHeader: return "corrupt-header";
+    case ErrorCode::kCorruptPayload: return "corrupt-payload";
+    case ErrorCode::kStatsInvalid: return "stats-invalid";
+    case ErrorCode::kDecodeFailure: return "decode-failure";
+    case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kQuarantined: return "quarantined";
+    case ErrorCode::kFaultInjected: return "fault-injected";
+    case ErrorCode::kBadFaultSpec: return "bad-fault-spec";
+    case ErrorCode::kUnavailable: return "unavailable";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::string format_what(ErrorCode code, const std::string& message,
+                        const ErrorContext& ctx) {
+  std::ostringstream os;
+  // kGeneric keeps the bare legacy text so pre-taxonomy what() strings
+  // (and the tests matching them) are unchanged; macro-built messages
+  // already lead with the code name, so don't tag those twice.
+  const char* name = error_code_name(code);
+  if (code != ErrorCode::kGeneric && message.rfind(name, 0) != 0) {
+    os << '[' << name << "] ";
+  }
+  os << message;
+  if (ctx.any()) {
+    os << " (";
+    const char* sep = "";
+    if (ctx.container != 0) {
+      os << "container " << ctx.container;
+      sep = ", ";
+    }
+    if (ctx.tile != ErrorContext::kNoTile) {
+      os << sep << "tile " << ctx.tile;
+      sep = ", ";
+    }
+    if (ctx.byte_offset >= 0) os << sep << "byte " << ctx.byte_offset;
+    os << ')';
+  }
+  return os.str();
+}
+
+}  // namespace
+
+Error::Error(ErrorCode code, const std::string& message, ErrorContext ctx)
+    : std::runtime_error(format_what(code, message, ctx)),
+      code_(code),
+      ctx_(ctx),
+      message_(message) {}
+
+Error Error::with_context(const ErrorContext& extra) const {
+  ErrorContext merged = ctx_;
+  if (merged.container == 0) merged.container = extra.container;
+  if (merged.tile == ErrorContext::kNoTile) merged.tile = extra.tile;
+  if (merged.byte_offset < 0) merged.byte_offset = extra.byte_offset;
+  return {code_, message_, merged};
+}
+
+namespace detail {
+
+namespace {
+[[noreturn]] void fail_impl(ErrorCode code, const char* kind,
+                            const char* expr, const char* file, int line,
+                            const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  // The message leads with the kind/code name, so format_what leaves it
+  // untagged: the REQUIRE/ASSERT macros keep their exact legacy what()
+  // text while still classifying the error.
+  throw Error(code, os.str());
+}
+}  // namespace
+
+void fail(const char* kind, const char* expr, const char* file, int line,
+          const std::string& msg) {
+  const ErrorCode code = (std::string_view(kind) == "invariant")
+                             ? ErrorCode::kInvariant
+                             : ErrorCode::kPrecondition;
+  fail_impl(code, kind, expr, file, line, msg);
+}
+
+void fail(ErrorCode code, const char* expr, const char* file, int line,
+          const std::string& msg) {
+  fail_impl(code, error_code_name(code), expr, file, line, msg);
+}
+
+}  // namespace detail
+
+}  // namespace amrvis

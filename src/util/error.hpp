@@ -2,31 +2,99 @@
 // Error handling for amrvis.
 //
 // Library code reports contract violations and unrecoverable conditions by
-// throwing amrvis::Error. AMRVIS_REQUIRE is used for preconditions on public
-// API entry points (always on, independent of NDEBUG); AMRVIS_ASSERT is an
-// internal invariant check compiled out in release-like builds.
+// throwing amrvis::Error. Every Error carries an ErrorCode classifying the
+// failure and an optional ErrorContext locating it (container id, tile slot,
+// byte offset), so callers — the query service's retry/quarantine machinery
+// in particular — can react to *what* failed, not just that something did.
+// Error still derives from std::runtime_error, so catch-by-std::exception
+// call sites keep working unchanged.
+//
+// AMRVIS_REQUIRE is used for preconditions on public API entry points
+// (always on, independent of NDEBUG); AMRVIS_CHECK is the typed variant for
+// data-validation sites (corrupt headers/payloads, invalid stats);
+// AMRVIS_ASSERT is an internal invariant check compiled out in release-like
+// builds.
 
-#include <sstream>
+#include <cstdint>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
 namespace amrvis {
 
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,          ///< not an error (used by service Response outcomes)
+  kGeneric,         ///< untyped failure (legacy string constructor)
+  kPrecondition,    ///< AMRVIS_REQUIRE on a public entry point
+  kInvariant,       ///< AMRVIS_ASSERT internal invariant
+  kCorruptHeader,   ///< container/blob header failed validation
+  kCorruptPayload,  ///< codec payload failed decode-side validation
+  kStatsInvalid,    ///< per-tile stats/faces table failed validation
+  kDecodeFailure,   ///< decoded data inconsistent (shape mismatch, poisoned)
+  kTimeout,         ///< request deadline expired
+  kCancelled,       ///< cooperative cancellation requested
+  kQuarantined,     ///< container/slot refused by the circuit breaker
+  kFaultInjected,   ///< deterministic fault injection fired (transient)
+  kBadFaultSpec,    ///< malformed AMRVIS_FAULT_SPEC grammar
+  kUnavailable,     ///< no data can be served (e.g. every covering patch
+                    ///< skipped by quarantine)
+};
+
+/// Stable lowercase name for an ErrorCode ("corrupt-header", ...).
+const char* error_code_name(ErrorCode code);
+
+/// True for failures that a bounded retry can plausibly clear. Injected
+/// faults are transient by construction; genuinely corrupt data is not —
+/// retrying a corrupt payload re-reads the same bytes.
+constexpr bool error_is_transient(ErrorCode code) {
+  return code == ErrorCode::kFaultInjected;
+}
+
+/// Where an error happened, in the coordinates the serving layer reasons
+/// in. All fields are optional; the sentinels mean "unknown".
+struct ErrorContext {
+  static constexpr std::int64_t kNoTile =
+      std::numeric_limits<std::int64_t>::min();
+
+  std::uint64_t container = 0;    ///< TileCache container id; 0 = unknown
+  std::int64_t tile = kNoTile;    ///< tile slot within the container
+  std::int64_t byte_offset = -1;  ///< offset into the blob; -1 = unknown
+
+  [[nodiscard]] bool any() const {
+    return container != 0 || tile != kNoTile || byte_offset >= 0;
+  }
+};
+
 /// Exception type thrown by all amrvis libraries.
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  /// Untyped (legacy) constructor: classified kGeneric.
+  explicit Error(const std::string& what)
+      : Error(ErrorCode::kGeneric, what) {}
+
+  Error(ErrorCode code, const std::string& message, ErrorContext ctx = {});
+
+  [[nodiscard]] ErrorCode code() const { return code_; }
+  [[nodiscard]] const ErrorContext& context() const { return ctx_; }
+  /// The unformatted message (what() adds the code tag and context).
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// Copy of this error with any context fields it does not already carry
+  /// filled in from `extra`. Fields the error already knows win, so an
+  /// inner throw site's precise location survives outer enrichment.
+  [[nodiscard]] Error with_context(const ErrorContext& extra) const;
+
+ private:
+  ErrorCode code_;
+  ErrorContext ctx_;
+  std::string message_;
 };
 
 namespace detail {
-[[noreturn]] inline void fail(const char* kind, const char* expr,
-                              const char* file, int line,
-                              const std::string& msg) {
-  std::ostringstream os;
-  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
-  if (!msg.empty()) os << " — " << msg;
-  throw Error(os.str());
-}
+[[noreturn]] void fail(const char* kind, const char* expr, const char* file,
+                       int line, const std::string& msg);
+[[noreturn]] void fail(ErrorCode code, const char* expr, const char* file,
+                       int line, const std::string& msg);
 }  // namespace detail
 
 }  // namespace amrvis
@@ -45,6 +113,13 @@ namespace detail {
     if (!(expr))                                                          \
       ::amrvis::detail::fail("precondition", #expr, __FILE__, __LINE__,  \
                              (msg));                                      \
+  } while (0)
+
+/// Typed validation check: always active, throws Error carrying `code`.
+#define AMRVIS_CHECK(code, expr, msg)                                     \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::amrvis::detail::fail((code), #expr, __FILE__, __LINE__, (msg));   \
   } while (0)
 
 #ifdef NDEBUG

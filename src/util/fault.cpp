@@ -1,0 +1,219 @@
+#include "util/fault.hpp"
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <string_view>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace amrvis::fault {
+
+namespace {
+
+struct ActiveRule {
+  Rule rule;
+  std::uint64_t fired = 0;
+};
+
+// All mutable plan state lives behind one mutex; `armed` is the only field
+// read outside it. Faults are a test/debug facility — the serialized slow
+// path only runs while a plan is installed, and determinism of the op
+// order within one site is exactly what the serialization buys.
+struct Registry {
+  std::atomic<bool> armed{false};
+  std::mutex mu;
+  std::vector<ActiveRule> rules;
+  std::array<std::uint64_t, kSiteCount> op_count{};
+  std::array<std::uint64_t, kSiteCount> injected{};
+};
+
+Registry& registry() {
+  static Registry* reg = [] {
+    auto* r = new Registry;
+    if (const char* spec = std::getenv("AMRVIS_FAULT_SPEC")) {
+      // Parse errors propagate as Error{kBadFaultSpec} from the first
+      // instrumented op — typed and catchable, never a silent no-op.
+      FaultPlan plan = FaultPlan::parse(spec);
+      for (const Rule& rule : plan.rules) r->rules.push_back({rule, 0});
+      r->armed.store(!r->rules.empty(), std::memory_order_release);
+    }
+    return r;
+  }();
+  return *reg;
+}
+
+/// splitmix64: deterministic bit choice for flip faults.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+[[noreturn]] void bad_spec(const std::string& spec, const std::string& why) {
+  throw Error(ErrorCode::kBadFaultSpec,
+              "fault spec \"" + spec + "\": " + why);
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= s.size()) {
+    const std::size_t end = s.find(sep, begin);
+    if (end == std::string::npos) {
+      out.push_back(s.substr(begin));
+      break;
+    }
+    out.push_back(s.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* site_name(Site site) {
+  switch (site) {
+    case Site::kTileDecode: return "tiledecode";
+    case Site::kHeaderParse: return "headerparse";
+    case Site::kCacheInsert: return "cacheinsert";
+    case Site::kPoolTask: return "pooltask";
+  }
+  return "unknown";
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  for (const std::string& rule_text : split(spec, ';')) {
+    if (rule_text.empty()) continue;
+    const std::vector<std::string> parts = split(rule_text, ':');
+    if (parts.size() < 2 || parts.size() > 3)
+      bad_spec(spec, "rule \"" + rule_text + "\" is not site:kind[:opts]");
+
+    Rule rule;
+    bool site_ok = false;
+    for (int s = 0; s < kSiteCount; ++s) {
+      if (parts[0] == site_name(static_cast<Site>(s))) {
+        rule.site = static_cast<Site>(s);
+        site_ok = true;
+      }
+    }
+    if (!site_ok) bad_spec(spec, "unknown site \"" + parts[0] + "\"");
+
+    if (parts[1] == "throw") rule.kind = Kind::kThrow;
+    else if (parts[1] == "flip") rule.kind = Kind::kBitFlip;
+    else if (parts[1] == "delay") rule.kind = Kind::kDelay;
+    else bad_spec(spec, "unknown kind \"" + parts[1] + "\"");
+
+    if (parts.size() == 3) {
+      for (const std::string& kv : split(parts[2], ',')) {
+        const std::size_t eq = kv.find('=');
+        if (eq == std::string::npos)
+          bad_spec(spec, "option \"" + kv + "\" is not key=value");
+        const std::string key = kv.substr(0, eq);
+        const std::string value = kv.substr(eq + 1);
+        std::uint64_t n = 0;
+        try {
+          std::size_t used = 0;
+          n = std::stoull(value, &used);
+          if (used != value.size()) throw std::invalid_argument(value);
+        } catch (const std::exception&) {
+          bad_spec(spec, "option " + key + "=" + value +
+                             " is not a non-negative integer");
+        }
+        if (key == "start") rule.start = n;
+        else if (key == "every") rule.every = n;
+        else if (key == "count") rule.count = static_cast<std::int64_t>(n);
+        else if (key == "ms") rule.ms = n;
+        else if (key == "seed") rule.seed = n;
+        else bad_spec(spec, "unknown option \"" + key + "\"");
+      }
+    }
+    if (rule.every == 0) bad_spec(spec, "every=0 never fires");
+    plan.rules.push_back(rule);
+  }
+  return plan;
+}
+
+bool enabled() {
+  return registry().armed.load(std::memory_order_relaxed);
+}
+
+void install(const FaultPlan& plan) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.rules.clear();
+  for (const Rule& rule : plan.rules) reg.rules.push_back({rule, 0});
+  reg.op_count.fill(0);
+  reg.injected.fill(0);
+  reg.armed.store(!reg.rules.empty(), std::memory_order_release);
+}
+
+void uninstall() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.armed.store(false, std::memory_order_release);
+  reg.rules.clear();
+}
+
+std::uint64_t ops(Site site) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return reg.op_count[static_cast<int>(site)];
+}
+
+std::uint64_t injected(Site site) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return reg.injected[static_cast<int>(site)];
+}
+
+std::optional<Bytes> on_op(Site site, std::span<const std::uint8_t> payload) {
+  Registry& reg = registry();
+  std::optional<Rule> fire;
+  std::uint64_t op = 0;
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    if (!reg.armed.load(std::memory_order_relaxed)) return std::nullopt;
+    op = reg.op_count[static_cast<int>(site)]++;
+    for (ActiveRule& ar : reg.rules) {
+      const Rule& rule = ar.rule;
+      if (rule.site != site || op < rule.start) continue;
+      if ((op - rule.start) % rule.every != 0) continue;
+      if (rule.count >= 0 &&
+          ar.fired >= static_cast<std::uint64_t>(rule.count))
+        continue;
+      ++ar.fired;
+      ++reg.injected[static_cast<int>(site)];
+      fire = rule;  // copied: the plan may be uninstalled mid-flight
+      break;
+    }
+  }
+  if (!fire) return std::nullopt;
+
+  switch (fire->kind) {
+    case Kind::kThrow:
+      throw Error(ErrorCode::kFaultInjected,
+                  std::string("injected fault at ") + site_name(site) +
+                      " (op " + std::to_string(op) + ")");
+    case Kind::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(fire->ms));
+      return std::nullopt;
+    case Kind::kBitFlip: {
+      if (payload.empty()) return std::nullopt;
+      Bytes mutated(payload.begin(), payload.end());
+      const std::uint64_t bit =
+          mix(fire->seed * 0x5851f42d4c957f2dull + op) %
+          (static_cast<std::uint64_t>(mutated.size()) * 8);
+      mutated[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      return mutated;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace amrvis::fault

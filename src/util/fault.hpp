@@ -1,0 +1,108 @@
+#pragma once
+// Deterministic fault injection for robustness testing.
+//
+// A FaultPlan is a list of rules, each bound to an instrumented site and
+// firing on an op-counter schedule — no wall clock, no global RNG state —
+// so a given plan produces the same fault sequence on every run. Plans are
+// installed programmatically (FaultScope in tests) or from the
+// AMRVIS_FAULT_SPEC environment variable at first use.
+//
+// Spec grammar (parse errors throw Error{kBadFaultSpec}):
+//
+//   spec  := rule (';' rule)*
+//   rule  := site ':' kind (':' key '=' value (',' key '=' value)*)?
+//   site  := tiledecode | headerparse | cacheinsert | pooltask
+//   kind  := throw | flip | delay
+//   keys  := start  first op index that can fire (default 0)
+//            every  fire on every Nth op from start (default 1)
+//            count  maximum number of fires (default unlimited)
+//            ms     delay duration for kind=delay (default 1)
+//            seed   bit-position seed for kind=flip (default 0)
+//
+// Example: "tiledecode:throw:start=4,every=7,count=3;pooltask:delay:ms=2"
+//
+// Hooks are zero-cost when disabled: AMRVIS_FAULT_POINT compiles to one
+// relaxed atomic load and a predictable branch. kind=throw raises
+// Error{kFaultInjected} (classified transient — the retry layer's target);
+// kind=delay sleeps to widen race windows under TSan; kind=flip corrupts
+// one deterministically chosen bit of the payload offered at a decode site
+// (sites that carry no payload count the fire but corrupt nothing).
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/bytestream.hpp"
+
+namespace amrvis::fault {
+
+enum class Site : int {
+  kTileDecode = 0,  ///< decoding one compressed tile payload
+  kHeaderParse,     ///< parsing a chunked container header
+  kCacheInsert,     ///< publishing a decoded tile into the TileCache
+  kPoolTask,        ///< running one chunk of a ThreadPool job
+};
+inline constexpr int kSiteCount = 4;
+
+/// Spec-grammar name of a site ("tiledecode", ...).
+const char* site_name(Site site);
+
+enum class Kind { kThrow, kBitFlip, kDelay };
+
+struct Rule {
+  Site site = Site::kTileDecode;
+  Kind kind = Kind::kThrow;
+  std::uint64_t start = 0;   ///< first op index (per site) that can fire
+  std::uint64_t every = 1;   ///< fire on every Nth op from start
+  std::int64_t count = -1;   ///< max fires; -1 = unlimited
+  std::uint64_t ms = 1;      ///< delay duration (kind=delay)
+  std::uint64_t seed = 0;    ///< bit-position seed (kind=flip)
+};
+
+struct FaultPlan {
+  std::vector<Rule> rules;
+
+  /// Parse the AMRVIS_FAULT_SPEC grammar; throws Error{kBadFaultSpec}.
+  static FaultPlan parse(const std::string& spec);
+};
+
+/// One relaxed atomic load; false unless a plan is installed.
+bool enabled();
+
+/// Install a plan (resets all op/injection counters) / remove it.
+void install(const FaultPlan& plan);
+void uninstall();
+
+/// Ops evaluated / faults fired at a site since the last install().
+std::uint64_t ops(Site site);
+std::uint64_t injected(Site site);
+
+/// Evaluate one op at `site` against the installed plan. May throw
+/// Error{kFaultInjected} or sleep. When a flip rule fires and `payload` is
+/// non-empty, returns a copy with one deterministic bit flipped; returns
+/// nullopt otherwise. Callers without a payload use AMRVIS_FAULT_POINT.
+std::optional<Bytes> on_op(Site site,
+                           std::span<const std::uint8_t> payload = {});
+
+/// RAII plan installation for tests: installs on construction (from a plan
+/// or a spec string), uninstalls on destruction.
+class FaultScope {
+ public:
+  explicit FaultScope(const FaultPlan& plan) { install(plan); }
+  explicit FaultScope(const std::string& spec) {
+    install(FaultPlan::parse(spec));
+  }
+  ~FaultScope() { uninstall(); }
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+};
+
+}  // namespace amrvis::fault
+
+/// Hook for sites that carry no payload; zero-cost when disabled.
+#define AMRVIS_FAULT_POINT(site_)                                          \
+  do {                                                                     \
+    if (::amrvis::fault::enabled()) (void)::amrvis::fault::on_op(site_);   \
+  } while (0)

@@ -6,6 +6,8 @@
 #include <exception>
 #include <utility>
 
+#include "util/fault.hpp"
+
 namespace amrvis {
 
 namespace {
@@ -49,6 +51,9 @@ void participate(const std::shared_ptr<RunJob>& job) {
     if (i >= job->n) return;
     if (!job->failed.load(std::memory_order_relaxed)) {
       try {
+        // Inside the try: an injected pool-task fault rides the existing
+        // first-exception capture, exactly like a throwing chunk.
+        AMRVIS_FAULT_POINT(::amrvis::fault::Site::kPoolTask);
         (*job->chunk)(i);
       } catch (...) {
         bool expected = false;

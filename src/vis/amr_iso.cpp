@@ -310,8 +310,10 @@ Array3<double> synced_level_values(const LevelSweep& ls, int level,
                                    const amr::Box& box) {
   Array3<double> out(box.shape(), 0.0);
   compress::RegionDecodeStats rs;
+  compress::LevelReadOptions read;
+  read.cancel = ls.options.cancel;
   const auto rps = compress::decompress_level_region(
-      *ls.compressed, *ls.comp, level, box, &rs, ls.options.cache);
+      *ls.compressed, *ls.comp, level, box, &rs, ls.options.cache, read);
   if (ls.stats != nullptr) {
     ls.stats->tiles_decoded += rs.tiles_decoded;
     ls.stats->cache_hits += rs.cache_hits;
@@ -390,6 +392,7 @@ SlabRaster build_slab(const LevelSweep& ls,
   hto.prefetch = ls.options.prefetch;
   hto.cache = &cache;  // plain patches inflate once per cache lifetime
   hto.cache_chunked_tiles = cache_chunked;
+  hto.cancel = ls.options.cancel;
   hto.tile_select = [&](std::size_t p, const compress::TileRegion& tr) {
     return decided[p].empty() ||
            decided[p][static_cast<std::size_t>(tr.index)] != 0;

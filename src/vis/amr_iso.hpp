@@ -82,6 +82,10 @@ struct StreamedIsoOptions {
   /// behavior, keeping the <= 2 live decoded tiles per stream guarantee.
   /// The mesh is bit-identical either way.
   const compress::AmrTileCache* cache = nullptr;
+  /// Optional cooperative deadline/cancellation, checked at tile
+  /// granularity inside every level sweep (fires as Error{kTimeout} /
+  /// Error{kCancelled}). The token must outlive the extraction.
+  const util::CancelToken* cancel = nullptr;
 };
 
 /// Decode-work and memory instrumentation of one streamed extraction.

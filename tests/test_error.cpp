@@ -1,0 +1,143 @@
+// Unit tests for the typed error taxonomy (util/error.hpp): code + context
+// propagation, what() formatting, context enrichment, and the macro layer.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "util/cancel.hpp"
+#include "util/error.hpp"
+
+namespace amrvis {
+namespace {
+
+TEST(Error, LegacyStringConstructorIsGeneric) {
+  const Error e("something broke");
+  EXPECT_EQ(e.code(), ErrorCode::kGeneric);
+  EXPECT_FALSE(e.context().any());
+  EXPECT_STREQ(e.what(), "something broke");  // no tag for kGeneric
+  EXPECT_EQ(e.message(), "something broke");
+}
+
+TEST(Error, TypedWhatCarriesCodeTag) {
+  const Error e(ErrorCode::kCorruptHeader, "bad container magic");
+  EXPECT_EQ(e.code(), ErrorCode::kCorruptHeader);
+  EXPECT_STREQ(e.what(), "[corrupt-header] bad container magic");
+  EXPECT_EQ(e.message(), "bad container magic");  // unformatted
+}
+
+TEST(Error, WhatAppendsKnownContextFieldsOnly) {
+  const Error full(ErrorCode::kDecodeFailure, "tile broke", {7, 3, 128});
+  EXPECT_STREQ(full.what(),
+               "[decode-failure] tile broke (container 7, tile 3, byte 128)");
+
+  const Error partial(ErrorCode::kDecodeFailure, "tile broke",
+                      {7, ErrorContext::kNoTile, -1});
+  EXPECT_STREQ(partial.what(), "[decode-failure] tile broke (container 7)");
+
+  const Error none(ErrorCode::kDecodeFailure, "tile broke");
+  EXPECT_STREQ(none.what(), "[decode-failure] tile broke");
+}
+
+TEST(Error, IsACatchableRuntimeError) {
+  try {
+    throw Error(ErrorCode::kTimeout, "deadline");
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::strstr(e.what(), "deadline"), nullptr);
+    return;
+  }
+  FAIL() << "Error must stay catchable as std::runtime_error";
+}
+
+TEST(Error, WithContextFillsOnlyUnknownFields) {
+  const Error inner(ErrorCode::kCorruptPayload, "short read",
+                    {0, ErrorContext::kNoTile, 12});
+  const Error enriched = inner.with_context({42, 5, 999});
+  EXPECT_EQ(enriched.code(), ErrorCode::kCorruptPayload);
+  EXPECT_EQ(enriched.context().container, 42u);  // was unknown, filled
+  EXPECT_EQ(enriched.context().tile, 5);         // was unknown, filled
+  EXPECT_EQ(enriched.context().byte_offset, 12);  // inner knowledge wins
+}
+
+TEST(Error, CodeNamesAreStable) {
+  EXPECT_STREQ(error_code_name(ErrorCode::kOk), "ok");
+  EXPECT_STREQ(error_code_name(ErrorCode::kCorruptHeader), "corrupt-header");
+  EXPECT_STREQ(error_code_name(ErrorCode::kCorruptPayload),
+               "corrupt-payload");
+  EXPECT_STREQ(error_code_name(ErrorCode::kStatsInvalid), "stats-invalid");
+  EXPECT_STREQ(error_code_name(ErrorCode::kDecodeFailure), "decode-failure");
+  EXPECT_STREQ(error_code_name(ErrorCode::kTimeout), "timeout");
+  EXPECT_STREQ(error_code_name(ErrorCode::kCancelled), "cancelled");
+  EXPECT_STREQ(error_code_name(ErrorCode::kQuarantined), "quarantined");
+  EXPECT_STREQ(error_code_name(ErrorCode::kFaultInjected), "fault-injected");
+  EXPECT_STREQ(error_code_name(ErrorCode::kUnavailable), "unavailable");
+}
+
+TEST(Error, OnlyInjectedFaultsAreTransient) {
+  EXPECT_TRUE(error_is_transient(ErrorCode::kFaultInjected));
+  EXPECT_FALSE(error_is_transient(ErrorCode::kCorruptPayload));
+  EXPECT_FALSE(error_is_transient(ErrorCode::kTimeout));
+  EXPECT_FALSE(error_is_transient(ErrorCode::kQuarantined));
+}
+
+TEST(ErrorMacros, RequireThrowsPrecondition) {
+  try {
+    AMRVIS_REQUIRE_MSG(1 == 2, "numbers drifted");
+    FAIL() << "AMRVIS_REQUIRE_MSG must throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kPrecondition);
+    EXPECT_NE(std::strstr(e.what(), "precondition failed"), nullptr);
+    EXPECT_NE(std::strstr(e.what(), "numbers drifted"), nullptr);
+    // The message already leads with the kind; no "[precondition]" tag.
+    EXPECT_EQ(std::strstr(e.what(), "[precondition]"), nullptr);
+  }
+}
+
+TEST(ErrorMacros, CheckThrowsTypedError) {
+  try {
+    AMRVIS_CHECK(ErrorCode::kCorruptPayload, false, "stream truncated");
+    FAIL() << "AMRVIS_CHECK must throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kCorruptPayload);
+    EXPECT_NE(std::strstr(e.what(), "corrupt-payload failed"), nullptr);
+    EXPECT_NE(std::strstr(e.what(), "stream truncated"), nullptr);
+  }
+}
+
+TEST(CancelToken, DefaultNeverFires) {
+  const util::CancelToken t;
+  EXPECT_FALSE(t.cancelled());
+  EXPECT_FALSE(t.expired());
+  EXPECT_NO_THROW(t.check());
+  t.cancel();  // no flag: a no-op, not a crash
+  EXPECT_FALSE(t.cancelled());
+}
+
+TEST(CancelToken, ManualCancelThrowsCancelled) {
+  const util::CancelToken t = util::CancelToken::manual();
+  EXPECT_NO_THROW(t.check());
+  t.cancel();
+  try {
+    t.check();
+    FAIL() << "cancelled token must throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kCancelled);
+  }
+}
+
+TEST(CancelToken, PastDeadlineThrowsTimeout) {
+  const auto past =
+      util::CancelToken::Clock::now() - std::chrono::milliseconds(5);
+  const util::CancelToken t = util::CancelToken::with_deadline(past);
+  EXPECT_TRUE(t.expired());
+  try {
+    t.check();
+    FAIL() << "expired token must throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kTimeout);
+  }
+}
+
+}  // namespace
+}  // namespace amrvis

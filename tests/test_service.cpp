@@ -19,6 +19,7 @@
 #include "sim/fields.hpp"
 #include "sim/tagging.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/stats.hpp"
 
 namespace amrvis::service {
@@ -201,6 +202,158 @@ TEST(QueryService, SubmitPropagatesQueryExceptionsThroughTheFuture) {
   auto fut = svc.submit(
       Request::Region(99, Box{{0, 0, 0}, {1, 1, 1}}));  // bad level
   EXPECT_THROW(fut.get(), Error);
+}
+
+// ------------------ fault tolerance & degraded modes -------------------
+
+TEST(QueryServiceFault, PreCancelledRequestYieldsTypedCancelledOutcome) {
+  const Fixture f = make_fixture();
+  QueryService svc(f.compressed, *f.codec);
+  Request r = Request::Plane(2, (f.finest_domain.lo().z +
+                                 f.finest_domain.hi().z) /
+                                    2);
+  r.cancel = std::make_shared<std::atomic<bool>>(true);  // already fired
+
+  const Response resp = svc.execute_full(r);
+  EXPECT_FALSE(resp.outcome.ok());
+  EXPECT_EQ(resp.outcome.code, ErrorCode::kCancelled);
+  EXPECT_FALSE(resp.outcome.message.empty());
+
+  // The throwing front end surfaces the identical typed error.
+  try {
+    (void)svc.execute(r);
+    FAIL() << "execute() must throw the cancelled error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kCancelled);
+  }
+  EXPECT_EQ(svc.counters().failures, 2u);
+  EXPECT_EQ(svc.counters().requests, 2u);
+}
+
+TEST(QueryServiceFault, MicroDeadlineTimesOutTyped) {
+  const Fixture f = make_fixture();
+  QueryService svc(f.compressed, *f.codec);
+  const Response resp = svc.execute_full(
+      Request::Iso(f.iso, vis::VisMethod::kDualCell).with_deadline(1e-6));
+  EXPECT_FALSE(resp.outcome.ok());
+  EXPECT_EQ(resp.outcome.code, ErrorCode::kTimeout);
+  // Deadlines are not transient: no retry was burned on it.
+  EXPECT_EQ(svc.counters().retries, 0u);
+}
+
+TEST(QueryServiceFault, TransientInjectedFaultIsRetriedInvisibly) {
+  const Fixture f = make_fixture();
+  const IntVect p{f.finest_domain.lo().x + 5, f.finest_domain.lo().y + 9,
+                  f.finest_domain.lo().z + 13};
+  const double direct =
+      amr::sample_point_compressed(f.compressed, *f.codec, p);
+
+  ServiceOptions o;
+  o.retry_backoff_ms = 0.0;  // keep the test instant
+  QueryService svc(f.compressed, *f.codec, o);
+  {
+    fault::FaultScope scope("tiledecode:throw:count=1");
+    EXPECT_EQ(svc.point(p), direct);  // caller never sees the fault
+  }
+  const auto ctr = svc.counters();
+  EXPECT_EQ(ctr.retries, 1u);
+  EXPECT_EQ(ctr.failures, 0u);
+  EXPECT_EQ(ctr.requests, 1u);
+}
+
+TEST(QueryServiceFault, BreakerQuarantinesDegradesThenRecoversBitExact) {
+  const Fixture f = make_fixture();
+  const Box roi{{0, 0, 0}, {15, 15, 15}};
+  const auto ref =
+      compress::decompress_level_region(f.compressed, *f.codec, 0, roi);
+  ASSERT_FALSE(ref.empty());
+
+  ServiceOptions o;
+  o.max_retries = 0;          // every injected failure is fatal + recorded
+  o.retry_backoff_ms = 0.0;
+  o.quarantine_failures = 2;  // the 16^3 level-0 patches hold 2 tiles
+  QueryService svc(f.compressed, *f.codec, o);
+
+  // Two distinct tile slots of the same patch container fail: the
+  // breaker trips and quarantines the container.
+  {
+    fault::FaultScope scope("tiledecode:throw");
+    const Box halves[] = {Box{{0, 0, 0}, {15, 15, 7}},
+                          Box{{0, 0, 8}, {15, 15, 15}}};
+    for (const Box& b : halves) {
+      const Response r = svc.execute_full(Request::Region(0, b));
+      ASSERT_FALSE(r.outcome.ok());
+      EXPECT_EQ(r.outcome.code, ErrorCode::kFaultInjected);
+      // The outcome names the failing storage, which is what feeds the
+      // breaker — and what an operator needs to act on.
+      EXPECT_NE(r.outcome.context.container, 0u);
+      EXPECT_NE(r.outcome.context.tile, ErrorContext::kNoTile);
+    }
+  }
+  EXPECT_EQ(svc.counters().failures, 2u);
+  EXPECT_GE(svc.quarantined_containers(), 1u);
+
+  // The faults are gone but the breaker stays tripped: the same region
+  // now DEGRADES (quarantined patches are skipped and reported) instead
+  // of failing or silently serving suspect bytes.
+  const Response degraded = svc.execute_full(Request::Region(0, roi));
+  EXPECT_TRUE(degraded.outcome.ok());
+  EXPECT_TRUE(degraded.outcome.degraded());
+  EXPECT_GT(degraded.outcome.quarantined_patches, 0);
+  EXPECT_LT(degraded.patches.size(), ref.size());
+  EXPECT_GE(svc.counters().degraded, 1u);
+
+  // Storage fixed, quarantine lifted: responses are bit-identical to the
+  // fault-free reference again.
+  svc.unquarantine_all();
+  EXPECT_EQ(svc.quarantined_containers(), 0u);
+  const auto again = svc.region(0, roi);
+  ASSERT_EQ(again.size(), ref.size());
+  for (std::size_t rp = 0; rp < again.size(); ++rp) {
+    ASSERT_EQ(again[rp].box, ref[rp].box);
+    ASSERT_EQ(again[rp].data.size(), ref[rp].data.size());
+    EXPECT_EQ(std::memcmp(again[rp].data.data(), ref[rp].data.data(),
+                          static_cast<std::size_t>(again[rp].data.size()) *
+                              sizeof(double)),
+              0);
+  }
+}
+
+TEST(QueryServiceFault, CorruptStatsTableFallsBackToCullFreeIso) {
+  const Fixture f = make_fixture();
+  const vis::TriMesh ref = vis::amr_isosurface_streamed(
+      f.compressed, *f.codec, f.iso, vis::VisMethod::kDualCell);
+  ASSERT_FALSE(ref.empty());
+
+  // Corrupt the per-tile stats table (min > max) of one level-0 patch
+  // container — the payload stays intact, so the values are still
+  // recoverable, only the culling metadata is lies.
+  auto corrupted = f.compressed;
+  Bytes& blob = corrupted.levels[0].patches[0].blob;
+  ASSERT_EQ(blob[4], 3);  // current container version
+  std::uint64_t ntiles = 0;
+  std::memcpy(&ntiles, blob.data() + 61, sizeof(ntiles));
+  const std::size_t stats_off = 69 + 8 * ntiles;
+  const double bad_min = 1.0, bad_max = 0.0;
+  std::memcpy(blob.data() + stats_off, &bad_min, sizeof(double));
+  std::memcpy(blob.data() + stats_off + 8, &bad_max, sizeof(double));
+
+  QueryService svc(corrupted, *f.codec);
+  const Response r =
+      svc.execute_full(Request::Iso(f.iso, vis::VisMethod::kDualCell));
+  ASSERT_TRUE(r.outcome.ok());
+  EXPECT_TRUE(r.outcome.stats_fallback);
+  EXPECT_TRUE(r.outcome.degraded());
+  EXPECT_GE(svc.counters().degraded, 1u);
+  // Stats never change values: the lenient cull-free mesh is the mesh.
+  expect_mesh_identical(r.mesh, ref);
+
+  // A plain region decode of the corrupt container has no such fallback:
+  // it must surface the typed stats error.
+  const Response region = svc.execute_full(
+      Request::Region(0, Box{{0, 0, 0}, {15, 15, 15}}));
+  EXPECT_FALSE(region.outcome.ok());
+  EXPECT_EQ(region.outcome.code, ErrorCode::kStatsInvalid);
 }
 
 TEST(QueryService, ManyClientThreadsHammerOneServiceCoherently) {

@@ -20,6 +20,7 @@
 #include "sim/fields.hpp"
 #include "sim/tagging.hpp"
 #include "util/bytestream.hpp"
+#include "util/fault.hpp"
 #include "vis/amr_iso.hpp"
 
 #ifdef _OPENMP
@@ -256,6 +257,60 @@ TEST(TileStream, CorruptTilePayloadThrowsFromNext) {
     // The stream is poisoned: a catch-and-continue caller must get an
     // error, never a default-constructed tile posing as data.
     EXPECT_THROW((void)stream.next(), Error) << nt << " threads";
+  }
+}
+
+TEST(TileStream, TransientFaultRetriesLosslesslyPersistentFaultPoisons) {
+  const Array3<double> data = deterministic_field({16, 16, 8});
+  const ChunkedCompressor codec(make_compressor("sz-lr"), ChunkShape{8, 8, 4});
+  const Bytes blob = codec.compress(data.view(), 1e-3);
+  const Array3<double> full = codec.decompress(blob);  // before any plan
+
+  // One injected decode failure: next() throws the typed transient error
+  // with (container, slot) context, the cursor does not advance, and the
+  // immediate retry resumes the stream losslessly.
+  compress::TileCache store(compress::TileCache::kUnbounded);
+  {
+    fault::FaultScope scope("tiledecode:throw:count=1");
+    TileStreamOptions opt;
+    opt.prefetch = false;  // batch = 1 tile: deterministic op schedule
+    opt.cache = compress::TileCacheRef{&store, 7};
+    TileStream stream(codec, blob, opt);
+    try {
+      (void)stream.next();
+      FAIL() << "the injected fault must surface from next()";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kFaultInjected);
+      EXPECT_EQ(e.context().container, 7u);
+      EXPECT_EQ(e.context().tile, 0);
+    }
+    std::int64_t n = 0;
+    while (auto tile = stream.next()) {
+      EXPECT_EQ(tile->index, n++);
+      EXPECT_TRUE(bit_equal(tile->data, slice(full, tile->box)));
+    }
+    EXPECT_EQ(n, stream.tiles_total());
+  }
+
+  // Two consecutive failures of the same batch poison the stream — and
+  // the poison outlives the fault plan: even after the plan is gone,
+  // next() refuses with a typed error naming the failed slot instead of
+  // handing out an undecoded buffer as data.
+  TileStreamOptions opt;
+  opt.prefetch = false;
+  TileStream poisoned(codec, blob, opt);
+  {
+    fault::FaultScope scope("tiledecode:throw");
+    EXPECT_THROW((void)poisoned.next(), Error);  // failure 1: retryable
+    EXPECT_THROW((void)poisoned.next(), Error);  // failure 2: poisons
+  }
+  try {
+    (void)poisoned.next();
+    FAIL() << "a poisoned stream must keep refusing";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kDecodeFailure);
+    EXPECT_NE(std::strstr(e.what(), "failed twice"), nullptr);
+    EXPECT_EQ(e.context().tile, 0);
   }
 }
 

@@ -205,6 +205,51 @@ TEST(TileCache, ClearResetsRetention) {
   EXPECT_EQ(ctr.entries, 0);
 }
 
+TEST(TileCache, QuarantineRefusesExplicitlyAndUnquarantineResets) {
+  TileCache cache(TileCache::kUnbounded);
+  const std::uint64_t c = TileCache::new_container_id();
+
+  // A failed decode is counted per slot but NEVER auto-quarantines:
+  // retry-fresh stays the default (the circuit breaker decides).
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    EXPECT_THROW(cache.get_or_decode(c, 4,
+                                     []() -> Array3<double> {
+                                       throw Error(ErrorCode::kDecodeFailure,
+                                                   "decode boom");
+                                     }),
+                 Error);
+  }
+  EXPECT_EQ(cache.failure_count(c, 4), 2);
+  EXPECT_FALSE(cache.is_quarantined(c, 4));
+
+  // Explicit quarantine: the slot refuses with the typed error before
+  // running any decode, and the refusal is counted.
+  cache.quarantine(c, 4);
+  EXPECT_TRUE(cache.is_quarantined(c, 4));
+  std::atomic<int> decodes{0};
+  try {
+    cache.get_or_decode(c, 4, make_decode(4.0, &decodes));
+    FAIL() << "a quarantined slot must refuse";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kQuarantined);
+  }
+  EXPECT_EQ(decodes.load(), 0);  // never decoded, never blocked a waiter
+  EXPECT_EQ(cache.counters().quarantine_refusals, 1);
+
+  // Sibling slots of the same container stay servable.
+  EXPECT_NO_THROW(cache.get_or_decode(c, 5, make_decode(5.0)));
+
+  // Lifting the quarantine also resets the slot's failure count, and the
+  // slot serves again.
+  cache.unquarantine(c);
+  EXPECT_FALSE(cache.is_quarantined(c, 4));
+  EXPECT_EQ(cache.failure_count(c, 4), 0);
+  bool hit = true;
+  const auto v = cache.get_or_decode(c, 4, make_decode(4.0, &decodes), &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ((*v)(0, 0, 0), 4.0);
+}
+
 TEST(AmrTileCacheBinding, RefIsSizedByConstructionAndBoundsChecked) {
   Array3<double> field = sim::nyx_like_density({32, 32, 32});
   sim::TaggingSpec spec;

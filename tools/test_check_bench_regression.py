@@ -296,6 +296,27 @@ class QualityGateTest(GateHarness):
         flags = ("--metrics", "speedup", "--tolerance", "0.5")
         self.assertEqual(self.run_quality(base, cur, *flags), 1)
 
+    def test_service_doc_with_fault_hooks_config_field_still_gates(self):
+        # The service bench's config record grew a `fault_hooks` field
+        # when the fault-injection layer was compiled in (disarmed). The
+        # speedup gate must neither trip on the new config field nor let
+        # it mask a real speedup regression.
+        def service_doc(speedup, hooks):
+            config = {"stage": "config", "field": "warpx_like_ez",
+                      "nx": 64, "ny": 64, "nz": 128, "clients": 4,
+                      "reps": 3}
+            if hooks is not None:
+                config["fault_hooks"] = hooks
+            return self.flat([config,
+                              {"stage": "speedup", "clients": 4,
+                               "speedup": speedup}])
+        base = self.write("b.json", service_doc(5.0, None))  # pre-hooks
+        ok = self.write("ok.json", service_doc(4.8, 0))
+        bad = self.write("bad.json", service_doc(2.0, 0))
+        flags = ("--metrics", "speedup", "--tolerance", "0.3")
+        self.assertEqual(self.run_quality(base, ok, *flags), 0)
+        self.assertEqual(self.run_quality(base, bad, *flags), 1)
+
     def test_quality_mode_ignores_config_records(self):
         base = self.write("b.json", self.flat(
             [CONFIG] + self.quality_records(20, 65)))
