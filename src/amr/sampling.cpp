@@ -240,8 +240,10 @@ void for_each_tile_compressed(
         so.order = compress::TileStreamOptions::Order::kValueBand;
         so.band_lo = *options.band_lo;
         so.band_hi = *options.band_hi;
-        // The band targets decoded values; header stats describe the
-        // original data, so widen by the hierarchy's absolute bound.
+        // The band targets decoded values. v4 container stats bound
+        // decoded values already (the stream culls exactly); for pre-v4
+        // original-value stats the stream widens by this hierarchy-wide
+        // absolute bound.
         so.band_widen = compressed.abs_eb;
       }
       compress::TileStream stream(*cc, blob, so);
@@ -257,6 +259,8 @@ void for_each_tile_compressed(
       agg.tiles_decoded += stream.tiles_decoded() - stream.cache_hits();
       agg.cache_hits += stream.cache_hits();
       agg.tiles_total += stream.tiles_total();
+      agg.tiles_culled_exact += stream.skipped_exact();
+      agg.tiles_culled_conservative += stream.skipped_conservative();
     } else {
       // Plain blob: no partial decode possible; inflate (once per call,
       // or once per cache lifetime through the shared cache) and yield

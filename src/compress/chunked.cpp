@@ -18,6 +18,8 @@ constexpr std::uint32_t kMagic = 0x4156434b;  // "AVCK"
 constexpr std::uint16_t kVersionV1 = 1;       // no stats table (PR3 format)
 constexpr std::uint16_t kVersionV2 = 2;       // per-tile min/max after sizes
 constexpr std::uint16_t kVersionV3 = 3;       // + per-tile face-slab ranges
+constexpr std::uint16_t kVersionV4 = 4;       // decoded-value stats +
+                                              // max_err + histogram sketch
 // Decompress-side sanity caps: a corrupt header must not drive the output
 // allocation (cells * 8 bytes) from attacker-controlled dimensions alone.
 constexpr std::int64_t kMaxDim = std::int64_t{1} << 24;
@@ -75,7 +77,7 @@ ParsedContainer parse_body(ByteReader& r, const std::string& expect_codec) {
   ParsedContainer pc;
   pc.version = r.get<std::uint16_t>();
   AMRVIS_CHECK(ErrorCode::kCorruptHeader,
-               pc.version >= kVersionV1 && pc.version <= kVersionV3,
+               pc.version >= kVersionV1 && pc.version <= kVersionV4,
                "chunked: unsupported container version");
   const auto name_len = r.get<std::uint16_t>();
   const auto name_bytes = r.get_bytes(name_len);
@@ -120,7 +122,10 @@ ParsedContainer parse_body(ByteReader& r, const std::string& expect_codec) {
   const std::size_t entry_bytes =
       sizeof(std::uint64_t) +
       (pc.version >= kVersionV2 ? 2 * sizeof(double) : 0) +
-      (pc.version >= kVersionV3 ? 12 * sizeof(double) : 0);
+      (pc.version >= kVersionV3 ? 12 * sizeof(double) : 0) +
+      (pc.version >= kVersionV4
+           ? sizeof(double) + kTileHistBuckets * sizeof(std::uint32_t)
+           : 0);
   AMRVIS_CHECK(ErrorCode::kCorruptHeader,
                r.remaining() / entry_bytes >=
                    static_cast<std::uint64_t>(pc.ntiles),
@@ -166,9 +171,48 @@ ParsedContainer parse_body(ByteReader& r, const std::string& expect_codec) {
       }
     }
   }
+  if (pc.version >= kVersionV4) {
+    pc.max_err.resize(static_cast<std::size_t>(pc.ntiles));
+    for (double& me : pc.max_err) {
+      me = r.get<double>();
+      // `me >= 0` rejects both NaN (comparison false) and negatives: an
+      // achieved-error entry the exactness claim rests on must be a real
+      // non-negative number.
+      if (!(me >= 0.0)) {
+        if (lenient_stats_depth == 0)
+          throw Error(ErrorCode::kStatsInvalid,
+                      "chunked: corrupt tile max-error (negative or NaN)");
+        stats_ok = false;
+      }
+    }
+    pc.hist.resize(static_cast<std::size_t>(pc.ntiles));
+    for (std::int64_t t = 0; t < pc.ntiles; ++t) {
+      TileHistogram& h = pc.hist[static_cast<std::size_t>(t)];
+      std::uint64_t mass = 0;
+      for (std::uint32_t& bucket : h) {
+        bucket = r.get<std::uint32_t>();
+        mass += bucket;
+      }
+      // The sketch must account for every cell of its tile, or carry no
+      // information at all (all zeros — the NaN-tile encoding): anything
+      // in between is a table the ranking heuristic cannot trust.
+      const TileBox b = tile_box(t, pc.grid, pc.shape, pc.tile);
+      const auto cells = static_cast<std::uint64_t>(
+          b.ext.nx * b.ext.ny * b.ext.nz);
+      if (mass != 0 && mass != cells) {
+        if (lenient_stats_depth == 0)
+          throw Error(ErrorCode::kStatsInvalid,
+                      "chunked: tile histogram mass does not match its "
+                      "cell count");
+        stats_ok = false;
+      }
+    }
+  }
   if (!stats_ok) {
     pc.stats.clear();
     pc.faces.clear();
+    pc.max_err.clear();
+    pc.hist.clear();
   }
   // Slice the payload serially; get_bytes bounds-checks every size against
   // the remaining payload, so corrupt sizes throw here instead of reading
@@ -223,6 +267,71 @@ using detail::tile_cell_box;
 using detail::tile_grid;
 using detail::TileBox;
 using detail::TileGrid;
+
+namespace {
+
+TileStats widened(TileStats st, double w) {
+  // Infinite endpoints absorb the widening (-inf - w == -inf); finite
+  // ones move outward by the caller's error bound.
+  st.min -= w;
+  st.max += w;
+  return st;
+}
+
+}  // namespace
+
+TileStatsView::TileStatsView(const detail::ParsedContainer& pc, double widen)
+    : pc_(&pc),
+      widen_(widen),
+      // A lenient parse drops an invalid v4 table wholesale, so "version
+      // says 4" alone is not enough: exactness requires the stats to
+      // actually be present.
+      exact_(pc.version >= kVersionV4 && !pc.stats.empty()) {}
+
+TileStats TileStatsView::tile_range(std::int64_t t) const {
+  const TileStats st = pc_->stats_of(t);
+  return exact_ ? st : widened(st, widen_);
+}
+
+TileStats TileStatsView::face_range(std::int64_t t, int face) const {
+  if (pc_->faces.empty()) return tile_range(t);
+  const TileStats st =
+      pc_->faces[static_cast<std::size_t>(t)][static_cast<std::size_t>(face)];
+  return exact_ ? st : widened(st, widen_);
+}
+
+double TileStatsView::max_err(std::int64_t t) const {
+  if (pc_->max_err.empty()) return std::numeric_limits<double>::infinity();
+  return pc_->max_err[static_cast<std::size_t>(t)];
+}
+
+bool TileStatsView::may_contain(std::int64_t t, double lo, double hi) const {
+  const TileStats r = tile_range(t);
+  return !(r.max < lo || r.min > hi);
+}
+
+double TileStatsView::expected_in_band(std::int64_t t, double lo,
+                                       double hi) const {
+  if (pc_->hist.empty()) return 1.0;
+  const TileHistogram& h = pc_->hist[static_cast<std::size_t>(t)];
+  std::uint64_t mass = 0;
+  for (const std::uint32_t bucket : h) mass += bucket;
+  if (mass == 0) return 1.0;  // "no info" sketch (NaN tiles)
+  const TileStats st = pc_->stats_of(t);
+  const double span = st.max - st.min;
+  if (!std::isfinite(st.min) || !std::isfinite(span)) return 1.0;
+  if (!(span > 0.0)) {
+    // Degenerate range: every cell holds st.min exactly.
+    return (st.min >= lo && st.min <= hi) ? 1.0 : 0.0;
+  }
+  std::uint64_t in = 0;
+  for (int b = 0; b < kTileHistBuckets; ++b) {
+    const double b_lo = st.min + span * b / kTileHistBuckets;
+    const double b_hi = st.min + span * (b + 1) / kTileHistBuckets;
+    if (b_hi >= lo && b_lo <= hi) in += h[static_cast<std::size_t>(b)];
+  }
+  return static_cast<double>(in) / static_cast<double>(mass);
+}
 
 ChunkShape parse_chunk_shape(const std::string& spec) {
   ChunkShape tile;
@@ -297,6 +406,8 @@ Bytes ChunkedCompressor::compress(View3<const double> data,
   std::vector<Bytes> blobs(static_cast<std::size_t>(ntiles));
   std::vector<TileStats> stats(static_cast<std::size_t>(ntiles));
   std::vector<TileFaceStats> faces(static_cast<std::size_t>(ntiles));
+  std::vector<double> max_err(static_cast<std::size_t>(ntiles), 0.0);
+  std::vector<TileHistogram> hists(static_cast<std::size_t>(ntiles));
   parallel_for(ntiles, [&](std::int64_t t) {
     const TileBox b = tile_box(t, grid, s, tile_);
     Array3<double> tdata(b.ext);
@@ -304,6 +415,17 @@ Bytes ChunkedCompressor::compress(View3<const double> data,
       for (std::int64_t dy = 0; dy < b.ext.ny; ++dy)
         std::memcpy(&tdata(0, dy, dz), &data(b.i0, b.j0 + dy, b.k0 + dz),
                     static_cast<std::size_t>(b.ext.nx) * sizeof(double));
+    Bytes& blob = blobs[static_cast<std::size_t>(t)];
+    blob = inner().compress(tdata.view(), abs_eb);
+    // v4: round-trip the tile through the wrapped codec so the recorded
+    // stats bound the values a decoder will actually reconstruct — the
+    // read-side cull then needs no eb-widening. The decode goes straight
+    // to the inner codec (not detail::decode_tile): fault injection
+    // targets serving-path decodes, and a fault here would bake corrupt
+    // stats into a well-formed container.
+    const Array3<double> ddata = inner().decompress(blob);
+    AMRVIS_CHECK(ErrorCode::kDecodeFailure, ddata.shape() == b.ext,
+                 "chunked: round-trip tile shape mismatch");
     // A region CONTAINING any NaN cell records the unbounded "anything"
     // range (the quantizer stores non-finite values losslessly, so
     // NaN-masked fields are legal inputs): NaN poisons every downstream
@@ -320,7 +442,7 @@ Bytes ChunkedCompressor::compress(View3<const double> data,
       for (std::int64_t z = z0; z <= z1; ++z)
         for (std::int64_t y = y0; y <= y1; ++y)
           for (std::int64_t x = x0; x <= x1; ++x) {
-            const double v = tdata(x, y, z);
+            const double v = ddata(x, y, z);
             if (std::isnan(v)) {
               return TileStats{-std::numeric_limits<double>::infinity(),
                                std::numeric_limits<double>::infinity()};
@@ -335,8 +457,9 @@ Bytes ChunkedCompressor::compress(View3<const double> data,
       return TileStats{lo, hi};
     };
     const Shape3& e = b.ext;
-    stats[static_cast<std::size_t>(t)] =
+    const TileStats st =
         region_range(0, e.nx - 1, 0, e.ny - 1, 0, e.nz - 1);
+    stats[static_cast<std::size_t>(t)] = st;
     // Face slabs, two layers deep (clamped): what a seam-crossing cube's
     // vertex window can reach from the neighboring side.
     TileFaceStats& tf = faces[static_cast<std::size_t>(t)];
@@ -349,8 +472,34 @@ Bytes ChunkedCompressor::compress(View3<const double> data,
     tf[3] = region_range(0, e.nx - 1, e.ny - 1 - dy, e.ny - 1, 0, e.nz - 1);
     tf[4] = region_range(0, e.nx - 1, 0, e.ny - 1, 0, dz);
     tf[5] = region_range(0, e.nx - 1, 0, e.ny - 1, e.nz - 1 - dz, e.nz - 1);
-    blobs[static_cast<std::size_t>(t)] =
-        inner().compress(tdata.view(), abs_eb);
+    // Achieved error over cells where both sides are finite (non-finite
+    // values round-trip losslessly, and inf - inf is NaN, not an error).
+    double me = 0.0;
+    for (std::int64_t f = 0; f < tdata.size(); ++f) {
+      const double o = tdata[f];
+      const double d = ddata[f];
+      if (std::isfinite(o) && std::isfinite(d))
+        me = std::max(me, std::abs(o - d));
+    }
+    max_err[static_cast<std::size_t>(t)] = me;
+    // Histogram sketch over the decoded range. A NaN tile has the
+    // unbounded range above and keeps the all-zero "no info" sketch; a
+    // degenerate or non-finite span piles every cell into bucket 0 —
+    // still a valid (if uninformative) mass distribution.
+    if (std::isfinite(st.min) && std::isfinite(st.max)) {
+      TileHistogram& h = hists[static_cast<std::size_t>(t)];
+      const double span = st.max - st.min;
+      for (std::int64_t f = 0; f < ddata.size(); ++f) {
+        int bkt = 0;
+        if (span > 0.0 && std::isfinite(span)) {
+          const double x =
+              (ddata[f] - st.min) / span * kTileHistBuckets;
+          bkt = x >= kTileHistBuckets ? kTileHistBuckets - 1
+                                      : static_cast<int>(x);
+        }
+        ++h[static_cast<std::size_t>(bkt)];
+      }
+    }
   });
 
   // Serial concatenation in slot order after the join keeps the container
@@ -359,7 +508,7 @@ Bytes ChunkedCompressor::compress(View3<const double> data,
   Bytes out;
   ByteWriter w(out);
   w.put<std::uint32_t>(kMagic);
-  w.put<std::uint16_t>(kVersionV3);
+  w.put<std::uint16_t>(kVersionV4);
   w.put<std::uint16_t>(static_cast<std::uint16_t>(codec.size()));
   // Byte-at-a-time: a range insert from the string's SSO buffer trips a
   // gcc-12 -Warray-bounds false positive under -Werror.
@@ -381,6 +530,9 @@ Bytes ChunkedCompressor::compress(View3<const double> data,
       w.put<double>(st.min);
       w.put<double>(st.max);
     }
+  for (const double me : max_err) w.put<double>(me);
+  for (const TileHistogram& h : hists)
+    for (const std::uint32_t bucket : h) w.put<std::uint32_t>(bucket);
   for (const Bytes& b : blobs) w.put_bytes(b);
   return out;
 }
@@ -495,12 +647,12 @@ std::vector<TileRegion> ChunkedCompressor::tiles_overlapping(
     std::span<const std::uint8_t> blob, double lo, double hi) const {
   AMRVIS_REQUIRE_MSG(lo <= hi, "chunked: tiles_overlapping needs lo <= hi");
   const ParsedContainer pc = parse_container(blob, inner().name());
+  const TileStatsView view(pc);  // caller widens pre-v4 bands; v4 is exact
   std::vector<TileRegion> out;
   for (std::int64_t t = 0; t < pc.ntiles; ++t) {
-    const TileStats st = pc.stats_of(t);
-    if (st.max < lo || st.min > hi) continue;
-    out.push_back(
-        {t, tile_cell_box(tile_box(t, pc.grid, pc.shape, pc.tile)), st});
+    if (!view.may_contain(t, lo, hi)) continue;
+    out.push_back({t, tile_cell_box(tile_box(t, pc.grid, pc.shape, pc.tile)),
+                   view.tile_range(t)});
   }
   return out;
 }

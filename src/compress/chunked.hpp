@@ -10,38 +10,56 @@
 // joins, so a container blob is bit-identical across OMP_NUM_THREADS
 // settings and across the no-OpenMP build (each tile blob is produced by
 // the wrapped codec, whose encoders are single-thread deterministic).
-// Per-tile stats are computed inside each tile's own (serial) pass and
-// serialized after the join, so v2 keeps the same guarantee.
+// Per-tile stats — including the v4 round-trip decode that derives them —
+// are computed inside each tile's own (serial) pass and serialized after
+// the join, so every version keeps the same guarantee.
 //
 // Container layout (little-endian, all fields validated on decompress):
 //
 //   u32  magic "AVCK"
-//   u16  version (1, 2 or 3; the writer emits 3, all decode)
+//   u16  version (1-4; the writer emits 4, all decode)
 //   u16  codec-name length, followed by that many name bytes
 //   i64  nx, ny, nz        full field shape
 //   i64  tx, ty, tz        tile extents (boundary tiles are clipped)
 //   u64  ntiles            must equal ceil(nx/tx)*ceil(ny/ty)*ceil(nz/tz)
 //   u64  size[ntiles]      byte size of each tile blob, tile order
-//   f64  (min,max)[ntiles] v2+: per-tile input value range, tile order
+//   f64  (min,max)[ntiles] v2+: per-tile value range, tile order
 //   f64  face (min,max)[6][ntiles]
-//                          v3 only: per-tile FACE-SLAB value ranges —
+//                          v3+: per-tile FACE-SLAB value ranges —
 //                          the range of the cells within two layers of
 //                          each tile face, face order [-x,+x,-y,+y,-z,+z]
 //                          — tile order
+//   f64  max_err[ntiles]   v4: per-tile ACHIEVED max |orig - decoded|
+//                          over finite cells (>= 0, NaN rejected)
+//   u32  hist[16][ntiles]  v4: per-tile decoded-value histogram, 16
+//                          equal-width buckets over the tile's decoded
+//                          [min, max]; bucket counts sum to the tile's
+//                          cell count, or are all zero ("no info", the
+//                          NaN-tile encoding) — tile order
 //        payload           concatenated tile blobs, tile order
 //
 // The stats table is what makes the container a queryable store instead
 // of a blob pipe: decompress_region() inflates only the tiles a request
 // box touches, and tiles_overlapping(lo, hi) culls tiles whose value
 // range cannot intersect an isosurface / query band without touching the
-// payload at all. Stats are ranges of the *original* data; decoded
-// values may exceed them by up to the absolute error bound, so widen the
-// query band by abs_eb when culling against decompressed values. A tile
-// (or face slab) containing any NaN cell records (-inf, +inf) — the
-// same conservative "anything" range a v1 container implies: the
-// quantizer round-trips non-finite values losslessly, so NaN-masked
-// fields are legal inputs, and a marching cube with a NaN corner can
-// still emit geometry, so no finite range may vouch for such a region.
+// payload at all.
+//
+// v2/v3 stats are ranges of the *original* data; decoded values may
+// exceed them by up to the absolute error bound, so widen the query band
+// by abs_eb when culling against decompressed values. Since v4 the
+// writer round-trips every tile through the wrapped codec during
+// compression and records the range of the values a decoder will
+// actually reconstruct — the cull is EXACT at decoded-value level, no
+// widening, which is what rescues bands the eb-widened original-value
+// cull cannot separate (the Nyx density field). The round-trip also
+// yields the achieved max error per tile and a 16-bucket decoded-value
+// histogram used to rank tiles by expected in-band cell mass for
+// decode-ahead ordering. A tile (or face slab) containing any NaN cell
+// records (-inf, +inf) — the same conservative "anything" range a v1
+// container implies: the quantizer round-trips non-finite values
+// losslessly, so NaN-masked fields are legal inputs, and a marching cube
+// with a NaN corner can still emit geometry, so no finite range may
+// vouch for such a region. NaN tiles write an all-zero histogram.
 //
 // The v3 face-slab table exists for seam-exact streaming consumers (the
 // streamed isosurface in vis/amr_iso): a cube of cells crossing a tile
@@ -57,6 +75,7 @@
 // guarantee as the wrapped codec.
 
 #include <array>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -90,9 +109,14 @@ struct TileStats {
   double max = 0.0;
 };
 
-/// Per-tile face-slab ranges (v3): range of the cells within two layers
+/// Per-tile face-slab ranges (v3+): range of the cells within two layers
 /// of each face, order [-x, +x, -y, +y, -z, +z] (index 2*axis + side).
 using TileFaceStats = std::array<TileStats, 6>;
+
+/// Fixed-width decoded-value histogram sketch recorded per tile in v4
+/// containers: equal-width buckets over the tile's decoded [min, max].
+inline constexpr int kTileHistBuckets = 16;
+using TileHistogram = std::array<std::uint32_t, kTileHistBuckets>;
 
 /// One tile selected by a header query: its slot index and the cell
 /// region it covers in the full field (0-based, inclusive corners).
@@ -112,6 +136,12 @@ struct RegionDecodeStats {
   std::int64_t tiles_decoded = 0;  ///< tiles this query inflated itself
   std::int64_t tiles_total = 0;
   std::int64_t cache_hits = 0;     ///< tiles served from a shared cache
+  /// Tiles skipped by a value cull, split by WHY the skip was sound:
+  /// `exact` when v4 decoded-value bounds ruled the tile out with no
+  /// widening, `conservative` when pre-v4 original-value bounds did so
+  /// only after eb-widening. Zero outside value-culled paths.
+  std::int64_t tiles_culled_exact = 0;
+  std::int64_t tiles_culled_conservative = 0;
 };
 
 namespace detail {
@@ -149,6 +179,8 @@ struct ParsedContainer {
   std::vector<std::span<const std::uint8_t>> tiles;
   std::vector<TileStats> stats;       ///< empty on a v1 container
   std::vector<TileFaceStats> faces;   ///< empty below v3
+  std::vector<double> max_err;        ///< empty below v4
+  std::vector<TileHistogram> hist;    ///< empty below v4
 
   /// Stats of slot `t`; the conservative (-inf, +inf) on a v1 container.
   [[nodiscard]] TileStats stats_of(std::int64_t t) const;
@@ -182,6 +214,53 @@ Array3<double> decode_tile(const Compressor& inner,
                            std::span<const std::uint8_t> blob);
 
 }  // namespace detail
+
+/// The one shared read-side view over a container's per-tile statistics —
+/// every cull/rank decision (tiles_overlapping, TileStream band order,
+/// the streamed-iso seam cull, QueryService prefetch ranking) consumes
+/// stats through this instead of poking at the raw tables.
+///
+/// Semantics: on a v4 container the stats bound DECODED values, so
+/// ranges are served raw and `exact()` is true; on older containers (or
+/// a v4 whose tables were dropped by a lenient parse) the stats bound
+/// original values, so every range is widened by the `widen` the caller
+/// supplies (its abs_eb) and `exact()` is false. Non-owning: the parsed
+/// container must outlive the view.
+class TileStatsView {
+ public:
+  explicit TileStatsView(const detail::ParsedContainer& pc,
+                         double widen = 0.0);
+
+  /// True when ranges are exact decoded-value bounds (v4 stats present):
+  /// a cull against them needs no eb-widening.
+  [[nodiscard]] bool exact() const { return exact_; }
+
+  /// Whole-tile value range of slot `t`, widened when not exact.
+  /// (-inf, +inf) when the container carries no usable stats.
+  [[nodiscard]] TileStats tile_range(std::int64_t t) const;
+
+  /// Face-slab range of slot `t`, face order [-x,+x,-y,+y,-z,+z];
+  /// falls back to the whole-tile range below v3. Widened when not exact.
+  [[nodiscard]] TileStats face_range(std::int64_t t, int face) const;
+
+  /// Achieved max |orig - decoded| of slot `t`; +inf below v4 (the
+  /// conservative "only the eb bound is known" answer).
+  [[nodiscard]] double max_err(std::int64_t t) const;
+
+  /// May slot `t` hold a decoded value in [lo, hi]? Never wrongly false.
+  [[nodiscard]] bool may_contain(std::int64_t t, double lo, double hi) const;
+
+  /// Upper bound on the fraction of slot `t`'s cells whose decoded value
+  /// lies in [lo, hi], from the v4 histogram sketch; 1.0 when no sketch
+  /// is available. Monotone ranking signal, not an exact count.
+  [[nodiscard]] double expected_in_band(std::int64_t t, double lo,
+                                        double hi) const;
+
+ private:
+  const detail::ParsedContainer* pc_;
+  double widen_ = 0.0;
+  bool exact_ = false;
+};
 
 class ChunkedCompressor final : public Compressor {
  public:
@@ -223,8 +302,10 @@ class ChunkedCompressor final : public Compressor {
   /// Value-range tile cull: the tiles whose recorded [min, max] range
   /// intersects [lo, hi], without touching the payload. On a v1
   /// container (no stats table) every tile is returned — conservative,
-  /// never wrong. Stats describe the original data; widen [lo, hi] by
-  /// the absolute error bound when the query targets decoded values.
+  /// never wrong. v4 stats bound decoded values, so the cull is exact
+  /// with no widening; v2/v3 stats describe the original data — widen
+  /// [lo, hi] by the absolute error bound when the query targets decoded
+  /// values.
   [[nodiscard]] std::vector<TileRegion> tiles_overlapping(
       std::span<const std::uint8_t> blob, double lo, double hi) const;
 

@@ -23,7 +23,9 @@ TileStream::TileStream(const ChunkedCompressor& codec,
       prefetch_(options.prefetch),
       cache_(options.cache),
       cancel_(options.cancel) {
-  const bool band = options.order == TileStreamOptions::Order::kValueBand;
+  const bool band =
+      options.order == TileStreamOptions::Order::kValueBand ||
+      options.order == TileStreamOptions::Order::kExpectedBand;
   if (band) {
     AMRVIS_REQUIRE_MSG(options.band_lo <= options.band_hi,
                        "tile_stream: value band needs lo <= hi");
@@ -35,17 +37,35 @@ TileStream::TileStream(const ChunkedCompressor& codec,
         amr::Box::from_shape(pc_.shape).contains(*options.region),
         "tile_stream: region outside the stored field");
   }
-  const double lo = band ? options.band_lo - options.band_widen : 0.0;
-  const double hi = band ? options.band_hi + options.band_widen : 0.0;
+  // The view applies band_widen only to conservative (pre-v4) stats —
+  // exact decoded-value bounds need no widening, which is the point.
+  const TileStatsView view(pc_, options.band_widen);
   selected_.reserve(static_cast<std::size_t>(pc_.ntiles));
   for (std::int64_t t = 0; t < pc_.ntiles; ++t) {
     const amr::Box box = detail::tile_cell_box(
         detail::tile_box(t, pc_.grid, pc_.shape, pc_.tile));
     if (options.region && !options.region->intersects(box)) continue;
     const TileStats st = pc_.stats_of(t);
-    if (band && (st.max < lo || st.min > hi)) continue;
+    if (band && !view.may_contain(t, options.band_lo, options.band_hi)) {
+      ++(view.exact() ? skipped_exact_ : skipped_conservative_);
+      continue;
+    }
     if (options.select && !options.select(TileRegion{t, box, st})) continue;
     selected_.push_back(t);
+  }
+  if (options.order == TileStreamOptions::Order::kExpectedBand) {
+    // Rank by the v4 histogram sketch's expected in-band cell mass,
+    // descending; the stable sort keeps slot order among ties, so
+    // without a sketch (every score 1.0) this degrades to kValueBand.
+    std::vector<double> score(static_cast<std::size_t>(pc_.ntiles), 0.0);
+    for (const std::int64_t t : selected_)
+      score[static_cast<std::size_t>(t)] =
+          view.expected_in_band(t, options.band_lo, options.band_hi);
+    std::stable_sort(selected_.begin(), selected_.end(),
+                     [&](std::int64_t a, std::int64_t b) {
+                       return score[static_cast<std::size_t>(a)] >
+                              score[static_cast<std::size_t>(b)];
+                     });
   }
 }
 

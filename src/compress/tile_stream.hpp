@@ -12,14 +12,26 @@
 // never just promised.
 //
 // Ordering policy:
-//  - kLayout      every selected tile in container slot order (row-major,
-//                 tx fastest — the order decompress() assembles).
-//  - kValueBand   only tiles whose recorded [min, max] range, widened by
-//                 `band_widen` (pass the codec's abs_eb when the query
-//                 targets decoded values), intersects [band_lo, band_hi];
-//                 still in slot order. On a v1 container every tile
-//                 qualifies — conservative, never wrong.
-// An optional `region` box additionally restricts either order to tiles
+//  - kLayout        every selected tile in container slot order
+//                   (row-major, tx fastest — the order decompress()
+//                   assembles).
+//  - kValueBand     only tiles whose recorded [min, max] range intersects
+//                   [band_lo, band_hi]; still in slot order. Band
+//                   semantics go through TileStatsView: on a v4 container
+//                   the recorded ranges bound decoded values, so the
+//                   match is exact and `band_widen` is ignored; on older
+//                   containers the ranges describe original values and
+//                   are widened by `band_widen` (pass the codec's abs_eb
+//                   when the query targets decoded values). On a v1
+//                   container every tile qualifies — conservative, never
+//                   wrong. skipped_exact()/skipped_conservative() report
+//                   how many tiles the band cut and under which regime.
+//  - kExpectedBand  the kValueBand selection, reordered by the v4
+//                   histogram sketch's expected in-band cell mass
+//                   (descending, stable by slot) — decode-ahead reaches
+//                   the surface-dense tiles first. Without a sketch the
+//                   order degrades to kValueBand's slot order.
+// An optional `region` box additionally restricts any order to tiles
 // intersecting it (the slab-raster access pattern of the streamed
 // isosurface path).
 //
@@ -65,13 +77,17 @@ struct StreamTile {
 
 struct TileStreamOptions {
   enum class Order {
-    kLayout,     ///< all tiles, container slot order
-    kValueBand,  ///< only tiles whose value range meets the band
+    kLayout,        ///< all tiles, container slot order
+    kValueBand,     ///< only tiles whose value range meets the band
+    kExpectedBand,  ///< band tiles, ranked by expected in-band mass
   };
   Order order = Order::kLayout;
-  double band_lo = 0.0;    ///< kValueBand: inclusive band low edge
-  double band_hi = 0.0;    ///< kValueBand: inclusive band high edge
-  double band_widen = 0.0;  ///< widen the band by this (codec abs_eb)
+  double band_lo = 0.0;    ///< band orders: inclusive band low edge
+  double band_hi = 0.0;    ///< band orders: inclusive band high edge
+  /// Widen the band by this (codec abs_eb) when culling against pre-v4
+  /// original-value stats; ignored when the container carries exact
+  /// decoded-value stats (v4).
+  double band_widen = 0.0;
   std::optional<amr::Box> region;  ///< keep only tiles intersecting this
   /// Optional custom filter, applied after the order/region filters:
   /// tiles it rejects are never decoded. Receives the slot index,
@@ -115,6 +131,12 @@ class TileStream {
   [[nodiscard]] std::int64_t cache_hits() const {
     return cache_hits_.load(std::memory_order_relaxed);
   }
+  /// Tiles the value band rejected using exact v4 decoded-value bounds.
+  [[nodiscard]] std::int64_t skipped_exact() const { return skipped_exact_; }
+  /// Tiles the value band rejected using eb-widened pre-v4 bounds.
+  [[nodiscard]] std::int64_t skipped_conservative() const {
+    return skipped_conservative_;
+  }
 
   /// Decoded tiles currently held by the stream (prefetch buffer).
   [[nodiscard]] int live_tiles() const {
@@ -136,8 +158,10 @@ class TileStream {
   bool prefetch_;
   TileCacheRef cache_;
   const util::CancelToken* cancel_ = nullptr;
-  std::vector<std::int64_t> selected_;  ///< slot indices, ascending
+  std::vector<std::int64_t> selected_;  ///< slot indices, policy order
   std::size_t cursor_ = 0;              ///< next selected_ entry to decode
+  std::int64_t skipped_exact_ = 0;
+  std::int64_t skipped_conservative_ = 0;
   std::vector<StreamTile> buffer_;      ///< decoded, not yet handed out
   std::size_t head_ = 0;                ///< first live entry of buffer_
   std::int64_t decoded_ = 0;

@@ -30,6 +30,14 @@ struct DatasetSpec {
   /// for signed fields whose interesting surfaces sit at an absolute
   /// amplitude (the WarpX wavefronts) rather than a quantile.
   double iso_fraction_of_max = 0;
+  /// When > 0, the quantile of the dataset's *localized-structure*
+  /// surface — for Nyx the halo surface (the compact high-density peaks
+  /// sim::nyx_like_density injects; the structures isosurface studies
+  /// key on). `iso_quantile` stays the interface-crossing study value
+  /// (halo outskirts); this one is what the streamed-iso/decode-
+  /// avoidance studies contour. 0 means the dataset has no separate
+  /// localized surface (WarpX: the wavefront already is one).
+  double iso_quantile_halo = 0;
 };
 
 /// Nyx-like: clumpy lognormal density, 40.7% refined, value tagging.
@@ -61,6 +69,12 @@ Array3<double> uniform_truth_field(const std::string& name, Shape3 shape,
 /// Iso value for `spec` given its truth field (quantile-based).
 double pick_iso_value(const DatasetSpec& spec,
                       const Array3<double>& truth);
+
+/// Iso value of the dataset's localized-structure surface (for Nyx the
+/// halo surface, `iso_quantile_halo`); falls back to pick_iso_value
+/// when the spec defines none.
+double pick_halo_iso_value(const DatasetSpec& spec,
+                           const Array3<double>& truth);
 
 /// Axis to project renders along: the shortest domain axis (maximizes
 /// visible surface for elongated domains).

@@ -1,7 +1,9 @@
 #include "service/query_service.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
+#include <numeric>
 #include <optional>
 #include <thread>
 #include <unordered_set>
@@ -427,6 +429,43 @@ void QueryService::prefetch_regions(const std::vector<Request>& reqs) {
     }
   }
   if (units.empty()) return;
+
+  // Rank before decoding: when the batch also carries iso requests,
+  // tiles whose v4 histogram sketch promises cells at one of the
+  // isovalues are prefetched first, so a byte-bounded shared cache
+  // warmed by a truncated or racing prefetch holds the most useful
+  // tiles. Ranking is pure order — the deduplicated unit SET never
+  // changes, plain whole-blob units keep their neutral 1.0 rank, and
+  // containers without a sketch rank 1.0 too (stable sort preserves
+  // their request order).
+  std::vector<double> isos;
+  for (const Request& req : reqs)
+    if (req.kind == Request::Kind::kIso) isos.push_back(req.iso);
+  if (!isos.empty()) {
+    std::vector<double> rank(units.size(), 1.0);
+    for (std::size_t i = 0; i < units.size(); ++i) {
+      const DecodeUnit& u = units[i];
+      if (u.slot == compress::TileCache::kWholeBlob) continue;
+      const auto& plan =
+          *plans[static_cast<std::size_t>(u.level)][u.patch];
+      const compress::TileStatsView view(*plan.pc, compressed_->abs_eb);
+      double r = 0.0;
+      for (const double iso : isos)
+        r = std::max(r, view.expected_in_band(u.slot, iso, iso));
+      rank[i] = r;
+    }
+    std::vector<std::size_t> order(units.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return rank[a] > rank[b];
+                     });
+    std::vector<DecodeUnit> sorted;
+    sorted.reserve(units.size());
+    for (const std::size_t i : order)
+      sorted.push_back(units[i]);
+    units.swap(sorted);
+  }
 
   // One pool pass over the deduplicated units; the per-entry once-flag
   // makes this safe even if a concurrent client races the same tiles.

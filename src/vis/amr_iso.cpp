@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cstring>
 #include <limits>
+#include <list>
+#include <map>
+#include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
-#include "amr/sampling.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 #include "vis/isosurface.hpp"
@@ -180,29 +183,86 @@ struct VRange {
   }
 };
 
-/// Could a cube whose values lie in `r` widened by `eb` survive the
-/// extraction quick-reject (some value > iso, some <= iso)? Mirrors the
-/// reject exactly: kept cubes have max > iso and min <= iso; decoded
-/// values sit within [stats.min - eb, stats.max + eb], and both vertex
-/// averages (re-sampling) and raw cell values (dual) stay in that hull.
-bool straddles(const VRange& r, double iso, double eb) {
-  return r.any && r.lo - eb <= iso && iso < r.hi + eb;
+/// Could a cube whose values lie in `r` survive the extraction
+/// quick-reject (some value > iso, some <= iso)? Mirrors the reject
+/// exactly: kept cubes have max > iso and min <= iso. The caller's
+/// ranges bound DECODED values already — exact v4 bounds served raw,
+/// pre-v4 original-value stats widened by the codec's abs_eb when the
+/// plan fills its LevelTiles — and both vertex averages (re-sampling)
+/// and raw cell values (dual) stay inside that hull.
+bool straddles(const VRange& r, double iso) {
+  return r.any && r.lo <= iso && iso < r.hi;
 }
 
-/// Dense raster of one z-slab of one level (full xy extent,
-/// domain-relative planes [z0, z1]) — the streamed analogue of a
-/// LevelField restricted to the slab, plus a `dec` mask marking the
-/// cells whose tile was actually decoded (the value cull may skip tiles;
-/// a cell with has=1, dec=0 belongs to a provably non-straddling cube).
-struct SlabRaster {
-  std::int64_t z0 = 0, z1 = -1;
-  Array3<double> values;
-  Array3<std::uint8_t> has, unc, dec;
+/// Sweep-local decoded-tile LRU (used when no shared cache is given):
+/// retains tiles that span bricks the sweep has not reached yet, so a
+/// tile crossing brick seams is decoded once, under a hard byte budget
+/// of `lru_tiles` worst-case tiles. MRU at the back; an entry larger
+/// than the whole budget is simply not retained (bypass).
+class SweepTileLru {
+ public:
+  explicit SweepTileLru(std::size_t budget) : budget_(budget) {}
 
-  [[nodiscard]] std::size_t bytes() const {
-    return static_cast<std::size_t>(values.size()) *
-           (sizeof(double) + 3 * sizeof(std::uint8_t));
+  /// The decoded tile keyed (patch, slot), refreshed to MRU; null miss.
+  std::shared_ptr<const Array3<double>> lookup(std::size_t patch,
+                                               std::int64_t slot) {
+    const auto it = index_.find({patch, slot});
+    if (it == index_.end()) return nullptr;
+    order_.splice(order_.end(), order_, it->second);
+    return it->second->data;
   }
+
+  void insert(std::size_t patch, std::int64_t slot,
+              std::shared_ptr<const Array3<double>> data) {
+    const std::size_t n =
+        static_cast<std::size_t>(data->size()) * sizeof(double);
+    if (n > budget_) return;  // would evict everything else: bypass
+    order_.push_back(Entry{{patch, slot}, std::move(data), n});
+    index_[order_.back().key] = std::prev(order_.end());
+    bytes_ += n;
+    while (bytes_ > budget_) {
+      index_.erase(order_.front().key);
+      bytes_ -= order_.front().bytes;
+      order_.pop_front();
+    }
+  }
+
+  [[nodiscard]] int entries() const {
+    return static_cast<int>(order_.size());
+  }
+  [[nodiscard]] std::size_t bytes() const { return bytes_; }
+
+ private:
+  struct Entry {
+    std::pair<std::size_t, std::int64_t> key;
+    std::shared_ptr<const Array3<double>> data;
+    std::size_t bytes = 0;
+  };
+  std::size_t budget_;
+  std::size_t bytes_ = 0;
+  std::list<Entry> order_;  ///< LRU at the front, MRU at the back
+  std::map<std::pair<std::size_t, std::int64_t>,
+           std::list<Entry>::iterator>
+      index_;
+};
+
+/// Value planes saved off a finished brick for the halo cells of its
+/// up-order neighbors: the last two cell planes toward +x/+y/+z over the
+/// brick's full extent in the other axes. Shells of adjacent bricks may
+/// overlap; overlapping cells hold identical bytes (same decoded
+/// source), so halo fill just copies every stored shell of every
+/// low-side neighbor, in any order.
+struct BrickShell {
+  amr::Box box;  ///< global cell box of the saved planes
+  Array3<double> values;
+};
+
+/// One emitted brick's triangles, re-interleavable into the global
+/// (k; j; i) emission order: anchor row r = (k - ak0) * nj + (j - aj0)
+/// owns triangles [rows.row_begin[r], rows.row_begin[r + 1]).
+struct BrickMesh {
+  RowSpanMesh rows;
+  std::int64_t ak0 = 0, aj0 = 0, nj = 0;
 };
 
 /// One cullable decode unit of a level: a container tile of a chunked
@@ -336,106 +396,6 @@ Array3<double> synced_level_values(const LevelSweep& ls, int level,
   return out;
 }
 
-/// Build the raster of slab [z0, z1]: paint has/uncovered/decoded masks
-/// from the box arrays and the cull plan, stream-decode the selected
-/// tiles (`do_decode` false skips all decoding — the slab then only
-/// serves masks to its neighbor's seam cubes), and (for switching cells
-/// on a mean-fill hierarchy) rebuild the covered coarse values from
-/// region-decoded fine data.
-SlabRaster build_slab(const LevelSweep& ls,
-                      const std::vector<LevelTile>& tiles,
-                      const std::vector<std::vector<char>>& decided,
-                      const compress::AmrTileCache& cache,
-                      bool cache_chunked, std::int64_t z0, std::int64_t z1,
-                      bool do_decode) {
-  SlabRaster r;
-  r.z0 = z0;
-  r.z1 = z1;
-  const Shape3 rs{ls.ds.nx, ls.ds.ny, z1 - z0 + 1};
-  r.values = Array3<double>(rs, 0.0);
-  r.has = Array3<std::uint8_t>(rs, 0);
-  r.unc = Array3<std::uint8_t>(rs, 0);
-  r.dec = Array3<std::uint8_t>(rs, 0);
-  const amr::Box slab_box{
-      {ls.dom.lo().x, ls.dom.lo().y, ls.dom.lo().z + z0},
-      {ls.dom.hi().x, ls.dom.hi().y, ls.dom.lo().z + z1}};
-
-  // Masks first — they cost no decode.
-  const auto& boxes =
-      ls.compressed->boxes[static_cast<std::size_t>(ls.level)];
-  auto paint_mask = [&](Array3<std::uint8_t>& mask, const Box& b,
-                        std::uint8_t v) {
-    const auto ov = b.intersect(slab_box);
-    if (!ov) return;
-    for (std::int64_t k = ov->lo().z; k <= ov->hi().z; ++k)
-      for (std::int64_t j = ov->lo().y; j <= ov->hi().y; ++j)
-        for (std::int64_t i = ov->lo().x; i <= ov->hi().x; ++i)
-          mask(i - ls.dom.lo().x, j - ls.dom.lo().y,
-               k - ls.dom.lo().z - z0) = v;
-  };
-  for (const Box& pb : boxes) paint_mask(r.has, pb, 1);
-  for (std::int64_t f = 0; f < r.has.size(); ++f) r.unc[f] = r.has[f];
-  const bool has_finer = static_cast<std::size_t>(ls.level) + 1 <
-                         ls.compressed->levels.size();
-  if (has_finer) {
-    for (const Box& fb :
-         ls.compressed->boxes[static_cast<std::size_t>(ls.level) + 1])
-      paint_mask(r.unc, fb.coarsen(ls.compressed->ref_ratio), 0);
-  }
-  if (!do_decode) return r;
-  for (const LevelTile& t : tiles)
-    if (t.decode) paint_mask(r.dec, t.box, 1);
-
-  // Values: one decoded tile at a time through the cull plan; a tile may
-  // overhang the slab in z, only the slab rows are kept.
-  amr::HierTileOptions hto;
-  hto.prefetch = ls.options.prefetch;
-  hto.cache = &cache;  // plain patches inflate once per cache lifetime
-  hto.cache_chunked_tiles = cache_chunked;
-  hto.cancel = ls.options.cancel;
-  hto.tile_select = [&](std::size_t p, const compress::TileRegion& tr) {
-    return decided[p].empty() ||
-           decided[p][static_cast<std::size_t>(tr.index)] != 0;
-  };
-  compress::RegionDecodeStats dstats;
-  amr::for_each_tile_compressed(
-      *ls.compressed, *ls.comp, ls.level, slab_box,
-      [&](amr::HierTile&& t) {
-        const auto ov = t.box.intersect(slab_box);
-        if (!ov) return;
-        const Shape3 os = ov->shape();
-        for (std::int64_t dz = 0; dz < os.nz; ++dz)
-          for (std::int64_t dy = 0; dy < os.ny; ++dy)
-            std::memcpy(
-                &r.values(ov->lo().x - ls.dom.lo().x,
-                          ov->lo().y - ls.dom.lo().y + dy,
-                          ov->lo().z - ls.dom.lo().z - z0 + dz),
-                &t.data(ov->lo().x - t.box.lo().x,
-                        ov->lo().y - t.box.lo().y + dy,
-                        ov->lo().z - t.box.lo().z + dz),
-                static_cast<std::size_t>(os.nx) * sizeof(double));
-      },
-      hto, &dstats);
-  if (ls.stats != nullptr) {
-    ls.stats->tiles_decoded += dstats.tiles_decoded;
-    ls.stats->cache_hits += dstats.cache_hits;
-  }
-
-  // Switching cells read the redundant coarse data; under mean-fill the
-  // stored values there are placeholders, so rebuild them from the fine
-  // level exactly like synchronize_coarse_from_fine (coarse-to-fine).
-  // Those levels never cull (stats cannot bound rebuilt values), so the
-  // rebuilt cells are always decoded cells.
-  if (ls.switching && has_finer &&
-      ls.compressed->handling == compress::RedundantHandling::kMeanFill) {
-    sync_covered(ls, ls.level, slab_box, [&](IntVect cc, double v) {
-      r.values(cc.x - ls.dom.lo().x, cc.y - ls.dom.lo().y,
-               cc.z - ls.dom.lo().z - z0) = v;
-    });
-  }
-  return r;
-}
-
 /// Streamed sweep of one level; appends its triangles to `mesh` in the
 /// exact order the full-inflate pipeline would emit them.
 void sweep_level(const LevelSweep& ls, VisMethod method, double iso,
@@ -459,29 +419,42 @@ void sweep_level(const LevelSweep& ls, VisMethod method, double iso,
 
   std::vector<LevelTile> tiles;
   std::vector<PatchGridInfo> pgrids(boxes.size());
-  // Per patch: decode flags per container slot (empty for plain blobs,
-  // which always decode whole).
-  std::vector<std::vector<char>> decided(boxes.size());
+  // Parsed container headers of the tiled patches, kept alive for the
+  // whole sweep: the brick loop below decodes tile payloads through
+  // them (the compressed blobs outlive the sweep inside `c`).
+  std::vector<std::optional<compress::detail::ParsedContainer>> parsed(
+      boxes.size());
+  // Per patch: does its container carry exact decoded-value stats (v4)?
+  std::vector<char> patch_exact(boxes.size(), 0);
+  std::optional<ChunkedCompressor> wrap;
+  const ChunkedCompressor* cc = chunked_codec;
   for (std::size_t p = 0; p < boxes.size(); ++p) {
     const Box& pb = boxes[p];
     const bool tiled = chunked_codec != nullptr ||
                        ChunkedCompressor::is_chunked_blob(patches[p].blob);
     if (tiled) {
-      std::optional<ChunkedCompressor> wrap;
-      const ChunkedCompressor* cc = chunked_codec;
       if (cc == nullptr) cc = &wrap.emplace(*ls.comp);
-      // One header parse serves the tile boxes, the overall stats AND
-      // the face table (no payload is touched).
-      const auto pc = compress::detail::parse_container(
-          patches[p].blob, cc->inner().name());
-      decided[p].assign(static_cast<std::size_t>(pc.ntiles), 0);
+      // One header parse serves the tile boxes, the stats, the face
+      // table AND the sweep's per-brick decodes (no payload touched
+      // here).
+      parsed[p] = compress::detail::parse_container(patches[p].blob,
+                                                    cc->inner().name());
+      const auto& pc = *parsed[p];
+      // Range semantics go through the shared stats view: v4 ranges
+      // bound decoded values and are served raw; pre-v4 ranges bound
+      // original values and are widened by the hierarchy's abs_eb HERE,
+      // at fill — the straddle tests below then need no widening of
+      // their own.
+      const compress::TileStatsView view(pc, c.abs_eb);
+      patch_exact[p] = view.exact() ? 1 : 0;
       PatchGridInfo& g = pgrids[p];
       g.first = tiles.size();
-      // Only v3 stats are trusted by the cull: the pre-v3 writers
+      // Only v3+ stats are trusted by the cull: the pre-v3 writers
       // computed ranges by SKIPPING NaN cells, and a NaN-cornered
       // marching cube can emit geometry a finite range never admits —
       // a v1/v2 patch blob therefore decodes whole (conservative,
-      // mesh-identical) rather than risking dropped triangles.
+      // mesh-identical) rather than risking dropped triangles. (v3+
+      // writers record the unbounded range for NaN-holding regions.)
       const bool trust_stats = stats_usable && !pc.faces.empty();
       for (std::int64_t t = 0; t < pc.ntiles; ++t) {
         LevelTile lt;
@@ -492,10 +465,11 @@ void sweep_level(const LevelSweep& ls, VisMethod method, double iso,
                                                 pc.tile))
                      .shift(pb.lo());
         if (trust_stats) {
-          const compress::TileStats st = pc.stats_of(t);
+          const compress::TileStats st = view.tile_range(t);
           lt.lo = st.min;
           lt.hi = st.max;
-          lt.faces = pc.faces[static_cast<std::size_t>(t)];
+          for (int f = 0; f < 6; ++f)
+            lt.faces[static_cast<std::size_t>(f)] = view.face_range(t, f);
         } else {
           lt.faces.fill({lt.lo, lt.hi});  // unbounded: always decoded
         }
@@ -520,24 +494,25 @@ void sweep_level(const LevelSweep& ls, VisMethod method, double iso,
   if (ls.stats != nullptr)
     ls.stats->tiles_total += static_cast<std::int64_t>(tiles.size());
 
-  // Exact cull. A cube can only straddle the isovalue if the union of
-  // the widened value ranges of the regions its cell window touches
-  // does. Within a patch grid the window spans at most two tiles per
-  // axis, and each tile's share of a seam/edge/corner window lies in
-  // its two-layer face slabs — so testing every face pair, edge quad
-  // and corner octet against the respective face-slab ranges (v3
-  // stats; whole-tile ranges for older containers) and decoding every
-  // participant of a straddling test guarantees every potentially
-  // contributing cube is fully decoded. Cubes touching a skipped tile
-  // are provably silent and masked off below. Windows crossing PATCH
-  // boundaries (and patches whose tiling defeats the two-tile
-  // assumption) fall back to the grow(2) whole-range union.
-  const double eb = c.abs_eb;
+  // Value cull. A cube can only straddle the isovalue if the union of
+  // the value ranges of the regions its cell window touches does —
+  // exact decoded-value ranges on a v4 container, eb-widened stats
+  // otherwise (the plan pre-widened them at fill). Within a patch grid
+  // the window spans at most two tiles per axis, and each tile's share
+  // of a seam/edge/corner window lies in its two-layer face slabs — so
+  // testing every face pair, edge quad and corner octet against the
+  // respective face-slab ranges (v3+ stats; whole-tile ranges for older
+  // containers) and decoding every participant of a straddling test
+  // guarantees every potentially contributing cube is fully decoded.
+  // Cubes touching a skipped tile are provably silent and masked off
+  // below. Windows crossing PATCH boundaries (and patches whose tiling
+  // defeats the two-tile assumption) fall back to the grow(2)
+  // whole-range union.
   if (!ls.options.value_cull) {
     for (LevelTile& t : tiles) t.decode = true;
   } else {
     for (LevelTile& t : tiles)
-      t.decode = straddles(VRange{t.lo, t.hi, true}, iso, eb);
+      t.decode = straddles(VRange{t.lo, t.hi, true}, iso);
 
     // Range of a tile's block-facing region: intersection of the face
     // ranges toward the block, one per spanned axis (the region lies in
@@ -585,7 +560,7 @@ void sweep_level(const LevelSweep& ls, VisMethod method, double iso,
                             ay ? (oy ? 2 : 3) : -1,
                             az ? (oz ? 4 : 5) : -1));
                       }
-                  if (!straddles(u, iso, eb)) continue;
+                  if (!straddles(u, iso)) continue;
                   for (int ox = 0; ox <= ax; ++ox)
                     for (int oy = 0; oy <= ay; ++oy)
                       for (int oz = 0; oz <= az; ++oz)
@@ -615,39 +590,85 @@ void sweep_level(const LevelSweep& ls, VisMethod method, double iso,
         VRange u;
         for (const LevelTile& o : tiles)
           if (o.box.intersects(probe)) u.add(o.lo, o.hi);
-        t.decode = straddles(u, iso, eb);
+        t.decode = straddles(u, iso);
       }
     }
   }
-  for (const LevelTile& t : tiles)
-    if (t.decode && t.index >= 0)
-      decided[t.patch][static_cast<std::size_t>(t.index)] = 1;
+  if (ls.stats != nullptr) {
+    for (const LevelTile& t : tiles)
+      if (t.index >= 0 && !t.decode)
+        ++(patch_exact[t.patch] != 0 ? ls.stats->tiles_culled_exact
+                                     : ls.stats->tiles_culled_conservative);
+  }
 
-  // ---- sweep: slabs in z order; decode planned tiles, contour, cache
-  // a two-plane halo (masks always exist; values only where decoded) ----
-  const std::int64_t T = std::max<std::int64_t>(2, ls.options.slab_nz);
-  const std::int64_t nslab = (ds.nz + T - 1) / T;
-  if (ls.stats != nullptr) ls.stats->slabs_total += nslab;
+  const bool has_finer =
+      static_cast<std::size_t>(ls.level) + 1 < c.levels.size();
+  const bool mean_fill_sync =
+      ls.switching && has_finer &&
+      c.handling == compress::RedundantHandling::kMeanFill;
+
+  // ---- sweep geometry: bricks follow the container tile grid in xy
+  // (overridable via brick_nx/brick_ny), slab_nz in z. Only the last
+  // brick of an axis is ever clipped, so interior bricks keep extents
+  // >= 2 — the seam-shell coverage proof relies on that. ----
+  std::int64_t tile_x = 0, tile_y = 0;
+  for (std::size_t p = 0; p < boxes.size(); ++p)
+    if (parsed[p]) {
+      tile_x = parsed[p]->tile.nx;
+      tile_y = parsed[p]->tile.ny;
+      break;
+    }
+  auto brick_extent = [](std::int64_t opt, std::int64_t tile_ext,
+                         std::int64_t dom_ext) {
+    const std::int64_t b =
+        opt > 0 ? opt : (tile_ext > 0 ? tile_ext : dom_ext);
+    return std::max<std::int64_t>(2, b);
+  };
+  const std::int64_t Bx = brick_extent(ls.options.brick_nx, tile_x, ds.nx);
+  const std::int64_t By = brick_extent(ls.options.brick_ny, tile_y, ds.ny);
+  const std::int64_t Bz = std::max<std::int64_t>(2, ls.options.slab_nz);
+  const std::int64_t nbx = (ds.nx + Bx - 1) / Bx;
+  const std::int64_t nby = (ds.ny + By - 1) / By;
+  const std::int64_t nbz = (ds.nz + Bz - 1) / Bz;
+  auto brick_of = [&](std::int64_t bx, std::int64_t by, std::int64_t bz) {
+    return (bz * nby + by) * nbx + bx;
+  };
   const double h = static_cast<double>(ls.cell_size);
 
-  auto slab_has_decode = [&](std::int64_t k) {
-    const amr::Box sb{{ls.dom.lo().x, ls.dom.lo().y,
-                       ls.dom.lo().z + k * T},
-                      {ls.dom.hi().x, ls.dom.hi().y,
-                       ls.dom.lo().z + std::min(k * T + T - 1, ds.nz - 1)}};
-    for (const LevelTile& t : tiles)
-      if (t.decode && t.box.intersects(sb)) return true;
-    return false;
-  };
+  // Which planned tiles touch which brick's working window (the brick
+  // grown two cells to the LOW side): tile ∩ window(b) != ∅ iff
+  // tile-grown-high-by-2 ∩ brick != ∅.
+  std::vector<std::vector<std::size_t>> brick_paint(
+      static_cast<std::size_t>(nbx * nby * nbz));
+  std::vector<char> slab_decode(static_cast<std::size_t>(nbz), 0);
+  for (std::size_t ti = 0; ti < tiles.size(); ++ti) {
+    const LevelTile& t = tiles[ti];
+    if (!t.decode) continue;
+    const IntVect lo = t.box.lo() - ls.dom.lo();  // level-local
+    const IntVect hi = t.box.hi() - ls.dom.lo();
+    const std::int64_t bx1 = std::min((hi.x + 2) / Bx, nbx - 1);
+    const std::int64_t by1 = std::min((hi.y + 2) / By, nby - 1);
+    const std::int64_t bz1 = std::min((hi.z + 2) / Bz, nbz - 1);
+    for (std::int64_t bz = lo.z / Bz; bz <= bz1; ++bz)
+      for (std::int64_t by = lo.y / By; by <= by1; ++by)
+        for (std::int64_t bx = lo.x / Bx; bx <= bx1; ++bx)
+          brick_paint[static_cast<std::size_t>(brick_of(bx, by, bz))]
+              .push_back(ti);
+    for (std::int64_t bz = lo.z / Bz; bz <= hi.z / Bz; ++bz)
+      slab_decode[static_cast<std::size_t>(bz)] = 1;
+  }
+  if (ls.stats != nullptr) {
+    ls.stats->slabs_total += nbz;
+    for (const char d : slab_decode)
+      ls.stats->slabs_decoded += d != 0 ? 1 : 0;
+  }
 
-  SlabRaster halo;  // last two planes of the previous slab (masks always)
-  bool prev_decoded = false;
   // Plain patch blobs have no partial decode: inflate each at most once
-  // per sweep (held for the whole level sweep — they are the patches the
-  // chunk policy deemed small enough not to tile). Without a shared
-  // service cache, a sweep-local unbounded store plays that role; chunked
-  // tiles stay uncached there so the <= 2 live decoded tiles per stream
-  // guarantee holds.
+  // per sweep (they are the patches the chunk policy deemed small
+  // enough not to tile). Without a shared service cache, a sweep-local
+  // unbounded store plays that role; chunked tiles instead ride the
+  // byte-bounded LRU below, preserving the O(k·tile) decoded-memory
+  // contract.
   std::optional<compress::TileCache> local_store;
   std::optional<compress::AmrTileCache> local_cache;
   const bool shared = ls.options.cache != nullptr;
@@ -655,158 +676,440 @@ void sweep_level(const LevelSweep& ls, VisMethod method, double iso,
     local_store.emplace(compress::TileCache::kUnbounded);
     local_cache.emplace(*local_store, *ls.compressed);
   }
-  const compress::AmrTileCache& cache =
+  const compress::AmrTileCache& pcache =
       shared ? *ls.options.cache : *local_cache;
-  for (std::int64_t k = 0; k < nslab; ++k) {
-    const std::int64_t z0 = k * T;
-    const std::int64_t z1 = std::min(z0 + T - 1, ds.nz - 1);
-    const bool decode_k = slab_has_decode(k);
-    // Anchors owned by this iteration: the seam layer into the previous
-    // slab plus this slab's interior (the top layer belongs to the next
-    // iteration, whose window sees both slabs).
-    const std::int64_t a_lo = k == 0 ? 0 : z0 - 1;
-    const std::int64_t a_hi =
-        k == nslab - 1 ? (resampling ? ds.nz - 1 : ds.nz - 2)
-                       : z1 - 1;
-    const bool emit_any = (decode_k || prev_decoded) && a_lo <= a_hi;
-    // Undecoded slabs still materialize (mask-only, no decode): their
-    // has/uncovered planes feed the next iteration's seam windows, where
-    // data-free cells are legitimately averaged around.
-    SlabRaster cur =
-        build_slab(ls, tiles, decided, cache, shared, z0, z1, decode_k);
-    if (ls.stats != nullptr && decode_k) ls.stats->slabs_decoded += 1;
 
-    if (emit_any) {
-      // Working window: up to two halo planes + the current slab. For
-      // k > 0 the halo always exists (built even for undecoded slabs —
-      // masks cost no decode).
-      const std::int64_t w0 = k == 0 ? 0 : z0 - 2;
-      const Shape3 ws{ds.nx, ds.ny, z1 - w0 + 1};
-      Array3<double> wv(ws, 0.0);
-      Array3<std::uint8_t> wh(ws, 0), wu(ws, 0), wd(ws, 0);
-      auto copy_plane = [&](const SlabRaster& src, std::int64_t z) {
-        const std::int64_t sz = z - src.z0, dz = z - w0;
-        const std::size_t row = static_cast<std::size_t>(ws.nx);
-        for (std::int64_t j = 0; j < ws.ny; ++j) {
-          std::memcpy(&wv(0, j, dz), &src.values(0, j, sz),
-                      row * sizeof(double));
-          std::memcpy(&wh(0, j, dz), &src.has(0, j, sz), row);
-          std::memcpy(&wu(0, j, dz), &src.unc(0, j, sz), row);
-          std::memcpy(&wd(0, j, dz), &src.dec(0, j, sz), row);
-        }
-      };
-      for (std::int64_t z = w0; z < z0; ++z) copy_plane(halo, z);
-      for (std::int64_t z = z0; z <= z1; ++z) copy_plane(cur, z);
+  // LRU budget: lru_tiles worst-case decoded tiles of this level.
+  std::size_t max_tile_bytes = 0;
+  for (std::size_t p = 0; p < boxes.size(); ++p)
+    if (parsed[p]) {
+      const auto& tn = parsed[p]->tile;
+      max_tile_bytes = std::max(
+          max_tile_bytes, static_cast<std::size_t>(tn.nx * tn.ny * tn.nz) *
+                              sizeof(double));
+    }
+  SweepTileLru lru(static_cast<std::size_t>(std::max<std::int64_t>(
+                       1, ls.options.lru_tiles)) *
+                   max_tile_bytes);
 
-      // A cell with data whose tile the cull skipped: any cube whose
-      // window touches it is provably non-straddling — mask it off.
-      Array3<std::uint8_t> missing(ws, 0);
-      for (std::int64_t f = 0; f < missing.size(); ++f)
-        missing[f] = static_cast<std::uint8_t>(wh[f] != 0 && wd[f] == 0);
-      const std::int64_t win = resampling ? 1 : 0;  // window low reach
-      auto window_clean = [&](std::int64_t i, std::int64_t j,
-                              std::int64_t kk) {
-        const std::int64_t i0 = std::max<std::int64_t>(i - win, 0);
-        const std::int64_t j0 = std::max<std::int64_t>(j - win, 0);
-        const std::int64_t k0 = std::max<std::int64_t>(kk - win, 0);
-        const std::int64_t i1 = std::min(i + 1, ws.nx - 1);
-        const std::int64_t j1 = std::min(j + 1, ws.ny - 1);
-        const std::int64_t k1 = std::min(kk + 1, ws.nz - 1);
-        for (std::int64_t cz = k0; cz <= k1; ++cz)
-          for (std::int64_t cy = j0; cy <= j1; ++cy)
-            for (std::int64_t cx = i0; cx <= i1; ++cx)
-              if (missing(cx, cy, cz)) return false;
-        return true;
-      };
-
-      std::size_t live = cur.bytes() + halo.bytes() +
-                         static_cast<std::size_t>(wv.size()) *
-                             (sizeof(double) + 4);
-      if (local_store) live += local_store->counters().bytes;
-      auto emit = [&](View3<const double> grid,
-                      View3<const std::uint8_t> mask,
-                      const GridTransform& tf) {
-        mesh.append(extract_isosurface_slab(grid, iso, tf, ls.level, mask,
-                                            a_lo - w0, a_hi - w0 + 1));
-      };
-      if (resampling) {
-        Array3<std::uint8_t> vertex_valid;
-        const Array3<double> verts =
-            resample_to_vertices_masked(wv.view(), wu.view(), vertex_valid);
-        // Extraction mask = uncovered anchors whose 3-cell windows hold
-        // no missing cells (their vertex averages would read them).
-        Array3<std::uint8_t> cmask(ws, 0);
-        parallel_for(ws.nz, [&](std::int64_t kk) {
-          for (std::int64_t j = 0; j < ws.ny; ++j)
-            for (std::int64_t i = 0; i < ws.nx; ++i)
-              cmask(i, j, kk) = static_cast<std::uint8_t>(
-                  wu(i, j, kk) != 0 && window_clean(i, j, kk));
-        });
-        live += static_cast<std::size_t>(verts.size()) *
-                    (sizeof(double) + 1) +
-                static_cast<std::size_t>(cmask.size());
-        const GridTransform tf{Vec3{0, 0, static_cast<double>(w0) * h}, h};
-        emit(verts.view(), cmask.view(), tf);
-      } else {
-        // Dual mask over the window's cube grid: the dual_mask corner
-        // rules (no clipping needed — every corner is in-window for the
-        // anchors emitted here) plus the missing-cell veto.
-        const Shape3 ms{ds.nx - 1, ds.ny - 1, ws.nz - 1};
-        Array3<std::uint8_t> dmask(ms, 0);
-        auto mv = dmask.view();
-        parallel_for(ms.nz, [&](std::int64_t kk) {
-          for (std::int64_t j = 0; j < ms.ny; ++j)
-            for (std::int64_t i = 0; i < ms.nx; ++i) {
-              bool all_data = true, all_unc = true, any_unc = false;
-              bool clean = true;
-              for (int cnr = 0; cnr < 8; ++cnr) {
-                const std::int64_t ci = i + (cnr & 1);
-                const std::int64_t cj = j + ((cnr >> 1) & 1);
-                const std::int64_t ck = kk + ((cnr >> 2) & 1);
-                if (!wh(ci, cj, ck)) all_data = false;
-                if (wu(ci, cj, ck)) any_unc = true;
-                else all_unc = false;
-                if (missing(ci, cj, ck)) clean = false;
-              }
-              const bool ok =
-                  (ls.switching ? (all_data && any_unc) : all_unc) && clean;
-              mv(i, j, kk) = ok ? 1 : 0;
+  std::map<std::int64_t, BrickShell> shell_x, shell_y, shell_z;
+  auto shell_bytes = [&] {
+    std::size_t n = 0;
+    for (const auto* m : {&shell_x, &shell_y, &shell_z})
+      for (const auto& kv : *m)
+        n += static_cast<std::size_t>(kv.second.values.size()) *
+             sizeof(double);
+    return n;
+  };
+  std::vector<BrickMesh> emitted(static_cast<std::size_t>(nbx * nby * nbz));
+  // ---- sweep: tile columns (bx, by) in row order, bricks of a column
+  // bottom-up. Each brick paints its masks window-wide, fills halo
+  // values from its low neighbors' shells, decodes its planned tiles,
+  // and row-span-extracts the anchors it owns; the rows are merged into
+  // global emission order once the level is complete. ----
+  for (std::int64_t by = 0; by < nby; ++by) {
+    for (std::int64_t bx = 0; bx < nbx; ++bx) {
+      for (std::int64_t bz = 0; bz < nbz; ++bz) {
+        [&] {
+          const std::int64_t bi = brick_of(bx, by, bz);
+          const auto& paint = brick_paint[static_cast<std::size_t>(bi)];
+          // Brick cells, level-local inclusive.
+          const std::int64_t c0x = bx * Bx;
+          const std::int64_t c1x = std::min(c0x + Bx, ds.nx) - 1;
+          const std::int64_t c0y = by * By;
+          const std::int64_t c1y = std::min(c0y + By, ds.ny) - 1;
+          const std::int64_t c0z = bz * Bz;
+          const std::int64_t c1z = std::min(c0z + Bz, ds.nz) - 1;
+          const Box brick_g{ls.dom.lo() + IntVect{c0x, c0y, c0z},
+                            ls.dom.lo() + IntVect{c1x, c1y, c1z}};
+          // Anchors this brick owns: the seam layer into each low
+          // neighbor plus the interior (the high seam belongs to the
+          // next brick, whose window sees both).
+          const std::int64_t ai0 = bx == 0 ? 0 : c0x - 1;
+          const std::int64_t ai1 =
+              bx == nbx - 1 ? (resampling ? ds.nx - 1 : ds.nx - 2)
+                            : c1x - 1;
+          const std::int64_t aj0 = by == 0 ? 0 : c0y - 1;
+          const std::int64_t aj1 =
+              by == nby - 1 ? (resampling ? ds.ny - 1 : ds.ny - 2)
+                            : c1y - 1;
+          const std::int64_t ak0 = bz == 0 ? 0 : c0z - 1;
+          const std::int64_t ak1 =
+              bz == nbz - 1 ? (resampling ? ds.nz - 1 : ds.nz - 2)
+                            : c1z - 1;
+          bool has_work = false;
+          for (const std::size_t ti : paint)
+            if (tiles[ti].box.intersects(brick_g)) {
+              has_work = true;
+              break;
             }
-        });
-        live += static_cast<std::size_t>(dmask.size());
-        const GridTransform tf{
-            Vec3{0.5 * h, 0.5 * h, 0.5 * h + static_cast<double>(w0) * h},
-            h};
-        emit(wv.view(), dmask.view(), tf);
-      }
-      if (ls.stats != nullptr)
-        ls.stats->peak_live_bytes =
-            std::max(ls.stats->peak_live_bytes, live);
-    }
+          // No decode for this or any later brick, and provably nothing
+          // to emit (an emitting cube needs a decoded window cell — see
+          // the cull proof): skip the brick outright.
+          const bool emit_rows =
+              !paint.empty() && ai0 <= ai1 && aj0 <= aj1 && ak0 <= ak1;
+          if (!has_work && !emit_rows) return;
+          if (ls.options.cancel != nullptr) ls.options.cancel->check();
 
-    // Cache the last two planes as the next iteration's halo.
-    const std::int64_t h0 = std::max(z0, z1 - 1);
-    halo.z0 = h0;
-    halo.z1 = z1;
-    const Shape3 hs{ds.nx, ds.ny, z1 - h0 + 1};
-    halo.values = Array3<double>(hs);
-    halo.has = Array3<std::uint8_t>(hs);
-    halo.unc = Array3<std::uint8_t>(hs);
-    halo.dec = Array3<std::uint8_t>(hs);
-    for (std::int64_t z = h0; z <= z1; ++z) {
-      const std::int64_t sz = z - z0, dz = z - h0;
-      for (std::int64_t j = 0; j < ds.ny; ++j) {
-        std::memcpy(&halo.values(0, j, dz), &cur.values(0, j, sz),
-                    static_cast<std::size_t>(ds.nx) * sizeof(double));
-        std::memcpy(&halo.has(0, j, dz), &cur.has(0, j, sz),
-                    static_cast<std::size_t>(ds.nx));
-        std::memcpy(&halo.unc(0, j, dz), &cur.unc(0, j, sz),
-                    static_cast<std::size_t>(ds.nx));
-        std::memcpy(&halo.dec(0, j, dz), &cur.dec(0, j, sz),
-                    static_cast<std::size_t>(ds.nx));
+          // Working window: the brick plus up to two halo cell planes
+          // on each low side.
+          const std::int64_t w0x = std::max<std::int64_t>(c0x - 2, 0);
+          const std::int64_t w0y = std::max<std::int64_t>(c0y - 2, 0);
+          const std::int64_t w0z = std::max<std::int64_t>(c0z - 2, 0);
+          const Shape3 ws{c1x - w0x + 1, c1y - w0y + 1, c1z - w0z + 1};
+          const Box win_g{ls.dom.lo() + IntVect{w0x, w0y, w0z},
+                          ls.dom.lo() + IntVect{c1x, c1y, c1z}};
+          Array3<double> wv(ws, 0.0);
+          Array3<std::uint8_t> wh(ws, 0), wu(ws, 0), wd(ws, 0);
+          const IntVect w0g = win_g.lo();
+
+          const std::size_t window_bytes =
+              static_cast<std::size_t>(wv.size()) * (sizeof(double) + 3);
+          auto note_bytes = [&](std::size_t extra) {
+            if (ls.stats == nullptr) return;
+            std::size_t live =
+                window_bytes + shell_bytes() + lru.bytes() + extra;
+            if (local_store) live += local_store->counters().bytes;
+            ls.stats->peak_live_bytes =
+                std::max(ls.stats->peak_live_bytes, live);
+          };
+          auto note_tiles = [&](int held) {
+            if (ls.stats == nullptr) return;
+            ls.stats->peak_live_tiles =
+                std::max(ls.stats->peak_live_tiles, lru.entries() + held);
+          };
+
+          // Masks first — they cost no decode and exist window-wide.
+          auto paint_mask = [&](Array3<std::uint8_t>& mask, const Box& b,
+                                std::uint8_t v) {
+            const auto ov = b.intersect(win_g);
+            if (!ov) return;
+            for (std::int64_t k = ov->lo().z; k <= ov->hi().z; ++k)
+              for (std::int64_t j = ov->lo().y; j <= ov->hi().y; ++j)
+                for (std::int64_t i = ov->lo().x; i <= ov->hi().x; ++i)
+                  mask(i - w0g.x, j - w0g.y, k - w0g.z) = v;
+          };
+          for (const Box& pb : boxes) paint_mask(wh, pb, 1);
+          for (std::int64_t f = 0; f < wh.size(); ++f) wu[f] = wh[f];
+          if (has_finer) {
+            for (const Box& fb :
+                 c.boxes[static_cast<std::size_t>(ls.level) + 1])
+              paint_mask(wu, fb.coarsen(c.ref_ratio), 0);
+          }
+          for (const std::size_t ti : paint)
+            paint_mask(wd, tiles[ti].box, 1);
+
+          // Halo values: copy every stored shell of every low-side
+          // neighbor intersecting the window. Overlapping shells hold
+          // identical bytes, so order is irrelevant; halo cells no
+          // shell covers are undecoded or data-free and vetoed/masked
+          // below.
+          auto copy_rows = [&](const Array3<double>& src,
+                               const Box& src_box) {
+            const auto ov = src_box.intersect(win_g);
+            if (!ov) return;
+            const Shape3 os = ov->shape();
+            for (std::int64_t dz = 0; dz < os.nz; ++dz)
+              for (std::int64_t dy = 0; dy < os.ny; ++dy)
+                std::memcpy(
+                    &wv(ov->lo().x - w0g.x, ov->lo().y - w0g.y + dy,
+                        ov->lo().z - w0g.z + dz),
+                    &src(ov->lo().x - src_box.lo().x,
+                         ov->lo().y - src_box.lo().y + dy,
+                         ov->lo().z - src_box.lo().z + dz),
+                    static_cast<std::size_t>(os.nx) * sizeof(double));
+          };
+          for (int dz = -1; dz <= 0; ++dz)
+            for (int dy = -1; dy <= 0; ++dy)
+              for (int dx = -1; dx <= 0; ++dx) {
+                if (dx == 0 && dy == 0 && dz == 0) continue;
+                if (bx + dx < 0 || by + dy < 0 || bz + dz < 0) continue;
+                const std::int64_t nid =
+                    brick_of(bx + dx, by + dy, bz + dz);
+                for (const auto* m : {&shell_x, &shell_y, &shell_z}) {
+                  const auto it = m->find(nid);
+                  if (it != m->end())
+                    copy_rows(it->second.values, it->second.box);
+                }
+              }
+
+          // Decode the planned tiles intersecting the brick proper
+          // (halo-only tiles arrive through shells): serve from the
+          // shared cache / sweep LRU, copy the window rows, retain in
+          // the LRU only when the tile still spans an unswept brick.
+          for (const std::size_t ti : paint) {
+            const LevelTile& t = tiles[ti];
+            if (!t.box.intersects(brick_g)) continue;
+            if (ls.options.cancel != nullptr) ls.options.cancel->check();
+            if (t.index < 0) {
+              // Plain blob: whole-patch inflate through the patch cache.
+              const compress::TileCacheRef cref =
+                  pcache.ref(ls.level, t.patch);
+              bool was_hit = false;
+              const auto full = cref.cache->get_or_decode(
+                  cref.container, compress::TileCache::kWholeBlob,
+                  [&] { return ls.comp->decompress(patches[t.patch].blob); },
+                  &was_hit);
+              AMRVIS_REQUIRE_MSG(
+                  full->shape() == boxes[t.patch].shape(),
+                  "streamed iso: patch shape does not match its box");
+              if (ls.stats != nullptr)
+                (was_hit ? ls.stats->cache_hits
+                         : ls.stats->tiles_decoded) += 1;
+              copy_rows(*full, t.box);
+              note_bytes(0);
+              continue;
+            }
+            const auto& pc = *parsed[t.patch];
+            std::shared_ptr<const Array3<double>> data;
+            bool resident = false;  // already owned by LRU/shared cache?
+            auto run = [&] {
+              return compress::detail::decode_tile(
+                  cc->inner(),
+                  pc.tiles[static_cast<std::size_t>(t.index)]);
+            };
+            if (shared) {
+              const compress::TileCacheRef cref =
+                  pcache.ref(ls.level, t.patch);
+              bool was_hit = false;
+              try {
+                data = cref.cache->get_or_decode(cref.container, t.index,
+                                                 run, &was_hit);
+              } catch (const Error& e) {
+                throw e.with_context({cref.container, t.index, -1});
+              }
+              if (ls.stats != nullptr)
+                (was_hit ? ls.stats->cache_hits
+                         : ls.stats->tiles_decoded) += 1;
+            } else {
+              data = lru.lookup(t.patch, t.index);
+              if (data) {
+                resident = true;
+                if (ls.stats != nullptr) ls.stats->cache_hits += 1;
+              } else {
+                try {
+                  data = std::make_shared<const Array3<double>>(run());
+                } catch (const Error& e) {
+                  throw e.with_context({0, t.index, -1});
+                }
+                if (ls.stats != nullptr) ls.stats->tiles_decoded += 1;
+              }
+            }
+            AMRVIS_CHECK(ErrorCode::kDecodeFailure,
+                         data->shape() == t.box.shape(),
+                         "streamed iso: tile shape does not match its slot");
+            if (!shared && !resident &&
+                (t.box.hi().x > brick_g.hi().x ||
+                 t.box.hi().y > brick_g.hi().y ||
+                 t.box.hi().z > brick_g.hi().z)) {
+              // Spans a brick the sweep has not reached: retain.
+              lru.insert(t.patch, t.index, data);
+              resident = true;
+            }
+            note_tiles(resident ? 0 : 1);
+            note_bytes(resident ? 0
+                                : static_cast<std::size_t>(data->size()) *
+                                      sizeof(double));
+            copy_rows(*data, t.box);
+          }
+
+          // Switching cells read the redundant coarse data; under
+          // mean-fill the stored values there are placeholders, so
+          // rebuild them from the fine level exactly like
+          // synchronize_coarse_from_fine. Those levels never cull
+          // (stats cannot bound rebuilt values), so the rebuilt cells
+          // are always decoded cells.
+          if (has_work && mean_fill_sync) {
+            sync_covered(ls, ls.level, brick_g, [&](IntVect cell, double v) {
+              wv(cell.x - w0g.x, cell.y - w0g.y, cell.z - w0g.z) = v;
+            });
+          }
+
+          // Save the seam shells up-order neighbors will need (bricks
+          // without decode work have no values a neighbor could read).
+          if (has_work) {
+            auto save_shell = [&](std::map<std::int64_t, BrickShell>& m,
+                                  const Box& sb) {
+              BrickShell s;
+              s.box = sb;
+              s.values = Array3<double>(sb.shape());
+              const Shape3 os = sb.shape();
+              for (std::int64_t dz = 0; dz < os.nz; ++dz)
+                for (std::int64_t dy = 0; dy < os.ny; ++dy)
+                  std::memcpy(&s.values(0, dy, dz),
+                              &wv(sb.lo().x - w0g.x,
+                                  sb.lo().y - w0g.y + dy,
+                                  sb.lo().z - w0g.z + dz),
+                              static_cast<std::size_t>(os.nx) *
+                                  sizeof(double));
+              m[bi] = std::move(s);
+            };
+            const IntVect g0 = brick_g.lo(), g1 = brick_g.hi();
+            if (bx + 1 < nbx)
+              save_shell(shell_x,
+                         Box{{std::max(g1.x - 1, g0.x), g0.y, g0.z}, g1});
+            if (by + 1 < nby)
+              save_shell(shell_y,
+                         Box{{g0.x, std::max(g1.y - 1, g0.y), g0.z}, g1});
+            if (bz + 1 < nbz)
+              save_shell(shell_z,
+                         Box{{g0.x, g0.y, std::max(g1.z - 1, g0.z)}, g1});
+          }
+
+          if (!emit_rows) return;
+          // A cell with data whose tile the cull skipped: any cube
+          // whose window touches it is provably non-straddling — mask
+          // it off.
+          Array3<std::uint8_t> missing(ws, 0);
+          for (std::int64_t f = 0; f < missing.size(); ++f)
+            missing[f] =
+                static_cast<std::uint8_t>(wh[f] != 0 && wd[f] == 0);
+          const std::int64_t win = resampling ? 1 : 0;  // low reach
+          auto window_clean = [&](std::int64_t i, std::int64_t j,
+                                  std::int64_t kk) {
+            const std::int64_t i0 = std::max<std::int64_t>(i - win, 0);
+            const std::int64_t j0 = std::max<std::int64_t>(j - win, 0);
+            const std::int64_t k0 = std::max<std::int64_t>(kk - win, 0);
+            const std::int64_t i1 = std::min(i + 1, ws.nx - 1);
+            const std::int64_t j1 = std::min(j + 1, ws.ny - 1);
+            const std::int64_t k1 = std::min(kk + 1, ws.nz - 1);
+            for (std::int64_t cz = k0; cz <= k1; ++cz)
+              for (std::int64_t cy = j0; cy <= j1; ++cy)
+                for (std::int64_t cx = i0; cx <= i1; ++cx)
+                  if (missing(cx, cy, cz)) return false;
+            return true;
+          };
+
+          BrickMesh& bm = emitted[static_cast<std::size_t>(bi)];
+          bm.ak0 = ak0;
+          bm.aj0 = aj0;
+          bm.nj = aj1 - aj0 + 1;
+          if (resampling) {
+            Array3<std::uint8_t> vertex_valid;
+            const Array3<double> verts = resample_to_vertices_masked(
+                wv.view(), wu.view(), vertex_valid);
+            // Extraction mask = uncovered anchors whose 3-cell windows
+            // hold no missing cells (their vertex averages would read
+            // them).
+            Array3<std::uint8_t> cmask(ws, 0);
+            parallel_for(ws.nz, [&](std::int64_t kk) {
+              for (std::int64_t j = 0; j < ws.ny; ++j)
+                for (std::int64_t i = 0; i < ws.nx; ++i)
+                  cmask(i, j, kk) = static_cast<std::uint8_t>(
+                      wu(i, j, kk) != 0 && window_clean(i, j, kk));
+            });
+            note_bytes(static_cast<std::size_t>(missing.size()) +
+                       static_cast<std::size_t>(verts.size()) *
+                           (sizeof(double) + 1) +
+                       static_cast<std::size_t>(cmask.size()));
+            const GridTransform tf{Vec3{static_cast<double>(w0x) * h,
+                                        static_cast<double>(w0y) * h,
+                                        static_cast<double>(w0z) * h},
+                                   h};
+            bm.rows = extract_isosurface_rows(
+                verts.view(), iso, tf, ls.level, cmask.view(), ai0 - w0x,
+                ai1 - w0x + 1, aj0 - w0y, aj1 - w0y + 1, ak0 - w0z,
+                ak1 - w0z + 1);
+          } else {
+            // Dual mask over the window's cube grid: the dual_mask
+            // corner rules (no clipping needed — every corner is
+            // in-window for the anchors emitted here) plus the
+            // missing-cell veto.
+            const Shape3 ms{ws.nx - 1, ws.ny - 1, ws.nz - 1};
+            Array3<std::uint8_t> dmask(ms, 0);
+            auto mv = dmask.view();
+            parallel_for(ms.nz, [&](std::int64_t kk) {
+              for (std::int64_t j = 0; j < ms.ny; ++j)
+                for (std::int64_t i = 0; i < ms.nx; ++i) {
+                  bool all_data = true, all_unc = true, any_unc = false;
+                  bool clean = true;
+                  for (int cnr = 0; cnr < 8; ++cnr) {
+                    const std::int64_t ci = i + (cnr & 1);
+                    const std::int64_t cj = j + ((cnr >> 1) & 1);
+                    const std::int64_t ck = kk + ((cnr >> 2) & 1);
+                    if (!wh(ci, cj, ck)) all_data = false;
+                    if (wu(ci, cj, ck)) any_unc = true;
+                    else all_unc = false;
+                    if (missing(ci, cj, ck)) clean = false;
+                  }
+                  const bool ok =
+                      (ls.switching ? (all_data && any_unc) : all_unc) &&
+                      clean;
+                  mv(i, j, kk) = ok ? 1 : 0;
+                }
+            });
+            note_bytes(static_cast<std::size_t>(missing.size()) +
+                       static_cast<std::size_t>(dmask.size()));
+            const GridTransform tf{
+                Vec3{0.5 * h + static_cast<double>(w0x) * h,
+                     0.5 * h + static_cast<double>(w0y) * h,
+                     0.5 * h + static_cast<double>(w0z) * h},
+                h};
+            bm.rows = extract_isosurface_rows(
+                wv.view(), iso, tf, ls.level, dmask.view(), ai0 - w0x,
+                ai1 - w0x + 1, aj0 - w0y, aj1 - w0y + 1, ak0 - w0z,
+                ak1 - w0z + 1);
+          }
+        }();
+        // The +z shell of the brick below has no reader beyond this
+        // brick: drop it before moving up the column.
+        if (bz > 0) shell_z.erase(brick_of(bx, by, bz - 1));
+      }
+      // Shells whose last possible reader column — (cx+1, cy+1) for
+      // +x/+y shells, clamped to the grid — is now done are dead.
+      for (auto* m : {&shell_x, &shell_y, &shell_z}) {
+        for (auto it = m->begin(); it != m->end();) {
+          const std::int64_t id = it->first;
+          const std::int64_t scx = (id % (nbx * nby)) % nbx;
+          const std::int64_t scy = (id % (nbx * nby)) / nbx;
+          const std::int64_t lx = std::min(scx + 1, nbx - 1);
+          const std::int64_t ly = std::min(scy + 1, nby - 1);
+          const bool done = ly < by || (ly == by && lx <= bx);
+          it = done ? m->erase(it) : std::next(it);
+        }
       }
     }
-    prev_decoded = decode_k;
+  }
+
+  // ---- merge: re-interleave the bricks' row spans into the global
+  // (k; j; i) emission order of the full-inflate pipeline. Triangle t
+  // of a row-span mesh owns vertices [3t, 3t + 3), so spans re-append
+  // cheaply. ----
+  const std::int64_t Ktot = resampling ? ds.nz : ds.nz - 1;
+  const std::int64_t Jtot = resampling ? ds.ny : ds.ny - 1;
+  auto owner = [](std::int64_t a, std::int64_t n, std::int64_t B) {
+    return std::min(a + 1, n - 1) / B;
+  };
+  std::size_t nverts = 0, ntris = 0;
+  for (const BrickMesh& bm : emitted) {
+    nverts += bm.rows.mesh.vertices.size();
+    ntris += bm.rows.mesh.triangles.size();
+  }
+  mesh.vertices.reserve(mesh.vertices.size() + nverts);
+  mesh.triangles.reserve(mesh.triangles.size() + ntris);
+  for (std::int64_t k = 0; k < Ktot; ++k) {
+    const std::int64_t bz = owner(k, ds.nz, Bz);
+    for (std::int64_t j = 0; j < Jtot; ++j) {
+      const std::int64_t by = owner(j, ds.ny, By);
+      for (std::int64_t bx = 0; bx < nbx; ++bx) {
+        const BrickMesh& bm =
+            emitted[static_cast<std::size_t>(brick_of(bx, by, bz))];
+        if (bm.rows.row_begin.empty()) continue;
+        const std::size_t row = static_cast<std::size_t>(
+            (k - bm.ak0) * bm.nj + (j - bm.aj0));
+        for (std::size_t t = bm.rows.row_begin[row];
+             t < bm.rows.row_begin[row + 1]; ++t) {
+          const auto base =
+              static_cast<std::uint32_t>(mesh.vertices.size());
+          mesh.vertices.push_back(bm.rows.mesh.vertices[3 * t]);
+          mesh.vertices.push_back(bm.rows.mesh.vertices[3 * t + 1]);
+          mesh.vertices.push_back(bm.rows.mesh.vertices[3 * t + 2]);
+          mesh.triangles.push_back(
+              {{base, base + 1, base + 2},
+               bm.rows.mesh.triangles[t].level});
+        }
+      }
+    }
   }
 }
 

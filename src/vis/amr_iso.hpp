@@ -17,19 +17,24 @@
 //
 // Streamed path (amr_isosurface_streamed): the same three pipelines
 // driven directly from a COMPRESSED hierarchy, without ever inflating a
-// level whole. Each level is swept in full-xy z-slabs; a slab is decoded
-// (tile-streamed through amr::for_each_tile_compressed, at most two live
-// decoded tiles per patch stream) only when its value range — assembled
-// from the container's per-tile stats and widened by the hierarchy's
-// absolute error bound — straddles the isovalue, alone or paired with a
-// neighboring slab (seam cubes can cross the isovalue between two slabs
-// neither of which straddles it alone). Cubes spanning a slab seam are
-// contoured from a one-cell halo cached off the previous slab, so every
-// tile is decoded at most once per slab sweep and the resulting mesh is
-// BIT-IDENTICAL — triangles, vertex coordinates and order — to running
-// the full-inflate pipeline on decompress_hierarchy(). Peak memory is
-// two cell slabs (one being built, one cached as two halo planes) plus
-// the per-patch stream buffers, instrumented in StreamedIsoStats.
+// level whole. Each level is swept as a grid of BRICKS — xy extents
+// follow the container's tile grid (overridable), z extent is slab_nz —
+// walked column by column ((bx, by) outer, bz inner). A brick decodes
+// only the tiles the value cull planned for it: per-tile decoded-value
+// bounds (container v4 — exact, no error-bound widening) or eb-widened
+// original-value stats (v2/v3), with face-slab seam tests between
+// neighbors. Cubes spanning brick seams are contoured from shell planes
+// saved off the three low-side neighbor bricks, so each tile is decoded
+// once per brick it spans; tiles spanning several bricks of a column are
+// kept in a small k-tile LRU (StreamedIsoOptions::lru_tiles) instead of
+// being re-decoded. The resulting mesh is BIT-IDENTICAL — triangles,
+// vertex coordinates and order — to running the full-inflate pipeline on
+// decompress_hierarchy(): each brick extracts its anchor rows with
+// extract_isosurface_rows and the rows are re-interleaved into global
+// (k; j; i) order at level end. Peak decoded memory is O(k·tile) — one
+// brick window, the LRU, and the live seam shells — instrumented in
+// StreamedIsoStats (peak_live_tiles / peak_live_bytes), never just
+// promised.
 
 #include "amr/hierarchy.hpp"
 #include "compress/amr_compress.hpp"
@@ -66,11 +71,23 @@ const char* vis_method_name(VisMethod method);
 
 /// Knobs for the streamed pipeline.
 struct StreamedIsoOptions {
-  /// z-thickness of the sweep slabs (clamped to >= 2; align it with the
+  /// z-thickness of the sweep bricks (clamped to >= 2; align it with the
   /// chunk tile nz so every container tile is decoded at most once).
   std::int64_t slab_nz = 16;
-  /// Skip slabs whose widened value range cannot straddle the isovalue.
-  /// Off = decode every slab that holds data (still out-of-core).
+  /// xy extents of the sweep bricks (clamped to >= 2). 0 = automatic:
+  /// the tile extents of the level's first chunked patch, or the whole
+  /// domain extent when the level holds only plain blobs — aligned
+  /// bricks decode each planned tile exactly once.
+  std::int64_t brick_nx = 0;
+  std::int64_t brick_ny = 0;
+  /// Capacity (in tiles) of the per-sweep decoded-tile LRU that carries
+  /// tiles spanning several bricks — the k of the O(k·tile) memory
+  /// bound. Ignored when a shared `cache` is supplied (it retains tiles
+  /// instead). Clamped to >= 1.
+  std::int64_t lru_tiles = 16;
+  /// Skip tiles whose value range cannot straddle the isovalue — exact
+  /// decoded-value bounds on a v4 container, eb-widened stats otherwise.
+  /// Off = decode every tile that holds data (still out-of-core).
   bool value_cull = true;
   /// Pair decode-ahead inside each patch's TileStream.
   bool prefetch = true;
@@ -92,17 +109,27 @@ struct StreamedIsoOptions {
 struct StreamedIsoStats {
   std::int64_t tiles_decoded = 0;  ///< container tile decode events
   std::int64_t tiles_total = 0;    ///< tiles stored across all levels
-  std::int64_t cache_hits = 0;     ///< decodes served by a shared cache
-  std::int64_t slabs_decoded = 0;
+  /// Decodes served without work: by the shared cache when one is
+  /// supplied, by the sweep-local LRU otherwise.
+  std::int64_t cache_hits = 0;
+  /// Tiles the value cull removed from the plan, split by regime: v4
+  /// exact decoded-value bounds vs eb-widened conservative stats.
+  std::int64_t tiles_culled_exact = 0;
+  std::int64_t tiles_culled_conservative = 0;
+  std::int64_t slabs_decoded = 0;  ///< z-slabs with at least one decode
   std::int64_t slabs_total = 0;
-  std::size_t peak_live_bytes = 0;  ///< rasters + vertex planes + masks
+  /// High-water mark of decoded tiles resident at once (LRU + tiles held
+  /// by the brick being built); the O(k·tile) contract, instrumented.
+  int peak_live_tiles = 0;
+  std::size_t peak_live_bytes = 0;  ///< window + verts + masks + shells
 };
 
-/// Isosurface a COMPRESSED hierarchy by streaming slabs of decoded tiles:
-/// walks only the slabs whose [min - abs_eb, max + abs_eb] value range
-/// (from the v2 per-tile stats; plain blobs and v1 containers are
-/// conservatively unbounded) straddles `iso`, pulling seam-crossing cubes
-/// from a one-cell halo cached off the neighboring slab. The mesh is
+/// Isosurface a COMPRESSED hierarchy by sweeping bricks of decoded tiles:
+/// decodes only the tiles whose value range straddles `iso` — the exact
+/// decoded-value bounds of a v4 container, or [min - abs_eb, max + abs_eb]
+/// from older per-tile stats (plain blobs and v1 containers are
+/// conservatively unbounded) — pulling seam-crossing cubes from shell
+/// planes saved off the low-side neighbor bricks. The mesh is
 /// bit-identical — vertices, triangles, emission order — to
 /// amr_isosurface(decompress_hierarchy(compressed, comp), iso, method).
 /// Mean-fill-compressed hierarchies are handled coarse-to-fine: for the

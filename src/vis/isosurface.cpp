@@ -91,21 +91,47 @@ TriMesh extract_isosurface_slab(View3<const double> values, double iso,
   const Shape3 vs = values.shape();
   AMRVIS_REQUIRE_MSG(vs.nx >= 2 && vs.ny >= 2 && vs.nz >= 2,
                      "isosurface: need at least a 2x2x2 vertex grid");
-  const std::int64_t cx = vs.nx - 1, cy = vs.ny - 1, cz = vs.nz - 1;
+  const std::int64_t cz = vs.nz - 1;
   AMRVIS_REQUIRE_MSG(k_begin >= 0 && k_end <= cz && k_begin <= k_end,
                      "isosurface: cube layer range outside the grid");
+  return extract_isosurface_rows(values, iso, transform, level, cell_valid,
+                                 0, vs.nx - 1, 0, vs.ny - 1, k_begin, k_end)
+      .mesh;
+}
+
+RowSpanMesh extract_isosurface_rows(View3<const double> values, double iso,
+                                    const GridTransform& transform, int level,
+                                    View3<const std::uint8_t> cell_valid,
+                                    std::int64_t i_begin, std::int64_t i_end,
+                                    std::int64_t j_begin, std::int64_t j_end,
+                                    std::int64_t k_begin,
+                                    std::int64_t k_end) {
+  const Shape3 vs = values.shape();
+  AMRVIS_REQUIRE_MSG(vs.nx >= 2 && vs.ny >= 2 && vs.nz >= 2,
+                     "isosurface: need at least a 2x2x2 vertex grid");
+  const std::int64_t cx = vs.nx - 1, cy = vs.ny - 1, cz = vs.nz - 1;
+  AMRVIS_REQUIRE_MSG(i_begin >= 0 && i_end <= cx && i_begin <= i_end &&
+                         j_begin >= 0 && j_end <= cy && j_begin <= j_end &&
+                         k_begin >= 0 && k_end <= cz && k_begin <= k_end,
+                     "isosurface: cube row range outside the grid");
   const bool has_mask = cell_valid.data() != nullptr;
   if (has_mask)
     AMRVIS_REQUIRE_MSG((cell_valid.shape() == Shape3{cx, cy, cz}),
                        "isosurface: mask shape must be cells of the grid");
 
-  // Deterministic parallelism: one sub-mesh per z-slab, appended in order.
-  std::vector<TriMesh> slabs(static_cast<std::size_t>(k_end - k_begin));
-  parallel_for(k_end - k_begin, [&](std::int64_t kk) {
+  // Deterministic parallelism: one sub-mesh per z-layer, appended in
+  // order; per-row triangle counts are recorded as the layer extracts.
+  const std::int64_t nk = k_end - k_begin, nj = j_end - j_begin;
+  std::vector<TriMesh> layers(static_cast<std::size_t>(nk));
+  std::vector<std::vector<std::size_t>> counts(static_cast<std::size_t>(nk));
+  parallel_for(nk, [&](std::int64_t kk) {
     const std::int64_t k = k_begin + kk;
-    TriMesh& m = slabs[static_cast<std::size_t>(kk)];
-    for (std::int64_t j = 0; j < cy; ++j)
-      for (std::int64_t i = 0; i < cx; ++i) {
+    TriMesh& m = layers[static_cast<std::size_t>(kk)];
+    auto& cnt = counts[static_cast<std::size_t>(kk)];
+    cnt.assign(static_cast<std::size_t>(nj), 0);
+    for (std::int64_t j = j_begin; j < j_end; ++j) {
+      const std::size_t row_start = m.triangles.size();
+      for (std::int64_t i = i_begin; i < i_end; ++i) {
         if (has_mask && !cell_valid(i, j, k)) continue;
         Vec3 pos[8];
         double val[8];
@@ -134,11 +160,25 @@ TriMesh extract_isosurface_slab(View3<const double> values, double iso,
           contour_tet(tp, tf, iso, level, m);
         }
       }
+      cnt[static_cast<std::size_t>(j - j_begin)] =
+          m.triangles.size() - row_start;
+    }
   });
 
-  TriMesh mesh;
-  for (const TriMesh& m : slabs) mesh.append(m);
-  return mesh;
+  RowSpanMesh out;
+  out.row_begin.assign(static_cast<std::size_t>(nk * nj) + 1, 0);
+  std::size_t total = 0;
+  for (std::int64_t kk = 0; kk < nk; ++kk)
+    for (std::int64_t jj = 0; jj < nj; ++jj) {
+      out.row_begin[static_cast<std::size_t>(kk * nj + jj)] = total;
+      total += counts[static_cast<std::size_t>(kk)]
+                     [static_cast<std::size_t>(jj)];
+    }
+  out.row_begin[static_cast<std::size_t>(nk * nj)] = total;
+  out.mesh.vertices.reserve(3 * total);
+  out.mesh.triangles.reserve(total);
+  for (const TriMesh& m : layers) out.mesh.append(m);
+  return out;
 }
 
 std::vector<Segment2D> marching_squares(View3<const double> values,

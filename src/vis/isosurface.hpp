@@ -42,6 +42,30 @@ TriMesh extract_isosurface_slab(View3<const double> values, double iso,
                                 View3<const std::uint8_t> cell_valid,
                                 std::int64_t k_begin, std::int64_t k_end);
 
+/// Row-span extraction for brick-sweep consumers (vis/amr_iso brick
+/// order): extracts cube anchors with i in [i_begin, i_end), j in
+/// [j_begin, j_end), k in [k_begin, k_end) — the triangles are
+/// bit-identical to the corresponding subsequence of a full extraction —
+/// and records per (k, j) anchor row the triangle span it produced, so a
+/// sweep that owns disjoint anchor boxes can re-interleave several
+/// bricks' meshes into the exact global (k; j; i) emission order.
+/// Vertices are stored 3 per triangle: triangle t owns vertices
+/// [3t, 3t + 3) and its indices are {3t, 3t + 1, 3t + 2}.
+struct RowSpanMesh {
+  TriMesh mesh;
+  /// (k - k_begin) * (j_end - j_begin) + (j - j_begin) -> index of the
+  /// row's first triangle; one-past-the-end sentinel at the back.
+  std::vector<std::size_t> row_begin;
+};
+
+RowSpanMesh extract_isosurface_rows(View3<const double> values, double iso,
+                                    const GridTransform& transform, int level,
+                                    View3<const std::uint8_t> cell_valid,
+                                    std::int64_t i_begin, std::int64_t i_end,
+                                    std::int64_t j_begin, std::int64_t j_end,
+                                    std::int64_t k_begin,
+                                    std::int64_t k_end);
+
 struct Segment2D {
   double ax = 0, ay = 0, bx = 0, by = 0;
 };

@@ -7,9 +7,10 @@
 // Only run this after an INTENTIONAL container format bump, and commit
 // the new files alongside the version change: the golden suite exists to
 // make silent format breaks impossible. Frozen-version blobs
-// (golden_v1_* from the PR3 writer, golden_v2_* from the PR4 writer) can
-// never be regenerated — those writers are gone — and must not be
-// deleted while the decoder still claims v1/v2 support.
+// (golden_v1_* from the PR3 writer, golden_v2_* from the PR4 writer,
+// golden_v3_* from the PR5–7 writer) can never be regenerated — those
+// writers are gone — and must not be deleted while the decoder still
+// claims v1/v2/v3 support.
 //
 // The input field and codec configuration here must stay in lock-step
 // with golden_field()/golden_codec() in tests/test_roi.cpp.
@@ -41,11 +42,11 @@ int main(int argc, char** argv) {
   const ChunkedCompressor codec(make_compressor("sz-lr"), ChunkShape{8, 8, 4});
   const Bytes blob = codec.compress(data.view(), 1e-3);
   const Array3<double> dec = codec.decompress(blob);
-  write_file(dir + "/golden_v3_chunked_szlr.bin", blob);
-  write_file(dir + "/golden_v3_chunked_szlr.dec.bin",
+  write_file(dir + "/golden_v4_chunked_szlr.bin", blob);
+  write_file(dir + "/golden_v4_chunked_szlr.dec.bin",
              {reinterpret_cast<const std::uint8_t*>(dec.data()),
               static_cast<std::size_t>(dec.size()) * sizeof(double)});
-  std::printf("wrote %s/golden_v3_chunked_szlr.bin (%zu bytes) and "
+  std::printf("wrote %s/golden_v4_chunked_szlr.bin (%zu bytes) and "
               ".dec.bin (%lld doubles)\n",
               dir.c_str(), blob.size(), static_cast<long long>(dec.size()));
   return 0;

@@ -1,5 +1,5 @@
 // Deterministic single-bit-flip fuzz sweep over the golden container
-// blobs: every bit of the first 4 KiB of each blob (v1/v2/v3 headers plus
+// blobs: every bit of the first 4 KiB of each blob (v1–v4 headers plus
 // most of the payload) is flipped in turn and the result decompressed.
 // The contract under corruption is binary: the decode either succeeds
 // (the flip landed in a numerically tolerant spot) or throws a typed
@@ -82,6 +82,13 @@ TEST(FuzzCorrupt, V2GoldenBlobEveryHeaderAndPayloadBitFlip) {
 
 TEST(FuzzCorrupt, V3GoldenBlobEveryHeaderAndPayloadBitFlip) {
   sweep_blob("golden_v3_chunked_szlr.bin");
+}
+
+TEST(FuzzCorrupt, V4GoldenBlobEveryHeaderAndPayloadBitFlip) {
+  // The v4 header adds the max-err and histogram tables: flips landing
+  // there must be caught by their validation (negative/NaN err, bucket
+  // mass mismatch), never mis-slice the payload.
+  sweep_blob("golden_v4_chunked_szlr.bin");
 }
 
 }  // namespace

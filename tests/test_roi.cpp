@@ -14,16 +14,24 @@
 //                                    PR4 code (min/max stats, no face
 //                                    table). FROZEN like v1 — the PR5
 //                                    writer emits v3.
-//  - golden_v3_chunked_szlr.bin      current-version container (per-tile
-//                                    min/max + face-slab stats).
+//  - golden_v3_chunked_szlr.bin      version-3 container written by the
+//                                    PR5–7 code (per-tile min/max +
+//                                    face-slab stats of ORIGINAL values).
+//                                    FROZEN like v1/v2 — the v4 writer
+//                                    records decoded-value stats.
+//  - golden_v4_chunked_szlr.bin      current-version container (exact
+//                                    decoded-value tile + face stats,
+//                                    per-tile achieved max error, 16-
+//                                    bucket value histogram).
 //                                    Regenerate ONLY on an intentional
 //                                    format bump:
 //                                      cmake --build build --target gen_golden_blobs
 //                                      ./build/tests/gen_golden_blobs tests/data
 //  - *.dec.bin                       raw little-endian doubles of the
 //                                    expected decode, byte-compared.
-// Input field/codec for the v2/v3 golden files: golden_field() 12x10x9,
-// sz-lr, tile 8x8x4, abs_eb 1e-3 (lock-step with gen_golden_blobs.cpp).
+// Input field/codec for the v2/v3/v4 golden files: golden_field()
+// 12x10x9, sz-lr, tile 8x8x4, abs_eb 1e-3 (lock-step with
+// gen_golden_blobs.cpp).
 
 #include <gtest/gtest.h>
 
@@ -184,7 +192,10 @@ TEST(RoiGolden, V2BlobStillDecodesByteExact) {
                         slice(dec, region)));
 }
 
-TEST(RoiGolden, V3BlobDecodesByteExactAndReproduces) {
+TEST(RoiGolden, V3BlobStillDecodesByteExact) {
+  // FROZEN since the v4 bump: the v3 writer is gone (the v4 writer
+  // records decoded-value stats); this blob can never be regenerated and
+  // must decode byte-exactly forever.
   const Bytes blob = read_file(data_path("golden_v3_chunked_szlr.bin"));
   const Bytes expect = read_file(data_path("golden_v3_chunked_szlr.dec.bin"));
   ASSERT_GE(blob.size(), 5u);
@@ -197,21 +208,43 @@ TEST(RoiGolden, V3BlobDecodesByteExactAndReproduces) {
   EXPECT_EQ(std::memcmp(dec.data(), expect.data(), expect.size()), 0)
       << "v3 container decode changed — silent format break";
 
+  // A v3 container carries face-slab stats but no error/histogram
+  // tables: the face query still works, ROI decode still works.
+  EXPECT_EQ(codec.tile_face_stats(blob).size(), 12u);
+  const Box region{{3, 2, 1}, {10, 9, 6}};
+  EXPECT_TRUE(bit_equal(codec.decompress_region(blob, region),
+                        slice(dec, region)));
+}
+
+TEST(RoiGolden, V4BlobDecodesByteExactAndReproduces) {
+  const Bytes blob = read_file(data_path("golden_v4_chunked_szlr.bin"));
+  const Bytes expect = read_file(data_path("golden_v4_chunked_szlr.dec.bin"));
+  ASSERT_GE(blob.size(), 5u);
+  EXPECT_EQ(blob[4], 4) << "golden v4 blob is not version 4";
+
+  const ChunkedCompressor codec = golden_codec();
+  const Array3<double> dec = codec.decompress(blob);
+  ASSERT_EQ(static_cast<std::size_t>(dec.size()) * sizeof(double),
+            expect.size());
+  EXPECT_EQ(std::memcmp(dec.data(), expect.data(), expect.size()), 0)
+      << "v4 container decode changed — silent format break";
+
   // The writer must also still produce these exact bytes: an encoder-side
   // drift is a format break even if decode still accepts old blobs.
   const Bytes rewritten = codec.compress(golden_field().view(), 1e-3);
   EXPECT_EQ(rewritten, blob)
-      << "v3 container bytes changed — regen goldens only on an "
+      << "v4 container bytes changed — regen goldens only on an "
          "intentional format bump (see header comment)";
 }
 
-TEST(RoiGolden, V3FaceStatsBoundTheirSlabs) {
+TEST(RoiGolden, V4FaceStatsBoundTheirDecodedSlabs) {
   // The face table must be exact for its slabs: every face range is
   // contained in the tile range, and recomputing the two-layer slab
-  // ranges from the original field reproduces the stored values.
-  const Array3<double> field = golden_field();
+  // ranges from the DECODED field reproduces the stored values — v4
+  // stats bound what a reader will actually see, not the original input.
   const ChunkedCompressor codec = golden_codec();
-  const Bytes blob = codec.compress(field.view(), 1e-3);
+  const Bytes blob = codec.compress(golden_field().view(), 1e-3);
+  const Array3<double> field = codec.decompress(blob);
   const auto tiles = codec.tiles_overlapping(
       blob, -std::numeric_limits<double>::infinity(),
       std::numeric_limits<double>::infinity());
@@ -470,16 +503,16 @@ TEST(RoiStats, EbWidenedCullNeverDropsAMatchingDecodedValue) {
   }
 }
 
-// -------------------- adversarial v2 headers ---------------------------
+// ------------------ adversarial container headers ----------------------
 
-// v3 container offsets for a "sz-lr" container (name length 5):
+// v4 container offsets for a "sz-lr" container (name length 5):
 // magic@0(4) version@4(2) namelen@6(2) name@8(5) shape@13(3x i64)
 // tile@37(3x i64) ntiles@61(u64) sizes@69(8*n) stats@69+8n(16*n)
-// faces@69+24n(96*n) payload.
+// faces@69+24n(96*n) max_err@69+120n(8*n) hist@69+128n(64*n) payload.
 constexpr std::size_t kSizesOff = 69;
 
 /// 16x16x8 sz-lr container, 8 tiles: sizes@69..133, stats@133..261,
-/// faces@261..1029.
+/// faces@261..1029, max_err@1029..1093, hist@1093..1605.
 Bytes adversarial_container() {
   const Array3<double> data = deterministic_field({16, 16, 8});
   const ChunkedCompressor codec(make_compressor("sz-lr"), ChunkShape{8, 8, 4});
@@ -493,6 +526,8 @@ ChunkedCompressor adversarial_codec() {
 constexpr std::size_t kNtiles = 8;
 constexpr std::size_t kStatsOff = kSizesOff + 8 * kNtiles;
 constexpr std::size_t kFaceOff = kStatsOff + 16 * kNtiles;
+constexpr std::size_t kErrOff = kFaceOff + 96 * kNtiles;
+constexpr std::size_t kHistOff = kErrOff + 8 * kNtiles;
 
 TEST(RoiAdversarial, TruncatedStatsTableThrows) {
   const ChunkedCompressor codec = adversarial_codec();
@@ -591,14 +626,85 @@ TEST(RoiAdversarial, V3MagicWithV2LengthThrows) {
   EXPECT_THROW((void)golden_codec().decompress(blob), Error);
 }
 
-TEST(RoiAdversarial, V2MagicWithV3LengthThrows) {
-  // The converse: a v3 blob relabeled v2 leaves the face table inside
-  // the payload area, so tile slots point at face doubles — the inner
-  // codec must reject them (and the trailing-bytes check backstops it).
+TEST(RoiAdversarial, V2MagicWithV4LengthThrows) {
+  // The converse: a v4 blob relabeled v2 leaves the face/err/histogram
+  // tables inside the payload area, so tile slots point at metadata
+  // bytes — the inner codec must reject them (and the trailing-bytes
+  // check backstops it).
   Bytes blob = adversarial_container();
-  ASSERT_EQ(blob[4], 3);
+  ASSERT_EQ(blob[4], 4);
   blob[4] = 2;
   EXPECT_THROW((void)adversarial_codec().decompress(blob), Error);
+}
+
+TEST(RoiAdversarial, V3MagicWithV4LengthThrows) {
+  // A v4 blob relabeled v3: the max-err and histogram tables become
+  // payload bytes and the tile slicing must come up short.
+  Bytes blob = adversarial_container();
+  ASSERT_EQ(blob[4], 4);
+  blob[4] = 3;
+  EXPECT_THROW((void)adversarial_codec().decompress(blob), Error);
+}
+
+TEST(RoiAdversarial, V4MagicWithV3LengthThrows) {
+  // A v3-sized blob (no err/histogram tables) relabeled as v4: parsing
+  // would eat 72 payload bytes per tile as metadata, so the container
+  // must be rejected, not mis-sliced.
+  Bytes blob = read_file(data_path("golden_v3_chunked_szlr.bin"));
+  ASSERT_EQ(blob[4], 3);
+  blob[4] = 4;
+  EXPECT_THROW((void)golden_codec().decompress(blob), Error);
+}
+
+TEST(RoiAdversarial, TruncatedErrTableThrows) {
+  const ChunkedCompressor codec = adversarial_codec();
+  for (const std::size_t keep : {kErrOff + 3, kErrOff + 8 * kNtiles - 1}) {
+    Bytes blob = adversarial_container();
+    ASSERT_GT(blob.size(), keep);
+    blob.resize(keep);
+    EXPECT_THROW((void)codec.decompress(blob), Error);
+    EXPECT_THROW((void)codec.tiles_overlapping(blob, 0.0, 1.0), Error);
+  }
+}
+
+TEST(RoiAdversarial, TruncatedHistTableThrows) {
+  const ChunkedCompressor codec = adversarial_codec();
+  for (const std::size_t keep :
+       {kHistOff + 7, kHistOff + 64 * kNtiles - 1}) {
+    Bytes blob = adversarial_container();
+    ASSERT_GT(blob.size(), keep);
+    blob.resize(keep);
+    EXPECT_THROW((void)codec.decompress(blob), Error);
+    EXPECT_THROW((void)codec.tile_face_stats(blob), Error);
+  }
+}
+
+TEST(RoiAdversarial, NegativeOrNanMaxErrThrows) {
+  // A max-err entry below zero (or NaN) can only be corruption: the
+  // achieved error of a real encode is a finite non-negative double.
+  const ChunkedCompressor codec = adversarial_codec();
+  const double bad[] = {-1.0, std::numeric_limits<double>::quiet_NaN()};
+  for (const double v : bad) {
+    Bytes blob = adversarial_container();
+    // Last entry of the table: the validation must reach it.
+    std::memcpy(blob.data() + kErrOff + 8 * (kNtiles - 1), &v, sizeof(v));
+    EXPECT_THROW((void)codec.decompress(blob), Error);
+    EXPECT_THROW((void)codec.tiles_overlapping(blob, 0.0, 1.0), Error);
+  }
+}
+
+TEST(RoiAdversarial, HistogramMassMismatchThrows) {
+  // Each tile's histogram must sum to its cell count (or be all-zero,
+  // the "no sketch" marker a NaN tile writes). Any other mass is
+  // corruption and would silently skew expected-in-band ranking.
+  const ChunkedCompressor codec = adversarial_codec();
+  Bytes blob = adversarial_container();
+  std::uint32_t b0 = 0;
+  std::memcpy(&b0, blob.data() + kHistOff, sizeof(b0));
+  const std::uint32_t bumped = b0 + 1;
+  std::memcpy(blob.data() + kHistOff, &bumped, sizeof(bumped));
+  EXPECT_THROW((void)codec.decompress(blob), Error);
+  EXPECT_THROW((void)codec.tiles_overlapping(blob, 0.0, 1.0), Error);
 }
 
 TEST(RoiAdversarial, V2MagicWithV1LengthThrows) {
@@ -610,10 +716,10 @@ TEST(RoiAdversarial, V2MagicWithV1LengthThrows) {
   EXPECT_THROW((void)golden_codec().decompress(blob), Error);
 }
 
-TEST(RoiAdversarial, V1MagicWithV3LengthThrows) {
-  // A current (v3) blob relabeled v1 leaves the stats + face tables
-  // inside the payload area, so tile slots point at stats doubles — the
-  // inner codec must reject them (trailing-bytes check backstops it).
+TEST(RoiAdversarial, V1MagicWithV4LengthThrows) {
+  // A current (v4) blob relabeled v1 leaves every metadata table inside
+  // the payload area, so tile slots point at stats doubles — the inner
+  // codec must reject them (trailing-bytes check backstops it).
   const ChunkedCompressor codec = adversarial_codec();
   Bytes blob = adversarial_container();
   blob[4] = 1;

@@ -330,7 +330,7 @@ TEST(QueryServiceFault, CorruptStatsTableFallsBackToCullFreeIso) {
   // recoverable, only the culling metadata is lies.
   auto corrupted = f.compressed;
   Bytes& blob = corrupted.levels[0].patches[0].blob;
-  ASSERT_EQ(blob[4], 3);  // current container version
+  ASSERT_EQ(blob[4], 4);  // current container version
   std::uint64_t ntiles = 0;
   std::memcpy(&ntiles, blob.data() + 61, sizeof(ntiles));
   const std::size_t stats_off = 69 + 8 * ntiles;

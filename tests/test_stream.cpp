@@ -198,11 +198,30 @@ TEST(TileStream, ValueBandOrderMatchesTilesOverlapping) {
   }
   EXPECT_FALSE(stream.next().has_value());
 
-  // band_widen loosens the cut the way an abs_eb-aware caller needs.
+  // band_widen loosens the cut the way an abs_eb-aware caller needs —
+  // but only on pre-v4 containers, whose stats bound ORIGINAL values.
+  // A v4 container's stats bound the decoded values exactly, so the
+  // widen is ignored: a band strictly between the tile constants
+  // selects nothing.
   TileStreamOptions widened = opt;
   widened.band_lo = widened.band_hi = 4.75;  // between tiles 4 and 5
   widened.band_widen = 0.5;
-  TileStream ws(codec, blob, widened);
+  TileStream ws_exact(codec, blob, widened);
+  EXPECT_EQ(ws_exact.tiles_selected(), 0);  // exact stats: no widening
+
+  // Downgrade the blob to v2 (strip the face/err/histogram tables) to
+  // exercise the widened regime: tile 5's [5, 5] widens to [4.5, 5.5].
+  Bytes v2 = blob;
+  ASSERT_EQ(v2[4], 4);
+  std::uint64_t ntiles = 0;
+  std::memcpy(&ntiles, v2.data() + 61, sizeof(ntiles));
+  ASSERT_EQ(ntiles, 8u);
+  const std::size_t face_off = 69 + (8 + 16) * ntiles;
+  v2[4] = 2;
+  v2.erase(v2.begin() + static_cast<std::ptrdiff_t>(face_off),
+           v2.begin() + static_cast<std::ptrdiff_t>(
+                            face_off + (96 + 8 + 64) * ntiles));
+  TileStream ws(codec, v2, widened);
   EXPECT_EQ(ws.tiles_selected(), 1);  // tile 5 within the widened band
 
   TileStreamOptions bad_band;
@@ -584,6 +603,62 @@ TEST(StreamedIso, ValueCullSkipsSlabsAndBoundsMemory) {
   EXPECT_LT(stats.peak_live_bytes, full_raster / 2);
 }
 
+TEST(StreamedIso, BrickSweepBoundsMemoryOnWideDomain) {
+  // A transversely large, z-thin domain — the shape that breaks any
+  // full-xy slab raster. The brick sweep's peak live footprint must stay
+  // below even a single xy value plane, while the mesh stays
+  // bit-identical to full inflate; a misaligned-brick run with a tiny
+  // decoded-tile LRU must also match (tiles spanning bricks are carried,
+  // not re-decoded) and respect the O(k·tile) bound.
+  const Shape3 s{192, 160, 12};
+  const auto codec = make_compressor("sz-lr");
+  compress::AmrChunkPolicy policy;
+  policy.oversized_patch_cells = 16;
+  policy.tile = ChunkShape{8, 8, 4};
+  const auto compressed =
+      compress_hierarchy(single_level_hierarchy(deterministic_field(s)),
+                         *codec, 1e-3, compress::RedundantHandling::kKeep,
+                         policy);
+  const amr::AmrHierarchy full = decompress_hierarchy(compressed, *codec);
+  const double iso = 0.25;
+  const std::size_t xy_plane =
+      static_cast<std::size_t>(s.nx * s.ny) * sizeof(double);
+
+  for (const auto method :
+       {vis::VisMethod::kResampling, vis::VisMethod::kDualCell}) {
+    const vis::TriMesh expect = vis::amr_isosurface(full, iso, method);
+    ASSERT_FALSE(expect.empty());
+
+    // Tile-aligned bricks (the default): every tile is decoded exactly
+    // once and nothing needs carrying.
+    vis::StreamedIsoOptions aligned;
+    aligned.slab_nz = 4;
+    vis::StreamedIsoStats as;
+    expect_mesh_identical(
+        vis::amr_isosurface_streamed(compressed, *codec, iso, method,
+                                     aligned, &as),
+        expect, std::string("aligned ") + vis::vis_method_name(method));
+    EXPECT_LE(as.peak_live_tiles, 2);
+    EXPECT_LT(as.peak_live_bytes, xy_plane);
+
+    // Misaligned bricks + k-tile LRU: tiles span brick seams, so the
+    // sweep must carry them across bricks (hits, not re-decodes) while
+    // the live-tile high-water mark stays within lru_tiles + 1.
+    vis::StreamedIsoOptions skew = aligned;
+    skew.brick_nx = 5;
+    skew.brick_ny = 7;
+    skew.lru_tiles = 4;
+    vis::StreamedIsoStats ss;
+    expect_mesh_identical(
+        vis::amr_isosurface_streamed(compressed, *codec, iso, method, skew,
+                                     &ss),
+        expect, std::string("skew ") + vis::vis_method_name(method));
+    EXPECT_GT(ss.cache_hits, 0);
+    EXPECT_LE(ss.peak_live_tiles, 5);  // lru_tiles + the tile in hand
+    EXPECT_LT(ss.peak_live_bytes, xy_plane);
+  }
+}
+
 TEST(StreamedIso, NanMaskedFieldStaysBitIdenticalUnderCull) {
   // A NaN-masked block inside an otherwise high-valued region: the
   // marching extractor still emits geometry at NaN-adjacent cubes
@@ -631,20 +706,21 @@ TEST(StreamedIso, NanMaskedFieldStaysBitIdenticalUnderCull) {
   // Legacy containers are a separate trap: the PRE-v3 writers computed
   // stats by SKIPPING NaN cells, so their finite ranges wrongly vouch
   // for NaN-holding tiles. The cull must refuse to trust them (v1/v2
-  // patches decode whole). Build a genuine v2 blob by stripping the v3
-  // face table: version byte -> 2, face bytes (96 per tile, after the
-  // 8-byte sizes + 16-byte stats tables) erased.
+  // patches decode whole). Build a genuine v2 blob by stripping the
+  // v3/v4 tables: version byte -> 2; face (96), max-err (8) and
+  // histogram (64) bytes per tile — everything after the 8-byte sizes
+  // + 16-byte stats tables — erased.
   auto downgraded = compressed;
   Bytes& blob = downgraded.levels[0].patches[0].blob;
-  ASSERT_EQ(blob[4], 3);
+  ASSERT_EQ(blob[4], 4);
   std::uint64_t ntiles = 0;
   std::memcpy(&ntiles, blob.data() + 61, sizeof(ntiles));
   ASSERT_EQ(ntiles, 24u);  // 16x16x24 under 8x8x4
   const std::size_t face_off = 69 + (8 + 16) * ntiles;
   blob[4] = 2;
   blob.erase(blob.begin() + static_cast<std::ptrdiff_t>(face_off),
-             blob.begin() + static_cast<std::ptrdiff_t>(face_off +
-                                                        96 * ntiles));
+             blob.begin() + static_cast<std::ptrdiff_t>(
+                                face_off + (96 + 8 + 64) * ntiles));
   const amr::AmrHierarchy full_v2 = decompress_hierarchy(downgraded, *codec);
   const vis::TriMesh expect_v2 =
       vis::amr_isosurface(full_v2, iso, vis::VisMethod::kResampling);

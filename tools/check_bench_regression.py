@@ -58,8 +58,9 @@ def records_of(doc, lane="trajectory"):
 
     `lane` selects which trajectory list of a committed BENCH_* file the
     baseline comes from (default: the gated "trajectory" lane; pass
-    "trajectory_full" to gate the paper-scale lane). Flat bench outputs
-    ignore it."""
+    "trajectory_full" for the paper-scale throughput lane, or
+    "trajectory_nyx" / "trajectory_full_nyx" for the Nyx-field stream
+    and throughput lanes). Flat bench outputs ignore it."""
     if lane in doc:
         return doc[lane][-1]["records"], doc[lane][-1].get(
             "rev", "baseline")

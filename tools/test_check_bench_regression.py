@@ -317,6 +317,38 @@ class QualityGateTest(GateHarness):
         self.assertEqual(self.run_quality(base, ok, *flags), 0)
         self.assertEqual(self.run_quality(base, bad, *flags), 1)
 
+    def test_lane_flag_selects_quality_lane(self):
+        # The stream bench gates tiles_saved_frac per dataset field: the
+        # warpx baseline lives in `trajectory`, the nyx one in
+        # `trajectory_nyx`, and --lane must pick the right baseline. A
+        # nyx-only cull regression must fail the nyx lane while the
+        # default (warpx) lane still passes.
+        def stream(field, saved_frac):
+            return [{"stage": "streamed_iso", "field": field,
+                     "method": "re-sampling", "threads": 1,
+                     "tiles_total": 8192, "mesh_identical": 1,
+                     "tiles_saved_frac": saved_frac}]
+        doc = {"bench": "stream",
+               "trajectory": [{"rev": "w", "records":
+                               stream("warpx_like_ez", 0.62)}],
+               "trajectory_nyx": [{"rev": "n", "records":
+                                   stream("nyx_like_density", 0.55)}]}
+        base = self.write("b.json", doc)
+        cur_ok = self.write("ok.json", self.flat(
+            stream("nyx_like_density", 0.54)))
+        cur_bad = self.write("bad.json", self.flat(
+            stream("nyx_like_density", 0.10)))
+        flags = ("--metrics", "tiles_saved_frac", "--tolerance", "0.2",
+                 "--lane", "trajectory_nyx")
+        self.assertEqual(self.run_quality(base, cur_ok, *flags), 0)
+        self.assertEqual(self.run_quality(base, cur_bad, *flags), 1)
+        # Against the default lane the nyx record is a different identity
+        # (field differs), so the warpx baseline would be "missing" — the
+        # structural failure proves lanes cannot silently cross-match.
+        self.assertEqual(self.run_quality(
+            base, cur_ok, "--metrics", "tiles_saved_frac",
+            "--tolerance", "0.2"), 2)
+
     def test_quality_mode_ignores_config_records(self):
         base = self.write("b.json", self.flat(
             [CONFIG] + self.quality_records(20, 65)))
