@@ -6,6 +6,7 @@
 #include <limits>
 #include <memory>
 
+#include "compress/lzss.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 
@@ -191,7 +192,9 @@ void for_each_tile_compressed(
     const compress::Compressor& comp, int level, const Box& region,
     const std::function<void(HierTile&&)>& fn,
     const HierTileOptions& options, compress::RegionDecodeStats* stats) {
-  AMRVIS_REQUIRE_MSG(comp.name() == compressed.compressor_name,
+  AMRVIS_REQUIRE_MSG(
+      compress::codec_names_compatible(comp.name(),
+                                       compressed.compressor_name),
                      "for_each_tile_compressed: codec mismatch");
   AMRVIS_REQUIRE_MSG(
       level >= 0 &&

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "compress/chunked.hpp"
+#include "compress/lzss.hpp"
 #include "util/parallel.hpp"
 
 namespace amrvis::compress {
@@ -168,8 +169,9 @@ AmrCompressed compress_hierarchy(const AmrHierarchy& hier,
 
 AmrHierarchy decompress_hierarchy(const AmrCompressed& compressed,
                                   const Compressor& comp) {
-  AMRVIS_REQUIRE_MSG(comp.name() == compressed.compressor_name,
-                     "decompress_hierarchy: codec mismatch");
+  AMRVIS_REQUIRE_MSG(
+      codec_names_compatible(comp.name(), compressed.compressor_name),
+      "decompress_hierarchy: codec mismatch");
   AmrHierarchy hier(compressed.ref_ratio);
   for (std::size_t l = 0; l < compressed.levels.size(); ++l) {
     AmrLevel lvl;
@@ -200,8 +202,9 @@ std::vector<RegionPatch> decompress_level_region(
     const AmrCompressed& compressed, const Compressor& comp, int level,
     const amr::Box& region, RegionDecodeStats* stats,
     const AmrTileCache* cache, const LevelReadOptions& read) {
-  AMRVIS_REQUIRE_MSG(comp.name() == compressed.compressor_name,
-                     "decompress_level_region: codec mismatch");
+  AMRVIS_REQUIRE_MSG(
+      codec_names_compatible(comp.name(), compressed.compressor_name),
+      "decompress_level_region: codec mismatch");
   AMRVIS_REQUIRE_MSG(
       level >= 0 &&
           static_cast<std::size_t>(level) < compressed.levels.size(),

@@ -7,6 +7,7 @@
 #include <limits>
 #include <memory>
 
+#include "compress/lzss.hpp"
 #include "util/fault.hpp"
 #include "util/parallel.hpp"
 
@@ -83,7 +84,11 @@ ParsedContainer parse_body(ByteReader& r, const std::string& expect_codec) {
   const auto name_bytes = r.get_bytes(name_len);
   const std::string codec(reinterpret_cast<const char*>(name_bytes.data()),
                           name_bytes.size());
-  AMRVIS_CHECK(ErrorCode::kCorruptHeader, codec == expect_codec,
+  // Level-agnostic comparison: the LZSS parse level ("+fast"/"+optimal")
+  // changes the bytes a codec writes, never the format it reads, so a
+  // container written at one level decodes with a codec at any other.
+  AMRVIS_CHECK(ErrorCode::kCorruptHeader,
+               codec_names_compatible(codec, expect_codec),
                "chunked: codec mismatch (container says '" + codec +
                    "', decoding with '" + expect_codec + "')");
 

@@ -4,6 +4,7 @@
 
 #include "compress/chunked.hpp"
 #include "compress/interp.hpp"
+#include "compress/lzss.hpp"
 #include "compress/szlr.hpp"
 #include "compress/zfp_like.hpp"
 #include "util/stats.hpp"
@@ -29,22 +30,24 @@ namespace {
 
 /// The single registry both the factory dispatch and the public name
 /// list are built from — a codec added here is automatically named in
-/// the unknown-codec error and everywhere else the list is shown.
-using CompressorMaker = std::unique_ptr<Compressor> (*)();
+/// the unknown-codec error and everywhere else the list is shown. Makers
+/// receive the LZSS parse level split off the requested name so every
+/// codec supports the "+fast"/"+lazy"/"+optimal" suffix uniformly.
+using CompressorMaker = std::unique_ptr<Compressor> (*)(LzssLevel);
 const std::vector<std::pair<std::string, CompressorMaker>>&
 compressor_registry() {
   static const std::vector<std::pair<std::string, CompressorMaker>> r = {
       {"sz-lr",
-       +[]() -> std::unique_ptr<Compressor> {
-         return std::make_unique<SzLrCompressor>();
+       +[](LzssLevel level) -> std::unique_ptr<Compressor> {
+         return std::make_unique<SzLrCompressor>(6, level);
        }},
       {"sz-interp",
-       +[]() -> std::unique_ptr<Compressor> {
-         return std::make_unique<SzInterpCompressor>();
+       +[](LzssLevel level) -> std::unique_ptr<Compressor> {
+         return std::make_unique<SzInterpCompressor>(64, level);
        }},
       {"zfp-like",
-       +[]() -> std::unique_ptr<Compressor> {
-         return std::make_unique<ZfpLikeCompressor>();
+       +[](LzssLevel level) -> std::unique_ptr<Compressor> {
+         return std::make_unique<ZfpLikeCompressor>(level);
        }},
   };
   return r;
@@ -62,8 +65,12 @@ const std::vector<std::string>& registered_compressor_names() {
 }
 
 std::unique_ptr<Compressor> make_compressor(const std::string& name) {
+  // An optional "+fast"/"+lazy"/"+optimal" suffix picks the LZSS parse
+  // level (default lazy); codec name()s re-emit the suffix so
+  // make_compressor(codec->name()) round-trips the level.
+  const LzssLevelSplit split = split_lzss_level(name);
   for (const auto& [known, maker] : compressor_registry())
-    if (name == known) return maker();
+    if (split.base == known) return maker(split.level);
   // "chunked-<codec>" wraps any registered codec in the tile-parallel
   // container (src/compress/chunked.hpp); an optional "@TXxTYxTZ" suffix
   // selects the tile shape, e.g. "chunked-sz-lr@32x32x16", so the tile
@@ -88,9 +95,10 @@ std::unique_ptr<Compressor> make_compressor(const std::string& name) {
     known += n;
   }
   throw Error("unknown compressor: '" + name + "' (registered: " + known +
-              "; any of them wraps in the tile container as "
+              "; any of them takes an LZSS parse-level suffix +fast/+lazy/"
+              "+optimal and wraps in the tile container as "
               "chunked-<codec> or chunked-<codec>@TXxTYxTZ, e.g. "
-              "chunked-sz-lr@32x32x16)");
+              "chunked-sz-lr+optimal@32x32x16)");
 }
 
 }  // namespace amrvis::compress

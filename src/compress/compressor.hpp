@@ -48,11 +48,14 @@ class Compressor {
 /// build on this so the list can never drift from the factory.
 const std::vector<std::string>& registered_compressor_names();
 
-/// Factory: any name from registered_compressor_names(), optionally
-/// wrapped in the tile-parallel container as "chunked-<codec>" with an
-/// optional tile-shape suffix "chunked-<codec>@TXxTYxTZ" (e.g.
-/// "chunked-sz-lr@32x32x16"). Throws on unknown names; the exception
-/// message lists every registered codec and the chunked form.
+/// Factory: any name from registered_compressor_names(), optionally with
+/// an LZSS parse-level suffix "+fast"/"+lazy"/"+optimal" (default lazy),
+/// optionally wrapped in the tile-parallel container as "chunked-<codec>"
+/// with an optional tile-shape suffix "chunked-<codec>@TXxTYxTZ" (e.g.
+/// "chunked-sz-lr+optimal@32x32x16"). Codec name()s re-emit the level
+/// suffix, so make_compressor(codec->name()) round-trips. Throws on
+/// unknown names; the exception message lists every registered codec and
+/// the suffix forms.
 std::unique_ptr<Compressor> make_compressor(const std::string& name);
 
 /// Convenience: compression ratio of original doubles vs blob size.

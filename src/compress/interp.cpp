@@ -195,7 +195,7 @@ Bytes SzInterpCompressor::compress(View3<const double> data,
   w.put<std::uint64_t>(anchors.size());
   w.put_bytes({reinterpret_cast<const std::uint8_t*>(anchors.data()),
                anchors.size() * sizeof(double)});
-  w.put_blob(lzss_encode(huffman_encode(codes)));
+  w.put_blob(lzss_encode(huffman_encode(codes), lzss_level_));
   w.put<std::uint64_t>(outliers.size());
   w.put_bytes({reinterpret_cast<const std::uint8_t*>(outliers.data()),
                outliers.size() * sizeof(double)});

@@ -14,19 +14,25 @@
 // rather than block edges — exactly the contrast the paper studies.
 
 #include "compress/compressor.hpp"
+#include "compress/lzss.hpp"
 
 namespace amrvis::compress {
 
 class SzInterpCompressor final : public Compressor {
  public:
   /// `max_anchor_stride` bounds the coarsest grid (power of two).
-  explicit SzInterpCompressor(std::int64_t max_anchor_stride = 64)
-      : max_stride_(max_anchor_stride) {
+  explicit SzInterpCompressor(std::int64_t max_anchor_stride = 64,
+                              LzssLevel lzss_level = LzssLevel::kLazy)
+      : max_stride_(max_anchor_stride), lzss_level_(lzss_level) {
     AMRVIS_REQUIRE(max_anchor_stride >= 2);
     AMRVIS_REQUIRE((max_anchor_stride & (max_anchor_stride - 1)) == 0);
   }
 
-  [[nodiscard]] std::string name() const override { return "sz-interp"; }
+  [[nodiscard]] std::string name() const override {
+    std::string n = "sz-interp";
+    n.append(lzss_level_suffix(lzss_level_));
+    return n;
+  }
   [[nodiscard]] Bytes compress(View3<const double> data,
                                double abs_eb) const override;
   [[nodiscard]] Array3<double> decompress(
@@ -34,6 +40,7 @@ class SzInterpCompressor final : public Compressor {
 
  private:
   std::int64_t max_stride_;
+  LzssLevel lzss_level_;
 };
 
 }  // namespace amrvis::compress

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstring>
 #include <vector>
 
 #include "util/error.hpp"
@@ -11,9 +12,24 @@ namespace amrvis::compress {
 namespace {
 constexpr std::size_t kWindow = 1u << 16;      // match offsets fit in 16 bits
 constexpr std::size_t kMinMatch = 4;
-constexpr std::size_t kMaxMatch = 258;         // length - kMinMatch fits a byte
+constexpr std::size_t kMaxMatch = 258;         // length - 4 fits a byte
 constexpr std::size_t kHashSize = 1u << 16;
-constexpr int kMaxChain = 48;
+// Per-level hash-chain depth: fast trades ratio for compress throughput,
+// optimal spends more so the DP has the best matches to choose from.
+constexpr int kChainFast = 16;
+constexpr int kChainLazy = 48;
+constexpr int kChainOptimal = 256;
+// Token bit costs under the control-byte framing: every token owns one
+// control bit; a literal adds 8 payload bits, a match 24 (u16 offset +
+// u8 length). The control byte amortizes to exactly 1 bit/token, so these
+// costs are exact whenever groups fill and off by < 1 byte at the tail.
+constexpr std::uint64_t kLiteralBits = 9;
+constexpr std::uint64_t kMatchBits = 25;
+// v2 header: bit 63 of the leading size word flags the version (a v1
+// writer stores the input byte count there, which can never reach 2^63),
+// followed by one magic/version byte.
+constexpr std::uint64_t kV2Bit = std::uint64_t{1} << 63;
+constexpr std::uint8_t kV2Tag = 0xA2;  // magic nibble 0xA, version 2
 // The densest possible token stream is back-to-back 3-byte match tokens,
 // each yielding at most kMaxMatch output bytes (control bytes and literals
 // only lower the density), so a token stream of T bytes cannot decode to
@@ -45,15 +61,305 @@ std::size_t match_length(const std::uint8_t* a, const std::uint8_t* b,
   while (len < limit && a[len] == b[len]) ++len;
   return len;
 }
+
+/// Emits the shared token-stream framing (control byte per 8 tokens, LSB
+/// first). Groups open lazily on the first token, so empty input produces
+/// an empty token stream — the v1 writer's dangling control byte for
+/// empty input is a v1-only quirk.
+class TokenWriter {
+ public:
+  explicit TokenWriter(Bytes& tokens) : tokens_(tokens) {}
+
+  void literal(std::uint8_t b) {
+    open_slot(false);
+    tokens_.push_back(b);
+  }
+
+  void match(std::size_t off, std::size_t len) {
+    open_slot(true);
+    tokens_.push_back(static_cast<std::uint8_t>(off & 0xff));
+    tokens_.push_back(static_cast<std::uint8_t>((off >> 8) & 0xff));
+    tokens_.push_back(static_cast<std::uint8_t>(len - kMinMatch));
+  }
+
+  void finish() {
+    if (bits_ > 0) tokens_[control_pos_] = control_;
+  }
+
+ private:
+  void open_slot(bool is_match) {
+    if (bits_ == 0 || bits_ == 8) {
+      if (bits_ == 8) tokens_[control_pos_] = control_;
+      control_ = 0;
+      bits_ = 0;
+      control_pos_ = tokens_.size();
+      tokens_.push_back(0);
+    }
+    if (is_match) control_ |= static_cast<std::uint8_t>(1u << bits_);
+    ++bits_;
+  }
+
+  Bytes& tokens_;
+  std::uint8_t control_ = 0;
+  int bits_ = 0;  // tokens described by the open control byte (0 = none)
+  std::size_t control_pos_ = 0;
+};
+
+struct Match {
+  std::uint32_t len = 0;
+  std::uint32_t off = 0;
+};
+
+/// Hash-chain match finder shared by every parse level. Positions are
+/// inserted lazily and monotonically (each exactly once), so a find(i)
+/// sees every j < i as a candidate no matter how the parser moved there —
+/// greedy skips, lazy deferrals and the optimal per-position scan all
+/// share one insertion discipline.
+class MatchFinder {
+ public:
+  MatchFinder(std::span<const std::uint8_t> in, int max_chain)
+      : in_(in),
+        max_chain_(max_chain),
+        head_(kHashSize, -1),
+        prev_(in.size(), -1) {}
+
+  Match find(std::size_t i) {
+    insert_below(i);
+    Match m;
+    if (i + kMinMatch > in_.size()) return m;
+    const std::size_t limit = std::min(kMaxMatch, in_.size() - i);
+    std::int64_t cand = head_[hash4(&in_[i])];
+    int chain = 0;
+    std::size_t best_len = kMinMatch - 1;  // accept nothing shorter
+    while (cand >= 0 && chain < max_chain_ &&
+           i - static_cast<std::size_t>(cand) <= kWindow) {
+      const std::size_t c = static_cast<std::size_t>(cand);
+      // Beating best_len requires bytes [0, best_len] to all match, so a
+      // mismatch at position best_len rules the candidate out without a
+      // full compare (best_len < limit here, so the read is in bounds).
+      if (in_[c + best_len] == in_[i + best_len]) {
+        const std::size_t len = match_length(&in_[c], &in_[i], limit);
+        if (len > best_len) {
+          best_len = len;
+          m.len = static_cast<std::uint32_t>(len);
+          m.off = static_cast<std::uint32_t>(i - c);
+          if (len == limit) break;
+        }
+      }
+      cand = prev_[c];
+      ++chain;
+    }
+    return m;
+  }
+
+ private:
+  void insert_below(std::size_t i) {
+    const std::size_t stop =
+        std::min(i, in_.size() < kMinMatch ? 0 : in_.size() - kMinMatch + 1);
+    for (; next_ < stop; ++next_) {
+      const std::uint32_t h = hash4(&in_[next_]);
+      prev_[next_] = head_[h];
+      head_[h] = static_cast<std::int64_t>(next_);
+    }
+  }
+
+  std::span<const std::uint8_t> in_;
+  int max_chain_;
+  std::vector<std::int64_t> head_;
+  std::vector<std::int64_t> prev_;
+  std::size_t next_ = 0;  // first position not yet inserted
+};
+
+/// Greedy with skip acceleration: after a run of consecutive literal
+/// misses the parser emits extra literals without searching (the LZ4
+/// trick), so incompressible stretches cost hash lookups sub-linearly.
+/// This is the compress-throughput mode for the chunked tile path.
+void parse_fast(std::span<const std::uint8_t> in, TokenWriter& tw) {
+  MatchFinder mf(in, kChainFast);
+  std::size_t i = 0;
+  std::size_t miss = 0;
+  while (i < in.size()) {
+    const Match m = mf.find(i);
+    if (m.len >= kMinMatch) {
+      tw.match(m.off, m.len);
+      i += m.len;
+      miss = 0;
+    } else {
+      tw.literal(in[i]);
+      ++i;
+      ++miss;
+      for (std::size_t s = miss >> 5; s > 0 && i < in.size(); --s) {
+        tw.literal(in[i]);
+        ++i;
+      }
+    }
+  }
+  tw.finish();
+}
+
+/// One-step-deferred lazy matching (the default): before committing to a
+/// match, peek at the next position; a strictly longer match there repays
+/// the 9-bit literal it costs (each byte a longer match additionally
+/// covers would otherwise cost >= 9/4 bits downstream). Matches already
+/// >= kGoodEnough are taken immediately — deferring past them almost
+/// never wins and the second search is the lazy mode's whole cost.
+void parse_lazy(std::span<const std::uint8_t> in, TokenWriter& tw) {
+  constexpr std::uint32_t kGoodEnough = 32;
+  MatchFinder mf(in, kChainLazy);
+  std::size_t i = 0;
+  Match cur = mf.find(0);
+  while (i < in.size()) {
+    if (cur.len >= kMinMatch) {
+      if (cur.len < kGoodEnough && i + 1 < in.size()) {
+        const Match next = mf.find(i + 1);
+        if (next.len > cur.len) {
+          tw.literal(in[i]);
+          ++i;
+          cur = next;
+          continue;
+        }
+      }
+      tw.match(cur.off, cur.len);
+      i += cur.len;
+    } else {
+      tw.literal(in[i]);
+      ++i;
+    }
+    cur = mf.find(i);
+  }
+  tw.finish();
+}
+
+/// DP optimal parse for the 9/25-bit cost model: a forward pass records
+/// the longest match at every position, a backward pass picks the
+/// cheapest token per position considering EVERY admissible match length
+/// (a match of length L at offset O implies matches of all lengths
+/// 4..L at O). Truncated lengths matter — the suffix cost is not
+/// monotone, so "longest match or literal" alone is not optimal.
+void parse_optimal(std::span<const std::uint8_t> in, TokenWriter& tw) {
+  const std::size_t n = in.size();
+  MatchFinder mf(in, kChainOptimal);
+  std::vector<std::uint32_t> mlen(n);
+  std::vector<std::uint32_t> moff(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Match m = mf.find(i);
+    mlen[i] = m.len;
+    moff[i] = m.off;
+  }
+  std::vector<std::uint64_t> cost(n + 1, 0);
+  std::vector<std::uint32_t> take(n, 1);  // 1 = literal, else match length
+  for (std::size_t i = n; i-- > 0;) {
+    std::uint64_t best = kLiteralBits + cost[i + 1];
+    std::uint32_t len = 1;
+    for (std::size_t l = kMinMatch; l <= mlen[i]; ++l) {
+      const std::uint64_t c = kMatchBits + cost[i + l];
+      if (c < best) {
+        best = c;
+        len = static_cast<std::uint32_t>(l);
+      }
+    }
+    cost[i] = best;
+    take[i] = len;
+  }
+  for (std::size_t i = 0; i < n;) {
+    if (take[i] == 1) {
+      tw.literal(in[i]);
+      ++i;
+    } else {
+      tw.match(moff[i], take[i]);
+      i += take[i];
+    }
+  }
+  tw.finish();
+}
+
+/// Overlap-safe match copy into a pre-sized buffer. Disjoint ranges use
+/// one memcpy; a self-overlapping match (off < len) is periodic with
+/// period `off`, so the already-written prefix is replicated in doubling
+/// blocks — the byte-by-byte semantics at block-copy speed.
+void copy_match(std::uint8_t* base, std::size_t pos, std::size_t off,
+                std::size_t len) {
+  std::uint8_t* dst = base + pos;
+  const std::uint8_t* src = dst - off;
+  if (off >= len) {
+    std::memcpy(dst, src, len);
+    return;
+  }
+  std::memcpy(dst, src, off);
+  std::size_t copied = off;
+  while (copied < len) {
+    const std::size_t n = std::min(copied, len - copied);
+    std::memcpy(dst + copied, dst, n);
+    copied += n;
+  }
+}
+
 }  // namespace
 
-Bytes lzss_encode(std::span<const std::uint8_t> input) {
+std::string_view lzss_level_suffix(LzssLevel level) {
+  switch (level) {
+    case LzssLevel::kFast:
+      return "+fast";
+    case LzssLevel::kOptimal:
+      return "+optimal";
+    case LzssLevel::kLazy:
+      break;
+  }
+  return "";
+}
+
+LzssLevelSplit split_lzss_level(const std::string& name) {
+  const auto ends_with = [&](std::string_view suffix) {
+    return name.size() > suffix.size() &&
+           name.compare(name.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+  };
+  if (ends_with("+fast"))
+    return {name.substr(0, name.size() - 5), LzssLevel::kFast};
+  if (ends_with("+lazy"))
+    return {name.substr(0, name.size() - 5), LzssLevel::kLazy};
+  if (ends_with("+optimal"))
+    return {name.substr(0, name.size() - 8), LzssLevel::kOptimal};
+  return {name, LzssLevel::kLazy};
+}
+
+bool codec_names_compatible(const std::string& a, const std::string& b) {
+  return split_lzss_level(a).base == split_lzss_level(b).base;
+}
+
+Bytes lzss_encode(std::span<const std::uint8_t> input, LzssLevel level) {
+  Bytes out;
+  ByteWriter w(out);
+  w.put<std::uint64_t>(static_cast<std::uint64_t>(input.size()) | kV2Bit);
+  w.put<std::uint8_t>(kV2Tag);
+
+  Bytes tokens;
+  TokenWriter tw(tokens);
+  switch (level) {
+    case LzssLevel::kFast:
+      parse_fast(input, tw);
+      break;
+    case LzssLevel::kLazy:
+      parse_lazy(input, tw);
+      break;
+    case LzssLevel::kOptimal:
+      parse_optimal(input, tw);
+      break;
+  }
+  w.put_blob(tokens);
+  return out;
+}
+
+Bytes lzss_encode_v1(std::span<const std::uint8_t> input) {
+  // The PR3-era greedy writer, frozen byte-for-byte (including the
+  // dangling control byte on empty input): the embedded-seed identity
+  // test and the v1-leniency regressions pin this output. Do not
+  // "improve" it — that is what v2 is for.
+  constexpr int kMaxChainV1 = 48;
   Bytes out;
   ByteWriter w(out);
   w.put<std::uint64_t>(input.size());
 
-  // Token stream: control byte describes the next 8 tokens (bit set =>
-  // match). A literal is 1 byte; a match is offset(u16) + length-4 (u8).
   Bytes tokens;
   std::uint8_t control = 0;
   int control_bits = 0;
@@ -80,15 +386,9 @@ Bytes lzss_encode(std::span<const std::uint8_t> input) {
       const std::size_t limit = std::min(kMaxMatch, input.size() - i);
       std::int64_t cand = head[h];
       int chain = 0;
-      while (cand >= 0 && chain < kMaxChain &&
+      while (cand >= 0 && chain < kMaxChainV1 &&
              i - static_cast<std::size_t>(cand) <= kWindow) {
         const std::size_t c = static_cast<std::size_t>(cand);
-        // Beating best_len requires bytes [0, best_len] to all match, so a
-        // mismatch at position best_len rules the candidate out without a
-        // full compare (best_len < limit here, so the read is in bounds).
-        // A rejected candidate still costs a chain slot, exactly as the
-        // full compare would have — the selected matches, and therefore the
-        // output bytes, are identical to the plain loop's.
         if (input[c + best_len] == input[i + best_len]) {
           const std::size_t len = match_length(&input[c], &input[i], limit);
           if (len > best_len) {
@@ -107,8 +407,6 @@ Bytes lzss_encode(std::span<const std::uint8_t> input) {
       tokens.push_back(static_cast<std::uint8_t>(best_off & 0xff));
       tokens.push_back(static_cast<std::uint8_t>((best_off >> 8) & 0xff));
       tokens.push_back(static_cast<std::uint8_t>(best_len - kMinMatch));
-      // Insert hash entries for every covered position so later matches
-      // can reference them.
       const std::size_t end = i + best_len;
       for (; i < end && i + kMinMatch <= input.size(); ++i) {
         const std::uint32_t h = hash4(&input[i]);
@@ -140,8 +438,20 @@ Bytes lzss_encode(std::span<const std::uint8_t> input) {
 
 Bytes lzss_decode(std::span<const std::uint8_t> blob) {
   ByteReader r(blob);
-  const auto out_size = r.get<std::uint64_t>();
+  const std::uint64_t header = r.get<std::uint64_t>();
+  const bool v2 = (header & kV2Bit) != 0;
+  const std::uint64_t out_size = v2 ? (header & ~kV2Bit) : header;
+  if (v2) {
+    const auto tag = r.get<std::uint8_t>();
+    AMRVIS_CHECK(ErrorCode::kCorruptPayload, tag == kV2Tag,
+                 "lzss: bad v2 magic/version byte");
+  }
   const auto tokens = r.get_blob();
+  // v2 is strict about its framing; v1 blobs historically tolerated (and
+  // frozen payloads may contain) trailing bytes.
+  if (v2)
+    AMRVIS_CHECK(ErrorCode::kCorruptPayload, r.remaining() == 0,
+                 "lzss: trailing bytes after token stream");
   // out_size is attacker-controlled on a corrupt blob; an unbounded
   // reserve can OOM. Cap it at the maximum possible expansion of the
   // token stream actually present before allocating anything.
@@ -151,14 +461,26 @@ Bytes lzss_decode(std::span<const std::uint8_t> blob) {
                       kMaxExpansionPerTokenByte,
       "lzss: output size exceeds maximum token-stream expansion");
 
-  Bytes out;
-  out.reserve(static_cast<std::size_t>(out_size));
+  // Pre-sized output: out_size is validated above, every write below is
+  // bounds-checked against it, and the match copy runs at block-copy
+  // speed instead of byte-wise push_back.
+  Bytes out(static_cast<std::size_t>(out_size));
+  std::size_t pos = 0;
   std::size_t t = 0;
-  while (out.size() < out_size) {
+  while (pos < out_size) {
     AMRVIS_CHECK(ErrorCode::kCorruptPayload, t < tokens.size(),
                  "lzss: truncated token stream");
     const std::uint8_t control = tokens[t++];
-    for (int bit = 0; bit < 8 && out.size() < out_size; ++bit) {
+    for (int bit = 0; bit < 8; ++bit) {
+      if (pos == out_size) {
+        // Control bits past the final token describe nothing; the
+        // encoder leaves them clear, so a set one is corruption (v1
+        // blobs keep the historical leniency).
+        if (v2)
+          AMRVIS_CHECK(ErrorCode::kCorruptPayload, (control >> bit) == 0,
+                       "lzss: set control bits past the final token");
+        break;
+      }
       if (control & (1u << bit)) {
         AMRVIS_CHECK(ErrorCode::kCorruptPayload, t + 3 <= tokens.size(),
                      "lzss: truncated match");
@@ -168,18 +490,28 @@ Bytes lzss_decode(std::span<const std::uint8_t> blob) {
         const std::size_t len = static_cast<std::size_t>(tokens[t + 2]) +
                                 kMinMatch;
         t += 3;
-        AMRVIS_CHECK(ErrorCode::kCorruptPayload, actual_off <= out.size(),
+        AMRVIS_CHECK(ErrorCode::kCorruptPayload, actual_off <= pos,
                      "lzss: bad offset");
-        const std::size_t start = out.size() - actual_off;
-        for (std::size_t k = 0; k < len; ++k)
-          out.push_back(out[start + k]);  // may self-overlap, byte-by-byte
+        // A well-formed stream's matches sum exactly to out_size; a
+        // match that would overrun it is corruption, not a longer
+        // result (the seed decoder returned an oversized buffer here).
+        AMRVIS_CHECK(ErrorCode::kCorruptPayload, len <= out_size - pos,
+                     "lzss: match overruns declared output size");
+        copy_match(out.data(), pos, actual_off, len);
+        pos += len;
       } else {
         AMRVIS_CHECK(ErrorCode::kCorruptPayload, t < tokens.size(),
                      "lzss: truncated literal");
-        out.push_back(tokens[t++]);
+        out[pos++] = tokens[t++];
       }
     }
   }
+  // v2 requires exact token-stream consumption; v1 ignores trailing
+  // token bytes (and its empty-input blobs carry a dangling control
+  // byte, so the leniency is load-bearing for frozen payloads).
+  if (v2)
+    AMRVIS_CHECK(ErrorCode::kCorruptPayload, t == tokens.size(),
+                 "lzss: trailing token bytes");
   return out;
 }
 

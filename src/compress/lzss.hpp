@@ -2,21 +2,89 @@
 // LZSS-style lossless back end applied after entropy coding — the
 // "lossless compression" tail of the SZ pipeline (paper §2.1 stage 3).
 //
-// Greedy hash-chain matcher, 64 KiB window, minimum match 4 bytes. The
-// format is self-describing and round-trips arbitrary bytes; incompressible
-// input grows by at most 1/8 + O(1).
+// Blob layout (little-endian):
+//
+//   v2 (current writer)                 v1 (legacy, decode-only)
+//   ------------------------------      -----------------------------
+//   u64  out_size | kLzssV2Bit          u64  out_size   (bit 63 clear)
+//        (bit 63 set)
+//   u8   tag 0xA2 (magic nibble 0xA,
+//        version nibble 2)
+//   u64  token_len                      u64  token_len
+//   u8[] token stream                   u8[] token stream
+//
+// Token stream (identical in both versions): a control byte describes the
+// next 8 tokens, LSB first. Bit clear => literal (1 byte). Bit set =>
+// match: u16 offset (0 encodes the full 65536-byte window), u8 length-4
+// (match lengths 4..258). Both versions share one decoder; the version
+// switch keys off bit 63 of the leading size word, which no v1 writer can
+// set (it is the input byte count).
+//
+// Decode strictness differs by version:
+//  - both: a match may never push the output past the declared out_size
+//    (a corrupt token throws kCorruptPayload instead of returning a
+//    buffer larger than its declared size), and out_size is capped at the
+//    maximum possible expansion of the token stream before any
+//    allocation.
+//  - v2 only: the token stream must be consumed exactly — trailing token
+//    bytes, trailing bytes after the token blob, and set control bits
+//    past the final token all throw kCorruptPayload. v1 blobs keep the
+//    historical leniency (trailing bytes ignored) so frozen v1 payloads
+//    decode forever.
+//
+// The v2 encoder chooses tokens with a per-token bit-cost model (control
+// bit + payload: literal = 9 bits, match = 25 bits) at one of three
+// levels; all levels emit the same format and any level's output decodes
+// with the same decoder.
 
 #include <cstdint>
 #include <span>
+#include <string>
+#include <string_view>
 
 #include "util/bytestream.hpp"
 
 namespace amrvis::compress {
 
-/// Compress `input`; output always decodable by lzss_decode.
-Bytes lzss_encode(std::span<const std::uint8_t> input);
+/// Parse effort for the v2 encoder. Levels trade compress throughput for
+/// ratio; the format (and decode speed) is identical across levels.
+enum class LzssLevel {
+  kFast,     ///< greedy with skip acceleration (chunked compress path)
+  kLazy,     ///< one-step-deferred lazy matching (default)
+  kOptimal,  ///< DP optimal parse for the 9/25-bit cost model (archival)
+};
 
-/// Decompress a blob produced by lzss_encode.
+/// Factory-name suffix for a level: "" for the default kLazy, "+fast" /
+/// "+optimal" otherwise. Codec name()s append this so
+/// make_compressor(codec->name()) round-trips the level.
+std::string_view lzss_level_suffix(LzssLevel level);
+
+/// Split a codec name into its base and an optional lzss level suffix
+/// ("+fast" / "+lazy" / "+optimal"); names without a suffix parse as the
+/// default kLazy ("+lazy" is accepted and normalizes to it).
+struct LzssLevelSplit {
+  std::string base;
+  LzssLevel level;
+};
+LzssLevelSplit split_lzss_level(const std::string& name);
+
+/// True when two codec names differ at most in their lzss level suffix.
+/// The level changes the bytes a codec emits, not the format: any level's
+/// blobs decode with any other level's codec, so blob/codec name checks
+/// must compare level-agnostically.
+bool codec_names_compatible(const std::string& a, const std::string& b);
+
+/// Compress `input` into a v2 blob; output always decodable by
+/// lzss_decode regardless of level.
+Bytes lzss_encode(std::span<const std::uint8_t> input,
+                  LzssLevel level = LzssLevel::kLazy);
+
+/// Frozen v1 greedy writer (the PR3-era encoder, byte-for-byte). Kept so
+/// the embedded-seed identity test and the v1-leniency regressions have a
+/// live v1 producer; production codecs always write v2.
+Bytes lzss_encode_v1(std::span<const std::uint8_t> input);
+
+/// Decompress a blob produced by lzss_encode (v2) or lzss_encode_v1 (v1).
 Bytes lzss_decode(std::span<const std::uint8_t> blob);
 
 }  // namespace amrvis::compress

@@ -324,9 +324,9 @@ Bytes SzLrCompressor::compress(View3<const double> data,
   w.put<double>(abs_eb);
   w.put<std::int32_t>(static_cast<std::int32_t>(bs));
 
-  const Bytes choice_z = lzss_encode(choice_bits);
-  const Bytes coeff_z = lzss_encode(coeff_stream);
-  const Bytes codes_z = lzss_encode(huffman_encode(codes));
+  const Bytes choice_z = lzss_encode(choice_bits, lzss_level_);
+  const Bytes coeff_z = lzss_encode(coeff_stream, lzss_level_);
+  const Bytes codes_z = lzss_encode(huffman_encode(codes), lzss_level_);
   w.put_blob(choice_z);
   w.put_blob(coeff_z);
   w.put_blob(codes_z);

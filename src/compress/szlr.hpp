@@ -14,16 +14,23 @@
 // "block-wise artifacts" the paper analyzes (§3.3, Figs. 9f/11e).
 
 #include "compress/compressor.hpp"
+#include "compress/lzss.hpp"
 
 namespace amrvis::compress {
 
 class SzLrCompressor final : public Compressor {
  public:
-  explicit SzLrCompressor(int block_size = 6) : block_size_(block_size) {
+  explicit SzLrCompressor(int block_size = 6,
+                          LzssLevel lzss_level = LzssLevel::kLazy)
+      : block_size_(block_size), lzss_level_(lzss_level) {
     AMRVIS_REQUIRE(block_size >= 2);
   }
 
-  [[nodiscard]] std::string name() const override { return "sz-lr"; }
+  [[nodiscard]] std::string name() const override {
+    std::string n = "sz-lr";
+    n.append(lzss_level_suffix(lzss_level_));
+    return n;
+  }
   [[nodiscard]] Bytes compress(View3<const double> data,
                                double abs_eb) const override;
   [[nodiscard]] Array3<double> decompress(
@@ -33,6 +40,7 @@ class SzLrCompressor final : public Compressor {
 
  private:
   int block_size_;
+  LzssLevel lzss_level_;
 };
 
 }  // namespace amrvis::compress

@@ -203,8 +203,8 @@ Bytes ZfpLikeCompressor::compress(View3<const double> data,
   w.put<std::int64_t>(s.ny);
   w.put<std::int64_t>(s.nz);
   w.put<double>(abs_eb);
-  w.put_blob(lzss_encode(exponents));
-  w.put_blob(lzss_encode(huffman_encode(symbols)));
+  w.put_blob(lzss_encode(exponents, lzss_level_));
+  w.put_blob(lzss_encode(huffman_encode(symbols), lzss_level_));
   w.put<std::uint64_t>(escapes.size());
   w.put_bytes({reinterpret_cast<const std::uint8_t*>(escapes.data()),
                escapes.size() * sizeof(std::int64_t)});

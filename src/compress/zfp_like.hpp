@@ -15,16 +15,27 @@
 // compression-ratio cost versus real ZFP.
 
 #include "compress/compressor.hpp"
+#include "compress/lzss.hpp"
 
 namespace amrvis::compress {
 
 class ZfpLikeCompressor final : public Compressor {
  public:
-  [[nodiscard]] std::string name() const override { return "zfp-like"; }
+  explicit ZfpLikeCompressor(LzssLevel lzss_level = LzssLevel::kLazy)
+      : lzss_level_(lzss_level) {}
+
+  [[nodiscard]] std::string name() const override {
+    std::string n = "zfp-like";
+    n.append(lzss_level_suffix(lzss_level_));
+    return n;
+  }
   [[nodiscard]] Bytes compress(View3<const double> data,
                                double abs_eb) const override;
   [[nodiscard]] Array3<double> decompress(
       std::span<const std::uint8_t> blob) const override;
+
+ private:
+  LzssLevel lzss_level_;
 };
 
 }  // namespace amrvis::compress

@@ -9,6 +9,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "compress/lzss.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 #include "util/thread_pool.hpp"
@@ -98,7 +99,9 @@ QueryService::QueryService(const compress::AmrCompressed& compressed,
       options_(options),
       store_(options.cache_bytes),
       cache_(store_, compressed) {
-  AMRVIS_REQUIRE_MSG(comp.name() == compressed.compressor_name,
+  AMRVIS_REQUIRE_MSG(
+      compress::codec_names_compatible(comp.name(),
+                                       compressed.compressor_name),
                      "query_service: codec mismatch");
 }
 

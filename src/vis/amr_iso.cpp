@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "compress/lzss.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 #include "vis/isosurface.hpp"
@@ -1122,7 +1123,9 @@ TriMesh amr_isosurface_streamed(const AmrCompressed& compressed,
                                 StreamedIsoStats* stats) {
   AMRVIS_REQUIRE_MSG(!compressed.levels.empty(),
                      "amr_isosurface_streamed: empty hierarchy");
-  AMRVIS_REQUIRE_MSG(comp.name() == compressed.compressor_name,
+  AMRVIS_REQUIRE_MSG(
+      compress::codec_names_compatible(comp.name(),
+                                       compressed.compressor_name),
                      "amr_isosurface_streamed: codec mismatch");
   if (stats != nullptr) *stats = {};
   TriMesh mesh;

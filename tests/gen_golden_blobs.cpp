@@ -1,16 +1,19 @@
-// Regenerates the *current-version* golden container blobs under
+// Regenerates the *current-writer* golden container blobs under
 // tests/data/ (see tests/test_roi.cpp for the compatibility contract).
 //
 //   cmake --build build --target gen_golden_blobs
 //   ./build/tests/gen_golden_blobs tests/data
 //
-// Only run this after an INTENTIONAL container format bump, and commit
-// the new files alongside the version change: the golden suite exists to
-// make silent format breaks impossible. Frozen-version blobs
-// (golden_v1_* from the PR3 writer, golden_v2_* from the PR4 writer,
-// golden_v3_* from the PR5–7 writer) can never be regenerated — those
-// writers are gone — and must not be deleted while the decoder still
-// claims v1/v2/v3 support.
+// Only run this after an INTENTIONAL format bump (container version or
+// the LZSS blob format inside the tiles), and commit the new files
+// alongside the change: the golden suite exists to make silent format
+// breaks impossible. Frozen blobs (golden_v1_* from the PR3 writer,
+// golden_v2_* from the PR4 writer, golden_v3_* from the PR5–7 writer,
+// golden_v4_* from the PR8 writer whose tiles carry lzss-v1 payloads)
+// can never be regenerated — those writers are gone — and must not be
+// deleted while the decoder still claims support for them. CI's
+// golden-consistency job re-runs this tool and byte-compares only the
+// regenerable files below.
 //
 // The input field and codec configuration here must stay in lock-step
 // with golden_field()/golden_codec() in tests/test_roi.cpp.
@@ -39,14 +42,17 @@ int main(int argc, char** argv) {
     data[f] = static_cast<double>(h % 1024) / 64.0 - 8.0 +
               static_cast<double>(f % 11) / 16.0;
   }
+  // Container v4 with lzss-v2 tile payloads (default lazy parse) — the
+  // current writer configuration. Same field and tiling as the frozen
+  // golden_v4 blob, so the two must decode to identical doubles.
   const ChunkedCompressor codec(make_compressor("sz-lr"), ChunkShape{8, 8, 4});
   const Bytes blob = codec.compress(data.view(), 1e-3);
   const Array3<double> dec = codec.decompress(blob);
-  write_file(dir + "/golden_v4_chunked_szlr.bin", blob);
-  write_file(dir + "/golden_v4_chunked_szlr.dec.bin",
+  write_file(dir + "/golden_lzss2_chunked_szlr.bin", blob);
+  write_file(dir + "/golden_lzss2_chunked_szlr.dec.bin",
              {reinterpret_cast<const std::uint8_t*>(dec.data()),
               static_cast<std::size_t>(dec.size()) * sizeof(double)});
-  std::printf("wrote %s/golden_v4_chunked_szlr.bin (%zu bytes) and "
+  std::printf("wrote %s/golden_lzss2_chunked_szlr.bin (%zu bytes) and "
               ".dec.bin (%lld doubles)\n",
               dir.c_str(), blob.size(), static_cast<long long>(dec.size()));
   return 0;

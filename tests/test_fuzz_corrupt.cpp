@@ -1,9 +1,10 @@
 // Deterministic single-bit-flip fuzz sweep over the golden container
-// blobs: every bit of the first 4 KiB of each blob (v1–v4 headers plus
-// most of the payload) is flipped in turn and the result decompressed.
-// The contract under corruption is binary: the decode either succeeds
-// (the flip landed in a numerically tolerant spot) or throws a typed
-// amrvis::Error — never any other exception, never a crash, OOM or hang.
+// blobs: every bit of each blob (the FULL blob for goldens under 16 KiB,
+// else the first 4 KiB — headers plus most of the payload) is flipped in
+// turn and the result decompressed. The contract under corruption is
+// binary: the decode either succeeds (the flip landed in a numerically
+// tolerant spot) or throws a typed amrvis::Error — never any other
+// exception, never a crash, OOM or hang.
 //
 // The sweep is exhaustive and deterministic (no RNG), so a regression is
 // reproducible from the failing bit index alone. ctest label: fuzz (the
@@ -32,18 +33,21 @@ ChunkedCompressor golden_codec() {
   return ChunkedCompressor(make_compressor("sz-lr"), ChunkShape{8, 8, 4});
 }
 
-/// Flip every bit of blob[0 .. 4 KiB) in turn; each mutant must decode or
-/// throw amrvis::Error. Returns how many mutants still decoded cleanly.
+/// Flip every bit of the blob in turn (full blob under 16 KiB, first
+/// 4 KiB above — all goldens today are under the cutoff, so the sweep is
+/// exhaustive; the cap only bounds future, larger goldens). Each mutant
+/// must decode or throw amrvis::Error.
 void sweep_blob(const std::string& file) {
   const Bytes blob = read_file(data_path(file));
   ASSERT_FALSE(blob.empty()) << file;
   const ChunkedCompressor codec = golden_codec();
-  // Serial backend: ~30k decode attempts; forking a pool/OpenMP team per
+  // Serial backend: ~60k decode attempts; forking a pool/OpenMP team per
   // mutant would dominate the runtime, and a single thread makes any
   // failing bit index exactly reproducible.
   ScopedParallelBackend serial(ParallelBackend::kSerial);
 
-  const std::size_t nbytes = blob.size() < 4096 ? blob.size() : 4096;
+  const std::size_t nbytes =
+      blob.size() < (16u << 10) ? blob.size() : 4096;
   std::int64_t survived = 0;
   std::int64_t rejected = 0;
   Bytes mutant = blob;
@@ -89,6 +93,14 @@ TEST(FuzzCorrupt, V4GoldenBlobEveryHeaderAndPayloadBitFlip) {
   // there must be caught by their validation (negative/NaN err, bucket
   // mass mismatch), never mis-slice the payload.
   sweep_blob("golden_v4_chunked_szlr.bin");
+}
+
+TEST(FuzzCorrupt, Lzss2GoldenBlobEveryHeaderAndPayloadBitFlip) {
+  // Current-writer golden: v4 container, lzss-v2 tile payloads. Flips in
+  // the lzss headers hit the version tag / size-word checks, flips in
+  // the token streams hit the v2 strict-consumption checks — all must
+  // reject typed, and value-noise flips must still survive.
+  sweep_blob("golden_lzss2_chunked_szlr.bin");
 }
 
 }  // namespace

@@ -19,19 +19,26 @@
 //                                    face-slab stats of ORIGINAL values).
 //                                    FROZEN like v1/v2 — the v4 writer
 //                                    records decoded-value stats.
-//  - golden_v4_chunked_szlr.bin      current-version container (exact
-//                                    decoded-value tile + face stats,
-//                                    per-tile achieved max error, 16-
-//                                    bucket value histogram).
+//  - golden_v4_chunked_szlr.bin      version-4 container written by the
+//                                    PR8 code (exact decoded-value tile +
+//                                    face stats, achieved max error, 16-
+//                                    bucket histogram) whose tiles carry
+//                                    lzss-v1 payloads. FROZEN since the
+//                                    lzss-v2 bump: the v1-writing codec
+//                                    path is gone from production.
+//  - golden_lzss2_chunked_szlr.bin   current-writer container (v4
+//                                    container, lzss-v2 tile payloads,
+//                                    default lazy parse).
 //                                    Regenerate ONLY on an intentional
 //                                    format bump:
 //                                      cmake --build build --target gen_golden_blobs
 //                                      ./build/tests/gen_golden_blobs tests/data
 //  - *.dec.bin                       raw little-endian doubles of the
 //                                    expected decode, byte-compared.
-// Input field/codec for the v2/v3/v4 golden files: golden_field()
+// Input field/codec for the v2/v3/v4/lzss2 golden files: golden_field()
 // 12x10x9, sz-lr, tile 8x8x4, abs_eb 1e-3 (lock-step with
-// gen_golden_blobs.cpp).
+// gen_golden_blobs.cpp). LZSS is lossless, so golden_v4 and golden_lzss2
+// decode to the same doubles (asserted below).
 
 #include <gtest/gtest.h>
 
@@ -45,6 +52,7 @@
 #include "compress/amr_compress.hpp"
 #include "compress/chunked.hpp"
 #include "compress/compressor.hpp"
+#include "compress/lzss.hpp"
 #include "sim/fields.hpp"
 #include "sim/tagging.hpp"
 #include "util/bytestream.hpp"
@@ -216,7 +224,12 @@ TEST(RoiGolden, V3BlobStillDecodesByteExact) {
                         slice(dec, region)));
 }
 
-TEST(RoiGolden, V4BlobDecodesByteExactAndReproduces) {
+TEST(RoiGolden, V4BlobStillDecodesByteExact) {
+  // FROZEN since the lzss-v2 bump: this blob's tiles carry lzss-v1
+  // payloads and the production v1-writing path is gone; it can never be
+  // regenerated and must decode byte-exactly forever (this is also the
+  // standing regression test for the v1 decoder's trailing-byte
+  // leniency on real payloads).
   const Bytes blob = read_file(data_path("golden_v4_chunked_szlr.bin"));
   const Bytes expect = read_file(data_path("golden_v4_chunked_szlr.dec.bin"));
   ASSERT_GE(blob.size(), 5u);
@@ -228,13 +241,38 @@ TEST(RoiGolden, V4BlobDecodesByteExactAndReproduces) {
             expect.size());
   EXPECT_EQ(std::memcmp(dec.data(), expect.data(), expect.size()), 0)
       << "v4 container decode changed — silent format break";
+}
+
+TEST(RoiGolden, Lzss2BlobDecodesByteExactAndReproduces) {
+  const Bytes blob = read_file(data_path("golden_lzss2_chunked_szlr.bin"));
+  const Bytes expect =
+      read_file(data_path("golden_lzss2_chunked_szlr.dec.bin"));
+  ASSERT_GE(blob.size(), 5u);
+  EXPECT_EQ(blob[4], 4) << "golden lzss2 blob is not container version 4";
+
+  const ChunkedCompressor codec = golden_codec();
+  const Array3<double> dec = codec.decompress(blob);
+  ASSERT_EQ(static_cast<std::size_t>(dec.size()) * sizeof(double),
+            expect.size());
+  EXPECT_EQ(std::memcmp(dec.data(), expect.data(), expect.size()), 0)
+      << "lzss2 container decode changed — silent format break";
 
   // The writer must also still produce these exact bytes: an encoder-side
   // drift is a format break even if decode still accepts old blobs.
   const Bytes rewritten = codec.compress(golden_field().view(), 1e-3);
   EXPECT_EQ(rewritten, blob)
-      << "v4 container bytes changed — regen goldens only on an "
-         "intentional format bump (see header comment)";
+      << "current-writer container bytes changed — regen goldens only on "
+         "an intentional format bump (see header comment)";
+}
+
+TEST(RoiGolden, V4AndLzss2GoldensDecodeIdentically) {
+  // The two goldens differ only in the LZSS blob version inside the
+  // tiles; LZSS is lossless, so the decoded doubles must be identical —
+  // the format bump may not change a single decoded value.
+  const Bytes dec_v4 = read_file(data_path("golden_v4_chunked_szlr.dec.bin"));
+  const Bytes dec_l2 =
+      read_file(data_path("golden_lzss2_chunked_szlr.dec.bin"));
+  EXPECT_EQ(dec_v4, dec_l2);
 }
 
 TEST(RoiGolden, V4FaceStatsBoundTheirDecodedSlabs) {
@@ -750,6 +788,49 @@ TEST(RoiFactory, TileSuffixRoundTrips) {
   // comes from the header, not the codec): container compatibility.
   const auto other = make_compressor("chunked-sz-lr@4x4x4");
   EXPECT_TRUE(bit_equal(other->decompress(blob), codec->decompress(blob)));
+}
+
+TEST(RoiFactory, LzssLevelSuffixRoundTrips) {
+  // "+fast"/"+optimal" select the LZSS parse level and survive the
+  // name() -> make_compressor -> name() round trip, composed with the
+  // chunked prefix and tile suffix in the documented order.
+  EXPECT_EQ(make_compressor("sz-lr+fast")->name(), "sz-lr+fast");
+  EXPECT_EQ(make_compressor("sz-lr+optimal")->name(), "sz-lr+optimal");
+  // "+lazy" is the default and normalizes to the suffix-free name.
+  EXPECT_EQ(make_compressor("sz-lr+lazy")->name(), "sz-lr");
+  EXPECT_EQ(make_compressor("sz-lr")->name(), "sz-lr");
+  for (const char* name :
+       {"chunked-sz-lr+optimal@8x8x4", "chunked-sz-interp+fast",
+        "zfp-like+optimal"}) {
+    const auto codec = make_compressor(name);
+    EXPECT_EQ(codec->name(), name);
+    EXPECT_EQ(make_compressor(codec->name())->name(), codec->name());
+  }
+  // A bogus level suffix is an unknown codec, not silently the default.
+  EXPECT_THROW((void)make_compressor("sz-lr+best"), Error);
+
+  // Level-agnostic name compatibility: levels are interchangeable for
+  // decode, different codecs never are.
+  EXPECT_TRUE(codec_names_compatible("sz-lr+fast", "sz-lr+optimal"));
+  EXPECT_TRUE(codec_names_compatible("sz-lr", "sz-lr+lazy"));
+  EXPECT_FALSE(codec_names_compatible("sz-lr", "sz-interp+fast"));
+}
+
+TEST(RoiFactory, CrossLevelDecodeIsBitExact) {
+  // The parse level changes the bytes a codec writes, never what it can
+  // read: every level's container decodes with every other level's codec
+  // to identical doubles.
+  const Array3<double> data = deterministic_field({16, 16, 8});
+  const char* levels[] = {"chunked-sz-lr@8x8x4", "chunked-sz-lr+fast@8x8x4",
+                          "chunked-sz-lr+optimal@8x8x4"};
+  std::vector<Bytes> blobs;
+  for (const char* n : levels)
+    blobs.push_back(make_compressor(n)->compress(data.view(), 1e-3));
+  const Array3<double> expect = make_compressor(levels[0])->decompress(blobs[0]);
+  for (const char* n : levels)
+    for (const Bytes& b : blobs)
+      EXPECT_TRUE(bit_equal(make_compressor(n)->decompress(b), expect))
+          << "decoding with " << n;
 }
 
 TEST(RoiFactory, MalformedTileSuffixThrows) {
