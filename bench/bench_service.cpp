@@ -22,6 +22,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <thread>
 #include <vector>
@@ -29,6 +30,8 @@
 #include "bench_util.hpp"
 #include "compress/compressor.hpp"
 #include "core/datasets.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/query_service.hpp"
 #include "sim/tagging.hpp"
 #include "util/fault.hpp"
@@ -124,6 +127,14 @@ int main(int argc, char** argv) {
                  "bench numbers would be meaningless\n");
     return 1;
   }
+  // Same policy for tracing: span emission serializes scope exits through
+  // the ring mutex, which is exactly the contention this bench measures.
+  if (obs::trace_armed()) {
+    std::fprintf(stderr,
+                 "FATAL: tracing is armed (AMRVIS_TRACE?); gated bench "
+                 "numbers must be measured with spans disarmed\n");
+    return 1;
+  }
 
   Array3<double> field = core::uniform_truth_field(
       "warpx", shape, static_cast<std::uint64_t>(cli.get_int("seed")));
@@ -210,6 +221,11 @@ int main(int argc, char** argv) {
   service::QueryService shared(compressed, *codec, opts);
   std::vector<std::vector<service::Response>> concurrent(
       static_cast<std::size_t>(clients));
+  // Every concurrent request's service_ms, accumulated across ALL rounds
+  // so the sample set matches the registry histogram exactly (the service
+  // observes each request into "service.service_ms" as it executes).
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<std::size_t>(total_queries * kRounds));
   double conc_s = 0.0;
   for (int round = 0; round < kRounds; ++round) {
     for (auto& per_client : concurrent) per_client.clear();
@@ -229,6 +245,9 @@ int main(int argc, char** argv) {
     for (auto& t : threads) t.join();
     const double s = conc_timer.seconds();
     conc_s = (round == 0) ? s : std::min(conc_s, s);
+    for (const auto& per_client : concurrent)
+      for (const auto& resp : per_client)
+        latencies.push_back(resp.stats.service_ms);
   }
 
   // Correctness before speed: the shared concurrent run must be
@@ -245,12 +264,45 @@ int main(int argc, char** argv) {
         return 1;
       }
 
-  std::vector<double> latencies;
-  latencies.reserve(static_cast<std::size_t>(total_queries));
-  for (const auto& per_client : concurrent)
-    for (const auto& resp : per_client)
-      latencies.push_back(resp.stats.service_ms);
   std::sort(latencies.begin(), latencies.end());
+
+  // The reported p50/p95/p99 come from the obs registry histogram the
+  // service populated while executing — not from the private sample
+  // vector. The samples only CHECK the histogram: the rank conventions
+  // match, so each sample percentile must land inside the bucket
+  // quantile_bucket() reports; any drift means the instrumentation
+  // dropped or double-counted observations.
+  const obs::Histogram& service_hist =
+      obs::histogram("service.service_ms", obs::latency_ms_buckets());
+  if (service_hist.count() != latencies.size()) {
+    std::fprintf(stderr,
+                 "FATAL: registry histogram saw %llu observations but the "
+                 "bench collected %zu samples\n",
+                 static_cast<unsigned long long>(service_hist.count()),
+                 latencies.size());
+    return 1;
+  }
+  const double quantiles[] = {0.50, 0.95, 0.99};
+  double hist_p[3] = {0.0, 0.0, 0.0};
+  for (int i = 0; i < 3; ++i) {
+    const auto bucket = service_hist.quantile_bucket(quantiles[i]);
+    const double sample = percentile(latencies, quantiles[i]);
+    if (!(sample > bucket.lo && sample <= bucket.hi)) {
+      std::fprintf(stderr,
+                   "FATAL: sample p%.0f=%.6f ms falls outside the registry "
+                   "histogram's quantile bucket (%.6f, %.6f]\n",
+                   quantiles[i] * 100.0, sample, bucket.lo, bucket.hi);
+      return 1;
+    }
+    if (!std::isfinite(bucket.hi)) {
+      std::fprintf(stderr,
+                   "FATAL: p%.0f landed in the histogram overflow bucket "
+                   "(> %.0f ms) — not a reportable latency\n",
+                   quantiles[i] * 100.0, obs::latency_ms_buckets().back());
+      return 1;
+    }
+    hist_p[i] = bucket.hi;
+  }
 
   const double seq_qps = static_cast<double>(total_queries) / seq_s;
   const double conc_qps = static_cast<double>(total_queries) / conc_s;
@@ -266,8 +318,10 @@ int main(int argc, char** argv) {
               static_cast<long long>(total_queries), conc_qps,
               static_cast<long long>(shared_ctr.tiles_decoded));
   std::printf("\naggregate speedup: %.2fx   cache hits: %lld   "
-              "latency ms p50/p95/p99: %.3f/%.3f/%.3f\n",
+              "latency ms p50/p95/p99 <= %.3f/%.3f/%.3f (registry "
+              "histogram; samples %.3f/%.3f/%.3f)\n",
               speedup, static_cast<long long>(shared_ctr.cache_hits),
+              hist_p[0], hist_p[1], hist_p[2],
               percentile(latencies, 0.50), percentile(latencies, 0.95),
               percentile(latencies, 0.99));
 
@@ -296,13 +350,14 @@ int main(int argc, char** argv) {
       .set("queries_per_s", conc_qps)
       .set("tiles_decoded", shared_ctr.tiles_decoded)
       .set("cache_hits", shared_ctr.cache_hits)
-      .set("p50_ms", percentile(latencies, 0.50))
-      .set("p95_ms", percentile(latencies, 0.95))
-      .set("p99_ms", percentile(latencies, 0.99));
+      .set("p50_ms", hist_p[0])
+      .set("p95_ms", hist_p[1])
+      .set("p99_ms", hist_p[2]);
   report.add_record()
       .set("stage", "speedup")
       .set("clients", static_cast<std::int64_t>(clients))
       .set("speedup", speedup);
+  report.set_metrics_json(obs::snapshot_json());
   report.write(cli.get("json"));
   return 0;
 }

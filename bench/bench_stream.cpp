@@ -22,6 +22,7 @@
 #include "compress/amr_compress.hpp"
 #include "compress/compressor.hpp"
 #include "core/datasets.hpp"
+#include "obs/metrics.hpp"
 #include "util/timer.hpp"
 #include "vis/amr_iso.hpp"
 
@@ -244,6 +245,9 @@ int main(int argc, char** argv) {
       .set("tiles_culled_conservative", stats.tiles_culled_conservative)
       .set("slabs_decoded", stats.slabs_decoded)
       .set("slabs_total", stats.slabs_total);
+  // Observability cross-check: the same run, as the registry saw it
+  // (stream.* / iso.* counters, tile cache traffic, codec stage spans).
+  report.set_metrics_json(amrvis::obs::snapshot_json());
   report.write(cli.get("json"));
   return 0;
 }

@@ -98,9 +98,15 @@ class JsonReport {
   /// References stay valid across later add_record() calls (deque).
   Record& add_record() { return records_.emplace_back(); }
 
+  /// Attach a pre-rendered JSON object (e.g. obs::snapshot_json()) as a
+  /// top-level "metrics" member. The string must already be valid JSON;
+  /// it is embedded verbatim, not quoted.
+  void set_metrics_json(std::string json) { metrics_json_ = std::move(json); }
+
   [[nodiscard]] std::string render() const {
     std::string out = "{\n  \"bench\": " + Record::quote(bench_);
     if (!note_.empty()) out += ",\n  \"note\": " + Record::quote(note_);
+    if (!metrics_json_.empty()) out += ",\n  \"metrics\": " + metrics_json_;
     out += ",\n  \"records\": [";
     for (std::size_t r = 0; r < records_.size(); ++r) {
       out += r == 0 ? "\n" : ",\n";
@@ -129,6 +135,7 @@ class JsonReport {
  private:
   std::string bench_;
   std::string note_;
+  std::string metrics_json_;
   std::deque<Record> records_;
 };
 

@@ -26,6 +26,7 @@
 
 #include "compress/compressor.hpp"
 #include "core/datasets.hpp"
+#include "obs/metrics.hpp"
 #include "service/query_service.hpp"
 #include "sim/tagging.hpp"
 
@@ -108,5 +109,12 @@ int main() {
               static_cast<double>(cc.peak_bytes) / 1e6,
               static_cast<double>(opts.cache_bytes) / 1e6,
               static_cast<long long>(cc.evictions));
+
+  // ---- the same run, as the process-wide obs registry saw it ----
+  // Every layer this example exercised (codec stages, tile cache, pool,
+  // service) reports into src/obs; run with AMRVIS_TRACE=/tmp/trace.json
+  // to also get a per-span Chrome trace of the exact same workload.
+  std::printf("\n-- obs registry (snapshot_text) --\n%s",
+              obs::snapshot_text().c_str());
   return 0;
 }

@@ -8,6 +8,8 @@
 #include <memory>
 
 #include "compress/lzss.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/fault.hpp"
 #include "util/parallel.hpp"
 
@@ -238,6 +240,10 @@ bool lenient_stats_active() { return lenient_stats_depth > 0; }
 
 ParsedContainer parse_container(std::span<const std::uint8_t> blob,
                                 const std::string& expect_codec) {
+  static auto& parses = obs::counter("container.parse");
+  parses.add();
+  OBS_SPAN("container.parse",
+           {"bytes", static_cast<std::int64_t>(blob.size())});
   AMRVIS_FAULT_POINT(fault::Site::kHeaderParse);
   ByteReader r(blob);
   try {
@@ -256,6 +262,11 @@ ParsedContainer parse_container(std::span<const std::uint8_t> blob,
 
 Array3<double> decode_tile(const Compressor& inner,
                            std::span<const std::uint8_t> blob) {
+  // Every tile inflation in the codebase funnels through this seam —
+  // tools/check_trace.py reconciles this counter against the span count.
+  static auto& decodes = obs::counter("tile.decode");
+  decodes.add();
+  OBS_SPAN("tile.decode", {"bytes", static_cast<std::int64_t>(blob.size())});
   if (fault::enabled()) {
     if (auto mutated = fault::on_op(fault::Site::kTileDecode, blob))
       return inner.decompress(*mutated);
@@ -400,6 +411,9 @@ bool ChunkedCompressor::is_chunked_blob(std::span<const std::uint8_t> blob) {
 
 Bytes ChunkedCompressor::compress(View3<const double> data,
                                   double abs_eb) const {
+  static auto& compresses = obs::counter("container.compress");
+  compresses.add();
+  OBS_SPAN("container.compress", {"cells", data.shape().size()});
   const Shape3 s = data.shape();
   const TileGrid grid = tile_grid(s, tile_);
   const std::int64_t ntiles = grid.count();
@@ -544,6 +558,8 @@ Bytes ChunkedCompressor::compress(View3<const double> data,
 
 Array3<double> ChunkedCompressor::decompress(
     std::span<const std::uint8_t> blob) const {
+  OBS_SPAN("container.decompress",
+           {"bytes", static_cast<std::int64_t>(blob.size())});
   const ParsedContainer pc = parse_container(blob, inner().name());
   Array3<double> out(pc.shape);
   parallel_for(pc.ntiles, [&](std::int64_t t) {
@@ -568,6 +584,8 @@ Array3<double> ChunkedCompressor::decompress_region(
     std::span<const std::uint8_t> blob, const amr::Box& region,
     RegionDecodeStats* stats, const TileCacheRef& cache,
     const util::CancelToken* cancel) const {
+  OBS_SPAN("container.decompress_region",
+           {"bytes", static_cast<std::int64_t>(blob.size())});
   const ParsedContainer pc = parse_container(blob, inner().name());
   const amr::Box field = amr::Box::from_shape(pc.shape);
   AMRVIS_REQUIRE_MSG(field.contains(region),

@@ -6,6 +6,7 @@
 #include <queue>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace amrvis::compress {
@@ -206,6 +207,8 @@ class FastBits {
 }  // namespace
 
 Bytes huffman_encode(std::span<const std::uint32_t> symbols) {
+  OBS_SPAN("stage.huffman.encode",
+           {"symbols", static_cast<std::int64_t>(symbols.size())});
   Bytes blob;
   ByteWriter w(blob);
   w.put<std::uint64_t>(symbols.size());
@@ -289,6 +292,8 @@ Bytes huffman_encode(std::span<const std::uint32_t> symbols) {
 
 std::vector<std::uint32_t> huffman_decode(
     std::span<const std::uint8_t> blob) {
+  OBS_SPAN("stage.huffman.decode",
+           {"bytes", static_cast<std::int64_t>(blob.size())});
   ByteReader r(blob);
   const auto count = r.get<std::uint64_t>();
   // count is attacker-controlled on a corrupt blob; every decoded symbol

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "compress/huffman.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "compress/lzss.hpp"
 #include "compress/quantizer.hpp"
 
@@ -108,6 +110,9 @@ std::int64_t initial_stride(const Shape3& sh, std::int64_t cap) {
 
 Bytes SzInterpCompressor::compress(View3<const double> data,
                                    double abs_eb) const {
+  static auto& ops = obs::counter("codec.sz-interp.compress");
+  ops.add();
+  OBS_SPAN("codec.sz-interp.compress", {"cells", data.shape().size()});
   const Shape3 sh = data.shape();
   const LinearQuantizer quant(abs_eb);
   Array3<double> recon_arr(sh);
@@ -204,6 +209,10 @@ Bytes SzInterpCompressor::compress(View3<const double> data,
 
 Array3<double> SzInterpCompressor::decompress(
     std::span<const std::uint8_t> blob) const {
+  static auto& ops = obs::counter("codec.sz-interp.decompress");
+  ops.add();
+  OBS_SPAN("codec.sz-interp.decompress",
+           {"bytes", static_cast<std::int64_t>(blob.size())});
   ByteReader r(blob);
   AMRVIS_CHECK(ErrorCode::kCorruptPayload, r.get<std::uint32_t>() == kMagic,
                "sz-interp: bad magic");

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace amrvis::compress {
@@ -328,6 +329,8 @@ bool codec_names_compatible(const std::string& a, const std::string& b) {
 }
 
 Bytes lzss_encode(std::span<const std::uint8_t> input, LzssLevel level) {
+  OBS_SPAN("stage.lzss.encode",
+           {"bytes", static_cast<std::int64_t>(input.size())});
   Bytes out;
   ByteWriter w(out);
   w.put<std::uint64_t>(static_cast<std::uint64_t>(input.size()) | kV2Bit);
@@ -437,6 +440,8 @@ Bytes lzss_encode_v1(std::span<const std::uint8_t> input) {
 }
 
 Bytes lzss_decode(std::span<const std::uint8_t> blob) {
+  OBS_SPAN("stage.lzss.decode",
+           {"bytes", static_cast<std::int64_t>(blob.size())});
   ByteReader r(blob);
   const std::uint64_t header = r.get<std::uint64_t>();
   const bool v2 = (header & kV2Bit) != 0;

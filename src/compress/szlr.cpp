@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "compress/huffman.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "compress/lzss.hpp"
 #include "compress/quantizer.hpp"
 
@@ -209,6 +211,9 @@ struct CoeffCodec {
 
 Bytes SzLrCompressor::compress(View3<const double> data,
                                double abs_eb) const {
+  static auto& ops = obs::counter("codec.sz-lr.compress");
+  ops.add();
+  OBS_SPAN("codec.sz-lr.compress", {"cells", data.shape().size()});
   const Shape3 s = data.shape();
   const std::int64_t bs = block_size_;
   const LinearQuantizer quant(abs_eb);
@@ -338,6 +343,10 @@ Bytes SzLrCompressor::compress(View3<const double> data,
 
 Array3<double> SzLrCompressor::decompress(
     std::span<const std::uint8_t> blob) const {
+  static auto& ops = obs::counter("codec.sz-lr.decompress");
+  ops.add();
+  OBS_SPAN("codec.sz-lr.decompress",
+           {"bytes", static_cast<std::int64_t>(blob.size())});
   ByteReader r(blob);
   AMRVIS_CHECK(ErrorCode::kCorruptPayload, r.get<std::uint32_t>() == kMagic,
                "szlr: bad magic");

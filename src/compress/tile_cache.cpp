@@ -3,6 +3,7 @@
 #include <atomic>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
 
@@ -12,6 +13,29 @@ namespace {
 
 std::size_t value_bytes(const Array3<double>& v) {
   return static_cast<std::size_t>(v.size()) * sizeof(double);
+}
+
+// Registry mirrors of TileCache::Counters, aggregated over every cache
+// instance in the process. The per-instance counters_ stay authoritative
+// for the public counters() API; these exist so a metrics snapshot sees
+// cache behavior without a handle to the cache object. Byte/entry gauges
+// are delta-maintained, so they track the sum across instances.
+struct CacheObs {
+  obs::Counter& hits = obs::counter("tilecache.hits");
+  obs::Counter& misses = obs::counter("tilecache.misses");
+  obs::Counter& evictions = obs::counter("tilecache.evictions");
+  obs::Counter& bypasses = obs::counter("tilecache.bypasses");
+  obs::Counter& failed_decodes = obs::counter("tilecache.failed_decodes");
+  obs::Counter& quarantine_refusals =
+      obs::counter("tilecache.quarantine_refusals");
+  obs::Gauge& bytes = obs::gauge("tilecache.bytes");
+  obs::Gauge& entries = obs::gauge("tilecache.entries");
+  obs::Gauge& peak_bytes = obs::gauge("tilecache.peak_bytes");
+};
+
+CacheObs& cache_obs() {
+  static CacheObs* o = new CacheObs();  // leaked: see obs/metrics.hpp
+  return *o;
 }
 
 }  // namespace
@@ -34,6 +58,9 @@ void TileCache::make_room(std::size_t need) {
     counters_.bytes -= it->second.bytes;
     counters_.entries -= 1;
     counters_.evictions += 1;
+    cache_obs().bytes.add(-static_cast<std::int64_t>(it->second.bytes));
+    cache_obs().entries.add(-1);
+    cache_obs().evictions.add();
     map_.erase(it);
   }
 }
@@ -48,6 +75,7 @@ std::shared_ptr<const Array3<double>> TileCache::get_or_decode(
     std::lock_guard<std::mutex> lk(mu_);
     if (quarantined_.count(key) != 0) {
       counters_.quarantine_refusals += 1;
+      cache_obs().quarantine_refusals.add();
       throw Error(ErrorCode::kQuarantined,
                   "tile_cache: slot is quarantined",
                   {container, tile, -1});
@@ -58,12 +86,14 @@ std::shared_ptr<const Array3<double>> TileCache::get_or_decode(
         // Completed entry: touch LRU, serve under the lock.
         lru_.splice(lru_.begin(), lru_, it->second.lru_it);
         counters_.hits += 1;
+        cache_obs().hits.add();
         if (hit != nullptr) *hit = true;
         return it->second.future.get();
       }
       // In-flight: wait outside the lock; the future rethrows a failed
       // decode into every waiter.
       counters_.hits += 1;
+      cache_obs().hits.add();
       wait_on = it->second.future;
     } else {
       Entry e;
@@ -71,6 +101,7 @@ std::shared_ptr<const Array3<double>> TileCache::get_or_decode(
       e.owner = &mine;
       map_.emplace(key, std::move(e));
       counters_.misses += 1;
+      cache_obs().misses.add();
     }
   }
   if (wait_on.valid()) {
@@ -95,6 +126,7 @@ std::shared_ptr<const Array3<double>> TileCache::get_or_decode(
       auto it = map_.find(key);
       if (it != map_.end() && it->second.owner == &mine) map_.erase(it);
       counters_.failed_decodes += 1;
+      cache_obs().failed_decodes.add();
       failures_[key] += 1;
     }
     mine.set_exception(std::current_exception());
@@ -115,6 +147,7 @@ std::shared_ptr<const Array3<double>> TileCache::get_or_decode(
     // bound holds at all times, not just between calls.
     map_.erase(it);
     counters_.bypasses += 1;
+    cache_obs().bypasses.add();
     return value;
   }
   make_room(bytes);
@@ -125,6 +158,9 @@ std::shared_ptr<const Array3<double>> TileCache::get_or_decode(
   counters_.bytes += bytes;
   counters_.entries += 1;
   counters_.peak_bytes = std::max(counters_.peak_bytes, counters_.bytes);
+  cache_obs().bytes.add(static_cast<std::int64_t>(bytes));
+  cache_obs().entries.add(1);
+  cache_obs().peak_bytes.set_max(cache_obs().bytes.value());
   return value;
 }
 
@@ -135,6 +171,8 @@ void TileCache::invalidate(std::uint64_t container) {
       if (it->second.ready) {
         counters_.bytes -= it->second.bytes;
         counters_.entries -= 1;
+        cache_obs().bytes.add(-static_cast<std::int64_t>(it->second.bytes));
+        cache_obs().entries.add(-1);
         lru_.erase(it->second.lru_it);
         it = map_.erase(it);
       } else {
@@ -154,6 +192,8 @@ void TileCache::clear() {
   // check) and their waiters still get the value through the future.
   map_.clear();
   lru_.clear();
+  cache_obs().bytes.add(-static_cast<std::int64_t>(counters_.bytes));
+  cache_obs().entries.add(-static_cast<std::int64_t>(counters_.entries));
   counters_.bytes = 0;
   counters_.entries = 0;
 }
@@ -169,6 +209,8 @@ void TileCache::quarantine(std::uint64_t container, std::int64_t tile) {
     if (it->second.ready) {
       counters_.bytes -= it->second.bytes;
       counters_.entries -= 1;
+      cache_obs().bytes.add(-static_cast<std::int64_t>(it->second.bytes));
+      cache_obs().entries.add(-1);
       lru_.erase(it->second.lru_it);
     }
     map_.erase(it);

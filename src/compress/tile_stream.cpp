@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
 namespace amrvis::compress {
@@ -53,6 +55,12 @@ TileStream::TileStream(const ChunkedCompressor& codec,
     if (options.select && !options.select(TileRegion{t, box, st})) continue;
     selected_.push_back(t);
   }
+  if (skipped_exact_ > 0)
+    obs::counter("stream.tiles_culled_exact")
+        .add(static_cast<std::uint64_t>(skipped_exact_));
+  if (skipped_conservative_ > 0)
+    obs::counter("stream.tiles_culled_conservative")
+        .add(static_cast<std::uint64_t>(skipped_conservative_));
   if (options.order == TileStreamOptions::Order::kExpectedBand) {
     // Rank by the v4 histogram sketch's expected in-band cell mass,
     // descending; the stable sort keeps slot order among ties, so
@@ -77,6 +85,7 @@ void TileStream::refill() {
   const std::size_t remaining = selected_.size() - cursor_;
   const std::size_t batch = std::min<std::size_t>(prefetch_ ? 2 : 1,
                                                   remaining);
+  OBS_SPAN("stream.refill", {"batch", static_cast<std::int64_t>(batch)});
   buffer_.clear();
   buffer_.resize(batch);
   head_ = 0;
@@ -104,6 +113,8 @@ void TileStream::refill() {
   }
   cursor_ += batch;
   decoded_ += static_cast<std::int64_t>(batch);
+  static auto& tiles_decoded = obs::counter("stream.tiles_decoded");
+  tiles_decoded.add(batch);
 
   AMRVIS_ASSERT(live_tiles() <= 2);  // the contract, not a hope
   peak_live_tiles_ = std::max(peak_live_tiles_, live_tiles());
@@ -111,6 +122,8 @@ void TileStream::refill() {
   for (std::size_t i = head_; i < buffer_.size(); ++i)
     live_bytes += tile_bytes(buffer_[i]);
   peak_live_bytes_ = std::max(peak_live_bytes_, live_bytes);
+  obs::gauge("stream.peak_live_bytes")
+      .set_max(static_cast<std::int64_t>(peak_live_bytes_));
 }
 
 void TileStream::decode_batch(std::size_t batch) {
@@ -132,7 +145,11 @@ void TileStream::decode_batch(std::size_t batch) {
                   codec_->inner(), pc_.tiles[static_cast<std::size_t>(t)]);
             },
             &was_hit);
-        if (was_hit) cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        if (was_hit) {
+          cache_hits_.fetch_add(1, std::memory_order_relaxed);
+          static auto& hits = obs::counter("stream.cache_hits");
+          hits.add();
+        }
         out.data = *shared;  // the caller owns its buffer (next() moves it)
       } else {
         out.data = detail::decode_tile(

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "compress/huffman.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "compress/lzss.hpp"
 
 namespace amrvis::compress {
@@ -134,6 +136,9 @@ constexpr std::int64_t kEscapeLimit = 1ll << 27;
 
 Bytes ZfpLikeCompressor::compress(View3<const double> data,
                                   double abs_eb) const {
+  static auto& ops = obs::counter("codec.zfp-like.compress");
+  ops.add();
+  OBS_SPAN("codec.zfp-like.compress", {"cells", data.shape().size()});
   AMRVIS_REQUIRE(abs_eb > 0.0);
   const Shape3 s = data.shape();
   const std::int64_t nbx = (s.nx + kBlock - 1) / kBlock;
@@ -213,6 +218,10 @@ Bytes ZfpLikeCompressor::compress(View3<const double> data,
 
 Array3<double> ZfpLikeCompressor::decompress(
     std::span<const std::uint8_t> blob) const {
+  static auto& ops = obs::counter("codec.zfp-like.decompress");
+  ops.add();
+  OBS_SPAN("codec.zfp-like.decompress",
+           {"bytes", static_cast<std::int64_t>(blob.size())});
   ByteReader r(blob);
   AMRVIS_CHECK(ErrorCode::kCorruptPayload, r.get<std::uint32_t>() == kMagic,
                "zfp-like: bad magic");

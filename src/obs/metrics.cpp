@@ -1,0 +1,343 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+namespace amrvis::obs {
+
+namespace detail {
+
+int thread_index() noexcept {
+  static std::atomic<int> next{0};
+  thread_local int idx = next.fetch_add(1, std::memory_order_relaxed);
+  return idx;
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  // Defensive: bounds must be strictly ascending for bucket search.
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  stride_ = bounds_.size() + 1;  // + overflow bucket
+  counts_ = std::vector<detail::PaddedU64>(stride_ * detail::kShards);
+}
+
+Histogram::~Histogram() = default;
+
+void Histogram::reset() noexcept {
+  for (auto& c : counts_) c.v.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+void Histogram::observe(double x) noexcept {
+  std::size_t b =
+      std::lower_bound(bounds_.begin(), bounds_.end(), x) - bounds_.begin();
+  // lower_bound gives first bound >= x, i.e. the bucket with
+  // bounds[b-1] < x <= bounds[b]; b == bounds_.size() is overflow.
+  std::size_t shard =
+      static_cast<std::size_t>(detail::thread_index() % detail::kShards);
+  counts_[shard * stride_ + b].v.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + x,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& c : counts_) total += c.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::sum() const noexcept {
+  return sum_.load(std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> merged(stride_, 0);
+  for (int s = 0; s < detail::kShards; ++s)
+    for (std::size_t b = 0; b < stride_; ++b)
+      merged[b] += counts_[static_cast<std::size_t>(s) * stride_ + b].v.load(
+          std::memory_order_relaxed);
+  return merged;
+}
+
+Histogram::QuantileBucket Histogram::quantile_bucket(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  const std::vector<std::uint64_t> merged = bucket_counts();
+  std::uint64_t n = 0;
+  for (std::uint64_t c : merged) n += c;
+  QuantileBucket out;
+  if (n == 0) {
+    out.lo = 0.0;
+    out.hi = bounds_.empty() ? 0.0 : bounds_.front();
+    out.index = 0;
+    return out;
+  }
+  // Same rank convention as a sorted-sample percentile with
+  // idx = floor(q*(n-1)+0.5): the rank-idx observation (0-based) is the
+  // one whose bucket we report.
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(n - 1) + 0.5);
+  if (rank >= n) rank = n - 1;
+  std::uint64_t seen = 0;
+  std::size_t b = 0;
+  for (; b < merged.size(); ++b) {
+    seen += merged[b];
+    if (seen > rank) break;
+  }
+  if (b >= merged.size()) b = merged.size() - 1;
+  out.index = b;
+  out.lo = (b == 0) ? -std::numeric_limits<double>::infinity()
+                    : bounds_[b - 1];
+  out.hi = (b < bounds_.size()) ? bounds_[b]
+                                : std::numeric_limits<double>::infinity();
+  return out;
+}
+
+const std::vector<double>& latency_ms_buckets() {
+  static const std::vector<double> kBuckets = {
+      0.05, 0.1,  0.2,  0.5,   1.0,   2.0,   5.0,    10.0,
+      20.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2000.0, 8000.0};
+  return kBuckets;
+}
+
+const std::vector<double>& size_bytes_buckets() {
+  static const std::vector<double> kBuckets = {
+      64.0,      256.0,      1024.0,      4096.0,      16384.0,
+      65536.0,   262144.0,   1048576.0,   4194304.0,   16777216.0,
+      67108864.0, 268435456.0};
+  return kBuckets;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+namespace {
+
+// Registered metrics are interned and intentionally leaked: references
+// handed out from counter()/gauge()/histogram() must outlive static
+// destruction so atexit dumps and late-destructing singletons (the global
+// ThreadPool) can still touch them safely.
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Counter*> counters;
+  std::map<std::string, Gauge*> gauges;
+  std::map<std::string, Histogram*> histograms;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked on purpose
+  return *r;
+}
+
+void dump_metrics_at_exit() {
+  const char* path = std::getenv("AMRVIS_METRICS_DUMP");
+  if (!path || !*path) return;
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) return;
+  const std::string json = snapshot_json();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+}
+
+void ensure_dump_hook() {
+  static const bool once = [] {
+    std::atexit(dump_metrics_at_exit);
+    return true;
+  }();
+  (void)once;
+}
+
+// Shortest-round-trip double formatting that stays valid JSON (no inf/nan
+// leaks: callers only feed finite values; histogram edges use bounds).
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Try to shorten: %.17g is always exact but often noisy.
+  for (int prec = 1; prec <= 16; ++prec) {
+    char trial[64];
+    std::snprintf(trial, sizeof(trial), "%.*g", prec, v);
+    if (std::strtod(trial, nullptr) == v) {
+      out += trial;
+      return;
+    }
+  }
+  out += buf;
+}
+
+void append_quoted(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+Counter& counter(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  ensure_dump_hook();
+  auto it = r.counters.find(name);
+  if (it == r.counters.end())
+    it = r.counters.emplace(name, new Counter()).first;
+  return *it->second;
+}
+
+Gauge& gauge(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  ensure_dump_hook();
+  auto it = r.gauges.find(name);
+  if (it == r.gauges.end()) it = r.gauges.emplace(name, new Gauge()).first;
+  return *it->second;
+}
+
+Histogram& histogram(const std::string& name,
+                     const std::vector<double>& upper_bounds) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  ensure_dump_hook();
+  auto it = r.histograms.find(name);
+  if (it == r.histograms.end())
+    it = r.histograms.emplace(name, new Histogram(upper_bounds)).first;
+  return *it->second;
+}
+
+Snapshot snapshot() {
+  Registry& r = registry();
+  Snapshot snap;
+  std::lock_guard<std::mutex> lock(r.mu);
+  snap.counters.reserve(r.counters.size());
+  for (const auto& [name, c] : r.counters)
+    snap.counters.push_back({name, c->value()});
+  snap.gauges.reserve(r.gauges.size());
+  for (const auto& [name, g] : r.gauges)
+    snap.gauges.push_back({name, g->value()});
+  snap.histograms.reserve(r.histograms.size());
+  for (const auto& [name, h] : r.histograms) {
+    Snapshot::HistogramView v;
+    v.name = name;
+    v.bounds = h->bounds();
+    v.counts = h->bucket_counts();
+    // Derive count from the same merged vector so count == sum(counts)
+    // even while writers race the snapshot.
+    v.count = 0;
+    for (std::uint64_t c : v.counts) v.count += c;
+    v.sum = h->sum();
+    snap.histograms.push_back(std::move(v));
+  }
+  return snap;  // std::map iteration is already name-sorted
+}
+
+std::string snapshot_json() {
+  const Snapshot snap = snapshot();
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& c : snap.counters) {
+    if (!first) out += ',';
+    first = false;
+    append_quoted(out, c.name);
+    out += ':';
+    out += std::to_string(c.value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& g : snap.gauges) {
+    if (!first) out += ',';
+    first = false;
+    append_quoted(out, g.name);
+    out += ':';
+    out += std::to_string(g.value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& h : snap.histograms) {
+    if (!first) out += ',';
+    first = false;
+    append_quoted(out, h.name);
+    out += ":{\"count\":";
+    out += std::to_string(h.count);
+    out += ",\"sum\":";
+    append_double(out, h.sum);
+    out += ",\"bounds\":[";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i) out += ',';
+      append_double(out, h.bounds[i]);
+    }
+    out += "],\"counts\":[";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i) out += ',';
+      out += std::to_string(h.counts[i]);
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string snapshot_text() {
+  const Snapshot snap = snapshot();
+  std::ostringstream os;
+  for (const auto& c : snap.counters)
+    os << "counter   " << c.name << " = " << c.value << "\n";
+  for (const auto& g : snap.gauges)
+    os << "gauge     " << g.name << " = " << g.value << "\n";
+  for (const auto& h : snap.histograms) {
+    os << "histogram " << h.name << " count=" << h.count << " sum=" << h.sum
+       << "\n";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (h.counts[i] == 0) continue;
+      os << "           le ";
+      if (i < h.bounds.size())
+        os << h.bounds[i];
+      else
+        os << "+inf";
+      os << ": " << h.counts[i] << "\n";
+    }
+  }
+  return os.str();
+}
+
+void reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [name, c] : r.counters) {
+    (void)name;
+    c->reset();
+  }
+  for (auto& [name, g] : r.gauges) {
+    (void)name;
+    g->set(0);
+  }
+  for (auto& [name, h] : r.histograms) {
+    (void)name;
+    h->reset();
+  }
+}
+
+}  // namespace amrvis::obs

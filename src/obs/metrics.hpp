@@ -1,0 +1,178 @@
+#pragma once
+// Process-wide metrics registry: named counters, gauges, and fixed-bucket
+// histograms, cheap enough to leave compiled into every hot path.
+//
+// Design goals (mirrors util/fault.hpp's always-on philosophy):
+//   - Updates are lock-free. Counters and histograms spread their hot
+//     atomics over cache-line-padded per-thread shards, so eight threads
+//     hammering the same counter never contend on one line; a snapshot
+//     merges the shards.
+//   - Metric objects are interned by name in a mutex-guarded registry and
+//     never destroyed (intentionally leaked), so a reference obtained once
+//     (`static auto& c = obs::counter("tile.decode");`) stays valid through
+//     static destruction — including atexit dump paths.
+//   - The snapshot is a stable, name-sorted JSON document
+//     (obs::snapshot_json()) plus a human text dump (obs::snapshot_text()).
+//   - AMRVIS_METRICS_DUMP=<path> writes the JSON snapshot at process exit.
+//
+// Histograms use fixed ascending bucket upper bounds fixed at first
+// registration; `quantile_bucket(q)` returns the bucket that contains the
+// rank-q observation, letting benches cross-check sampled percentiles
+// against the registry (equal-within-bucket).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace amrvis::obs {
+
+namespace detail {
+// One cache line per shard so concurrent writers from different threads
+// do not false-share. 16 shards is plenty for the pool sizes we run.
+inline constexpr int kShards = 16;
+
+struct alignas(64) PaddedU64 {
+  std::atomic<std::uint64_t> v{0};
+};
+
+/// Dense per-thread index used to pick a shard (also reused by trace.cpp
+/// and log.cpp as a short human-readable thread id).
+int thread_index() noexcept;
+}  // namespace detail
+
+/// Monotonic counter. add() is a relaxed fetch_add on a per-thread shard.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    shards_[detail::thread_index() % detail::kShards].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+  void reset() noexcept {
+    for (auto& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  detail::PaddedU64 shards_[detail::kShards];
+};
+
+/// Last-write-wins signed gauge with an atomic max helper.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t d) noexcept {
+    v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  /// Raise the gauge to at least v (CAS loop; used for peak trackers).
+  void set_max(std::int64_t v) noexcept {
+    std::int64_t cur = v_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations x with
+/// bounds[i-1] < x <= bounds[i]; one extra overflow bucket catches
+/// x > bounds.back(). Bounds are fixed by the first registration.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+  ~Histogram();
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void observe(double x) noexcept;
+
+  std::uint64_t count() const noexcept;
+  double sum() const noexcept;
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// Merged per-bucket counts (size bounds().size() + 1; last = overflow).
+  std::vector<std::uint64_t> bucket_counts() const;
+
+  struct QuantileBucket {
+    double lo = 0.0;       ///< exclusive lower edge (-inf encoded as lowest())
+    double hi = 0.0;       ///< inclusive upper edge (+inf for overflow)
+    std::size_t index = 0; ///< bucket index
+  };
+  /// Bucket containing the observation of rank floor(q*(count-1)+0.5)
+  /// (the same rank a sorted-sample percentile with that convention picks),
+  /// so a sampled percentile provably lies in [lo, hi] of the result.
+  QuantileBucket quantile_bucket(double q) const;
+
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  // counts_[shard * stride_ + bucket]
+  std::vector<detail::PaddedU64> counts_;
+  std::size_t stride_ = 0;
+  std::atomic<double> sum_{0.0};
+};
+
+/// Preset: latency buckets in milliseconds, 0.05 ms .. ~8 s, ~2x steps.
+const std::vector<double>& latency_ms_buckets();
+/// Preset: size buckets in bytes, 64 B .. 256 MiB, 4x steps.
+const std::vector<double>& size_bytes_buckets();
+
+/// Intern a metric by name. The returned reference is valid forever.
+/// For histograms, `upper_bounds` is consulted only on first registration.
+Counter& counter(const std::string& name);
+Gauge& gauge(const std::string& name);
+Histogram& histogram(const std::string& name,
+                     const std::vector<double>& upper_bounds);
+
+/// Point-in-time merged view of every registered metric, name-sorted.
+struct Snapshot {
+  struct CounterView {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeView {
+    std::string name;
+    std::int64_t value = 0;
+  };
+  struct HistogramView {
+    std::string name;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 entries
+  };
+  std::vector<CounterView> counters;
+  std::vector<GaugeView> gauges;
+  std::vector<HistogramView> histograms;
+};
+
+Snapshot snapshot();
+
+/// Stable JSON encoding of snapshot():
+///   {"counters":{name:value,...},
+///    "gauges":{name:value,...},
+///    "histograms":{name:{"count":N,"sum":S,"bounds":[..],"counts":[..]}}}
+/// Keys are name-sorted; numbers use shortest round-trip formatting.
+std::string snapshot_json();
+
+/// Human-oriented one-metric-per-line dump of snapshot().
+std::string snapshot_text();
+
+/// Zero every registered metric (counters, gauges, histogram buckets).
+/// Metric identities survive; only values reset. Test/bench helper — not
+/// linearizable against concurrent writers.
+void reset();
+
+}  // namespace amrvis::obs

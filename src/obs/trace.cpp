@@ -1,0 +1,185 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"  // detail::thread_index()
+
+namespace amrvis::obs {
+
+namespace detail {
+
+std::atomic<int> g_trace_state{0};
+
+namespace {
+
+struct Event {
+  const char* name;
+  std::int64_t ts_us;
+  std::int64_t dur_us;
+  int tid;
+  SpanArg a;
+  SpanArg b;
+  bool async;  // backdated interval; cat "amrvis.async", nesting-exempt
+};
+
+// All mutable trace state lives behind one mutex in a leaked singleton so
+// emits racing a disarm (or static destruction) stay well-defined.
+struct TraceState {
+  std::mutex mu;
+  std::FILE* file = nullptr;
+  std::vector<Event> ring;
+  std::size_t capacity = 0;
+  bool wrote_event = false;  // need a comma before the next one?
+};
+
+TraceState& state() {
+  static TraceState* s = new TraceState();  // leaked on purpose
+  return *s;
+}
+
+void append_quoted(std::string& out, const char* s) {
+  out += '"';
+  for (; *s; ++s) {
+    char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+// Serialize + write the buffered events. Caller holds st.mu.
+void flush_locked(TraceState& st) {
+  if (!st.file || st.ring.empty()) return;
+  std::string out;
+  out.reserve(st.ring.size() * 96);
+  for (const Event& e : st.ring) {
+    if (st.wrote_event) out += ",\n";
+    st.wrote_event = true;
+    out += "{\"name\":";
+    append_quoted(out, e.name);
+    out += e.async ? ",\"ph\":\"X\",\"cat\":\"amrvis.async\",\"pid\":1,\"tid\":"
+                   : ",\"ph\":\"X\",\"cat\":\"amrvis\",\"pid\":1,\"tid\":";
+    out += std::to_string(e.tid);
+    out += ",\"ts\":";
+    out += std::to_string(e.ts_us);
+    out += ",\"dur\":";
+    out += std::to_string(e.dur_us);
+    if (e.a.key || e.b.key) {
+      out += ",\"args\":{";
+      bool first = true;
+      for (const SpanArg* arg : {&e.a, &e.b}) {
+        if (!arg->key) continue;
+        if (!first) out += ',';
+        first = false;
+        append_quoted(out, arg->key);
+        out += ':';
+        out += std::to_string(arg->value);
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  std::fwrite(out.data(), 1, out.size(), st.file);
+  st.ring.clear();
+}
+
+void disarm_at_exit() { trace_disarm(); }
+
+}  // namespace
+
+std::int64_t trace_now_us() noexcept {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void trace_emit(const char* name, std::int64_t ts_us, std::int64_t dur_us,
+                SpanArg a, SpanArg b, bool async) noexcept {
+  TraceState& st = state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  // Re-check under the lock: a disarm may have closed the file between the
+  // caller's armed check and here; dropping the event is the safe outcome.
+  if (!st.file) return;
+  st.ring.push_back(Event{name, ts_us, dur_us, thread_index(), a, b, async});
+  if (st.ring.size() >= st.capacity) flush_locked(st);
+}
+
+bool trace_check_env_and_arm() {
+  // Resolve the tri-state exactly once even under races: the loser of the
+  // exchange just reads the winner's decision.
+  static std::mutex env_mu;
+  std::lock_guard<std::mutex> lock(env_mu);
+  int s = g_trace_state.load(std::memory_order_relaxed);
+  if (s != 0) return s == 2;
+  const char* path = std::getenv("AMRVIS_TRACE");
+  if (path && *path) {
+    trace_arm(path);
+    return true;
+  }
+  g_trace_state.store(1, std::memory_order_relaxed);
+  return false;
+}
+
+}  // namespace detail
+
+void trace_arm(const char* path, std::size_t ring_capacity) {
+  using detail::state;
+  trace_disarm();  // close any previous file first
+  detail::TraceState& st = state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  st.file = std::fopen(path, "w");
+  if (!st.file) {
+    detail::g_trace_state.store(1, std::memory_order_relaxed);
+    return;
+  }
+  std::fputs("[\n", st.file);
+  st.wrote_event = false;
+  st.capacity = ring_capacity ? ring_capacity : 1;
+  st.ring.clear();
+  st.ring.reserve(st.capacity);
+  static const bool hook = [] {
+    std::atexit(detail::disarm_at_exit);
+    return true;
+  }();
+  (void)hook;
+  detail::g_trace_state.store(2, std::memory_order_relaxed);
+}
+
+void trace_flush() {
+  detail::TraceState& st = detail::state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  detail::flush_locked(st);
+  if (st.file) std::fflush(st.file);
+}
+
+void trace_disarm() {
+  // Disarm first so new spans stop starting, then drain under the lock.
+  detail::TraceState& st = detail::state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  if (detail::g_trace_state.load(std::memory_order_relaxed) == 2)
+    detail::g_trace_state.store(1, std::memory_order_relaxed);
+  if (!st.file) return;
+  detail::flush_locked(st);
+  std::fputs("\n]\n", st.file);
+  std::fclose(st.file);
+  st.file = nullptr;
+  st.ring.clear();
+  st.ring.shrink_to_fit();
+}
+
+}  // namespace amrvis::obs

@@ -1,0 +1,123 @@
+#pragma once
+// Scoped trace spans emitting Chrome trace-event JSON (Perfetto-loadable).
+//
+// Usage:
+//   OBS_SPAN("tile.decode", {"container", cid}, {"tile", t});
+//   ... scope body ...
+// On scope exit (including unwind) one complete "X" event is recorded with
+// the span's name, start timestamp (µs), duration, thread id, and up to two
+// integer args. Complete events are used instead of B/E pairs so a trace is
+// well-formed even if tracing is disarmed mid-run: a span that started
+// before disarm simply drops its event, never leaving an unmatched "B".
+//
+// Arming (mirrors util/fault.hpp): tracing is DISARMED by default and the
+// hot-path cost is exactly one relaxed atomic load and a predictable branch
+// — no clock reads, no allocations. It arms either programmatically via
+// trace_arm(path) or from AMRVIS_TRACE=<path> checked once at first use.
+// Armed spans push events into a fixed-capacity in-memory ring that is
+// flushed to the file when full, on trace_flush(), and at trace_disarm()/
+// process exit. The output file is one JSON array of event objects, valid
+// for chrome://tracing and ui.perfetto.dev.
+//
+// Events are pushed under one mutex, so within a thread id the file order
+// equals program order — tools/check_trace.py relies on this to validate
+// span nesting without timestamp tie-breaking.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace amrvis::obs {
+
+/// One optional integer annotation on a span. `key` must be a string
+/// literal (or otherwise outlive the span); it is not copied until emit.
+struct SpanArg {
+  const char* key = nullptr;
+  std::int64_t value = 0;
+};
+
+namespace detail {
+// 0 = unknown (check AMRVIS_TRACE once), 1 = disarmed, 2 = armed.
+extern std::atomic<int> g_trace_state;
+bool trace_check_env_and_arm();  // resolves state 0; returns armed?
+void trace_emit(const char* name, std::int64_t ts_us, std::int64_t dur_us,
+                SpanArg a, SpanArg b, bool async = false) noexcept;
+std::int64_t trace_now_us() noexcept;
+}  // namespace detail
+
+/// True when spans are being recorded. Steady state: one relaxed load.
+inline bool trace_armed() noexcept {
+  int s = detail::g_trace_state.load(std::memory_order_relaxed);
+  if (s == 0) return detail::trace_check_env_and_arm();
+  return s == 2;
+}
+
+/// Start recording spans to `path` (truncates). `ring_capacity` bounds the
+/// in-memory event buffer; the ring flushes to the file when full.
+void trace_arm(const char* path, std::size_t ring_capacity = 4096);
+
+/// Flush buffered events to the trace file without disarming.
+void trace_flush();
+
+/// Stop recording: final flush, close the JSON array, close the file.
+/// Safe to call when already disarmed. Also runs at process exit.
+void trace_disarm();
+
+/// Timestamp on the span clock (steady, microseconds) — for callers that
+/// measured an interval themselves and emit it via trace_emit_span.
+inline std::int64_t trace_clock_us() noexcept { return detail::trace_now_us(); }
+
+/// Record one already-measured interval as a complete span (no RAII).
+/// Drops silently when disarmed.
+inline void trace_emit_span(const char* name, std::int64_t ts_us,
+                            std::int64_t dur_us, SpanArg a = {},
+                            SpanArg b = {}) noexcept {
+  if (trace_armed()) detail::trace_emit(name, ts_us, dur_us, a, b);
+}
+
+/// Like trace_emit_span, but for BACKDATED intervals that did not happen
+/// inside a scope on the emitting thread (e.g. how long a request sat in a
+/// queue before this thread picked it up). Emitted with category
+/// "amrvis.async" so tools/check_trace.py exempts it from the per-thread
+/// scope-nesting invariant — a backdated interval legitimately overlaps
+/// whatever scopes the emitting thread was inside during it.
+inline void trace_emit_async_span(const char* name, std::int64_t ts_us,
+                                  std::int64_t dur_us, SpanArg a = {},
+                                  SpanArg b = {}) noexcept {
+  if (trace_armed()) detail::trace_emit(name, ts_us, dur_us, a, b, true);
+}
+
+/// RAII span. Constructing when disarmed costs one relaxed load; the
+/// destructor re-checks so spans straddling a disarm are dropped whole.
+class SpanScope {
+ public:
+  explicit SpanScope(const char* name, SpanArg a = {}, SpanArg b = {}) noexcept
+      : name_(name), a_(a), b_(b) {
+    if (trace_armed()) start_us_ = detail::trace_now_us();
+  }
+  ~SpanScope() {
+    if (start_us_ >= 0 && trace_armed())
+      detail::trace_emit(name_, start_us_, detail::trace_now_us() - start_us_,
+                         a_, b_);
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  const char* name_;
+  SpanArg a_, b_;
+  std::int64_t start_us_ = -1;
+};
+
+}  // namespace amrvis::obs
+
+#define AMRVIS_OBS_CONCAT2(a, b) a##b
+#define AMRVIS_OBS_CONCAT(a, b) AMRVIS_OBS_CONCAT2(a, b)
+
+/// OBS_SPAN("name") / OBS_SPAN("name", {"k", v}) /
+/// OBS_SPAN("name", {"k1", v1}, {"k2", v2})
+#define OBS_SPAN(...)                                      \
+  ::amrvis::obs::SpanScope AMRVIS_OBS_CONCAT(obs_span_at_, \
+                                             __LINE__) {   \
+    __VA_ARGS__                                            \
+  }

@@ -10,6 +10,8 @@
 #include <utility>
 
 #include "compress/lzss.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 #include "util/thread_pool.hpp"
@@ -225,10 +227,65 @@ void QueryService::run_once(const Request& req, Response& resp,
   resp.stats.cache_hits += rs.cache_hits;
 }
 
-Response QueryService::execute_impl(const Request& req, double queue_ms) {
+namespace {
+
+const char* kind_span_name(Request::Kind k) {
+  switch (k) {
+    case Request::Kind::kPoint:
+      return "service.point";
+    case Request::Kind::kPlane:
+      return "service.plane";
+    case Request::Kind::kRegion:
+      return "service.region";
+    case Request::Kind::kIso:
+      return "service.iso";
+  }
+  return "service.unknown";
+}
+
+obs::Histogram& kind_latency_histogram(Request::Kind k) {
+  switch (k) {
+    case Request::Kind::kPoint: {
+      static auto& h = obs::histogram("service.service_ms.point",
+                                      obs::latency_ms_buckets());
+      return h;
+    }
+    case Request::Kind::kPlane: {
+      static auto& h = obs::histogram("service.service_ms.plane",
+                                      obs::latency_ms_buckets());
+      return h;
+    }
+    case Request::Kind::kRegion: {
+      static auto& h = obs::histogram("service.service_ms.region",
+                                      obs::latency_ms_buckets());
+      return h;
+    }
+    case Request::Kind::kIso:
+      break;
+  }
+  static auto& h = obs::histogram("service.service_ms.iso",
+                                  obs::latency_ms_buckets());
+  return h;
+}
+
+}  // namespace
+
+Response QueryService::execute_impl(const Request& req, double queue_ms,
+                                    bool queued) {
   const Clock::time_point t0 = Clock::now();
+  // The queue phase (submit/enqueue -> execution start) already happened,
+  // on no particular thread; emit it as an ASYNC span (backdated, exempt
+  // from scope nesting) so a trace shows wait vs work per request.
+  if (queued && obs::trace_armed()) {
+    const std::int64_t now_us = obs::trace_clock_us();
+    const auto wait_us = static_cast<std::int64_t>(queue_ms * 1000.0);
+    obs::trace_emit_async_span("service.queue", now_us - wait_us, wait_us);
+  }
+  obs::SpanScope span(kind_span_name(req.kind),
+                      {"queued", queued ? 1 : 0});
   Response resp;
   resp.stats.queue_ms = queue_ms;
+  resp.stats.queued = queued;
 
   std::optional<util::CancelToken> token;
   if (req.deadline_ms > 0.0 || req.cancel) {
@@ -291,11 +348,35 @@ Response QueryService::execute_impl(const Request& req, double queue_ms) {
   resp.outcome.stats_fallback = lenient_iso && resp.outcome.ok();
   resp.stats.service_ms = ms_since(t0);
   account(resp);
+
+  // Registry mirrors: request/latency metrics any snapshot can read
+  // without a handle to this service instance.
+  static auto& c_requests = obs::counter("service.requests");
+  static auto& c_retries = obs::counter("service.retries");
+  static auto& c_failures = obs::counter("service.failures");
+  static auto& c_degraded = obs::counter("service.degraded");
+  static auto& c_quarantined = obs::counter("service.quarantined_patches");
+  static auto& c_fallback = obs::counter("service.stats_fallback");
+  static auto& h_service =
+      obs::histogram("service.service_ms", obs::latency_ms_buckets());
+  static auto& h_queue =
+      obs::histogram("service.queue_ms", obs::latency_ms_buckets());
+  c_requests.add();
+  if (retries > 0) c_retries.add(static_cast<std::uint64_t>(retries));
+  if (!resp.outcome.ok()) c_failures.add();
+  if (resp.outcome.degraded()) c_degraded.add();
+  if (skipped > 0) c_quarantined.add(static_cast<std::uint64_t>(skipped));
+  if (resp.outcome.stats_fallback) c_fallback.add();
+  h_service.observe(resp.stats.service_ms);
+  kind_latency_histogram(req.kind).observe(resp.stats.service_ms);
+  // Observed for every request — synchronous calls contribute an honest
+  // 0 ms wait instead of silently missing from the queue histogram.
+  h_queue.observe(resp.stats.queue_ms);
   return resp;
 }
 
 double QueryService::point(amr::IntVect p, QueryStats* stats) {
-  Response r = execute_impl(Request::Point(p), 0.0);
+  Response r = execute_impl(Request::Point(p), 0.0, false);
   if (stats != nullptr) *stats = r.stats;
   if (!r.outcome.ok()) throw r.outcome.to_error();
   return r.value;
@@ -303,7 +384,7 @@ double QueryService::point(amr::IntVect p, QueryStats* stats) {
 
 Array3<double> QueryService::plane(int axis, std::int64_t index,
                                    QueryStats* stats) {
-  Response r = execute_impl(Request::Plane(axis, index), 0.0);
+  Response r = execute_impl(Request::Plane(axis, index), 0.0, false);
   if (stats != nullptr) *stats = r.stats;
   if (!r.outcome.ok()) throw r.outcome.to_error();
   return std::move(r.slice);
@@ -312,7 +393,7 @@ Array3<double> QueryService::plane(int axis, std::int64_t index,
 std::vector<compress::RegionPatch> QueryService::region(int level,
                                                         const amr::Box& box,
                                                         QueryStats* stats) {
-  Response r = execute_impl(Request::Region(level, box), 0.0);
+  Response r = execute_impl(Request::Region(level, box), 0.0, false);
   if (stats != nullptr) *stats = r.stats;
   if (!r.outcome.ok()) throw r.outcome.to_error();
   return std::move(r.patches);
@@ -320,20 +401,20 @@ std::vector<compress::RegionPatch> QueryService::region(int level,
 
 vis::TriMesh QueryService::isosurface(double iso, vis::VisMethod method,
                                       QueryStats* stats) {
-  Response r = execute_impl(Request::Iso(iso, method), 0.0);
+  Response r = execute_impl(Request::Iso(iso, method), 0.0, false);
   if (stats != nullptr) *stats = r.stats;
   if (!r.outcome.ok()) throw r.outcome.to_error();
   return std::move(r.mesh);
 }
 
 Response QueryService::execute(const Request& req) {
-  Response r = execute_impl(req, 0.0);
+  Response r = execute_impl(req, 0.0, false);
   if (!r.outcome.ok()) throw r.outcome.to_error();
   return r;
 }
 
 Response QueryService::execute_full(const Request& req) {
-  return execute_impl(req, 0.0);
+  return execute_impl(req, 0.0, false);
 }
 
 std::future<Response> QueryService::submit(Request req) {
@@ -342,7 +423,7 @@ std::future<Response> QueryService::submit(Request req) {
   std::future<Response> fut = prom->get_future();
   ThreadPool::global().post([this, req = std::move(req), prom, enq] {
     try {
-      Response r = execute_impl(req, ms_since(enq));
+      Response r = execute_impl(req, ms_since(enq), true);
       if (!r.outcome.ok())
         prom->set_exception(
             std::make_exception_ptr(r.outcome.to_error()));
@@ -356,6 +437,8 @@ std::future<Response> QueryService::submit(Request req) {
 }
 
 void QueryService::prefetch_regions(const std::vector<Request>& reqs) {
+  OBS_SPAN("service.prefetch",
+           {"requests", static_cast<std::int64_t>(reqs.size())});
   // Enumerate the decode units every region request touches — the same
   // (patch, tile-slot) arithmetic ChunkedCompressor::decompress_region
   // walks — and dedupe them across the batch. The cache key of a unit
@@ -511,6 +594,8 @@ void QueryService::prefetch_regions(const std::vector<Request>& reqs) {
 
 std::vector<Response> QueryService::run_batch(
     const std::vector<Request>& reqs) {
+  OBS_SPAN("service.batch",
+           {"requests", static_cast<std::int64_t>(reqs.size())});
   const Clock::time_point enq = Clock::now();
   if (options_.merge_regions) {
     // Best-effort warm-up: a corrupt header (or an injected parse fault)
@@ -524,7 +609,7 @@ std::vector<Response> QueryService::run_batch(
   std::vector<Response> out;
   out.reserve(reqs.size());
   for (const Request& req : reqs)
-    out.push_back(execute_impl(req, ms_since(enq)));
+    out.push_back(execute_impl(req, ms_since(enq), true));
   return out;
 }
 

@@ -93,8 +93,12 @@ struct ServiceOptions {
 struct QueryStats {
   std::int64_t tiles_decoded = 0;  ///< decodes this request ran itself
   std::int64_t cache_hits = 0;     ///< tiles served by the shared cache
-  double queue_ms = 0.0;    ///< submit -> execution start (async/batch)
+  double queue_ms = 0.0;    ///< submit -> execution start; 0.0 when the
+                            ///< request never queued (synchronous call)
   double service_ms = 0.0;  ///< execution start -> finish
+  bool queued = false;      ///< true iff the request went through a queue
+                            ///< (submit/run_batch) and queue_ms measures a
+                            ///< real wait rather than a synchronous 0
 };
 
 /// One query of the batched/async front end.
@@ -251,7 +255,7 @@ class QueryService {
  private:
   struct Timed;  // steady_clock plumbing lives in the .cpp
 
-  Response execute_impl(const Request& req, double queue_ms);
+  Response execute_impl(const Request& req, double queue_ms, bool queued);
   /// One attempt of a request's primitive; fills payload + decode stats.
   void run_once(const Request& req, Response& resp,
                 const util::CancelToken* cancel, bool lenient_iso,

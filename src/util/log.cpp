@@ -1,14 +1,20 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <ctime>
 #include <mutex>
+#include <utility>
+
+#include "obs/metrics.hpp"  // obs::detail::thread_index()
 
 namespace amrvis {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
 std::mutex g_mutex;
+LogSink g_sink;  // empty = default stderr sink; guarded by g_mutex
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -29,10 +35,42 @@ void set_log_level(LogLevel level) { g_level.store(level); }
 
 LogLevel log_level() { return g_level.load(); }
 
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_sink = std::move(sink);
+}
+
+std::string format_log_line(LogLevel level, const std::string& msg) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+#if defined(_WIN32)
+  gmtime_s(&tm, &secs);
+#else
+  gmtime_r(&secs, &tm);
+#endif
+  char head[96];
+  std::snprintf(head, sizeof(head),
+                "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ [amrvis %s t%d] ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms),
+                level_name(level), obs::detail::thread_index());
+  return std::string(head) + msg;
+}
+
 void log_message(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  const std::string line = format_log_line(level, msg);
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[amrvis %s] %s\n", level_name(level), msg.c_str());
+  if (g_sink) {
+    g_sink(level, line);
+    return;
+  }
+  std::fprintf(stderr, "%s\n", line.c_str());
 }
 
 }  // namespace amrvis

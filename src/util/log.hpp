@@ -1,6 +1,15 @@
 #pragma once
-// Minimal leveled logger. Thread-safe; writes to stderr.
+// Minimal leveled logger. Thread-safe; writes to stderr by default.
+//
+// Each line is prefixed with an ISO-8601 UTC timestamp and a dense
+// per-process thread id:
+//
+//   2026-08-08T12:34:56.789Z [amrvis INFO t0] message
+//
+// Tests (or embedders) can capture output instead of letting it hit
+// stderr via set_log_sink; the sink receives the already-formatted line.
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -11,6 +20,18 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 /// Global log threshold; messages below it are dropped.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Receives every formatted line that passes the level filter (without a
+/// trailing newline). Called under the logger's mutex: lines never
+/// interleave, and the sink must not log re-entrantly.
+using LogSink = std::function<void(LogLevel, const std::string& line)>;
+
+/// Replace the default stderr sink; pass nullptr to restore it.
+void set_log_sink(LogSink sink);
+
+/// The exact line a message formats to — the default sink writes this
+/// plus '\n' to stderr. Exposed so tests can pin the format.
+std::string format_log_line(LogLevel level, const std::string& msg);
 
 /// Emit one log line (used by the AMRVIS_LOG macro).
 void log_message(LogLevel level, const std::string& msg);

@@ -6,6 +6,7 @@
 #include <exception>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/fault.hpp"
 
 namespace amrvis {
@@ -107,6 +108,8 @@ void ThreadPool::enqueue(std::size_t slot, std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lk(sleep_mu_);
     ++pending_;
+    static auto& depth = obs::gauge("pool.queue_depth");
+    depth.set(static_cast<std::int64_t>(pending_));
   }
   sleep_cv_.notify_one();
 }
@@ -180,9 +183,17 @@ bool ThreadPool::try_run_one(std::size_t self) {
   {
     std::lock_guard<std::mutex> lk(sleep_mu_);
     --pending_;
+    static auto& depth = obs::gauge("pool.queue_depth");
+    depth.set(static_cast<std::int64_t>(pending_));
   }
-  if (stolen) steals_.fetch_add(1, std::memory_order_relaxed);
+  if (stolen) {
+    steals_.fetch_add(1, std::memory_order_relaxed);
+    static auto& steals = obs::counter("pool.steals");
+    steals.add();
+  }
   executed_.fetch_add(1, std::memory_order_relaxed);
+  static auto& tasks = obs::counter("pool.tasks");
+  tasks.add();
   task();
   return true;
 }

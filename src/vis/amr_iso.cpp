@@ -10,6 +10,9 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 #include "compress/lzss.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
@@ -1127,7 +1130,14 @@ TriMesh amr_isosurface_streamed(const AmrCompressed& compressed,
       compress::codec_names_compatible(comp.name(),
                                        compressed.compressor_name),
                      "amr_isosurface_streamed: codec mismatch");
-  if (stats != nullptr) *stats = {};
+  OBS_SPAN("iso.streamed", {"levels",
+                            static_cast<std::int64_t>(
+                                compressed.levels.size())});
+  // Sweep into a local stats block even when the caller passed none, so
+  // the registry sees every streamed sweep's aggregate.
+  StreamedIsoStats local{};
+  StreamedIsoStats* agg = stats != nullptr ? stats : &local;
+  *agg = {};
   TriMesh mesh;
   const int nlev = static_cast<int>(compressed.levels.size());
   for (int l = 0; l < nlev; ++l) {
@@ -1142,9 +1152,21 @@ TriMesh amr_isosurface_streamed(const AmrCompressed& compressed,
     ls.cell_size = r;
     ls.switching = method == VisMethod::kDualCellSwitching;
     ls.options = options;
-    ls.stats = stats;
+    ls.stats = agg;
     sweep_level(ls, method, iso, mesh);
   }
+  obs::counter("iso.tiles_decoded")
+      .add(static_cast<std::uint64_t>(agg->tiles_decoded));
+  obs::counter("iso.tiles_culled_exact")
+      .add(static_cast<std::uint64_t>(agg->tiles_culled_exact));
+  obs::counter("iso.tiles_culled_conservative")
+      .add(static_cast<std::uint64_t>(agg->tiles_culled_conservative));
+  obs::counter("iso.cache_hits")
+      .add(static_cast<std::uint64_t>(agg->cache_hits));
+  obs::counter("iso.slabs_decoded")
+      .add(static_cast<std::uint64_t>(agg->slabs_decoded));
+  obs::gauge("iso.peak_live_bytes")
+      .set_max(static_cast<std::int64_t>(agg->peak_live_bytes));
   return mesh;
 }
 

@@ -192,8 +192,43 @@ TEST(QueryService, SubmitServesAsynchronouslyWithQueueTiming) {
   auto fut = svc.submit(Request::Point(p));
   Response resp = fut.get();
   EXPECT_EQ(resp.value, direct);
+  EXPECT_TRUE(resp.stats.queued);  // went through the pool's queue
   EXPECT_GE(resp.stats.queue_ms, 0.0);
   EXPECT_GE(resp.stats.service_ms, 0.0);
+}
+
+TEST(QueryService, SynchronousPathsReportUnqueuedZeroQueueTime) {
+  // Regression: queue_ms used to be populated only by the async/batch
+  // paths; the sync path must report an explicit queued=false with a
+  // 0 ms wait on every API, so latency consumers never see a silently
+  // missing label.
+  const Fixture f = make_fixture();
+  QueryService svc(f.compressed, *f.codec);
+  const IntVect p{f.finest_domain.lo().x + 3, f.finest_domain.lo().y + 3,
+                  f.finest_domain.lo().z + 3};
+
+  QueryStats s;
+  (void)svc.point(p, &s);
+  EXPECT_FALSE(s.queued);
+  EXPECT_EQ(s.queue_ms, 0.0);
+
+  s = {};
+  (void)svc.plane(2, f.finest_domain.lo().z + 2, &s);
+  EXPECT_FALSE(s.queued);
+  EXPECT_EQ(s.queue_ms, 0.0);
+
+  const Response r = svc.execute_full(Request::Point(p));
+  EXPECT_FALSE(r.stats.queued);
+  EXPECT_EQ(r.stats.queue_ms, 0.0);
+
+  // The batch front end queues: its responses must say so.
+  const std::vector<Response> batch =
+      svc.run_batch({Request::Point(p), Request::Point(p)});
+  ASSERT_EQ(batch.size(), 2u);
+  for (const Response& br : batch) {
+    EXPECT_TRUE(br.stats.queued);
+    EXPECT_GE(br.stats.queue_ms, 0.0);
+  }
 }
 
 TEST(QueryService, SubmitPropagatesQueryExceptionsThroughTheFuture) {

@@ -5,12 +5,16 @@
 
 #include <cmath>
 #include <numeric>
+#include <regex>
+#include <string>
+#include <vector>
 
 #include "util/array3d.hpp"
 #include "util/bytestream.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
 #include "util/fft.hpp"
+#include "util/log.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -378,6 +382,54 @@ TEST(Files, WriteReadRoundTrip) {
   Bytes data{0, 1, 2, 255, 128};
   write_file(path, data);
   EXPECT_EQ(read_file(path), data);
+}
+
+// RAII capture of log output through set_log_sink; restores the default
+// stderr sink on destruction.
+class LogCapture {
+ public:
+  LogCapture() {
+    set_log_sink([this](LogLevel level, const std::string& line) {
+      levels.push_back(level);
+      lines.push_back(line);
+    });
+  }
+  ~LogCapture() { set_log_sink(nullptr); }
+  std::vector<LogLevel> levels;
+  std::vector<std::string> lines;
+};
+
+TEST(Log, SinkCapturesFilteredLines) {
+  LogCapture cap;
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kInfo);
+  AMRVIS_LOG(kDebug) << "dropped";
+  AMRVIS_LOG(kWarn) << "kept " << 42;
+  set_log_level(saved);
+  ASSERT_EQ(cap.lines.size(), 1u);
+  EXPECT_EQ(cap.levels[0], LogLevel::kWarn);
+  EXPECT_NE(cap.lines[0].find("kept 42"), std::string::npos);
+}
+
+TEST(Log, DefaultFormatIsPinned) {
+  // The line format is a stability contract: ISO-8601 UTC timestamp with
+  // milliseconds, then "[amrvis LEVEL t<tid>] ", then the message.
+  //   2026-08-08T12:34:56.789Z [amrvis INFO t0] message
+  const std::string line = format_log_line(LogLevel::kInfo, "message");
+  EXPECT_TRUE(std::regex_match(
+      line,
+      std::regex(R"(\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z )"
+                 R"(\[amrvis INFO t\d+\] message)")))
+      << line;
+  // The sink receives exactly the formatted line.
+  LogCapture cap;
+  log_message(LogLevel::kError, "boom");
+  ASSERT_EQ(cap.lines.size(), 1u);
+  EXPECT_TRUE(std::regex_match(
+      cap.lines[0],
+      std::regex(R"(\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z )"
+                 R"(\[amrvis ERROR t\d+\] boom)")))
+      << cap.lines[0];
 }
 
 }  // namespace

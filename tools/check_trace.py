@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file produced by src/obs/trace.
+
+Checks, in order:
+
+1. The file parses as JSON and is a list of event objects.
+2. Every event is a complete ("ph": "X") span with a name, a non-negative
+   integer tid/ts/dur, and the amrvis category.
+3. Per tid, SCOPE spans (cat "amrvis") in FILE ORDER have monotonically
+   non-decreasing end times (the emitter pushes each span at scope exit
+   under one mutex, so file order per thread is program order), and every
+   pair of scope spans on one thread either nests or is disjoint — a
+   partial overlap means a broken emitter. Async spans (cat
+   "amrvis.async") are backdated intervals measured by the caller — e.g.
+   a request's queue wait, emitted by whichever thread picked it up — and
+   are shape-checked but exempt from the nesting invariant.
+4. With --metrics METRICS.json (an obs::snapshot_json() dump) and
+   --reconcile NAME: the number of NAME spans in the trace equals the
+   NAME counter in the registry dump, and is nonzero. The instrumented
+   sites bump the counter and open the span at the same place, so any
+   drift means dropped or duplicated events.
+
+Exit status 0 on success; 1 with a diagnostic on the first failure.
+
+Usage:
+    check_trace.py TRACE.json [--metrics METRICS.json]
+                   [--reconcile tile.decode]
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print("check_trace: FAIL: %s" % msg)
+    return 1
+
+
+def validate_events(events):
+    """Shape-check every event; returns an error string or None."""
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            return "event %d is not an object" % i
+        if e.get("ph") != "X":
+            return "event %d: ph=%r, only complete 'X' events are emitted" % (
+                i, e.get("ph"))
+        name = e.get("name")
+        if not isinstance(name, str) or not name:
+            return "event %d has no name" % i
+        if e.get("cat") not in ("amrvis", "amrvis.async"):
+            return "event %d (%s): cat=%r is not an amrvis category" % (
+                i, name, e.get("cat"))
+        for key in ("tid", "ts", "dur"):
+            v = e.get(key)
+            if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                return "event %d (%s): %s=%r is not a non-negative int" % (
+                    i, name, key, v)
+    return None
+
+
+def validate_nesting(events):
+    """Scope spans of one tid must nest or be disjoint; error or None.
+
+    Events arrive in end-time order per tid (pushed at scope exit under a
+    mutex), children before parents. A stack of disjoint completed spans
+    is maintained: a new span must either contain recent stack entries
+    (its children — popped) or start at/after the latest one's end.
+    Intervals are half-open [ts, ts+dur), so touching spans are disjoint.
+    Async spans are skipped: a backdated interval overlaps whatever scopes
+    its emitting thread was inside while it elapsed.
+    """
+    by_tid = {}
+    for e in events:
+        if e.get("cat") == "amrvis.async":
+            continue
+        by_tid.setdefault(e["tid"], []).append(e)
+    for tid, seq in sorted(by_tid.items()):
+        prev_end = None
+        stack = []  # disjoint, time-ascending (start, end, name)
+        for e in seq:
+            start, end = e["ts"], e["ts"] + e["dur"]
+            if prev_end is not None and end < prev_end:
+                return ("tid %d: span %r ends at %d before the previously "
+                        "emitted span's end %d — file order is not end-time "
+                        "order" % (tid, e["name"], end, prev_end))
+            prev_end = end
+            while stack:
+                top_start, top_end, top_name = stack[-1]
+                if start <= top_start and top_end <= end:
+                    stack.pop()  # contained: a child of this span
+                    continue
+                if top_end <= start:
+                    break  # disjoint: an earlier sibling subtree
+                return ("tid %d: spans %r [%d,%d) and %r [%d,%d) partially "
+                        "overlap" % (tid, top_name, top_start, top_end,
+                                     e["name"], start, end))
+            stack.append((start, end, e["name"]))
+    return None
+
+
+def reconcile(events, metrics_doc, name):
+    """Span count of `name` must equal the registry counter; err or None."""
+    span_count = sum(1 for e in events if e["name"] == name)
+    counters = metrics_doc.get("counters", {})
+    if name not in counters:
+        return "counter %r missing from the metrics dump" % name
+    counter = counters[name]
+    if span_count == 0:
+        return "no %r spans in the trace — nothing to reconcile" % name
+    if span_count != counter:
+        return "%r: %d spans in the trace but counter=%d" % (
+            name, span_count, counter)
+    return None
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="Validate an amrvis Chrome trace-event JSON file.")
+    ap.add_argument("trace", help="trace file (AMRVIS_TRACE output)")
+    ap.add_argument("--metrics",
+                    help="obs::snapshot_json() dump (AMRVIS_METRICS_DUMP "
+                         "output) to reconcile against")
+    ap.add_argument("--reconcile", default="tile.decode", metavar="NAME",
+                    help="counter/span name to reconcile when --metrics is "
+                         "given (default: tile.decode)")
+    args = ap.parse_args(argv)
+
+    try:
+        with open(args.trace) as f:
+            events = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail("trace %s does not parse: %s" % (args.trace, e))
+    if not isinstance(events, list):
+        return fail("trace root is %s, expected a JSON array"
+                    % type(events).__name__)
+
+    err = validate_events(events)
+    if err is None:
+        err = validate_nesting(events)
+    if err is not None:
+        return fail(err)
+
+    if args.metrics:
+        try:
+            with open(args.metrics) as f:
+                metrics_doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            return fail("metrics %s does not parse: %s" % (args.metrics, e))
+        err = reconcile(events, metrics_doc, args.reconcile)
+        if err is not None:
+            return fail(err)
+        print("check_trace: OK: %d events, %r reconciled against the "
+              "registry" % (len(events), args.reconcile))
+        return 0
+
+    print("check_trace: OK: %d events" % len(events))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

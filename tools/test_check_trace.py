@@ -1,0 +1,162 @@
+"""Unit tests for check_trace.py (stdlib unittest; CI also collects these
+under pytest). Covers the JSON/shape checks, the per-thread nesting
+validator, and the span/counter reconciliation."""
+
+import json
+import os
+import tempfile
+import unittest
+
+import check_trace
+
+
+def ev(name, tid, ts, dur):
+    return {"name": name, "ph": "X", "cat": "amrvis", "pid": 1,
+            "tid": tid, "ts": ts, "dur": dur}
+
+
+def aev(name, tid, ts, dur):
+    """Async (backdated) span, e.g. service.queue — nesting-exempt."""
+    e = ev(name, tid, ts, dur)
+    e["cat"] = "amrvis.async"
+    return e
+
+
+class TempFiles(unittest.TestCase):
+    def write(self, obj, text=None):
+        fd, path = tempfile.mkstemp(suffix=".json")
+        with os.fdopen(fd, "w") as f:
+            if text is not None:
+                f.write(text)
+            else:
+                json.dump(obj, f)
+        self.addCleanup(os.remove, path)
+        return path
+
+    def run_main(self, events, metrics=None, reconcile=None, text=None):
+        argv = [self.write(events, text=text)]
+        if metrics is not None:
+            argv += ["--metrics", self.write(metrics)]
+        if reconcile is not None:
+            argv += ["--reconcile", reconcile]
+        return check_trace.main(argv)
+
+
+class TraceShapeTest(TempFiles):
+    def test_empty_trace_passes(self):
+        self.assertEqual(self.run_main([]), 0)
+
+    def test_valid_trace_passes(self):
+        self.assertEqual(self.run_main([ev("a", 0, 0, 10)]), 0)
+
+    def test_unparsable_file_fails(self):
+        self.assertEqual(self.run_main(None, text="[{\"name\": "), 1)
+
+    def test_non_array_root_fails(self):
+        self.assertEqual(self.run_main({"name": "x"}), 1)
+
+    def test_begin_end_events_rejected(self):
+        bad = ev("a", 0, 0, 10)
+        bad["ph"] = "B"
+        self.assertEqual(self.run_main([bad]), 1)
+
+    def test_missing_duration_fails(self):
+        bad = ev("a", 0, 0, 10)
+        del bad["dur"]
+        self.assertEqual(self.run_main([bad]), 1)
+
+    def test_negative_timestamp_fails(self):
+        self.assertEqual(self.run_main([ev("a", 0, -5, 10)]), 1)
+
+    def test_unknown_category_fails(self):
+        bad = ev("a", 0, 0, 10)
+        bad["cat"] = "other"
+        self.assertEqual(self.run_main([bad]), 1)
+
+
+class NestingTest(TempFiles):
+    def test_children_before_parent_nest(self):
+        # Two disjoint children, then the parent containing both.
+        events = [ev("child1", 0, 0, 10), ev("child2", 0, 20, 10),
+                  ev("parent", 0, 0, 40)]
+        self.assertEqual(self.run_main(events), 0)
+
+    def test_deep_nesting_passes(self):
+        events = [ev("inner", 0, 4, 2), ev("mid", 0, 2, 6),
+                  ev("outer", 0, 0, 10)]
+        self.assertEqual(self.run_main(events), 0)
+
+    def test_partial_overlap_fails(self):
+        # [0, 10) and [5, 20): neither nests nor is disjoint.
+        events = [ev("a", 0, 0, 10), ev("b", 0, 5, 15)]
+        self.assertEqual(self.run_main(events), 1)
+
+    def test_grandparent_partial_overlap_detected(self):
+        # "outer" contains "late" but straddles "early"'s interior: the
+        # pairwise-adjacent check would miss this, the stack must not.
+        events = [ev("early", 0, 0, 10), ev("late", 0, 12, 4),
+                  ev("outer", 0, 5, 20)]
+        self.assertEqual(self.run_main(events), 1)
+
+    def test_touching_spans_are_disjoint(self):
+        events = [ev("a", 0, 0, 10), ev("b", 0, 10, 10)]
+        self.assertEqual(self.run_main(events), 0)
+
+    def test_out_of_order_ends_fail(self):
+        events = [ev("a", 0, 0, 30), ev("b", 0, 5, 10)]
+        self.assertEqual(self.run_main(events), 1)
+
+    def test_threads_validated_independently(self):
+        # Overlapping intervals on DIFFERENT threads are fine.
+        events = [ev("a", 0, 0, 10), ev("b", 1, 5, 15)]
+        self.assertEqual(self.run_main(events), 0)
+
+    def test_async_spans_exempt_from_nesting(self):
+        # A backdated queue span legitimately straddles scope spans on the
+        # thread that eventually picked the request up.
+        events = [ev("service.prefetch", 0, 0, 10),
+                  aev("service.queue", 0, 5, 10),
+                  ev("service.point", 0, 15, 20)]
+        self.assertEqual(self.run_main(events), 0)
+
+    def test_scope_spans_still_checked_with_async_present(self):
+        events = [aev("service.queue", 0, 0, 100),
+                  ev("a", 0, 0, 10), ev("b", 0, 5, 15)]
+        self.assertEqual(self.run_main(events), 1)
+
+
+class ReconcileTest(TempFiles):
+    METRICS = {"counters": {"tile.decode": 2}, "gauges": {},
+               "histograms": {}}
+
+    def test_matching_count_passes(self):
+        events = [ev("tile.decode", 0, 0, 5), ev("tile.decode", 0, 10, 5)]
+        self.assertEqual(self.run_main(events, metrics=self.METRICS), 0)
+
+    def test_count_mismatch_fails(self):
+        events = [ev("tile.decode", 0, 0, 5)]
+        self.assertEqual(self.run_main(events, metrics=self.METRICS), 1)
+
+    def test_zero_spans_fail_even_if_counter_zero(self):
+        metrics = {"counters": {"tile.decode": 0}}
+        self.assertEqual(self.run_main([], metrics=metrics), 1)
+
+    def test_missing_counter_fails(self):
+        events = [ev("tile.decode", 0, 0, 5)]
+        self.assertEqual(self.run_main(events, metrics={"counters": {}}), 1)
+
+    def test_custom_reconcile_name(self):
+        events = [ev("container.parse", 0, 0, 5)]
+        metrics = {"counters": {"container.parse": 1}}
+        self.assertEqual(
+            self.run_main(events, metrics=metrics,
+                          reconcile="container.parse"), 0)
+
+    def test_unparsable_metrics_fails(self):
+        events = [ev("tile.decode", 0, 0, 5)]
+        argv = [self.write(events), "--metrics", self.write(None, text="{")]
+        self.assertEqual(check_trace.main(argv), 1)
+
+
+if __name__ == "__main__":
+    unittest.main()
